@@ -1,0 +1,69 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! window length *n*, id binding on/off, and seeded vs tabled id
+//! generation (the §4.3.1 compression trades memory for rotation work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use generic_hdc::encoding::{Encoder, GenericEncoder, GenericEncoderSpec};
+use std::hint::black_box;
+
+fn train_data() -> Vec<Vec<f64>> {
+    (0..64)
+        .map(|i| (0..64).map(|j| ((i * 11 + j * 3) % 19) as f64).collect())
+        .collect()
+}
+
+fn bench_window_length(c: &mut Criterion) {
+    let train = train_data();
+    let sample = train[9].clone();
+    let mut group = c.benchmark_group("ablation_window_n");
+    for n in [1usize, 2, 3, 4, 5] {
+        let spec = GenericEncoderSpec::new(4096, 64)
+            .with_window(n)
+            .with_seed(5);
+        let encoder = GenericEncoder::from_data(spec, &train).expect("valid data");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sample, |b, s| {
+            b.iter(|| black_box(encoder.encode(black_box(s)).expect("valid sample")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_id_binding(c: &mut Criterion) {
+    let train = train_data();
+    let sample = train[4].clone();
+    let mut group = c.benchmark_group("ablation_id_binding");
+    for (label, binding) in [("bound", true), ("unbound", false)] {
+        let spec = GenericEncoderSpec::new(4096, 64)
+            .with_id_binding(binding)
+            .with_seed(6);
+        let encoder = GenericEncoder::from_data(spec, &train).expect("valid data");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sample, |b, s| {
+            b.iter(|| black_box(encoder.encode(black_box(s)).expect("valid sample")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_id_generation(c: &mut Criterion) {
+    let train = train_data();
+    let sample = train[2].clone();
+    let mut group = c.benchmark_group("ablation_id_generation");
+    for (label, seeded) in [("seeded", true), ("table", false)] {
+        let spec = GenericEncoderSpec::new(4096, 64)
+            .with_seeded_ids(seeded)
+            .with_seed(7);
+        let encoder = GenericEncoder::from_data(spec, &train).expect("valid data");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sample, |b, s| {
+            b.iter(|| black_box(encoder.encode(black_box(s)).expect("valid sample")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_length,
+    bench_id_binding,
+    bench_id_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks: HDC clustering vs K-means on the FCPS
+//! datasets (the software-side counterpart of Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use generic_datasets::ClusteringBenchmark;
+use generic_hdc::encoding::{Encoder, GenericEncoder, GenericEncoderSpec};
+use generic_hdc::{HdcClustering, HdcClusteringSpec};
+use generic_ml::{KMeans, KMeansSpec};
+use std::hint::black_box;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_full_run");
+    group.sample_size(20);
+    for benchmark in [ClusteringBenchmark::Hepta, ClusteringBenchmark::Iris] {
+        let ds = benchmark.load(1);
+        group.bench_with_input(BenchmarkId::from_parameter(benchmark), &ds, |b, ds| {
+            b.iter(|| {
+                black_box(
+                    KMeans::fit(&ds.points, KMeansSpec::new(ds.k).with_seed(2))
+                        .expect("valid points"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hdc_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdc_cluster_full_run");
+    group.sample_size(10);
+    for benchmark in [ClusteringBenchmark::Hepta, ClusteringBenchmark::Iris] {
+        let ds = benchmark.load(1);
+        let spec = GenericEncoderSpec::new(4096, ds.n_features())
+            .with_window(3.min(ds.n_features()))
+            .with_seed(3);
+        let encoder = GenericEncoder::from_data(spec, &ds.points).expect("valid points");
+        let encoded = encoder.encode_batch(&ds.points).expect("valid rows");
+        group.bench_with_input(BenchmarkId::from_parameter(benchmark), &encoded, |b, e| {
+            b.iter(|| {
+                black_box(
+                    HdcClustering::fit(e, HdcClusteringSpec::new(ds.k).with_max_epochs(10))
+                        .expect("k <= n"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_hdc_clustering);
+criterion_main!(benches);

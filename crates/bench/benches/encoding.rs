@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: encoding throughput of the five HDC
+//! encodings (the per-sample cost that dominates the commodity-device
+//! results of Fig. 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use generic_hdc::encoding::{build_encoder, EncodingKind};
+use std::hint::black_box;
+
+fn bench_encodings(c: &mut Criterion) {
+    let train: Vec<Vec<f64>> = (0..64)
+        .map(|i| (0..64).map(|j| ((i * 7 + j * 3) % 17) as f64).collect())
+        .collect();
+    let sample = train[5].clone();
+
+    let mut group = c.benchmark_group("encode_4k_64f");
+    for kind in EncodingKind::ALL {
+        let encoder = build_encoder(kind, 4096, &train, 7).expect("valid data");
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &sample, |b, s| {
+            b.iter(|| black_box(encoder.encode(black_box(s)).expect("valid sample")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let train: Vec<Vec<f64>> = (0..64)
+        .map(|i| (0..64).map(|j| ((i * 5 + j) % 13) as f64).collect())
+        .collect();
+    let sample = train[3].clone();
+
+    let mut group = c.benchmark_group("encode_generic_dims");
+    for dim in [1024usize, 2048, 4096, 8192] {
+        let encoder = build_encoder(EncodingKind::Generic, dim, &train, 9).expect("valid data");
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &sample, |b, s| {
+            b.iter(|| black_box(encoder.encode(black_box(s)).expect("valid sample")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encodings, bench_dimensionality);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the accelerator simulator itself: how
+//! fast the host can simulate inference, training epochs, and fault
+//! injection (useful when sweeping large design spaces).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use generic_sim::{Accelerator, AcceleratorConfig};
+use std::hint::black_box;
+
+fn toy(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..32).map(|j| ((i * 5 + j * 3) % 11) as f64).collect())
+        .collect();
+    let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+    (features, labels)
+}
+
+fn trained(dim: usize) -> (Accelerator, Vec<Vec<f64>>) {
+    let (xs, ys) = toy(32);
+    let config = AcceleratorConfig::new(dim, 32, 4).with_seed(1);
+    let mut acc = Accelerator::new(config, &xs).expect("valid config");
+    acc.train(&xs, &ys, 3).expect("valid data");
+    (acc, xs)
+}
+
+fn bench_sim_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_inference");
+    for dim in [1024usize, 4096] {
+        let (mut acc, xs) = trained(dim);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &xs[0], |b, x| {
+            b.iter(|| black_box(acc.infer(black_box(x)).expect("trained")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_training(c: &mut Criterion) {
+    let (xs, ys) = toy(32);
+    let config = AcceleratorConfig::new(1024, 32, 4).with_seed(2);
+    c.bench_function("sim_train_32x1k_3epochs", |b| {
+        b.iter_batched(
+            || Accelerator::new(config, &xs).expect("valid config"),
+            |mut acc| {
+                black_box(acc.train(&xs, &ys, 3).expect("valid data"));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let (acc, _) = trained(4096);
+    c.bench_function("sim_inject_2pct_ber_4k", |b| {
+        b.iter_batched(
+            || acc.clone(),
+            |mut a| {
+                black_box(a.inject_class_bit_errors(0.02, 7).expect("valid ber"));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sim_inference,
+    bench_sim_training,
+    bench_fault_injection
+);
+criterion_main!(benches);

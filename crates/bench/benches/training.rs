@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: HDC model initialization and retraining
+//! epochs (the Fig. 8 software-side costs).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use generic_hdc::{BinaryHv, HdcModel, IntHv};
+use std::hint::black_box;
+
+fn synthetic_encodings(dim: usize, n: usize, n_classes: usize) -> (Vec<IntHv>, Vec<usize>) {
+    let protos: Vec<BinaryHv> = (0..n_classes as u64)
+        .map(|s| BinaryHv::random_seeded(dim, 500 + s).expect("dim > 0"))
+        .collect();
+    let mut encoded = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % n_classes;
+        let mut hv = protos[c].clone();
+        for k in 0..dim / 10 {
+            hv.flip_bit((k * 13 + i * 7) % dim);
+        }
+        encoded.push(IntHv::from(hv));
+        labels.push(c);
+    }
+    (encoded, labels)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_initial_model");
+    for n in [64usize, 256] {
+        let (encoded, labels) = synthetic_encodings(4096, n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(HdcModel::fit(&encoded, &labels, 8).expect("valid inputs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_retrain_epoch(c: &mut Criterion) {
+    let (encoded, labels) = synthetic_encodings(4096, 256, 8);
+    let model = HdcModel::fit(&encoded, &labels, 8).expect("valid inputs");
+    c.bench_function("retrain_epoch_256x4k", |b| {
+        b.iter_batched(
+            || model.clone(),
+            |mut m| {
+                black_box(m.retrain_epoch(&encoded, &labels).expect("valid inputs"));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_retrain_epoch);
+criterion_main!(benches);

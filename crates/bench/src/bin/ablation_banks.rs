@@ -1,0 +1,84 @@
+//! Reproduces the §4.3.2 banking trade study: more class-memory banks
+//! gate leakage at finer granularity but pay area for duplicated
+//! peripherals — "the four-bank configuration yields the minimum
+//! area × power cost" (with 4 banks, an average of 1.6 banks stay active
+//! across the benchmark suite, saving ~59 % of class-memory static
+//! power; 8 banks save 66 % but cost 55 % extra area vs 20 %).
+//!
+//! Usage: `cargo run -p generic-bench --release --bin ablation_banks [seed]`
+
+use generic_bench::report::render_table;
+use generic_datasets::Benchmark;
+use generic_sim::{AcceleratorConfig, EnergyModel};
+
+const BANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+
+    println!("Ablation (§4.3.2): class-memory bank count vs area x power (seed {seed})\n");
+
+    // Per-application class-memory utilization at D = 4K.
+    let configs: Vec<AcceleratorConfig> = Benchmark::ALL
+        .iter()
+        .map(|b| {
+            let ds = b.load(seed);
+            AcceleratorConfig::new(4096, ds.n_features, ds.n_classes)
+        })
+        .collect();
+    let mean_util = configs
+        .iter()
+        .map(AcceleratorConfig::class_memory_utilization)
+        .sum::<f64>()
+        / configs.len() as f64;
+    println!(
+        "mean class-memory utilization over the 11 benchmarks: {:.0}% (paper: 28%)\n",
+        100.0 * mean_util
+    );
+
+    let header = vec![
+        "Banks".to_string(),
+        "Avg active".to_string(),
+        "Static saving".to_string(),
+        "Area overhead".to_string(),
+        "Area x power".to_string(),
+    ];
+    let mut rows = Vec::new();
+    let mut costs = Vec::new();
+    for &banks in &BANK_COUNTS {
+        let model = EnergyModel::paper_default().with_banks(banks);
+        let mean_active = configs
+            .iter()
+            .map(|c| model.active_bank_fraction(c, true))
+            .sum::<f64>()
+            / configs.len() as f64;
+        let saving = 1.0 - mean_active;
+        let area_factor = 1.0 + EnergyModel::banking_area_overhead(banks);
+        // Cost metric: class-memory area × average class-memory static
+        // power, both relative to the unbanked design.
+        let cost = area_factor * mean_active;
+        costs.push(cost);
+        rows.push(vec![
+            format!("{banks}"),
+            format!("{:.2}", mean_active * banks as f64),
+            format!("{:.0}%", 100.0 * saving),
+            format!("+{:.0}%", 100.0 * (area_factor - 1.0)),
+            format!("{cost:.3}"),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+
+    let best = BANK_COUNTS[costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+        .map(|(i, _)| i)
+        .expect("non-empty")];
+    println!(
+        "\nminimum area x power at {best} banks (paper: 4 banks; with 4 banks ~1.6 are active\n\
+         on average saving ~59%, with 8 banks ~2.7 are active saving 66% but at 55% area)"
+    );
+}

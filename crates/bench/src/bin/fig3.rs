@@ -1,0 +1,164 @@
+//! Regenerates **Fig. 3**: training and inference energy/time of HDC and
+//! classical-ML algorithms on the Raspberry Pi, desktop CPU, and edge GPU
+//! (geometric mean over the eleven benchmarks).
+//!
+//! Usage: `cargo run -p generic-bench --release --bin fig3 [seed]`
+
+use generic_bench::cost::{hdc_shape, ml_infer_ops, ml_train_ops};
+use generic_bench::report::{render_table, si};
+use generic_bench::MlAlgorithm;
+use generic_datasets::{Benchmark, Dataset};
+use generic_devices::workload::HdcShape;
+use generic_devices::{Device, OpCounts};
+use generic_hdc::metrics::geometric_mean;
+
+/// Retraining epochs for the HDC training workloads (§5.2.1).
+const HDC_EPOCHS: usize = 20;
+
+/// Observed average mispredict fraction during retraining.
+const MISPREDICT_RATE: f64 = 0.15;
+
+#[derive(Clone, Copy)]
+enum Algo {
+    HdcRp,
+    HdcLevelId,
+    HdcGeneric,
+    Ml(MlAlgorithm),
+}
+
+impl Algo {
+    fn name(self) -> &'static str {
+        match self {
+            Algo::HdcRp => "RP",
+            Algo::HdcLevelId => "level-id",
+            Algo::HdcGeneric => "GENERIC",
+            Algo::Ml(m) => m.name(),
+        }
+    }
+
+    fn is_hdc(self) -> bool {
+        !matches!(self, Algo::Ml(_))
+    }
+}
+
+const ALGOS: [Algo; 9] = [
+    Algo::HdcRp,
+    Algo::HdcLevelId,
+    Algo::HdcGeneric,
+    Algo::Ml(MlAlgorithm::LogisticRegression),
+    Algo::Ml(MlAlgorithm::Knn),
+    Algo::Ml(MlAlgorithm::Mlp),
+    Algo::Ml(MlAlgorithm::Svm),
+    Algo::Ml(MlAlgorithm::RandomForest),
+    Algo::Ml(MlAlgorithm::Dnn),
+];
+
+fn infer_ops(algo: Algo, ds: &Dataset, seed: u64) -> OpCounts {
+    match algo {
+        // RP multiplies raw values with ±1 rows: d·D wide MACs.
+        Algo::HdcRp => {
+            let d = ds.n_features as f64;
+            let dim = 4096.0;
+            OpCounts::new(d * dim + ds.n_classes as f64 * dim, 0.0, d * dim / 8.0)
+        }
+        // level-id: one level⊕id bind + accumulate per feature.
+        Algo::HdcLevelId => HdcShape {
+            dim: 4096,
+            n_features: ds.n_features,
+            window: 1,
+            n_classes: ds.n_classes,
+            id_binding: true,
+        }
+        .infer(),
+        Algo::HdcGeneric => hdc_shape(ds, 4096, seed).infer(),
+        Algo::Ml(m) => ml_infer_ops(m, ds),
+    }
+}
+
+fn train_ops(algo: Algo, ds: &Dataset, seed: u64) -> OpCounts {
+    let n = ds.train.len();
+    match algo {
+        Algo::HdcRp => infer_ops(algo, ds, seed) * ((1 + HDC_EPOCHS) as f64 * n as f64),
+        Algo::HdcLevelId => HdcShape {
+            dim: 4096,
+            n_features: ds.n_features,
+            window: 1,
+            n_classes: ds.n_classes,
+            id_binding: true,
+        }
+        .train(n, HDC_EPOCHS, MISPREDICT_RATE),
+        Algo::HdcGeneric => hdc_shape(ds, 4096, seed).train(n, HDC_EPOCHS, MISPREDICT_RATE),
+        Algo::Ml(m) => ml_train_ops(m, ds),
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+
+    println!(
+        "Fig. 3: per-input energy and execution time on commodity devices (seed {seed})\n\
+         (geometric mean over the eleven benchmarks; eGPU shown for HDC + DNN as in the paper)\n"
+    );
+
+    let devices = [
+        Device::raspberry_pi3(),
+        Device::desktop_cpu(),
+        Device::jetson_tx2_egpu(),
+    ];
+
+    for (phase, is_train) in [("Inference", false), ("Training", true)] {
+        let mut header = vec!["Algorithm".to_string()];
+        for d in &devices {
+            header.push(format!("{} E/input", d.name));
+            header.push(format!("{} t/input", d.name));
+        }
+        let mut rows = Vec::new();
+        for algo in ALGOS {
+            let mut row = vec![algo.name().to_string()];
+            for device in &devices {
+                // The paper omits conventional ML on the eGPU (worse than
+                // CPU for the small models).
+                if device.name == "eGPU"
+                    && !algo.is_hdc()
+                    && !matches!(algo, Algo::Ml(MlAlgorithm::Dnn))
+                {
+                    row.push("-".to_string());
+                    row.push("-".to_string());
+                    continue;
+                }
+                let mut energies = Vec::new();
+                let mut times = Vec::new();
+                for b in Benchmark::ALL {
+                    let ds = b.load(seed);
+                    let n = ds.train.len() as f64;
+                    let (ops, invocations, per) = if is_train {
+                        // Training is one batched run over the train split;
+                        // ML frameworks pay per-epoch dispatch.
+                        (train_ops(algo, &ds, seed), 20u64, n)
+                    } else {
+                        (infer_ops(algo, &ds, seed), 1u64, 1.0)
+                    };
+                    energies.push(device.energy_j(&ops, invocations) / per);
+                    times.push(device.execution_time_s(&ops, invocations) / per);
+                }
+                let e = geometric_mean(&energies).expect("positive");
+                let t = geometric_mean(&times).expect("positive");
+                row.push(si(e, "J"));
+                row.push(si(t, "s"));
+            }
+            rows.push(row);
+        }
+        println!("{phase}:");
+        println!("{}", render_table(&header, &rows));
+    }
+
+    println!(
+        "Paper reference (§3.3): classical ML beats HDC on every commodity device; GENERIC \n\
+         encoding costs more than other HDC encodings (multiple hypervectors per window); \n\
+         the eGPU improves GENERIC inference energy/time by ~134x/252x over the Raspberry Pi \n\
+         (~70x/30x over the CPU) via bit-packing, yet still trails RF-on-CPU by ~12x energy."
+    );
+}

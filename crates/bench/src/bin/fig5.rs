@@ -1,0 +1,64 @@
+//! Regenerates **Fig. 5**: accuracy under on-demand dimension reduction
+//! with *Constant* (stale full-model) vs *Updated* (per-128-dim sub-norm)
+//! L2 norms, for EEG and ISOLET.
+//!
+//! Usage: `cargo run -p generic-bench --release --bin fig5 [seed]`
+
+use generic_bench::report::{pct, render_table};
+use generic_bench::runners::{DEFAULT_DIM, DEFAULT_EPOCHS};
+use generic_bench::train_hdc;
+use generic_datasets::Benchmark;
+use generic_hdc::encoding::EncodingKind;
+use generic_hdc::{NormMode, PredictOptions};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+
+    println!("Fig. 5: accuracy vs dimensions with Constant and Updated L2 norms (seed {seed})\n");
+
+    for benchmark in [Benchmark::Eeg, Benchmark::Isolet] {
+        let dataset = benchmark.load(seed);
+        let run = train_hdc(
+            EncodingKind::Generic,
+            &dataset,
+            DEFAULT_DIM,
+            DEFAULT_EPOCHS,
+            seed,
+        );
+
+        let header = vec![
+            "Dimensions".to_string(),
+            "Constant".to_string(),
+            "Updated".to_string(),
+        ];
+        let mut rows = Vec::new();
+        let mut max_gap = 0.0f64;
+        for dims in (512..=DEFAULT_DIM).step_by(512) {
+            let constant = run.model.accuracy_with(
+                &run.test_encoded,
+                &dataset.test.labels,
+                PredictOptions::reduced(dims, NormMode::Constant),
+            );
+            let updated = run.model.accuracy_with(
+                &run.test_encoded,
+                &dataset.test.labels,
+                PredictOptions::reduced(dims, NormMode::Updated),
+            );
+            max_gap = max_gap.max(updated - constant);
+            rows.push(vec![format!("{dims}"), pct(constant), pct(updated)]);
+        }
+        println!("{}:", benchmark.name());
+        println!("{}", render_table(&header, &rows));
+        println!(
+            "max accuracy recovered by Updated norms: {}\n",
+            pct(max_gap)
+        );
+    }
+    println!(
+        "Paper reference: stale Constant norms lose up to 20.1% (EEG) and 8.5% (ISOLET) \
+         at reduced dimensions; Updated sub-norms recover the loss."
+    );
+}

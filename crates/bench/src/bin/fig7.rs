@@ -1,0 +1,93 @@
+//! Regenerates **Fig. 7**: area, static-power, and dynamic-power breakdown
+//! of the GENERIC accelerator, plus the §5.1 headline silicon figures.
+//!
+//! Usage: `cargo run -p generic-bench --release --bin fig7 [seed]`
+
+use generic_bench::report::render_table;
+use generic_datasets::Benchmark;
+use generic_sim::{Accelerator, AcceleratorConfig, EnergyReport};
+use generic_sim::{ActivityCounts, EnergyOptions};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+
+    // A representative mid-size application (MNIST shape: 64 features,
+    // 10 classes, D = 4K) running inference.
+    let dataset = Benchmark::Mnist.load(seed);
+    let config =
+        AcceleratorConfig::new(4096, dataset.n_features, dataset.n_classes).with_seed(seed);
+    let mut acc =
+        Accelerator::new(config, &dataset.train.features).expect("benchmark fits the architecture");
+    acc.train(&dataset.train.features, &dataset.train.labels, 5)
+        .expect("dataset validated");
+    acc.reset_activity();
+    for sample in dataset.test.features.iter().take(50) {
+        acc.infer(sample).expect("model trained");
+    }
+
+    let b = acc.breakdown();
+    let header = vec![
+        "Component".to_string(),
+        "Area (mm2)".to_string(),
+        "Area %".to_string(),
+        "Static (mW)".to_string(),
+        "Static %".to_string(),
+        "Dynamic %".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = b
+        .components
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                format!("{:.4}", c.area_mm2),
+                format!("{:.1}%", 100.0 * c.area_mm2 / b.total_area_mm2()),
+                format!("{:.4}", c.static_mw),
+                format!("{:.1}%", 100.0 * c.static_mw / b.total_static_mw()),
+                format!("{:.1}%", 100.0 * c.dynamic_pj / b.total_dynamic_pj()),
+            ]
+        })
+        .collect();
+
+    println!("Fig. 7: area and power breakdown (seed {seed})\n");
+    println!("{}", render_table(&header, &rows));
+
+    println!("Totals:");
+    println!("  area: {:.3} mm2 (paper: 0.30 mm2)", b.total_area_mm2());
+    println!(
+        "  worst-case static power (all banks on): {:.3} mW (paper: 0.25 mW)",
+        b.total_static_mw()
+    );
+
+    // Application-average static/dynamic power across the benchmark suite.
+    let mut static_sum = 0.0;
+    let mut dynamic_sum = 0.0;
+    let mut count = 0.0;
+    for benchmark in Benchmark::ALL {
+        let ds = benchmark.load(seed);
+        let cfg = AcceleratorConfig::new(4096, ds.n_features, ds.n_classes).with_seed(seed);
+        let mut a = Accelerator::new(cfg, &ds.train.features).expect("fits");
+        a.train(&ds.train.features, &ds.train.labels, 3)
+            .expect("valid");
+        a.reset_activity();
+        for sample in ds.test.features.iter().take(30) {
+            a.infer(sample).expect("model trained");
+        }
+        let r: EnergyReport = a.energy_report(&EnergyOptions::default());
+        static_sum += r.static_power_mw;
+        dynamic_sum += r.dynamic_power_mw;
+        count += 1.0;
+        let _: &ActivityCounts = a.activity();
+    }
+    println!(
+        "  application-average static power (power-gated): {:.3} mW (paper: 0.09 mW)",
+        static_sum / count
+    );
+    println!(
+        "  application-average dynamic power: {:.2} mW (paper: 1.79 mW)",
+        dynamic_sum / count
+    );
+}

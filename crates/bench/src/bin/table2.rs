@@ -1,0 +1,73 @@
+//! Regenerates **Table 2**: normalized mutual information of K-means and
+//! HDC clustering on the FCPS benchmarks and Iris.
+//!
+//! Usage: `cargo run -p generic-bench --release --bin table2 [seed]`
+
+use generic_bench::report::render_table;
+use generic_datasets::ClusteringBenchmark;
+use generic_hdc::encoding::{Encoder, GenericEncoder, GenericEncoderSpec};
+use generic_hdc::metrics::normalized_mutual_information;
+use generic_hdc::{HdcClustering, HdcClusteringSpec};
+use generic_ml::{KMeans, KMeansSpec};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+
+    println!("Table 2: mutual information score of K-means and HDC clustering (seed {seed})\n");
+
+    let mut header = vec!["Method".to_string()];
+    header.extend(
+        ClusteringBenchmark::ALL
+            .iter()
+            .map(|b| b.name().to_string()),
+    );
+    header.push("Mean".to_string());
+
+    let mut kmeans_row = vec!["K-means".to_string()];
+    let mut hdc_row = vec!["HDC".to_string()];
+    let mut kmeans_scores = Vec::new();
+    let mut hdc_scores = Vec::new();
+
+    for benchmark in ClusteringBenchmark::ALL {
+        let ds = benchmark.load(seed);
+
+        let (_, kmeans) = KMeans::fit(&ds.points, KMeansSpec::new(ds.k).with_seed(seed))
+            .expect("generated datasets are well-formed");
+        let kmeans_nmi = normalized_mutual_information(&kmeans.assignments, &ds.labels)
+            .expect("equal-length labelings");
+
+        // HDC clustering: encode the raw points with the GENERIC encoding
+        // (window clamped to the feature count — windows are less
+        // effective with few features, as §5.3 notes).
+        let window = 3.min(ds.n_features());
+        let spec = GenericEncoderSpec::new(4096, ds.n_features())
+            .with_window(window)
+            .with_seed(seed);
+        let encoder = GenericEncoder::from_data(spec, &ds.points).expect("points are well-formed");
+        let encoded = encoder.encode_batch(&ds.points).expect("row widths match");
+        let (_, outcome) =
+            HdcClustering::fit(&encoded, HdcClusteringSpec::new(ds.k).with_max_epochs(20))
+                .expect("k <= n");
+        let hdc_nmi = normalized_mutual_information(&outcome.assignments, &ds.labels)
+            .expect("equal-length labelings");
+
+        kmeans_row.push(format!("{kmeans_nmi:.3}"));
+        hdc_row.push(format!("{hdc_nmi:.3}"));
+        kmeans_scores.push(kmeans_nmi);
+        hdc_scores.push(hdc_nmi);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    kmeans_row.push(format!("{:.3}", mean(&kmeans_scores)));
+    hdc_row.push(format!("{:.3}", mean(&hdc_scores)));
+
+    println!("{}", render_table(&header, &[kmeans_row, hdc_row]));
+    println!(
+        "Paper reference: K-means 1.0 / 0.637 / 1.0 / 0.774 / 0.758 (mean 0.834); \
+         HDC 0.904 / 0.589 / 0.981 / 0.781 / 0.760 (mean 0.803) — \
+         K-means slightly ahead on average, HDC comparable."
+    );
+}

@@ -1,0 +1,140 @@
+//! Bridges between datasets, trained models, the accelerator simulator,
+//! and the device cost models — the shared plumbing of the Fig. 3 and
+//! Figs. 8–10 harnesses.
+
+use generic_datasets::Dataset;
+use generic_devices::workload::{
+    ForestShape, HdcShape, KMeansShape, KnnShape, LrShape, MlpShape, SvmShape,
+};
+use generic_devices::OpCounts;
+use generic_sim::{Accelerator, AcceleratorConfig, TrainOutcome};
+
+use crate::runners::{choose_id_binding, MlAlgorithm, DEFAULT_EPOCHS};
+
+/// The HDC workload shape of a dataset at dimensionality `dim` (GENERIC
+/// encoding, window 3, id binding chosen per application).
+pub fn hdc_shape(dataset: &Dataset, dim: usize, seed: u64) -> HdcShape {
+    HdcShape {
+        dim,
+        n_features: dataset.n_features,
+        window: 3.min(dataset.n_features).max(1),
+        n_classes: dataset.n_classes,
+        id_binding: choose_id_binding(dataset, dim, seed),
+    }
+}
+
+/// Per-input inference op counts of a classical-ML baseline on a dataset
+/// (model shapes mirror the defaults `evaluate_ml` trains).
+pub fn ml_infer_ops(algo: MlAlgorithm, dataset: &Dataset) -> OpCounts {
+    let d = dataset.n_features;
+    let k = dataset.n_classes;
+    let n = dataset.train.len();
+    match algo {
+        MlAlgorithm::Mlp => MlpShape {
+            layers: vec![d, 100, k],
+        }
+        .infer(),
+        MlAlgorithm::Dnn => MlpShape {
+            layers: vec![d, 128, 64, k],
+        }
+        .infer(),
+        MlAlgorithm::Svm => SvmShape {
+            n_support: n,
+            n_features: d,
+            n_classes: k,
+        }
+        .infer(),
+        MlAlgorithm::RandomForest => ForestShape {
+            n_trees: 40,
+            depth: 12,
+            n_features: d,
+        }
+        .infer(),
+        MlAlgorithm::Knn => KnnShape {
+            n_train: n,
+            n_features: d,
+        }
+        .infer(),
+        MlAlgorithm::LogisticRegression => LrShape {
+            n_features: d,
+            n_classes: k,
+        }
+        .infer(),
+    }
+}
+
+/// Full-training op counts of a classical-ML baseline on a dataset.
+pub fn ml_train_ops(algo: MlAlgorithm, dataset: &Dataset) -> OpCounts {
+    let d = dataset.n_features;
+    let k = dataset.n_classes;
+    let n = dataset.train.len();
+    match algo {
+        MlAlgorithm::Mlp => MlpShape {
+            layers: vec![d, 100, k],
+        }
+        .train(n, 80),
+        MlAlgorithm::Dnn => {
+            let shape = MlpShape {
+                layers: vec![d, 128, 64, k],
+            };
+            shape.search_train(n, 40, 5) + shape.train(n, 100)
+        }
+        MlAlgorithm::Svm => SvmShape {
+            n_support: n,
+            n_features: d,
+            n_classes: k,
+        }
+        .train(n, 30),
+        MlAlgorithm::RandomForest => ForestShape {
+            n_trees: 40,
+            depth: 12,
+            n_features: d,
+        }
+        .train(n),
+        MlAlgorithm::Knn => KnnShape {
+            n_train: n,
+            n_features: d,
+        }
+        .train(),
+        MlAlgorithm::LogisticRegression => LrShape {
+            n_features: d,
+            n_classes: k,
+        }
+        .train(n, 200),
+    }
+}
+
+/// Builds and trains the accelerator simulator on a dataset, returning the
+/// accelerator (with its cumulative training activity) and the training
+/// outcome.
+///
+/// # Panics
+///
+/// Panics if the dataset exceeds the architecture's limits (none of the
+/// bundled benchmarks does).
+pub fn sim_train(dataset: &Dataset, dim: usize, seed: u64) -> (Accelerator, TrainOutcome) {
+    let id_binding = choose_id_binding(dataset, dim, seed);
+    let config = AcceleratorConfig::new(dim, dataset.n_features, dataset.n_classes)
+        .with_window(3.min(dataset.n_features).max(1))
+        .with_id_binding(id_binding)
+        .with_seed(seed);
+    let mut acc = Accelerator::new(config, &dataset.train.features)
+        .expect("benchmark datasets fit the architecture");
+    let outcome = acc
+        .train(
+            &dataset.train.features,
+            &dataset.train.labels,
+            DEFAULT_EPOCHS,
+        )
+        .expect("dataset validated");
+    (acc, outcome)
+}
+
+/// The K-means workload of a clustering dataset.
+pub fn kmeans_shape(n_points: usize, k: usize, n_features: usize) -> KMeansShape {
+    KMeansShape {
+        n_points,
+        k,
+        n_features,
+    }
+}

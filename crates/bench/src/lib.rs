@@ -1,0 +1,15 @@
+//! # generic-bench
+//!
+//! Benchmark harness for the GENERIC (DAC'22) reproduction: shared runners
+//! that train/evaluate every HDC encoding and every classical-ML baseline
+//! on the benchmark datasets, plus one binary per paper table/figure
+//! (`table1`, `table2`, `fig3`, `fig5`–`fig10` — see DESIGN.md §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod report;
+pub mod runners;
+
+pub use runners::{choose_id_binding, evaluate_hdc, evaluate_ml, train_hdc, HdcRun, MlAlgorithm};

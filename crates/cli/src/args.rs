@@ -1,0 +1,285 @@
+//! Hand-rolled argument parsing (the CLI deliberately avoids external
+//! dependencies; see DESIGN.md §4).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+generic — the GENERIC HDC learning engine
+
+USAGE:
+    generic train   --data <csv> --out <model> [--dim N] [--window N]
+                    [--levels N] [--epochs N] [--seed N] [--no-id-binding]
+    generic predict --model <model> --data <csv> [--labeled]
+    generic cluster --data <csv> --k N [--dim N] [--window N] [--epochs N]
+                    [--seed N] [--labeled]
+    generic info    --model <model>
+
+CSV format: one sample per row, numeric features separated by commas;
+for `train` (and with --labeled) the last column is an integer label.
+Lines starting with '#' and blank lines are ignored.";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// Train a pipeline and persist it.
+    Train {
+        /// Labeled training CSV.
+        data: PathBuf,
+        /// Output model path.
+        out: PathBuf,
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Sliding-window length.
+        window: usize,
+        /// Quantization levels.
+        levels: usize,
+        /// Retraining epochs.
+        epochs: usize,
+        /// Item-memory seed.
+        seed: u64,
+        /// Whether per-window id binding is enabled.
+        id_binding: bool,
+    },
+    /// Classify samples with a persisted pipeline.
+    Predict {
+        /// Pipeline path.
+        model: PathBuf,
+        /// Input CSV.
+        data: PathBuf,
+        /// Whether the CSV carries labels (accuracy is reported).
+        labeled: bool,
+    },
+    /// Cluster unlabeled samples.
+    Cluster {
+        /// Input CSV.
+        data: PathBuf,
+        /// Number of clusters.
+        k: usize,
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Sliding-window length.
+        window: usize,
+        /// Maximum clustering epochs.
+        epochs: usize,
+        /// Item-memory seed.
+        seed: u64,
+        /// Whether the CSV carries ground-truth labels (NMI is reported).
+        labeled: bool,
+    },
+    /// Describe a persisted pipeline.
+    Info {
+        /// Pipeline path.
+        model: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// An argument-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        CliError(message.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+struct Options {
+    flags: Vec<String>,
+    values: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut flags = Vec::new();
+        let mut values = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::new(format!("unexpected argument `{arg}`")));
+            };
+            match name {
+                "labeled" | "no-id-binding" | "help" => flags.push(name.to_string()),
+                "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
+                | "k" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
+                    values.push((name.to_string(), value.clone()));
+                    i += 1;
+                }
+                _ => return Err(CliError::new(format!("unknown option `--{name}`"))),
+            }
+            i += 1;
+        }
+        Ok(Options { flags, values })
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required_path(&self, name: &str) -> Result<PathBuf, CliError> {
+        self.value(name)
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError::new(format!("missing required option --{name}")))
+    }
+
+    fn numeric<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::new(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+}
+
+/// Parses the argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first invalid argument.
+pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
+    let Some((subcommand, rest)) = argv.split_first() else {
+        return Err(CliError::new("missing subcommand"));
+    };
+    if subcommand == "--help" || subcommand == "help" {
+        return Ok(CliCommand::Help);
+    }
+    let opts = Options::parse(rest)?;
+    if opts.flag("help") {
+        return Ok(CliCommand::Help);
+    }
+    match subcommand.as_str() {
+        "train" => Ok(CliCommand::Train {
+            data: opts.required_path("data")?,
+            out: opts.required_path("out")?,
+            dim: opts.numeric("dim", 4096)?,
+            window: opts.numeric("window", 3)?,
+            levels: opts.numeric("levels", 64)?,
+            epochs: opts.numeric("epochs", 20)?,
+            seed: opts.numeric("seed", 42)?,
+            id_binding: !opts.flag("no-id-binding"),
+        }),
+        "predict" => Ok(CliCommand::Predict {
+            model: opts.required_path("model")?,
+            data: opts.required_path("data")?,
+            labeled: opts.flag("labeled"),
+        }),
+        "cluster" => Ok(CliCommand::Cluster {
+            data: opts.required_path("data")?,
+            k: opts.numeric("k", 0).and_then(|k| {
+                if k == 0 {
+                    Err(CliError::new("missing required option --k"))
+                } else {
+                    Ok(k)
+                }
+            })?,
+            dim: opts.numeric("dim", 4096)?,
+            window: opts.numeric("window", 3)?,
+            epochs: opts.numeric("epochs", 20)?,
+            seed: opts.numeric("seed", 42)?,
+            labeled: opts.flag("labeled"),
+        }),
+        "info" => Ok(CliCommand::Info {
+            model: opts.required_path("model")?,
+        }),
+        other => Err(CliError::new(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_train_with_defaults() {
+        let cmd = parse_args(&argv(&["train", "--data", "a.csv", "--out", "m.ghdc"])).unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::Train {
+                data: "a.csv".into(),
+                out: "m.ghdc".into(),
+                dim: 4096,
+                window: 3,
+                levels: 64,
+                epochs: 20,
+                seed: 42,
+                id_binding: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_overrides_and_flags() {
+        let cmd = parse_args(&argv(&[
+            "train",
+            "--data",
+            "a.csv",
+            "--out",
+            "m.ghdc",
+            "--dim",
+            "1024",
+            "--no-id-binding",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::Train {
+                dim,
+                seed,
+                id_binding,
+                ..
+            } => {
+                assert_eq!(dim, 1024);
+                assert_eq!(seed, 7);
+                assert!(!id_binding);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse_args(&argv(&[])).is_err());
+        assert!(parse_args(&argv(&["frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["train", "--data"])).is_err());
+        assert!(parse_args(&argv(&["train", "--wat", "1"])).is_err());
+        assert!(parse_args(&argv(&["train", "--data", "a", "--out", "b", "--dim", "x"])).is_err());
+        assert!(parse_args(&argv(&["cluster", "--data", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn help_in_any_position() {
+        assert_eq!(parse_args(&argv(&["--help"])).unwrap(), CliCommand::Help);
+        assert_eq!(
+            parse_args(&argv(&["predict", "--help"])).unwrap(),
+            CliCommand::Help
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! The `generic` command-line tool.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    ExitCode::from(u8::try_from(generic_cli::run(&argv, &mut stdout)).unwrap_or(1))
+}

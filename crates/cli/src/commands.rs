@@ -1,0 +1,147 @@
+//! Command implementations.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::metrics::normalized_mutual_information;
+use generic_hdc::{HdcClustering, HdcClusteringSpec, HdcPipeline};
+
+use crate::args::{CliCommand, USAGE};
+use crate::csv;
+
+type CommandResult = Result<(), Box<dyn Error>>;
+
+/// Executes a parsed command, writing output to `out`.
+///
+/// # Errors
+///
+/// Returns a human-readable error for I/O failures, malformed CSV input,
+/// or invalid learning configurations.
+pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
+    match command {
+        CliCommand::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        CliCommand::Train {
+            data,
+            out: model_path,
+            dim,
+            window,
+            levels,
+            epochs,
+            seed,
+            id_binding,
+        } => {
+            let parsed = csv::read_file(&data, true)?;
+            let labels = parsed.labels.expect("labeled parse returns labels");
+            let n_classes = csv::n_classes(&labels);
+            if n_classes < 2 {
+                return Err("training data must contain at least two classes".into());
+            }
+            let n_features = parsed.features[0].len();
+            let spec = GenericEncoderSpec::new(dim, n_features)
+                .with_window(window.min(n_features))
+                .with_levels(levels)
+                .with_id_binding(id_binding)
+                .with_seed(seed);
+            let pipeline = HdcPipeline::train(spec, &parsed.features, &labels, n_classes, epochs)?;
+            let train_acc = pipeline.accuracy(&parsed.features, &labels)?;
+            let file = File::create(&model_path)?;
+            pipeline.write_to(BufWriter::new(file))?;
+            writeln!(
+                out,
+                "trained on {} samples ({} features, {} classes): {:.1}% training accuracy",
+                parsed.features.len(),
+                n_features,
+                n_classes,
+                100.0 * train_acc
+            )?;
+            writeln!(out, "model written to {}", model_path.display())?;
+            Ok(())
+        }
+        CliCommand::Predict {
+            model,
+            data,
+            labeled,
+        } => {
+            let pipeline = load_pipeline(&model)?;
+            let parsed = csv::read_file(&data, labeled)?;
+            let mut correct = 0usize;
+            for (i, row) in parsed.features.iter().enumerate() {
+                let prediction = pipeline.predict(row)?;
+                writeln!(out, "{prediction}")?;
+                if let Some(labels) = &parsed.labels {
+                    if labels[i] == prediction {
+                        correct += 1;
+                    }
+                }
+            }
+            if parsed.labels.is_some() {
+                writeln!(
+                    out,
+                    "accuracy: {:.1}% ({correct}/{})",
+                    100.0 * correct as f64 / parsed.features.len() as f64,
+                    parsed.features.len()
+                )?;
+            }
+            Ok(())
+        }
+        CliCommand::Cluster {
+            data,
+            k,
+            dim,
+            window,
+            epochs,
+            seed,
+            labeled,
+        } => {
+            let parsed = csv::read_file(&data, labeled)?;
+            let n_features = parsed.features[0].len();
+            let spec = GenericEncoderSpec::new(dim, n_features)
+                .with_window(window.min(n_features))
+                .with_seed(seed);
+            let encoder = generic_hdc::encoding::GenericEncoder::from_data(spec, &parsed.features)?;
+            use generic_hdc::encoding::Encoder;
+            let encoded = encoder.encode_batch(&parsed.features)?;
+            let (_, outcome) =
+                HdcClustering::fit(&encoded, HdcClusteringSpec::new(k).with_max_epochs(epochs))?;
+            for &assignment in &outcome.assignments {
+                writeln!(out, "{assignment}")?;
+            }
+            writeln!(
+                out,
+                "clustered {} points into {k} groups in {} epochs (converged: {})",
+                parsed.features.len(),
+                outcome.epochs_run,
+                outcome.converged
+            )?;
+            if let Some(labels) = &parsed.labels {
+                let nmi = normalized_mutual_information(&outcome.assignments, labels)?;
+                writeln!(out, "NMI vs provided labels: {nmi:.3}")?;
+            }
+            Ok(())
+        }
+        CliCommand::Info { model } => {
+            let pipeline = load_pipeline(&model)?;
+            let spec = pipeline.encoder().spec();
+            writeln!(out, "GENERIC HDC pipeline: {}", model.display())?;
+            writeln!(out, "  dimensions:  {}", spec.dim())?;
+            writeln!(out, "  features:    {}", spec.n_features())?;
+            writeln!(out, "  classes:     {}", pipeline.model().n_classes())?;
+            writeln!(out, "  window:      {}", spec.window())?;
+            writeln!(out, "  levels:      {}", spec.n_levels())?;
+            writeln!(out, "  id binding:  {}", spec.id_binding())?;
+            writeln!(out, "  seed:        {}", spec.seed())?;
+            Ok(())
+        }
+    }
+}
+
+fn load_pipeline(path: &std::path::Path) -> Result<HdcPipeline, Box<dyn Error>> {
+    let file =
+        File::open(path).map_err(|e| format!("cannot open model {}: {e}", path.display()))?;
+    Ok(HdcPipeline::read_from(BufReader::new(file))?)
+}

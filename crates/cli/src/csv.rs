@@ -1,0 +1,154 @@
+//! Minimal CSV reading for numeric feature matrices.
+
+use std::fmt;
+use std::path::Path;
+
+/// A parsed numeric CSV: features and (optionally) trailing integer
+/// labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvData {
+    /// Feature rows.
+    pub features: Vec<Vec<f64>>,
+    /// Labels, present only when parsed with `labeled = true`.
+    pub labels: Option<Vec<usize>>,
+}
+
+/// A CSV parsing failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    message: String,
+}
+
+impl CsvError {
+    fn new(message: impl Into<String>) -> Self {
+        CsvError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Reads a CSV file; with `labeled`, the last column becomes the label.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, non-numeric cells, ragged rows, or an
+/// empty file.
+pub fn read_file(path: &Path, labeled: bool) -> Result<CsvData, CsvError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CsvError::new(format!("cannot read {}: {e}", path.display())))?;
+    parse(&text, labeled)
+}
+
+/// Parses CSV text; blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns an error on non-numeric cells, ragged rows, or empty input.
+pub fn parse(text: &str, labeled: bool) -> Result<CsvData, CsvError> {
+    let mut features = Vec::new();
+    let mut labels = if labeled { Some(Vec::new()) } else { None };
+    let mut width: Option<usize> = None;
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if let Some(w) = width {
+            if cells.len() != w {
+                return Err(CsvError::new(format!(
+                    "line {}: expected {w} columns, found {}",
+                    line_no + 1,
+                    cells.len()
+                )));
+            }
+        } else {
+            let min = if labeled { 2 } else { 1 };
+            if cells.len() < min {
+                return Err(CsvError::new(format!(
+                    "line {}: need at least {min} columns",
+                    line_no + 1
+                )));
+            }
+            width = Some(cells.len());
+        }
+        let feature_cells = if labeled {
+            &cells[..cells.len() - 1]
+        } else {
+            &cells[..]
+        };
+        let mut row = Vec::with_capacity(feature_cells.len());
+        for cell in feature_cells {
+            let v: f64 = cell.parse().map_err(|_| {
+                CsvError::new(format!("line {}: `{cell}` is not a number", line_no + 1))
+            })?;
+            if !v.is_finite() {
+                return Err(CsvError::new(format!(
+                    "line {}: non-finite value `{cell}`",
+                    line_no + 1
+                )));
+            }
+            row.push(v);
+        }
+        features.push(row);
+        if let Some(labels) = &mut labels {
+            let cell = cells[cells.len() - 1];
+            let label: usize = cell.parse().map_err(|_| {
+                CsvError::new(format!(
+                    "line {}: label `{cell}` is not a non-negative integer",
+                    line_no + 1
+                ))
+            })?;
+            labels.push(label);
+        }
+    }
+    if features.is_empty() {
+        return Err(CsvError::new("no data rows found"));
+    }
+    Ok(CsvData { features, labels })
+}
+
+/// Number of classes implied by a label column (`max + 1`).
+pub fn n_classes(labels: &[usize]) -> usize {
+    labels.iter().max().map_or(0, |&m| m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labeled_rows() {
+        let data = parse("1.0, 2.0, 0\n3.5,4.5,1\n", true).unwrap();
+        assert_eq!(data.features, vec![vec![1.0, 2.0], vec![3.5, 4.5]]);
+        assert_eq!(data.labels, Some(vec![0, 1]));
+        assert_eq!(n_classes(data.labels.as_ref().unwrap()), 2);
+    }
+
+    #[test]
+    fn parses_unlabeled_rows_and_skips_comments() {
+        let data = parse("# header\n\n1,2,3\n4,5,6\n", false).unwrap();
+        assert_eq!(data.features.len(), 2);
+        assert_eq!(data.features[1], vec![4.0, 5.0, 6.0]);
+        assert!(data.labels.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("", false).is_err());
+        assert!(parse("1,2\n1,2,3\n", false).is_err()); // ragged
+        assert!(parse("1,abc\n", false).is_err()); // non-numeric
+        assert!(parse("1.0,1.5\n", true).is_err()); // non-integer label
+        assert!(parse("5\n", true).is_err()); // label but no features
+        assert!(parse("1,inf,0\n", true).is_err()); // non-finite
+    }
+}

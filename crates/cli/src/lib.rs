@@ -1,0 +1,48 @@
+//! # generic-cli
+//!
+//! A small command-line front end for the GENERIC HDC engine: train a
+//! pipeline from a CSV file, persist it, classify new data, and cluster
+//! unlabeled points — the workflow an edge-deployment prototype needs,
+//! with no dependencies beyond the workspace crates.
+//!
+//! The binary is `generic`:
+//!
+//! ```console
+//! $ generic train   --data train.csv --out model.ghdc --dim 4096 --epochs 20
+//! $ generic predict --model model.ghdc --data test.csv --labeled
+//! $ generic cluster --data points.csv --k 3
+//! $ generic info    --model model.ghdc
+//! ```
+//!
+//! CSV conventions: one sample per row, comma-separated numeric features;
+//! with `--labeled` (and always for `train`) the **last column** is an
+//! integer class label. Lines starting with `#` and blank lines are
+//! ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod csv;
+
+pub use args::{parse_args, CliCommand, CliError};
+
+/// Runs the CLI against pre-split arguments, writing human-readable output
+/// to `out`. Returns the process exit code.
+pub fn run<W: std::io::Write>(argv: &[String], out: &mut W) -> i32 {
+    match parse_args(argv) {
+        Ok(command) => match commands::execute(command, out) {
+            Ok(()) => 0,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}\n");
+            let _ = writeln!(out, "{}", args::USAGE);
+            2
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end CLI tests: train → info → predict → cluster against real
+//! temp files, driving the same `run` entry point as the binary.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use generic_cli::run;
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+/// Writes a small separable 3-class CSV and returns its path.
+fn write_dataset(dir: &std::path::Path, name: &str, labeled: bool) -> PathBuf {
+    let mut text = String::from("# synthetic three-band data\n");
+    for i in 0..90 {
+        let class = i % 3;
+        for j in 0..9 {
+            let band = j / 3;
+            let v = if band == class { 8.0 } else { 1.0 } + ((i * 3 + j) % 4) as f64 * 0.15;
+            let _ = write!(text, "{v:.3},");
+        }
+        if labeled {
+            let _ = writeln!(text, "{class}");
+        } else {
+            text.pop(); // trailing comma
+            text.push('\n');
+        }
+    }
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("temp dir is writable");
+    path
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("generic-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+#[test]
+fn train_info_predict_round_trip() {
+    let dir = temp_dir("round-trip");
+    let train_csv = write_dataset(&dir, "train.csv", true);
+    let model = dir.join("model.ghdc");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "train",
+            "--data",
+            train_csv.to_str().expect("utf-8 path"),
+            "--out",
+            model.to_str().expect("utf-8 path"),
+            "--dim",
+            "1024",
+            "--epochs",
+            "10",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "train failed: {text}");
+    assert!(text.contains("trained on 90 samples"), "{text}");
+    assert!(model.exists());
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&["info", "--model", model.to_str().expect("utf-8 path")]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("dimensions:  1024"), "{text}");
+    assert!(text.contains("classes:     3"), "{text}");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "predict",
+            "--model",
+            model.to_str().expect("utf-8 path"),
+            "--data",
+            train_csv.to_str().expect("utf-8 path"),
+            "--labeled",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    let accuracy_line = text
+        .lines()
+        .find(|l| l.starts_with("accuracy:"))
+        .expect("accuracy line present");
+    assert!(accuracy_line.contains("100.0%"), "{accuracy_line}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cluster_reports_nmi_for_labeled_data() {
+    let dir = temp_dir("cluster");
+    let csv = write_dataset(&dir, "points.csv", true);
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "cluster",
+            "--data",
+            csv.to_str().expect("utf-8 path"),
+            "--k",
+            "3",
+            "--dim",
+            "1024",
+            "--labeled",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("clustered 90 points into 3 groups"), "{text}");
+    let nmi_line = text
+        .lines()
+        .find(|l| l.starts_with("NMI"))
+        .expect("NMI line present");
+    let nmi: f64 = nmi_line
+        .rsplit(' ')
+        .next()
+        .expect("value present")
+        .parse()
+        .expect("numeric NMI");
+    assert!(nmi > 0.9, "NMI too low: {nmi}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_prints_help_and_fails() {
+    let mut out = Vec::new();
+    let code = run(&argv(&["frobnicate"]), &mut out);
+    assert_eq!(code, 2);
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert!(text.contains("USAGE"), "{text}");
+
+    let mut out = Vec::new();
+    let code = run(&argv(&["--help"]), &mut out);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn missing_files_are_reported_not_panicked() {
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "predict",
+            "--model",
+            "/nonexistent.ghdc",
+            "--data",
+            "/nonexistent.csv",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 1);
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert!(text.contains("error:"), "{text}");
+}

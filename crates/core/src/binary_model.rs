@@ -1,0 +1,266 @@
+//! Binarized associative memory: the 1-bit deployment mode where class
+//! hypervectors are majority-binarized and inference is a pure
+//! Hamming-distance search over packed words.
+//!
+//! This is the representation the HDC associative-memory literature the
+//! paper builds on ([19]: *Exploring Hyperdimensional Associative Memory*)
+//! uses for its extreme error resilience, and the fastest software
+//! inference path this crate offers — XOR + popcount over `u64` words, no
+//! integer multiplies and no norms (all binarized classes have identical
+//! norm, so Hamming distance *is* the cosine ranking).
+
+use crate::{BinaryHv, HdcError, HdcModel, IntHv};
+
+/// A binarized HDC model: one packed sign hypervector per class.
+///
+/// ```
+/// use generic_hdc::{BinaryHv, BinaryModel, HdcModel, IntHv};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let a = IntHv::from(BinaryHv::random_seeded(512, 1)?);
+/// let b = IntHv::from(BinaryHv::random_seeded(512, 2)?);
+/// let model = HdcModel::fit(&[a.clone(), b], &[0, 1], 2)?;
+///
+/// let binary = BinaryModel::from_model(&model);
+/// assert_eq!(binary.predict_encoded(&a)?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryModel {
+    classes: Vec<BinaryHv>,
+}
+
+impl BinaryModel {
+    /// Binarizes a trained model by the sign of each class element
+    /// (non-negative ↦ bipolar `+1`).
+    pub fn from_model(model: &HdcModel) -> Self {
+        BinaryModel {
+            classes: model.iter().map(IntHv::to_binary).collect(),
+        }
+    }
+
+    /// Builds a model directly from packed class hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `classes` is empty or dimensionalities differ.
+    pub fn from_class_vectors(classes: Vec<BinaryHv>) -> Result<Self, HdcError> {
+        if classes.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        let dim = classes[0].dim();
+        if let Some(bad) = classes.iter().find(|c| c.dim() != dim) {
+            return Err(HdcError::DimensionMismatch {
+                expected: dim,
+                actual: bad.dim(),
+            });
+        }
+        Ok(BinaryModel { classes })
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.classes[0].dim()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The packed class hypervector for `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.n_classes()`.
+    pub fn class(&self, label: usize) -> &BinaryHv {
+        &self.classes[label]
+    }
+
+    /// Hamming distance of a binarized query to every class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn distances(&self, query: &BinaryHv) -> Result<Vec<usize>, HdcError> {
+        if query.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.dim(),
+            });
+        }
+        self.classes.iter().map(|c| query.hamming(c)).collect()
+    }
+
+    /// Predicts the class of a binarized query (minimum Hamming distance;
+    /// first class wins ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn predict(&self, query: &BinaryHv) -> Result<usize, HdcError> {
+        let distances = self.distances(query)?;
+        Ok(distances
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("model has at least one class"))
+    }
+
+    /// Convenience: binarizes an integer encoding by sign and predicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn predict_encoded(&self, query: &IntHv) -> Result<usize, HdcError> {
+        self.predict(&query.to_binary())
+    }
+
+    /// Fraction of `encoded` samples predicted as their `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on mismatched lengths or dimensions.
+    pub fn accuracy(&self, encoded: &[IntHv], labels: &[usize]) -> Result<f64, HdcError> {
+        if encoded.len() != labels.len() {
+            return Err(HdcError::invalid(
+                "labels",
+                "encoded and labels must have equal lengths",
+            ));
+        }
+        if encoded.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        let mut correct = 0;
+        for (hv, &label) in encoded.iter().zip(labels) {
+            if self.predict_encoded(hv)? == label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / encoded.len() as f64)
+    }
+
+    /// Flips each stored class bit independently with probability `ber` —
+    /// the associative-memory fault model of [19].
+    /// Returns the number of bits flipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a probability.
+    pub fn inject_bit_flips(&mut self, ber: f64, seed: u64) -> Result<usize, HdcError> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        if !(0.0..=1.0).contains(&ber) || ber.is_nan() {
+            return Err(HdcError::invalid("ber", "must be a probability in [0, 1]"));
+        }
+        if ber == 0.0 {
+            return Ok(0);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = self.dim();
+        let mut flipped = 0;
+        for class in &mut self.classes {
+            for i in 0..dim {
+                if rng.random_bool(ber) {
+                    class.flip_bit(i);
+                    flipped += 1;
+                }
+            }
+        }
+        Ok(flipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuantizedModel;
+
+    fn trained(dim: usize) -> (HdcModel, Vec<IntHv>, Vec<usize>) {
+        let protos: Vec<BinaryHv> = (0..3u64)
+            .map(|s| BinaryHv::random_seeded(dim, 70 + s).expect("dim > 0"))
+            .collect();
+        let mut encoded = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..15 {
+            let c = i % 3;
+            let mut hv = protos[c].clone();
+            for k in 0..dim / 10 {
+                hv.flip_bit((k * 13 + i * 7) % dim);
+            }
+            encoded.push(IntHv::from(hv));
+            labels.push(c);
+        }
+        let model = HdcModel::fit(&encoded, &labels, 3).expect("valid inputs");
+        (model, encoded, labels)
+    }
+
+    #[test]
+    fn binarized_model_classifies_separable_data() {
+        let (model, encoded, labels) = trained(2048);
+        let binary = BinaryModel::from_model(&model);
+        assert_eq!(binary.accuracy(&encoded, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn agrees_with_one_bit_quantized_model() {
+        // Both models keep only the sign; on binarized queries the
+        // rankings must coincide (Hamming distance is an affine transform
+        // of the bipolar dot product).
+        let (model, encoded, _) = trained(1024);
+        let binary = BinaryModel::from_model(&model);
+        let quantized = QuantizedModel::from_model(&model, 1).expect("valid width");
+        for hv in &encoded {
+            let binarized = IntHv::from(hv.to_binary());
+            assert_eq!(
+                binary.predict_encoded(hv).unwrap(),
+                quantized.predict(&binarized)
+            );
+        }
+    }
+
+    #[test]
+    fn tolerates_heavy_bit_errors() {
+        // The [19] headline: associative memories survive double-digit BER.
+        let (model, encoded, labels) = trained(4096);
+        let mut binary = BinaryModel::from_model(&model);
+        binary.inject_bit_flips(0.15, 9).unwrap();
+        let acc = binary.accuracy(&encoded, &labels).unwrap();
+        assert!(acc >= 0.95, "accuracy {acc} under 15% BER");
+    }
+
+    #[test]
+    fn flip_count_tracks_ber() {
+        let (model, _, _) = trained(1024);
+        let mut binary = BinaryModel::from_model(&model);
+        let flipped = binary.inject_bit_flips(0.1, 4).unwrap();
+        let expected = (3 * 1024) as f64 * 0.1;
+        assert!((flipped as f64 - expected).abs() < expected * 0.5);
+        assert_eq!(binary.inject_bit_flips(0.0, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(BinaryModel::from_class_vectors(vec![]).is_err());
+        let a = BinaryHv::random_seeded(64, 1).unwrap();
+        let b = BinaryHv::random_seeded(128, 2).unwrap();
+        assert!(BinaryModel::from_class_vectors(vec![a.clone(), b]).is_err());
+        let model = BinaryModel::from_class_vectors(vec![a]).unwrap();
+        let wrong = BinaryHv::random_seeded(128, 3).unwrap();
+        assert!(model.predict(&wrong).is_err());
+        let mut m = model.clone();
+        assert!(m.inject_bit_flips(2.0, 1).is_err());
+    }
+
+    #[test]
+    fn distances_are_symmetric_in_construction() {
+        let (model, encoded, _) = trained(512);
+        let binary = BinaryModel::from_model(&model);
+        let q = encoded[0].to_binary();
+        let d = binary.distances(&q).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|&x| x <= 512));
+    }
+}

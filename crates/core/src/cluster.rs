@@ -1,0 +1,268 @@
+//! HDC clustering (unsupervised learning on the accelerator, §2.1 / §4.2.3).
+
+use crate::{HdcError, IntHv};
+
+/// Configuration for [`HdcClustering::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HdcClusteringSpec {
+    /// Number of clusters *k*.
+    pub k: usize,
+    /// Maximum number of epochs over the data.
+    pub max_epochs: usize,
+}
+
+impl HdcClusteringSpec {
+    /// Creates a spec with the given `k` and a default epoch budget of 20.
+    pub fn new(k: usize) -> Self {
+        HdcClusteringSpec { k, max_epochs: 20 }
+    }
+
+    /// Overrides the epoch budget.
+    pub fn with_max_epochs(mut self, max_epochs: usize) -> Self {
+        self.max_epochs = max_epochs;
+        self
+    }
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringOutcome {
+    /// Cluster index assigned to each input, in input order.
+    pub assignments: Vec<usize>,
+    /// Number of epochs actually executed (≤ `max_epochs`).
+    pub epochs_run: usize,
+    /// Whether assignments stabilized before the epoch budget ran out.
+    pub converged: bool,
+}
+
+/// HDC clustering in hyperspace.
+///
+/// ```
+/// use generic_hdc::{BinaryHv, HdcClustering, HdcClusteringSpec, IntHv};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// // Two quasi-orthogonal groups of inputs.
+/// let encoded: Vec<IntHv> = (0..8)
+///     .map(|i| IntHv::from(BinaryHv::random_seeded(512, (i % 2) as u64).expect("dim > 0")))
+///     .collect();
+/// let (_, outcome) = HdcClustering::fit(&encoded, HdcClusteringSpec::new(2))?;
+/// assert_ne!(outcome.assignments[0], outcome.assignments[1]);
+/// assert_eq!(outcome.assignments[0], outcome.assignments[2]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Following §2.1 and §4.2.3: the first `k` encoded inputs seed the
+/// centroids; each epoch compares every encoded input against the (frozen)
+/// centroids with cosine similarity and bundles it into a *copy* centroid;
+/// the copies replace the centroids for the next epoch. A copy that
+/// received no members keeps the previous centroid so clusters never
+/// silently die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcClustering {
+    centroids: Vec<IntHv>,
+}
+
+impl HdcClustering {
+    /// Clusters `encoded` inputs into `spec.k` groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `encoded` is empty, `k == 0`, `k` exceeds the
+    /// number of inputs, or dimensions are inconsistent.
+    pub fn fit(
+        encoded: &[IntHv],
+        spec: HdcClusteringSpec,
+    ) -> Result<(Self, ClusteringOutcome), HdcError> {
+        if encoded.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        if spec.k == 0 {
+            return Err(HdcError::invalid("k", "must be positive"));
+        }
+        if spec.k > encoded.len() {
+            return Err(HdcError::invalid(
+                "k",
+                format!("k = {} exceeds input count {}", spec.k, encoded.len()),
+            ));
+        }
+        let dim = encoded[0].dim();
+        if let Some(bad) = encoded.iter().find(|hv| hv.dim() != dim) {
+            return Err(HdcError::DimensionMismatch {
+                expected: dim,
+                actual: bad.dim(),
+            });
+        }
+
+        // §4.2.3: the first k encoded inputs are the initial centroids.
+        let mut centroids: Vec<IntHv> = encoded[..spec.k].to_vec();
+        let mut assignments = vec![0usize; encoded.len()];
+        let mut epochs_run = 0;
+        let mut converged = false;
+
+        for _ in 0..spec.max_epochs {
+            epochs_run += 1;
+            let mut copies: Vec<IntHv> = (0..spec.k)
+                .map(|_| IntHv::zeros(dim))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut member_counts = vec![0usize; spec.k];
+            let mut new_assignments = Vec::with_capacity(encoded.len());
+            for hv in encoded {
+                let best = nearest_centroid(hv, &centroids);
+                copies[best].add_assign(hv)?;
+                member_counts[best] += 1;
+                new_assignments.push(best);
+            }
+            // Empty clusters retain the previous centroid.
+            for (c, copy) in copies.iter_mut().enumerate() {
+                if member_counts[c] == 0 {
+                    copy.clone_from(&centroids[c]);
+                }
+            }
+            let stable = new_assignments == assignments && epochs_run > 1;
+            assignments = new_assignments;
+            centroids = copies;
+            if stable {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok((
+            HdcClustering { centroids },
+            ClusteringOutcome {
+                assignments,
+                epochs_run,
+                converged,
+            },
+        ))
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.centroids[0].dim()
+    }
+
+    /// The centroid hypervector of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.k()`.
+    pub fn centroid(&self, c: usize) -> &IntHv {
+        &self.centroids[c]
+    }
+
+    /// Assigns an encoded input to its nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-dimension query.
+    pub fn assign(&self, query: &IntHv) -> Result<usize, HdcError> {
+        if query.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.dim(),
+            });
+        }
+        Ok(nearest_centroid(query, &self.centroids))
+    }
+}
+
+fn nearest_centroid(hv: &IntHv, centroids: &[IntHv]) -> usize {
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let score = hv.cosine(centroid).expect("dimensions checked by fit");
+        if score > best_score {
+            best_score = score;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinaryHv;
+
+    /// Three quasi-orthogonal bundles with per-sample noise.
+    fn blob_data(dim: usize, per_cluster: usize) -> (Vec<IntHv>, Vec<usize>) {
+        let protos: Vec<BinaryHv> = (0..3)
+            .map(|i| BinaryHv::random_seeded(dim, 1000 + i).unwrap())
+            .collect();
+        let mut encoded = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..per_cluster {
+            for (c, proto) in protos.iter().enumerate() {
+                let mut hv = proto.clone();
+                for k in 0..dim / 8 {
+                    hv.flip_bit((k * 5 + i * 17 + c * 31) % dim);
+                }
+                encoded.push(IntHv::from(hv));
+                truth.push(c);
+            }
+        }
+        (encoded, truth)
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let (encoded, truth) = blob_data(2048, 12);
+        let (_, outcome) = HdcClustering::fit(&encoded, HdcClusteringSpec::new(3)).unwrap();
+        let nmi =
+            crate::metrics::normalized_mutual_information(&outcome.assignments, &truth).unwrap();
+        assert!(nmi > 0.9, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn converges_on_separable_data() {
+        let (encoded, _) = blob_data(1024, 8);
+        let (_, outcome) =
+            HdcClustering::fit(&encoded, HdcClusteringSpec::new(3).with_max_epochs(30)).unwrap();
+        assert!(outcome.converged);
+        assert!(outcome.epochs_run < 30);
+    }
+
+    #[test]
+    fn assignment_count_matches_input() {
+        let (encoded, _) = blob_data(512, 4);
+        let (model, outcome) = HdcClustering::fit(&encoded, HdcClusteringSpec::new(3)).unwrap();
+        assert_eq!(outcome.assignments.len(), encoded.len());
+        assert!(outcome.assignments.iter().all(|&a| a < model.k()));
+    }
+
+    #[test]
+    fn assign_matches_fit_assignments() {
+        let (encoded, _) = blob_data(512, 6);
+        let (model, outcome) = HdcClustering::fit(&encoded, HdcClusteringSpec::new(3)).unwrap();
+        // After convergence the stored centroids reproduce the assignments.
+        if outcome.converged {
+            for (hv, &a) in encoded.iter().zip(&outcome.assignments) {
+                assert_eq!(model.assign(hv).unwrap(), a);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (encoded, _) = blob_data(256, 2);
+        assert!(HdcClustering::fit(&[], HdcClusteringSpec::new(2)).is_err());
+        assert!(HdcClustering::fit(&encoded, HdcClusteringSpec::new(0)).is_err());
+        assert!(HdcClustering::fit(&encoded, HdcClusteringSpec::new(encoded.len() + 1)).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_is_degenerate_but_valid() {
+        let (encoded, _) = blob_data(256, 1);
+        let (model, outcome) =
+            HdcClustering::fit(&encoded, HdcClusteringSpec::new(encoded.len())).unwrap();
+        assert_eq!(model.k(), encoded.len());
+        assert_eq!(outcome.assignments.len(), encoded.len());
+    }
+}

@@ -1,0 +1,453 @@
+//! The proposed GENERIC encoding (Eq. 1, Fig. 2d) and its id-free special
+//! case, the ngram encoding.
+
+use crate::encoding::level_id::DEFAULT_LEVELS;
+use crate::encoding::Encoder;
+use crate::{BinaryHv, HdcError, IdMemory, IntHv, LevelMemory, Quantizer};
+
+/// Configuration of a [`GenericEncoder`].
+///
+/// Defaults match the paper: 64 quantization levels, window length `n = 3`
+/// (the best average over the benchmarks, §3.1), per-window id binding
+/// enabled, and hardware-style seeded id generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenericEncoderSpec {
+    dim: usize,
+    n_features: usize,
+    n_levels: usize,
+    window: usize,
+    id_binding: bool,
+    seeded_ids: bool,
+    seed: u64,
+}
+
+impl GenericEncoderSpec {
+    /// Creates a spec for hypervectors of dimensionality `dim` over
+    /// `n_features` raw features, with paper defaults for everything else.
+    pub fn new(dim: usize, n_features: usize) -> Self {
+        GenericEncoderSpec {
+            dim,
+            n_features,
+            n_levels: DEFAULT_LEVELS,
+            window: 3,
+            id_binding: true,
+            seeded_ids: true,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of quantization levels.
+    pub fn with_levels(mut self, n_levels: usize) -> Self {
+        self.n_levels = n_levels;
+        self
+    }
+
+    /// Sets the sliding-window length *n*.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Enables or disables the per-window id binding. Disabling it turns
+    /// the encoding into plain ngram encoding (ids set to the identity,
+    /// "id hypervectors are set to {0}^D" in the paper's notation).
+    pub fn with_id_binding(mut self, id_binding: bool) -> Self {
+        self.id_binding = id_binding;
+        self
+    }
+
+    /// Chooses between hardware-style seed-rotation ids (`true`, default)
+    /// and independent random ids (`false`).
+    pub fn with_seeded_ids(mut self, seeded_ids: bool) -> Self {
+        self.seeded_ids = seeded_ids;
+        self
+    }
+
+    /// Sets the RNG seed for all item memories.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Target hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Expected raw feature count.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Sliding-window length *n*.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Whether per-window id binding is enabled.
+    pub fn id_binding(&self) -> bool {
+        self.id_binding
+    }
+
+    /// Number of quantization levels.
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// Whether ids are derived from a seed by rotation (hardware style).
+    pub fn seeded_ids(&self) -> bool {
+        self.seeded_ids
+    }
+
+    /// The item-memory seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn validate(&self) -> Result<(), HdcError> {
+        if self.n_features == 0 {
+            return Err(HdcError::invalid("n_features", "must be positive"));
+        }
+        if self.window == 0 {
+            return Err(HdcError::invalid("window", "must be positive"));
+        }
+        if self.window > self.n_features {
+            return Err(HdcError::invalid(
+                "window",
+                format!(
+                    "window {} exceeds feature count {}",
+                    self.window, self.n_features
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The GENERIC encoder of Eq. (1):
+///
+/// `H(X) = Σ_{i=1}^{d-n+1} id_i · ⊙_{j=0}^{n-1} ρ^(j)(ℓ(x_{i+j}))`
+///
+/// Every length-`n` sliding window is encoded with the permutation scheme
+/// (rotating the `j`-th level in the window by `j`, capturing *local*
+/// order, e.g. distinguishing "abc" from "bca"), and the window hypervector
+/// is bound to a per-window id to restore *global* position information.
+/// Disabling the id binding recovers ngram encoding.
+#[derive(Debug, Clone)]
+pub struct GenericEncoder {
+    spec: GenericEncoderSpec,
+    quantizer: Quantizer,
+    /// `rotated_levels[j][bin]` = ρ^(j)(ℓ(bin)), precomputed for j < n.
+    rotated_levels: Vec<Vec<BinaryHv>>,
+    ids: Option<IdMemory>,
+}
+
+impl GenericEncoder {
+    /// Builds an encoder whose quantizer is fitted to `train` data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/ragged data or an invalid spec
+    /// (zero window, window larger than the feature count, ...).
+    pub fn from_data(spec: GenericEncoderSpec, train: &[Vec<f64>]) -> Result<Self, HdcError> {
+        let quantizer = Quantizer::fit(train, spec.n_levels)?;
+        Self::with_quantizer(spec, quantizer)
+    }
+
+    /// Builds an encoder around an existing quantizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec is invalid or disagrees with the
+    /// quantizer's feature count.
+    pub fn with_quantizer(
+        spec: GenericEncoderSpec,
+        quantizer: Quantizer,
+    ) -> Result<Self, HdcError> {
+        spec.validate()?;
+        if quantizer.n_features() != spec.n_features {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: spec.n_features,
+                actual: quantizer.n_features(),
+            });
+        }
+        let levels = LevelMemory::new(spec.dim, spec.n_levels, spec.seed)?;
+        let mut rotated_levels = Vec::with_capacity(spec.window);
+        for j in 0..spec.window {
+            let row: Vec<BinaryHv> = levels.iter().map(|l| l.rotated(j)).collect();
+            rotated_levels.push(row);
+        }
+        let n_windows = spec.n_features - spec.window + 1;
+        let ids = if spec.id_binding {
+            Some(if spec.seeded_ids {
+                IdMemory::seeded(spec.dim, n_windows, spec.seed.wrapping_add(1))?
+            } else {
+                IdMemory::random_table(spec.dim, n_windows, spec.seed.wrapping_add(1))?
+            })
+        } else {
+            None
+        };
+        Ok(GenericEncoder {
+            spec,
+            quantizer,
+            rotated_levels,
+            ids,
+        })
+    }
+
+    /// The encoder's configuration.
+    pub fn spec(&self) -> &GenericEncoderSpec {
+        &self.spec
+    }
+
+    /// The fitted quantizer.
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The id memory, if id binding is enabled.
+    pub fn ids(&self) -> Option<&IdMemory> {
+        self.ids.as_ref()
+    }
+
+    /// Encodes a sample that is already quantized into level bins —
+    /// the exact operation the accelerator's encoder unit performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] on a wrong-length bin
+    /// vector, or [`HdcError::InvalidParameter`] if any bin is out of range.
+    pub fn encode_bins(&self, bins: &[usize]) -> Result<IntHv, HdcError> {
+        if bins.len() != self.spec.n_features {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: self.spec.n_features,
+                actual: bins.len(),
+            });
+        }
+        if let Some(&bad) = bins.iter().find(|&&b| b >= self.quantizer.n_levels()) {
+            return Err(HdcError::invalid(
+                "bins",
+                format!(
+                    "bin {bad} out of range for {} levels",
+                    self.quantizer.n_levels()
+                ),
+            ));
+        }
+        let n = self.spec.window;
+        let n_windows = bins.len() - n + 1;
+        let mut acc = IntHv::zeros(self.spec.dim)?;
+        let mut window_hv = self.rotated_levels[0][0].clone();
+        for i in 0..n_windows {
+            window_hv.clone_from(&self.rotated_levels[0][bins[i]]);
+            for j in 1..n {
+                window_hv.xor_assign(&self.rotated_levels[j][bins[i + j]])?;
+            }
+            if let Some(ids) = &self.ids {
+                window_hv.xor_assign(ids.id(i))?;
+            }
+            acc.bundle_binary(&window_hv)?;
+        }
+        Ok(acc)
+    }
+}
+
+impl Encoder for GenericEncoder {
+    fn dim(&self) -> usize {
+        self.spec.dim
+    }
+
+    fn n_features(&self) -> usize {
+        self.spec.n_features
+    }
+
+    fn encode(&self, sample: &[f64]) -> Result<IntHv, HdcError> {
+        let bins = self.quantizer.bins(sample)?;
+        self.encode_bins(&bins)
+    }
+}
+
+/// Ngram encoding: sliding windows encoded with local permutation but **no**
+/// global id binding — it captures the *bag* of subsequences, ignoring
+/// where each occurs (used by prior work for text-like data, §2.2).
+///
+/// Implemented as a [`GenericEncoder`] with id binding disabled, so the
+/// two share one code path (and the ablation benches can toggle binding).
+#[derive(Debug, Clone)]
+pub struct NgramEncoder {
+    inner: GenericEncoder,
+}
+
+impl NgramEncoder {
+    /// Builds an ngram encoder with window length `n` fitted to `train`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/ragged data or an invalid window.
+    pub fn from_data(
+        dim: usize,
+        train: &[Vec<f64>],
+        n: usize,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if train.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        let spec = GenericEncoderSpec::new(dim, train[0].len())
+            .with_window(n)
+            .with_id_binding(false)
+            .with_seed(seed);
+        Ok(NgramEncoder {
+            inner: GenericEncoder::from_data(spec, train)?,
+        })
+    }
+}
+
+impl Encoder for NgramEncoder {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn n_features(&self) -> usize {
+        self.inner.n_features()
+    }
+
+    fn encode(&self, sample: &[f64]) -> Result<IntHv, HdcError> {
+        self.inner.encode(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n_features: usize) -> Vec<Vec<f64>> {
+        (0..24)
+            .map(|i| {
+                (0..n_features)
+                    .map(|j| ((i * 5 + j * 2) % 16) as f64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn component_magnitude_bounded_by_window_count() {
+        let spec = GenericEncoderSpec::new(1024, 10).with_seed(1);
+        let enc = GenericEncoder::from_data(spec, &data(10)).unwrap();
+        let hv = enc.encode(&data(10)[0]).unwrap();
+        let max = 10 - 3 + 1; // windows
+        assert!(hv
+            .values()
+            .iter()
+            .all(|&v| v.unsigned_abs() as usize <= max));
+    }
+
+    #[test]
+    fn local_order_within_window_matters() {
+        // "abc" vs "bca" patterns: permutation within windows distinguishes.
+        let train = data(6);
+        let spec = GenericEncoderSpec::new(4096, 6).with_seed(2);
+        let enc = GenericEncoder::from_data(spec, &train).unwrap();
+        let abc = enc.encode(&[0.0, 7.0, 15.0, 0.0, 7.0, 15.0]).unwrap();
+        let bca = enc.encode(&[7.0, 15.0, 0.0, 7.0, 15.0, 0.0]).unwrap();
+        let sim = abc.cosine(&bca).unwrap();
+        assert!(sim < 0.6, "sim = {sim}");
+    }
+
+    #[test]
+    fn ngram_ignores_global_position_generic_does_not() {
+        // A distinctive trigram at the start vs at the end: ngram sees the
+        // same bag of windows (high similarity); GENERIC binds window ids
+        // (lower similarity).
+        let train = data(12);
+        let mut a = vec![8.0; 12];
+        a[0] = 0.0;
+        a[1] = 15.0;
+        a[2] = 0.0;
+        let mut b = vec![8.0; 12];
+        b[9] = 0.0;
+        b[10] = 15.0;
+        b[11] = 0.0;
+
+        let ngram = NgramEncoder::from_data(4096, &train, 3, 3).unwrap();
+        let na = ngram.encode(&a).unwrap();
+        let nb = ngram.encode(&b).unwrap();
+        let ngram_sim = na.cosine(&nb).unwrap();
+
+        let spec = GenericEncoderSpec::new(4096, 12).with_seed(3);
+        let generic = GenericEncoder::from_data(spec, &train).unwrap();
+        let ga = generic.encode(&a).unwrap();
+        let gb = generic.encode(&b).unwrap();
+        let generic_sim = ga.cosine(&gb).unwrap();
+
+        assert!(
+            ngram_sim > generic_sim + 0.2,
+            "ngram {ngram_sim} vs generic {generic_sim}"
+        );
+    }
+
+    #[test]
+    fn seeded_and_table_ids_give_comparable_statistics() {
+        let train = data(10);
+        let a = GenericEncoder::from_data(
+            GenericEncoderSpec::new(2048, 10)
+                .with_seed(4)
+                .with_seeded_ids(true),
+            &train,
+        )
+        .unwrap();
+        let b = GenericEncoder::from_data(
+            GenericEncoderSpec::new(2048, 10)
+                .with_seed(4)
+                .with_seeded_ids(false),
+            &train,
+        )
+        .unwrap();
+        // Same sample encodes to different vectors but with similar norms.
+        let ha = a.encode(&train[0]).unwrap();
+        let hb = b.encode(&train[0]).unwrap();
+        let ratio = ha.norm2() / hb.norm2();
+        assert!((0.5..2.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn window_must_fit_features() {
+        let spec = GenericEncoderSpec::new(256, 4).with_window(5);
+        assert!(GenericEncoder::from_data(spec, &data(4)).is_err());
+        let spec = GenericEncoderSpec::new(256, 4).with_window(0);
+        assert!(GenericEncoder::from_data(spec, &data(4)).is_err());
+    }
+
+    #[test]
+    fn window_one_without_ids_is_plain_level_bundle() {
+        let train = data(5);
+        let spec = GenericEncoderSpec::new(512, 5)
+            .with_window(1)
+            .with_id_binding(false)
+            .with_seed(5);
+        let enc = GenericEncoder::from_data(spec, &train).unwrap();
+        let hv = enc.encode(&train[0]).unwrap();
+        assert_eq!(hv.dim(), 512);
+        // n_windows == n_features when window == 1.
+        assert!(hv.values().iter().all(|&v| v.unsigned_abs() <= 5));
+    }
+
+    #[test]
+    fn encode_bins_rejects_bad_bins() {
+        let spec = GenericEncoderSpec::new(256, 6).with_seed(6);
+        let enc = GenericEncoder::from_data(spec, &data(6)).unwrap();
+        assert!(enc.encode_bins(&[0, 1, 2]).is_err());
+        assert!(enc.encode_bins(&[0, 1, 2, 3, 4, 64]).is_err());
+        assert!(enc.encode_bins(&[0, 1, 2, 3, 4, 5]).is_ok());
+    }
+
+    #[test]
+    fn encode_matches_encode_bins() {
+        let train = data(8);
+        let spec = GenericEncoderSpec::new(512, 8).with_seed(7);
+        let enc = GenericEncoder::from_data(spec, &train).unwrap();
+        let sample = &train[2];
+        let bins = enc.quantizer().bins(sample).unwrap();
+        assert_eq!(enc.encode(sample).unwrap(), enc.encode_bins(&bins).unwrap());
+    }
+}

@@ -1,0 +1,116 @@
+//! Level-id encoding: quantized levels bound to per-feature ids.
+
+use crate::encoding::Encoder;
+use crate::{HdcError, IdMemory, IntHv, LevelMemory, Quantizer};
+
+/// Default number of quantization levels (the accelerator's level memory
+/// holds 64 bins, §5.1).
+pub(crate) const DEFAULT_LEVELS: usize = 64;
+
+/// Level-id encoder.
+///
+/// Each feature value is quantized to a level hypervector which is XORed
+/// with that feature's random id, and the bound pairs are bundled:
+/// `H = Σ_i ℓ(x_i) ⊕ id_i`.
+///
+/// This was the strongest baseline HDC encoding in the paper's comparison
+/// (90.0 % mean accuracy in Table 1).
+#[derive(Debug, Clone)]
+pub struct LevelIdEncoder {
+    quantizer: Quantizer,
+    levels: LevelMemory,
+    ids: IdMemory,
+}
+
+impl LevelIdEncoder {
+    /// Builds an encoder whose quantizer is fitted to `train` data, with 64
+    /// levels and independent random ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty data, ragged rows, or `dim == 0`.
+    pub fn from_data(dim: usize, train: &[Vec<f64>], seed: u64) -> Result<Self, HdcError> {
+        let quantizer = Quantizer::fit(train, DEFAULT_LEVELS)?;
+        Self::with_quantizer(dim, quantizer, seed)
+    }
+
+    /// Builds an encoder around an existing quantizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0` or the quantizer has too many levels
+    /// for `dim`.
+    pub fn with_quantizer(dim: usize, quantizer: Quantizer, seed: u64) -> Result<Self, HdcError> {
+        let levels = LevelMemory::new(dim, quantizer.n_levels(), seed)?;
+        let ids = IdMemory::random_table(dim, quantizer.n_features(), seed.wrapping_add(1))?;
+        Ok(LevelIdEncoder {
+            quantizer,
+            levels,
+            ids,
+        })
+    }
+
+    /// The fitted quantizer.
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+}
+
+impl Encoder for LevelIdEncoder {
+    fn dim(&self) -> usize {
+        self.levels.dim()
+    }
+
+    fn n_features(&self) -> usize {
+        self.quantizer.n_features()
+    }
+
+    fn encode(&self, sample: &[f64]) -> Result<IntHv, HdcError> {
+        let bins = self.quantizer.bins(sample)?;
+        let mut acc = IntHv::zeros(self.dim())?;
+        let mut scratch = self.levels.level(0).clone();
+        for (i, &bin) in bins.iter().enumerate() {
+            scratch.clone_from(self.levels.level(bin));
+            scratch.xor_assign(self.ids.id(i))?;
+            acc.bundle_binary(&scratch)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Vec<f64>> {
+        (0..16)
+            .map(|i| (0..6).map(|j| ((i + j) % 9) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encoded_components_bounded_by_feature_count() {
+        let enc = LevelIdEncoder::from_data(512, &data(), 1).unwrap();
+        let hv = enc.encode(&data()[0]).unwrap();
+        assert!(hv.values().iter().all(|&v| v.unsigned_abs() as usize <= 6));
+    }
+
+    #[test]
+    fn permuted_features_encode_differently() {
+        // level-id distinguishes *which* feature carries a value.
+        let enc = LevelIdEncoder::from_data(2048, &data(), 2).unwrap();
+        let a = enc.encode(&[0.0, 8.0, 0.0, 8.0, 0.0, 8.0]).unwrap();
+        let b = enc.encode(&[8.0, 0.0, 8.0, 0.0, 8.0, 0.0]).unwrap();
+        let sim = a.cosine(&b).unwrap();
+        assert!(sim < 0.5, "sim = {sim}");
+    }
+
+    #[test]
+    fn nearby_values_encode_similarly() {
+        let enc = LevelIdEncoder::from_data(2048, &data(), 3).unwrap();
+        let a = enc.encode(&[4.0, 4.0, 4.0, 4.0, 4.0, 4.0]).unwrap();
+        let b = enc.encode(&[4.4, 4.4, 4.4, 4.4, 4.4, 4.4]).unwrap();
+        let c = enc.encode(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(a.cosine(&b).unwrap() > a.cosine(&c).unwrap());
+    }
+}

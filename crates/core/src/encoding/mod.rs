@@ -1,0 +1,261 @@
+//! HDC encodings: from raw feature vectors to encoded hypervectors.
+//!
+//! The paper evaluates five encodings (§2.2, §3.1, Table 1):
+//!
+//! | Encoder | Positional binding | Captures |
+//! |---|---|---|
+//! | [`RandomProjectionEncoder`] | random ±1 projection row per feature | global linear structure |
+//! | [`LevelIdEncoder`] | XOR with a per-feature id | global feature identity |
+//! | [`PermutationEncoder`] | rotation by feature index | strict global order |
+//! | [`NgramEncoder`] | rotation within a window, no global id | local subsequences only |
+//! | [`GenericEncoder`] | rotation within a window **and** per-window id | local + global (Eq. 1) |
+//!
+//! All encoders implement the object-safe [`Encoder`] trait and produce an
+//! [`IntHv`] — the integer "encoded hypervector" the model trains on.
+
+mod generic;
+mod level_id;
+mod permutation;
+mod random_projection;
+
+pub use generic::{GenericEncoder, GenericEncoderSpec, NgramEncoder};
+pub use level_id::LevelIdEncoder;
+pub use permutation::PermutationEncoder;
+pub use random_projection::RandomProjectionEncoder;
+
+use crate::{HdcError, IntHv};
+
+/// A deterministic mapping from raw feature vectors to encoded
+/// hypervectors.
+///
+/// Encoders are immutable once constructed: encoding the same sample twice
+/// yields identical hypervectors, which is what makes HDC training (bundling
+/// into class accumulators) and inference consistent.
+pub trait Encoder {
+    /// Dimensionality of the produced hypervectors.
+    fn dim(&self) -> usize;
+
+    /// Number of raw input features the encoder expects.
+    fn n_features(&self) -> usize;
+
+    /// Encodes one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] if `sample.len()`
+    /// differs from [`Encoder::n_features`].
+    fn encode(&self, sample: &[f64]) -> Result<IntHv, HdcError>;
+
+    /// Encodes a batch of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-sample error encountered.
+    fn encode_batch(&self, samples: &[Vec<f64>]) -> Result<Vec<IntHv>, HdcError> {
+        samples.iter().map(|s| self.encode(s)).collect()
+    }
+}
+
+/// The five encodings of the paper's evaluation, for sweeping benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EncodingKind {
+    /// Random projection (Fig. 2c).
+    RandomProjection,
+    /// Level-id (random ids bound to levels).
+    LevelId,
+    /// Ngram: windowed permutation encoding without global ids.
+    Ngram,
+    /// Permutation: rotation by global feature index (Fig. 2b).
+    Permutation,
+    /// The proposed GENERIC encoding (Fig. 2d, Eq. 1).
+    Generic,
+}
+
+impl EncodingKind {
+    /// All kinds in the column order of Table 1.
+    pub const ALL: [EncodingKind; 5] = [
+        EncodingKind::RandomProjection,
+        EncodingKind::LevelId,
+        EncodingKind::Ngram,
+        EncodingKind::Permutation,
+        EncodingKind::Generic,
+    ];
+
+    /// Short lowercase name used in reports (matches the paper's headers).
+    pub fn name(self) -> &'static str {
+        match self {
+            EncodingKind::RandomProjection => "RP",
+            EncodingKind::LevelId => "level-id",
+            EncodingKind::Ngram => "ngram",
+            EncodingKind::Permutation => "permute",
+            EncodingKind::Generic => "GENERIC",
+        }
+    }
+}
+
+impl std::fmt::Display for EncodingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Encodes a batch across `n_threads` scoped worker threads, preserving
+/// input order. Falls back to the serial path for a single thread or a
+/// tiny batch. Results are identical to [`Encoder::encode_batch`] —
+/// encoders are pure functions of their construction state.
+///
+/// # Errors
+///
+/// Returns the first per-sample error encountered (in input order).
+pub fn encode_batch_parallel(
+    encoder: &(dyn Encoder + Sync),
+    samples: &[Vec<f64>],
+    n_threads: usize,
+) -> Result<Vec<IntHv>, HdcError> {
+    let n_threads = n_threads.max(1).min(samples.len().max(1));
+    if n_threads == 1 || samples.len() < 2 {
+        return encoder.encode_batch(samples);
+    }
+    let chunk = samples.len().div_ceil(n_threads);
+    let mut results: Vec<Result<Vec<IntHv>, HdcError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = samples
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || encoder.encode_batch(part)))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("encoder workers do not panic"));
+        }
+    });
+    let mut out = Vec::with_capacity(samples.len());
+    for part in results {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+/// Builds an encoder of the requested kind fitted to `train` data, using
+/// the paper's defaults (64 levels, window n = 3 for windowed encoders).
+///
+/// # Errors
+///
+/// Propagates construction errors from the concrete encoder (empty data,
+/// invalid dimensions, too few features for the window, ...).
+pub fn build_encoder(
+    kind: EncodingKind,
+    dim: usize,
+    train: &[Vec<f64>],
+    seed: u64,
+) -> Result<Box<dyn Encoder + Send + Sync>, HdcError> {
+    if train.is_empty() {
+        return Err(HdcError::EmptyInput);
+    }
+    let n_features = train[0].len();
+    Ok(match kind {
+        EncodingKind::RandomProjection => {
+            Box::new(RandomProjectionEncoder::new(dim, n_features, seed)?)
+        }
+        EncodingKind::LevelId => Box::new(LevelIdEncoder::from_data(dim, train, seed)?),
+        EncodingKind::Permutation => Box::new(PermutationEncoder::from_data(dim, train, seed)?),
+        EncodingKind::Ngram => {
+            let window = 3.min(n_features);
+            Box::new(NgramEncoder::from_data(dim, train, window.max(1), seed)?)
+        }
+        EncodingKind::Generic => {
+            let window = 3.min(n_features).max(1);
+            let spec = GenericEncoderSpec::new(dim, n_features)
+                .with_window(window)
+                .with_seed(seed);
+            Box::new(GenericEncoder::from_data(spec, train)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> Vec<Vec<f64>> {
+        (0..20)
+            .map(|i| (0..10).map(|j| ((i * 7 + j * 3) % 13) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn build_encoder_all_kinds() {
+        let data = toy_data();
+        for kind in EncodingKind::ALL {
+            let enc = build_encoder(kind, 1024, &data, 5).unwrap();
+            assert_eq!(enc.dim(), 1024, "{kind}");
+            assert_eq!(enc.n_features(), 10, "{kind}");
+            let hv = enc.encode(&data[0]).unwrap();
+            assert_eq!(hv.dim(), 1024, "{kind}");
+        }
+    }
+
+    #[test]
+    fn encoders_are_deterministic() {
+        let data = toy_data();
+        for kind in EncodingKind::ALL {
+            let a = build_encoder(kind, 512, &data, 11).unwrap();
+            let b = build_encoder(kind, 512, &data, 11).unwrap();
+            assert_eq!(
+                a.encode(&data[3]).unwrap(),
+                b.encode(&data[3]).unwrap(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_batch_matches_single() {
+        let data = toy_data();
+        let enc = build_encoder(EncodingKind::Generic, 512, &data, 2).unwrap();
+        let batch = enc.encode_batch(&data[..3]).unwrap();
+        for (i, hv) in batch.iter().enumerate() {
+            assert_eq!(*hv, enc.encode(&data[i]).unwrap());
+        }
+    }
+
+    #[test]
+    fn wrong_feature_count_is_rejected() {
+        let data = toy_data();
+        for kind in EncodingKind::ALL {
+            let enc = build_encoder(kind, 256, &data, 3).unwrap();
+            assert!(
+                matches!(
+                    enc.encode(&[1.0, 2.0]),
+                    Err(HdcError::FeatureCountMismatch { .. })
+                ),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let data = toy_data();
+        let enc = build_encoder(EncodingKind::Generic, 512, &data, 4).unwrap();
+        let serial = enc.encode_batch(&data).unwrap();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let parallel = encode_batch_parallel(enc.as_ref(), &data, threads).unwrap();
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_propagates_errors() {
+        let data = toy_data();
+        let enc = build_encoder(EncodingKind::Generic, 512, &data, 4).unwrap();
+        let mut bad = data.clone();
+        bad[7] = vec![1.0, 2.0]; // wrong width
+        assert!(encode_batch_parallel(enc.as_ref(), &bad, 4).is_err());
+    }
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(EncodingKind::Generic.name(), "GENERIC");
+        assert_eq!(EncodingKind::RandomProjection.to_string(), "RP");
+    }
+}

@@ -1,0 +1,105 @@
+//! Permutation encoding — Fig. 2(b) of the paper.
+
+use crate::encoding::level_id::DEFAULT_LEVELS;
+use crate::encoding::Encoder;
+use crate::{HdcError, IntHv, LevelMemory, Quantizer};
+
+/// Permutation encoder.
+///
+/// The level hypervector of the *m*-th feature is circularly rotated by
+/// `m` positions before bundling: `H = Σ_m ρ^(m)(ℓ(x_m))`. Rotation makes
+/// the encoding strictly order-sensitive, which suits sequential data but
+/// over-constrains datasets whose discriminative structure is local
+/// subsequences (e.g. LANG, where it scores only 52.8 % in Table 1).
+#[derive(Debug, Clone)]
+pub struct PermutationEncoder {
+    quantizer: Quantizer,
+    levels: LevelMemory,
+}
+
+impl PermutationEncoder {
+    /// Builds an encoder whose quantizer is fitted to `train` data with 64
+    /// levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty data, ragged rows, or `dim == 0`.
+    pub fn from_data(dim: usize, train: &[Vec<f64>], seed: u64) -> Result<Self, HdcError> {
+        let quantizer = Quantizer::fit(train, DEFAULT_LEVELS)?;
+        Self::with_quantizer(dim, quantizer, seed)
+    }
+
+    /// Builds an encoder around an existing quantizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0` or the quantizer has too many levels
+    /// for `dim`.
+    pub fn with_quantizer(dim: usize, quantizer: Quantizer, seed: u64) -> Result<Self, HdcError> {
+        let levels = LevelMemory::new(dim, quantizer.n_levels(), seed)?;
+        Ok(PermutationEncoder { quantizer, levels })
+    }
+}
+
+impl Encoder for PermutationEncoder {
+    fn dim(&self) -> usize {
+        self.levels.dim()
+    }
+
+    fn n_features(&self) -> usize {
+        self.quantizer.n_features()
+    }
+
+    fn encode(&self, sample: &[f64]) -> Result<IntHv, HdcError> {
+        let bins = self.quantizer.bins(sample)?;
+        let mut acc = IntHv::zeros(self.dim())?;
+        for (m, &bin) in bins.iter().enumerate() {
+            let rotated = self.levels.level(bin).rotated(m);
+            acc.bundle_binary(&rotated)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Vec<f64>> {
+        (0..16)
+            .map(|i| (0..8).map(|j| ((i * 3 + j) % 11) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn order_matters() {
+        // Use only the extreme bins so the two per-position levels are
+        // quasi-orthogonal: the reversed sequence then shares nothing.
+        let enc = PermutationEncoder::from_data(2048, &data(), 1).unwrap();
+        let a = enc
+            .encode(&[0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0])
+            .unwrap();
+        let b = enc
+            .encode(&[10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0])
+            .unwrap();
+        let sim = a.cosine(&b).unwrap();
+        assert!(
+            sim < 0.3,
+            "reversed sequence should not look similar: {sim}"
+        );
+    }
+
+    #[test]
+    fn identical_sequences_match() {
+        let enc = PermutationEncoder::from_data(1024, &data(), 2).unwrap();
+        let x = &data()[5];
+        assert_eq!(enc.encode(x).unwrap(), enc.encode(x).unwrap());
+    }
+
+    #[test]
+    fn component_magnitude_bounded() {
+        let enc = PermutationEncoder::from_data(512, &data(), 3).unwrap();
+        let hv = enc.encode(&data()[0]).unwrap();
+        assert!(hv.values().iter().all(|&v| v.unsigned_abs() as usize <= 8));
+    }
+}

@@ -1,0 +1,131 @@
+//! Random projection (RP) encoding — Fig. 2(c) of the paper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::encoding::Encoder;
+use crate::{BinaryHv, HdcError, IntHv};
+
+/// Random projection encoder.
+///
+/// Each feature index has a random but constant bipolar projection row
+/// (its *id*); the raw feature value multiplies the row and the results are
+/// aggregated over all features, then binarized by sign:
+/// `H_j = sign(Σ_i x_i · s_{i,j})` with `s ∈ {±1}`.
+///
+/// RP preserves global linear structure but no temporal/local information,
+/// which is why it fails on time-series datasets such as EEG (§3.2).
+#[derive(Debug, Clone)]
+pub struct RandomProjectionEncoder {
+    rows: Vec<BinaryHv>,
+    dim: usize,
+}
+
+impl RandomProjectionEncoder {
+    /// Creates an RP encoder for `n_features` inputs projecting into `dim`
+    /// dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0` or `n_features == 0`.
+    pub fn new(dim: usize, n_features: usize, seed: u64) -> Result<Self, HdcError> {
+        if n_features == 0 {
+            return Err(HdcError::invalid("n_features", "must be positive"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n_features);
+        for _ in 0..n_features {
+            rows.push(BinaryHv::random(dim, &mut rng)?);
+        }
+        Ok(RandomProjectionEncoder { rows, dim })
+    }
+
+    /// The raw (pre-binarization) projection of a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] on a wrong-length sample.
+    pub fn project(&self, sample: &[f64]) -> Result<Vec<f64>, HdcError> {
+        if sample.len() != self.rows.len() {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: self.rows.len(),
+                actual: sample.len(),
+            });
+        }
+        let mut acc = vec![0.0f64; self.dim];
+        for (row, &x) in self.rows.iter().zip(sample) {
+            if x == 0.0 {
+                continue;
+            }
+            for (wi, &w) in row.words().iter().enumerate() {
+                let base = wi * 64;
+                let n = 64.min(self.dim - base);
+                for b in 0..n {
+                    if (w >> b) & 1 == 1 {
+                        acc[base + b] -= x;
+                    } else {
+                        acc[base + b] += x;
+                    }
+                }
+            }
+        }
+        Ok(acc)
+    }
+}
+
+impl Encoder for RandomProjectionEncoder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn n_features(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn encode(&self, sample: &[f64]) -> Result<IntHv, HdcError> {
+        let acc = self.project(sample)?;
+        let signed: Vec<i32> = acc.iter().map(|&v| if v < 0.0 { -1 } else { 1 }).collect();
+        IntHv::from_values(signed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_linear() {
+        let enc = RandomProjectionEncoder::new(256, 4, 1).unwrap();
+        let a = enc.project(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let b = enc.project(&[0.0, 2.0, 0.0, 0.0]).unwrap();
+        let ab = enc.project(&[1.0, 2.0, 0.0, 0.0]).unwrap();
+        for j in 0..256 {
+            assert!((ab[j] - (a[j] + b[j])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn encode_is_bipolar() {
+        let enc = RandomProjectionEncoder::new(128, 3, 2).unwrap();
+        let hv = enc.encode(&[0.3, -1.2, 4.0]).unwrap();
+        assert!(hv.values().iter().all(|&v| v == 1 || v == -1));
+    }
+
+    #[test]
+    fn similar_inputs_have_similar_codes() {
+        let enc = RandomProjectionEncoder::new(2048, 8, 3).unwrap();
+        let x = vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.0, 2.0, 1.5];
+        let mut y = x.clone();
+        y[0] += 0.01;
+        let far = vec![-3.0, 5.0, -0.5, -3.0, 4.0, 2.0, -2.0, 0.5];
+        let hx = enc.encode(&x).unwrap();
+        let hy = enc.encode(&y).unwrap();
+        let hf = enc.encode(&far).unwrap();
+        assert!(hx.cosine(&hy).unwrap() > hx.cosine(&hf).unwrap());
+    }
+
+    #[test]
+    fn rejects_zero_features() {
+        assert!(RandomProjectionEncoder::new(128, 0, 1).is_err());
+    }
+}

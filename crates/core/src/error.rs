@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible `generic-hdc` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// Two hypervectors (or a hypervector and a model) disagree on
+    /// dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the operation expected.
+        expected: usize,
+        /// Dimensionality that was provided.
+        actual: usize,
+    },
+    /// A sample had a different number of features than the encoder was
+    /// built for.
+    FeatureCountMismatch {
+        /// Feature count the encoder expects.
+        expected: usize,
+        /// Feature count of the offending sample.
+        actual: usize,
+    },
+    /// A configuration parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A label was outside `0..n_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model was built with.
+        n_classes: usize,
+    },
+    /// Training or clustering was invoked with no input samples.
+    EmptyInput,
+}
+
+impl HdcError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        HdcError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            HdcError::FeatureCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "feature count mismatch: encoder expects {expected} features, sample has {actual}"
+                )
+            }
+            HdcError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            HdcError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            HdcError::EmptyInput => write!(f, "operation requires at least one input sample"),
+        }
+    }
+}
+
+impl Error for HdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let messages = [
+            HdcError::DimensionMismatch {
+                expected: 4,
+                actual: 8,
+            }
+            .to_string(),
+            HdcError::EmptyInput.to_string(),
+            HdcError::invalid("dim", "must be positive").to_string(),
+        ];
+        for m in messages {
+            assert!(
+                !m.ends_with('.'),
+                "message should not end with a period: {m}"
+            );
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

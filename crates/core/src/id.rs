@@ -1,0 +1,185 @@
+//! Id item memory for positional binding.
+//!
+//! Each feature index (or window index, in the GENERIC encoding) is
+//! associated with a random but constant binary *id* hypervector. The
+//! GENERIC accelerator does not store all ids: it keeps a single seed id
+//! and derives `id_k` by permuting (rotating) the seed by `k` positions,
+//! shrinking the id memory by 1024× (§4.3.1). Rotation preserves
+//! quasi-orthogonality, so the two construction styles are statistically
+//! interchangeable; this module provides both so the simulator can be
+//! validated bit-exactly against the seeded variant.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{BinaryHv, HdcError};
+
+/// How id hypervectors are materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum IdStore {
+    /// Independent random ids, one per index (the software-reference style).
+    Table(Vec<BinaryHv>),
+    /// A single seed id; `id_k = rotate(seed, k)` (the hardware style).
+    Seeded {
+        seed: BinaryHv,
+        cache: Vec<BinaryHv>,
+    },
+}
+
+/// An id item memory producing one quasi-orthogonal hypervector per index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdMemory {
+    store: IdStore,
+}
+
+impl IdMemory {
+    /// Creates a table of `count` independent random ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0` or `count == 0`.
+    pub fn random_table(dim: usize, count: usize, seed: u64) -> Result<Self, HdcError> {
+        if count == 0 {
+            return Err(HdcError::invalid("count", "must be positive"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            ids.push(BinaryHv::random(dim, &mut rng)?);
+        }
+        Ok(IdMemory {
+            store: IdStore::Table(ids),
+        })
+    }
+
+    /// Creates the hardware-style seeded id memory: `id_k` is the seed id
+    /// rotated by `k` positions, precomputed for `count` indexes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0` or `count == 0`.
+    pub fn seeded(dim: usize, count: usize, seed: u64) -> Result<Self, HdcError> {
+        if count == 0 {
+            return Err(HdcError::invalid("count", "must be positive"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seed_hv = BinaryHv::random(dim, &mut rng)?;
+        let mut cache = Vec::with_capacity(count);
+        let mut current = seed_hv.clone();
+        for _ in 0..count {
+            cache.push(current.clone());
+            current.rotate_one_in_place();
+        }
+        Ok(IdMemory {
+            store: IdStore::Seeded {
+                seed: seed_hv,
+                cache,
+            },
+        })
+    }
+
+    /// Number of indexes this memory can serve.
+    pub fn len(&self) -> usize {
+        match &self.store {
+            IdStore::Table(ids) => ids.len(),
+            IdStore::Seeded { cache, .. } => cache.len(),
+        }
+    }
+
+    /// Whether the memory serves zero indexes (never true for a
+    /// successfully constructed memory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the id hypervectors.
+    pub fn dim(&self) -> usize {
+        match &self.store {
+            IdStore::Table(ids) => ids[0].dim(),
+            IdStore::Seeded { seed, .. } => seed.dim(),
+        }
+    }
+
+    /// The id hypervector for index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn id(&self, k: usize) -> &BinaryHv {
+        match &self.store {
+            IdStore::Table(ids) => &ids[k],
+            IdStore::Seeded { cache, .. } => &cache[k],
+        }
+    }
+
+    /// The seed id for seeded memories (what the 4-Kbit hardware id memory
+    /// actually stores), or `None` for table memories.
+    pub fn seed_id(&self) -> Option<&BinaryHv> {
+        match &self.store {
+            IdStore::Table(_) => None,
+            IdStore::Seeded { seed, .. } => Some(seed),
+        }
+    }
+
+    /// Whether this memory derives ids by seed rotation (hardware style).
+    pub fn is_seeded(&self) -> bool {
+        matches!(self.store, IdStore::Seeded { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ids_are_distinct_and_quasi_orthogonal() {
+        let ids = IdMemory::random_table(4096, 8, 1).unwrap();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let d = ids.id(i).hamming(ids.id(j)).unwrap();
+                assert!((1850..=2250).contains(&d), "ids {i},{j}: d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_ids_are_rotations_of_seed() {
+        let ids = IdMemory::seeded(512, 5, 2).unwrap();
+        let seed = ids.seed_id().unwrap().clone();
+        for k in 0..5 {
+            assert_eq!(*ids.id(k), seed.rotated(k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn seeded_ids_stay_quasi_orthogonal() {
+        let ids = IdMemory::seeded(4096, 16, 3).unwrap();
+        for k in 1..16 {
+            let d = ids.id(0).hamming(ids.id(k)).unwrap();
+            assert!((1800..=2300).contains(&d), "k = {k}: d = {d}");
+        }
+    }
+
+    #[test]
+    fn id_zero_is_seed() {
+        let ids = IdMemory::seeded(128, 3, 4).unwrap();
+        assert_eq!(ids.id(0), ids.seed_id().unwrap());
+        assert!(ids.is_seeded());
+        assert!(!IdMemory::random_table(128, 3, 4).unwrap().is_seeded());
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(IdMemory::random_table(0, 4, 1).is_err());
+        assert!(IdMemory::random_table(64, 0, 1).is_err());
+        assert!(IdMemory::seeded(64, 0, 1).is_err());
+    }
+
+    #[test]
+    fn len_reports_count() {
+        let ids = IdMemory::seeded(64, 7, 5).unwrap();
+        assert_eq!(ids.len(), 7);
+        assert!(!ids.is_empty());
+        assert_eq!(ids.dim(), 64);
+    }
+}

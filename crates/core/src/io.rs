@@ -1,0 +1,292 @@
+//! Compact binary serialization of trained models.
+//!
+//! Edge deployments train offline and ship the model over the
+//! accelerator's `config` port (§4.1), so models need a stable,
+//! allocation-light wire format. The format is versioned little-endian:
+//!
+//! ```text
+//! magic "GHDC" | u8 version | u8 kind | u8 bit_width | pad
+//! u32 dim | u32 n_classes | payload (class elements, LE)
+//! ```
+//!
+//! `kind` 0 = full-precision [`HdcModel`] (i32 elements),
+//! `kind` 1 = [`QuantizedModel`] (i16 elements).
+
+use std::io::{self, Read, Write};
+
+use crate::{HdcError, HdcModel, IntHv, QuantizedModel};
+
+const MAGIC: [u8; 4] = *b"GHDC";
+const VERSION: u8 = 1;
+const KIND_FULL: u8 = 0;
+const KIND_QUANTIZED: u8 = 1;
+
+/// Errors produced while reading a serialized model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadModelError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a GHDC model (bad magic).
+    BadMagic,
+    /// The stream uses an unsupported format version.
+    UnsupportedVersion(u8),
+    /// The stream encodes a different model kind than requested.
+    WrongKind {
+        /// Kind byte found in the stream.
+        found: u8,
+        /// Kind byte the caller expected.
+        expected: u8,
+    },
+    /// The decoded header or payload is inconsistent.
+    Corrupt(HdcError),
+}
+
+impl std::fmt::Display for ReadModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadModelError::Io(e) => write!(f, "i/o failure: {e}"),
+            ReadModelError::BadMagic => write!(f, "not a GHDC model stream"),
+            ReadModelError::UnsupportedVersion(v) => {
+                write!(f, "unsupported model format version {v}")
+            }
+            ReadModelError::WrongKind { found, expected } => {
+                write!(f, "model kind {found} found where kind {expected} expected")
+            }
+            ReadModelError::Corrupt(e) => write!(f, "corrupt model payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadModelError::Io(e) => Some(e),
+            ReadModelError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadModelError {
+    fn from(e: io::Error) -> Self {
+        ReadModelError::Io(e)
+    }
+}
+
+impl From<HdcError> for ReadModelError {
+    fn from(e: HdcError) -> Self {
+        ReadModelError::Corrupt(e)
+    }
+}
+
+/// Writes a full-precision model. A `&mut` writer works too.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_model<W: Write>(model: &HdcModel, mut writer: W) -> io::Result<()> {
+    write_header(&mut writer, KIND_FULL, 16, model.dim(), model.n_classes())?;
+    for class in model.iter() {
+        for &v in class.values() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a full-precision model written by [`write_model`].
+///
+/// # Errors
+///
+/// Returns [`ReadModelError`] on I/O failure or a malformed stream.
+pub fn read_model<R: Read>(mut reader: R) -> Result<HdcModel, ReadModelError> {
+    let header = read_header(&mut reader, KIND_FULL)?;
+    let mut classes = Vec::with_capacity(header.n_classes);
+    let mut buf = [0u8; 4];
+    for _ in 0..header.n_classes {
+        let mut values = Vec::with_capacity(header.dim);
+        for _ in 0..header.dim {
+            reader.read_exact(&mut buf)?;
+            values.push(i32::from_le_bytes(buf));
+        }
+        classes.push(IntHv::from_values(values)?);
+    }
+    Ok(HdcModel::from_class_vectors(classes)?)
+}
+
+/// Writes a quantized model.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_quantized<W: Write>(model: &QuantizedModel, mut writer: W) -> io::Result<()> {
+    write_header(
+        &mut writer,
+        KIND_QUANTIZED,
+        model.bit_width(),
+        model.dim(),
+        model.n_classes(),
+    )?;
+    for c in 0..model.n_classes() {
+        for &v in model.class(c) {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a quantized model written by [`write_quantized`].
+///
+/// # Errors
+///
+/// Returns [`ReadModelError`] on I/O failure or a malformed stream.
+pub fn read_quantized<R: Read>(mut reader: R) -> Result<QuantizedModel, ReadModelError> {
+    let header = read_header(&mut reader, KIND_QUANTIZED)?;
+    let mut classes = Vec::with_capacity(header.n_classes);
+    let mut buf = [0u8; 2];
+    for _ in 0..header.n_classes {
+        let mut values = Vec::with_capacity(header.dim);
+        for _ in 0..header.dim {
+            reader.read_exact(&mut buf)?;
+            values.push(i16::from_le_bytes(buf));
+        }
+        classes.push(values);
+    }
+    Ok(QuantizedModel::from_parts(
+        header.dim,
+        header.bit_width,
+        classes,
+    )?)
+}
+
+struct Header {
+    bit_width: u8,
+    dim: usize,
+    n_classes: usize,
+}
+
+fn write_header<W: Write>(
+    writer: &mut W,
+    kind: u8,
+    bit_width: u8,
+    dim: usize,
+    n_classes: usize,
+) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&[VERSION, kind, bit_width, 0])?;
+    writer.write_all(&(dim as u32).to_le_bytes())?;
+    writer.write_all(&(n_classes as u32).to_le_bytes())?;
+    Ok(())
+}
+
+fn read_header<R: Read>(reader: &mut R, expected_kind: u8) -> Result<Header, ReadModelError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(ReadModelError::BadMagic);
+    }
+    let mut meta = [0u8; 4];
+    reader.read_exact(&mut meta)?;
+    if meta[0] != VERSION {
+        return Err(ReadModelError::UnsupportedVersion(meta[0]));
+    }
+    if meta[1] != expected_kind {
+        return Err(ReadModelError::WrongKind {
+            found: meta[1],
+            expected: expected_kind,
+        });
+    }
+    let mut word = [0u8; 4];
+    reader.read_exact(&mut word)?;
+    let dim = u32::from_le_bytes(word) as usize;
+    reader.read_exact(&mut word)?;
+    let n_classes = u32::from_le_bytes(word) as usize;
+    if dim == 0 || n_classes == 0 {
+        return Err(ReadModelError::Corrupt(HdcError::invalid(
+            "header",
+            "zero dimension or class count",
+        )));
+    }
+    // Plausibility bounds so a hostile header cannot trigger a huge
+    // allocation before the payload read fails.
+    if dim > 1 << 24 || n_classes > 1 << 16 {
+        return Err(ReadModelError::Corrupt(HdcError::invalid(
+            "header",
+            "implausible dimension or class count",
+        )));
+    }
+    Ok(Header {
+        bit_width: meta[2],
+        dim,
+        n_classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinaryHv;
+
+    fn sample_model() -> HdcModel {
+        let encoded: Vec<IntHv> = (0..3u64)
+            .map(|s| IntHv::from(BinaryHv::random_seeded(256, s).expect("dim > 0")))
+            .collect();
+        HdcModel::fit(&encoded, &[0, 1, 2], 3).expect("valid inputs")
+    }
+
+    #[test]
+    fn full_model_round_trips() {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("vec write cannot fail");
+        let restored = read_model(buf.as_slice()).expect("well-formed stream");
+        assert_eq!(model, restored);
+    }
+
+    #[test]
+    fn quantized_model_round_trips() {
+        for bw in [1u8, 2, 4, 8, 16] {
+            let q = QuantizedModel::from_model(&sample_model(), bw).expect("valid width");
+            let mut buf = Vec::new();
+            write_quantized(&q, &mut buf).expect("vec write cannot fail");
+            let restored = read_quantized(buf.as_slice()).expect("well-formed stream");
+            assert_eq!(q, restored, "bw = {bw}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_model(&b"NOPE...."[..]).expect_err("must fail");
+        assert!(matches!(err, ReadModelError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let q = QuantizedModel::from_model(&sample_model(), 4).expect("valid width");
+        let mut buf = Vec::new();
+        write_quantized(&q, &mut buf).expect("vec write cannot fail");
+        let err = read_model(buf.as_slice()).expect_err("kind mismatch");
+        assert!(matches!(err, ReadModelError::WrongKind { .. }));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("vec write cannot fail");
+        buf.truncate(buf.len() / 2);
+        let err = read_model(buf.as_slice()).expect_err("truncated");
+        assert!(matches!(err, ReadModelError::Io(_)));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("vec write cannot fail");
+        buf[4] = 99; // version byte
+        let err = read_model(buf.as_slice()).expect_err("bad version");
+        assert!(matches!(err, ReadModelError::UnsupportedVersion(99)));
+    }
+}

@@ -1,0 +1,330 @@
+//! Level item memory and input quantization.
+//!
+//! Scalar features are quantized into a small number of bins; each bin is
+//! represented in hyperspace by a *level hypervector*. Neighbouring levels
+//! are similar and distant levels quasi-orthogonal — the Hamming distance
+//! between levels grows linearly with their bin distance, which is the
+//! distance-preservation property Figure 2(a) of the paper illustrates
+//! (`L1·L1 ≈ 0`, `L1·L64 ≈ D/2`).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{BinaryHv, HdcError};
+
+/// Per-feature linear quantizer mapping raw feature values to level bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    mins: Vec<f64>,
+    spans: Vec<f64>,
+    n_levels: usize,
+}
+
+impl Quantizer {
+    /// Fits a quantizer to training data: per-feature min/max with
+    /// `n_levels` uniform bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `samples` is empty, rows have inconsistent
+    /// lengths, or `n_levels < 2`.
+    pub fn fit(samples: &[Vec<f64>], n_levels: usize) -> Result<Self, HdcError> {
+        if samples.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        if n_levels < 2 {
+            return Err(HdcError::invalid("n_levels", "must be at least 2"));
+        }
+        let n_features = samples[0].len();
+        if n_features == 0 {
+            return Err(HdcError::invalid(
+                "samples",
+                "must have at least one feature",
+            ));
+        }
+        let mut mins = vec![f64::INFINITY; n_features];
+        let mut maxs = vec![f64::NEG_INFINITY; n_features];
+        for row in samples {
+            if row.len() != n_features {
+                return Err(HdcError::FeatureCountMismatch {
+                    expected: n_features,
+                    actual: row.len(),
+                });
+            }
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        let spans = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+        Ok(Quantizer {
+            mins,
+            spans,
+            n_levels,
+        })
+    }
+
+    /// Number of features the quantizer was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Number of quantization bins.
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// The fitted per-feature minima (for serialization).
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// The fitted per-feature spans (for serialization).
+    pub fn spans(&self) -> &[f64] {
+        &self.spans
+    }
+
+    /// Rebuilds a quantizer from serialized parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slices are empty or mismatched, spans are
+    /// not strictly positive, or `n_levels < 2`.
+    pub fn from_parts(mins: Vec<f64>, spans: Vec<f64>, n_levels: usize) -> Result<Self, HdcError> {
+        if mins.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        if mins.len() != spans.len() {
+            return Err(HdcError::invalid(
+                "spans",
+                "mins and spans must have equal lengths",
+            ));
+        }
+        if n_levels < 2 {
+            return Err(HdcError::invalid("n_levels", "must be at least 2"));
+        }
+        if spans.iter().any(|&s| s <= 0.0 || !s.is_finite()) {
+            return Err(HdcError::invalid("spans", "must be strictly positive"));
+        }
+        Ok(Quantizer {
+            mins,
+            spans,
+            n_levels,
+        })
+    }
+
+    /// Maps feature `feature` with raw value `value` to its level bin in
+    /// `0..n_levels`. Values outside the fitted range clamp to the first or
+    /// last bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature >= self.n_features()`.
+    pub fn bin(&self, feature: usize, value: f64) -> usize {
+        assert!(
+            feature < self.mins.len(),
+            "feature index {feature} out of range for {} features",
+            self.mins.len()
+        );
+        let t = (value - self.mins[feature]) / self.spans[feature];
+        let b = (t * self.n_levels as f64).floor();
+        (b.max(0.0) as usize).min(self.n_levels - 1)
+    }
+
+    /// Quantizes a full sample into level bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] if the sample length is
+    /// wrong.
+    pub fn bins(&self, sample: &[f64]) -> Result<Vec<usize>, HdcError> {
+        if sample.len() != self.n_features() {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: self.n_features(),
+                actual: sample.len(),
+            });
+        }
+        Ok(sample
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| self.bin(j, v))
+            .collect())
+    }
+}
+
+/// Distance-preserving level item memory.
+///
+/// The first level is random; each subsequent level flips the next
+/// `dim / (2 * (n_levels - 1))` positions of a fixed random permutation,
+/// so `hamming(L_i, L_j) ≈ |i - j| * dim / (2 * (n_levels - 1))` and the
+/// two extreme levels are quasi-orthogonal.
+///
+/// ```
+/// use generic_hdc::LevelMemory;
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let levels = LevelMemory::new(4096, 64, 42)?;
+/// let near = levels.level(0).hamming(levels.level(1))?;
+/// let far = levels.level(0).hamming(levels.level(63))?;
+/// assert!(far > 50 * near); // distance grows linearly with bin distance
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelMemory {
+    levels: Vec<BinaryHv>,
+}
+
+impl LevelMemory {
+    /// Generates `n_levels` level hypervectors of dimensionality `dim`
+    /// deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0`, `n_levels < 2`, or
+    /// `n_levels - 1 > dim / 2` (not enough bits to flip per step).
+    pub fn new(dim: usize, n_levels: usize, seed: u64) -> Result<Self, HdcError> {
+        if n_levels < 2 {
+            return Err(HdcError::invalid("n_levels", "must be at least 2"));
+        }
+        if n_levels - 1 > dim / 2 {
+            return Err(HdcError::invalid(
+                "n_levels",
+                format!("too many levels ({n_levels}) for dimension {dim}"),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = BinaryHv::random(dim, &mut rng)?;
+        let mut order: Vec<usize> = (0..dim).collect();
+        order.shuffle(&mut rng);
+
+        let flips_per_step = dim / (2 * (n_levels - 1));
+        let mut levels = Vec::with_capacity(n_levels);
+        let mut current = base;
+        levels.push(current.clone());
+        for step in 0..n_levels - 1 {
+            for &pos in &order[step * flips_per_step..(step + 1) * flips_per_step] {
+                current.flip_bit(pos);
+            }
+            levels.push(current.clone());
+        }
+        Ok(LevelMemory { levels })
+    }
+
+    /// Number of levels stored.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Dimensionality of the level hypervectors.
+    pub fn dim(&self) -> usize {
+        self.levels[0].dim()
+    }
+
+    /// The level hypervector for bin `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= self.n_levels()`.
+    pub fn level(&self, bin: usize) -> &BinaryHv {
+        &self.levels[bin]
+    }
+
+    /// Iterator over all level hypervectors in bin order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BinaryHv> {
+        self.levels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantizer_bins_span_range() {
+        let data = vec![vec![0.0, 10.0], vec![1.0, 20.0]];
+        let q = Quantizer::fit(&data, 4).unwrap();
+        assert_eq!(q.bin(0, 0.0), 0);
+        assert_eq!(q.bin(0, 1.0), 3);
+        assert_eq!(q.bin(0, 0.49), 1);
+        assert_eq!(q.bin(1, 15.0), 2);
+    }
+
+    #[test]
+    fn quantizer_clamps_out_of_range() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let q = Quantizer::fit(&data, 8).unwrap();
+        assert_eq!(q.bin(0, -5.0), 0);
+        assert_eq!(q.bin(0, 99.0), 7);
+    }
+
+    #[test]
+    fn quantizer_is_monotonic() {
+        let data = vec![vec![-3.0], vec![3.0]];
+        let q = Quantizer::fit(&data, 16).unwrap();
+        let mut prev = 0;
+        for i in 0..100 {
+            let v = -3.0 + 6.0 * (i as f64) / 99.0;
+            let b = q.bin(0, v);
+            assert!(b >= prev, "bins must be non-decreasing");
+            prev = b;
+        }
+        assert_eq!(prev, 15);
+    }
+
+    #[test]
+    fn quantizer_constant_feature_is_safe() {
+        let data = vec![vec![5.0], vec![5.0]];
+        let q = Quantizer::fit(&data, 4).unwrap();
+        assert_eq!(q.bin(0, 5.0), 0);
+    }
+
+    #[test]
+    fn quantizer_rejects_bad_input() {
+        assert!(matches!(Quantizer::fit(&[], 4), Err(HdcError::EmptyInput)));
+        assert!(Quantizer::fit(&[vec![1.0]], 1).is_err());
+        assert!(Quantizer::fit(&[vec![1.0], vec![1.0, 2.0]], 4).is_err());
+    }
+
+    #[test]
+    fn bins_checks_sample_length() {
+        let q = Quantizer::fit(&[vec![0.0, 1.0], vec![1.0, 2.0]], 4).unwrap();
+        assert!(q.bins(&[0.5]).is_err());
+        assert_eq!(q.bins(&[0.5, 1.5]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn levels_distance_grows_linearly() {
+        let lm = LevelMemory::new(4096, 64, 9).unwrap();
+        let step = 4096 / (2 * 63);
+        let d01 = lm.level(0).hamming(lm.level(1)).unwrap();
+        let d05 = lm.level(0).hamming(lm.level(5)).unwrap();
+        assert_eq!(d01, step);
+        assert_eq!(d05, 5 * step);
+    }
+
+    #[test]
+    fn extreme_levels_are_quasi_orthogonal() {
+        let lm = LevelMemory::new(4096, 64, 10).unwrap();
+        let d = lm.level(0).hamming(lm.level(63)).unwrap();
+        // 63 * (4096 / 126) = 2016 flips, close to D/2 = 2048.
+        assert!((1900..=2100).contains(&d), "d = {d}");
+    }
+
+    #[test]
+    fn level_memory_is_deterministic() {
+        let a = LevelMemory::new(512, 16, 3).unwrap();
+        let b = LevelMemory::new(512, 16, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn level_memory_rejects_too_many_levels() {
+        assert!(LevelMemory::new(64, 64, 1).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! # generic-hdc
+//!
+//! A hyperdimensional computing (HDC) library reproducing the algorithms of
+//! *GENERIC: Highly Efficient Learning Engine on Edge using Hyperdimensional
+//! Computing* (Khaleghi et al., DAC 2022).
+//!
+//! HDC encodes raw inputs into high-dimensional (~2–8 K) binary/bipolar
+//! *hypervectors* and learns with element-wise, massively bit-parallel
+//! operations. This crate provides:
+//!
+//! - bit-packed binary hypervectors and integer accumulator hypervectors
+//!   ([`BinaryHv`], [`IntHv`]),
+//! - distance-preserving *level* item memories and *id* memories, including
+//!   the hardware-faithful seed-permutation id generator the GENERIC
+//!   accelerator uses for its 1024× id-memory compression ([`LevelMemory`],
+//!   [`IdMemory`]),
+//! - the five encodings evaluated in the paper: random projection, level-id,
+//!   ngram, permutation, and the proposed **GENERIC** encoding of Eq. (1)
+//!   (module [`encoding`]),
+//! - HDC classification — single-pass training, mispredict-driven
+//!   retraining, and cosine-similarity inference with on-demand dimension
+//!   reduction ([`HdcModel`]),
+//! - model quantization to 1/2/4/8/16-bit class elements with bit-accurate
+//!   fault injection hooks used by the voltage over-scaling study
+//!   ([`QuantizedModel`]),
+//! - HDC clustering with copy-centroid epochs ([`HdcClustering`]),
+//! - evaluation metrics: accuracy and normalized mutual information
+//!   (module [`metrics`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use generic_hdc::{encoding::{Encoder, GenericEncoder, GenericEncoderSpec}, HdcModel};
+//!
+//! # fn main() -> Result<(), generic_hdc::HdcError> {
+//! // Two trivially separable 8-feature classes.
+//! let train: Vec<Vec<f64>> = (0..40)
+//!     .map(|i| vec![if i % 2 == 0 { 0.1 } else { 0.9 }; 8])
+//!     .collect();
+//! let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+//!
+//! let spec = GenericEncoderSpec::new(2_048, 8).with_seed(7);
+//! let encoder = GenericEncoder::from_data(spec, &train)?;
+//!
+//! let encoded = encoder.encode_batch(&train)?;
+//! let mut model = HdcModel::fit(&encoded, &labels, 2)?;
+//! model.retrain(&encoded, &labels, 5);
+//!
+//! let query = encoder.encode(&[0.1; 8])?;
+//! assert_eq!(model.predict(&query), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary_model;
+mod cluster;
+mod error;
+mod hv;
+mod id;
+mod level;
+mod model;
+mod pipeline;
+mod quant;
+
+pub mod encoding;
+pub mod io;
+pub mod metrics;
+
+pub use binary_model::BinaryModel;
+pub use cluster::{ClusteringOutcome, HdcClustering, HdcClusteringSpec};
+pub use error::HdcError;
+pub use hv::{BinaryHv, IntHv};
+pub use id::IdMemory;
+pub use level::{LevelMemory, Quantizer};
+pub use model::{HdcModel, NormMode, PredictOptions};
+pub use pipeline::HdcPipeline;
+pub use quant::QuantizedModel;
+
+/// Number of encoding dimensions the GENERIC accelerator produces per pass
+/// over the stored input (the architectural constant *m* of §4.1).
+pub const LANES: usize = 16;
+
+/// Granularity (in dimensions) at which sub-hypervector L2 norms are stored
+/// for on-demand dimension reduction (§4.3.3).
+pub const SUB_NORM_CHUNK: usize = 128;

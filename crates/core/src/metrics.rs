@@ -1,0 +1,279 @@
+//! Evaluation metrics: accuracy, confusion matrices, normalized mutual
+//! information (the clustering score of Table 2), and the geometric mean
+//! used throughout the paper's cross-dataset summaries.
+
+use crate::HdcError;
+
+/// Fraction of predictions equal to their labels.
+///
+/// # Errors
+///
+/// Returns an error if the slices have different lengths or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> Result<f64, HdcError> {
+    if predictions.is_empty() {
+        return Err(HdcError::EmptyInput);
+    }
+    if predictions.len() != labels.len() {
+        return Err(HdcError::invalid(
+            "labels",
+            format!(
+                "got {} labels for {} predictions",
+                labels.len(),
+                predictions.len()
+            ),
+        ));
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f64 / predictions.len() as f64)
+}
+
+/// Confusion matrix: `matrix[actual][predicted]` counts.
+///
+/// # Errors
+///
+/// Returns an error on mismatched lengths, empty input, or labels outside
+/// `0..n_classes`.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    n_classes: usize,
+) -> Result<Vec<Vec<usize>>, HdcError> {
+    if predictions.is_empty() {
+        return Err(HdcError::EmptyInput);
+    }
+    if predictions.len() != labels.len() {
+        return Err(HdcError::invalid(
+            "labels",
+            "predictions and labels must have equal lengths",
+        ));
+    }
+    let mut matrix = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        if p >= n_classes {
+            return Err(HdcError::LabelOutOfRange {
+                label: p,
+                n_classes,
+            });
+        }
+        if l >= n_classes {
+            return Err(HdcError::LabelOutOfRange {
+                label: l,
+                n_classes,
+            });
+        }
+        matrix[l][p] += 1;
+    }
+    Ok(matrix)
+}
+
+/// Normalized mutual information between two labelings (arithmetic-mean
+/// normalization, matching scikit-learn's default used by the paper's
+/// Table 2). Returns a value in `[0, 1]`; two identical labelings score 1,
+/// independent labelings score ~0. When both labelings are constant, the
+/// score is defined as 1 if they induce identical partitions and 0
+/// otherwise (scikit-learn convention: returns 0 when either entropy is 0
+/// unless both partitions are identical — here both constant partitions
+/// are identical by definition, so 1).
+///
+/// ```
+/// use generic_hdc::metrics::normalized_mutual_information;
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// // Identical partitions (up to renaming) score 1.
+/// let nmi = normalized_mutual_information(&[0, 0, 1, 1], &[1, 1, 0, 0])?;
+/// assert!((nmi - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns an error on mismatched lengths or empty input.
+pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> Result<f64, HdcError> {
+    if a.is_empty() {
+        return Err(HdcError::EmptyInput);
+    }
+    if a.len() != b.len() {
+        return Err(HdcError::invalid("b", "labelings must have equal lengths"));
+    }
+    let n = a.len() as f64;
+    let ka = 1 + *a.iter().max().expect("non-empty");
+    let kb = 1 + *b.iter().max().expect("non-empty");
+    let mut joint = vec![vec![0usize; kb]; ka];
+    let mut ca = vec![0usize; ka];
+    let mut cb = vec![0usize; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x][y] += 1;
+        ca[x] += 1;
+        cb[y] += 1;
+    }
+    let h = |counts: &[usize]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&ca);
+    let hb = h(&cb);
+    let mut mi = 0.0;
+    for (x, row) in joint.iter().enumerate() {
+        for (y, &c) in row.iter().enumerate() {
+            if c > 0 {
+                let pxy = c as f64 / n;
+                let px = ca[x] as f64 / n;
+                let py = cb[y] as f64 / n;
+                mi += pxy * (pxy / (px * py)).ln();
+            }
+        }
+    }
+    let denom = 0.5 * (ha + hb);
+    if denom == 0.0 {
+        // Both labelings constant: identical partitions.
+        return Ok(1.0);
+    }
+    Ok((mi / denom).clamp(0.0, 1.0))
+}
+
+/// Geometric mean of strictly positive values (the cross-dataset summary
+/// statistic of Figs. 3 and 8).
+///
+/// # Errors
+///
+/// Returns an error if `values` is empty or any value is not strictly
+/// positive and finite.
+pub fn geometric_mean(values: &[f64]) -> Result<f64, HdcError> {
+    if values.is_empty() {
+        return Err(HdcError::EmptyInput);
+    }
+    if let Some(&bad) = values.iter().find(|&&v| !(v > 0.0 && v.is_finite())) {
+        return Err(HdcError::invalid(
+            "values",
+            format!("geometric mean requires positive finite values, got {bad}"),
+        ));
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Ok((log_sum / values.len() as f64).exp())
+}
+
+/// Sample standard deviation (the STDV row of Table 1).
+///
+/// # Errors
+///
+/// Returns an error if fewer than two values are supplied.
+pub fn std_dev(values: &[f64]) -> Result<f64, HdcError> {
+    if values.len() < 2 {
+        return Err(HdcError::invalid(
+            "values",
+            "standard deviation requires at least two values",
+        ));
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    Ok(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]).unwrap(), 2.0 / 3.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_validates() {
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2).unwrap();
+        assert_eq!(m[0][0], 2); // actual 0 predicted 0
+        assert_eq!(m[0][1], 1); // actual 0 predicted 1
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn confusion_matrix_rejects_out_of_range() {
+        assert!(confusion_matrix(&[2], &[0], 2).is_err());
+        assert!(confusion_matrix(&[0], &[2], 2).is_err());
+    }
+
+    #[test]
+    fn nmi_identical_is_one() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_is_permutation_invariant() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [2, 2, 0, 0, 1, 1];
+        assert!((normalized_mutual_information(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_is_symmetric() {
+        let a = [0, 0, 1, 1, 1, 0, 2, 2];
+        let b = [0, 1, 1, 1, 0, 0, 2, 1];
+        let ab = normalized_mutual_information(&a, &b).unwrap();
+        let ba = normalized_mutual_information(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_of_unrelated_labelings_is_low() {
+        // Independent alternating patterns over 64 samples.
+        let a: Vec<usize> = (0..64).map(|i| i % 2).collect();
+        let b: Vec<usize> = (0..64).map(|i| (i / 2) % 2).collect();
+        let nmi = normalized_mutual_information(&a, &b).unwrap();
+        assert!(nmi < 0.05, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn nmi_constant_labelings() {
+        let a = [0, 0, 0];
+        assert_eq!(normalized_mutual_information(&a, &a).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn nmi_matches_hand_computed_reference() {
+        // a = [0,0,1,1], b = [0,0,1,2]:
+        // H(a) = ln 2, H(b) = 1.5 ln 2 (0.5·ln2 + 2·0.25·ln4), MI = ln 2,
+        // arithmetic normalization: ln2 / (0.5 · 2.5 · ln2) = 0.8.
+        let nmi = normalized_mutual_information(&[0, 0, 1, 1], &[0, 0, 1, 2]).unwrap();
+        assert!((nmi - 0.8).abs() < 1e-12, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean(&[1.0, 100.0]).unwrap() - 10.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_validates() {
+        assert!(geometric_mean(&[]).is_err());
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138_089_935f64).abs() < 1e-6);
+        assert!(std_dev(&[1.0]).is_err());
+    }
+}

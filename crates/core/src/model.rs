@@ -1,0 +1,568 @@
+//! HDC classification model: training, retraining, and inference.
+
+use crate::{HdcError, IntHv, SUB_NORM_CHUNK};
+
+/// Which class-vector L2 norms inference uses when running with reduced
+/// dimensions (§4.3.3, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormMode {
+    /// Norms recomputed over exactly the dimensions in use, assembled from
+    /// the per-128-dimension sub-norms the accelerator stores in its norm2
+    /// memory. This is the paper's fix for dimension reduction.
+    #[default]
+    Updated,
+    /// The full-model norms regardless of how many dimensions are used —
+    /// the naive scheme Fig. 5 shows losing up to 20.1 % accuracy.
+    Constant,
+}
+
+/// Options for [`HdcModel::predict_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictOptions {
+    /// Number of leading dimensions to use (on-demand dimension reduction).
+    pub dims: usize,
+    /// Norm handling under dimension reduction.
+    pub norm: NormMode,
+}
+
+impl PredictOptions {
+    /// Full-dimensional prediction with updated norms.
+    pub fn full(dim: usize) -> Self {
+        PredictOptions {
+            dims: dim,
+            norm: NormMode::Updated,
+        }
+    }
+
+    /// Reduced-dimension prediction.
+    pub fn reduced(dims: usize, norm: NormMode) -> Self {
+        PredictOptions { dims, norm }
+    }
+}
+
+/// A trained (or in-training) HDC classification model: one integer class
+/// hypervector per category plus the squared-norm bookkeeping the
+/// similarity metric needs.
+///
+/// ```
+/// use generic_hdc::{BinaryHv, HdcModel, IntHv};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let class_a = IntHv::from(BinaryHv::random_seeded(512, 1)?);
+/// let class_b = IntHv::from(BinaryHv::random_seeded(512, 2)?);
+/// let model = HdcModel::fit(&[class_a.clone(), class_b], &[0, 1], 2)?;
+/// assert_eq!(model.predict(&class_a), 0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Similarity is cosine; since the query norm is constant across classes,
+/// the model ranks classes by `(H·C_i) / ‖C_i‖` (§4.2.1 drops `‖H‖` and
+/// works with `(H·C_i)² / ‖C_i‖²` in hardware — sign-preserving here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcModel {
+    dim: usize,
+    classes: Vec<IntHv>,
+    /// Per class: squared L2 norm of each 128-dim chunk (norm2 memory).
+    sub_norms2: Vec<Vec<f64>>,
+}
+
+impl HdcModel {
+    /// Creates an empty model with all-zero class hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0` or `n_classes == 0`.
+    pub fn new(dim: usize, n_classes: usize) -> Result<Self, HdcError> {
+        if n_classes == 0 {
+            return Err(HdcError::invalid("n_classes", "must be positive"));
+        }
+        let classes = (0..n_classes)
+            .map(|_| IntHv::zeros(dim))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n_chunks = dim.div_ceil(SUB_NORM_CHUNK);
+        Ok(HdcModel {
+            dim,
+            classes,
+            sub_norms2: vec![vec![0.0; n_chunks]; n_classes],
+        })
+    }
+
+    /// Single-pass training (model initialization, Fig. 1a): bundles each
+    /// encoded sample into its class hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty input, mismatched `encoded`/`labels`
+    /// lengths, out-of-range labels, or dimension mismatches.
+    pub fn fit(encoded: &[IntHv], labels: &[usize], n_classes: usize) -> Result<Self, HdcError> {
+        if encoded.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        if encoded.len() != labels.len() {
+            return Err(HdcError::invalid(
+                "labels",
+                format!(
+                    "got {} labels for {} encoded samples",
+                    labels.len(),
+                    encoded.len()
+                ),
+            ));
+        }
+        let mut model = HdcModel::new(encoded[0].dim(), n_classes)?;
+        for (hv, &label) in encoded.iter().zip(labels) {
+            model.bundle(hv, label)?;
+        }
+        Ok(model)
+    }
+
+    /// Builds a model directly from per-class accumulator hypervectors
+    /// (e.g. class rows read back from an accelerator).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `classes` is empty or dimensionalities differ.
+    pub fn from_class_vectors(classes: Vec<IntHv>) -> Result<Self, HdcError> {
+        if classes.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        let dim = classes[0].dim();
+        if let Some(bad) = classes.iter().find(|c| c.dim() != dim) {
+            return Err(HdcError::DimensionMismatch {
+                expected: dim,
+                actual: bad.dim(),
+            });
+        }
+        let mut model = HdcModel::new(dim, classes.len())?;
+        for (label, class) in classes.into_iter().enumerate() {
+            model.classes[label] = class;
+            model.refresh_class_norms(label);
+        }
+        Ok(model)
+    }
+
+    /// Adds one encoded sample to class `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an out-of-range label or dimension mismatch.
+    pub fn bundle(&mut self, encoded: &IntHv, label: usize) -> Result<(), HdcError> {
+        self.check_label(label)?;
+        self.classes[label].add_assign(encoded)?;
+        self.refresh_class_norms(label);
+        Ok(())
+    }
+
+    /// One retraining epoch (Fig. 1c): every mispredicted sample is
+    /// subtracted from the wrong class and added to the correct one.
+    /// Returns the number of mispredictions in this epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on mismatched inputs, bad labels, or dimension
+    /// mismatches.
+    pub fn retrain_epoch(
+        &mut self,
+        encoded: &[IntHv],
+        labels: &[usize],
+    ) -> Result<usize, HdcError> {
+        if encoded.len() != labels.len() {
+            return Err(HdcError::invalid(
+                "labels",
+                format!(
+                    "got {} labels for {} encoded samples",
+                    labels.len(),
+                    encoded.len()
+                ),
+            ));
+        }
+        let mut errors = 0;
+        for (hv, &label) in encoded.iter().zip(labels) {
+            self.check_label(label)?;
+            let predicted = self.predict(hv);
+            if predicted != label {
+                errors += 1;
+                self.classes[predicted].sub_assign(hv)?;
+                self.classes[label].add_assign(hv)?;
+                self.refresh_class_norms(predicted);
+                self.refresh_class_norms(label);
+            }
+        }
+        Ok(errors)
+    }
+
+    /// Single-sample online update (streaming edge learning): predicts the
+    /// encoded sample and, on a mistake, applies the retraining correction
+    /// (subtract from the wrong class, add to the right one). Returns
+    /// whether the prediction was already correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an out-of-range label or dimension mismatch.
+    pub fn update(&mut self, encoded: &IntHv, label: usize) -> Result<bool, HdcError> {
+        self.check_label(label)?;
+        if encoded.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: encoded.dim(),
+            });
+        }
+        let predicted = self.predict(encoded);
+        if predicted == label {
+            return Ok(true);
+        }
+        self.classes[predicted].sub_assign(encoded)?;
+        self.classes[label].add_assign(encoded)?;
+        self.refresh_class_norms(predicted);
+        self.refresh_class_norms(label);
+        Ok(false)
+    }
+
+    /// Runs up to `epochs` retraining epochs, stopping early once an epoch
+    /// makes no mistakes. Returns the per-epoch error counts.
+    ///
+    /// Invalid inputs (already validated by [`HdcModel::fit`]) are treated
+    /// as programmer error here to keep the training loop ergonomic; use
+    /// [`HdcModel::retrain_epoch`] for explicit error handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoded`/`labels` disagree with the model (lengths,
+    /// labels, or dimensions).
+    pub fn retrain(&mut self, encoded: &[IntHv], labels: &[usize], epochs: usize) -> Vec<usize> {
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let errors = self
+                .retrain_epoch(encoded, labels)
+                .expect("inputs validated by fit; retrain called with consistent data");
+            let done = errors == 0;
+            history.push(errors);
+            if done {
+                break;
+            }
+        }
+        history
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The class hypervector for `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.n_classes()`.
+    pub fn class(&self, label: usize) -> &IntHv {
+        &self.classes[label]
+    }
+
+    /// Iterator over class hypervectors in label order.
+    pub fn iter(&self) -> std::slice::Iter<'_, IntHv> {
+        self.classes.iter()
+    }
+
+    /// The stored per-chunk squared norms for class `label` (what the
+    /// accelerator's norm2 memory holds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.n_classes()`.
+    pub fn sub_norms2(&self, label: usize) -> &[f64] {
+        &self.sub_norms2[label]
+    }
+
+    /// Similarity scores against every class using the full dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()`.
+    pub fn scores(&self, query: &IntHv) -> Vec<f64> {
+        self.scores_with(query, PredictOptions::full(self.dim))
+    }
+
+    /// Similarity scores with explicit dimension-reduction options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()` or `opts.dims > self.dim()` or
+    /// `opts.dims == 0`.
+    pub fn scores_with(&self, query: &IntHv, opts: PredictOptions) -> Vec<f64> {
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        assert!(
+            opts.dims > 0 && opts.dims <= self.dim,
+            "dims {} out of range (1..={})",
+            opts.dims,
+            self.dim
+        );
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(c, class)| {
+                let dot = query
+                    .dot_prefix(class, opts.dims)
+                    .expect("dims validated above") as f64;
+                let norm2 = match opts.norm {
+                    NormMode::Constant => self.sub_norms2[c].iter().sum::<f64>(),
+                    NormMode::Updated => {
+                        let full_chunks = opts.dims / SUB_NORM_CHUNK;
+                        let mut n2: f64 = self.sub_norms2[c][..full_chunks].iter().sum();
+                        // Partial trailing chunk: fall back to exact values.
+                        let rem_start = full_chunks * SUB_NORM_CHUNK;
+                        if rem_start < opts.dims {
+                            n2 += class.values()[rem_start..opts.dims]
+                                .iter()
+                                .map(|&v| f64::from(v) * f64::from(v))
+                                .sum::<f64>();
+                        }
+                        n2
+                    }
+                };
+                if norm2 == 0.0 {
+                    0.0
+                } else {
+                    dot / norm2.sqrt()
+                }
+            })
+            .collect()
+    }
+
+    /// Predicts the class of an encoded query (highest similarity score).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()`.
+    pub fn predict(&self, query: &IntHv) -> usize {
+        self.predict_with(query, PredictOptions::full(self.dim))
+    }
+
+    /// Predicts with explicit dimension-reduction options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensionality or `opts.dims` is inconsistent
+    /// with the model.
+    pub fn predict_with(&self, query: &IntHv, opts: PredictOptions) -> usize {
+        let scores = self.scores_with(query, opts);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .map(|(i, _)| i)
+            .expect("model has at least one class")
+    }
+
+    /// Fraction of `encoded` samples predicted as their `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths or dimensions.
+    pub fn accuracy(&self, encoded: &[IntHv], labels: &[usize]) -> f64 {
+        self.accuracy_with(encoded, labels, PredictOptions::full(self.dim))
+    }
+
+    /// Accuracy with explicit dimension-reduction options.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths or dimensions.
+    pub fn accuracy_with(&self, encoded: &[IntHv], labels: &[usize], opts: PredictOptions) -> f64 {
+        assert_eq!(
+            encoded.len(),
+            labels.len(),
+            "samples/labels length mismatch"
+        );
+        if encoded.is_empty() {
+            return 0.0;
+        }
+        let correct = encoded
+            .iter()
+            .zip(labels)
+            .filter(|&(hv, &label)| self.predict_with(hv, opts) == label)
+            .count();
+        correct as f64 / encoded.len() as f64
+    }
+
+    fn refresh_class_norms(&mut self, label: usize) {
+        let values = self.classes[label].values();
+        for (ci, chunk) in values.chunks(SUB_NORM_CHUNK).enumerate() {
+            self.sub_norms2[label][ci] = chunk.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        }
+    }
+
+    fn check_label(&self, label: usize) -> Result<(), HdcError> {
+        if label >= self.classes.len() {
+            return Err(HdcError::LabelOutOfRange {
+                label,
+                n_classes: self.classes.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinaryHv;
+
+    /// Builds encoded samples from two well-separated prototypes.
+    fn two_class_data(dim: usize, per_class: usize) -> (Vec<IntHv>, Vec<usize>) {
+        let proto0 = BinaryHv::random_seeded(dim, 100).unwrap();
+        let proto1 = BinaryHv::random_seeded(dim, 200).unwrap();
+        let mut encoded = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..per_class {
+            for (label, proto) in [(0usize, &proto0), (1usize, &proto1)] {
+                // Corrupt ~10% of bits deterministically.
+                let mut hv = proto.clone();
+                for k in 0..dim / 10 {
+                    hv.flip_bit((k * 7 + i * 13 + label * 29) % dim);
+                }
+                encoded.push(IntHv::from(hv));
+                labels.push(label);
+            }
+        }
+        (encoded, labels)
+    }
+
+    #[test]
+    fn fit_then_predict_separable() {
+        let (encoded, labels) = two_class_data(2048, 10);
+        let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        assert_eq!(model.accuracy(&encoded, &labels), 1.0);
+    }
+
+    #[test]
+    fn retrain_reduces_errors() {
+        let (encoded, labels) = two_class_data(1024, 20);
+        let mut model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        let history = model.retrain(&encoded, &labels, 10);
+        if history.len() > 1 {
+            assert!(history.last().unwrap() <= history.first().unwrap());
+        }
+        assert!(model.accuracy(&encoded, &labels) >= 0.95);
+    }
+
+    #[test]
+    fn retrain_stops_early_when_clean() {
+        let (encoded, labels) = two_class_data(2048, 5);
+        let mut model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        let history = model.retrain(&encoded, &labels, 50);
+        assert!(history.len() < 50, "should converge: {history:?}");
+        assert_eq!(*history.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn bundle_updates_norms() {
+        let mut model = HdcModel::new(256, 2).unwrap();
+        let hv = IntHv::from(BinaryHv::random_seeded(256, 1).unwrap());
+        model.bundle(&hv, 0).unwrap();
+        let total: f64 = model.sub_norms2(0).iter().sum();
+        assert_eq!(total, hv.norm2());
+        assert_eq!(model.sub_norms2(1).iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let mut model = HdcModel::new(128, 2).unwrap();
+        let hv = IntHv::zeros(128).unwrap();
+        assert!(matches!(
+            model.bundle(&hv, 2),
+            Err(HdcError::LabelOutOfRange {
+                label: 2,
+                n_classes: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn reduced_dims_with_updated_norms_still_classifies() {
+        let (encoded, labels) = two_class_data(2048, 10);
+        let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        let acc = model.accuracy_with(
+            &encoded,
+            &labels,
+            PredictOptions::reduced(512, NormMode::Updated),
+        );
+        assert!(acc >= 0.9, "acc = {acc}");
+    }
+
+    #[test]
+    fn sub_norm_sum_equals_full_norm() {
+        let (encoded, labels) = two_class_data(1024, 4);
+        let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        for c in 0..2 {
+            let stored: f64 = model.sub_norms2(c).iter().sum();
+            assert!((stored - model.class(c).norm2()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn updated_and_constant_norms_agree_at_full_dim() {
+        let (encoded, labels) = two_class_data(512, 4);
+        let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        let q = &encoded[0];
+        let a = model.scores_with(q, PredictOptions::reduced(512, NormMode::Updated));
+        let b = model.scores_with(q, PredictOptions::reduced(512, NormMode::Constant));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_validates_input() {
+        assert!(matches!(
+            HdcModel::fit(&[], &[], 2),
+            Err(HdcError::EmptyInput)
+        ));
+        let hv = IntHv::zeros(64).unwrap();
+        assert!(HdcModel::fit(std::slice::from_ref(&hv), &[0, 1], 2).is_err());
+        assert!(HdcModel::fit(&[hv], &[5], 2).is_err());
+    }
+
+    #[test]
+    fn online_update_corrects_mistakes() {
+        let (encoded, labels) = two_class_data(1024, 8);
+        let mut model = HdcModel::new(1024, 2).unwrap();
+        // Seed with one sample per class, then stream the rest.
+        model.bundle(&encoded[0], labels[0]).unwrap();
+        model.bundle(&encoded[1], labels[1]).unwrap();
+        let mut corrections = 0;
+        for (hv, &label) in encoded.iter().zip(&labels).skip(2) {
+            if !model.update(hv, label).unwrap() {
+                corrections += 1;
+            }
+        }
+        // Streaming learning must converge on separable data.
+        assert!(model.accuracy(&encoded, &labels) >= 0.95);
+        // And norms must stay consistent with the class vectors.
+        for c in 0..2 {
+            let stored: f64 = model.sub_norms2(c).iter().sum();
+            assert!((stored - model.class(c).norm2()).abs() < 1e-9);
+        }
+        let _ = corrections;
+    }
+
+    #[test]
+    fn online_update_validates_inputs() {
+        let mut model = HdcModel::new(128, 2).unwrap();
+        let hv = IntHv::zeros(128).unwrap();
+        assert!(model.update(&hv, 5).is_err());
+        let wrong = IntHv::zeros(64).unwrap();
+        assert!(model.update(&wrong, 0).is_err());
+    }
+
+    #[test]
+    fn zero_model_scores_zero() {
+        let model = HdcModel::new(128, 3).unwrap();
+        let q = IntHv::from(BinaryHv::random_seeded(128, 9).unwrap());
+        assert!(model.scores(&q).iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,423 @@
+//! Model quantization and bit-accurate fault injection.
+//!
+//! The accelerator stores class elements in 16-bit words; an input
+//! parameter `bw` selects the *effective* bit-width and a mask unit zeroes
+//! the unused bits (§4.3.4, Fig. 4 block 5). Narrow models both cut the
+//! dot-product switching power and tolerate far more bit-flips, which is
+//! what enables voltage over-scaling of the class memories (Fig. 6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{HdcError, HdcModel, IntHv};
+
+/// A quantized HDC model: class elements stored as `bit_width`-bit signed
+/// integers (in 16-bit words, as in the accelerator).
+///
+/// ```
+/// use generic_hdc::{BinaryHv, HdcModel, IntHv, QuantizedModel};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let a = IntHv::from(BinaryHv::random_seeded(512, 1)?);
+/// let b = IntHv::from(BinaryHv::random_seeded(512, 2)?);
+/// let model = HdcModel::fit(&[a.clone(), b], &[0, 1], 2)?;
+///
+/// // A 1-bit (sign-only) model still separates orthogonal classes...
+/// let mut narrow = QuantizedModel::from_model(&model, 1)?;
+/// assert_eq!(narrow.predict(&a), 0);
+/// // ...even after injecting 2% bit errors (voltage over-scaling).
+/// narrow.inject_bit_flips(0.02, 7)?;
+/// assert_eq!(narrow.predict(&a), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedModel {
+    dim: usize,
+    bit_width: u8,
+    classes: Vec<Vec<i16>>,
+}
+
+impl QuantizedModel {
+    /// Quantizes a trained model to `bit_width` bits per class element
+    /// (symmetric, per-class scaling; `bit_width = 1` keeps only the sign).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bit_width` is not in `1..=16`.
+    pub fn from_model(model: &HdcModel, bit_width: u8) -> Result<Self, HdcError> {
+        if !(1..=16).contains(&bit_width) {
+            return Err(HdcError::invalid("bit_width", "must be in 1..=16"));
+        }
+        let classes = model
+            .iter()
+            .map(|class| quantize_class(class.values(), bit_width))
+            .collect();
+        Ok(QuantizedModel {
+            dim: model.dim(),
+            bit_width,
+            classes,
+        })
+    }
+
+    /// Reassembles a quantized model from raw parts (e.g. deserialized
+    /// class rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bit_width` is out of range, `classes` is
+    /// empty, rows are ragged, or any element exceeds the `bit_width`
+    /// range.
+    pub fn from_parts(dim: usize, bit_width: u8, classes: Vec<Vec<i16>>) -> Result<Self, HdcError> {
+        if !(1..=16).contains(&bit_width) {
+            return Err(HdcError::invalid("bit_width", "must be in 1..=16"));
+        }
+        if classes.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        if let Some(bad) = classes.iter().find(|c| c.len() != dim) {
+            return Err(HdcError::DimensionMismatch {
+                expected: dim,
+                actual: bad.len(),
+            });
+        }
+        if bit_width < 16 {
+            let lo = -(1i16 << (bit_width - 1));
+            let hi = (1i16 << (bit_width - 1)) - 1;
+            let (lo, hi) = if bit_width == 1 { (-1, 1) } else { (lo, hi) };
+            for row in &classes {
+                if let Some(&bad) = row.iter().find(|&&v| v < lo || v > hi) {
+                    return Err(HdcError::invalid(
+                        "classes",
+                        format!("element {bad} exceeds the {bit_width}-bit range"),
+                    ));
+                }
+            }
+        }
+        Ok(QuantizedModel {
+            dim,
+            bit_width,
+            classes,
+        })
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Effective bit-width of the stored class elements.
+    pub fn bit_width(&self) -> u8 {
+        self.bit_width
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The quantized elements of class `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.n_classes()`.
+    pub fn class(&self, label: usize) -> &[i16] {
+        &self.classes[label]
+    }
+
+    /// Total number of *effective* class-memory bits
+    /// (`n_classes * dim * bit_width`) — the bits exposed to voltage
+    /// over-scaling errors.
+    pub fn storage_bits(&self) -> usize {
+        self.classes.len() * self.dim * self.bit_width as usize
+    }
+
+    /// Cosine-ranked similarity scores of a query against all classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()`.
+    pub fn scores(&self, query: &IntHv) -> Vec<f64> {
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        self.classes
+            .iter()
+            .map(|class| {
+                let mut dot: i64 = 0;
+                let mut norm2: f64 = 0.0;
+                for (&q, &c) in query.values().iter().zip(class) {
+                    dot += i64::from(q) * i64::from(c);
+                    norm2 += f64::from(c) * f64::from(c);
+                }
+                if norm2 == 0.0 {
+                    0.0
+                } else {
+                    dot as f64 / norm2.sqrt()
+                }
+            })
+            .collect()
+    }
+
+    /// Predicts the class of an encoded query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()`.
+    pub fn predict(&self, query: &IntHv) -> usize {
+        self.scores(query)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .map(|(i, _)| i)
+            .expect("model has at least one class")
+    }
+
+    /// Fraction of `encoded` samples predicted as their `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths or dimensions.
+    pub fn accuracy(&self, encoded: &[IntHv], labels: &[usize]) -> f64 {
+        assert_eq!(
+            encoded.len(),
+            labels.len(),
+            "samples/labels length mismatch"
+        );
+        if encoded.is_empty() {
+            return 0.0;
+        }
+        let correct = encoded
+            .iter()
+            .zip(labels)
+            .filter(|&(hv, &label)| self.predict(hv) == label)
+            .count();
+        correct as f64 / encoded.len() as f64
+    }
+
+    /// Flips each *effective* stored bit independently with probability
+    /// `ber`, emulating SRAM read upsets under voltage over-scaling.
+    /// Returns the number of bits flipped.
+    ///
+    /// Elements are interpreted as `bit_width`-bit two's-complement values;
+    /// a flip of the top effective bit changes the sign, exactly as it
+    /// would in the masked 16-bit hardware word.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a probability in `[0, 1]`.
+    pub fn inject_bit_flips(&mut self, ber: f64, seed: u64) -> Result<usize, HdcError> {
+        if !(0.0..=1.0).contains(&ber) || ber.is_nan() {
+            return Err(HdcError::invalid("ber", "must be a probability in [0, 1]"));
+        }
+        if ber == 0.0 {
+            return Ok(0);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bw = u32::from(self.bit_width);
+        let mut flipped = 0;
+        for class in &mut self.classes {
+            for v in class.iter_mut() {
+                if bw == 1 {
+                    // 1-bit models store only the sign (0 = +1, 1 = -1);
+                    // a flip negates the element.
+                    if rng.random_bool(ber) {
+                        *v = -*v;
+                        flipped += 1;
+                    }
+                } else {
+                    let mut bits = (*v as u16) & mask(bw);
+                    for b in 0..bw {
+                        if rng.random_bool(ber) {
+                            bits ^= 1 << b;
+                            flipped += 1;
+                        }
+                    }
+                    *v = sign_extend(bits, bw);
+                }
+            }
+        }
+        Ok(flipped)
+    }
+}
+
+fn mask(bw: u32) -> u16 {
+    if bw >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << bw) - 1
+    }
+}
+
+fn sign_extend(bits: u16, bw: u32) -> i16 {
+    if bw >= 16 {
+        bits as i16
+    } else if bits & (1 << (bw - 1)) != 0 {
+        (bits | !mask(bw)) as i16
+    } else {
+        bits as i16
+    }
+}
+
+fn quantize_class(values: &[i32], bit_width: u8) -> Vec<i16> {
+    if bit_width == 1 {
+        // Sign-only model: +1 / -1 (0 maps to +1).
+        return values.iter().map(|&v| if v < 0 { -1 } else { 1 }).collect();
+    }
+    let n = values.len() as f64;
+    if bit_width == 2 {
+        // Ternary quantization: zero inside a dead-zone of 0.7 · mean|v|,
+        // sign outside — the standard ternary-weight rule; a plain
+        // round-to-nearest 2-bit grid would zero out concentrated
+        // magnitude distributions entirely.
+        let mean_abs = values.iter().map(|&v| f64::from(v).abs()).sum::<f64>() / n;
+        let tau = 0.7 * mean_abs;
+        return values
+            .iter()
+            .map(|&v| {
+                if f64::from(v).abs() <= tau {
+                    0
+                } else if v < 0 {
+                    -1
+                } else {
+                    1
+                }
+            })
+            .collect();
+    }
+    // Clipped symmetric quantization: scale by ~2.5 standard deviations
+    // rather than the maximum so heavy-tailed outliers do not waste the
+    // narrow ranges (with max-abs scaling a 4-bit model would map almost
+    // every element to zero).
+    let var = values
+        .iter()
+        .map(|&v| f64::from(v) * f64::from(v))
+        .sum::<f64>()
+        / n;
+    let clip = (2.5 * var.sqrt()).max(1.0);
+    let q_max = (1i32 << (bit_width - 1)) - 1;
+    values
+        .iter()
+        .map(|&v| {
+            let scaled = (f64::from(v) / clip * f64::from(q_max)).round() as i32;
+            scaled.clamp(-q_max, q_max) as i16
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinaryHv;
+
+    fn trained_model(dim: usize) -> (HdcModel, Vec<IntHv>, Vec<usize>) {
+        let proto0 = BinaryHv::random_seeded(dim, 50).unwrap();
+        let proto1 = BinaryHv::random_seeded(dim, 60).unwrap();
+        let mut encoded = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..12 {
+            for (label, proto) in [(0usize, &proto0), (1usize, &proto1)] {
+                let mut hv = proto.clone();
+                for k in 0..dim / 12 {
+                    hv.flip_bit((k * 11 + i * 3) % dim);
+                }
+                encoded.push(IntHv::from(hv));
+                labels.push(label);
+            }
+        }
+        let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        (model, encoded, labels)
+    }
+
+    #[test]
+    fn sixteen_bit_quantization_preserves_predictions() {
+        let (model, encoded, labels) = trained_model(1024);
+        let q = QuantizedModel::from_model(&model, 16).unwrap();
+        for (hv, &label) in encoded.iter().zip(&labels) {
+            assert_eq!(q.predict(hv), label, "model predicts {}", model.predict(hv));
+        }
+    }
+
+    #[test]
+    fn narrow_widths_remain_accurate_on_separable_data() {
+        let (model, encoded, labels) = trained_model(2048);
+        for bw in [8, 4, 2, 1] {
+            let q = QuantizedModel::from_model(&model, bw).unwrap();
+            let acc = q.accuracy(&encoded, &labels);
+            assert!(acc >= 0.95, "bw={bw}: acc={acc}");
+        }
+    }
+
+    #[test]
+    fn quantized_range_respected() {
+        let (model, _, _) = trained_model(512);
+        for bw in [2u8, 4, 8] {
+            let q = QuantizedModel::from_model(&model, bw).unwrap();
+            let q_max = (1i16 << (bw - 1)) - 1;
+            for c in 0..q.n_classes() {
+                assert!(q.class(c).iter().all(|&v| (-q_max..=q_max).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_model_is_sign() {
+        let (model, _, _) = trained_model(256);
+        let q = QuantizedModel::from_model(&model, 1).unwrap();
+        for c in 0..2 {
+            for (&qv, &mv) in q.class(c).iter().zip(model.class(c).values()) {
+                assert_eq!(qv, if mv < 0 { -1 } else { 1 });
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ber_flips_nothing() {
+        let (model, encoded, _) = trained_model(512);
+        let mut q = QuantizedModel::from_model(&model, 4).unwrap();
+        let before = q.clone();
+        assert_eq!(q.inject_bit_flips(0.0, 1).unwrap(), 0);
+        assert_eq!(q, before);
+        let _ = q.predict(&encoded[0]);
+    }
+
+    #[test]
+    fn flip_count_tracks_ber() {
+        let (model, _, _) = trained_model(1024);
+        let mut q = QuantizedModel::from_model(&model, 8).unwrap();
+        let total_bits = q.storage_bits();
+        let flipped = q.inject_bit_flips(0.05, 7).unwrap();
+        let expected = total_bits as f64 * 0.05;
+        assert!(
+            (flipped as f64) > expected * 0.6 && (flipped as f64) < expected * 1.4,
+            "flipped {flipped} of {total_bits} (expected ~{expected})"
+        );
+    }
+
+    #[test]
+    fn small_ber_degrades_gracefully() {
+        let (model, encoded, labels) = trained_model(2048);
+        let mut q = QuantizedModel::from_model(&model, 1).unwrap();
+        q.inject_bit_flips(0.02, 3).unwrap();
+        let acc = q.accuracy(&encoded, &labels);
+        assert!(acc >= 0.9, "1-bit model at 2% BER should hold up: {acc}");
+    }
+
+    #[test]
+    fn sign_extension_is_correct() {
+        assert_eq!(sign_extend(0b1111, 4), -1);
+        assert_eq!(sign_extend(0b1000, 4), -8);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+        assert_eq!(sign_extend(0b1, 1), -1);
+        assert_eq!(sign_extend(0b0, 1), 0);
+        assert_eq!(sign_extend(0xFFFF, 16), -1);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let (model, _, _) = trained_model(128);
+        assert!(QuantizedModel::from_model(&model, 0).is_err());
+        assert!(QuantizedModel::from_model(&model, 17).is_err());
+        let mut q = QuantizedModel::from_model(&model, 4).unwrap();
+        assert!(q.inject_bit_flips(1.5, 1).is_err());
+        assert!(q.inject_bit_flips(-0.1, 1).is_err());
+    }
+}

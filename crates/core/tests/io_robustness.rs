@@ -1,0 +1,72 @@
+//! Robustness of the GHDC wire formats: arbitrary and corrupted byte
+//! streams must produce errors, never panics or absurd allocations.
+
+use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::io::{read_model, read_quantized, write_model};
+use generic_hdc::{BinaryHv, HdcModel, HdcPipeline, IntHv};
+use proptest::prelude::*;
+
+fn sample_model() -> HdcModel {
+    let encoded: Vec<IntHv> = (0..3u64)
+        .map(|s| IntHv::from(BinaryHv::random_seeded(256, s).expect("dim > 0")))
+        .collect();
+    HdcModel::fit(&encoded, &[0, 1, 2], 3).expect("valid inputs")
+}
+
+fn sample_pipeline() -> HdcPipeline {
+    let features: Vec<Vec<f64>> = (0..24)
+        .map(|i| (0..6).map(|j| ((i * 3 + j) % 7) as f64).collect())
+        .collect();
+    let labels: Vec<usize> = (0..24).map(|i| i % 2).collect();
+    let spec = GenericEncoderSpec::new(256, 6).with_seed(5);
+    HdcPipeline::train(spec, &features, &labels, 2, 3).expect("valid inputs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes never panic the model reader.
+    #[test]
+    fn arbitrary_bytes_do_not_panic_model_reader(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_model(bytes.as_slice());
+        let _ = read_quantized(bytes.as_slice());
+        let _ = HdcPipeline::read_from(bytes.as_slice());
+    }
+
+    /// Flipping any single byte of a valid model stream either still
+    /// decodes (payload bit flip) or fails cleanly — never panics.
+    #[test]
+    fn single_byte_corruption_is_handled(pos_seed in any::<u64>(), delta in 1u8..=255) {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("vec write cannot fail");
+        let pos = (pos_seed % buf.len() as u64) as usize;
+        buf[pos] = buf[pos].wrapping_add(delta);
+        let _ = read_model(buf.as_slice());
+    }
+
+    /// Truncating a valid pipeline stream at any point fails cleanly.
+    #[test]
+    fn truncated_pipeline_streams_error(cut_seed in any::<u64>()) {
+        let pipeline = sample_pipeline();
+        let mut buf = Vec::new();
+        pipeline.write_to(&mut buf).expect("vec write cannot fail");
+        let cut = (cut_seed % buf.len() as u64) as usize;
+        buf.truncate(cut);
+        prop_assert!(HdcPipeline::read_from(buf.as_slice()).is_err());
+    }
+}
+
+#[test]
+fn valid_pipeline_stream_decodes_after_fuzzing_setup() {
+    // Guards against the fuzz helpers drifting out of sync with the
+    // format: the untouched stream must still round-trip.
+    let pipeline = sample_pipeline();
+    let mut buf = Vec::new();
+    pipeline.write_to(&mut buf).expect("vec write cannot fail");
+    let restored = HdcPipeline::read_from(buf.as_slice()).expect("untouched stream decodes");
+    assert_eq!(
+        restored.predict(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).ok(),
+        pipeline.predict(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).ok()
+    );
+}

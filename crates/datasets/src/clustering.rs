@@ -1,0 +1,307 @@
+//! Clustering benchmarks: the FCPS suite (Ultsch, "Clustering with SOM",
+//! 2005) regenerated from its published geometric definitions, plus an
+//! Iris approximation synthesized from the dataset's documented per-class
+//! feature statistics (the real data cannot be embedded verbatim here, but
+//! its first two moments are public and define the clustering task).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rand_util::normal_with;
+
+/// An unlabeled-learning dataset with ground-truth cluster labels for
+/// scoring (normalized mutual information, Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterDataset {
+    /// Short dataset name (Table 2 column label).
+    pub name: &'static str,
+    /// Data points, `n × n_features`.
+    pub points: Vec<Vec<f64>>,
+    /// Ground-truth cluster index per point.
+    pub labels: Vec<usize>,
+    /// True number of clusters.
+    pub k: usize,
+}
+
+impl ClusterDataset {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset is empty (never true for a generated dataset).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Feature count per point.
+    pub fn n_features(&self) -> usize {
+        self.points[0].len()
+    }
+}
+
+/// The clustering benchmarks of Table 2 / Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ClusteringBenchmark {
+    /// FCPS Hepta: 212 points, 7 well-separated Gaussian clusters in 3-D.
+    Hepta,
+    /// FCPS Tetra: 400 points, 4 almost-touching clusters at tetrahedron
+    /// vertices in 3-D.
+    Tetra,
+    /// FCPS TwoDiamonds: 800 points, two touching diamond shapes in 2-D.
+    TwoDiamonds,
+    /// FCPS WingNut: 1016 points, two density-graded rectangles in 2-D.
+    WingNut,
+    /// Iris flowers: 150 points, 3 species, 4 features (statistical
+    /// approximation, see module docs).
+    Iris,
+}
+
+impl ClusteringBenchmark {
+    /// All benchmarks in the column order of Table 2.
+    pub const ALL: [ClusteringBenchmark; 5] = [
+        ClusteringBenchmark::Hepta,
+        ClusteringBenchmark::Tetra,
+        ClusteringBenchmark::TwoDiamonds,
+        ClusteringBenchmark::WingNut,
+        ClusteringBenchmark::Iris,
+    ];
+
+    /// The Table 2 column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusteringBenchmark::Hepta => "Hepta",
+            ClusteringBenchmark::Tetra => "Tetra",
+            ClusteringBenchmark::TwoDiamonds => "TwoDiamonds",
+            ClusteringBenchmark::WingNut => "WingNut",
+            ClusteringBenchmark::Iris => "Iris",
+        }
+    }
+
+    /// Generates the benchmark deterministically from `seed`.
+    pub fn load(self, seed: u64) -> ClusterDataset {
+        let seed = seed.wrapping_mul(0xD1B5_4A32_D192_ED03) ^ (self as u64) << 32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            ClusteringBenchmark::Hepta => hepta(&mut rng),
+            ClusteringBenchmark::Tetra => tetra(&mut rng),
+            ClusteringBenchmark::TwoDiamonds => two_diamonds(&mut rng),
+            ClusteringBenchmark::WingNut => wingnut(&mut rng),
+            ClusteringBenchmark::Iris => iris(&mut rng),
+        }
+    }
+}
+
+impl std::fmt::Display for ClusteringBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hepta: one cluster at the origin and six on the axes at distance 4,
+/// each a tight isotropic Gaussian — "clearly defined clusters".
+fn hepta(rng: &mut StdRng) -> ClusterDataset {
+    let centers: [[f64; 3]; 7] = [
+        [0.0, 0.0, 0.0],
+        [4.0, 0.0, 0.0],
+        [-4.0, 0.0, 0.0],
+        [0.0, 4.0, 0.0],
+        [0.0, -4.0, 0.0],
+        [0.0, 0.0, 4.0],
+        [0.0, 0.0, -4.0],
+    ];
+    let mut points = Vec::with_capacity(212);
+    let mut labels = Vec::with_capacity(212);
+    for i in 0..212 {
+        let c = i % 7;
+        points.push(
+            centers[c]
+                .iter()
+                .map(|&m| normal_with(rng, m, 0.6))
+                .collect(),
+        );
+        labels.push(c);
+    }
+    ClusterDataset {
+        name: "Hepta",
+        points,
+        labels,
+        k: 7,
+    }
+}
+
+/// Tetra: four clusters at the vertices of a regular tetrahedron with a
+/// spread large enough that the clusters almost touch.
+fn tetra(rng: &mut StdRng) -> ClusterDataset {
+    let s = 1.8;
+    let centers: [[f64; 3]; 4] = [[s, s, s], [s, -s, -s], [-s, s, -s], [-s, -s, s]];
+    let mut points = Vec::with_capacity(400);
+    let mut labels = Vec::with_capacity(400);
+    for i in 0..400 {
+        let c = i % 4;
+        points.push(
+            centers[c]
+                .iter()
+                .map(|&m| normal_with(rng, m, 1.0))
+                .collect(),
+        );
+        labels.push(c);
+    }
+    ClusterDataset {
+        name: "Tetra",
+        points,
+        labels,
+        k: 4,
+    }
+}
+
+/// TwoDiamonds: two axis-rotated squares (diamonds) side by side in 2-D,
+/// filled uniformly, nearly touching at one corner.
+fn two_diamonds(rng: &mut StdRng) -> ClusterDataset {
+    let mut points = Vec::with_capacity(800);
+    let mut labels = Vec::with_capacity(800);
+    for i in 0..800 {
+        let c = i % 2;
+        let cx = if c == 0 { -1.1 } else { 1.1 };
+        // Uniform over the L1 ball |x| + |y| <= 1 via rejection.
+        let (dx, dy) = loop {
+            let x: f64 = rng.random_range(-1.0..1.0);
+            let y: f64 = rng.random_range(-1.0..1.0);
+            if x.abs() + y.abs() <= 1.0 {
+                break (x, y);
+            }
+        };
+        points.push(vec![cx + dx, dy]);
+        labels.push(c);
+    }
+    ClusterDataset {
+        name: "TwoDiamonds",
+        points,
+        labels,
+        k: 2,
+    }
+}
+
+/// WingNut: two rectangles with opposing linear density gradients, offset
+/// so their dense corners face each other.
+fn wingnut(rng: &mut StdRng) -> ClusterDataset {
+    let mut points = Vec::with_capacity(1016);
+    let mut labels = Vec::with_capacity(1016);
+    for i in 0..1016 {
+        let c = i % 2;
+        // Density increases toward x = 1 via sqrt warp of a uniform sample.
+        let u: f64 = rng.random_range(0.0f64..1.0);
+        let x = u.sqrt() * 2.0; // in [0, 2], denser near 2
+        let y: f64 = rng.random_range(0.0..1.0);
+        let (px, py) = if c == 0 {
+            (x, y)
+        } else {
+            // Mirrored rectangle shifted so dense edges face each other
+            // across a small gap.
+            (-(x) + 4.3, y + 0.3)
+        };
+        points.push(vec![px, py]);
+        labels.push(c);
+    }
+    ClusterDataset {
+        name: "WingNut",
+        points,
+        labels,
+        k: 2,
+    }
+}
+
+/// Iris approximation from the documented per-class means and standard
+/// deviations of the four features (sepal length/width, petal
+/// length/width).
+fn iris(rng: &mut StdRng) -> ClusterDataset {
+    const MEANS: [[f64; 4]; 3] = [
+        [5.006, 3.428, 1.462, 0.246], // setosa
+        [5.936, 2.770, 4.260, 1.326], // versicolor
+        [6.588, 2.974, 5.552, 2.026], // virginica
+    ];
+    const STDS: [[f64; 4]; 3] = [
+        [0.352, 0.379, 0.174, 0.105],
+        [0.516, 0.314, 0.470, 0.198],
+        [0.636, 0.322, 0.552, 0.275],
+    ];
+    let mut points = Vec::with_capacity(150);
+    let mut labels = Vec::with_capacity(150);
+    for i in 0..150 {
+        let c = i % 3;
+        points.push(
+            (0..4)
+                .map(|j| normal_with(rng, MEANS[c][j], STDS[c][j]).max(0.05))
+                .collect(),
+        );
+        labels.push(c);
+    }
+    ClusterDataset {
+        name: "Iris",
+        points,
+        labels,
+        k: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_fcps_definitions() {
+        assert_eq!(ClusteringBenchmark::Hepta.load(1).len(), 212);
+        assert_eq!(ClusteringBenchmark::Tetra.load(1).len(), 400);
+        assert_eq!(ClusteringBenchmark::TwoDiamonds.load(1).len(), 800);
+        assert_eq!(ClusteringBenchmark::WingNut.load(1).len(), 1016);
+        assert_eq!(ClusteringBenchmark::Iris.load(1).len(), 150);
+    }
+
+    #[test]
+    fn labels_cover_k_clusters() {
+        for b in ClusteringBenchmark::ALL {
+            let ds = b.load(2);
+            let max = ds.labels.iter().max().unwrap() + 1;
+            assert_eq!(max, ds.k, "{b}");
+            assert_eq!(ds.points.len(), ds.labels.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        for b in ClusteringBenchmark::ALL {
+            assert_eq!(b.load(5), b.load(5), "{b}");
+        }
+    }
+
+    #[test]
+    fn hepta_clusters_are_well_separated() {
+        let ds = ClusteringBenchmark::Hepta.load(3);
+        // Points of cluster 0 (origin) stay within radius 3 of the origin.
+        for (p, &l) in ds.points.iter().zip(&ds.labels) {
+            let r = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if l == 0 {
+                assert!(r < 3.0, "origin cluster point at radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn diamonds_respect_their_shape() {
+        let ds = ClusteringBenchmark::TwoDiamonds.load(4);
+        for (p, &l) in ds.points.iter().zip(&ds.labels) {
+            let cx = if l == 0 { -1.1 } else { 1.1 };
+            assert!((p[0] - cx).abs() + p[1].abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn iris_feature_ranges_are_plausible() {
+        let ds = ClusteringBenchmark::Iris.load(6);
+        for p in &ds.points {
+            assert!(p[0] > 3.0 && p[0] < 9.0, "sepal length {}", p[0]);
+            assert!(p[2] > 0.0 && p[2] < 8.5, "petal length {}", p[2]);
+        }
+    }
+}

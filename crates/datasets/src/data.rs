@@ -1,0 +1,93 @@
+//! Dataset containers shared by all generators.
+
+/// One split (train or test) of a classification dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Feature rows, `n_samples × n_features`.
+    pub features: Vec<Vec<f64>>,
+    /// Class label per row, in `0..n_classes`.
+    pub labels: Vec<usize>,
+}
+
+impl Split {
+    /// Number of samples in the split.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+/// A classification dataset with a train/test split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Short dataset name (Table 1 row label).
+    pub name: &'static str,
+    /// Training split.
+    pub train: Split,
+    /// Held-out test split.
+    pub test: Split,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Number of features per sample.
+    pub n_features: usize,
+}
+
+impl Dataset {
+    /// Sanity-checks internal consistency (row widths, label ranges,
+    /// non-emptiness). Generators call this before returning; it is public
+    /// so integration tests can assert it too.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on any inconsistency.
+    pub fn validate(&self) {
+        assert!(
+            self.n_classes >= 2,
+            "{}: need at least 2 classes",
+            self.name
+        );
+        assert!(
+            self.n_features >= 1,
+            "{}: need at least 1 feature",
+            self.name
+        );
+        for (split_name, split) in [("train", &self.train), ("test", &self.test)] {
+            assert!(!split.is_empty(), "{}: {split_name} split empty", self.name);
+            assert_eq!(
+                split.features.len(),
+                split.labels.len(),
+                "{}: {split_name} features/labels length mismatch",
+                self.name
+            );
+            for row in &split.features {
+                assert_eq!(
+                    row.len(),
+                    self.n_features,
+                    "{}: {split_name} row width mismatch",
+                    self.name
+                );
+            }
+            for &l in &split.labels {
+                assert!(
+                    l < self.n_classes,
+                    "{}: {split_name} label {l} out of range",
+                    self.name
+                );
+            }
+        }
+        // Every class should appear in training data.
+        let mut seen = vec![false; self.n_classes];
+        for &l in &self.train.labels {
+            seen[l] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "{}: some classes missing from the train split",
+            self.name
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Categorical-sequence dataset generator — the LANG/DNA stand-ins.
+//!
+//! Samples are streams of symbols (character/base codes). A class is a
+//! "language": a set of signature trigrams inserted at arbitrary offsets,
+//! plus an optionally biased symbol marginal (letter-frequency profile).
+//! Subsequence content — not position — carries the class, so n-gram style
+//! encodings (ngram, GENERIC) excel while strict-order (permutation) and
+//! value-linear (RP) encodings fail, matching LANG in Table 1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::{Dataset, Split};
+
+/// Parameters of a categorical-sequence dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequenceSpec {
+    /// Sequence length (features per sample).
+    pub n_features: usize,
+    /// Number of classes ("languages").
+    pub n_classes: usize,
+    /// Training samples (total).
+    pub n_train: usize,
+    /// Test samples (total).
+    pub n_test: usize,
+    /// Alphabet size.
+    pub alphabet: usize,
+    /// Signature trigrams per class.
+    pub signatures_per_class: usize,
+    /// Signature trigram instances inserted per sample.
+    pub signatures_per_sample: usize,
+    /// Interpolation between a uniform symbol marginal (0.0) and a
+    /// class-specific skewed marginal (1.0) for the background symbols.
+    pub marginal_bias: f64,
+}
+
+impl Default for SequenceSpec {
+    fn default() -> Self {
+        SequenceSpec {
+            n_features: 64,
+            n_classes: 8,
+            n_train: 400,
+            n_test: 150,
+            alphabet: 12,
+            signatures_per_class: 4,
+            signatures_per_sample: 5,
+            marginal_bias: 0.35,
+        }
+    }
+}
+
+/// Generates a categorical-sequence dataset. Symbols are exposed as `f64`
+/// feature values `0.0..alphabet` so the common encoder interface applies.
+///
+/// # Panics
+///
+/// Panics if the spec is inconsistent (signatures cannot fit, tiny
+/// alphabet, ...).
+pub fn generate_sequence(name: &'static str, spec: SequenceSpec, seed: u64) -> Dataset {
+    assert!(spec.n_classes >= 2 && spec.alphabet >= 4);
+    assert!(spec.n_features >= 3, "sequences must fit a trigram");
+    assert!(
+        spec.signatures_per_sample * 3 <= spec.n_features,
+        "signature trigrams do not fit"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Class signature trigrams, distinct across classes.
+    let mut used: std::collections::HashSet<[usize; 3]> = std::collections::HashSet::new();
+    let signatures: Vec<Vec<[usize; 3]>> = (0..spec.n_classes)
+        .map(|_| {
+            let mut sigs = Vec::with_capacity(spec.signatures_per_class);
+            while sigs.len() < spec.signatures_per_class {
+                let t = [
+                    rng.random_range(0..spec.alphabet),
+                    rng.random_range(0..spec.alphabet),
+                    rng.random_range(0..spec.alphabet),
+                ];
+                if used.insert(t) {
+                    sigs.push(t);
+                }
+            }
+            sigs
+        })
+        .collect();
+
+    // Class symbol marginals: skewed random distributions mixed with
+    // uniform according to `marginal_bias`.
+    let marginals: Vec<Vec<f64>> = (0..spec.n_classes)
+        .map(|_| {
+            let raw: Vec<f64> = (0..spec.alphabet)
+                .map(|_| rng.random_range(0.1f64..1.0))
+                .collect();
+            let sum: f64 = raw.iter().sum();
+            raw.iter()
+                .map(|v| {
+                    spec.marginal_bias * (v / sum)
+                        + (1.0 - spec.marginal_bias) / spec.alphabet as f64
+                })
+                .collect()
+        })
+        .collect();
+
+    let sample = |rng: &mut StdRng, class: usize| -> Vec<f64> {
+        let mut symbols: Vec<usize> = (0..spec.n_features)
+            .map(|_| sample_categorical(rng, &marginals[class]))
+            .collect();
+        // Insert signature trigrams at non-overlapping random offsets.
+        let positions = crate::spatial::non_overlapping_positions(
+            rng,
+            spec.n_features,
+            spec.signatures_per_sample,
+            3,
+        );
+        for &start in &positions {
+            let sig = signatures[class][rng.random_range(0..signatures[class].len())];
+            symbols[start] = sig[0];
+            symbols[start + 1] = sig[1];
+            symbols[start + 2] = sig[2];
+        }
+        symbols.iter().map(|&s| s as f64).collect()
+    };
+
+    let make_split = |rng: &mut StdRng, n: usize| -> Split {
+        let mut features = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = if i < spec.n_classes {
+                i
+            } else {
+                rng.random_range(0..spec.n_classes)
+            };
+            features.push(sample(rng, class));
+            labels.push(class);
+        }
+        Split { features, labels }
+    };
+
+    let train = make_split(&mut rng, spec.n_train);
+    let test = make_split(&mut rng, spec.n_test);
+    let ds = Dataset {
+        name,
+        train,
+        test,
+        n_classes: spec.n_classes,
+        n_features: spec.n_features,
+    };
+    ds.validate();
+    ds
+}
+
+fn sample_categorical(rng: &mut StdRng, probs: &[f64]) -> usize {
+    let mut t: f64 = rng.random_range(0.0..1.0);
+    for (i, &p) in probs.iter().enumerate() {
+        if t < p {
+            return i;
+        }
+        t -= p;
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let ds = generate_sequence("toy", SequenceSpec::default(), 1);
+        ds.validate();
+        assert_eq!(ds.n_classes, 8);
+    }
+
+    #[test]
+    fn symbols_are_integral_and_in_alphabet() {
+        let spec = SequenceSpec::default();
+        let ds = generate_sequence("toy", spec, 2);
+        for row in ds.train.features.iter().chain(&ds.test.features) {
+            for &v in row {
+                assert_eq!(v, v.floor());
+                assert!(v >= 0.0 && v < spec.alphabet as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_sequence("toy", SequenceSpec::default(), 3);
+        let b = generate_sequence("toy", SequenceSpec::default(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signature_trigrams_separate_classes() {
+        // Count class-0 vs class-1 trigram overlap: the signature design
+        // guarantees each class plants trigrams no other class plants.
+        let spec = SequenceSpec {
+            marginal_bias: 0.0,
+            ..SequenceSpec::default()
+        };
+        let ds = generate_sequence("toy", spec, 4);
+        let trigrams = |rows: Vec<&Vec<f64>>| -> std::collections::HashMap<[usize; 3], usize> {
+            let mut map = std::collections::HashMap::new();
+            for row in rows {
+                for w in row.windows(3) {
+                    let key = [w[0] as usize, w[1] as usize, w[2] as usize];
+                    *map.entry(key).or_insert(0) += 1;
+                }
+            }
+            map
+        };
+        let class_rows = |c: usize| -> Vec<&Vec<f64>> {
+            ds.train
+                .features
+                .iter()
+                .zip(&ds.train.labels)
+                .filter(|&(_, &l)| l == c)
+                .map(|(r, _)| r)
+                .collect()
+        };
+        let t0 = trigrams(class_rows(0));
+        let t1 = trigrams(class_rows(1));
+        // The most frequent trigram of class 0 should be much rarer in
+        // class 1 (it is a planted signature).
+        let (top0, &count0) = t0.iter().max_by_key(|(_, &c)| c).unwrap();
+        let count_in_1 = t1.get(top0).copied().unwrap_or(0);
+        assert!(
+            count0 >= 3 * (count_in_1 + 1),
+            "top trigram of class 0 appears {count0}x there but {count_in_1}x in class 1"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the dataset generators: every benchmark must
+//! be valid, deterministic, and structurally faithful for *any* seed, not
+//! just the defaults used in the harness.
+
+use generic_datasets::{
+    generate_sequence, generate_spatial, generate_tabular, generate_temporal, Benchmark,
+    ClusteringBenchmark, SequenceSpec, SpatialSpec, TabularSpec, TemporalSpec,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every classification benchmark validates and is reproducible under
+    /// any seed.
+    #[test]
+    fn benchmarks_valid_for_any_seed(seed in any::<u64>()) {
+        for benchmark in Benchmark::ALL {
+            let a = benchmark.load(seed);
+            a.validate();
+            prop_assert_eq!(a, benchmark.load(seed));
+        }
+    }
+
+    /// Clustering benchmarks keep their FCPS cardinalities and label
+    /// ranges under any seed.
+    #[test]
+    fn clustering_benchmarks_valid_for_any_seed(seed in any::<u64>()) {
+        for benchmark in ClusteringBenchmark::ALL {
+            let ds = benchmark.load(seed);
+            prop_assert!(!ds.is_empty());
+            prop_assert!(ds.labels.iter().all(|&l| l < ds.k));
+            prop_assert!(ds.points.iter().all(|p| p.len() == ds.n_features()));
+        }
+    }
+
+    /// Tabular generation respects the requested shape for any
+    /// configuration in range.
+    #[test]
+    fn tabular_respects_shape(
+        seed in any::<u64>(),
+        n_features in 2usize..24,
+        n_classes in 2usize..5,
+    ) {
+        let spec = TabularSpec {
+            n_features,
+            n_classes,
+            n_train: 40,
+            n_test: 20,
+            ..TabularSpec::default()
+        };
+        let ds = generate_tabular("prop", spec, seed);
+        prop_assert_eq!(ds.n_features, n_features);
+        prop_assert_eq!(ds.n_classes, n_classes);
+        prop_assert_eq!(ds.train.len(), 40);
+        prop_assert_eq!(ds.test.len(), 20);
+    }
+
+    /// Sequence symbols always stay inside the alphabet.
+    #[test]
+    fn sequence_symbols_in_alphabet(seed in any::<u64>(), alphabet in 4usize..20) {
+        let spec = SequenceSpec {
+            alphabet,
+            n_train: 30,
+            n_test: 10,
+            ..SequenceSpec::default()
+        };
+        let ds = generate_sequence("prop", spec, seed);
+        for row in ds.train.features.iter().chain(&ds.test.features) {
+            prop_assert!(row.iter().all(|&v| v >= 0.0 && v < alphabet as f64));
+            prop_assert!(row.iter().all(|&v| v == v.floor()));
+        }
+    }
+
+    /// Temporal generation terminates (the motif-decorrelation rejection
+    /// loop must relax rather than spin) for crowded class counts.
+    #[test]
+    fn temporal_terminates_with_many_classes(seed in any::<u64>(), n_classes in 2usize..10) {
+        let spec = TemporalSpec {
+            n_classes,
+            n_train: 40.max(n_classes * 4),
+            n_test: 20.max(n_classes * 2),
+            ..TemporalSpec::default()
+        };
+        let ds = generate_temporal("prop", spec, seed);
+        ds.validate();
+    }
+
+    /// Spatial class layouts are distinct: at least one pair of classes
+    /// must place motifs differently (with overwhelming probability).
+    #[test]
+    fn spatial_classes_are_not_identical(seed in any::<u64>()) {
+        let spec = SpatialSpec {
+            n_train: 60,
+            n_test: 20,
+            noise: 0.0,
+            placement_jitter: 0,
+            ..SpatialSpec::default()
+        };
+        let ds = generate_spatial("prop", spec, seed);
+        // With zero noise and jitter, same-class rows are identical and
+        // cross-class rows differ unless layouts collide.
+        let row_of = |class: usize| {
+            ds.train
+                .features
+                .iter()
+                .zip(&ds.train.labels)
+                .find(|&(_, &l)| l == class)
+                .map(|(r, _)| r.clone())
+                .expect("class coverage guaranteed")
+        };
+        let distinct = (1..ds.n_classes).any(|c| row_of(0) != row_of(c));
+        prop_assert!(distinct);
+    }
+}

@@ -1,0 +1,31 @@
+//! # generic-devices
+//!
+//! Analytical energy/latency cost models for the commodity devices and
+//! published accelerators the GENERIC paper compares against (§3.3, §5.2):
+//!
+//! - [`Device`] — Raspberry Pi 3, a desktop CPU (i7-8700-class), and an
+//!   NVIDIA Jetson TX2 edge GPU, modelled as op-throughput + memory
+//!   bandwidth + active power. The paper measured these with a power
+//!   meter; here the same *ratios* fall out of op counting (the
+//!   substitution is documented in DESIGN.md §2.3).
+//! - [`workload`] — op-count models for HDC (encode/train/infer/cluster)
+//!   and each classical-ML baseline, parameterized by dataset and model
+//!   shape.
+//! - [`scaling`] — CMOS node-scaling factors after Stillmaker & Baas
+//!   (*Scaling equations for the accurate prediction of CMOS device
+//!   performance from 180 nm to 7 nm*, Integration 2017), used to
+//!   normalize published accelerator numbers to 14 nm as §5.2.2 does.
+//! - [`reported`] — the published HDC accelerators of Fig. 9 (Datta et
+//!   al.\[10\] and tiny-HD\[8\]) with their energies scaled to 14 nm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod ops;
+pub mod reported;
+pub mod scaling;
+pub mod workload;
+
+pub use device::Device;
+pub use ops::OpCounts;

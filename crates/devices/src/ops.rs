@@ -1,0 +1,81 @@
+//! Abstract operation counts that device models price.
+
+use std::ops::{Add, AddAssign, Mul};
+
+/// Operation counts of a workload (per invocation, e.g. per input or per
+/// training run).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCounts {
+    /// Wide multiply-accumulates (f32/f64 arithmetic in the ML baselines,
+    /// integer dot-products in HDC scoring).
+    pub mac: f64,
+    /// Narrow/bit-level operations (XOR, popcount, compares, ±1
+    /// accumulations) — the operations commodity devices are
+    /// over-provisioned for (§1).
+    pub bit_ops: f64,
+    /// Bytes moved through the memory hierarchy.
+    pub mem_bytes: f64,
+}
+
+impl OpCounts {
+    /// Creates a count record.
+    pub fn new(mac: f64, bit_ops: f64, mem_bytes: f64) -> Self {
+        OpCounts {
+            mac,
+            bit_ops,
+            mem_bytes,
+        }
+    }
+
+    /// A zero record.
+    pub fn zero() -> Self {
+        OpCounts::default()
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            mac: self.mac + rhs.mac,
+            bit_ops: self.bit_ops + rhs.bit_ops,
+            mem_bytes: self.mem_bytes + rhs.mem_bytes,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for OpCounts {
+    type Output = OpCounts;
+
+    fn mul(self, rhs: f64) -> OpCounts {
+        OpCounts {
+            mac: self.mac * rhs,
+            bit_ops: self.bit_ops * rhs,
+            mem_bytes: self.mem_bytes * rhs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_works() {
+        let a = OpCounts::new(1.0, 2.0, 3.0);
+        let b = OpCounts::new(10.0, 20.0, 30.0);
+        let c = a + b;
+        assert_eq!(c, OpCounts::new(11.0, 22.0, 33.0));
+        assert_eq!(a * 2.0, OpCounts::new(2.0, 4.0, 6.0));
+        let mut d = OpCounts::zero();
+        d += a;
+        assert_eq!(d, a);
+    }
+}

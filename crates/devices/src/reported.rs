@@ -1,0 +1,91 @@
+//! Published HDC accelerators used as Fig. 9 baselines, normalized to
+//! 14 nm with the [`scaling`](crate::scaling) factors exactly as §5.2.2
+//! does ("we scale their reported numbers to 14 nm according to\[21\] for a
+//! fair comparison").
+//!
+//! The absolute per-inference figures below are representative workload
+//! averages consistent with the relative positions the paper reports
+//! (GENERIC-LP uses 4.1× less energy than tiny-HD and 15.7× less than the
+//! Datta et al. processor); the original papers report per-application
+//! numbers we cannot reproduce verbatim, so the *ratios* are the
+//! calibration target (see DESIGN.md §2).
+
+use crate::scaling::{energy_to_14nm, TechNode};
+
+/// A published accelerator data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportedAccelerator {
+    /// Name as it appears in Fig. 9.
+    pub name: &'static str,
+    /// Process node of the published implementation.
+    pub node: TechNode,
+    /// Average per-inference energy at the published node, µJ.
+    pub inference_energy_uj_reported: f64,
+    /// Whether the design supports on-device training.
+    pub supports_training: bool,
+}
+
+impl ReportedAccelerator {
+    /// Per-inference energy scaled to 14 nm, µJ.
+    pub fn inference_energy_uj_14nm(&self) -> f64 {
+        energy_to_14nm(self.inference_energy_uj_reported, self.node)
+    }
+
+    /// Datta et al., *A programmable hyper-dimensional processor
+    /// architecture for human-centric IoT* (JETCAS 2019) — trainable,
+    /// but ~10.3 % less accurate than GENERIC and 15.7× less efficient
+    /// after scaling.
+    pub fn datta2019() -> Self {
+        ReportedAccelerator {
+            name: "Datta et al. [10]",
+            node: TechNode::N28,
+            inference_energy_uj_reported: 0.188,
+            supports_training: true,
+        }
+    }
+
+    /// tiny-HD (DATE 2021) — an inference-only engine with smaller
+    /// memories; GENERIC-LP still undercuts it by 4.1× while adding
+    /// training support.
+    pub fn tiny_hd() -> Self {
+        ReportedAccelerator {
+            name: "tiny-HD [8]",
+            node: TechNode::N40,
+            inference_energy_uj_reported: 0.0812,
+            supports_training: false,
+        }
+    }
+
+    /// Both Fig. 9 baselines.
+    pub fn all() -> [ReportedAccelerator; 2] {
+        [Self::datta2019(), Self::tiny_hd()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_shrinks_reported_energies() {
+        for acc in ReportedAccelerator::all() {
+            assert!(acc.inference_energy_uj_14nm() < acc.inference_energy_uj_reported);
+        }
+    }
+
+    #[test]
+    fn datta_remains_costlier_than_tiny_hd_after_scaling() {
+        // The trainable processor pays for its flexibility (larger
+        // memories): Fig. 9 shows it ~3.8× above tiny-HD at 14 nm.
+        let datta = ReportedAccelerator::datta2019().inference_energy_uj_14nm();
+        let tiny = ReportedAccelerator::tiny_hd().inference_energy_uj_14nm();
+        let ratio = datta / tiny;
+        assert!((2.0..6.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn only_datta_supports_training() {
+        assert!(ReportedAccelerator::datta2019().supports_training);
+        assert!(!ReportedAccelerator::tiny_hd().supports_training);
+    }
+}

@@ -1,0 +1,160 @@
+//! CMOS technology-node scaling after Stillmaker & Baas (Integration,
+//! 2017) — the normalization §5.2.2 applies to published accelerator
+//! numbers ("we scale their reported numbers to 14 nm according to\[21\]
+//! for a fair comparison").
+//!
+//! The factors below are per-operation energy and gate-delay multipliers
+//! relative to the 14 nm node, interpolated from the polynomial fits of
+//! the paper for the general-purpose (superthreshold) operating corner.
+
+/// Process nodes covered by the scaling tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TechNode {
+    /// 180 nm.
+    N180,
+    /// 130 nm.
+    N130,
+    /// 90 nm.
+    N90,
+    /// 65 nm.
+    N65,
+    /// 45 nm.
+    N45,
+    /// 40 nm.
+    N40,
+    /// 32 nm.
+    N32,
+    /// 28 nm.
+    N28,
+    /// 22 nm.
+    N22,
+    /// 20 nm.
+    N20,
+    /// 16 nm.
+    N16,
+    /// 14 nm.
+    N14,
+    /// 10 nm.
+    N10,
+    /// 7 nm.
+    N7,
+}
+
+impl TechNode {
+    /// Feature size in nanometres.
+    pub fn nanometres(self) -> u32 {
+        match self {
+            TechNode::N180 => 180,
+            TechNode::N130 => 130,
+            TechNode::N90 => 90,
+            TechNode::N65 => 65,
+            TechNode::N45 => 45,
+            TechNode::N40 => 40,
+            TechNode::N32 => 32,
+            TechNode::N28 => 28,
+            TechNode::N22 => 22,
+            TechNode::N20 => 20,
+            TechNode::N16 => 16,
+            TechNode::N14 => 14,
+            TechNode::N10 => 10,
+            TechNode::N7 => 7,
+        }
+    }
+
+    /// Per-operation energy relative to 14 nm.
+    pub fn energy_vs_14nm(self) -> f64 {
+        match self {
+            TechNode::N180 => 38.0,
+            TechNode::N130 => 21.0,
+            TechNode::N90 => 11.0,
+            TechNode::N65 => 6.7,
+            TechNode::N45 => 4.2,
+            TechNode::N40 => 3.8,
+            TechNode::N32 => 2.8,
+            TechNode::N28 => 2.3,
+            TechNode::N22 => 1.75,
+            TechNode::N20 => 1.55,
+            TechNode::N16 => 1.15,
+            TechNode::N14 => 1.0,
+            TechNode::N10 => 0.78,
+            TechNode::N7 => 0.56,
+        }
+    }
+
+    /// Gate delay relative to 14 nm.
+    pub fn delay_vs_14nm(self) -> f64 {
+        match self {
+            TechNode::N180 => 12.0,
+            TechNode::N130 => 8.2,
+            TechNode::N90 => 5.3,
+            TechNode::N65 => 3.7,
+            TechNode::N45 => 2.6,
+            TechNode::N40 => 2.4,
+            TechNode::N32 => 1.95,
+            TechNode::N28 => 1.75,
+            TechNode::N22 => 1.45,
+            TechNode::N20 => 1.35,
+            TechNode::N16 => 1.1,
+            TechNode::N14 => 1.0,
+            TechNode::N10 => 0.85,
+            TechNode::N7 => 0.7,
+        }
+    }
+}
+
+/// Scales an energy measured at `from` to its 14 nm equivalent.
+pub fn energy_to_14nm(energy: f64, from: TechNode) -> f64 {
+    energy / from.energy_vs_14nm()
+}
+
+/// Scales a latency measured at `from` to its 14 nm equivalent.
+pub fn delay_to_14nm(delay: f64, from: TechNode) -> f64 {
+    delay / from.delay_vs_14nm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [TechNode; 14] = [
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N90,
+        TechNode::N65,
+        TechNode::N45,
+        TechNode::N40,
+        TechNode::N32,
+        TechNode::N28,
+        TechNode::N22,
+        TechNode::N20,
+        TechNode::N16,
+        TechNode::N14,
+        TechNode::N10,
+        TechNode::N7,
+    ];
+
+    #[test]
+    fn factors_shrink_with_feature_size() {
+        for w in ALL.windows(2) {
+            assert!(w[0].nanometres() > w[1].nanometres());
+            assert!(w[0].energy_vs_14nm() > w[1].energy_vs_14nm());
+            assert!(w[0].delay_vs_14nm() > w[1].delay_vs_14nm());
+        }
+    }
+
+    #[test]
+    fn fourteen_nm_is_identity() {
+        assert_eq!(TechNode::N14.energy_vs_14nm(), 1.0);
+        assert_eq!(energy_to_14nm(5.0, TechNode::N14), 5.0);
+        assert_eq!(delay_to_14nm(2.0, TechNode::N14), 2.0);
+    }
+
+    #[test]
+    fn scaling_from_older_nodes_reduces_energy() {
+        let at_40nm = 10.0;
+        let scaled = energy_to_14nm(at_40nm, TechNode::N40);
+        assert!(scaled < at_40nm);
+        assert!((scaled - 10.0 / 3.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,376 @@
+//! Op-count models for the HDC pipeline and each classical-ML baseline,
+//! parameterized by dataset and model shape. One record = one input
+//! (inference) or one full run (training/clustering), priced by
+//! [`Device`](crate::Device).
+
+use crate::ops::OpCounts;
+
+/// Shape of an HDC pipeline (the GENERIC encoding by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HdcShape {
+    /// Hypervector dimensionality.
+    pub dim: usize,
+    /// Features per input.
+    pub n_features: usize,
+    /// Sliding-window length.
+    pub window: usize,
+    /// Number of classes (or centroids).
+    pub n_classes: usize,
+    /// Whether per-window id binding is enabled.
+    pub id_binding: bool,
+}
+
+impl HdcShape {
+    /// Number of sliding windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is degenerate (`window` of zero or larger than
+    /// `n_features`) — silently costing such a shape would underestimate
+    /// every downstream energy figure.
+    pub fn n_windows(&self) -> usize {
+        assert!(
+            self.window >= 1 && self.window <= self.n_features,
+            "window {} must be in 1..=n_features ({})",
+            self.window,
+            self.n_features
+        );
+        self.n_features - self.window + 1
+    }
+
+    /// Encoding one input: per window, `n` XORs of D-bit vectors (plus the
+    /// id binding) and a D-wide ±1 accumulation; levels stream from
+    /// memory.
+    pub fn encode(&self) -> OpCounts {
+        let d = self.dim as f64;
+        let w = self.n_windows() as f64;
+        let n = self.window as f64;
+        let binds = n - 1.0 + if self.id_binding { 1.0 } else { 0.0 };
+        OpCounts {
+            bit_ops: w * d * (binds + 1.0), // XORs + accumulate
+            mac: 0.0,
+            mem_bytes: w * n * d / 8.0 + d * 4.0,
+        }
+    }
+
+    /// Similarity search of one encoded query against all classes.
+    pub fn score(&self) -> OpCounts {
+        let d = self.dim as f64;
+        let c = self.n_classes as f64;
+        OpCounts {
+            mac: c * d,
+            bit_ops: 0.0,
+            mem_bytes: c * d * 2.0, // 16-bit class elements
+        }
+    }
+
+    /// One inference = encode + score.
+    pub fn infer(&self) -> OpCounts {
+        self.encode() + self.score()
+    }
+
+    /// Full training: one bundling pass plus `epochs` retraining epochs in
+    /// which every sample is scored and a `mispredict_rate` fraction
+    /// triggers two class updates (D-wide add/subtract).
+    pub fn train(&self, n_samples: usize, epochs: usize, mispredict_rate: f64) -> OpCounts {
+        let d = self.dim as f64;
+        let n = n_samples as f64;
+        let bundle = (self.encode() + OpCounts::new(0.0, d, d * 4.0)) * n;
+        let per_epoch = (self.infer() + OpCounts::new(0.0, 2.0 * d * mispredict_rate, d * 8.0)) * n;
+        bundle + per_epoch * epochs as f64
+    }
+
+    /// One clustering epoch over `n_samples` inputs with `k` centroids:
+    /// score against k centroids + bundle into the copy centroid.
+    pub fn cluster_epoch(&self, n_samples: usize, k: usize) -> OpCounts {
+        let d = self.dim as f64;
+        let per_input = self.encode()
+            + OpCounts::new(k as f64 * d, 0.0, k as f64 * d * 2.0)
+            + OpCounts::new(0.0, d, d * 4.0);
+        per_input * n_samples as f64
+    }
+}
+
+/// MLP / DNN shape: dense layers including input and output widths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpShape {
+    /// Layer widths from input to output, e.g. `[64, 100, 10]`.
+    pub layers: Vec<usize>,
+}
+
+impl MlpShape {
+    /// Trainable parameter count.
+    pub fn parameters(&self) -> usize {
+        self.layers.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// One forward pass.
+    pub fn infer(&self) -> OpCounts {
+        let p = self.parameters() as f64;
+        OpCounts::new(p, 0.0, p * 4.0)
+    }
+
+    /// Training: forward + backward + update ≈ 3× forward per sample per
+    /// epoch.
+    pub fn train(&self, n_samples: usize, epochs: usize) -> OpCounts {
+        self.infer() * (3.0 * n_samples as f64 * epochs as f64)
+    }
+
+    /// An architecture search multiplies training cost by the number of
+    /// candidates evaluated (the AutoKeras/DNN baseline).
+    pub fn search_train(&self, n_samples: usize, epochs: usize, candidates: usize) -> OpCounts {
+        self.train(n_samples, epochs) * candidates as f64
+    }
+}
+
+/// RBF-kernel SVM shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SvmShape {
+    /// Stored support vectors (≈ the training-set size for kernel SVMs on
+    /// small data).
+    pub n_support: usize,
+    /// Features per sample.
+    pub n_features: usize,
+    /// Number of classes (one-vs-rest machines).
+    pub n_classes: usize,
+}
+
+impl SvmShape {
+    /// One inference: kernel row against every support vector plus the
+    /// per-class weighted sums.
+    pub fn infer(&self) -> OpCounts {
+        let sv = self.n_support as f64;
+        let d = self.n_features as f64;
+        let k = self.n_classes as f64;
+        OpCounts::new(sv * (d + k), 0.0, sv * d * 4.0)
+    }
+
+    /// Training: Gram matrix + `epochs` kernel-Pegasos sweeps.
+    pub fn train(&self, n_samples: usize, epochs: usize) -> OpCounts {
+        let n = n_samples as f64;
+        let d = self.n_features as f64;
+        let k = self.n_classes as f64;
+        let gram = OpCounts::new(n * n * d / 2.0, 0.0, n * n * 4.0);
+        let sweeps = OpCounts::new(epochs as f64 * n * n * k, 0.0, epochs as f64 * n * n * 4.0);
+        gram + sweeps
+    }
+}
+
+/// Random-forest shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestShape {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Average decision depth.
+    pub depth: usize,
+    /// Features per sample.
+    pub n_features: usize,
+}
+
+impl ForestShape {
+    /// One inference: a root-to-leaf compare chain per tree.
+    pub fn infer(&self) -> OpCounts {
+        let work = (self.n_trees * self.depth) as f64;
+        OpCounts::new(0.0, work, work * 8.0)
+    }
+
+    /// Training: per tree, ~`n log n` sort work on `sqrt(d)` candidate
+    /// features at each of `depth` levels.
+    pub fn train(&self, n_samples: usize) -> OpCounts {
+        let n = n_samples as f64;
+        let feats = (self.n_features as f64).sqrt().max(1.0);
+        let per_tree = n * n.log2().max(1.0) * feats * self.depth as f64;
+        OpCounts::new(0.0, per_tree * self.n_trees as f64, per_tree * 4.0)
+    }
+}
+
+/// k-NN shape (training is storage; inference scans the training set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnShape {
+    /// Stored training samples.
+    pub n_train: usize,
+    /// Features per sample.
+    pub n_features: usize,
+}
+
+impl KnnShape {
+    /// One inference: distance to every stored sample.
+    pub fn infer(&self) -> OpCounts {
+        let work = (self.n_train * self.n_features) as f64;
+        OpCounts::new(work, 0.0, work * 4.0)
+    }
+
+    /// Training: copying the data.
+    pub fn train(&self) -> OpCounts {
+        OpCounts::new(0.0, 0.0, (self.n_train * self.n_features) as f64 * 4.0)
+    }
+}
+
+/// Logistic-regression shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LrShape {
+    /// Features per sample.
+    pub n_features: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl LrShape {
+    /// One inference.
+    pub fn infer(&self) -> OpCounts {
+        let p = (self.n_features * self.n_classes) as f64;
+        OpCounts::new(p, 0.0, p * 4.0)
+    }
+
+    /// Training with full-batch gradient descent.
+    pub fn train(&self, n_samples: usize, epochs: usize) -> OpCounts {
+        self.infer() * (2.0 * n_samples as f64 * epochs as f64)
+    }
+}
+
+/// K-means shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeansShape {
+    /// Points being clustered.
+    pub n_points: usize,
+    /// Clusters.
+    pub k: usize,
+    /// Features per point.
+    pub n_features: usize,
+}
+
+impl KMeansShape {
+    /// One Lloyd iteration: every point against every centroid plus the
+    /// centroid update.
+    pub fn iteration(&self) -> OpCounts {
+        let n = self.n_points as f64;
+        let k = self.k as f64;
+        let d = self.n_features as f64;
+        OpCounts::new(n * k * d + n * d, 0.0, n * d * 4.0 + k * d * 4.0)
+    }
+
+    /// A full run of `iters` iterations.
+    pub fn run(&self, iters: usize) -> OpCounts {
+        self.iteration() * iters as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> HdcShape {
+        HdcShape {
+            dim: 4096,
+            n_features: 64,
+            window: 3,
+            n_classes: 10,
+            id_binding: true,
+        }
+    }
+
+    #[test]
+    fn hdc_encode_dominates_inference_bit_ops() {
+        let s = shape();
+        let inf = s.infer();
+        assert!(inf.bit_ops > 1e6, "bit ops = {}", inf.bit_ops);
+        assert_eq!(inf.mac, (10 * 4096) as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "window 10 must be in")]
+    fn degenerate_window_panics() {
+        let bad = HdcShape {
+            window: 10,
+            n_features: 4,
+            ..shape()
+        };
+        let _ = bad.n_windows();
+    }
+
+    #[test]
+    fn disabling_ids_reduces_encode_work() {
+        let with = shape().encode();
+        let without = HdcShape {
+            id_binding: false,
+            ..shape()
+        }
+        .encode();
+        assert!(without.bit_ops < with.bit_ops);
+    }
+
+    #[test]
+    fn hdc_training_scales_with_epochs_and_samples() {
+        let s = shape();
+        let small = s.train(100, 5, 0.2);
+        let big = s.train(200, 10, 0.2);
+        assert!(big.bit_ops > 3.0 * small.bit_ops);
+        assert!(big.mac > 3.0 * small.mac);
+    }
+
+    #[test]
+    fn mlp_parameter_count() {
+        let m = MlpShape {
+            layers: vec![64, 100, 10],
+        };
+        assert_eq!(m.parameters(), 64 * 100 + 100 + 100 * 10 + 10);
+        assert!(m.train(100, 10).mac > m.infer().mac * 1000.0);
+    }
+
+    #[test]
+    fn dnn_search_is_costlier_than_plain_training() {
+        let m = MlpShape {
+            layers: vec![64, 128, 64, 10],
+        };
+        assert!(m.search_train(100, 10, 5).mac > m.train(100, 10).mac * 4.0);
+    }
+
+    #[test]
+    fn rf_inference_is_tiny() {
+        let f = ForestShape {
+            n_trees: 40,
+            depth: 12,
+            n_features: 64,
+        };
+        assert!(f.infer().bit_ops < 1_000.0);
+        assert!(f.train(400).bit_ops > f.infer().bit_ops * 100.0);
+    }
+
+    #[test]
+    fn svm_training_is_quadratic_in_samples() {
+        let s = SvmShape {
+            n_support: 400,
+            n_features: 64,
+            n_classes: 10,
+        };
+        let t1 = s.train(200, 30);
+        let t2 = s.train(400, 30);
+        assert!(t2.mac > 3.5 * t1.mac);
+    }
+
+    #[test]
+    fn kmeans_iteration_counts() {
+        let k = KMeansShape {
+            n_points: 800,
+            k: 2,
+            n_features: 2,
+        };
+        let it = k.iteration();
+        assert_eq!(it.mac, 800.0 * 2.0 * 2.0 + 800.0 * 2.0);
+        assert_eq!(k.run(10).mac, it.mac * 10.0);
+    }
+
+    #[test]
+    fn knn_and_lr_counts() {
+        let knn = KnnShape {
+            n_train: 400,
+            n_features: 64,
+        };
+        assert_eq!(knn.infer().mac, 25_600.0);
+        let lr = LrShape {
+            n_features: 64,
+            n_classes: 10,
+        };
+        assert_eq!(lr.infer().mac, 640.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Shared classifier interface and preprocessing utilities.
+
+use crate::MlError;
+
+/// A trained classifier over dense `f64` feature vectors.
+pub trait Classifier {
+    /// Number of input features the classifier expects.
+    fn n_features(&self) -> usize;
+
+    /// Number of classes.
+    fn n_classes(&self) -> usize;
+
+    /// Predicts the class of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() != self.n_features()`.
+    fn predict(&self, sample: &[f64]) -> usize;
+
+    /// Predicts a batch of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has the wrong width.
+    fn predict_batch(&self, samples: &[Vec<f64>]) -> Vec<usize> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Fraction of `samples` predicted as their `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths or row widths.
+    fn accuracy(&self, samples: &[Vec<f64>], labels: &[usize]) -> f64 {
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "samples/labels length mismatch"
+        );
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .zip(labels)
+            .filter(|&(s, &l)| self.predict(s) == l)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+}
+
+/// Per-feature standardization (zero mean, unit variance), required by the
+/// gradient-based estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits a scaler to training features.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty or ragged input.
+    pub fn fit(features: &[Vec<f64>]) -> Result<Self, MlError> {
+        if features.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        let d = features[0].len();
+        if d == 0 {
+            return Err(MlError::shape("feature rows must be non-empty"));
+        }
+        let n = features.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in features {
+            if row.len() != d {
+                return Err(MlError::shape("ragged feature rows"));
+            }
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for row in features {
+            for (j, &v) in row.iter().enumerate() {
+                stds[j] += (v - means[j]).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centred at zero
+            }
+        }
+        Ok(Scaler { means, stds })
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() != self.n_features()`.
+    pub fn transform(&self, sample: &[f64]) -> Vec<f64> {
+        assert_eq!(sample.len(), self.means.len(), "sample width mismatch");
+        sample
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has the wrong width.
+    pub fn transform_batch(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples.iter().map(|s| self.transform(s)).collect()
+    }
+}
+
+/// Index of the maximum value (first on ties).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub(crate) fn argmax(values: &[f64]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Squared Euclidean distance.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub(crate) fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance operands differ in length");
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_standardizes() {
+        let data = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let scaler = Scaler::fit(&data).unwrap();
+        let t = scaler.transform_batch(&data);
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[j].powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaler_handles_constant_features() {
+        let data = vec![vec![7.0], vec![7.0]];
+        let scaler = Scaler::fit(&data).unwrap();
+        assert_eq!(scaler.transform(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn scaler_rejects_bad_input() {
+        assert!(Scaler::fit(&[]).is_err());
+        assert!(Scaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn squared_distance_basic() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! A small validation-driven architecture search over MLP shapes — the
+//! stand-in for the paper's AutoKeras DNN baseline (§3.2 uses AutoKeras
+//! "for automated model exploration"; here the search space is a fixed
+//! ladder of depths/widths and the selection criterion is held-out
+//! accuracy, which plays the same role deterministically).
+
+use crate::common::Classifier;
+use crate::error::validate_training_data;
+use crate::mlp::{Mlp, MlpSpec};
+use crate::MlError;
+
+/// Hyper-parameters for [`DnnSearch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnSearchSpec {
+    /// Candidate hidden-layer architectures to evaluate.
+    pub candidates: Vec<Vec<usize>>,
+    /// Fraction of the training data held out for selection.
+    pub validation_fraction: f64,
+    /// Epochs per candidate during search (the winner is retrained longer).
+    pub search_epochs: usize,
+    /// Epochs for the final fit of the winning architecture.
+    pub final_epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DnnSearchSpec {
+    fn default() -> Self {
+        DnnSearchSpec {
+            candidates: vec![
+                vec![64],
+                vec![128],
+                vec![128, 64],
+                vec![256, 128],
+                vec![128, 128, 64],
+            ],
+            validation_fraction: 0.25,
+            search_epochs: 40,
+            final_epochs: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// The searched-DNN baseline: evaluates each candidate architecture on a
+/// validation split, then retrains the winner on the full training set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnSearch {
+    model: Mlp,
+    chosen: Vec<usize>,
+    validation_accuracy: f64,
+}
+
+impl DnnSearch {
+    /// Runs the architecture search and final fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid training data or a degenerate spec
+    /// (no candidates, bad validation fraction, ...).
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        spec: DnnSearchSpec,
+    ) -> Result<Self, MlError> {
+        validate_training_data(features, labels, n_classes)?;
+        if spec.candidates.is_empty() {
+            return Err(MlError::invalid("candidates", "must be non-empty"));
+        }
+        if !(0.05..=0.5).contains(&spec.validation_fraction) {
+            return Err(MlError::invalid(
+                "validation_fraction",
+                "must be in [0.05, 0.5]",
+            ));
+        }
+        let n = features.len();
+        let n_val = ((n as f64) * spec.validation_fraction).round() as usize;
+        let n_val = n_val.clamp(1, n - 1);
+        // Deterministic stratified-ish split: every k-th sample goes to
+        // validation (the generators interleave classes, so this is close
+        // to stratified).
+        let stride = n.div_ceil(n_val);
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut val_x = Vec::new();
+        let mut val_y = Vec::new();
+        for i in 0..n {
+            if i % stride == 0 && val_x.len() < n_val {
+                val_x.push(features[i].clone());
+                val_y.push(labels[i]);
+            } else {
+                train_x.push(features[i].clone());
+                train_y.push(labels[i]);
+            }
+        }
+        // The inner split can lose a class from `train_x`; the MLP handles
+        // that (it just never predicts it during search).
+
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, hidden) in spec.candidates.iter().enumerate() {
+            let mlp_spec = MlpSpec {
+                hidden: hidden.clone(),
+                epochs: spec.search_epochs,
+                seed: spec.seed.wrapping_add(ci as u64),
+                ..Default::default()
+            };
+            let candidate = Mlp::fit(&train_x, &train_y, n_classes, mlp_spec)?;
+            let acc = candidate.accuracy(&val_x, &val_y);
+            if best.is_none_or(|(_, b)| acc > b) {
+                best = Some((ci, acc));
+            }
+        }
+        let (chosen_idx, validation_accuracy) = best.expect("candidates non-empty");
+        let chosen = spec.candidates[chosen_idx].clone();
+        let final_spec = MlpSpec {
+            hidden: chosen.clone(),
+            epochs: spec.final_epochs,
+            seed: spec.seed,
+            ..Default::default()
+        };
+        let model = Mlp::fit(features, labels, n_classes, final_spec)?;
+        Ok(DnnSearch {
+            model,
+            chosen,
+            validation_accuracy,
+        })
+    }
+
+    /// The winning hidden-layer architecture.
+    pub fn chosen_architecture(&self) -> &[usize] {
+        &self.chosen
+    }
+
+    /// Validation accuracy the winner achieved during search.
+    pub fn validation_accuracy(&self) -> f64 {
+        self.validation_accuracy
+    }
+
+    /// The final trained network.
+    pub fn model(&self) -> &Mlp {
+        &self.model
+    }
+}
+
+impl Classifier for DnnSearch {
+    fn n_features(&self) -> usize {
+        self.model.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.model.n_classes()
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        self.model.predict(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..90 {
+            let c = i % 3;
+            let (cx, cy) = [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)][c];
+            xs.push(vec![
+                cx + ((i * 13) % 40) as f64 / 40.0,
+                cy + ((i * 29) % 40) as f64 / 40.0,
+            ]);
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn search_picks_an_architecture_and_fits() {
+        let (xs, ys) = blobs();
+        let spec = DnnSearchSpec {
+            candidates: vec![vec![8], vec![16, 8]],
+            search_epochs: 30,
+            final_epochs: 60,
+            ..Default::default()
+        };
+        let dnn = DnnSearch::fit(&xs, &ys, 3, spec).unwrap();
+        assert!(!dnn.chosen_architecture().is_empty());
+        assert!(dnn.accuracy(&xs, &ys) >= 0.95);
+        assert!(dnn.validation_accuracy() > 0.5);
+    }
+
+    #[test]
+    fn validates_spec() {
+        let (xs, ys) = blobs();
+        let bad = DnnSearchSpec {
+            candidates: vec![],
+            ..Default::default()
+        };
+        assert!(DnnSearch::fit(&xs, &ys, 3, bad).is_err());
+        let bad = DnnSearchSpec {
+            validation_fraction: 0.9,
+            ..Default::default()
+        };
+        assert!(DnnSearch::fit(&xs, &ys, 3, bad).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (xs, ys) = blobs();
+        let spec = DnnSearchSpec {
+            candidates: vec![vec![8]],
+            search_epochs: 10,
+            final_epochs: 20,
+            ..Default::default()
+        };
+        let a = DnnSearch::fit(&xs, &ys, 3, spec.clone()).unwrap();
+        let b = DnnSearch::fit(&xs, &ys, 3, spec).unwrap();
+        assert_eq!(a.predict_batch(&xs), b.predict_batch(&xs));
+    }
+}

@@ -1,0 +1,128 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by `generic-ml` estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// Training was invoked with no samples.
+    EmptyInput,
+    /// Features/labels lengths disagree, or rows are ragged.
+    ShapeMismatch {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A label was outside `0..n_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the estimator was configured with.
+        n_classes: usize,
+    },
+    /// A hyper-parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+}
+
+impl MlError {
+    pub(crate) fn shape(detail: impl Into<String>) -> Self {
+        MlError::ShapeMismatch {
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        MlError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyInput => write!(f, "training requires at least one sample"),
+            MlError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            MlError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            MlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MlError {}
+
+/// Validates the common (features, labels, n_classes) training contract.
+pub(crate) fn validate_training_data(
+    features: &[Vec<f64>],
+    labels: &[usize],
+    n_classes: usize,
+) -> Result<usize, MlError> {
+    if features.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    if features.len() != labels.len() {
+        return Err(MlError::shape(format!(
+            "{} feature rows vs {} labels",
+            features.len(),
+            labels.len()
+        )));
+    }
+    if n_classes < 2 {
+        return Err(MlError::invalid("n_classes", "must be at least 2"));
+    }
+    let n_features = features[0].len();
+    if n_features == 0 {
+        return Err(MlError::shape("feature rows must be non-empty"));
+    }
+    for row in features {
+        if row.len() != n_features {
+            return Err(MlError::shape(format!(
+                "ragged rows: expected width {n_features}, found {}",
+                row.len()
+            )));
+        }
+    }
+    for &l in labels {
+        if l >= n_classes {
+            return Err(MlError::LabelOutOfRange {
+                label: l,
+                n_classes,
+            });
+        }
+    }
+    Ok(n_features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_all_contract_violations() {
+        assert!(matches!(
+            validate_training_data(&[], &[], 2),
+            Err(MlError::EmptyInput)
+        ));
+        assert!(validate_training_data(&[vec![1.0]], &[0, 1], 2).is_err());
+        assert!(validate_training_data(&[vec![1.0]], &[0], 1).is_err());
+        assert!(validate_training_data(&[vec![1.0], vec![1.0, 2.0]], &[0, 1], 2).is_err());
+        assert!(validate_training_data(&[vec![1.0]], &[2], 2).is_err());
+        assert_eq!(validate_training_data(&[vec![1.0, 2.0]], &[1], 2), Ok(2));
+    }
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+        assert!(!MlError::EmptyInput.to_string().is_empty());
+    }
+}

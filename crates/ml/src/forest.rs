@@ -1,0 +1,187 @@
+//! Random forest: bagged, feature-subsampled CART trees.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::Classifier;
+use crate::error::validate_training_data;
+use crate::tree::{DecisionTree, DecisionTreeSpec};
+use crate::MlError;
+
+/// Hyper-parameters for [`RandomForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomForestSpec {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree depth limit.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// RNG seed for bootstrap sampling and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for RandomForestSpec {
+    fn default() -> Self {
+        RandomForestSpec {
+            n_trees: 40,
+            max_depth: 12,
+            min_samples_split: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// A bagging ensemble of CART trees, each trained on a bootstrap resample
+/// and restricted to `sqrt(n_features)` candidate features per split —
+/// the paper's most energy-efficient conventional baseline (RF).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Trains the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid training data or a zero tree count.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        spec: RandomForestSpec,
+    ) -> Result<Self, MlError> {
+        let n_features = validate_training_data(features, labels, n_classes)?;
+        if spec.n_trees == 0 {
+            return Err(MlError::invalid("n_trees", "must be positive"));
+        }
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let max_features = ((n_features as f64).sqrt().round() as usize).max(1);
+        let tree_spec = DecisionTreeSpec {
+            max_depth: spec.max_depth,
+            min_samples_split: spec.min_samples_split,
+            max_features: Some(max_features),
+        };
+        let n = features.len();
+        let mut trees = Vec::with_capacity(spec.n_trees);
+        for _ in 0..spec.n_trees {
+            // Bootstrap resample.
+            let mut boot_x = Vec::with_capacity(n);
+            let mut boot_y = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.random_range(0..n);
+                boot_x.push(features[i].clone());
+                boot_y.push(labels[i]);
+            }
+            // A bootstrap may miss a class entirely; that is fine for a
+            // voting ensemble, but `validate_training_data` requires labels
+            // `< n_classes`, which still holds.
+            trees.push(DecisionTree::fit_with_rng(
+                &boot_x,
+                &boot_y,
+                n_classes,
+                tree_spec,
+                Some(&mut rng),
+            )?);
+        }
+        Ok(RandomForest {
+            trees,
+            n_features,
+            n_classes,
+        })
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict(sample)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("votes non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..120 {
+            let c = i % 3;
+            let (cx, cy) = [(0.0, 0.0), (4.0, 4.0), (0.0, 4.0)][c];
+            xs.push(vec![
+                cx + ((i * 17) % 100) as f64 / 60.0,
+                cy + ((i * 31) % 100) as f64 / 60.0,
+                ((i * 7) % 10) as f64, // nuisance feature
+            ]);
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn forest_fits_blobs() {
+        let (xs, ys) = noisy_blobs();
+        let forest = RandomForest::fit(&xs, &ys, 3, RandomForestSpec::default()).unwrap();
+        assert!(forest.accuracy(&xs, &ys) >= 0.95);
+    }
+
+    #[test]
+    fn forest_is_deterministic() {
+        let (xs, ys) = noisy_blobs();
+        let a = RandomForest::fit(&xs, &ys, 3, RandomForestSpec::default()).unwrap();
+        let b = RandomForest::fit(&xs, &ys, 3, RandomForestSpec::default()).unwrap();
+        assert_eq!(a.predict_batch(&xs), b.predict_batch(&xs));
+    }
+
+    #[test]
+    fn more_trees_at_least_match_one_tree() {
+        let (xs, ys) = noisy_blobs();
+        let one = RandomForest::fit(
+            &xs,
+            &ys,
+            3,
+            RandomForestSpec {
+                n_trees: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = RandomForest::fit(&xs, &ys, 3, RandomForestSpec::default()).unwrap();
+        assert!(many.accuracy(&xs, &ys) + 0.05 >= one.accuracy(&xs, &ys));
+    }
+
+    #[test]
+    fn validates_spec() {
+        let (xs, ys) = noisy_blobs();
+        let bad = RandomForestSpec {
+            n_trees: 0,
+            ..Default::default()
+        };
+        assert!(RandomForest::fit(&xs, &ys, 3, bad).is_err());
+    }
+}

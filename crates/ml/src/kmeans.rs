@@ -1,0 +1,283 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding) — the
+//! baseline of Table 2 and Fig. 10.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::squared_distance;
+use crate::MlError;
+
+/// K-means hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansSpec {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeansSpec {
+    /// Spec with default iteration budget (100) and tolerance (1e-6).
+    pub fn new(k: usize) -> Self {
+        KMeansSpec {
+            k,
+            max_iters: 100,
+            tolerance: 1e-6,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Outcome of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansOutcome {
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether the run converged before the iteration budget.
+    pub converged: bool,
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+}
+
+impl KMeans {
+    /// Runs k-means++ initialization followed by Lloyd iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty input, `k == 0`, `k > n`, or ragged rows.
+    pub fn fit(points: &[Vec<f64>], spec: KMeansSpec) -> Result<(Self, KMeansOutcome), MlError> {
+        if points.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if spec.k == 0 {
+            return Err(MlError::invalid("k", "must be positive"));
+        }
+        if spec.k > points.len() {
+            return Err(MlError::invalid(
+                "k",
+                format!("k = {} exceeds {} points", spec.k, points.len()),
+            ));
+        }
+        let d = points[0].len();
+        if points.iter().any(|p| p.len() != d) {
+            return Err(MlError::shape("ragged point rows"));
+        }
+
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut centroids = kmeanspp_init(points, spec.k, &mut rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..spec.max_iters {
+            iterations += 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest(p, &centroids).0;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; d]; spec.k];
+            let mut counts = vec![0usize; spec.k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (j, &v) in p.iter().enumerate() {
+                    sums[a][j] += v;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..spec.k {
+                if counts[c] == 0 {
+                    continue; // keep empty centroid in place
+                }
+                for v in &mut sums[c] {
+                    *v /= counts[c] as f64;
+                }
+                movement += squared_distance(&sums[c], &centroids[c]).sqrt();
+                centroids[c] = std::mem::take(&mut sums[c]);
+            }
+            if movement < spec.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        let inertia = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| squared_distance(p, &centroids[a]))
+            .sum();
+        Ok((
+            KMeans { centroids },
+            KMeansOutcome {
+                assignments,
+                inertia,
+                iterations,
+                converged,
+            },
+        ))
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Assigns a point to its nearest centroid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong width.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        nearest(point, &self.centroids).0
+    }
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = squared_distance(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    let mut dists: Vec<f64> = points
+        .iter()
+        .map(|p| squared_distance(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid: pick uniformly.
+            points[rng.random_range(0..points.len())].clone()
+        } else {
+            let mut t = rng.random_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if t < d {
+                    chosen = i;
+                    break;
+                }
+                t -= d;
+            }
+            points[chosen].clone()
+        };
+        for (i, p) in points.iter().enumerate() {
+            let d = squared_distance(p, &next);
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let c = i % 3;
+            let (cx, cy) = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)][c];
+            let dx = ((i * 37) % 100) as f64 / 100.0 - 0.5;
+            let dy = ((i * 61) % 100) as f64 / 100.0 - 0.5;
+            points.push(vec![cx + dx, cy + dy]);
+            labels.push(c);
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (points, truth) = blobs();
+        let (_, outcome) = KMeans::fit(&points, KMeansSpec::new(3).with_seed(1)).unwrap();
+        // Perfect clustering up to label permutation: every truth class maps
+        // to exactly one cluster.
+        for c in 0..3 {
+            let cluster_ids: std::collections::HashSet<usize> = truth
+                .iter()
+                .zip(&outcome.assignments)
+                .filter(|&(&t, _)| t == c)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(cluster_ids.len(), 1, "class {c} split across clusters");
+        }
+        assert!(outcome.converged);
+    }
+
+    #[test]
+    fn inertia_is_low_for_tight_blobs() {
+        let (points, _) = blobs();
+        let (_, outcome) = KMeans::fit(&points, KMeansSpec::new(3).with_seed(2)).unwrap();
+        assert!(outcome.inertia < 60.0, "inertia = {}", outcome.inertia);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let (points, _) = blobs();
+        let (_, o2) = KMeans::fit(&points, KMeansSpec::new(2).with_seed(3)).unwrap();
+        let (_, o6) = KMeans::fit(&points, KMeansSpec::new(6).with_seed(3)).unwrap();
+        assert!(o6.inertia <= o2.inertia + 1e-9);
+    }
+
+    #[test]
+    fn assign_is_consistent_with_fit() {
+        let (points, _) = blobs();
+        let (model, outcome) = KMeans::fit(&points, KMeansSpec::new(3).with_seed(4)).unwrap();
+        for (p, &a) in points.iter().zip(&outcome.assignments) {
+            assert_eq!(model.assign(p), a);
+        }
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(KMeans::fit(&[], KMeansSpec::new(2)).is_err());
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(KMeans::fit(&pts, KMeansSpec::new(0)).is_err());
+        assert!(KMeans::fit(&pts, KMeansSpec::new(3)).is_err());
+        let ragged = vec![vec![1.0], vec![2.0, 3.0]];
+        assert!(KMeans::fit(&ragged, KMeansSpec::new(1)).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (points, _) = blobs();
+        let a = KMeans::fit(&points, KMeansSpec::new(3).with_seed(9)).unwrap();
+        let b = KMeans::fit(&points, KMeansSpec::new(3).with_seed(9)).unwrap();
+        assert_eq!(a.1.assignments, b.1.assignments);
+    }
+}

@@ -1,0 +1,128 @@
+//! Brute-force k-nearest-neighbours classifier.
+
+use crate::common::{squared_distance, Classifier};
+use crate::error::validate_training_data;
+use crate::MlError;
+
+/// A k-NN classifier storing the full training set (the paper discards its
+/// results as under-performing, but it is part of the Fig. 3 device sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KNearestNeighbors {
+    k: usize,
+    n_classes: usize,
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl KNearestNeighbors {
+    /// "Fits" by storing the training data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid training data or `k == 0`.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        k: usize,
+    ) -> Result<Self, MlError> {
+        validate_training_data(features, labels, n_classes)?;
+        if k == 0 {
+            return Err(MlError::invalid("k", "must be positive"));
+        }
+        Ok(KNearestNeighbors {
+            k: k.min(features.len()),
+            n_classes,
+            features: features.to_vec(),
+            labels: labels.to_vec(),
+        })
+    }
+
+    /// The neighbourhood size in use (clamped to the training-set size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn n_features(&self) -> usize {
+        self.features[0].len()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        assert_eq!(sample.len(), self.n_features(), "sample width mismatch");
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .features
+            .iter()
+            .zip(&self.labels)
+            .map(|(f, &l)| (squared_distance(sample, f), l))
+            .collect();
+        dists.select_nth_unstable_by(self.k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("distances are finite")
+        });
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, l) in &dists[..self.k] {
+            votes[l] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("votes non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let c = i % 2;
+            let off = if c == 0 { 0.0 } else { 10.0 };
+            xs.push(vec![off + (i as f64) * 0.05, off - (i as f64) * 0.03]);
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn classifies_separated_data() {
+        let (xs, ys) = data();
+        let model = KNearestNeighbors::fit(&xs, &ys, 2, 3).unwrap();
+        assert_eq!(model.predict(&[0.2, 0.1]), 0);
+        assert_eq!(model.predict(&[10.1, 9.8]), 1);
+        assert_eq!(model.accuracy(&xs, &ys), 1.0);
+    }
+
+    #[test]
+    fn one_nn_memorizes_training_points() {
+        let (xs, ys) = data();
+        let model = KNearestNeighbors::fit(&xs, &ys, 2, 1).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(model.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_to_training_size() {
+        let (xs, ys) = data();
+        let model = KNearestNeighbors::fit(&xs, &ys, 2, 1000).unwrap();
+        assert_eq!(model.k(), xs.len());
+    }
+
+    #[test]
+    fn validates_input() {
+        let (xs, ys) = data();
+        assert!(KNearestNeighbors::fit(&xs, &ys, 2, 0).is_err());
+        assert!(KNearestNeighbors::fit(&[], &[], 2, 1).is_err());
+    }
+}

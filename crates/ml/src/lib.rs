@@ -1,0 +1,61 @@
+//! # generic-ml
+//!
+//! From-scratch classical machine-learning baselines for the GENERIC
+//! (DAC'22) reproduction. The paper compares its HDC engine against
+//! scikit-learn models (MLP, SVM, random forest, logistic regression,
+//! k-NN, k-means) and AutoKeras-tuned DNNs (§3.2, §5.2, §5.3); this crate
+//! implements equivalents in pure Rust so the whole evaluation is
+//! self-contained:
+//!
+//! - [`KMeans`] — Lloyd's algorithm with k-means++ initialization,
+//! - [`KNearestNeighbors`] — brute-force Euclidean k-NN,
+//! - [`LogisticRegression`] — multinomial softmax with full-batch gradient
+//!   descent,
+//! - [`LinearSvm`] — one-vs-rest L2-regularized hinge loss via SGD,
+//! - [`DecisionTree`] / [`RandomForest`] — CART with Gini impurity and
+//!   bagged, feature-subsampled ensembles,
+//! - [`Mlp`] — ReLU feed-forward network with softmax cross-entropy and
+//!   momentum SGD,
+//! - [`DnnSearch`] — a small validation-driven architecture search over
+//!   MLP shapes, standing in for the paper's AutoKeras baseline.
+//!
+//! All estimators implement the object-safe [`Classifier`] trait and are
+//! deterministic given a seed.
+//!
+//! ```
+//! use generic_ml::{Classifier, LogisticRegression, LogisticRegressionSpec};
+//!
+//! # fn main() -> Result<(), generic_ml::MlError> {
+//! let xs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![5.0, 5.0], vec![5.0, 6.0]];
+//! let ys = vec![0, 0, 1, 1];
+//! let model = LogisticRegression::fit(&xs, &ys, 2, LogisticRegressionSpec::default())?;
+//! assert_eq!(model.predict(&[0.2, 0.1]), 0);
+//! assert_eq!(model.predict(&[5.2, 5.4]), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod dnn;
+mod error;
+mod forest;
+mod kmeans;
+mod knn;
+mod linear;
+mod mlp;
+mod svm;
+mod tree;
+
+pub use common::{Classifier, Scaler};
+pub use dnn::{DnnSearch, DnnSearchSpec};
+pub use error::MlError;
+pub use forest::{RandomForest, RandomForestSpec};
+pub use kmeans::{KMeans, KMeansOutcome, KMeansSpec};
+pub use knn::KNearestNeighbors;
+pub use linear::{LinearSvm, LinearSvmSpec, LogisticRegression, LogisticRegressionSpec};
+pub use mlp::{Mlp, MlpSpec};
+pub use svm::{RbfSvm, RbfSvmSpec};
+pub use tree::{DecisionTree, DecisionTreeSpec};

@@ -1,0 +1,324 @@
+//! Linear baselines: multinomial logistic regression and a one-vs-rest
+//! linear SVM trained with hinge-loss SGD.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{argmax, Classifier, Scaler};
+use crate::error::validate_training_data;
+use crate::MlError;
+
+/// Hyper-parameters for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticRegressionSpec {
+    /// Full-batch gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticRegressionSpec {
+    fn default() -> Self {
+        LogisticRegressionSpec {
+            epochs: 200,
+            learning_rate: 0.5,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// Multinomial (softmax) logistic regression with standardized inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    scaler: Scaler,
+    /// `weights[c][j]`, plus bias at index `n_features`.
+    weights: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Trains with full-batch gradient descent on the softmax
+    /// cross-entropy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid training data or non-positive
+    /// hyper-parameters.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        spec: LogisticRegressionSpec,
+    ) -> Result<Self, MlError> {
+        let n_features = validate_training_data(features, labels, n_classes)?;
+        if spec.epochs == 0 {
+            return Err(MlError::invalid("epochs", "must be positive"));
+        }
+        if spec.learning_rate <= 0.0 || spec.learning_rate.is_nan() {
+            return Err(MlError::invalid("learning_rate", "must be positive"));
+        }
+        let scaler = Scaler::fit(features)?;
+        let xs = scaler.transform_batch(features);
+        let n = xs.len() as f64;
+        let mut weights = vec![vec![0.0; n_features + 1]; n_classes];
+
+        for _ in 0..spec.epochs {
+            let mut grads = vec![vec![0.0; n_features + 1]; n_classes];
+            for (x, &y) in xs.iter().zip(labels) {
+                let probs = softmax(&logits(&weights, x));
+                for (c, grad) in grads.iter_mut().enumerate() {
+                    let err = probs[c] - if c == y { 1.0 } else { 0.0 };
+                    for (j, &xj) in x.iter().enumerate() {
+                        grad[j] += err * xj;
+                    }
+                    grad[n_features] += err;
+                }
+            }
+            for (w, g) in weights.iter_mut().zip(&grads) {
+                for (wj, &gj) in w.iter_mut().zip(g) {
+                    *wj -= spec.learning_rate * (gj / n + spec.l2 * *wj);
+                }
+            }
+        }
+        Ok(LogisticRegression {
+            scaler,
+            weights,
+            n_classes,
+        })
+    }
+
+    /// Class probabilities for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() != self.n_features()`.
+    pub fn probabilities(&self, sample: &[f64]) -> Vec<f64> {
+        let x = self.scaler.transform(sample);
+        softmax(&logits(&self.weights, &x))
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn n_features(&self) -> usize {
+        self.scaler.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        argmax(&self.probabilities(sample))
+    }
+}
+
+fn logits(weights: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    weights
+        .iter()
+        .map(|w| {
+            let bias = w[x.len()];
+            w[..x.len()].iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + bias
+        })
+        .collect()
+}
+
+fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|v| v / sum).collect()
+}
+
+/// Hyper-parameters for [`LinearSvm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSvmSpec {
+    /// SGD epochs over the shuffled training set.
+    pub epochs: usize,
+    /// Regularization parameter λ of the Pegasos-style update.
+    pub lambda: f64,
+    /// RNG seed used for shuffling.
+    pub seed: u64,
+}
+
+impl Default for LinearSvmSpec {
+    fn default() -> Self {
+        LinearSvmSpec {
+            epochs: 150,
+            lambda: 3e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// One-vs-rest linear SVM trained with the Pegasos SGD scheme on the hinge
+/// loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    scaler: Scaler,
+    /// One weight vector (+ bias) per class, scoring class-vs-rest.
+    weights: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl LinearSvm {
+    /// Trains `n_classes` one-vs-rest hinge-loss separators.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid training data or non-positive
+    /// hyper-parameters.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        spec: LinearSvmSpec,
+    ) -> Result<Self, MlError> {
+        let n_features = validate_training_data(features, labels, n_classes)?;
+        if spec.epochs == 0 {
+            return Err(MlError::invalid("epochs", "must be positive"));
+        }
+        if spec.lambda <= 0.0 || spec.lambda.is_nan() {
+            return Err(MlError::invalid("lambda", "must be positive"));
+        }
+        let scaler = Scaler::fit(features)?;
+        let xs = scaler.transform_batch(features);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut weights = vec![vec![0.0; n_features + 1]; n_classes];
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+
+        let mut t = 1.0f64;
+        for _ in 0..spec.epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let x = &xs[i];
+                let eta = 1.0 / (spec.lambda * t);
+                t += 1.0;
+                for (c, w) in weights.iter_mut().enumerate() {
+                    let y = if labels[i] == c { 1.0 } else { -1.0 };
+                    let margin = y
+                        * (w[..n_features]
+                            .iter()
+                            .zip(x)
+                            .map(|(a, b)| a * b)
+                            .sum::<f64>()
+                            + w[n_features]);
+                    // w ← (1 − ηλ)w (+ ηy·x if margin violated)
+                    let shrink = 1.0 - eta * spec.lambda;
+                    for wj in w[..n_features].iter_mut() {
+                        *wj *= shrink;
+                    }
+                    if margin < 1.0 {
+                        for (wj, &xj) in w[..n_features].iter_mut().zip(x) {
+                            *wj += eta * y * xj;
+                        }
+                        w[n_features] += eta * y;
+                    }
+                }
+            }
+        }
+        Ok(LinearSvm {
+            scaler,
+            weights,
+            n_classes,
+        })
+    }
+
+    /// Raw one-vs-rest decision scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() != self.n_features()`.
+    pub fn decision_scores(&self, sample: &[f64]) -> Vec<f64> {
+        let x = self.scaler.transform(sample);
+        logits(&self.weights, &x)
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn n_features(&self) -> usize {
+        self.scaler.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        argmax(&self.decision_scores(sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_class_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..90 {
+            let c = i % 3;
+            let (cx, cy) = centers[c];
+            xs.push(vec![
+                cx + ((i * 13) % 50) as f64 / 50.0,
+                cy + ((i * 29) % 50) as f64 / 50.0,
+            ]);
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn logistic_regression_fits_blobs() {
+        let (xs, ys) = three_class_blobs();
+        let model =
+            LogisticRegression::fit(&xs, &ys, 3, LogisticRegressionSpec::default()).unwrap();
+        assert!(model.accuracy(&xs, &ys) >= 0.98);
+    }
+
+    #[test]
+    fn logistic_probabilities_sum_to_one() {
+        let (xs, ys) = three_class_blobs();
+        let model =
+            LogisticRegression::fit(&xs, &ys, 3, LogisticRegressionSpec::default()).unwrap();
+        let p = model.probabilities(&xs[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn svm_fits_blobs() {
+        let (xs, ys) = three_class_blobs();
+        let model = LinearSvm::fit(&xs, &ys, 3, LinearSvmSpec::default()).unwrap();
+        assert!(model.accuracy(&xs, &ys) >= 0.98);
+    }
+
+    #[test]
+    fn svm_is_deterministic() {
+        let (xs, ys) = three_class_blobs();
+        let a = LinearSvm::fit(&xs, &ys, 3, LinearSvmSpec::default()).unwrap();
+        let b = LinearSvm::fit(&xs, &ys, 3, LinearSvmSpec::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn specs_are_validated() {
+        let (xs, ys) = three_class_blobs();
+        let bad_lr = LogisticRegressionSpec {
+            epochs: 0,
+            ..Default::default()
+        };
+        assert!(LogisticRegression::fit(&xs, &ys, 3, bad_lr).is_err());
+        let bad_svm = LinearSvmSpec {
+            lambda: 0.0,
+            ..Default::default()
+        };
+        assert!(LinearSvm::fit(&xs, &ys, 3, bad_svm).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Multi-layer perceptron with ReLU activations, softmax cross-entropy,
+//! and momentum mini-batch SGD.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{argmax, Classifier, Scaler};
+use crate::error::validate_training_data;
+use crate::MlError;
+
+/// Hyper-parameters for [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpSpec {
+    /// Hidden-layer widths (empty = logistic regression shape).
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpSpec {
+    fn default() -> Self {
+        MlpSpec {
+            hidden: vec![100],
+            epochs: 80,
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer: `weights[out][in]` + per-output bias.
+#[derive(Debug, Clone, PartialEq)]
+struct Layer {
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        // He initialization for ReLU networks.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let weights = (0..n_out)
+            .map(|_| (0..n_in).map(|_| scale * crate::mlp::normal(rng)).collect())
+            .collect();
+        Layer {
+            weights,
+            biases: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, &b)| w.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() + b)
+            .collect()
+    }
+}
+
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A trained feed-forward network. The paper's MLP baseline uses
+/// scikit-learn's `MLPClassifier` defaults (one hidden layer of 100); its
+/// DNN baseline is an AutoKeras-searched deeper network — see
+/// [`DnnSearch`](crate::DnnSearch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    scaler: Scaler,
+    layers: Vec<Layer>,
+    n_classes: usize,
+    spec: MlpSpec,
+}
+
+impl Mlp {
+    /// Trains the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid training data or degenerate
+    /// hyper-parameters.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        spec: MlpSpec,
+    ) -> Result<Self, MlError> {
+        let n_features = validate_training_data(features, labels, n_classes)?;
+        if spec.epochs == 0 {
+            return Err(MlError::invalid("epochs", "must be positive"));
+        }
+        if spec.batch_size == 0 {
+            return Err(MlError::invalid("batch_size", "must be positive"));
+        }
+        if spec.learning_rate <= 0.0 || spec.learning_rate.is_nan() {
+            return Err(MlError::invalid("learning_rate", "must be positive"));
+        }
+        if spec.hidden.contains(&0) {
+            return Err(MlError::invalid("hidden", "layer widths must be positive"));
+        }
+        let scaler = Scaler::fit(features)?;
+        let xs = scaler.transform_batch(features);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        // Build layers: n_features → hidden... → n_classes.
+        let mut sizes = vec![n_features];
+        sizes.extend_from_slice(&spec.hidden);
+        sizes.push(n_classes);
+        let mut layers: Vec<Layer> = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        let mut vel: Vec<Layer> = layers
+            .iter()
+            .map(|l| Layer {
+                weights: l.weights.iter().map(|w| vec![0.0; w.len()]).collect(),
+                biases: vec![0.0; l.biases.len()],
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..spec.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(spec.batch_size) {
+                train_batch(&mut layers, &mut vel, &xs, labels, batch, &spec);
+            }
+        }
+        Ok(Mlp {
+            scaler,
+            layers,
+            n_classes,
+            spec,
+        })
+    }
+
+    /// Class probabilities for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() != self.n_features()`.
+    pub fn probabilities(&self, sample: &[f64]) -> Vec<f64> {
+        let x = self.scaler.transform(sample);
+        let (activations, _) = forward_all(&self.layers, &x);
+        softmax(activations.last().expect("network has layers"))
+    }
+
+    /// The hidden-layer widths of this network.
+    pub fn hidden_sizes(&self) -> &[usize] {
+        &self.spec.hidden
+    }
+
+    /// Total trainable parameters (used by the device cost models).
+    pub fn n_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.iter().map(Vec::len).sum::<usize>() + l.biases.len())
+            .sum()
+    }
+}
+
+impl Classifier for Mlp {
+    fn n_features(&self) -> usize {
+        self.scaler.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        argmax(&self.probabilities(sample))
+    }
+}
+
+/// Forward pass returning pre-softmax activations of every layer (ReLU
+/// applied to all but the last) and the ReLU masks for backprop.
+fn forward_all(layers: &[Layer], x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<bool>>) {
+    let mut activations = Vec::with_capacity(layers.len());
+    let mut masks = Vec::with_capacity(layers.len().saturating_sub(1));
+    let mut current = x.to_vec();
+    for (li, layer) in layers.iter().enumerate() {
+        let mut z = layer.forward(&current);
+        if li + 1 < layers.len() {
+            let mask: Vec<bool> = z.iter().map(|&v| v > 0.0).collect();
+            for (v, &m) in z.iter_mut().zip(&mask) {
+                if !m {
+                    *v = 0.0;
+                }
+            }
+            masks.push(mask);
+        }
+        activations.push(z.clone());
+        current = z;
+    }
+    (activations, masks)
+}
+
+fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|v| v / sum).collect()
+}
+
+fn train_batch(
+    layers: &mut [Layer],
+    vel: &mut [Layer],
+    xs: &[Vec<f64>],
+    labels: &[usize],
+    batch: &[usize],
+    spec: &MlpSpec,
+) {
+    // Accumulate gradients over the batch.
+    let mut grads: Vec<Layer> = layers
+        .iter()
+        .map(|l| Layer {
+            weights: l.weights.iter().map(|w| vec![0.0; w.len()]).collect(),
+            biases: vec![0.0; l.biases.len()],
+        })
+        .collect();
+
+    for &i in batch {
+        let x = &xs[i];
+        let (activations, masks) = forward_all(layers, x);
+        let probs = softmax(activations.last().expect("non-empty"));
+        // Output delta: p - onehot(y).
+        let mut delta: Vec<f64> = probs;
+        delta[labels[i]] -= 1.0;
+
+        for li in (0..layers.len()).rev() {
+            let input: &[f64] = if li == 0 { x } else { &activations[li - 1] };
+            for (o, &d) in delta.iter().enumerate() {
+                for (j, &inj) in input.iter().enumerate() {
+                    grads[li].weights[o][j] += d * inj;
+                }
+                grads[li].biases[o] += d;
+            }
+            if li > 0 {
+                // Propagate delta through weights and the ReLU mask.
+                let mut prev = vec![0.0; input.len()];
+                for (o, &d) in delta.iter().enumerate() {
+                    for (j, p) in prev.iter_mut().enumerate() {
+                        *p += d * layers[li].weights[o][j];
+                    }
+                }
+                for (p, &m) in prev.iter_mut().zip(&masks[li - 1]) {
+                    if !m {
+                        *p = 0.0;
+                    }
+                }
+                delta = prev;
+            }
+        }
+    }
+
+    let scale = 1.0 / batch.len() as f64;
+    for ((layer, v), g) in layers.iter_mut().zip(vel.iter_mut()).zip(&grads) {
+        for ((w_row, v_row), g_row) in layer
+            .weights
+            .iter_mut()
+            .zip(v.weights.iter_mut())
+            .zip(&g.weights)
+        {
+            for ((w, v), &g) in w_row.iter_mut().zip(v_row.iter_mut()).zip(g_row) {
+                *v = spec.momentum * *v - spec.learning_rate * (g * scale + spec.l2 * *w);
+                *w += *v;
+            }
+        }
+        for ((b, v), &g) in layer
+            .biases
+            .iter_mut()
+            .zip(v.biases.iter_mut())
+            .zip(&g.biases)
+        {
+            *v = spec.momentum * *v - spec.learning_rate * g * scale;
+            *b += *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..80 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            let jx = ((i * 13) % 17) as f64 * 0.005;
+            let jy = ((i * 7) % 13) as f64 * 0.005;
+            xs.push(vec![a as f64 + jx, b as f64 + jy]);
+            ys.push(a ^ b);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn mlp_fits_xor() {
+        let (xs, ys) = xor_data();
+        let spec = MlpSpec {
+            hidden: vec![16],
+            epochs: 300,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        let mlp = Mlp::fit(&xs, &ys, 2, spec).unwrap();
+        assert!(
+            mlp.accuracy(&xs, &ys) >= 0.95,
+            "acc = {}",
+            mlp.accuracy(&xs, &ys)
+        );
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (xs, ys) = xor_data();
+        let mlp = Mlp::fit(&xs, &ys, 2, MlpSpec::default()).unwrap();
+        let p = mlp.probabilities(&xs[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (xs, ys) = xor_data();
+        let a = Mlp::fit(&xs, &ys, 2, MlpSpec::default()).unwrap();
+        let b = Mlp::fit(&xs, &ys, 2, MlpSpec::default()).unwrap();
+        assert_eq!(a.predict_batch(&xs), b.predict_batch(&xs));
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let (xs, ys) = xor_data();
+        let spec = MlpSpec {
+            hidden: vec![8, 4],
+            epochs: 1,
+            ..Default::default()
+        };
+        let mlp = Mlp::fit(&xs, &ys, 2, spec).unwrap();
+        // (2*8 + 8) + (8*4 + 4) + (4*2 + 2) = 24 + 36 + 10 = 70
+        assert_eq!(mlp.n_parameters(), 70);
+    }
+
+    #[test]
+    fn validates_spec() {
+        let (xs, ys) = xor_data();
+        let bad = MlpSpec {
+            hidden: vec![0],
+            ..Default::default()
+        };
+        assert!(Mlp::fit(&xs, &ys, 2, bad).is_err());
+        let bad = MlpSpec {
+            epochs: 0,
+            ..Default::default()
+        };
+        assert!(Mlp::fit(&xs, &ys, 2, bad).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! CART decision tree with Gini impurity.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::common::Classifier;
+use crate::error::validate_training_data;
+use crate::MlError;
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionTreeSpec {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of features considered per split; `None` = all features
+    /// (set by [`RandomForest`](crate::RandomForest) to `sqrt(d)`).
+    pub max_features: Option<usize>,
+}
+
+impl Default for DecisionTreeSpec {
+    fn default() -> Self {
+        DecisionTreeSpec {
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART classification tree (arena-allocated nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on all features deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid training data or a zero `max_depth`.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        spec: DecisionTreeSpec,
+    ) -> Result<Self, MlError> {
+        Self::fit_with_rng(features, labels, n_classes, spec, None)
+    }
+
+    /// Fits a tree, optionally subsampling candidate features per split
+    /// using `rng` (the random-forest path).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid training data or a zero `max_depth`.
+    pub fn fit_with_rng(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        spec: DecisionTreeSpec,
+        rng: Option<&mut StdRng>,
+    ) -> Result<Self, MlError> {
+        let n_features = validate_training_data(features, labels, n_classes)?;
+        if spec.max_depth == 0 {
+            return Err(MlError::invalid("max_depth", "must be positive"));
+        }
+        if spec.min_samples_split < 2 {
+            return Err(MlError::invalid("min_samples_split", "must be at least 2"));
+        }
+        let mut builder = TreeBuilder {
+            features,
+            labels,
+            n_classes,
+            n_features,
+            spec,
+            rng,
+            nodes: Vec::new(),
+        };
+        let all: Vec<usize> = (0..features.len()).collect();
+        builder.build(&all, 0);
+        Ok(DecisionTree {
+            nodes: builder.nodes,
+            n_features,
+            n_classes,
+        })
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        assert_eq!(sample.len(), self.n_features, "sample width mismatch");
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+struct TreeBuilder<'a> {
+    features: &'a [Vec<f64>],
+    labels: &'a [usize],
+    n_classes: usize,
+    n_features: usize,
+    spec: DecisionTreeSpec,
+    rng: Option<&'a mut StdRng>,
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder<'_> {
+    /// Builds the subtree over `indices`, returning its node id.
+    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
+        let counts = self.class_counts(indices);
+        let majority = argmax_count(&counts);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= self.spec.max_depth || indices.len() < self.spec.min_samples_split {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        let Some((feature, threshold)) = self.best_split(indices, &counts) else {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| self.features[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        // Reserve this node's slot before recursing so children get later ids.
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: majority }); // placeholder
+        let left = self.build(&left_idx, depth + 1);
+        let right = self.build(&right_idx, depth + 1);
+        self.nodes[id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        id
+    }
+
+    fn class_counts(&self, indices: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &i in indices {
+            counts[self.labels[i]] += 1;
+        }
+        counts
+    }
+
+    /// Exhaustive best Gini split over (a subsample of) features.
+    fn best_split(&mut self, indices: &[usize], parent_counts: &[usize]) -> Option<(usize, f64)> {
+        let candidates: Vec<usize> = match (self.spec.max_features, self.rng.as_deref_mut()) {
+            (Some(m), Some(rng)) if m < self.n_features => {
+                // Sample m distinct features.
+                let mut pool: Vec<usize> = (0..self.n_features).collect();
+                for i in 0..m {
+                    let j = rng.random_range(i..pool.len());
+                    pool.swap(i, j);
+                }
+                pool.truncate(m);
+                pool
+            }
+            _ => (0..self.n_features).collect(),
+        };
+
+        let n = indices.len() as f64;
+        let parent_gini = gini(parent_counts, indices.len());
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+
+        for &f in &candidates {
+            let mut sorted: Vec<usize> = indices.to_vec();
+            sorted.sort_by(|&a, &b| {
+                self.features[a][f]
+                    .partial_cmp(&self.features[b][f])
+                    .expect("finite features")
+            });
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut right_counts = parent_counts.to_vec();
+            for w in 0..sorted.len() - 1 {
+                let i = sorted[w];
+                left_counts[self.labels[i]] += 1;
+                right_counts[self.labels[i]] -= 1;
+                let v_here = self.features[i][f];
+                let v_next = self.features[sorted[w + 1]][f];
+                if v_next <= v_here {
+                    continue; // can't split between equal values
+                }
+                let n_left = w + 1;
+                let n_right = sorted.len() - n_left;
+                let weighted = (n_left as f64 / n) * gini(&left_counts, n_left)
+                    + (n_right as f64 / n) * gini(&right_counts, n_right);
+                let gain = parent_gini - weighted;
+                // Accept zero-gain splits (sklearn behaviour): XOR-like
+                // patterns need a first split that does not reduce Gini.
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, 0.5 * (v_here + v_next), gain));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn argmax_count(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .expect("counts non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Non-linear: the exact XOR grid (each corner repeated), which a
+        // linear model cannot fit but a depth-2 tree can. The first split
+        // has zero Gini gain — the case the zero-gain acceptance exists for.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            xs.push(vec![a as f64, b as f64]);
+            ys.push(a ^ b);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn tree_fits_xor() {
+        let (xs, ys) = xor_data();
+        let tree = DecisionTree::fit(&xs, &ys, 2, DecisionTreeSpec::default()).unwrap();
+        assert_eq!(tree.accuracy(&xs, &ys), 1.0);
+    }
+
+    #[test]
+    fn depth_one_tree_cannot_fit_xor() {
+        let (xs, ys) = xor_data();
+        let spec = DecisionTreeSpec {
+            max_depth: 1,
+            ..Default::default()
+        };
+        let stump = DecisionTree::fit(&xs, &ys, 2, spec).unwrap();
+        assert!(stump.accuracy(&xs, &ys) < 0.8);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1, 1, 1];
+        let tree = DecisionTree::fit(&xs, &ys, 2, DecisionTreeSpec::default()).unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let xs = vec![vec![5.0], vec![5.0], vec![5.0], vec![5.0]];
+        let ys = vec![0, 1, 0, 1];
+        let tree = DecisionTree::fit(&xs, &ys, 2, DecisionTreeSpec::default()).unwrap();
+        assert_eq!(tree.n_nodes(), 1, "no valid split exists");
+    }
+
+    #[test]
+    fn gini_of_pure_set_is_zero() {
+        assert_eq!(gini(&[5, 0], 5), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_spec() {
+        let (xs, ys) = xor_data();
+        let bad = DecisionTreeSpec {
+            max_depth: 0,
+            ..Default::default()
+        };
+        assert!(DecisionTree::fit(&xs, &ys, 2, bad).is_err());
+    }
+}

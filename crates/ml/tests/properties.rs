@@ -1,0 +1,118 @@
+//! Property-based tests for the classical-ML baselines.
+
+use generic_ml::{
+    Classifier, DecisionTree, DecisionTreeSpec, KMeans, KMeansSpec, KNearestNeighbors,
+    LogisticRegression, LogisticRegressionSpec, Scaler,
+};
+use proptest::prelude::*;
+
+/// Two Gaussian-ish blobs parameterized by separation and a seed-like
+/// integer jitter source.
+fn blobs(sep: f64, jitter: u64, n_per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..2 * n_per_class {
+        let c = i % 2;
+        let off = if c == 0 { 0.0 } else { sep };
+        let j1 = ((i as u64).wrapping_mul(jitter | 1) % 100) as f64 / 100.0 - 0.5;
+        let j2 = ((i as u64).wrapping_mul((jitter | 1).rotate_left(7)) % 100) as f64 / 100.0 - 0.5;
+        xs.push(vec![off + j1, off + j2]);
+        ys.push(c);
+    }
+    (xs, ys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any classifier trained on well-separated blobs classifies its own
+    /// training data perfectly.
+    #[test]
+    fn separable_blobs_are_learnable(jitter in any::<u64>()) {
+        let (xs, ys) = blobs(10.0, jitter, 20);
+        let knn = KNearestNeighbors::fit(&xs, &ys, 2, 3).expect("valid data");
+        prop_assert_eq!(knn.accuracy(&xs, &ys), 1.0);
+        let lr = LogisticRegression::fit(&xs, &ys, 2, LogisticRegressionSpec::default())
+            .expect("valid data");
+        prop_assert_eq!(lr.accuracy(&xs, &ys), 1.0);
+        let tree = DecisionTree::fit(&xs, &ys, 2, DecisionTreeSpec::default())
+            .expect("valid data");
+        prop_assert_eq!(tree.accuracy(&xs, &ys), 1.0);
+    }
+
+    /// Logistic-regression probabilities are a valid distribution for any
+    /// query point.
+    #[test]
+    fn lr_probabilities_are_distributions(
+        jitter in any::<u64>(),
+        qx in -20.0f64..20.0,
+        qy in -20.0f64..20.0,
+    ) {
+        let (xs, ys) = blobs(6.0, jitter, 15);
+        let lr = LogisticRegression::fit(&xs, &ys, 2, LogisticRegressionSpec::default())
+            .expect("valid data");
+        let p = lr.probabilities(&[qx, qy]);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// The scaler is an exact affine inverse: transforming the training
+    /// data yields zero mean and unit variance per feature.
+    #[test]
+    fn scaler_normalizes_any_data(rows in prop::collection::vec(
+        prop::collection::vec(-1e3f64..1e3, 3),
+        4..40,
+    )) {
+        let scaler = Scaler::fit(&rows).expect("non-empty, rectangular");
+        let t = scaler.transform_batch(&rows);
+        let n = t.len() as f64;
+        for j in 0..3 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "mean {mean}");
+            let var: f64 = t.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+            // Constant features are left centred (variance 0), otherwise 1.
+            prop_assert!(var < 1e-6 || (var - 1.0).abs() < 1e-6, "var {var}");
+        }
+    }
+
+    /// K-means inertia never increases when k grows (more centroids can
+    /// only fit tighter).
+    #[test]
+    fn kmeans_inertia_is_monotone_in_k(jitter in any::<u64>()) {
+        let (xs, _) = blobs(8.0, jitter, 25);
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let (_, outcome) = KMeans::fit(&xs, KMeansSpec::new(k).with_seed(jitter))
+                .expect("valid data");
+            prop_assert!(outcome.inertia <= last + 1e-9, "k={k}: {} > {last}", outcome.inertia);
+            last = outcome.inertia;
+        }
+    }
+
+    /// K-means assignments always index a valid centroid and cover the
+    /// whole input.
+    #[test]
+    fn kmeans_assignments_are_well_formed(jitter in any::<u64>(), k in 1usize..6) {
+        let (xs, _) = blobs(5.0, jitter, 15);
+        let (model, outcome) = KMeans::fit(&xs, KMeansSpec::new(k).with_seed(jitter))
+            .expect("valid data");
+        prop_assert_eq!(outcome.assignments.len(), xs.len());
+        prop_assert!(outcome.assignments.iter().all(|&a| a < model.k()));
+        for (p, &a) in xs.iter().zip(&outcome.assignments) {
+            prop_assert_eq!(model.assign(p), a);
+        }
+    }
+
+    /// Decision trees never exceed their configured depth (node count is
+    /// bounded by 2^(depth+1) - 1).
+    #[test]
+    fn tree_respects_depth_limit(jitter in any::<u64>(), depth in 1usize..6) {
+        let (xs, ys) = blobs(1.0, jitter, 30); // overlapping: forces deep splits
+        let spec = DecisionTreeSpec {
+            max_depth: depth,
+            ..Default::default()
+        };
+        let tree = DecisionTree::fit(&xs, &ys, 2, spec).expect("valid data");
+        prop_assert!(tree.n_nodes() < (1 << (depth + 1)));
+    }
+}

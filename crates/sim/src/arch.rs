@@ -1,0 +1,219 @@
+//! Architectural configuration — the accelerator's `spec`-port parameters.
+
+use std::fmt;
+
+/// Number of encoding dimensions generated per pass over the input and the
+/// number of class memories (the architectural constant *m*, §4.1).
+pub const LANES: usize = 16;
+
+/// Total class-dimension capacity: `D × n_C` products must fit in
+/// 32 classes × 4K dimensions (§4.1: "class memories can store D = 4K for
+/// up to 32 classes; for an application with fewer classes, more
+/// dimensions can be used").
+pub const CLASS_DIM_CAPACITY: usize = 32 * 4096;
+
+/// Maximum features per input (the 1024×8b feature memory, §5.1).
+pub const MAX_FEATURES: usize = 1024;
+
+/// Number of quantization bins in the level memory (§5.1).
+pub const LEVEL_BINS: usize = 64;
+
+/// Sub-norm granularity for on-demand dimension reduction (§4.3.3).
+pub const SUB_NORM_CHUNK: usize = 128;
+
+/// Per-application configuration delivered over the `spec` port:
+/// dimensionality, feature count, window length, class count, effective
+/// bit-width, and mode-independent constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Hypervector dimensionality `D` (multiple of 128, ≤ capacity).
+    pub dim: usize,
+    /// Features per input `d` (≤ 1024).
+    pub n_features: usize,
+    /// Number of classes or centroids `n_C`.
+    pub n_classes: usize,
+    /// Sliding-window length `n`.
+    pub window: usize,
+    /// Effective class-element bit-width `bw` (1..=16).
+    pub bit_width: u8,
+    /// Whether per-window id binding is enabled (ids = 0 disables, §3.1).
+    pub id_binding: bool,
+    /// Clock frequency in MHz (synthesis target 500 MHz, §5.1).
+    pub clock_mhz: f64,
+    /// Item-memory seed (levels + seed id).
+    pub seed: u64,
+}
+
+impl AcceleratorConfig {
+    /// The paper's default configuration: D = 4K, n = 3, 16-bit model,
+    /// id binding on, 500 MHz.
+    pub fn new(dim: usize, n_features: usize, n_classes: usize) -> Self {
+        AcceleratorConfig {
+            dim,
+            n_features,
+            n_classes,
+            window: 3,
+            bit_width: 16,
+            id_binding: true,
+            clock_mhz: 500.0,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the window length.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides the effective bit-width.
+    pub fn with_bit_width(mut self, bit_width: u8) -> Self {
+        self.bit_width = bit_width;
+        self
+    }
+
+    /// Enables or disables id binding.
+    pub fn with_id_binding(mut self, id_binding: bool) -> Self {
+        self.id_binding = id_binding;
+        self
+    }
+
+    /// Overrides the item-memory seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the configuration against the architecture's hard limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.dim == 0 || !self.dim.is_multiple_of(SUB_NORM_CHUNK) {
+            return Err(ConfigError::new(format!(
+                "dim {} must be a positive multiple of {SUB_NORM_CHUNK}",
+                self.dim
+            )));
+        }
+        if self.n_classes == 0 {
+            return Err(ConfigError::new("n_classes must be positive"));
+        }
+        if self.dim * self.n_classes > CLASS_DIM_CAPACITY {
+            return Err(ConfigError::new(format!(
+                "dim {} × n_classes {} exceeds the class-memory capacity of {CLASS_DIM_CAPACITY} dimensions",
+                self.dim, self.n_classes
+            )));
+        }
+        if self.n_features == 0 || self.n_features > MAX_FEATURES {
+            return Err(ConfigError::new(format!(
+                "n_features {} must be in 1..={MAX_FEATURES}",
+                self.n_features
+            )));
+        }
+        if self.window == 0 || self.window > self.n_features {
+            return Err(ConfigError::new(format!(
+                "window {} must be in 1..=n_features ({})",
+                self.window, self.n_features
+            )));
+        }
+        if !(1..=16).contains(&self.bit_width) {
+            return Err(ConfigError::new(format!(
+                "bit_width {} must be in 1..=16",
+                self.bit_width
+            )));
+        }
+        if self.clock_mhz <= 0.0 || self.clock_mhz.is_nan() {
+            return Err(ConfigError::new("clock_mhz must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Number of sliding windows per input: `d − n + 1`.
+    pub fn n_windows(&self) -> usize {
+        self.n_features - self.window + 1
+    }
+
+    /// Encoder passes per input: `D / m` (each pass yields `m` dimensions).
+    pub fn passes(&self) -> usize {
+        self.dim.div_ceil(LANES)
+    }
+
+    /// Fraction of the class memories this application occupies
+    /// (`n_C · D / (32 · 4K)`, §4.3.2).
+    pub fn class_memory_utilization(&self) -> f64 {
+        (self.n_classes * self.dim) as f64 / CLASS_DIM_CAPACITY as f64
+    }
+
+    /// Clock period in seconds.
+    pub fn clock_period_s(&self) -> f64 {
+        1.0 / (self.clock_mhz * 1e6)
+    }
+}
+
+/// An invalid [`AcceleratorConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid accelerator configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = AcceleratorConfig::new(4096, 64, 10);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.passes(), 256);
+        assert_eq!(c.n_windows(), 62);
+    }
+
+    #[test]
+    fn capacity_trades_dims_for_classes() {
+        // 8K dimensions for 16 classes is legal (§4.1)...
+        assert!(AcceleratorConfig::new(8192, 64, 16).validate().is_ok());
+        // ...but not for 32 classes.
+        assert!(AcceleratorConfig::new(8192, 64, 32).validate().is_err());
+    }
+
+    #[test]
+    fn constraints_are_enforced() {
+        assert!(AcceleratorConfig::new(4096, 0, 2).validate().is_err());
+        assert!(AcceleratorConfig::new(4096, 2000, 2).validate().is_err());
+        assert!(AcceleratorConfig::new(4000, 64, 2).validate().is_err());
+        assert!(AcceleratorConfig::new(4096, 64, 0).validate().is_err());
+        let c = AcceleratorConfig::new(4096, 64, 2).with_window(65);
+        assert!(c.validate().is_err());
+        let c = AcceleratorConfig::new(4096, 64, 2).with_bit_width(0);
+        assert!(c.validate().is_err());
+        let c = AcceleratorConfig::new(4096, 64, 2).with_bit_width(17);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn utilization_matches_paper_examples() {
+        // EEG: 2 classes × 4K dims → 6.25% (paper: minimum 6% for EEG/FACE).
+        let eeg = AcceleratorConfig::new(4096, 64, 2);
+        assert!((eeg.class_memory_utilization() - 0.0625).abs() < 1e-12);
+        // ISOLET with 26 classes → 81% (paper: maximum 81% for ISOLET).
+        let isolet = AcceleratorConfig::new(4096, 617, 26);
+        assert!((isolet.class_memory_utilization() - 0.8125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Mitchell's approximate logarithmic divider (§4.2.1 uses "an approximate
+//! log-based division [18]" — J. N. Mitchell, 1962).
+//!
+//! `log2(x)` is approximated by the position of the leading one plus the
+//! remaining bits read as a linear mantissa; a division becomes a
+//! subtraction of two such approximate logs followed by the inverse
+//! piecewise-linear antilog. The worst-case relative error of a single
+//! log is ~5.7 %, which HDC's similarity ranking absorbs (the same
+//! approximation is applied to every class score).
+
+/// Approximate `a / b` with Mitchell's log-based method.
+///
+/// Returns `0.0` when `a == 0` and `f64::INFINITY` when `b == 0` (the
+/// hardware never divides by zero: norms of trained classes are positive).
+pub fn mitchell_divide(a: u64, b: u64) -> f64 {
+    if a == 0 {
+        return 0.0;
+    }
+    if b == 0 {
+        return f64::INFINITY;
+    }
+    let la = mitchell_log2(a);
+    let lb = mitchell_log2(b);
+    mitchell_exp2(la - lb)
+}
+
+/// Approximate `a / b` where the numerator is a 128-bit integer — the
+/// squared dot products of the similarity metric can exceed `u64` when
+/// class elements saturate, and truncating them would corrupt the
+/// cross-class ranking.
+pub fn mitchell_divide_wide(a: u128, b: u64) -> f64 {
+    if a == 0 {
+        return 0.0;
+    }
+    if b == 0 {
+        return f64::INFINITY;
+    }
+    let la = mitchell_log2_u128(a);
+    let lb = mitchell_log2(b);
+    mitchell_exp2(la - lb)
+}
+
+fn mitchell_log2_u128(x: u128) -> f64 {
+    debug_assert!(x > 0);
+    let k = 127 - x.leading_zeros() as i64;
+    let mantissa = if k == 0 {
+        0.0
+    } else {
+        (x - (1u128 << k)) as f64 / (1u128 << k) as f64
+    };
+    k as f64 + mantissa
+}
+
+/// Mitchell's piecewise-linear `log2` of a positive integer.
+pub fn mitchell_log2(x: u64) -> f64 {
+    debug_assert!(x > 0);
+    let k = 63 - x.leading_zeros() as i64; // floor(log2 x)
+    let mantissa = if k == 0 {
+        0.0
+    } else {
+        (x - (1u64 << k)) as f64 / (1u64 << k) as f64
+    };
+    k as f64 + mantissa
+}
+
+/// The inverse piecewise-linear map: `2^y ≈ 2^floor(y) · (1 + frac(y))`.
+pub fn mitchell_exp2(y: f64) -> f64 {
+    let k = y.floor();
+    let frac = y - k;
+    (1.0 + frac) * k.exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_powers_of_two() {
+        assert_eq!(mitchell_divide(8, 2), 4.0);
+        assert_eq!(mitchell_divide(1024, 32), 32.0);
+        assert_eq!(mitchell_log2(4096), 12.0);
+    }
+
+    #[test]
+    fn error_is_bounded() {
+        // Mitchell's division error stays within ~±12 % across operands
+        // (two logs + one antilog, each within ~6 %).
+        for a in [3u64, 7, 100, 999, 123_456, 999_999_937] {
+            for b in [1u64, 5, 64, 1000, 54_321] {
+                let exact = a as f64 / b as f64;
+                let approx = mitchell_divide(a, b);
+                let rel = (approx - exact).abs() / exact;
+                assert!(rel < 0.125, "a={a} b={b}: rel error {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_strong_ordering() {
+        // Scores that differ by ≥ 25 % keep their order through the
+        // approximate divider (the margin HDC class scores exhibit).
+        let pairs = [(1000u64, 40u64), (1000, 80), (800, 16), (640, 8)];
+        let mut approx: Vec<f64> = pairs.iter().map(|&(a, b)| mitchell_divide(a, b)).collect();
+        let exact: Vec<f64> = pairs.iter().map(|&(a, b)| a as f64 / b as f64).collect();
+        let mut exact_order: Vec<usize> = (0..exact.len()).collect();
+        exact_order.sort_by(|&i, &j| exact[i].partial_cmp(&exact[j]).unwrap());
+        let mut approx_order: Vec<usize> = (0..approx.len()).collect();
+        approx_order.sort_by(|&i, &j| approx[i].partial_cmp(&approx[j]).unwrap());
+        assert_eq!(exact_order, approx_order);
+        approx.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+
+    #[test]
+    fn zero_handling() {
+        assert_eq!(mitchell_divide(0, 5), 0.0);
+        assert_eq!(mitchell_divide(5, 0), f64::INFINITY);
+        assert_eq!(mitchell_divide_wide(0, 5), 0.0);
+        assert_eq!(mitchell_divide_wide(5, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn wide_division_matches_narrow_in_u64_range() {
+        for (a, b) in [(1000u64, 40u64), (123_456, 789), (1, 1)] {
+            assert_eq!(
+                mitchell_divide_wide(u128::from(a), b),
+                mitchell_divide(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn wide_division_handles_beyond_u64_numerators() {
+        // dot ≈ 1.4e11 squared ≈ 1.96e22 > u64::MAX.
+        let dot: i128 = 140_000_000_000;
+        let a = (dot * dot) as u128;
+        let exact = a as f64 / 1e9;
+        let approx = mitchell_divide_wide(a, 1_000_000_000);
+        let rel = (approx - exact).abs() / exact;
+        assert!(rel < 0.125, "rel error {rel}");
+    }
+
+    #[test]
+    fn log_of_one_is_zero() {
+        assert_eq!(mitchell_log2(1), 0.0);
+        assert_eq!(mitchell_exp2(0.0), 1.0);
+    }
+}

@@ -1,0 +1,959 @@
+//! The accelerator engine: functional execution with cycle-accurate
+//! activity accounting.
+//!
+//! ## Cycle model (from §4.1–§4.2)
+//!
+//! With `d` features, `D` dimensions, `m = 16` lanes, `n_C` classes and
+//! `P = D/m` encoder passes:
+//!
+//! - **input load**: `d` cycles over the serial port,
+//! - **encode**: each pass streams the `d` stored features once and emits
+//!   `m` dimensions → `P · d` cycles,
+//! - **search**: each pass dot-products its `m` fresh dimensions against
+//!   all `n_C` class rows (`n_C` cycles), pipelined with the next encode
+//!   pass → per-pass cost `max(d, n_C)`; a final `n_C`-cycle score
+//!   finalization runs the Mitchell divider,
+//! - **class update** (retraining/clustering): read + latch the class
+//!   rows, read the temporary encoded rows, write back → `3 · P` cycles
+//!   per updated class (§4.2.2).
+
+use generic_hdc::encoding::{Encoder, GenericEncoder, GenericEncoderSpec};
+use generic_hdc::{HdcModel, IntHv, QuantizedModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arch::{AcceleratorConfig, ConfigError, LANES, LEVEL_BINS, SUB_NORM_CHUNK};
+use crate::divider::mitchell_divide_wide;
+use crate::energy::{ActivityCounts, EnergyModel, EnergyOptions, EnergyReport};
+use crate::memory::N_CLASS_MEMORIES;
+use crate::report::AreaPowerBreakdown;
+
+/// Errors returned by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration violates an architectural limit.
+    Config(ConfigError),
+    /// An error bubbled up from the HDC library (bad sample widths, ...).
+    Hdc(generic_hdc::HdcError),
+    /// A model being loaded disagrees with the configuration.
+    ModelMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// An operation needs a trained/loaded model but none is present.
+    NoModel,
+    /// A runtime argument was invalid (dims not a multiple of 128, ...).
+    InvalidArgument {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Hdc(e) => write!(f, "{e}"),
+            SimError::ModelMismatch { detail } => write!(f, "model mismatch: {detail}"),
+            SimError::NoModel => write!(f, "no model trained or loaded"),
+            SimError::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<generic_hdc::HdcError> for SimError {
+    fn from(e: generic_hdc::HdcError) -> Self {
+        SimError::Hdc(e)
+    }
+}
+
+/// Result of one inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutcome {
+    /// Predicted class (highest hardware similarity score).
+    pub prediction: usize,
+    /// Per-class hardware scores: `sign(dot) · Mitchell(dot² / ‖C‖²)`.
+    pub scores: Vec<f64>,
+}
+
+/// Result of on-device training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// Mispredictions per retraining epoch.
+    pub epoch_errors: Vec<usize>,
+}
+
+/// Result of on-device clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Cluster index per input.
+    pub assignments: Vec<usize>,
+    /// Epochs executed.
+    pub epochs_run: usize,
+    /// Whether assignments stabilized early.
+    pub converged: bool,
+}
+
+/// The GENERIC accelerator simulator.
+///
+/// ```
+/// use generic_sim::{Accelerator, AcceleratorConfig, EnergyOptions};
+///
+/// # fn main() -> Result<(), generic_sim::SimError> {
+/// let features: Vec<Vec<f64>> = (0..16)
+///     .map(|i| vec![if i % 2 == 0 { 1.0 } else { 9.0 }; 8])
+///     .collect();
+/// let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+///
+/// let config = AcceleratorConfig::new(1024, 8, 2).with_seed(7);
+/// let mut accelerator = Accelerator::new(config, &features)?;
+/// accelerator.train(&features, &labels, 5)?;
+///
+/// let outcome = accelerator.infer(&features[0])?;
+/// assert_eq!(outcome.prediction, 0);
+///
+/// let report = accelerator.energy_report(&EnergyOptions::default());
+/// assert!(report.total_energy_uj > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+    energy: EnergyModel,
+    encoder: GenericEncoder,
+    /// Class rows as 16-bit words (hardware storage format).
+    classes: Vec<Vec<i16>>,
+    /// Per-class, per-128-dim squared sub-norms (the norm2 memory).
+    norm2: Vec<Vec<u64>>,
+    has_model: bool,
+    counts: ActivityCounts,
+}
+
+impl Accelerator {
+    /// Builds an accelerator: validates the configuration and programs the
+    /// item memories (levels fitted to `train_features`, seed id).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration or unusable training
+    /// features.
+    pub fn new(config: AcceleratorConfig, train_features: &[Vec<f64>]) -> Result<Self, SimError> {
+        config.validate()?;
+        let spec = GenericEncoderSpec::new(config.dim, config.n_features)
+            .with_levels(LEVEL_BINS)
+            .with_window(config.window)
+            .with_id_binding(config.id_binding)
+            .with_seeded_ids(true)
+            .with_seed(config.seed);
+        let encoder = GenericEncoder::from_data(spec, train_features)?;
+        let n_chunks = config.dim / SUB_NORM_CHUNK;
+        Ok(Accelerator {
+            config,
+            energy: EnergyModel::paper_default(),
+            encoder,
+            classes: vec![vec![0i16; config.dim]; config.n_classes],
+            norm2: vec![vec![0u64; n_chunks]; config.n_classes],
+            has_model: false,
+            counts: ActivityCounts::default(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The cumulative activity since construction or the last
+    /// [`Accelerator::reset_activity`].
+    pub fn activity(&self) -> &ActivityCounts {
+        &self.counts
+    }
+
+    /// Clears the activity counters.
+    pub fn reset_activity(&mut self) {
+        self.counts = ActivityCounts::default();
+    }
+
+    /// Prices the cumulative activity under the given options.
+    pub fn energy_report(&self, opts: &EnergyOptions) -> EnergyReport {
+        self.energy.report(&self.config, &self.counts, opts)
+    }
+
+    /// Energy burnt while idle for `duration_s` seconds (leakage only —
+    /// the year-long-battery budget of §1 is dominated by this term, which
+    /// is why power gating and voltage over-scaling target static power).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is negative or not finite.
+    pub fn idle_energy_uj(&self, duration_s: f64, opts: &EnergyOptions) -> f64 {
+        assert!(
+            duration_s >= 0.0 && duration_s.is_finite(),
+            "idle duration must be a non-negative finite time"
+        );
+        self.energy.static_power_mw(&self.config, opts) * 1e-3 * duration_s * 1e6
+    }
+
+    /// Area/power breakdown for the cumulative activity (Fig. 7).
+    pub fn breakdown(&self) -> AreaPowerBreakdown {
+        AreaPowerBreakdown::compute(&self.energy, &self.config, &self.counts)
+    }
+
+    /// Loads an offline-trained model over the `config` port, quantizing
+    /// it to the configured bit-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model's dimensionality or class count
+    /// disagrees with the configuration.
+    pub fn load_model(&mut self, model: &HdcModel) -> Result<(), SimError> {
+        if model.dim() != self.config.dim {
+            return Err(SimError::ModelMismatch {
+                detail: format!(
+                    "model dim {} vs configured {}",
+                    model.dim(),
+                    self.config.dim
+                ),
+            });
+        }
+        if model.n_classes() != self.config.n_classes {
+            return Err(SimError::ModelMismatch {
+                detail: format!(
+                    "model has {} classes vs configured {}",
+                    model.n_classes(),
+                    self.config.n_classes
+                ),
+            });
+        }
+        let quantized = QuantizedModel::from_model(model, self.config.bit_width)
+            .expect("bit width validated by config");
+        for (c, row) in self.classes.iter_mut().enumerate() {
+            row.copy_from_slice(quantized.class(c));
+        }
+        self.refresh_all_norms();
+        // Config-port load: one write per class word + norm computation.
+        let words = (self.config.n_classes * self.config.dim) as u64;
+        self.counts.class_writes += words;
+        self.counts.mac_ops += words;
+        self.counts.norm2_accesses += (self.config.n_classes * self.norm2[0].len()) as u64;
+        self.counts.cycles += words / N_CLASS_MEMORIES as u64;
+        self.has_model = true;
+        Ok(())
+    }
+
+    /// Encodes one sample exactly as the encoder unit does (and charges
+    /// the encode activity).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a wrong-width sample.
+    pub fn encode(&mut self, sample: &[f64]) -> Result<IntHv, SimError> {
+        let hv = self.encoder.encode(sample)?;
+        let act = self.encode_activity(true);
+        self.counts.accumulate(&act);
+        Ok(hv)
+    }
+
+    /// Runs one inference (§4.2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no model is present or the sample is malformed.
+    pub fn infer(&mut self, sample: &[f64]) -> Result<InferenceOutcome, SimError> {
+        self.infer_reduced(sample, self.config.dim)
+    }
+
+    /// Runs one inference using only the first `dims` dimensions
+    /// (on-demand dimension reduction, §4.3.3). `dims` must be a positive
+    /// multiple of 128.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no model is present, the sample is malformed,
+    /// or `dims` is not a valid reduction target.
+    pub fn infer_reduced(
+        &mut self,
+        sample: &[f64],
+        dims: usize,
+    ) -> Result<InferenceOutcome, SimError> {
+        if !self.has_model {
+            return Err(SimError::NoModel);
+        }
+        self.check_dims(dims)?;
+        let query = self.encoder.encode(sample)?;
+        let scores = self.hw_scores(&query, dims);
+        let act = self.infer_activity(dims, self.config.n_classes);
+        self.counts.accumulate(&act);
+        Ok(InferenceOutcome {
+            prediction: argmax(&scores),
+            scores,
+        })
+    }
+
+    /// On-device training (§4.2.2): single-pass initialization followed by
+    /// mispredict-driven retraining epochs with hardware scoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed samples or labels.
+    pub fn train(
+        &mut self,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        epochs: usize,
+    ) -> Result<TrainOutcome, SimError> {
+        if features.is_empty() || features.len() != labels.len() {
+            return Err(SimError::InvalidArgument {
+                detail: format!("{} samples vs {} labels", features.len(), labels.len()),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= self.config.n_classes) {
+            return Err(SimError::InvalidArgument {
+                detail: format!(
+                    "label {bad} out of range for {} classes",
+                    self.config.n_classes
+                ),
+            });
+        }
+
+        // Encode once functionally (the hardware re-encodes every epoch;
+        // the activity accounting below charges for that).
+        let encoded: Result<Vec<IntHv>, _> =
+            features.iter().map(|s| self.encoder.encode(s)).collect();
+        let encoded = encoded?;
+
+        // Model initialization: bundle every sample into its class.
+        for row in &mut self.classes {
+            row.fill(0);
+        }
+        for (hv, &label) in encoded.iter().zip(labels) {
+            let act = self.encode_activity(true);
+            self.counts.accumulate(&act);
+            self.bundle_into_class(hv, label);
+            // Accumulation overlaps encoding; charge the row traffic.
+            self.counts.class_reads += (self.config.passes() * N_CLASS_MEMORIES) as u64;
+            self.counts.class_writes += (self.config.passes() * N_CLASS_MEMORIES) as u64;
+        }
+        self.refresh_all_norms();
+        self.charge_norm_refresh(self.config.n_classes);
+        self.has_model = true;
+
+        // Retraining epochs.
+        let mut epoch_errors = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut errors = 0;
+            for (hv, &label) in encoded.iter().zip(labels) {
+                let scores = self.hw_scores(hv, self.config.dim);
+                let mut act = self.infer_activity(self.config.dim, self.config.n_classes);
+                // The encoded hypervector is stored in the temporary class
+                // rows while the similarity check runs (§4.2.2).
+                act.class_writes += (self.config.passes() * N_CLASS_MEMORIES) as u64;
+                self.counts.accumulate(&act);
+                let predicted = argmax(&scores);
+                if predicted != label {
+                    errors += 1;
+                    self.subtract_from_class(hv, predicted);
+                    self.bundle_into_class(hv, label);
+                    self.refresh_class_norms(predicted);
+                    self.refresh_class_norms(label);
+                    let update = self.update_activity();
+                    self.counts.accumulate(&update);
+                    self.counts.accumulate(&update);
+                    self.charge_norm_refresh(2);
+                }
+            }
+            let done = errors == 0;
+            epoch_errors.push(errors);
+            if done {
+                break;
+            }
+        }
+        Ok(TrainOutcome { epoch_errors })
+    }
+
+    /// On-device clustering (§4.2.3): the first `k` encoded inputs seed
+    /// the centroids; each epoch assigns every input to its most similar
+    /// centroid and bundles it into a copy centroid that replaces the
+    /// model next epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed samples or `k` outside
+    /// `1..=n_classes.min(n_samples)`.
+    pub fn cluster(
+        &mut self,
+        features: &[Vec<f64>],
+        k: usize,
+        max_epochs: usize,
+    ) -> Result<ClusterOutcome, SimError> {
+        if features.is_empty() {
+            return Err(SimError::InvalidArgument {
+                detail: "clustering requires at least one input".to_string(),
+            });
+        }
+        if k == 0 || k > self.config.n_classes || k > features.len() {
+            return Err(SimError::InvalidArgument {
+                detail: format!(
+                    "k = {k} outside 1..=min(n_classes = {}, n = {})",
+                    self.config.n_classes,
+                    features.len()
+                ),
+            });
+        }
+        let encoded: Result<Vec<IntHv>, _> =
+            features.iter().map(|s| self.encoder.encode(s)).collect();
+        let encoded = encoded?;
+
+        // Seed centroids with the first k encoded inputs.
+        for row in &mut self.classes {
+            row.fill(0);
+        }
+        for (c, hv) in encoded[..k].iter().enumerate() {
+            self.bundle_into_class(hv, c);
+            let act = self.encode_activity(true);
+            self.counts.accumulate(&act);
+            self.counts.class_writes += (self.config.passes() * N_CLASS_MEMORIES) as u64;
+        }
+        for c in 0..k {
+            self.refresh_class_norms(c);
+        }
+        self.charge_norm_refresh(k);
+        self.has_model = true;
+
+        let mut assignments = vec![0usize; encoded.len()];
+        let mut epochs_run = 0;
+        let mut converged = false;
+        for _ in 0..max_epochs {
+            epochs_run += 1;
+            let mut copies = vec![vec![0i32; self.config.dim]; k];
+            let mut members = vec![0usize; k];
+            let mut new_assignments = Vec::with_capacity(encoded.len());
+            for hv in &encoded {
+                let scores = self.hw_scores_k(hv, self.config.dim, k);
+                let best = argmax(&scores);
+                let mut act = self.infer_activity(self.config.dim, k);
+                // Store encoded dims to temp rows, then update the copy
+                // centroid (one class update, §4.2.3).
+                act.class_writes += (self.config.passes() * N_CLASS_MEMORIES) as u64;
+                self.counts.accumulate(&act);
+                let update = self.update_activity();
+                self.counts.accumulate(&update);
+                for (acc, &v) in copies[best].iter_mut().zip(hv.values()) {
+                    *acc += v;
+                }
+                members[best] += 1;
+                new_assignments.push(best);
+            }
+            for c in 0..k {
+                if members[c] > 0 {
+                    for (slot, &v) in self.classes[c].iter_mut().zip(&copies[c]) {
+                        *slot = saturate(v);
+                    }
+                    self.refresh_class_norms(c);
+                }
+            }
+            self.charge_norm_refresh(k);
+            let stable = new_assignments == assignments && epochs_run > 1;
+            assignments = new_assignments;
+            if stable {
+                converged = true;
+                break;
+            }
+        }
+        Ok(ClusterOutcome {
+            assignments,
+            epochs_run,
+            converged,
+        })
+    }
+
+    /// Re-quantizes the stored model to a narrower effective bit-width
+    /// (the `bw` spec-port parameter plus the mask unit, §4.3.4) — the
+    /// prerequisite for aggressive voltage over-scaling, since narrow
+    /// models tolerate far more bit flips (Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no model is present or `bit_width` is invalid.
+    pub fn requantize(&mut self, bit_width: u8) -> Result<(), SimError> {
+        if !self.has_model {
+            return Err(SimError::NoModel);
+        }
+        if !(1..=16).contains(&bit_width) {
+            return Err(SimError::InvalidArgument {
+                detail: format!("bit_width {bit_width} must be in 1..=16"),
+            });
+        }
+        let class_vectors: Result<Vec<IntHv>, _> = self
+            .classes
+            .iter()
+            .map(|row| IntHv::from_values(row.iter().map(|&v| i32::from(v)).collect()))
+            .collect();
+        let reference = HdcModel::from_class_vectors(class_vectors?)?;
+        let quantized = QuantizedModel::from_model(&reference, bit_width)?;
+        for (c, row) in self.classes.iter_mut().enumerate() {
+            row.copy_from_slice(quantized.class(c));
+        }
+        self.config.bit_width = bit_width;
+        self.refresh_all_norms();
+        let words = (self.config.n_classes * self.config.dim) as u64;
+        self.counts.class_reads += words;
+        self.counts.class_writes += words;
+        self.counts.cycles += 2 * words / N_CLASS_MEMORIES as u64;
+        Ok(())
+    }
+
+    /// Flips each effective class-memory bit with probability `ber`
+    /// (voltage over-scaling fault injection, §4.3.4). Returns the number
+    /// of flipped bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a probability.
+    pub fn inject_class_bit_errors(&mut self, ber: f64, seed: u64) -> Result<usize, SimError> {
+        if !(0.0..=1.0).contains(&ber) || ber.is_nan() {
+            return Err(SimError::InvalidArgument {
+                detail: format!("ber {ber} is not a probability"),
+            });
+        }
+        if ber == 0.0 {
+            return Ok(0);
+        }
+        let bw = u32::from(self.config.bit_width);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flipped = 0;
+        for row in &mut self.classes {
+            for v in row.iter_mut() {
+                if bw == 1 {
+                    if rng.random_bool(ber) {
+                        *v = -*v;
+                        flipped += 1;
+                    }
+                } else {
+                    let mask: u16 = if bw >= 16 { u16::MAX } else { (1u16 << bw) - 1 };
+                    let mut bits = (*v as u16) & mask;
+                    for b in 0..bw {
+                        if rng.random_bool(ber) {
+                            bits ^= 1 << b;
+                            flipped += 1;
+                        }
+                    }
+                    *v = sign_extend(bits, bw);
+                }
+            }
+        }
+        self.refresh_all_norms();
+        Ok(flipped)
+    }
+
+    /// The stored class row for `label` (hardware 16-bit words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= n_classes`.
+    pub fn class_row(&self, label: usize) -> &[i16] {
+        &self.classes[label]
+    }
+
+    // ---- internals -------------------------------------------------
+
+    fn check_dims(&self, dims: usize) -> Result<(), SimError> {
+        if dims == 0 || dims > self.config.dim || !dims.is_multiple_of(SUB_NORM_CHUNK) {
+            return Err(SimError::InvalidArgument {
+                detail: format!(
+                    "dims {dims} must be a positive multiple of {SUB_NORM_CHUNK} up to {}",
+                    self.config.dim
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn hw_scores(&self, query: &IntHv, dims: usize) -> Vec<f64> {
+        self.hw_scores_k(query, dims, self.config.n_classes)
+    }
+
+    /// Hardware similarity: `sign(dot) · Mitchell(dot² / ‖C‖²)` over the
+    /// first `dims` dimensions against the first `rows` classes.
+    fn hw_scores_k(&self, query: &IntHv, dims: usize, rows: usize) -> Vec<f64> {
+        let chunks = dims / SUB_NORM_CHUNK;
+        (0..rows)
+            .map(|c| {
+                let dot: i64 = query.values()[..dims]
+                    .iter()
+                    .zip(&self.classes[c][..dims])
+                    .map(|(&q, &w)| i64::from(q) * i64::from(w))
+                    .sum();
+                let norm2: u64 = self.norm2[c][..chunks].iter().sum();
+                if norm2 == 0 {
+                    return 0.0;
+                }
+                // Square in 128 bits: saturated class rows can push the
+                // dot product past 3e9, whose square overflows i64.
+                let dot2 = (i128::from(dot) * i128::from(dot)) as u128;
+                let quotient = mitchell_divide_wide(dot2, norm2);
+                if dot < 0 {
+                    -quotient
+                } else {
+                    quotient
+                }
+            })
+            .collect()
+    }
+
+    fn bundle_into_class(&mut self, hv: &IntHv, label: usize) {
+        for (slot, &v) in self.classes[label].iter_mut().zip(hv.values()) {
+            *slot = saturate(i32::from(*slot) + v);
+        }
+    }
+
+    fn subtract_from_class(&mut self, hv: &IntHv, label: usize) {
+        for (slot, &v) in self.classes[label].iter_mut().zip(hv.values()) {
+            *slot = saturate(i32::from(*slot) - v);
+        }
+    }
+
+    fn refresh_class_norms(&mut self, label: usize) {
+        for (ci, chunk) in self.classes[label].chunks(SUB_NORM_CHUNK).enumerate() {
+            self.norm2[label][ci] = chunk
+                .iter()
+                .map(|&v| (i64::from(v) * i64::from(v)) as u64)
+                .sum();
+        }
+    }
+
+    fn refresh_all_norms(&mut self) {
+        for c in 0..self.config.n_classes {
+            self.refresh_class_norms(c);
+        }
+    }
+
+    fn charge_norm_refresh(&mut self, n_classes: usize) {
+        // Squared-norm computation reuses the dot-product multipliers
+        // while the class rows stream by (§4.2.2).
+        self.counts.mac_ops += (n_classes * self.config.dim) as u64;
+        self.counts.class_reads += (n_classes * self.config.dim) as u64;
+        self.counts.norm2_accesses += (n_classes * self.norm2[0].len()) as u64;
+        self.counts.cycles += (n_classes * self.config.passes()) as u64;
+    }
+
+    /// Activity of encoding one input. `with_load` charges the serial
+    /// input-port load.
+    fn encode_activity(&self, with_load: bool) -> ActivityCounts {
+        let d = self.config.n_features as u64;
+        let passes = self.config.passes() as u64;
+        let windows = self.config.n_windows() as u64;
+        let id_on = self.config.id_binding;
+        ActivityCounts {
+            cycles: if with_load { d } else { 0 } + passes * d,
+            feature_accesses: if with_load { d } else { 0 } + passes * d,
+            level_reads: passes * d,
+            id_reads: if id_on {
+                passes * windows.div_ceil(LANES as u64)
+            } else {
+                0
+            },
+            xor_ops: passes * windows * (self.config.window as u64 - 1 + u64::from(id_on)),
+            ..Default::default()
+        }
+    }
+
+    /// Activity of one inference over `dims` dimensions against `rows`
+    /// classes, including the pipelined encode.
+    fn infer_activity(&self, dims: usize, rows: usize) -> ActivityCounts {
+        let d = self.config.n_features as u64;
+        let rows = rows as u64;
+        let passes = dims.div_ceil(LANES) as u64;
+        let full_passes = self.config.passes() as u64;
+        // Encode work is proportional to the dimensions actually produced.
+        let mut act = self.encode_activity(true);
+        let scale = |v: u64| v * passes / full_passes.max(1);
+        act.cycles = d + passes * d.max(rows) + rows + 4;
+        act.feature_accesses = d + passes * d;
+        act.level_reads = scale(act.level_reads);
+        act.id_reads = scale(act.id_reads);
+        act.xor_ops = scale(act.xor_ops);
+        act.class_reads = passes * rows * N_CLASS_MEMORIES as u64;
+        act.score_accesses = passes * rows * 2;
+        act.norm2_accesses = rows * (dims / SUB_NORM_CHUNK) as u64;
+        act.mac_ops = passes * rows * LANES as u64;
+        act.divides = rows;
+        act
+    }
+
+    /// Activity of one class update (§4.2.2: `3 · D/m` cycles).
+    fn update_activity(&self) -> ActivityCounts {
+        let passes = self.config.passes() as u64;
+        ActivityCounts {
+            cycles: 3 * passes,
+            class_reads: 2 * passes * N_CLASS_MEMORIES as u64,
+            class_writes: passes * N_CLASS_MEMORIES as u64,
+            ..Default::default()
+        }
+    }
+}
+
+fn saturate(v: i32) -> i16 {
+    v.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+}
+
+fn sign_extend(bits: u16, bw: u32) -> i16 {
+    if bw >= 16 {
+        bits as i16
+    } else if bits & (1 << (bw - 1)) != 0 {
+        (bits | !((1u16 << bw) - 1)) as i16
+    } else {
+        bits as i16
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Well-separated two-class toy data over 16 features.
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..24 {
+            let c = i % 2;
+            let base = if c == 0 { 1.0 } else { 9.0 };
+            xs.push(
+                (0..16)
+                    .map(|j| base + ((i * 5 + j * 3) % 4) as f64 * 0.2)
+                    .collect(),
+            );
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    fn accelerator() -> Accelerator {
+        let (xs, _) = toy();
+        Accelerator::new(AcceleratorConfig::new(1024, 16, 2).with_seed(3), &xs).unwrap()
+    }
+
+    #[test]
+    fn train_then_infer_classifies() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        let outcome = acc.train(&xs, &ys, 5).unwrap();
+        assert!(!outcome.epoch_errors.is_empty());
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(acc.infer(x).unwrap().prediction, y);
+        }
+    }
+
+    #[test]
+    fn matches_library_predictions_at_16_bit() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        // Train the reference model with the *same* encoder settings.
+        let encoded: Vec<IntHv> = xs.iter().map(|x| acc.encoder.encode(x).unwrap()).collect();
+        let mut model = HdcModel::fit(&encoded, &ys, 2).unwrap();
+        model.retrain(&encoded, &ys, 5);
+        acc.load_model(&model).unwrap();
+        for (x, hv) in xs.iter().zip(&encoded) {
+            assert_eq!(
+                acc.infer(x).unwrap().prediction,
+                model.predict(hv),
+                "simulator and library disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn infer_without_model_errors() {
+        let (xs, _) = toy();
+        let mut acc = accelerator();
+        assert!(matches!(acc.infer(&xs[0]), Err(SimError::NoModel)));
+    }
+
+    #[test]
+    fn cycle_counts_follow_the_dataflow_formulas() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        acc.train(&xs, &ys, 1).unwrap();
+        acc.reset_activity();
+        let _ = acc.infer(&xs[0]).unwrap();
+        let c = acc.activity();
+        // d + P·max(d, nC) + nC + 4 with d=16, P=64, nC=2.
+        assert_eq!(c.cycles, 16 + 64 * 16 + 2 + 4);
+        assert_eq!(c.class_reads, 64 * 2 * 16);
+        assert_eq!(c.divides, 2);
+    }
+
+    #[test]
+    fn update_costs_three_passes() {
+        let acc = accelerator();
+        let u = acc.update_activity();
+        assert_eq!(u.cycles, 3 * 64);
+        assert_eq!(u.class_writes, 64 * 16);
+    }
+
+    #[test]
+    fn reduced_dimensions_cost_fewer_cycles() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        acc.train(&xs, &ys, 2).unwrap();
+        acc.reset_activity();
+        let _ = acc.infer_reduced(&xs[0], 1024).unwrap();
+        let full = acc.activity().cycles;
+        acc.reset_activity();
+        let _ = acc.infer_reduced(&xs[0], 256).unwrap();
+        let reduced = acc.activity().cycles;
+        assert!(reduced < full / 2, "full {full} vs reduced {reduced}");
+    }
+
+    #[test]
+    fn reduced_dimensions_keep_accuracy_on_easy_data() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        acc.train(&xs, &ys, 3).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(acc.infer_reduced(x, 512).unwrap().prediction, y);
+        }
+    }
+
+    #[test]
+    fn invalid_dims_rejected() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        acc.train(&xs, &ys, 1).unwrap();
+        assert!(acc.infer_reduced(&xs[0], 100).is_err());
+        assert!(acc.infer_reduced(&xs[0], 0).is_err());
+        assert!(acc.infer_reduced(&xs[0], 2048).is_err());
+    }
+
+    #[test]
+    fn clustering_groups_separable_inputs() {
+        let (xs, _) = toy();
+        let mut acc = accelerator();
+        let outcome = acc.cluster(&xs, 2, 10).unwrap();
+        // All class-0 inputs share a cluster, all class-1 inputs the other.
+        let c0 = outcome.assignments[0];
+        let c1 = outcome.assignments[1];
+        assert_ne!(c0, c1);
+        for (i, &a) in outcome.assignments.iter().enumerate() {
+            assert_eq!(a, if i % 2 == 0 { c0 } else { c1 });
+        }
+    }
+
+    #[test]
+    fn fault_injection_at_zero_is_identity() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        acc.train(&xs, &ys, 2).unwrap();
+        let before = acc.class_row(0).to_vec();
+        assert_eq!(acc.inject_class_bit_errors(0.0, 1).unwrap(), 0);
+        assert_eq!(acc.class_row(0), &before[..]);
+    }
+
+    #[test]
+    fn small_fault_rates_preserve_easy_predictions() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        acc.train(&xs, &ys, 3).unwrap();
+        acc.inject_class_bit_errors(0.001, 7).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|&(x, &y)| acc.infer(x).unwrap().prediction == y)
+            .count();
+        assert!(correct >= xs.len() - 1, "correct = {correct}/{}", xs.len());
+    }
+
+    #[test]
+    fn energy_report_has_sane_power_figures() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        acc.train(&xs, &ys, 3).unwrap();
+        acc.reset_activity();
+        for x in &xs {
+            let _ = acc.infer(x).unwrap();
+        }
+        let report = acc.energy_report(&EnergyOptions::default());
+        // Active power in the low-mW range (paper: ~1.8 mW dynamic).
+        assert!(
+            report.dynamic_power_mw > 0.1 && report.dynamic_power_mw < 10.0,
+            "dynamic = {} mW",
+            report.dynamic_power_mw
+        );
+        assert!(report.static_power_mw < 0.3);
+        assert!(report.total_energy_uj > 0.0);
+    }
+
+    #[test]
+    fn idle_energy_is_linear_in_time() {
+        let acc = accelerator();
+        let opts = EnergyOptions::default();
+        let one = acc.idle_energy_uj(1.0, &opts);
+        let ten = acc.idle_energy_uj(10.0, &opts);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+        assert!(one > 0.0);
+        // Gating reduces idle energy.
+        let ungated = acc.idle_energy_uj(
+            1.0,
+            &EnergyOptions {
+                power_gating: false,
+                vos: None,
+            },
+        );
+        assert!(one < ungated);
+    }
+
+    #[test]
+    fn requantize_narrows_and_preserves_predictions() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        acc.train(&xs, &ys, 3).unwrap();
+        acc.requantize(8).unwrap();
+        assert_eq!(acc.config().bit_width, 8);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(acc.infer(x).unwrap().prediction, y);
+        }
+        assert!(acc.requantize(0).is_err());
+    }
+
+    #[test]
+    fn load_model_validates_shape() {
+        let (xs, ys) = toy();
+        let mut acc = accelerator();
+        let encoded: Vec<IntHv> = xs.iter().map(|x| acc.encoder.encode(x).unwrap()).collect();
+        let wrong_classes = HdcModel::fit(&encoded, &ys, 3).unwrap();
+        assert!(matches!(
+            acc.load_model(&wrong_classes),
+            Err(SimError::ModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn config_errors_propagate() {
+        let (xs, _) = toy();
+        let bad = AcceleratorConfig::new(4000, 16, 2);
+        assert!(matches!(
+            Accelerator::new(bad, &xs),
+            Err(SimError::Config(_))
+        ));
+    }
+}

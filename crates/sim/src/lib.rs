@@ -1,0 +1,54 @@
+//! # generic-sim
+//!
+//! A cycle- and energy-level simulator of the **GENERIC** edge HDC
+//! accelerator (Khaleghi et al., DAC 2022, §4–§5).
+//!
+//! The simulator models the architecture of Fig. 4:
+//!
+//! - input (feature) memory filled element-by-element over the serial
+//!   input port,
+//! - a 64-bin level memory and the compressed 4-Kbit id memory whose ids
+//!   are generated on the fly by permuting a seed id (§4.3.1),
+//! - an encoder producing `m = 16` encoding dimensions per pass over the
+//!   stored input (sliding-window XOR of permuted levels, bound to the
+//!   window id),
+//! - 16 banked class memories holding up to 32 × 4K class dimensions in
+//!   16-bit words, searched with a pipelined dot-product tree,
+//! - score/norm2 memories and a Mitchell approximate log-divider for the
+//!   cosine normalization (§4.2.1),
+//! - training, retraining, and clustering dataflows with their exact cycle
+//!   costs (a class update reads/latches/writes `3·D/m` rows, §4.2.2).
+//!
+//! On top of the functional model sit the paper's energy-reduction
+//! techniques: application-opportunistic power gating of unused class
+//! memory banks (§4.3.2), on-demand dimension reduction with per-128-dim
+//! sub-norms (§4.3.3), and voltage over-scaling of the class memories with
+//! bit-error injection (§4.3.4).
+//!
+//! Everything is calibrated to the paper's reported silicon figures
+//! (0.30 mm², 0.09 mW app-average static / 0.25 mW worst-case, ~1.8 mW
+//! dynamic at 500 MHz in 14 nm) — see [`TechParams`]. The simulator's
+//! *functional* outputs (predictions, cluster assignments) are
+//! bit-faithful to `generic-hdc` up to the documented Mitchell-division
+//! approximation, and the integration tests assert exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod divider;
+mod energy;
+mod engine;
+mod memory;
+mod report;
+mod tech;
+mod vos;
+
+pub use arch::AcceleratorConfig;
+pub use divider::{mitchell_divide, mitchell_divide_wide};
+pub use energy::{ActivityCounts, EnergyModel, EnergyOptions, EnergyReport};
+pub use engine::{Accelerator, ClusterOutcome, InferenceOutcome, SimError, TrainOutcome};
+pub use memory::SramMacro;
+pub use report::{AreaPowerBreakdown, ComponentShare};
+pub use tech::TechParams;
+pub use vos::VosOperatingPoint;

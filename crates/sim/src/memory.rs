@@ -1,0 +1,131 @@
+//! Analytic SRAM macro model (the Artisan-compiler stand-in, §5.1).
+
+use crate::tech::TechParams;
+
+/// One SRAM macro: capacity, word width, and derived area/power figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramMacro {
+    /// Human-readable macro name (appears in the Fig. 7 breakdown).
+    pub name: &'static str,
+    /// Number of words.
+    pub words: usize,
+    /// Bits per word.
+    pub word_bits: usize,
+}
+
+impl SramMacro {
+    /// Creates a macro descriptor.
+    pub const fn new(name: &'static str, words: usize, word_bits: usize) -> Self {
+        SramMacro {
+            name,
+            words,
+            word_bits,
+        }
+    }
+
+    /// Total capacity in bits.
+    pub fn bits(&self) -> usize {
+        self.words * self.word_bits
+    }
+
+    /// Macro area in mm².
+    pub fn area_mm2(&self, tech: &TechParams) -> f64 {
+        self.bits() as f64 * tech.sram_area_per_bit_mm2
+    }
+
+    /// Leakage power in mW (all banks on).
+    pub fn leakage_mw(&self, tech: &TechParams) -> f64 {
+        self.bits() as f64 * tech.sram_leak_per_bit_mw
+    }
+
+    /// Energy of one word read in pJ.
+    pub fn read_energy_pj(&self, tech: &TechParams) -> f64 {
+        self.word_bits as f64 * tech.sram_read_energy_per_bit_pj
+    }
+
+    /// Energy of one word write in pJ.
+    pub fn write_energy_pj(&self, tech: &TechParams) -> f64 {
+        self.word_bits as f64 * tech.sram_write_energy_per_bit_pj
+    }
+}
+
+/// The memory map of the accelerator (§5.1): sizes exactly as reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap {
+    /// 1024 × 8 b feature (input) memory.
+    pub feature: SramMacro,
+    /// 64 levels × 4 Kbit level memory (32 KB).
+    pub level: SramMacro,
+    /// 4 Kbit seed-id memory (after the 1024× compression of §4.3.1).
+    pub id: SramMacro,
+    /// 16 class memories of 8K × 16 b (16 KB each, 256 KB total).
+    pub class: SramMacro,
+    /// Score memory: one 32-bit accumulator row per class (32 rows).
+    pub score: SramMacro,
+    /// norm2 memory: 32 classes × 32 sub-norm rows × 16 b (2 KB, §4.3.3).
+    pub norm2: SramMacro,
+}
+
+/// Number of parallel class memories (matches the encoder lanes).
+pub const N_CLASS_MEMORIES: usize = 16;
+
+impl MemoryMap {
+    /// The paper's memory map for a 4-Kbit-dimension, 32-class device.
+    pub fn paper_default() -> Self {
+        MemoryMap {
+            feature: SramMacro::new("feature mem", 1024, 8),
+            level: SramMacro::new("level mem", 64, 4096),
+            id: SramMacro::new("id mem", 1, 4096),
+            // One of the 16 class memories; callers multiply by
+            // N_CLASS_MEMORIES.
+            class: SramMacro::new("class mem", 8192, 16),
+            score: SramMacro::new("score mem", 32, 32),
+            norm2: SramMacro::new("norm2 mem", 1024, 16),
+        }
+    }
+
+    /// Total class-memory bits across all 16 macros.
+    pub fn class_bits_total(&self) -> usize {
+        self.class.bits() * N_CLASS_MEMORIES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_section_5_1() {
+        let m = MemoryMap::paper_default();
+        assert_eq!(m.level.bits(), 64 * 4096); // 32 KB
+        assert_eq!(m.feature.bits(), 1024 * 8); // 1 KB
+        assert_eq!(m.class.bits(), 8192 * 16); // 16 KB each
+        assert_eq!(m.class_bits_total(), 16 * 8192 * 16); // 256 KB
+        assert_eq!(m.id.bits(), 4096); // 4 Kbit seed id
+        assert_eq!(m.norm2.bits(), 1024 * 16); // 2 KB
+    }
+
+    #[test]
+    fn id_memory_compression_is_1024x() {
+        // Without compression the id memory would hold 1K ids × 4K bits.
+        let uncompressed_bits = 1024 * 4096;
+        let m = MemoryMap::paper_default();
+        assert_eq!(uncompressed_bits / m.id.bits(), 1024);
+    }
+
+    #[test]
+    fn area_scales_with_bits() {
+        let tech = TechParams::gf14();
+        let m = MemoryMap::paper_default();
+        let class_total = m.class.area_mm2(&tech) * N_CLASS_MEMORIES as f64;
+        assert!(class_total > m.level.area_mm2(&tech));
+        assert!(m.level.area_mm2(&tech) > m.feature.area_mm2(&tech));
+    }
+
+    #[test]
+    fn read_energy_scales_with_word_width() {
+        let tech = TechParams::gf14();
+        let m = MemoryMap::paper_default();
+        assert!(m.level.read_energy_pj(&tech) > m.class.read_energy_pj(&tech));
+    }
+}

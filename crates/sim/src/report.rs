@@ -1,0 +1,182 @@
+//! Area and power breakdown of the accelerator (Fig. 7).
+
+use crate::arch::AcceleratorConfig;
+use crate::energy::{ActivityCounts, EnergyModel};
+use crate::memory::N_CLASS_MEMORIES;
+
+/// One component's share of the area / static-power / dynamic-power
+/// breakdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentShare {
+    /// Component name (control, datapath, feature mem, level mem,
+    /// base mem = id + score + norm2, class mem).
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Leakage in mW (all banks on — the worst-case column of §5.1).
+    pub static_mw: f64,
+    /// Dynamic energy share for the supplied activity, pJ.
+    pub dynamic_pj: f64,
+}
+
+/// The full Fig. 7 breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaPowerBreakdown {
+    /// Per-component figures.
+    pub components: Vec<ComponentShare>,
+}
+
+impl AreaPowerBreakdown {
+    /// Computes the breakdown for a configuration and a representative
+    /// activity record (typically one inference).
+    pub fn compute(
+        model: &EnergyModel,
+        config: &AcceleratorConfig,
+        counts: &ActivityCounts,
+    ) -> Self {
+        let t = &model.tech;
+        let m = &model.map;
+        let lanes = crate::arch::LANES as f64;
+        let bw_scale = (f64::from(config.bit_width) / 16.0).powi(2);
+
+        let components = vec![
+            ComponentShare {
+                name: "control",
+                area_mm2: t.control_area_mm2,
+                static_mw: t.control_leak_mw,
+                dynamic_pj: counts.cycles as f64 * t.control_energy_per_cycle_pj,
+            },
+            ComponentShare {
+                name: "datapath",
+                area_mm2: t.datapath_area_mm2,
+                static_mw: t.datapath_leak_mw,
+                dynamic_pj: counts.xor_ops as f64 * t.xor_energy_pj
+                    + counts.mac_ops as f64 * t.mac_energy_pj * bw_scale
+                    + counts.divides as f64 * t.divide_energy_pj,
+            },
+            ComponentShare {
+                name: "feature mem",
+                area_mm2: m.feature.area_mm2(t),
+                static_mw: m.feature.leakage_mw(t) * t.peripheral_sram_leak_factor,
+                dynamic_pj: counts.feature_accesses as f64 * m.feature.read_energy_pj(t),
+            },
+            ComponentShare {
+                name: "level mem",
+                area_mm2: m.level.area_mm2(t),
+                static_mw: m.level.leakage_mw(t) * t.peripheral_sram_leak_factor,
+                dynamic_pj: counts.level_reads as f64 * lanes * t.sram_read_energy_per_bit_pj,
+            },
+            ComponentShare {
+                name: "base mem",
+                area_mm2: m.id.area_mm2(t) + m.score.area_mm2(t) + m.norm2.area_mm2(t),
+                static_mw: (m.id.leakage_mw(t) + m.score.leakage_mw(t) + m.norm2.leakage_mw(t))
+                    * t.peripheral_sram_leak_factor,
+                dynamic_pj: counts.id_reads as f64 * lanes * t.sram_read_energy_per_bit_pj
+                    + counts.score_accesses as f64 * m.score.read_energy_pj(t)
+                    + counts.norm2_accesses as f64 * m.norm2.read_energy_pj(t),
+            },
+            ComponentShare {
+                name: "class mem",
+                area_mm2: m.class.area_mm2(t) * N_CLASS_MEMORIES as f64,
+                static_mw: m.class.leakage_mw(t) * N_CLASS_MEMORIES as f64,
+                dynamic_pj: (counts.class_reads as f64 * m.class.read_energy_pj(t)
+                    + counts.class_writes as f64 * m.class.write_energy_pj(t))
+                    * t.class_sram_energy_factor,
+            },
+        ];
+        AreaPowerBreakdown { components }
+    }
+
+    /// Total area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Total leakage in mW (all banks on).
+    pub fn total_static_mw(&self) -> f64 {
+        self.components.iter().map(|c| c.static_mw).sum()
+    }
+
+    /// Total dynamic energy for the supplied activity, pJ.
+    pub fn total_dynamic_pj(&self) -> f64 {
+        self.components.iter().map(|c| c.dynamic_pj).sum()
+    }
+
+    /// The named component's share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the six components.
+    pub fn component(&self, name: &str) -> &ComponentShare {
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("unknown component `{name}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn representative_counts() -> ActivityCounts {
+        // One 4K-dim inference over 64 features, 10 classes.
+        let passes = 256u64;
+        ActivityCounts {
+            cycles: 64 + passes * 64 + 10,
+            feature_accesses: 64 + passes * 64,
+            level_reads: passes * 64,
+            id_reads: passes * 4,
+            class_reads: passes * 10 * 16,
+            class_writes: 0,
+            score_accesses: passes * 10 * 2,
+            norm2_accesses: 10 * 32,
+            xor_ops: passes * 62 * 3,
+            mac_ops: passes * 10 * 16,
+            divides: 10,
+        }
+    }
+
+    #[test]
+    fn total_area_matches_paper() {
+        // §5.1: GENERIC occupies 0.30 mm².
+        let model = EnergyModel::paper_default();
+        let config = AcceleratorConfig::new(4096, 64, 10);
+        let b = AreaPowerBreakdown::compute(&model, &config, &representative_counts());
+        let area = b.total_area_mm2();
+        assert!((0.27..=0.33).contains(&area), "area = {area} mm²");
+    }
+
+    #[test]
+    fn class_memories_dominate_every_breakdown() {
+        let model = EnergyModel::paper_default();
+        let config = AcceleratorConfig::new(4096, 64, 10);
+        let b = AreaPowerBreakdown::compute(&model, &config, &representative_counts());
+        let class = b.component("class mem");
+        assert!(class.area_mm2 / b.total_area_mm2() > 0.7);
+        assert!(class.static_mw / b.total_static_mw() > 0.8);
+        assert!(class.dynamic_pj / b.total_dynamic_pj() > 0.5);
+    }
+
+    #[test]
+    fn level_memory_is_under_ten_percent() {
+        // §5.1: "the level memory contributes to less than 10% of area and
+        // power".
+        let model = EnergyModel::paper_default();
+        let config = AcceleratorConfig::new(4096, 64, 10);
+        let b = AreaPowerBreakdown::compute(&model, &config, &representative_counts());
+        let level = b.component("level mem");
+        assert!(level.area_mm2 / b.total_area_mm2() < 0.10);
+        assert!(level.static_mw / b.total_static_mw() < 0.10);
+        assert!(level.dynamic_pj / b.total_dynamic_pj() < 0.10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown component")]
+    fn unknown_component_panics() {
+        let model = EnergyModel::paper_default();
+        let config = AcceleratorConfig::new(4096, 64, 10);
+        let b = AreaPowerBreakdown::compute(&model, &config, &representative_counts());
+        let _ = b.component("gpu");
+    }
+}

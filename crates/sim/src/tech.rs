@@ -1,0 +1,113 @@
+//! 14-nm technology parameters calibrating the energy/area model.
+//!
+//! The constants are fitted so the default configuration reproduces the
+//! paper's reported silicon figures (§5.1, Fig. 7): total area 0.30 mm²,
+//! worst-case static power 0.25 mW with all banks on, application-average
+//! static power ≈ 0.09 mW after power gating, active dynamic power
+//! ≈ 1.8 mW at 500 MHz, with the class memories dominating (~80–90 %)
+//! every one of the three breakdowns.
+
+/// Per-technology constants of the analytic area/power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// SRAM area per bit, mm² (bitcell + array overhead).
+    pub sram_area_per_bit_mm2: f64,
+    /// SRAM leakage per bit, mW.
+    pub sram_leak_per_bit_mw: f64,
+    /// SRAM read energy per bit, pJ.
+    pub sram_read_energy_per_bit_pj: f64,
+    /// SRAM write energy per bit, pJ.
+    pub sram_write_energy_per_bit_pj: f64,
+    /// Access-energy multiplier for the deep, 16-way-parallel class
+    /// memory macros relative to the small peripheral SRAMs (calibrated
+    /// so the class memories carry ~80 % of dynamic power, Fig. 7c).
+    pub class_sram_energy_factor: f64,
+    /// Leakage multiplier for the small peripheral SRAMs (shorter
+    /// bitlines, HVT cells) relative to the class memories (calibrated so
+    /// the class memories carry ~91 % of static power, Fig. 7b).
+    pub peripheral_sram_leak_factor: f64,
+    /// Combinational datapath area (XOR tree, adders, multipliers,
+    /// divider, registers), mm².
+    pub datapath_area_mm2: f64,
+    /// Datapath leakage, mW.
+    pub datapath_leak_mw: f64,
+    /// Energy of one `bw`-bit multiply-accumulate at 16-bit width, pJ
+    /// (scaled quadratically with effective bit-width).
+    pub mac_energy_pj: f64,
+    /// Energy of one 16-lane XOR/permute slice operation, pJ.
+    pub xor_energy_pj: f64,
+    /// Energy of one Mitchell log-division, pJ.
+    pub divide_energy_pj: f64,
+    /// Controller area, mm².
+    pub control_area_mm2: f64,
+    /// Controller leakage, mW.
+    pub control_leak_mw: f64,
+    /// Controller dynamic energy per cycle, pJ.
+    pub control_energy_per_cycle_pj: f64,
+}
+
+impl TechParams {
+    /// GlobalFoundries-14-nm-class parameters used throughout the paper
+    /// reproduction.
+    pub fn gf14() -> Self {
+        TechParams {
+            // 2.097 Mbit of class memory → ~0.24 mm² (≈80 % of 0.30 mm²).
+            sram_area_per_bit_mm2: 0.115e-6,
+            // 2.36 Mbit total SRAM → ~0.24 mW worst-case leakage.
+            sram_leak_per_bit_mw: 0.97e-7,
+            // 16 class memories × 16-bit reads per search cycle dominate
+            // the ~1.8 mW dynamic budget at 500 MHz.
+            sram_read_energy_per_bit_pj: 0.011,
+            sram_write_energy_per_bit_pj: 0.014,
+            class_sram_energy_factor: 4.5,
+            peripheral_sram_leak_factor: 0.45,
+            datapath_area_mm2: 0.026,
+            datapath_leak_mw: 0.006,
+            mac_energy_pj: 0.045,
+            xor_energy_pj: 0.008,
+            divide_energy_pj: 0.9,
+            control_area_mm2: 0.022,
+            control_leak_mw: 0.004,
+            control_energy_per_cycle_pj: 0.05,
+        }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams::gf14()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_gf14() {
+        assert_eq!(TechParams::default(), TechParams::gf14());
+    }
+
+    #[test]
+    fn all_constants_positive() {
+        let t = TechParams::gf14();
+        for v in [
+            t.sram_area_per_bit_mm2,
+            t.sram_leak_per_bit_mw,
+            t.sram_read_energy_per_bit_pj,
+            t.sram_write_energy_per_bit_pj,
+            t.class_sram_energy_factor,
+            t.peripheral_sram_leak_factor,
+            t.datapath_area_mm2,
+            t.datapath_leak_mw,
+            t.mac_energy_pj,
+            t.xor_energy_pj,
+            t.divide_energy_pj,
+            t.control_area_mm2,
+            t.control_leak_mw,
+            t.control_energy_per_cycle_pj,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+}

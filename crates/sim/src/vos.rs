@@ -1,0 +1,145 @@
+//! Voltage over-scaling of the class memories (§4.3.4, Fig. 6).
+//!
+//! The class memories burn ~80 % of the accelerator's power, and HDC's
+//! error resilience lets them run below nominal voltage without reducing
+//! the clock. This module provides the voltage ↔ bit-error-rate ↔ power
+//! model, fitted to the trends of Yang & Murmann's measured SRAM scaling
+//! data ([20]): the bit-error rate grows super-exponentially once the
+//! supply drops below ~75 % of nominal, dynamic power scales as `V²`, and
+//! leakage drops roughly as `V³` in the near-threshold regime (DIBL).
+
+/// One voltage operating point of the class memories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VosOperatingPoint {
+    /// Supply as a fraction of nominal (`1.0` = nominal).
+    pub voltage_scale: f64,
+    /// Read bit-error rate at this voltage.
+    pub bit_error_rate: f64,
+    /// Static (leakage) power as a fraction of nominal.
+    pub static_power_factor: f64,
+    /// Dynamic power as a fraction of nominal.
+    pub dynamic_power_factor: f64,
+}
+
+/// Lowest modelled supply fraction.
+pub const MIN_VOLTAGE_SCALE: f64 = 0.55;
+
+/// BER at nominal voltage (effectively error-free).
+const BER_AT_NOMINAL: f64 = 1e-12;
+
+/// BER right at the knee voltage, where errors become observable.
+const BER_AT_KNEE: f64 = 1e-4;
+
+/// Voltage (fraction of nominal) below which errors take off.
+const BER_KNEE: f64 = 0.78;
+
+/// Exponential slope of the BER curve below the knee.
+const BER_SLOPE: f64 = 30.0;
+
+impl VosOperatingPoint {
+    /// The operating point at a given supply fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage_scale` is outside `[MIN_VOLTAGE_SCALE, 1.0]`.
+    pub fn at_voltage(voltage_scale: f64) -> Self {
+        assert!(
+            (MIN_VOLTAGE_SCALE..=1.0).contains(&voltage_scale),
+            "voltage scale {voltage_scale} outside [{MIN_VOLTAGE_SCALE}, 1.0]"
+        );
+        let ber = if voltage_scale >= BER_KNEE {
+            BER_AT_NOMINAL
+        } else {
+            (BER_AT_KNEE.ln() + BER_SLOPE * (BER_KNEE - voltage_scale))
+                .exp()
+                .min(0.5)
+        };
+        VosOperatingPoint {
+            voltage_scale,
+            bit_error_rate: ber,
+            static_power_factor: voltage_scale.powi(3),
+            dynamic_power_factor: voltage_scale.powi(2),
+        }
+    }
+
+    /// The operating point that produces (approximately) a target
+    /// bit-error rate — the inverse used to sweep Fig. 6 by BER.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not in `[0, 0.5]`.
+    pub fn at_bit_error_rate(ber: f64) -> Self {
+        assert!(
+            (0.0..=0.5).contains(&ber) && !ber.is_nan(),
+            "ber {ber} outside [0, 0.5]"
+        );
+        if ber <= BER_AT_KNEE {
+            return Self::at_voltage(1.0);
+        }
+        // Invert the exponential: v = knee − (ln ber − ln ber_knee) / slope.
+        let v = BER_KNEE - (ber.ln() - BER_AT_KNEE.ln()) / BER_SLOPE;
+        Self::at_voltage(v.clamp(MIN_VOLTAGE_SCALE, 1.0))
+    }
+
+    /// Combined power-reduction factors `(static, dynamic)` expressed the
+    /// way Fig. 6's right axis reports them (nominal ÷ scaled).
+    pub fn power_reduction(&self) -> (f64, f64) {
+        (
+            1.0 / self.static_power_factor,
+            1.0 / self.dynamic_power_factor,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_error_free_and_full_power() {
+        let p = VosOperatingPoint::at_voltage(1.0);
+        assert!(p.bit_error_rate < 1e-9);
+        assert_eq!(p.static_power_factor, 1.0);
+        assert_eq!(p.dynamic_power_factor, 1.0);
+    }
+
+    #[test]
+    fn ber_grows_monotonically_as_voltage_drops() {
+        let mut prev = VosOperatingPoint::at_voltage(1.0).bit_error_rate;
+        for i in 1..=9 {
+            let v = 1.0 - 0.045 * i as f64;
+            let p = VosOperatingPoint::at_voltage(v);
+            assert!(p.bit_error_rate >= prev, "v={v}");
+            prev = p.bit_error_rate;
+        }
+    }
+
+    #[test]
+    fn ten_percent_ber_gives_multi_x_power_reduction() {
+        // Fig. 6's right axis reaches ~6-7× static power reduction around
+        // 10 % bit-error rate.
+        let p = VosOperatingPoint::at_bit_error_rate(0.10);
+        let (static_red, dyn_red) = p.power_reduction();
+        assert!(static_red > 4.0, "static reduction = {static_red}");
+        assert!(static_red < 12.0, "static reduction = {static_red}");
+        assert!(
+            dyn_red > 1.5 && dyn_red < 4.0,
+            "dynamic reduction = {dyn_red}"
+        );
+    }
+
+    #[test]
+    fn ber_round_trips_through_voltage() {
+        for target in [0.001, 0.01, 0.05, 0.1] {
+            let p = VosOperatingPoint::at_bit_error_rate(target);
+            let rel = (p.bit_error_rate - target).abs() / target;
+            assert!(rel < 0.05, "target {target}: got {}", p.bit_error_rate);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn voltage_below_floor_panics() {
+        let _ = VosOperatingPoint::at_voltage(0.3);
+    }
+}

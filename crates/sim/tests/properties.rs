@@ -1,0 +1,130 @@
+//! Property-based tests for the accelerator simulator: the cycle/energy
+//! accounting must follow the §4 dataflow formulas for any configuration,
+//! and the functional model must stay self-consistent under its knobs.
+
+use generic_sim::{mitchell_divide, EnergyModel};
+use generic_sim::{Accelerator, AcceleratorConfig, EnergyOptions, VosOperatingPoint};
+use proptest::prelude::*;
+
+fn toy_features(n_features: usize, rows: usize) -> Vec<Vec<f64>> {
+    (0..rows)
+        .map(|i| {
+            (0..n_features)
+                .map(|j| ((i * 5 + j * 3) % 13) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Inference cycles follow `d + P·max(d, n_C) + n_C + 4` exactly.
+    #[test]
+    fn inference_cycle_formula_holds(
+        dim_idx in 0usize..3,
+        n_features in 8usize..40,
+        n_classes in 2usize..8,
+    ) {
+        let dim = [1024usize, 2048, 4096][dim_idx];
+        let features = toy_features(n_features, 4 * n_classes);
+        let labels: Vec<usize> = (0..features.len()).map(|i| i % n_classes).collect();
+        let config = AcceleratorConfig::new(dim, n_features, n_classes).with_seed(1);
+        let mut acc = Accelerator::new(config, &features).expect("valid config");
+        acc.train(&features, &labels, 1).expect("valid data");
+        acc.reset_activity();
+        acc.infer(&features[0]).expect("trained");
+        let passes = (dim / 16) as u64;
+        let d = n_features as u64;
+        let c = n_classes as u64;
+        let expected = d + passes * d.max(c) + c + 4;
+        prop_assert_eq!(acc.activity().cycles, expected);
+        prop_assert_eq!(acc.activity().divides, c);
+        prop_assert_eq!(acc.activity().class_reads, passes * c * 16);
+    }
+
+    /// Mitchell division is exact on powers of two and within ±12.5 %
+    /// everywhere.
+    #[test]
+    fn mitchell_division_error_bound(a in 1u64..1_000_000_000, b in 1u64..1_000_000) {
+        let exact = a as f64 / b as f64;
+        let approx = mitchell_divide(a, b);
+        let rel = (approx - exact).abs() / exact;
+        prop_assert!(rel < 0.125, "a={a} b={b}: rel {rel}");
+    }
+
+    /// Static power with gating is monotone in the class count and never
+    /// exceeds the ungated figure.
+    #[test]
+    fn gated_static_power_is_monotone(c1 in 1usize..16, c2 in 16usize..33) {
+        let model = EnergyModel::paper_default();
+        let small = AcceleratorConfig::new(4096, 64, c1);
+        let large = AcceleratorConfig::new(4096, 64, c2);
+        let opts = EnergyOptions::default();
+        let p_small = model.static_power_mw(&small, &opts);
+        let p_large = model.static_power_mw(&large, &opts);
+        prop_assert!(p_small <= p_large + 1e-12);
+        let ungated = model.static_power_mw(
+            &large,
+            &EnergyOptions { power_gating: false, vos: None },
+        );
+        prop_assert!(p_large <= ungated + 1e-12);
+    }
+
+    /// Every voltage operating point keeps its factors in (0, 1] and its
+    /// BER in [0, 0.5].
+    #[test]
+    fn vos_points_are_physical(v in 0.55f64..=1.0) {
+        let p = VosOperatingPoint::at_voltage(v);
+        prop_assert!(p.static_power_factor > 0.0 && p.static_power_factor <= 1.0);
+        prop_assert!(p.dynamic_power_factor > 0.0 && p.dynamic_power_factor <= 1.0);
+        prop_assert!((0.0..=0.5).contains(&p.bit_error_rate));
+        prop_assert!(p.static_power_factor <= p.dynamic_power_factor + 1e-12);
+    }
+
+    /// Dimension-reduced inference never costs more cycles than full
+    /// inference, and the ratio tracks the dimension ratio.
+    #[test]
+    fn reduced_inference_scales_cycles(chunks in 1usize..8) {
+        let dims = 512 * chunks.min(8);
+        let features = toy_features(16, 8);
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let config = AcceleratorConfig::new(4096, 16, 2).with_seed(2);
+        let mut acc = Accelerator::new(config, &features).expect("valid config");
+        acc.train(&features, &labels, 1).expect("valid data");
+        acc.reset_activity();
+        acc.infer_reduced(&features[0], dims).expect("trained");
+        let reduced = acc.activity().cycles;
+        acc.reset_activity();
+        acc.infer(&features[0]).expect("trained");
+        let full = acc.activity().cycles;
+        prop_assert!(reduced <= full);
+        let ratio = reduced as f64 / full as f64;
+        let expected = dims as f64 / 4096.0;
+        prop_assert!((ratio - expected).abs() < 0.05, "ratio {ratio} vs {expected}");
+    }
+
+    /// Fault injection is deterministic under a seed and flips a fraction
+    /// of bits consistent with the BER.
+    #[test]
+    fn fault_injection_statistics(seed in any::<u64>(), ber_pct in 1u32..20) {
+        let ber = f64::from(ber_pct) / 100.0;
+        let features = toy_features(16, 8);
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let config = AcceleratorConfig::new(1024, 16, 2).with_seed(3);
+        let mut acc = Accelerator::new(config, &features).expect("valid config");
+        acc.train(&features, &labels, 1).expect("valid data");
+        let mut a = acc.clone();
+        let mut b = acc.clone();
+        let fa = a.inject_class_bit_errors(ber, seed).expect("valid ber");
+        let fb = b.inject_class_bit_errors(ber, seed).expect("valid ber");
+        prop_assert_eq!(fa, fb);
+        prop_assert_eq!(a.class_row(0), b.class_row(0));
+        let total_bits = (2 * 1024 * 16) as f64;
+        let expected = total_bits * ber;
+        prop_assert!(
+            (fa as f64) > expected * 0.5 && (fa as f64) < expected * 1.5,
+            "flipped {fa}, expected ~{expected}"
+        );
+    }
+}

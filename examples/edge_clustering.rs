@@ -1,0 +1,51 @@
+//! Edge clustering: unsupervised learning on the accelerator (§4.2.3) —
+//! cluster sensor data without labels and compare against K-means, both in
+//! quality (NMI) and in simulated on-device energy.
+//!
+//! Run with: `cargo run -p generic-bench --release --example edge_clustering`
+
+use generic_datasets::ClusteringBenchmark;
+use generic_hdc::metrics::normalized_mutual_information;
+use generic_ml::{KMeans, KMeansSpec};
+use generic_sim::{Accelerator, AcceleratorConfig, EnergyOptions};
+
+fn main() {
+    for benchmark in [ClusteringBenchmark::Hepta, ClusteringBenchmark::Iris] {
+        let ds = benchmark.load(42);
+        println!(
+            "{}: {} points, {} features, k = {}",
+            benchmark,
+            ds.len(),
+            ds.n_features(),
+            ds.k
+        );
+
+        // K-means reference (software).
+        let (_, kmeans) = KMeans::fit(&ds.points, KMeansSpec::new(ds.k).with_seed(42))
+            .expect("well-formed points");
+        let kmeans_nmi =
+            normalized_mutual_information(&kmeans.assignments, &ds.labels).expect("equal lengths");
+
+        // HDC clustering on the simulated accelerator.
+        let config = AcceleratorConfig::new(4096, ds.n_features(), ds.k.max(2))
+            .with_window(3.min(ds.n_features()))
+            .with_seed(42);
+        let mut acc = Accelerator::new(config, &ds.points).expect("fits the architecture");
+        let outcome = acc.cluster(&ds.points, ds.k, 10).expect("k <= n");
+        let hdc_nmi =
+            normalized_mutual_information(&outcome.assignments, &ds.labels).expect("equal lengths");
+
+        let report = acc.energy_report(&EnergyOptions::default());
+        let per_input_uj = report.total_energy_uj / (ds.len() * outcome.epochs_run) as f64;
+        println!("  K-means NMI: {kmeans_nmi:.3}");
+        println!(
+            "  HDC NMI:     {hdc_nmi:.3}  ({} epochs, converged: {})",
+            outcome.epochs_run, outcome.converged
+        );
+        println!(
+            "  on-device cost: {:.1} nJ and {:.2} us per input per epoch\n",
+            per_input_uj * 1e3,
+            report.duration_s / (ds.len() * outcome.epochs_run) as f64 * 1e6
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Seizure monitor: the paper's motivating wearable scenario — detect
+//! seizures from skull-surface EEG under a year-long battery budget.
+//!
+//! Shows the full energy-reduction toolbox on a time-series workload:
+//! dimension reduction with updated sub-norms (§4.3.3), model
+//! quantization, and the accuracy cost of voltage-over-scaling bit errors
+//! (§4.3.4).
+//!
+//! Run with: `cargo run -p generic-bench --release --example seizure_monitor`
+
+use generic_bench::runners::{DEFAULT_DIM, DEFAULT_EPOCHS};
+use generic_bench::train_hdc;
+use generic_datasets::Benchmark;
+use generic_hdc::encoding::EncodingKind;
+use generic_hdc::{NormMode, PredictOptions, QuantizedModel};
+use generic_sim::VosOperatingPoint;
+
+fn main() {
+    let dataset = Benchmark::Eeg.load(42);
+    println!(
+        "EEG seizure detection: {} train / {} test windows, {} samples each\n",
+        dataset.train.len(),
+        dataset.test.len(),
+        dataset.n_features
+    );
+
+    let run = train_hdc(
+        EncodingKind::Generic,
+        &dataset,
+        DEFAULT_DIM,
+        DEFAULT_EPOCHS,
+        42,
+    );
+    let full = run.test_accuracy(&dataset);
+    println!(
+        "full model (D = {DEFAULT_DIM}, 16-bit): {:.1}% accuracy",
+        100.0 * full
+    );
+
+    // On-demand dimension reduction: trade energy for accuracy at runtime.
+    println!("\ndimension reduction (energy scales ~linearly with D):");
+    for dims in [1024usize, 2048, 4096] {
+        let acc = run.model.accuracy_with(
+            &run.test_encoded,
+            &dataset.test.labels,
+            PredictOptions::reduced(dims, NormMode::Updated),
+        );
+        println!(
+            "  D = {dims}: {:.1}% accuracy (~{:.1}x energy saving)",
+            100.0 * acc,
+            4096.0 / dims as f64
+        );
+    }
+
+    // Quantization + voltage over-scaling: narrow models shrug off the
+    // bit errors that let the class memories run below nominal voltage.
+    println!("\nquantized model under voltage over-scaling:");
+    for bw in [8u8, 4, 1] {
+        for ber in [0.0f64, 0.02, 0.05] {
+            let mut q = QuantizedModel::from_model(&run.model, bw).expect("valid bit width");
+            q.inject_bit_flips(ber, 7).expect("valid probability");
+            let acc = q.accuracy(&run.test_encoded, &dataset.test.labels);
+            let point = VosOperatingPoint::at_bit_error_rate(ber);
+            let (s_red, _) = point.power_reduction();
+            println!(
+                "  {bw}-bit at {:>4.1}% BER (V = {:.0}%): {:.1}% accuracy, {:.1}x static power saving",
+                100.0 * ber,
+                100.0 * point.voltage_scale,
+                100.0 * acc,
+                s_red
+            );
+        }
+    }
+}

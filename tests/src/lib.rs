@@ -1,0 +1,4 @@
+//! Integration-test host crate for the GENERIC reproduction workspace.
+//!
+//! This crate contains no library code; the cross-crate integration tests
+//! live under `tests/tests/`.

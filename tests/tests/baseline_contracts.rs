@@ -1,0 +1,83 @@
+//! Contracts between the dataset generators and the learners: every
+//! baseline must train and beat chance on data its family can represent,
+//! and everything must be deterministic under a seed.
+
+use generic_bench::runners::evaluate_ml;
+use generic_bench::MlAlgorithm;
+use generic_datasets::{Benchmark, ClusteringBenchmark};
+use generic_hdc::metrics::normalized_mutual_information;
+use generic_ml::{KMeans, KMeansSpec};
+
+#[test]
+fn all_benchmarks_validate_and_are_deterministic() {
+    for benchmark in Benchmark::ALL {
+        let a = benchmark.load(13);
+        a.validate();
+        let b = benchmark.load(13);
+        assert_eq!(a, b, "{benchmark} not deterministic");
+        let c = benchmark.load(14);
+        assert_ne!(
+            a.train.features[0], c.train.features[0],
+            "{benchmark} ignores its seed"
+        );
+    }
+}
+
+#[test]
+fn every_ml_baseline_beats_chance_on_tabular_data() {
+    let dataset = Benchmark::Cardio.load(13);
+    let chance = 1.0 / dataset.n_classes as f64;
+    for algo in MlAlgorithm::ALL {
+        let acc = evaluate_ml(algo, &dataset, 13);
+        assert!(
+            acc > chance + 0.2,
+            "{algo}: accuracy {acc} barely above chance {chance}"
+        );
+    }
+}
+
+#[test]
+fn svm_is_competitive_on_spatial_data() {
+    // The paper's SVM (RBF SVC) is its strongest conventional baseline.
+    let dataset = Benchmark::Face.load(13);
+    let acc = evaluate_ml(MlAlgorithm::Svm, &dataset, 13);
+    assert!(acc > 0.9, "SVM accuracy {acc}");
+}
+
+#[test]
+fn kmeans_matches_ground_truth_on_separable_shapes() {
+    for (benchmark, floor) in [
+        (ClusteringBenchmark::Hepta, 0.85),
+        (ClusteringBenchmark::TwoDiamonds, 0.9),
+    ] {
+        let ds = benchmark.load(13);
+        let (_, outcome) =
+            KMeans::fit(&ds.points, KMeansSpec::new(ds.k).with_seed(13)).expect("valid points");
+        let nmi =
+            normalized_mutual_information(&outcome.assignments, &ds.labels).expect("equal lengths");
+        assert!(nmi > floor, "{benchmark}: NMI {nmi} below {floor}");
+    }
+}
+
+#[test]
+fn ml_training_is_deterministic_under_seed() {
+    let dataset = Benchmark::Page.load(13);
+    for algo in [
+        MlAlgorithm::Mlp,
+        MlAlgorithm::RandomForest,
+        MlAlgorithm::Svm,
+    ] {
+        let a = evaluate_ml(algo, &dataset, 21);
+        let b = evaluate_ml(algo, &dataset, 21);
+        assert_eq!(a, b, "{algo} not deterministic");
+    }
+}
+
+#[test]
+fn clustering_benchmarks_have_fcps_cardinalities() {
+    let sizes: Vec<usize> = ClusteringBenchmark::ALL
+        .iter()
+        .map(|b| b.load(1).len())
+        .collect();
+    assert_eq!(sizes, vec![212, 400, 800, 1016, 150]);
+}

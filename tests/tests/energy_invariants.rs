@@ -1,0 +1,133 @@
+//! Cross-crate energy invariants: the orderings every figure of the
+//! evaluation relies on must hold structurally, not just at one operating
+//! point.
+
+use generic_bench::cost::{hdc_shape, ml_infer_ops, sim_train};
+use generic_bench::MlAlgorithm;
+use generic_datasets::Benchmark;
+use generic_devices::Device;
+use generic_sim::{AcceleratorConfig, EnergyModel, EnergyOptions, VosOperatingPoint};
+
+#[test]
+fn accelerator_beats_every_commodity_device_by_orders_of_magnitude() {
+    let dataset = Benchmark::Ucihar.load(3);
+    let (mut acc, _) = sim_train(&dataset, 4096, 3);
+    acc.reset_activity();
+    for x in dataset.test.features.iter().take(20) {
+        acc.infer(x).expect("trained");
+    }
+    let asic_uj = acc.energy_report(&EnergyOptions::default()).total_energy_uj / 20.0;
+
+    let shape = hdc_shape(&dataset, 4096, 3);
+    for device in [
+        Device::raspberry_pi3(),
+        Device::desktop_cpu(),
+        Device::jetson_tx2_egpu(),
+    ] {
+        let device_uj = device.energy_j(&shape.infer(), 1) * 1e6;
+        assert!(
+            device_uj > 100.0 * asic_uj,
+            "{}: {device_uj} uJ should be >100x the ASIC's {asic_uj} uJ",
+            device.name
+        );
+    }
+}
+
+#[test]
+fn lp_techniques_only_ever_reduce_energy() {
+    let dataset = Benchmark::Isolet.load(3);
+    let (mut acc, _) = sim_train(&dataset, 4096, 3);
+
+    acc.reset_activity();
+    for x in dataset.test.features.iter().take(20) {
+        acc.infer(x).expect("trained");
+    }
+    let base = acc.energy_report(&EnergyOptions::default());
+    let no_gating = acc.energy_report(&EnergyOptions {
+        power_gating: false,
+        vos: None,
+    });
+    let with_vos = acc.energy_report(&EnergyOptions {
+        power_gating: true,
+        vos: Some(VosOperatingPoint::at_bit_error_rate(0.02)),
+    });
+    assert!(base.static_power_mw <= no_gating.static_power_mw);
+    assert!(with_vos.total_energy_uj < base.total_energy_uj);
+    assert!(with_vos.static_power_mw < base.static_power_mw);
+
+    // Dimension reduction cuts cycles (and therefore both energy terms).
+    acc.reset_activity();
+    for x in dataset.test.features.iter().take(20) {
+        acc.infer_reduced(x, 1024).expect("trained");
+    }
+    let reduced = acc.energy_report(&EnergyOptions::default());
+    assert!(reduced.total_energy_uj < base.total_energy_uj / 2.0);
+}
+
+#[test]
+fn power_gating_tracks_class_memory_utilization() {
+    let model = EnergyModel::paper_default();
+    // 2 classes → 1 bank; 10 → 2 banks; 26 → 4 banks (at D = 4K).
+    let utilizations: Vec<f64> = [2usize, 10, 26]
+        .iter()
+        .map(|&c| {
+            let config = AcceleratorConfig::new(4096, 64, c);
+            model.active_bank_fraction(&config, true)
+        })
+        .collect();
+    assert_eq!(utilizations, vec![0.25, 0.5, 1.0]);
+    assert!(utilizations.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn hdc_is_the_expensive_algorithm_on_commodity_devices() {
+    // The §3.3 inversion that motivates the ASIC: HDC loses to classical
+    // ML on general-purpose hardware.
+    let dataset = Benchmark::Mnist.load(3);
+    let hdc = hdc_shape(&dataset, 4096, 3).infer();
+    for device in [Device::raspberry_pi3(), Device::desktop_cpu()] {
+        let hdc_energy = device.energy_j(&hdc, 1);
+        for algo in MlAlgorithm::ALL {
+            let ml_energy = device.energy_j(&ml_infer_ops(algo, &dataset), 1);
+            assert!(
+                ml_energy < hdc_energy,
+                "{}: {algo} ({ml_energy} J) should undercut HDC ({hdc_energy} J)",
+                device.name
+            );
+        }
+    }
+}
+
+#[test]
+fn deeper_voltage_scaling_trades_errors_for_power() {
+    let mut prev = VosOperatingPoint::at_voltage(0.78);
+    for step in 1..=8 {
+        let v = 0.78 - 0.025 * f64::from(step);
+        let point = VosOperatingPoint::at_voltage(v);
+        assert!(point.bit_error_rate >= prev.bit_error_rate);
+        assert!(point.static_power_factor <= prev.static_power_factor);
+        assert!(point.dynamic_power_factor <= prev.dynamic_power_factor);
+        prev = point;
+    }
+}
+
+#[test]
+fn silicon_figures_stay_in_the_papers_bands() {
+    let dataset = Benchmark::Mnist.load(3);
+    let (mut acc, _) = sim_train(&dataset, 4096, 3);
+    acc.reset_activity();
+    for x in dataset.test.features.iter().take(30) {
+        acc.infer(x).expect("trained");
+    }
+    let breakdown = acc.breakdown();
+    // §5.1: 0.30 mm², 0.25 mW worst-case static.
+    assert!((0.25..0.40).contains(&breakdown.total_area_mm2()));
+    assert!((0.15..0.35).contains(&breakdown.total_static_mw()));
+    let report = acc.energy_report(&EnergyOptions::default());
+    // ~1.8 mW active dynamic power at 500 MHz.
+    assert!(
+        (0.5..4.0).contains(&report.dynamic_power_mw),
+        "dynamic power {} mW",
+        report.dynamic_power_mw
+    );
+}

@@ -1,0 +1,151 @@
+//! Simulator ↔ library functional equivalence: the accelerator model must
+//! compute the same HDC mathematics as `generic-hdc`, up to the documented
+//! Mitchell-division approximation.
+
+use generic_datasets::Benchmark;
+use generic_hdc::encoding::{Encoder, GenericEncoder, GenericEncoderSpec};
+use generic_hdc::metrics::normalized_mutual_information;
+use generic_hdc::{HdcClustering, HdcClusteringSpec, HdcModel, IntHv};
+use generic_sim::{Accelerator, AcceleratorConfig};
+
+/// Library encoder configured exactly like the accelerator (hardware-style
+/// seeded ids).
+fn matching_encoder(config: &AcceleratorConfig, train: &[Vec<f64>]) -> GenericEncoder {
+    let spec = GenericEncoderSpec::new(4096, train[0].len())
+        .with_window(3)
+        .with_id_binding(config.id_binding)
+        .with_seeded_ids(true)
+        .with_seed(5);
+    GenericEncoder::from_data(spec, train).expect("valid training data")
+}
+
+#[test]
+fn sim_encoding_is_bit_exact_with_library() {
+    let dataset = Benchmark::Ucihar.load(5);
+    let config = AcceleratorConfig::new(4096, dataset.n_features, dataset.n_classes).with_seed(5);
+    let mut acc = Accelerator::new(config, &dataset.train.features).expect("fits");
+    let encoder = matching_encoder(&config, &dataset.train.features);
+    for sample in dataset.test.features.iter().take(10) {
+        let sim_hv = acc.encode(sample).expect("valid sample");
+        let lib_hv = encoder.encode(sample).expect("valid sample");
+        assert_eq!(sim_hv, lib_hv, "simulator and library encodings diverge");
+    }
+}
+
+#[test]
+fn sim_inference_matches_library_predictions() {
+    let dataset = Benchmark::Face.load(5);
+    let config = AcceleratorConfig::new(4096, dataset.n_features, dataset.n_classes).with_seed(5);
+    let mut acc = Accelerator::new(config, &dataset.train.features).expect("fits");
+    let encoder = matching_encoder(&config, &dataset.train.features);
+
+    // Train the library reference and load it into the simulator.
+    let encoded = encoder
+        .encode_batch(&dataset.train.features)
+        .expect("valid rows");
+    let mut model =
+        HdcModel::fit(&encoded, &dataset.train.labels, dataset.n_classes).expect("valid labels");
+    model.retrain(&encoded, &dataset.train.labels, 5);
+    acc.load_model(&model).expect("shapes match");
+
+    let mut agreements = 0;
+    let n = 60.min(dataset.test.len());
+    for sample in dataset.test.features.iter().take(n) {
+        let sim_pred = acc.infer(sample).expect("model loaded").prediction;
+        let lib_pred = model.predict(&encoder.encode(sample).expect("valid sample"));
+        if sim_pred == lib_pred {
+            agreements += 1;
+        }
+    }
+    // The Mitchell divider may flip near-tie decisions, but on this
+    // well-separated task the agreement must be essentially total.
+    assert!(
+        agreements >= n - 1,
+        "simulator agreed with library on only {agreements}/{n} inputs"
+    );
+}
+
+#[test]
+fn sim_on_device_training_reaches_library_accuracy() {
+    let dataset = Benchmark::Cardio.load(5);
+    let config = AcceleratorConfig::new(4096, dataset.n_features, dataset.n_classes).with_seed(5);
+    let mut acc = Accelerator::new(config, &dataset.train.features).expect("fits");
+    acc.train(&dataset.train.features, &dataset.train.labels, 10)
+        .expect("valid dataset");
+
+    let encoder = matching_encoder(&config, &dataset.train.features);
+    let encoded = encoder
+        .encode_batch(&dataset.train.features)
+        .expect("valid rows");
+    let mut model =
+        HdcModel::fit(&encoded, &dataset.train.labels, dataset.n_classes).expect("valid labels");
+    model.retrain(&encoded, &dataset.train.labels, 10);
+
+    let test_encoded = encoder
+        .encode_batch(&dataset.test.features)
+        .expect("valid rows");
+    let lib_acc = model.accuracy(&test_encoded, &dataset.test.labels);
+
+    let mut correct = 0;
+    for (x, &y) in dataset.test.features.iter().zip(&dataset.test.labels) {
+        if acc.infer(x).expect("trained").prediction == y {
+            correct += 1;
+        }
+    }
+    let sim_acc = correct as f64 / dataset.test.len() as f64;
+    assert!(
+        (sim_acc - lib_acc).abs() <= 0.05,
+        "simulator accuracy {sim_acc} vs library {lib_acc}"
+    );
+}
+
+#[test]
+fn sim_clustering_matches_library_quality() {
+    use generic_datasets::ClusteringBenchmark;
+    let ds = ClusteringBenchmark::Hepta.load(5);
+    let config = AcceleratorConfig::new(4096, ds.n_features(), ds.k)
+        .with_window(3.min(ds.n_features()))
+        .with_seed(5);
+    let mut acc = Accelerator::new(config, &ds.points).expect("fits");
+    let sim_outcome = acc.cluster(&ds.points, ds.k, 15).expect("k <= n");
+    let sim_nmi =
+        normalized_mutual_information(&sim_outcome.assignments, &ds.labels).expect("equal lengths");
+
+    let spec = GenericEncoderSpec::new(4096, ds.n_features())
+        .with_window(3.min(ds.n_features()))
+        .with_seeded_ids(true)
+        .with_seed(5);
+    let encoder = GenericEncoder::from_data(spec, &ds.points).expect("valid points");
+    let encoded: Vec<IntHv> = encoder.encode_batch(&ds.points).expect("valid rows");
+    let (_, lib_outcome) =
+        HdcClustering::fit(&encoded, HdcClusteringSpec::new(ds.k).with_max_epochs(15))
+            .expect("k <= n");
+    let lib_nmi =
+        normalized_mutual_information(&lib_outcome.assignments, &ds.labels).expect("equal lengths");
+
+    assert!(
+        (sim_nmi - lib_nmi).abs() <= 0.1,
+        "simulator NMI {sim_nmi} vs library {lib_nmi}"
+    );
+    assert!(sim_nmi > 0.85, "Hepta should cluster cleanly: {sim_nmi}");
+}
+
+#[test]
+fn cycle_count_scales_linearly_with_dimensions() {
+    let dataset = Benchmark::Page.load(5);
+    let mut cycles = Vec::new();
+    for dim in [1024usize, 2048, 4096] {
+        let config =
+            AcceleratorConfig::new(dim, dataset.n_features, dataset.n_classes).with_seed(5);
+        let mut acc = Accelerator::new(config, &dataset.train.features).expect("fits");
+        acc.train(&dataset.train.features, &dataset.train.labels, 1)
+            .expect("valid");
+        acc.reset_activity();
+        acc.infer(&dataset.test.features[0]).expect("trained");
+        cycles.push(acc.activity().cycles as f64);
+    }
+    let r1 = cycles[1] / cycles[0];
+    let r2 = cycles[2] / cycles[1];
+    assert!((1.8..2.2).contains(&r1), "1K→2K cycle ratio {r1}");
+    assert!((1.8..2.2).contains(&r2), "2K→4K cycle ratio {r2}");
+}
