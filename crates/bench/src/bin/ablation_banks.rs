@@ -14,10 +14,7 @@ use generic_sim::{AcceleratorConfig, EnergyModel};
 const BANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!("Ablation (§4.3.2): class-memory bank count vs area x power (seed {seed})\n");
 

@@ -35,10 +35,7 @@ fn accuracy(benchmark: Benchmark, window: usize, id_binding: bool, seed: u64) ->
 }
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     // A cross-section of structural families keeps the run quick.
     let benchmarks = [

@@ -13,10 +13,7 @@ use generic_sim::{Accelerator, AcceleratorConfig, EnergyOptions};
 const MAX_EPOCHS: usize = 10;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!("Fig. 10: per-input clustering energy, GENERIC vs K-means (seed {seed})\n");
 

@@ -93,10 +93,7 @@ fn train_ops(algo: Algo, ds: &Dataset, seed: u64) -> OpCounts {
 }
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!(
         "Fig. 3: per-input energy and execution time on commodity devices (seed {seed})\n\

@@ -12,10 +12,7 @@ use generic_hdc::encoding::EncodingKind;
 use generic_hdc::{NormMode, PredictOptions};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!("Fig. 5: accuracy vs dimensions with Constant and Updated L2 norms (seed {seed})\n");
 

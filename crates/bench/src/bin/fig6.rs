@@ -16,10 +16,7 @@ const BIT_WIDTHS: [u8; 4] = [8, 4, 2, 1];
 const BER_POINTS: [f64; 6] = [0.0, 0.02, 0.04, 0.06, 0.08, 0.10];
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!("Fig. 6: accuracy and power reduction vs class-memory bit-error rate (seed {seed})\n");
 

@@ -9,10 +9,7 @@ use generic_sim::{Accelerator, AcceleratorConfig, EnergyReport};
 use generic_sim::{ActivityCounts, EnergyOptions};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     // A representative mid-size application (MNIST shape: 64 features,
     // 10 classes, D = 4K) running inference.

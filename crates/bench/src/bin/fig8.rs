@@ -14,10 +14,7 @@ use generic_hdc::metrics::geometric_mean;
 use generic_sim::EnergyOptions;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!("Fig. 8: per-input training energy and time (seed {seed})\n");
 

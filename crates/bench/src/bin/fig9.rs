@@ -23,10 +23,7 @@ const PROBE_INPUTS: usize = 100;
 const ACCURACY_TOLERANCE: f64 = 0.03;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!("Fig. 9: inference energy of GENERIC vs baselines (seed {seed})\n");
 

@@ -13,10 +13,7 @@ use generic_hdc::encoding::EncodingKind;
 use generic_hdc::metrics::std_dev;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!("Table 1: accuracy of HDC and ML algorithms (seed {seed})");
     println!(

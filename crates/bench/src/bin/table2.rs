@@ -11,10 +11,7 @@ use generic_hdc::{HdcClustering, HdcClusteringSpec};
 use generic_ml::{KMeans, KMeansSpec};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+    let seed = generic_bench::cli::seed_arg(42);
 
     println!("Table 2: mutual information score of K-means and HDC clustering (seed {seed})\n");
 

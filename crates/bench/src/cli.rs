@@ -1,0 +1,57 @@
+//! Argument handling shared by the figure/table binaries.
+//!
+//! Every binary takes one optional positional argument — the RNG seed.
+//! A malformed seed prints a usage message to stderr and exits with a
+//! nonzero status instead of panicking with a backtrace.
+
+/// Parses the optional positional seed argument of the current process,
+/// defaulting to `default` when absent. On a malformed argument, prints
+/// a usage message to stderr and exits with status 2.
+pub fn seed_arg(default: u64) -> u64 {
+    let mut args = std::env::args();
+    let bin = args.next().unwrap_or_else(|| "generic-bench".to_owned());
+    match parse_seed(args.next(), default) {
+        Ok(seed) => seed,
+        Err(got) => {
+            eprintln!("error: seed must be an unsigned integer, got {got:?}");
+            eprintln!("usage: {bin} [seed]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable core of [`seed_arg`]: `Err` carries the offending
+/// argument.
+fn parse_seed(arg: Option<String>, default: u64) -> Result<u64, String> {
+    match arg {
+        None => Ok(default),
+        Some(s) => s.trim().parse().map_err(|_| s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_argument_uses_the_default() {
+        assert_eq!(parse_seed(None, 42), Ok(42));
+    }
+
+    #[test]
+    fn valid_seeds_parse() {
+        assert_eq!(parse_seed(Some("7".to_owned()), 42), Ok(7));
+        assert_eq!(parse_seed(Some(" 123 ".to_owned()), 42), Ok(123));
+    }
+
+    #[test]
+    fn malformed_seeds_are_errors_not_panics() {
+        for bad in ["x", "-1", "1.5", ""] {
+            assert_eq!(
+                parse_seed(Some(bad.to_owned()), 42),
+                Err(bad.to_owned()),
+                "{bad:?}"
+            );
+        }
+    }
+}

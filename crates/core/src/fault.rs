@@ -1,0 +1,550 @@
+//! Seeded, deterministic fault injection for the accelerator's memories.
+//!
+//! Voltage over-scaling (§5, Fig. 6) manifests as *transient* read upsets:
+//! every read of a class-memory word sees fresh, independent bit noise.
+//! Manufacturing defects and wear-out instead produce *persistent* faults:
+//! a fixed population of cells is stuck for the lifetime of a campaign, so
+//! every read of a defective cell is wrong in the same way. Long
+//! deployments without refresh accumulate retention errors over time —
+//! *accumulating* faults — which periodic scrubbing (re-writing the class
+//! memory from a golden copy) can undo.
+//!
+//! [`FaultModel`] captures all three regimes behind one seeded interface
+//! and can corrupt quantized class memories ([`QuantizedModel`]), binary
+//! item/id-memory rows ([`BinaryHv`]), and encoded query vectors
+//! ([`IntHv`]). [`QuantizedModel::inject_bit_flips`] is the transient
+//! special case of this module.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::quant::{mask, sign_extend};
+use crate::{BinaryHv, HdcError, IntHv, QuantizedModel};
+
+/// The temporal behaviour of injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fresh, independent bit noise on every read (voltage over-scaling
+    /// read upsets). State written to the memory is unaffected; distinct
+    /// `read_index` values draw distinct noise.
+    Transient,
+    /// A fixed defect population: the same cells read wrong on every
+    /// access, regardless of `read_index`. Re-writing the memory does not
+    /// help — the defect map re-asserts itself.
+    Persistent,
+    /// Retention-style faults that stay in the stored state once they
+    /// occur: each read adds fresh flips *and leaves them behind*.
+    /// Scrubbing from a golden copy removes everything accumulated so far.
+    Accumulating,
+}
+
+/// A seeded fault-injection model with a bit error rate.
+///
+/// All corruption is deterministic in `(seed, read_index)`: re-running a
+/// campaign with the same seeds reproduces every flip. Corruption applies
+/// to each *effective* bit independently with probability `ber`.
+///
+/// ```
+/// use generic_hdc::{BinaryHv, FaultModel, HdcModel, IntHv, QuantizedModel};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let a = IntHv::from(BinaryHv::random_seeded(512, 1)?);
+/// let b = IntHv::from(BinaryHv::random_seeded(512, 2)?);
+/// let model = HdcModel::fit(&[a.clone(), b], &[0, 1], 2)?;
+/// let golden = QuantizedModel::from_model(&model, 4)?;
+///
+/// let vos = FaultModel::transient(0.01, 7)?;
+/// let mut read0 = golden.clone();
+/// vos.corrupt_model(&mut read0, 0);
+/// let mut read1 = golden.clone();
+/// vos.corrupt_model(&mut read1, 1);
+/// assert_ne!(read0, read1, "each read draws fresh noise");
+///
+/// let stuck = FaultModel::persistent(0.01, 7)?;
+/// let mut first = golden.clone();
+/// stuck.corrupt_model(&mut first, 0);
+/// let mut later = golden.clone();
+/// stuck.corrupt_model(&mut later, 123);
+/// assert_eq!(first, later, "defects are fixed for the campaign");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    kind: FaultKind,
+    ber: f64,
+    seed: u64,
+}
+
+impl FaultModel {
+    /// Creates a fault model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a probability in `[0, 1]`.
+    pub fn new(kind: FaultKind, ber: f64, seed: u64) -> Result<Self, HdcError> {
+        if !(0.0..=1.0).contains(&ber) || ber.is_nan() {
+            return Err(HdcError::invalid("ber", "must be a probability in [0, 1]"));
+        }
+        Ok(FaultModel { kind, ber, seed })
+    }
+
+    /// Transient (per-read) faults — see [`FaultKind::Transient`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a probability in `[0, 1]`.
+    pub fn transient(ber: f64, seed: u64) -> Result<Self, HdcError> {
+        FaultModel::new(FaultKind::Transient, ber, seed)
+    }
+
+    /// Persistent (stuck-cell) faults — see [`FaultKind::Persistent`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a probability in `[0, 1]`.
+    pub fn persistent(ber: f64, seed: u64) -> Result<Self, HdcError> {
+        FaultModel::new(FaultKind::Persistent, ber, seed)
+    }
+
+    /// Accumulating (retention) faults — see [`FaultKind::Accumulating`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a probability in `[0, 1]`.
+    pub fn accumulating(ber: f64, seed: u64) -> Result<Self, HdcError> {
+        FaultModel::new(FaultKind::Accumulating, ber, seed)
+    }
+
+    /// The fault regime.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// The per-bit error rate.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+
+    /// The campaign seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The RNG for one read. Persistent faults ignore `read_index` — the
+    /// same cells fail every time — while transient and accumulating
+    /// faults mix it in for fresh noise per read. `mix64(0) == 0`, so
+    /// read 0 of a transient model reproduces the legacy
+    /// [`QuantizedModel::inject_bit_flips`] stream exactly.
+    fn rng_for_read(&self, read_index: u64) -> StdRng {
+        let stream = match self.kind {
+            FaultKind::Persistent => self.seed,
+            FaultKind::Transient | FaultKind::Accumulating => self.seed ^ mix64(read_index),
+        };
+        StdRng::seed_from_u64(stream)
+    }
+
+    /// Corrupts the effective bits of a quantized class memory for one
+    /// read. Returns the number of bits flipped.
+    ///
+    /// The caller owns state semantics: for [`FaultKind::Transient`] and
+    /// [`FaultKind::Persistent`] apply this to a pristine copy (the noise
+    /// models a *read*, not a write-back); for
+    /// [`FaultKind::Accumulating`], apply it to the stored model itself so
+    /// flips persist across reads.
+    pub fn corrupt_model(&self, model: &mut QuantizedModel, read_index: u64) -> usize {
+        if self.ber == 0.0 {
+            return 0;
+        }
+        let mut rng = self.rng_for_read(read_index);
+        let bw = u32::from(model.bit_width());
+        flip_class_bits(model.classes_mut(), bw, self.ber, &mut rng)
+    }
+
+    /// Corrupts a binary item/id-memory row for one read. Returns the
+    /// number of bits flipped.
+    pub fn corrupt_binary(&self, hv: &mut BinaryHv, read_index: u64) -> usize {
+        if self.ber == 0.0 {
+            return 0;
+        }
+        let mut rng = self.rng_for_read(read_index);
+        let mut flipped = 0;
+        for i in 0..hv.dim() {
+            if rng.random_bool(self.ber) {
+                hv.flip_bit(i);
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Corrupts an encoded query vector for one read, treating each
+    /// element as a `bit_width`-bit two's-complement datapath word (the
+    /// encoded dimensions stream through the same masked registers as the
+    /// class elements). Returns the number of bits flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_width` is not in `1..=16`.
+    pub fn corrupt_query(&self, query: &mut IntHv, bit_width: u8, read_index: u64) -> usize {
+        assert!(
+            (1..=16).contains(&bit_width),
+            "bit_width {bit_width} out of range 1..=16"
+        );
+        if self.ber == 0.0 {
+            return 0;
+        }
+        let mut rng = self.rng_for_read(read_index);
+        let bw = u32::from(bit_width);
+        let mut flipped = 0;
+        for v in query.values_mut() {
+            if bw == 1 {
+                if rng.random_bool(self.ber) {
+                    *v = -*v;
+                    flipped += 1;
+                }
+            } else {
+                let mut bits = (*v as i16 as u16) & mask(bw);
+                for b in 0..bw {
+                    if rng.random_bool(self.ber) {
+                        bits ^= 1 << b;
+                        flipped += 1;
+                    }
+                }
+                *v = i32::from(sign_extend(bits, bw));
+            }
+        }
+        flipped
+    }
+
+    /// The fixed defect map of a persistent fault model over a memory of
+    /// `n_classes × dim` elements at `bit_width` effective bits. Returns
+    /// `None` for transient/accumulating models, which have no fixed map.
+    ///
+    /// Applying the map is exactly equivalent to
+    /// [`corrupt_model`](FaultModel::corrupt_model) on a matching model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_width` is not in `1..=16`.
+    pub fn defect_map(&self, n_classes: usize, dim: usize, bit_width: u8) -> Option<DefectMap> {
+        assert!(
+            (1..=16).contains(&bit_width),
+            "bit_width {bit_width} out of range 1..=16"
+        );
+        if self.kind != FaultKind::Persistent {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bw = u32::from(bit_width);
+        // Same draw order as `flip_class_bits` so map and corruption agree.
+        let masks = (0..n_classes * dim)
+            .map(|_| {
+                let mut m = 0u16;
+                if bw == 1 {
+                    if self.ber > 0.0 && rng.random_bool(self.ber) {
+                        m = 1;
+                    }
+                } else {
+                    for b in 0..bw {
+                        if self.ber > 0.0 && rng.random_bool(self.ber) {
+                            m |= 1 << b;
+                        }
+                    }
+                }
+                m
+            })
+            .collect();
+        Some(DefectMap {
+            n_classes,
+            dim,
+            bit_width,
+            masks,
+        })
+    }
+}
+
+/// The fixed stuck-cell population of a persistent fault campaign: one XOR
+/// mask of defective effective bits per stored class element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefectMap {
+    n_classes: usize,
+    dim: usize,
+    bit_width: u8,
+    masks: Vec<u16>,
+}
+
+impl DefectMap {
+    /// Number of classes the map covers.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Dimensionality the map covers.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Effective bit-width the map covers.
+    pub fn bit_width(&self) -> u8 {
+        self.bit_width
+    }
+
+    /// Total number of defective bits.
+    pub fn stuck_bits(&self) -> usize {
+        self.masks.iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// Applies the defect map to a matching model (flipping every stuck
+    /// bit). Returns the number of bits flipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model's shape or bit-width differs from the
+    /// map's.
+    pub fn apply(&self, model: &mut QuantizedModel) -> Result<usize, HdcError> {
+        if model.n_classes() != self.n_classes || model.bit_width() != self.bit_width {
+            return Err(HdcError::invalid(
+                "model",
+                "shape or bit-width differs from the defect map",
+            ));
+        }
+        if model.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: model.dim(),
+            });
+        }
+        let bw = u32::from(self.bit_width);
+        let mut flipped = 0;
+        for (class, row_masks) in model
+            .classes_mut()
+            .iter_mut()
+            .zip(self.masks.chunks(self.dim))
+        {
+            for (v, &m) in class.iter_mut().zip(row_masks) {
+                if m == 0 {
+                    continue;
+                }
+                flipped += m.count_ones() as usize;
+                if bw == 1 {
+                    *v = -*v;
+                } else {
+                    let bits = ((*v as u16) & mask(bw)) ^ m;
+                    *v = sign_extend(bits, bw);
+                }
+            }
+        }
+        Ok(flipped)
+    }
+}
+
+/// Flips each effective bit of each class element independently with
+/// probability `ber`, drawing from `rng` in class-major element order.
+/// Shared by [`FaultModel`] and [`QuantizedModel::inject_bit_flips`].
+pub(crate) fn flip_class_bits(
+    classes: &mut [Vec<i16>],
+    bw: u32,
+    ber: f64,
+    rng: &mut StdRng,
+) -> usize {
+    let mut flipped = 0;
+    for class in classes {
+        for v in class.iter_mut() {
+            if bw == 1 {
+                // 1-bit models store only the sign (0 = +1, 1 = -1);
+                // a flip negates the element.
+                if rng.random_bool(ber) {
+                    *v = -*v;
+                    flipped += 1;
+                }
+            } else {
+                let mut bits = (*v as u16) & mask(bw);
+                for b in 0..bw {
+                    if rng.random_bool(ber) {
+                        bits ^= 1 << b;
+                        flipped += 1;
+                    }
+                }
+                *v = sign_extend(bits, bw);
+            }
+        }
+    }
+    flipped
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive read indices into
+/// independent seed offsets. Maps 0 to 0, which keeps read 0 of a
+/// transient model on the legacy `inject_bit_flips` stream.
+fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcModel;
+
+    fn golden(dim: usize, bw: u8) -> QuantizedModel {
+        let a = IntHv::from(BinaryHv::random_seeded(dim, 11).unwrap());
+        let b = IntHv::from(BinaryHv::random_seeded(dim, 22).unwrap());
+        let model = HdcModel::fit(&[a, b], &[0, 1], 2).unwrap();
+        QuantizedModel::from_model(&model, bw).unwrap()
+    }
+
+    #[test]
+    fn invalid_ber_rejected() {
+        assert!(FaultModel::transient(-0.1, 1).is_err());
+        assert!(FaultModel::persistent(1.5, 1).is_err());
+        assert!(FaultModel::accumulating(f64::NAN, 1).is_err());
+        assert!(FaultModel::transient(0.0, 1).is_ok());
+        assert!(FaultModel::persistent(1.0, 1).is_ok());
+    }
+
+    #[test]
+    fn zero_ber_is_a_no_op() {
+        let g = golden(512, 4);
+        let fault = FaultModel::transient(0.0, 9).unwrap();
+        let mut m = g.clone();
+        assert_eq!(fault.corrupt_model(&mut m, 0), 0);
+        assert_eq!(m, g);
+        let mut hv = BinaryHv::random_seeded(256, 5).unwrap();
+        let before = hv.clone();
+        assert_eq!(fault.corrupt_binary(&mut hv, 0), 0);
+        assert_eq!(hv, before);
+    }
+
+    #[test]
+    fn transient_reads_are_independent_but_reproducible() {
+        let g = golden(1024, 8);
+        let fault = FaultModel::transient(0.02, 3).unwrap();
+        let mut a0 = g.clone();
+        let mut a1 = g.clone();
+        let mut b0 = g.clone();
+        fault.corrupt_model(&mut a0, 0);
+        fault.corrupt_model(&mut a1, 1);
+        fault.corrupt_model(&mut b0, 0);
+        assert_ne!(a0, a1, "different reads see different noise");
+        assert_eq!(a0, b0, "same (seed, read) reproduces exactly");
+    }
+
+    #[test]
+    fn persistent_reads_are_identical_across_read_indices() {
+        let g = golden(1024, 8);
+        let fault = FaultModel::persistent(0.02, 3).unwrap();
+        let mut a = g.clone();
+        let mut b = g.clone();
+        fault.corrupt_model(&mut a, 0);
+        fault.corrupt_model(&mut b, 77);
+        assert_eq!(a, b);
+        assert_ne!(a, g, "2% of 16k bits flips something");
+    }
+
+    #[test]
+    fn defect_map_matches_persistent_corruption() {
+        let g = golden(512, 4);
+        let fault = FaultModel::persistent(0.05, 13).unwrap();
+        let map = fault
+            .defect_map(g.n_classes(), g.dim(), g.bit_width())
+            .unwrap();
+        let mut via_corrupt = g.clone();
+        let corrupted_bits = fault.corrupt_model(&mut via_corrupt, 0);
+        let mut via_map = g.clone();
+        let applied_bits = map.apply(&mut via_map).unwrap();
+        assert_eq!(via_corrupt, via_map);
+        assert_eq!(corrupted_bits, applied_bits);
+        assert_eq!(map.stuck_bits(), applied_bits);
+    }
+
+    #[test]
+    fn defect_map_absent_for_transient() {
+        let fault = FaultModel::transient(0.05, 13).unwrap();
+        assert!(fault.defect_map(2, 128, 4).is_none());
+    }
+
+    #[test]
+    fn defect_map_rejects_mismatched_models() {
+        let g = golden(512, 4);
+        let fault = FaultModel::persistent(0.05, 13).unwrap();
+        let map = fault
+            .defect_map(g.n_classes(), g.dim(), g.bit_width())
+            .unwrap();
+        let mut wrong_bw = golden(512, 8);
+        assert!(map.apply(&mut wrong_bw).is_err());
+        let mut wrong_dim = golden(256, 4);
+        assert!(map.apply(&mut wrong_dim).is_err());
+    }
+
+    #[test]
+    fn transient_read_zero_matches_inject_bit_flips() {
+        let g = golden(1024, 8);
+        let seed = 42;
+        let ber = 0.03;
+        let mut via_inject = g.clone();
+        let inject_flips = via_inject.inject_bit_flips(ber, seed).unwrap();
+        let mut via_fault = g.clone();
+        let fault_flips = FaultModel::transient(ber, seed)
+            .unwrap()
+            .corrupt_model(&mut via_fault, 0);
+        assert_eq!(via_inject, via_fault);
+        assert_eq!(inject_flips, fault_flips);
+    }
+
+    #[test]
+    fn binary_corruption_tracks_ber() {
+        let mut hv = BinaryHv::random_seeded(8192, 1).unwrap();
+        let fault = FaultModel::transient(0.1, 5).unwrap();
+        let flipped = fault.corrupt_binary(&mut hv, 0);
+        let expected = 8192.0 * 0.1;
+        assert!(
+            (flipped as f64) > expected * 0.6 && (flipped as f64) < expected * 1.4,
+            "flipped {flipped} (expected ~{expected})"
+        );
+    }
+
+    #[test]
+    fn query_corruption_respects_bit_width_and_sign() {
+        let mut q = IntHv::from_values(vec![3, -3, 1, 0, 2, -1, 1, 2]).unwrap();
+        let fault = FaultModel::transient(1.0, 4).unwrap();
+        // With BER 1 every effective bit flips: 3-bit two's complement
+        // 011 -> 100 = -4, 101 -> 010 = 2, etc.
+        fault.corrupt_query(&mut q, 3, 0);
+        assert_eq!(q.values(), &[-4, 2, -2, -1, -3, 0, -2, -3]);
+        // 1-bit queries negate.
+        let mut s = IntHv::from_values(vec![1, -1, 1]).unwrap();
+        fault.corrupt_query(&mut s, 1, 0);
+        assert_eq!(s.values(), &[-1, 1, -1]);
+    }
+
+    #[test]
+    fn accumulating_faults_accumulate() {
+        let g = golden(1024, 8);
+        let fault = FaultModel::accumulating(0.01, 6).unwrap();
+        let mut stored = g.clone();
+        let mut distance_prev = 0usize;
+        for read in 0..5 {
+            fault.corrupt_model(&mut stored, read);
+            let distance: usize = stored
+                .class(0)
+                .iter()
+                .zip(g.class(0))
+                .filter(|(a, b)| a != b)
+                .count()
+                + stored
+                    .class(1)
+                    .iter()
+                    .zip(g.class(1))
+                    .filter(|(a, b)| a != b)
+                    .count();
+            assert!(
+                distance + 8 >= distance_prev,
+                "damage should trend upward: {distance_prev} -> {distance}"
+            );
+            distance_prev = distance;
+        }
+        assert!(distance_prev > 0, "five reads at 1% must leave damage");
+    }
+}

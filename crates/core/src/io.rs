@@ -7,17 +7,24 @@
 //! ```text
 //! magic "GHDC" | u8 version | u8 kind | u8 bit_width | pad
 //! u32 dim | u32 n_classes | payload (class elements, LE)
+//! u32 crc32 (version 2 only)
 //! ```
 //!
 //! `kind` 0 = full-precision [`HdcModel`] (i32 elements),
 //! `kind` 1 = [`QuantizedModel`] (i16 elements).
+//!
+//! Version 2 (current) seals the stream with a CRC32 (IEEE) footer over
+//! everything before it, so a model damaged in transit or storage fails
+//! with [`ReadModelError::ChecksumMismatch`] instead of silently loading
+//! flipped class elements. Version 1 streams (no footer) remain readable.
 
 use std::io::{self, Read, Write};
 
 use crate::{HdcError, HdcModel, IntHv, QuantizedModel};
 
 const MAGIC: [u8; 4] = *b"GHDC";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+const LEGACY_VERSION: u8 = 1;
 const KIND_FULL: u8 = 0;
 const KIND_QUANTIZED: u8 = 1;
 
@@ -38,6 +45,14 @@ pub enum ReadModelError {
         /// Kind byte the caller expected.
         expected: u8,
     },
+    /// The CRC32 footer disagrees with the stream contents: the model
+    /// was corrupted (or truncated) after it was written.
+    ChecksumMismatch {
+        /// CRC32 stored in the stream footer.
+        stored: u32,
+        /// CRC32 computed over the received bytes.
+        computed: u32,
+    },
     /// The decoded header or payload is inconsistent.
     Corrupt(HdcError),
 }
@@ -53,6 +68,10 @@ impl std::fmt::Display for ReadModelError {
             ReadModelError::WrongKind { found, expected } => {
                 write!(f, "model kind {found} found where kind {expected} expected")
             }
+            ReadModelError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "model checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+            ),
             ReadModelError::Corrupt(e) => write!(f, "corrupt model payload: {e}"),
         }
     }
@@ -80,38 +99,116 @@ impl From<HdcError> for ReadModelError {
     }
 }
 
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — hand-rolled so
+/// the wire format needs no external dependency.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends the CRC32 footer sealing everything currently in `buf`.
+pub(crate) fn seal(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+fn unexpected_eof(what: &str) -> ReadModelError {
+    ReadModelError::Io(io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        what.to_owned(),
+    ))
+}
+
+/// Reads a whole GHDC stream and validates its envelope: magic, a known
+/// version byte, and (version 2) the CRC32 footer, which is stripped.
+/// Returns the header + payload bytes ready for parsing.
+pub(crate) fn read_envelope<R: Read>(mut reader: R) -> Result<Vec<u8>, ReadModelError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+        return Err(ReadModelError::BadMagic);
+    }
+    if bytes.len() < 8 {
+        return Err(unexpected_eof("stream shorter than a model header"));
+    }
+    match bytes[4] {
+        LEGACY_VERSION => Ok(bytes),
+        VERSION => {
+            if bytes.len() < 12 {
+                return Err(unexpected_eof("stream shorter than a sealed header"));
+            }
+            let body_len = bytes.len() - 4;
+            let stored = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+            let computed = crc32(&bytes[..body_len]);
+            if stored != computed {
+                return Err(ReadModelError::ChecksumMismatch { stored, computed });
+            }
+            bytes.truncate(body_len);
+            Ok(bytes)
+        }
+        v => Err(ReadModelError::UnsupportedVersion(v)),
+    }
+}
+
+/// Fails when a parser left unconsumed bytes — a v2 stream carries its
+/// exact length, so trailing garbage means the header lied.
+pub(crate) fn expect_consumed(rest: &[u8]) -> Result<(), ReadModelError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(ReadModelError::Corrupt(HdcError::invalid(
+            "stream",
+            format!("{} trailing bytes after the payload", rest.len()),
+        )))
+    }
+}
+
 /// Writes a full-precision model. A `&mut` writer works too.
 ///
 /// # Errors
 ///
 /// Returns any underlying I/O error.
 pub fn write_model<W: Write>(model: &HdcModel, mut writer: W) -> io::Result<()> {
-    write_header(&mut writer, KIND_FULL, 16, model.dim(), model.n_classes())?;
+    let mut buf = Vec::new();
+    write_header(&mut buf, KIND_FULL, 16, model.dim(), model.n_classes())
+        .expect("vec write cannot fail");
     for class in model.iter() {
         for &v in class.values() {
-            writer.write_all(&v.to_le_bytes())?;
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    Ok(())
+    seal(&mut buf);
+    writer.write_all(&buf)
 }
 
 /// Reads a full-precision model written by [`write_model`].
 ///
 /// # Errors
 ///
-/// Returns [`ReadModelError`] on I/O failure or a malformed stream.
-pub fn read_model<R: Read>(mut reader: R) -> Result<HdcModel, ReadModelError> {
-    let header = read_header(&mut reader, KIND_FULL)?;
+/// Returns [`ReadModelError`] on I/O failure, a malformed stream, or a
+/// checksum mismatch.
+pub fn read_model<R: Read>(reader: R) -> Result<HdcModel, ReadModelError> {
+    let bytes = read_envelope(reader)?;
+    let mut slice: &[u8] = &bytes;
+    let header = read_header(&mut slice, KIND_FULL)?;
     let mut classes = Vec::with_capacity(header.n_classes);
     let mut buf = [0u8; 4];
     for _ in 0..header.n_classes {
         let mut values = Vec::with_capacity(header.dim);
         for _ in 0..header.dim {
-            reader.read_exact(&mut buf)?;
+            slice.read_exact(&mut buf)?;
             values.push(i32::from_le_bytes(buf));
         }
         classes.push(IntHv::from_values(values)?);
     }
+    expect_consumed(slice)?;
     Ok(HdcModel::from_class_vectors(classes)?)
 }
 
@@ -121,38 +218,45 @@ pub fn read_model<R: Read>(mut reader: R) -> Result<HdcModel, ReadModelError> {
 ///
 /// Returns any underlying I/O error.
 pub fn write_quantized<W: Write>(model: &QuantizedModel, mut writer: W) -> io::Result<()> {
+    let mut buf = Vec::new();
     write_header(
-        &mut writer,
+        &mut buf,
         KIND_QUANTIZED,
         model.bit_width(),
         model.dim(),
         model.n_classes(),
-    )?;
+    )
+    .expect("vec write cannot fail");
     for c in 0..model.n_classes() {
         for &v in model.class(c) {
-            writer.write_all(&v.to_le_bytes())?;
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    Ok(())
+    seal(&mut buf);
+    writer.write_all(&buf)
 }
 
 /// Reads a quantized model written by [`write_quantized`].
 ///
 /// # Errors
 ///
-/// Returns [`ReadModelError`] on I/O failure or a malformed stream.
-pub fn read_quantized<R: Read>(mut reader: R) -> Result<QuantizedModel, ReadModelError> {
-    let header = read_header(&mut reader, KIND_QUANTIZED)?;
+/// Returns [`ReadModelError`] on I/O failure, a malformed stream, or a
+/// checksum mismatch.
+pub fn read_quantized<R: Read>(reader: R) -> Result<QuantizedModel, ReadModelError> {
+    let bytes = read_envelope(reader)?;
+    let mut slice: &[u8] = &bytes;
+    let header = read_header(&mut slice, KIND_QUANTIZED)?;
     let mut classes = Vec::with_capacity(header.n_classes);
     let mut buf = [0u8; 2];
     for _ in 0..header.n_classes {
         let mut values = Vec::with_capacity(header.dim);
         for _ in 0..header.dim {
-            reader.read_exact(&mut buf)?;
+            slice.read_exact(&mut buf)?;
             values.push(i16::from_le_bytes(buf));
         }
         classes.push(values);
     }
+    expect_consumed(slice)?;
     Ok(QuantizedModel::from_parts(
         header.dim,
         header.bit_width,
@@ -188,7 +292,7 @@ fn read_header<R: Read>(reader: &mut R, expected_kind: u8) -> Result<Header, Rea
     }
     let mut meta = [0u8; 4];
     reader.read_exact(&mut meta)?;
-    if meta[0] != VERSION {
+    if meta[0] != VERSION && meta[0] != LEGACY_VERSION {
         return Err(ReadModelError::UnsupportedVersion(meta[0]));
     }
     if meta[1] != expected_kind {
@@ -235,6 +339,22 @@ mod tests {
         HdcModel::fit(&encoded, &[0, 1, 2], 3).expect("valid inputs")
     }
 
+    /// The same stream [`write_model`] produced before the CRC footer
+    /// existed: a version-1 header followed by the bare payload.
+    fn legacy_v1_stream(model: &HdcModel) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&[LEGACY_VERSION, KIND_FULL, 16, 0]);
+        buf.extend_from_slice(&(model.dim() as u32).to_le_bytes());
+        buf.extend_from_slice(&(model.n_classes() as u32).to_le_bytes());
+        for class in model.iter() {
+            for &v in class.values() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buf
+    }
+
     #[test]
     fn full_model_round_trips() {
         let model = sample_model();
@@ -256,6 +376,21 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn legacy_v1_stream_still_loads() {
+        let model = sample_model();
+        let restored =
+            read_model(legacy_v1_stream(&model).as_slice()).expect("v1 must stay readable");
+        assert_eq!(model, restored);
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let err = read_model(&b"NOPE...."[..]).expect_err("must fail");
         assert!(matches!(err, ReadModelError::BadMagic));
@@ -271,13 +406,48 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_is_an_io_error() {
+    fn truncated_stream_fails_the_checksum() {
         let model = sample_model();
         let mut buf = Vec::new();
         write_model(&model, &mut buf).expect("vec write cannot fail");
         buf.truncate(buf.len() / 2);
         let err = read_model(buf.as_slice()).expect_err("truncated");
-        assert!(matches!(err, ReadModelError::Io(_)));
+        assert!(matches!(err, ReadModelError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn any_single_flipped_byte_is_rejected() {
+        let model = sample_model();
+        let mut clean = Vec::new();
+        write_model(&model, &mut clean).expect("vec write cannot fail");
+        for pos in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x40;
+            let err = read_model(buf.as_slice()).expect_err("flip must be caught");
+            match pos {
+                0..=3 => assert!(matches!(err, ReadModelError::BadMagic), "pos {pos}"),
+                4 => assert!(
+                    matches!(err, ReadModelError::UnsupportedVersion(_)),
+                    "pos {pos}"
+                ),
+                _ => assert!(
+                    matches!(err, ReadModelError::ChecksumMismatch { .. }),
+                    "pos {pos}: {err}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn version_byte_flipped_to_v1_cannot_smuggle_a_sealed_stream() {
+        // A v2 stream whose version byte degrades to 1 must not decode
+        // through the legacy path: the CRC footer becomes trailing bytes.
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("vec write cannot fail");
+        buf[4] = LEGACY_VERSION;
+        let err = read_model(buf.as_slice()).expect_err("footer must not be payload");
+        assert!(matches!(err, ReadModelError::Corrupt(_)), "{err}");
     }
 
     #[test]

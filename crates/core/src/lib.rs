@@ -23,6 +23,12 @@
 //! - model quantization to 1/2/4/8/16-bit class elements with bit-accurate
 //!   fault injection hooks used by the voltage over-scaling study
 //!   ([`QuantizedModel`]),
+//! - a seeded fault-injection engine distinguishing transient (per-read),
+//!   persistent (stuck-cell), and accumulating (retention) faults across
+//!   class memories, item/id memories, and encoded queries ([`FaultModel`]),
+//! - resilient inference: confidence-gated escalation from reduced to full
+//!   dimensions, majority voting over redundant reads, and periodic class
+//!   memory scrubbing ([`ResilientPipeline`]),
 //! - HDC clustering with copy-centroid epochs ([`HdcClustering`]),
 //! - evaluation metrics: accuracy and normalized mutual information
 //!   (module [`metrics`]).
@@ -58,12 +64,14 @@
 mod binary_model;
 mod cluster;
 mod error;
+mod fault;
 mod hv;
 mod id;
 mod level;
 mod model;
 mod pipeline;
 mod quant;
+mod resilient;
 
 pub mod encoding;
 pub mod io;
@@ -72,12 +80,14 @@ pub mod metrics;
 pub use binary_model::BinaryModel;
 pub use cluster::{ClusteringOutcome, HdcClustering, HdcClusteringSpec};
 pub use error::HdcError;
+pub use fault::{DefectMap, FaultKind, FaultModel};
 pub use hv::{BinaryHv, IntHv};
 pub use id::IdMemory;
 pub use level::{LevelMemory, Quantizer};
 pub use model::{HdcModel, NormMode, PredictOptions};
 pub use pipeline::HdcPipeline;
 pub use quant::QuantizedModel;
+pub use resilient::{ResilienceConfig, ResilienceStats, ResilientPipeline};
 
 /// Number of encoding dimensions the GENERIC accelerator produces per pass
 /// over the stored input (the architectural constant *m* of §4.1).

@@ -141,29 +141,40 @@ impl HdcPipeline {
     pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
         let spec = self.encoder.spec();
         let quantizer = self.encoder.quantizer();
-        writer.write_all(b"GHDC")?;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GHDC");
         let flags = u8::from(spec.id_binding()) | (u8::from(spec.seeded_ids()) << 1);
-        writer.write_all(&[1u8, 2u8, 16u8, flags])?;
-        writer.write_all(&(spec.dim() as u32).to_le_bytes())?;
-        writer.write_all(&(spec.n_features() as u32).to_le_bytes())?;
-        writer.write_all(&(spec.n_levels() as u32).to_le_bytes())?;
-        writer.write_all(&(spec.window() as u32).to_le_bytes())?;
-        writer.write_all(&spec.seed().to_le_bytes())?;
+        buf.extend_from_slice(&[2u8, 2u8, 16u8, flags]);
+        buf.extend_from_slice(&(spec.dim() as u32).to_le_bytes());
+        buf.extend_from_slice(&(spec.n_features() as u32).to_le_bytes());
+        buf.extend_from_slice(&(spec.n_levels() as u32).to_le_bytes());
+        buf.extend_from_slice(&(spec.window() as u32).to_le_bytes());
+        buf.extend_from_slice(&spec.seed().to_le_bytes());
         for &m in quantizer.mins() {
-            writer.write_all(&m.to_le_bytes())?;
+            buf.extend_from_slice(&m.to_le_bytes());
         }
         for &s in quantizer.spans() {
-            writer.write_all(&s.to_le_bytes())?;
+            buf.extend_from_slice(&s.to_le_bytes());
         }
-        crate::io::write_model(&self.model, writer)
+        crate::io::write_model(&self.model, &mut buf)?;
+        // Outer CRC over everything, including the nested (itself sealed)
+        // model section.
+        crate::io::seal(&mut buf);
+        writer.write_all(&buf)
     }
 
     /// Deserializes a pipeline written by [`HdcPipeline::write_to`].
     ///
+    /// Version-1 streams (written before the CRC32 footer existed) are
+    /// still accepted.
+    ///
     /// # Errors
     ///
-    /// Returns [`ReadModelError`] on I/O failure or a malformed stream.
-    pub fn read_from<R: Read>(mut reader: R) -> Result<Self, ReadModelError> {
+    /// Returns [`ReadModelError`] on I/O failure, a malformed stream, or
+    /// a checksum mismatch.
+    pub fn read_from<R: Read>(outer: R) -> Result<Self, ReadModelError> {
+        let bytes = crate::io::read_envelope(outer)?;
+        let mut reader: &[u8] = &bytes;
         let mut magic = [0u8; 4];
         reader.read_exact(&mut magic)?;
         if &magic != b"GHDC" {
@@ -171,9 +182,6 @@ impl HdcPipeline {
         }
         let mut meta = [0u8; 4];
         reader.read_exact(&mut meta)?;
-        if meta[0] != 1 {
-            return Err(ReadModelError::UnsupportedVersion(meta[0]));
-        }
         if meta[1] != 2 {
             return Err(ReadModelError::WrongKind {
                 found: meta[1],
@@ -183,7 +191,7 @@ impl HdcPipeline {
         let id_binding = meta[3] & 1 != 0;
         let seeded_ids = meta[3] & 2 != 0;
         let mut w32 = [0u8; 4];
-        let mut read_u32 = |r: &mut R| -> io::Result<usize> {
+        let mut read_u32 = |r: &mut &[u8]| -> io::Result<usize> {
             r.read_exact(&mut w32)?;
             Ok(u32::from_le_bytes(w32) as usize)
         };
@@ -195,7 +203,7 @@ impl HdcPipeline {
         reader.read_exact(&mut w64)?;
         let seed = u64::from_le_bytes(w64);
 
-        let read_f64s = |r: &mut R, n: usize| -> io::Result<Vec<f64>> {
+        let read_f64s = |r: &mut &[u8], n: usize| -> io::Result<Vec<f64>> {
             let mut out = Vec::with_capacity(n);
             let mut buf = [0u8; 8];
             for _ in 0..n {

@@ -7,8 +7,9 @@
 //! what enables voltage over-scaling of the class memories (Fig. 6).
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
+use crate::fault::flip_class_bits;
 use crate::{HdcError, HdcModel, IntHv};
 
 /// A quantized HDC model: class elements stored as `bit_width`-bit signed
@@ -125,6 +126,11 @@ impl QuantizedModel {
         &self.classes[label]
     }
 
+    /// Mutable access to the raw class rows, for in-crate fault injection.
+    pub(crate) fn classes_mut(&mut self) -> &mut [Vec<i16>] {
+        &mut self.classes
+    }
+
     /// Total number of *effective* class-memory bits
     /// (`n_classes * dim * bit_width`) — the bits exposed to voltage
     /// over-scaling errors.
@@ -152,6 +158,45 @@ impl QuantizedModel {
                     0.0
                 } else {
                     dot as f64 / norm2.sqrt()
+                }
+            })
+            .collect()
+    }
+
+    /// True cosine similarities (`H·C / (‖H‖‖C‖)`) of a query against all
+    /// classes over the first `dims` dimensions (on-demand dimension
+    /// reduction, §4.3.3). Unlike [`scores`](QuantizedModel::scores) the
+    /// query norm is included, so margins between the top scores are
+    /// comparable across queries — what confidence-based escalation needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()` or `dims` is zero or exceeds
+    /// the model dimensionality.
+    pub fn cosine_scores(&self, query: &IntHv, dims: usize) -> Vec<f64> {
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        assert!(
+            dims > 0 && dims <= self.dim,
+            "dims {} out of range (1..={})",
+            dims,
+            self.dim
+        );
+        let q = &query.values()[..dims];
+        let q_norm2: f64 = q.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        self.classes
+            .iter()
+            .map(|class| {
+                let mut dot: i64 = 0;
+                let mut c_norm2: f64 = 0.0;
+                for (&qv, &cv) in q.iter().zip(&class[..dims]) {
+                    dot += i64::from(qv) * i64::from(cv);
+                    c_norm2 += f64::from(cv) * f64::from(cv);
+                }
+                let denom2 = q_norm2 * c_norm2;
+                if denom2 == 0.0 {
+                    0.0
+                } else {
+                    dot as f64 / denom2.sqrt()
                 }
             })
             .collect()
@@ -201,6 +246,11 @@ impl QuantizedModel {
     /// a flip of the top effective bit changes the sign, exactly as it
     /// would in the masked 16-bit hardware word.
     ///
+    /// This is the transient special case of the general fault engine:
+    /// identical to [`FaultModel::transient`](crate::FaultModel::transient)
+    /// followed by a read-0
+    /// [`corrupt_model`](crate::FaultModel::corrupt_model).
+    ///
     /// # Errors
     ///
     /// Returns an error if `ber` is not a probability in `[0, 1]`.
@@ -213,33 +263,11 @@ impl QuantizedModel {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let bw = u32::from(self.bit_width);
-        let mut flipped = 0;
-        for class in &mut self.classes {
-            for v in class.iter_mut() {
-                if bw == 1 {
-                    // 1-bit models store only the sign (0 = +1, 1 = -1);
-                    // a flip negates the element.
-                    if rng.random_bool(ber) {
-                        *v = -*v;
-                        flipped += 1;
-                    }
-                } else {
-                    let mut bits = (*v as u16) & mask(bw);
-                    for b in 0..bw {
-                        if rng.random_bool(ber) {
-                            bits ^= 1 << b;
-                            flipped += 1;
-                        }
-                    }
-                    *v = sign_extend(bits, bw);
-                }
-            }
-        }
-        Ok(flipped)
+        Ok(flip_class_bits(&mut self.classes, bw, ber, &mut rng))
     }
 }
 
-fn mask(bw: u32) -> u16 {
+pub(crate) fn mask(bw: u32) -> u16 {
     if bw >= 16 {
         u16::MAX
     } else {
@@ -247,7 +275,7 @@ fn mask(bw: u32) -> u16 {
     }
 }
 
-fn sign_extend(bits: u16, bw: u32) -> i16 {
+pub(crate) fn sign_extend(bits: u16, bw: u32) -> i16 {
     if bw >= 16 {
         bits as i16
     } else if bits & (1 << (bw - 1)) != 0 {

@@ -1,0 +1,561 @@
+//! Resilient inference under fault injection: confidence-gated dimension
+//! escalation, majority voting over redundant reads, and periodic class
+//! memory scrubbing.
+//!
+//! The GENERIC accelerator already pays for two mechanisms this module
+//! exploits. On-demand dimension reduction (§4.3.3) lets a query run over
+//! only the leading dimensions — a cheap first pass. The norm2 memory
+//! keeps per-chunk class norms, so an escalated full-dimension pass costs
+//! exactly one more inference. [`ResilientPipeline`] combines them into a
+//! two-tier scheme: classify at reduced dimensions, and only when the
+//! top-2 cosine margin falls below a threshold re-run at full
+//! dimensionality — optionally as a best-of-N majority vote, which under
+//! *transient* (voltage over-scaling) faults sees fresh noise per read and
+//! averages it away. Persistent stuck-cell faults defeat voting (every
+//! read is wrong the same way), which the fault campaign quantifies.
+//!
+//! The wrapper never hides cost: every reduced pass, full pass, and scrub
+//! is counted in [`ResilienceStats`], which `generic-sim`'s mitigation
+//! hooks convert into cycles and energy.
+
+use crate::fault::{FaultKind, FaultModel};
+use crate::{HdcError, HdcPipeline, IntHv, QuantizedModel};
+
+/// Knobs of the resilient inference scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Dimensions of the cheap first pass (1..=dim). Equal to the model
+    /// dimensionality disables the two-tier scheme.
+    pub reduced_dims: usize,
+    /// Escalate to full dimensions when the top-2 cosine margin of the
+    /// first pass is below this (0 never escalates; cosine scale, so
+    /// values around 0.01–0.10 are typical).
+    pub margin_threshold: f64,
+    /// Redundant full-dimension reads per escalated query, decided by
+    /// majority (ties to the lowest label). Use an odd count; 1 disables
+    /// voting.
+    pub votes: u32,
+    /// Queries between class-memory scrubs (re-write from the golden
+    /// copy); 0 never scrubs. Only matters under accumulating faults —
+    /// transient noise leaves no damage and persistent defects re-assert.
+    pub scrub_period: u64,
+}
+
+impl ResilienceConfig {
+    /// The unmitigated baseline: single full-dimension read per query, no
+    /// escalation, no voting, no scrubbing. `reduced_dims` is resolved to
+    /// the model dimensionality at construction.
+    pub fn baseline() -> Self {
+        ResilienceConfig {
+            reduced_dims: usize::MAX,
+            margin_threshold: 0.0,
+            votes: 1,
+            scrub_period: 0,
+        }
+    }
+}
+
+/// Work counters of a [`ResilientPipeline`], the basis for charging
+/// mitigation cost through the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Queries served.
+    pub queries: u64,
+    /// First passes at reduced dimensions (one per query when the
+    /// two-tier scheme is active).
+    pub reduced_passes: u64,
+    /// Full-dimension passes (escalations × votes, plus every pass when
+    /// `reduced_dims == dim`).
+    pub full_passes: u64,
+    /// Queries whose first-pass margin fell below the threshold.
+    pub escalations: u64,
+    /// Class-memory scrubs performed.
+    pub scrubs: u64,
+}
+
+/// An [`HdcPipeline`] hardened for operation under memory faults.
+///
+/// Holds a golden copy of the quantized class memory, the stored (possibly
+/// damaged) state, and a scratch buffer for per-read transient noise.
+///
+/// ```
+/// use generic_hdc::encoding::GenericEncoderSpec;
+/// use generic_hdc::{FaultModel, HdcPipeline, ResilienceConfig, ResilientPipeline};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let features: Vec<Vec<f64>> = (0..40)
+///     .map(|i| vec![if i % 2 == 0 { 1.0 } else { 9.0 }; 8])
+///     .collect();
+/// let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+/// let spec = GenericEncoderSpec::new(1024, 8).with_seed(7);
+/// let pipeline = HdcPipeline::train(spec, &features, &labels, 2, 10)?;
+///
+/// let config = ResilienceConfig {
+///     reduced_dims: 256,
+///     margin_threshold: 0.05,
+///     votes: 3,
+///     scrub_period: 0,
+/// };
+/// let mut resilient = ResilientPipeline::new(pipeline, 1, config)?;
+/// resilient.set_fault_model(Some(FaultModel::transient(0.05, 11)?));
+/// assert_eq!(resilient.predict(&[1.0; 8])?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilientPipeline {
+    pipeline: HdcPipeline,
+    golden: QuantizedModel,
+    stored: QuantizedModel,
+    scratch: QuantizedModel,
+    fault: Option<FaultModel>,
+    config: ResilienceConfig,
+    stats: ResilienceStats,
+    reads: u64,
+}
+
+impl ResilientPipeline {
+    /// Quantizes the pipeline's model to `bit_width` bits and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bit_width` is out of range, `reduced_dims` is
+    /// zero or (unless `usize::MAX`, meaning "full") exceeds the model
+    /// dimensionality, `votes` is zero, or `margin_threshold` is negative
+    /// or non-finite.
+    pub fn new(
+        pipeline: HdcPipeline,
+        bit_width: u8,
+        mut config: ResilienceConfig,
+    ) -> Result<Self, HdcError> {
+        let golden = QuantizedModel::from_model(pipeline.model(), bit_width)?;
+        if config.reduced_dims == usize::MAX {
+            config.reduced_dims = golden.dim();
+        }
+        if config.reduced_dims == 0 || config.reduced_dims > golden.dim() {
+            return Err(HdcError::invalid(
+                "reduced_dims",
+                format!("must be in 1..={}", golden.dim()),
+            ));
+        }
+        if config.votes == 0 {
+            return Err(HdcError::invalid("votes", "must be at least 1"));
+        }
+        if !config.margin_threshold.is_finite() || config.margin_threshold < 0.0 {
+            return Err(HdcError::invalid(
+                "margin_threshold",
+                "must be finite and non-negative",
+            ));
+        }
+        let stored = golden.clone();
+        let scratch = golden.clone();
+        Ok(ResilientPipeline {
+            pipeline,
+            golden,
+            stored,
+            scratch,
+            fault: None,
+            config,
+            stats: ResilienceStats::default(),
+            reads: 0,
+        })
+    }
+
+    /// Installs (or clears) the fault model. Persistent defects are
+    /// applied to the stored memory immediately; any accumulated damage
+    /// from a previous model is scrubbed away first.
+    pub fn set_fault_model(&mut self, fault: Option<FaultModel>) {
+        self.fault = fault;
+        self.rewrite_stored();
+    }
+
+    /// The wrapped pipeline (encoder + float model).
+    pub fn pipeline(&self) -> &HdcPipeline {
+        &self.pipeline
+    }
+
+    /// The golden (fault-free) quantized model.
+    pub fn golden(&self) -> &QuantizedModel {
+        &self.golden
+    }
+
+    /// The active configuration (with `reduced_dims` resolved).
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// Work counters accumulated since construction or the last
+    /// [`reset_stats`](ResilientPipeline::reset_stats).
+    pub fn stats(&self) -> &ResilienceStats {
+        &self.stats
+    }
+
+    /// Clears the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ResilienceStats::default();
+    }
+
+    /// Re-writes the class memory from the golden copy, then re-applies
+    /// persistent defects (stuck cells do not heal). Counted in
+    /// [`ResilienceStats::scrubs`].
+    pub fn scrub(&mut self) {
+        self.rewrite_stored();
+        self.stats.scrubs += 1;
+    }
+
+    /// Encodes and classifies one raw sample resiliently.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a wrong-width sample.
+    pub fn predict(&mut self, sample: &[f64]) -> Result<usize, HdcError> {
+        let query = self.pipeline.encode(sample)?;
+        Ok(self.predict_encoded(&query))
+    }
+
+    /// Classifies one encoded query resiliently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim()` differs from the model dimensionality.
+    pub fn predict_encoded(&mut self, query: &IntHv) -> usize {
+        self.stats.queries += 1;
+        if self.config.scrub_period > 0
+            && self.stats.queries.is_multiple_of(self.config.scrub_period)
+        {
+            self.scrub();
+        }
+
+        let dim = self.golden.dim();
+        let reduced = self.config.reduced_dims;
+        let first_is_full = reduced == dim;
+        let scores = self.read_scores(query, reduced);
+        if first_is_full {
+            self.stats.full_passes += 1;
+        } else {
+            self.stats.reduced_passes += 1;
+        }
+        let (best, margin) = top2_margin(&scores);
+        if self.config.margin_threshold == 0.0 || margin >= self.config.margin_threshold {
+            return best;
+        }
+
+        // Low confidence: escalate to `votes` independent full reads.
+        self.stats.escalations += 1;
+        let mut tally = vec![0u32; self.golden.n_classes()];
+        for _ in 0..self.config.votes {
+            let scores = self.read_scores(query, dim);
+            self.stats.full_passes += 1;
+            let (vote, _) = top2_margin(&scores);
+            tally[vote] += 1;
+        }
+        tally
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &count)| (count, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .expect("model has at least one class")
+    }
+
+    /// Fraction of encoded samples classified as their labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths or dimensions.
+    pub fn accuracy_encoded(&mut self, encoded: &[IntHv], labels: &[usize]) -> f64 {
+        assert_eq!(
+            encoded.len(),
+            labels.len(),
+            "samples/labels length mismatch"
+        );
+        if encoded.is_empty() {
+            return 0.0;
+        }
+        let correct = encoded
+            .iter()
+            .zip(labels)
+            .filter(|&(hv, &label)| self.predict_encoded(hv) == label)
+            .count();
+        correct as f64 / encoded.len() as f64
+    }
+
+    /// Encodes every sample and measures resilient accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on mismatched lengths or row widths.
+    pub fn accuracy(&mut self, features: &[Vec<f64>], labels: &[usize]) -> Result<f64, HdcError> {
+        if features.len() != labels.len() {
+            return Err(HdcError::invalid(
+                "labels",
+                "features and labels must have equal lengths",
+            ));
+        }
+        if features.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        let mut correct = 0;
+        for (x, &y) in features.iter().zip(labels) {
+            if self.predict(x)? == y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / features.len() as f64)
+    }
+
+    /// One class-memory read: returns cosine scores over the first `dims`
+    /// dimensions of whatever the memory yields under the fault model.
+    fn read_scores(&mut self, query: &IntHv, dims: usize) -> Vec<f64> {
+        let read_index = self.reads;
+        self.reads += 1;
+        match self.fault {
+            None => self.stored.cosine_scores(query, dims),
+            Some(fault) => match fault.kind() {
+                // Fresh noise per read, observed on a scratch copy — the
+                // stored cells themselves are unharmed.
+                FaultKind::Transient => {
+                    self.scratch.clone_from(&self.stored);
+                    fault.corrupt_model(&mut self.scratch, read_index);
+                    self.scratch.cosine_scores(query, dims)
+                }
+                // Defects already live in the stored state.
+                FaultKind::Persistent => self.stored.cosine_scores(query, dims),
+                // Damage lands in the stored state and stays there.
+                FaultKind::Accumulating => {
+                    fault.corrupt_model(&mut self.stored, read_index);
+                    self.stored.cosine_scores(query, dims)
+                }
+            },
+        }
+    }
+
+    /// Restores the stored memory to golden, then re-applies persistent
+    /// defects.
+    fn rewrite_stored(&mut self) {
+        self.stored.clone_from(&self.golden);
+        if let Some(fault) = self.fault {
+            if fault.kind() == FaultKind::Persistent {
+                fault.corrupt_model(&mut self.stored, 0);
+            }
+        }
+    }
+}
+
+/// Index of the best score and its margin over the runner-up (0 for a
+/// single-class model).
+fn top2_margin(scores: &[f64]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut s1 = f64::NEG_INFINITY;
+    let mut s2 = f64::NEG_INFINITY;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > s1 {
+            s2 = s1;
+            s1 = s;
+            best = i;
+        } else if s > s2 {
+            s2 = s;
+        }
+    }
+    let margin = if s2 == f64::NEG_INFINITY {
+        0.0
+    } else {
+        s1 - s2
+    };
+    (best, margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::GenericEncoderSpec;
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let features: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let c = i % 3;
+                (0..10)
+                    .map(|j| (c * 4) as f64 + ((i * 3 + j) % 4) as f64 * 0.2)
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        (features, labels)
+    }
+
+    fn trained() -> HdcPipeline {
+        let (xs, ys) = toy();
+        let spec = GenericEncoderSpec::new(2048, 10).with_seed(5);
+        HdcPipeline::train(spec, &xs, &ys, 3, 10).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let p = trained();
+        let bad_dims = ResilienceConfig {
+            reduced_dims: 4096,
+            ..ResilienceConfig::baseline()
+        };
+        assert!(ResilientPipeline::new(p.clone(), 4, bad_dims).is_err());
+        let bad_votes = ResilienceConfig {
+            votes: 0,
+            ..ResilienceConfig::baseline()
+        };
+        assert!(ResilientPipeline::new(p.clone(), 4, bad_votes).is_err());
+        let bad_margin = ResilienceConfig {
+            margin_threshold: -1.0,
+            ..ResilienceConfig::baseline()
+        };
+        assert!(ResilientPipeline::new(p.clone(), 4, bad_margin).is_err());
+        assert!(ResilientPipeline::new(p, 0, ResilienceConfig::baseline()).is_err());
+    }
+
+    #[test]
+    fn fault_free_baseline_matches_quantized_model() {
+        let p = trained();
+        let (xs, ys) = toy();
+        let golden = QuantizedModel::from_model(p.model(), 8).unwrap();
+        let mut r = ResilientPipeline::new(p, 8, ResilienceConfig::baseline()).unwrap();
+        for (x, _) in xs.iter().zip(&ys) {
+            let q = r.pipeline().encode(x).unwrap();
+            assert_eq!(r.predict_encoded(&q), golden.predict(&q));
+        }
+        assert_eq!(r.stats().queries, xs.len() as u64);
+        assert_eq!(r.stats().full_passes, xs.len() as u64);
+        assert_eq!(r.stats().reduced_passes, 0);
+        assert_eq!(r.stats().escalations, 0);
+    }
+
+    #[test]
+    fn reduced_first_pass_escalates_only_on_low_margin() {
+        let p = trained();
+        let (xs, ys) = toy();
+        let config = ResilienceConfig {
+            reduced_dims: 256,
+            margin_threshold: 0.02,
+            votes: 1,
+            scrub_period: 0,
+        };
+        let mut r = ResilientPipeline::new(p, 8, config).unwrap();
+        let acc = r.accuracy(&xs, &ys).unwrap();
+        assert!(acc >= 0.95, "fault-free resilient accuracy: {acc}");
+        let stats = *r.stats();
+        assert_eq!(stats.reduced_passes, stats.queries);
+        assert_eq!(stats.full_passes, stats.escalations);
+        assert!(
+            stats.escalations < stats.queries,
+            "separable data should mostly classify in the reduced pass: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn majority_voting_recovers_accuracy_under_transient_faults() {
+        let p = trained();
+        let (xs, ys) = toy();
+        let encoded: Vec<IntHv> = xs.iter().map(|x| p.encode(x).unwrap()).collect();
+        let ber = 0.10;
+
+        let mut baseline =
+            ResilientPipeline::new(p.clone(), 1, ResilienceConfig::baseline()).unwrap();
+        baseline.set_fault_model(Some(FaultModel::transient(ber, 3).unwrap()));
+        let unmitigated = baseline.accuracy_encoded(&encoded, &ys);
+
+        let config = ResilienceConfig {
+            reduced_dims: 512,
+            margin_threshold: 0.10,
+            votes: 5,
+            scrub_period: 0,
+        };
+        let mut mitigated = ResilientPipeline::new(p, 1, config).unwrap();
+        mitigated.set_fault_model(Some(FaultModel::transient(ber, 3).unwrap()));
+        let resilient = mitigated.accuracy_encoded(&encoded, &ys);
+
+        assert!(
+            resilient >= unmitigated,
+            "voting must not hurt: {unmitigated} -> {resilient}"
+        );
+    }
+
+    #[test]
+    fn voting_cannot_fix_persistent_defects() {
+        let p = trained();
+        let (xs, ys) = toy();
+        let encoded: Vec<IntHv> = xs.iter().map(|x| p.encode(x).unwrap()).collect();
+        let fault = FaultModel::persistent(0.15, 9).unwrap();
+
+        let config = ResilienceConfig {
+            reduced_dims: 2048,
+            margin_threshold: 0.5, // escalate nearly always
+            votes: 5,
+            scrub_period: 0,
+        };
+        let mut voted = ResilientPipeline::new(p.clone(), 1, config).unwrap();
+        voted.set_fault_model(Some(fault));
+        let voted_acc = voted.accuracy_encoded(&encoded, &ys);
+
+        let mut plain = ResilientPipeline::new(p, 1, ResilienceConfig::baseline()).unwrap();
+        plain.set_fault_model(Some(fault));
+        let plain_acc = plain.accuracy_encoded(&encoded, &ys);
+
+        // Every read of a stuck cell is wrong the same way, so redundant
+        // reads return identical votes.
+        assert!(
+            (voted_acc - plain_acc).abs() < 1e-12,
+            "voting changed a persistent-fault outcome: {plain_acc} vs {voted_acc}"
+        );
+    }
+
+    #[test]
+    fn scrubbing_heals_accumulating_damage() {
+        let p = trained();
+        let (xs, ys) = toy();
+        let encoded: Vec<IntHv> = xs.iter().map(|x| p.encode(x).unwrap()).collect();
+        let fault = FaultModel::accumulating(0.01, 4).unwrap();
+
+        let mut unscrubbed =
+            ResilientPipeline::new(p.clone(), 1, ResilienceConfig::baseline()).unwrap();
+        unscrubbed.set_fault_model(Some(fault));
+        let mut scrubbed = ResilientPipeline::new(
+            p,
+            1,
+            ResilienceConfig {
+                scrub_period: 10,
+                ..ResilienceConfig::baseline()
+            },
+        )
+        .unwrap();
+        scrubbed.set_fault_model(Some(fault));
+
+        // Stream the set repeatedly so damage has time to pile up.
+        let mut acc_unscrubbed = 0.0;
+        let mut acc_scrubbed = 0.0;
+        for _ in 0..5 {
+            acc_unscrubbed = unscrubbed.accuracy_encoded(&encoded, &ys);
+            acc_scrubbed = scrubbed.accuracy_encoded(&encoded, &ys);
+        }
+        assert!(scrubbed.stats().scrubs > 0);
+        assert!(
+            acc_scrubbed >= acc_unscrubbed,
+            "scrubbing must help under accumulating faults: \
+             {acc_unscrubbed} vs {acc_scrubbed}"
+        );
+    }
+
+    #[test]
+    fn stats_reset() {
+        let p = trained();
+        let (xs, _) = toy();
+        let mut r = ResilientPipeline::new(p, 8, ResilienceConfig::baseline()).unwrap();
+        let _ = r.predict(&xs[0]).unwrap();
+        assert_eq!(r.stats().queries, 1);
+        r.reset_stats();
+        assert_eq!(*r.stats(), ResilienceStats::default());
+    }
+
+    #[test]
+    fn top2_margin_edge_cases() {
+        assert_eq!(top2_margin(&[0.5]), (0, 0.0));
+        let (best, margin) = top2_margin(&[0.1, 0.7, 0.4]);
+        assert_eq!(best, 1);
+        assert!((margin - 0.3).abs() < 1e-12);
+    }
+}

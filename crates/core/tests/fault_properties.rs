@@ -1,0 +1,68 @@
+//! Statistical properties of the fault-injection engine: flip counts
+//! track the requested bit-error rate, and everything is reproducible
+//! from its seed.
+
+use generic_hdc::{BinaryHv, FaultModel, HdcModel, IntHv, QuantizedModel};
+use proptest::prelude::*;
+
+fn sample_quantized(bit_width: u8) -> QuantizedModel {
+    let encoded: Vec<IntHv> = (0..4u64)
+        .map(|s| IntHv::from(BinaryHv::random_seeded(512, s).expect("dim > 0")))
+        .collect();
+    let model = HdcModel::fit(&encoded, &[0, 1, 2, 3], 4).expect("valid inputs");
+    QuantizedModel::from_model(&model, bit_width).expect("valid width")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The number of injected flips is binomial around `ber × total
+    /// effective bits`: within 6 standard deviations for every width.
+    #[test]
+    fn flip_count_tracks_the_bit_error_rate(seed in any::<u64>(), ber in 0.02f64..0.5) {
+        for bw in [1u8, 2, 4, 8, 16] {
+            let mut q = sample_quantized(bw);
+            let total_bits = (q.n_classes() * q.dim() * bw as usize) as f64;
+            let flips = q.inject_bit_flips(ber, seed).expect("valid ber") as f64;
+            let expected = ber * total_bits;
+            let sigma = (total_bits * ber * (1.0 - ber)).sqrt();
+            prop_assert!(
+                (flips - expected).abs() <= 6.0 * sigma + 1.0,
+                "bw {}: {} flips, expected {} ± {}", bw, flips, expected, sigma
+            );
+        }
+    }
+
+    /// The same seed injects the same damage: identical flip count and
+    /// identical resulting class memory.
+    #[test]
+    fn injection_is_reproducible_for_a_fixed_seed(seed in any::<u64>(), ber in 0.0f64..0.5) {
+        let mut a = sample_quantized(4);
+        let mut b = a.clone();
+        let fa = a.inject_bit_flips(ber, seed).expect("valid ber");
+        let fb = b.inject_bit_flips(ber, seed).expect("valid ber");
+        prop_assert_eq!(fa, fb);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Different read indices of a transient fault model draw fresh
+    /// noise, while a persistent model replays the same defects.
+    #[test]
+    fn transient_varies_per_read_but_persistent_does_not(seed in any::<u64>()) {
+        let golden = sample_quantized(8);
+
+        let transient = FaultModel::transient(0.2, seed).expect("valid ber");
+        let mut t0 = golden.clone();
+        let mut t1 = golden.clone();
+        transient.corrupt_model(&mut t0, 0);
+        transient.corrupt_model(&mut t1, 1);
+        prop_assert_ne!(&t0, &t1);
+
+        let persistent = FaultModel::persistent(0.2, seed).expect("valid ber");
+        let mut p0 = golden.clone();
+        let mut p1 = golden;
+        persistent.corrupt_model(&mut p0, 0);
+        persistent.corrupt_model(&mut p1, 1);
+        prop_assert_eq!(&p0, &p1);
+    }
+}

@@ -2,7 +2,7 @@
 //! streams must produce errors, never panics or absurd allocations.
 
 use generic_hdc::encoding::GenericEncoderSpec;
-use generic_hdc::io::{read_model, read_quantized, write_model};
+use generic_hdc::io::{read_model, read_quantized, write_model, ReadModelError};
 use generic_hdc::{BinaryHv, HdcModel, HdcPipeline, IntHv};
 use proptest::prelude::*;
 
@@ -33,16 +33,51 @@ proptest! {
         let _ = HdcPipeline::read_from(bytes.as_slice());
     }
 
-    /// Flipping any single byte of a valid model stream either still
-    /// decodes (payload bit flip) or fails cleanly — never panics.
+    /// Changing any single byte of a sealed model stream is an error —
+    /// the CRC footer leaves no silent corruption.
     #[test]
-    fn single_byte_corruption_is_handled(pos_seed in any::<u64>(), delta in 1u8..=255) {
+    fn single_byte_corruption_is_rejected(pos_seed in any::<u64>(), delta in 1u8..=255) {
         let model = sample_model();
         let mut buf = Vec::new();
         write_model(&model, &mut buf).expect("vec write cannot fail");
         let pos = (pos_seed % buf.len() as u64) as usize;
         buf[pos] = buf[pos].wrapping_add(delta);
-        let _ = read_model(buf.as_slice());
+        prop_assert!(read_model(buf.as_slice()).is_err());
+    }
+
+    /// Any flipped bit past the magic/version prefix fails specifically
+    /// with a checksum mismatch — the CRC is validated before the header
+    /// is even interpreted.
+    #[test]
+    fn flipped_bit_fails_the_checksum(pos_seed in any::<u64>(), bit in 0u32..8) {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("vec write cannot fail");
+        let pos = 5 + (pos_seed % (buf.len() - 5) as u64) as usize;
+        buf[pos] ^= 1 << bit;
+        let err = read_model(buf.as_slice()).expect_err("corruption must be caught");
+        prop_assert!(
+            matches!(err, ReadModelError::ChecksumMismatch { .. }),
+            "pos {}: {}", pos, err
+        );
+    }
+
+    /// Truncating a sealed model stream fails cleanly: as a checksum
+    /// mismatch once enough survives to check, as an I/O error before.
+    #[test]
+    fn truncated_model_stream_is_rejected(cut_seed in any::<u64>()) {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("vec write cannot fail");
+        let cut = (cut_seed % buf.len() as u64) as usize;
+        buf.truncate(cut);
+        let err = read_model(buf.as_slice()).expect_err("truncation must be caught");
+        if cut >= 12 {
+            prop_assert!(
+                matches!(err, ReadModelError::ChecksumMismatch { .. }),
+                "cut {}: {}", cut, err
+            );
+        }
     }
 
     /// Truncating a valid pipeline stream at any point fails cleanly.

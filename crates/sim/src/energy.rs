@@ -49,6 +49,23 @@ impl ActivityCounts {
         self.mac_ops += other.mac_ops;
         self.divides += other.divides;
     }
+
+    /// The activity of `n` repetitions of this record.
+    pub fn scaled(&self, n: u64) -> ActivityCounts {
+        ActivityCounts {
+            cycles: self.cycles * n,
+            feature_accesses: self.feature_accesses * n,
+            level_reads: self.level_reads * n,
+            id_reads: self.id_reads * n,
+            class_reads: self.class_reads * n,
+            class_writes: self.class_writes * n,
+            score_accesses: self.score_accesses * n,
+            norm2_accesses: self.norm2_accesses * n,
+            xor_ops: self.xor_ops * n,
+            mac_ops: self.mac_ops * n,
+            divides: self.divides * n,
+        }
+    }
 }
 
 /// Power/energy knobs the LP (low-power) configuration toggles.

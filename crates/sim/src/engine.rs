@@ -22,7 +22,7 @@ use generic_hdc::{HdcModel, IntHv, QuantizedModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::arch::{AcceleratorConfig, ConfigError, LANES, LEVEL_BINS, SUB_NORM_CHUNK};
+use crate::arch::{AcceleratorConfig, ConfigError, LEVEL_BINS, SUB_NORM_CHUNK};
 use crate::divider::mitchell_divide_wide;
 use crate::energy::{ActivityCounts, EnergyModel, EnergyOptions, EnergyReport};
 use crate::memory::N_CLASS_MEMORIES;
@@ -650,56 +650,19 @@ impl Accelerator {
     /// Activity of encoding one input. `with_load` charges the serial
     /// input-port load.
     fn encode_activity(&self, with_load: bool) -> ActivityCounts {
-        let d = self.config.n_features as u64;
-        let passes = self.config.passes() as u64;
-        let windows = self.config.n_windows() as u64;
-        let id_on = self.config.id_binding;
-        ActivityCounts {
-            cycles: if with_load { d } else { 0 } + passes * d,
-            feature_accesses: if with_load { d } else { 0 } + passes * d,
-            level_reads: passes * d,
-            id_reads: if id_on {
-                passes * windows.div_ceil(LANES as u64)
-            } else {
-                0
-            },
-            xor_ops: passes * windows * (self.config.window as u64 - 1 + u64::from(id_on)),
-            ..Default::default()
-        }
+        crate::mitigation::encode_activity(&self.config, with_load)
     }
 
     /// Activity of one inference over `dims` dimensions against `rows`
-    /// classes, including the pipelined encode.
+    /// classes, including the pipelined encode (formula lives in
+    /// [`crate::mitigation`] so resilience schemes price identically).
     fn infer_activity(&self, dims: usize, rows: usize) -> ActivityCounts {
-        let d = self.config.n_features as u64;
-        let rows = rows as u64;
-        let passes = dims.div_ceil(LANES) as u64;
-        let full_passes = self.config.passes() as u64;
-        // Encode work is proportional to the dimensions actually produced.
-        let mut act = self.encode_activity(true);
-        let scale = |v: u64| v * passes / full_passes.max(1);
-        act.cycles = d + passes * d.max(rows) + rows + 4;
-        act.feature_accesses = d + passes * d;
-        act.level_reads = scale(act.level_reads);
-        act.id_reads = scale(act.id_reads);
-        act.xor_ops = scale(act.xor_ops);
-        act.class_reads = passes * rows * N_CLASS_MEMORIES as u64;
-        act.score_accesses = passes * rows * 2;
-        act.norm2_accesses = rows * (dims / SUB_NORM_CHUNK) as u64;
-        act.mac_ops = passes * rows * LANES as u64;
-        act.divides = rows;
-        act
+        crate::mitigation::infer_activity(&self.config, dims, rows)
     }
 
     /// Activity of one class update (§4.2.2: `3 · D/m` cycles).
     fn update_activity(&self) -> ActivityCounts {
-        let passes = self.config.passes() as u64;
-        ActivityCounts {
-            cycles: 3 * passes,
-            class_reads: 2 * passes * N_CLASS_MEMORIES as u64,
-            class_writes: passes * N_CLASS_MEMORIES as u64,
-            ..Default::default()
-        }
+        crate::mitigation::update_activity(&self.config)
     }
 }
 

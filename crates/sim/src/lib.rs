@@ -23,7 +23,10 @@
 //! techniques: application-opportunistic power gating of unused class
 //! memory banks (§4.3.2), on-demand dimension reduction with per-128-dim
 //! sub-norms (§4.3.3), and voltage over-scaling of the class memories with
-//! bit-error injection (§4.3.4).
+//! bit-error injection (§4.3.4). The [`mitigation`] module exposes the
+//! engine's activity formulas as public builders so the fault-tolerance
+//! schemes of `generic_hdc::ResilientPipeline` (escalated reads, majority
+//! votes, scrubbing) can be priced in cycles and energy.
 //!
 //! Everything is calibrated to the paper's reported silicon figures
 //! (0.30 mm², 0.09 mW app-average static / 0.25 mW worst-case, ~1.8 mW
@@ -40,6 +43,7 @@ mod divider;
 mod energy;
 mod engine;
 mod memory;
+pub mod mitigation;
 mod report;
 mod tech;
 mod vos;

@@ -1,0 +1,222 @@
+//! Activity-cost hooks for resilient inference under faults.
+//!
+//! `generic_hdc::ResilientPipeline` counts its work — reduced first
+//! passes, escalated full-dimension reads, class-memory scrubs — in a
+//! [`ResilienceStats`] record. The builders here price that work with the
+//! *same* cycle/activity formulas the engine charges for normal
+//! execution (the engine's private accounting delegates to these
+//! functions), so mitigation overhead lands in the energy model on equal
+//! footing with the workload itself.
+//!
+//! ```
+//! use generic_sim::{mitigation, AcceleratorConfig, EnergyModel, EnergyOptions};
+//! use generic_hdc::ResilienceStats;
+//!
+//! let config = AcceleratorConfig::new(2048, 64, 13).with_bit_width(1);
+//! let stats = ResilienceStats {
+//!     queries: 100,
+//!     reduced_passes: 100,
+//!     full_passes: 15, // 5 escalations x 3 votes
+//!     escalations: 5,
+//!     scrubs: 1,
+//! };
+//! let act = mitigation::resilience_activity(&config, &stats, 512);
+//! let report = EnergyModel::paper_default().report(&config, &act, &EnergyOptions::default());
+//! assert!(report.total_energy_uj > 0.0);
+//! ```
+
+use generic_hdc::ResilienceStats;
+
+use crate::arch::{AcceleratorConfig, LANES, SUB_NORM_CHUNK};
+use crate::energy::ActivityCounts;
+use crate::memory::N_CLASS_MEMORIES;
+
+/// Activity of encoding one input. `with_load` charges the serial
+/// input-port load of the `d` feature words.
+pub fn encode_activity(config: &AcceleratorConfig, with_load: bool) -> ActivityCounts {
+    let d = config.n_features as u64;
+    let passes = config.passes() as u64;
+    let windows = config.n_windows() as u64;
+    let id_on = config.id_binding;
+    ActivityCounts {
+        cycles: if with_load { d } else { 0 } + passes * d,
+        feature_accesses: if with_load { d } else { 0 } + passes * d,
+        level_reads: passes * d,
+        id_reads: if id_on {
+            passes * windows.div_ceil(LANES as u64)
+        } else {
+            0
+        },
+        xor_ops: passes * windows * (config.window as u64 - 1 + u64::from(id_on)),
+        ..Default::default()
+    }
+}
+
+/// Activity of one inference over the first `dims` dimensions against
+/// `rows` classes, including the pipelined encode (§4.1–§4.2).
+pub fn infer_activity(config: &AcceleratorConfig, dims: usize, rows: usize) -> ActivityCounts {
+    let d = config.n_features as u64;
+    let rows = rows as u64;
+    let passes = dims.div_ceil(LANES) as u64;
+    let full_passes = config.passes() as u64;
+    // Encode work is proportional to the dimensions actually produced.
+    let mut act = encode_activity(config, true);
+    let scale = |v: u64| v * passes / full_passes.max(1);
+    act.cycles = d + passes * d.max(rows) + rows + 4;
+    act.feature_accesses = d + passes * d;
+    act.level_reads = scale(act.level_reads);
+    act.id_reads = scale(act.id_reads);
+    act.xor_ops = scale(act.xor_ops);
+    act.class_reads = passes * rows * N_CLASS_MEMORIES as u64;
+    act.score_accesses = passes * rows * 2;
+    act.norm2_accesses = rows * (dims / SUB_NORM_CHUNK) as u64;
+    act.mac_ops = passes * rows * LANES as u64;
+    act.divides = rows;
+    act
+}
+
+/// Activity of re-scoring an *already encoded* query over the first
+/// `dims` dimensions — an escalated redundant read. The encoded query is
+/// replayed from the temporary dimension registers, so no encoder or
+/// feature-memory work is charged; only the search side runs.
+pub fn search_activity(dims: usize, rows: usize) -> ActivityCounts {
+    let rows = rows as u64;
+    let passes = dims.div_ceil(LANES) as u64;
+    ActivityCounts {
+        cycles: passes * rows + rows + 4,
+        class_reads: passes * rows * N_CLASS_MEMORIES as u64,
+        score_accesses: passes * rows * 2,
+        norm2_accesses: rows * (dims / SUB_NORM_CHUNK) as u64,
+        mac_ops: passes * rows * LANES as u64,
+        divides: rows,
+        ..Default::default()
+    }
+}
+
+/// Activity of one class update during retraining/clustering
+/// (§4.2.2: `3 · D/m` cycles).
+pub fn update_activity(config: &AcceleratorConfig) -> ActivityCounts {
+    let passes = config.passes() as u64;
+    ActivityCounts {
+        cycles: 3 * passes,
+        class_reads: 2 * passes * N_CLASS_MEMORIES as u64,
+        class_writes: passes * N_CLASS_MEMORIES as u64,
+        ..Default::default()
+    }
+}
+
+/// Activity of one class-memory scrub: re-writing every class row from
+/// the golden copy and refreshing the norm2 memory — the same cost the
+/// engine charges for a config-port model load.
+pub fn scrub_activity(config: &AcceleratorConfig) -> ActivityCounts {
+    let words = (config.n_classes * config.dim) as u64;
+    let chunks = (config.n_classes * (config.dim / SUB_NORM_CHUNK)) as u64;
+    ActivityCounts {
+        cycles: words / N_CLASS_MEMORIES as u64,
+        class_writes: words,
+        mac_ops: words,
+        norm2_accesses: chunks,
+        ..Default::default()
+    }
+}
+
+/// Prices a whole [`ResilienceStats`] record against `config`:
+///
+/// - every query's first pass as a full pipelined inference over
+///   `reduced_dims` dimensions (equal to `config.dim` when the two-tier
+///   scheme is off),
+/// - every escalated redundant read as a search-only full-dimension pass
+///   (the query is already encoded),
+/// - every scrub as a class-memory re-write.
+///
+/// `reduced_dims` must match the `ResilienceConfig::reduced_dims` the
+/// stats were collected under, after resolution (i.e. the wrapped
+/// pipeline's `config().reduced_dims`).
+pub fn resilience_activity(
+    config: &AcceleratorConfig,
+    stats: &ResilienceStats,
+    reduced_dims: usize,
+) -> ActivityCounts {
+    let rows = config.n_classes;
+    // full_passes mixes full-dimension *first* passes (reduced_dims ==
+    // dim) with escalated revotes; only the latter skip the encode.
+    let first_full = stats.queries.saturating_sub(stats.reduced_passes);
+    let revotes = stats.full_passes.saturating_sub(first_full);
+
+    let mut total = ActivityCounts::default();
+    total.accumulate(&infer_activity(config, reduced_dims, rows).scaled(stats.queries));
+    total.accumulate(&search_activity(config.dim, rows).scaled(revotes));
+    total.accumulate(&scrub_activity(config).scaled(stats.scrubs));
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::new(2048, 64, 10)
+    }
+
+    #[test]
+    fn search_is_strictly_cheaper_than_inference() {
+        let c = config();
+        let infer = infer_activity(&c, c.dim, c.n_classes);
+        let search = search_activity(c.dim, c.n_classes);
+        assert!(search.cycles < infer.cycles);
+        assert_eq!(search.class_reads, infer.class_reads);
+        assert_eq!(search.feature_accesses, 0);
+        assert_eq!(search.level_reads, 0);
+    }
+
+    #[test]
+    fn reduced_inference_scales_class_reads() {
+        let c = config();
+        let full = infer_activity(&c, c.dim, c.n_classes);
+        let quarter = infer_activity(&c, c.dim / 4, c.n_classes);
+        assert_eq!(quarter.class_reads * 4, full.class_reads);
+        assert!(quarter.cycles < full.cycles);
+    }
+
+    #[test]
+    fn scrub_writes_every_class_word() {
+        let c = config();
+        let act = scrub_activity(&c);
+        assert_eq!(act.class_writes, (c.n_classes * c.dim) as u64);
+        assert_eq!(act.class_reads, 0);
+    }
+
+    #[test]
+    fn resilience_activity_decomposes_stats() {
+        let c = config();
+        let stats = ResilienceStats {
+            queries: 10,
+            reduced_passes: 10,
+            full_passes: 6, // 2 escalations x 3 votes
+            escalations: 2,
+            scrubs: 1,
+        };
+        let total = resilience_activity(&c, &stats, 512);
+
+        let mut expected = ActivityCounts::default();
+        expected.accumulate(&infer_activity(&c, 512, c.n_classes).scaled(10));
+        expected.accumulate(&search_activity(c.dim, c.n_classes).scaled(6));
+        expected.accumulate(&scrub_activity(&c));
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn baseline_stats_price_like_plain_inference() {
+        let c = config();
+        // reduced_dims == dim: every query is a single full first pass.
+        let stats = ResilienceStats {
+            queries: 7,
+            reduced_passes: 0,
+            full_passes: 7,
+            escalations: 0,
+            scrubs: 0,
+        };
+        let total = resilience_activity(&c, &stats, c.dim);
+        assert_eq!(total, infer_activity(&c, c.dim, c.n_classes).scaled(7));
+    }
+}

@@ -8,6 +8,8 @@
 //! supply drops below ~75 % of nominal, dynamic power scales as `V²`, and
 //! leakage drops roughly as `V³` in the near-threshold regime (DIBL).
 
+use crate::engine::SimError;
+
 /// One voltage operating point of the class memories.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VosOperatingPoint {
@@ -37,16 +39,19 @@ const BER_KNEE: f64 = 0.78;
 const BER_SLOPE: f64 = 30.0;
 
 impl VosOperatingPoint {
-    /// The operating point at a given supply fraction.
+    /// The operating point at a given supply fraction, or an error when
+    /// the supply is outside the modelled `[MIN_VOLTAGE_SCALE, 1.0]`
+    /// range (or not a number).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `voltage_scale` is outside `[MIN_VOLTAGE_SCALE, 1.0]`.
-    pub fn at_voltage(voltage_scale: f64) -> Self {
-        assert!(
-            (MIN_VOLTAGE_SCALE..=1.0).contains(&voltage_scale),
-            "voltage scale {voltage_scale} outside [{MIN_VOLTAGE_SCALE}, 1.0]"
-        );
+    /// Returns [`SimError::InvalidArgument`] for an out-of-range scale.
+    pub fn try_at_voltage(voltage_scale: f64) -> Result<Self, SimError> {
+        if !(MIN_VOLTAGE_SCALE..=1.0).contains(&voltage_scale) {
+            return Err(SimError::InvalidArgument {
+                detail: format!("voltage scale {voltage_scale} outside [{MIN_VOLTAGE_SCALE}, 1.0]"),
+            });
+        }
         let ber = if voltage_scale >= BER_KNEE {
             BER_AT_NOMINAL
         } else {
@@ -54,12 +59,47 @@ impl VosOperatingPoint {
                 .exp()
                 .min(0.5)
         };
-        VosOperatingPoint {
+        Ok(VosOperatingPoint {
             voltage_scale,
             bit_error_rate: ber,
             static_power_factor: voltage_scale.powi(3),
             dynamic_power_factor: voltage_scale.powi(2),
+        })
+    }
+
+    /// The operating point at a given supply fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage_scale` is outside `[MIN_VOLTAGE_SCALE, 1.0]`;
+    /// [`try_at_voltage`](Self::try_at_voltage) is the non-panicking
+    /// form.
+    pub fn at_voltage(voltage_scale: f64) -> Self {
+        match Self::try_at_voltage(voltage_scale) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// The operating point that produces (approximately) a target
+    /// bit-error rate, or an error when `ber` is outside `[0, 0.5]` (or
+    /// NaN).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidArgument`] for an out-of-range rate.
+    pub fn try_at_bit_error_rate(ber: f64) -> Result<Self, SimError> {
+        if !(0.0..=0.5).contains(&ber) || ber.is_nan() {
+            return Err(SimError::InvalidArgument {
+                detail: format!("ber {ber} outside [0, 0.5]"),
+            });
+        }
+        if ber <= BER_AT_KNEE {
+            return Self::try_at_voltage(1.0);
+        }
+        // Invert the exponential: v = knee − (ln ber − ln ber_knee) / slope.
+        let v = BER_KNEE - (ber.ln() - BER_AT_KNEE.ln()) / BER_SLOPE;
+        Self::try_at_voltage(v.clamp(MIN_VOLTAGE_SCALE, 1.0))
     }
 
     /// The operating point that produces (approximately) a target
@@ -67,18 +107,14 @@ impl VosOperatingPoint {
     ///
     /// # Panics
     ///
-    /// Panics if `ber` is not in `[0, 0.5]`.
+    /// Panics if `ber` is not in `[0, 0.5]`;
+    /// [`try_at_bit_error_rate`](Self::try_at_bit_error_rate) is the
+    /// non-panicking form.
     pub fn at_bit_error_rate(ber: f64) -> Self {
-        assert!(
-            (0.0..=0.5).contains(&ber) && !ber.is_nan(),
-            "ber {ber} outside [0, 0.5]"
-        );
-        if ber <= BER_AT_KNEE {
-            return Self::at_voltage(1.0);
+        match Self::try_at_bit_error_rate(ber) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
-        // Invert the exponential: v = knee − (ln ber − ln ber_knee) / slope.
-        let v = BER_KNEE - (ber.ln() - BER_AT_KNEE.ln()) / BER_SLOPE;
-        Self::at_voltage(v.clamp(MIN_VOLTAGE_SCALE, 1.0))
     }
 
     /// Combined power-reduction factors `(static, dynamic)` expressed the
@@ -141,5 +177,29 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn voltage_below_floor_panics() {
         let _ = VosOperatingPoint::at_voltage(0.3);
+    }
+
+    #[test]
+    fn try_constructors_reject_bad_arguments_without_panicking() {
+        for v in [0.3, -1.0, 1.5, f64::NAN] {
+            let err = VosOperatingPoint::try_at_voltage(v).unwrap_err();
+            assert!(matches!(err, SimError::InvalidArgument { .. }), "v={v}");
+        }
+        for ber in [-0.01, 0.6, f64::NAN] {
+            let err = VosOperatingPoint::try_at_bit_error_rate(ber).unwrap_err();
+            assert!(matches!(err, SimError::InvalidArgument { .. }), "ber={ber}");
+        }
+    }
+
+    #[test]
+    fn try_constructors_agree_with_panicking_forms() {
+        assert_eq!(
+            VosOperatingPoint::try_at_voltage(0.7).unwrap(),
+            VosOperatingPoint::at_voltage(0.7)
+        );
+        assert_eq!(
+            VosOperatingPoint::try_at_bit_error_rate(0.1).unwrap(),
+            VosOperatingPoint::at_bit_error_rate(0.1)
+        );
     }
 }

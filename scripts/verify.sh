@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local verification: everything CI runs, in one command.
+#
+# All dependencies are vendored as path crates (see [workspace.dependencies]
+# in Cargo.toml), so this works with no network access; --locked makes any
+# accidental registry reach a hard error instead of a silent fetch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --workspace --release --locked
+
+echo "==> cargo test"
+cargo test --workspace --locked --quiet
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "All checks passed."
