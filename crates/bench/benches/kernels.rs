@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks: the word-parallel kernels against their
+//! retained scalar references — bit-sliced bundling vs per-dimension
+//! accumulation, packed sign/magnitude scoring vs the scalar dot, and
+//! blocked vs scalar class scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use generic_hdc::encoding::GenericEncoder;
+use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::{
+    BinaryHv, BitSliceAccumulator, HdcModel, IntHv, PackedInts, PredictOptions, QuantizedModel,
+};
+use std::hint::black_box;
+
+const DIM: usize = 4096;
+const N_VECS: usize = 62; // ISOLET-shaped: 64 features, window 3
+
+fn bench_bundling(c: &mut Criterion) {
+    let hvs: Vec<BinaryHv> = (0..N_VECS as u64)
+        .map(|s| BinaryHv::random_seeded(DIM, 10 + s).expect("dim > 0"))
+        .collect();
+
+    let mut group = c.benchmark_group("bundle_62x4096");
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut acc = IntHv::zeros(DIM).expect("dim > 0");
+            for hv in &hvs {
+                acc.bundle_binary(black_box(hv)).expect("dims match");
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("bit_sliced", |b| {
+        b.iter(|| {
+            let mut acc = BitSliceAccumulator::new(DIM).expect("dim > 0");
+            for hv in &hvs {
+                acc.add(black_box(hv)).expect("dims match");
+            }
+            black_box(acc.to_int_hv())
+        })
+    });
+    group.finish();
+}
+
+fn bench_encode_bins(c: &mut Criterion) {
+    let train: Vec<Vec<f64>> = (0..64)
+        .map(|i| (0..64).map(|j| ((i * 7 + j * 3) % 17) as f64).collect())
+        .collect();
+    let spec = GenericEncoderSpec::new(DIM, 64).with_seed(7);
+    let encoder = GenericEncoder::from_data(spec, &train).expect("valid data");
+    let bins = encoder.quantizer().bins(&train[5]).expect("valid row");
+
+    let mut group = c.benchmark_group("encode_bins_4k_64f");
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            black_box(
+                encoder
+                    .encode_bins_scalar(black_box(&bins))
+                    .expect("valid bins"),
+            )
+        })
+    });
+    group.bench_function("bit_sliced", |b| {
+        b.iter(|| black_box(encoder.encode_bins(black_box(&bins)).expect("valid bins")))
+    });
+    group.finish();
+}
+
+fn bench_dot_packed(c: &mut Criterion) {
+    let query = BinaryHv::random_seeded(DIM, 3).expect("dim > 0");
+    let values: Vec<i32> = (0..DIM as i64)
+        .map(|i| ((i * 37 + 11) % 127 - 63) as i32)
+        .collect();
+    let packed = PackedInts::from_values(&values).expect("valid values");
+
+    let mut group = c.benchmark_group("dot_4096");
+    group.bench_function("scalar", |b| {
+        b.iter(|| black_box(query.dot_int(black_box(&values)).expect("dims match")))
+    });
+    group.bench_function("packed", |b| {
+        b.iter(|| black_box(query.dot_packed(black_box(&packed)).expect("dims match")))
+    });
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let encoded: Vec<IntHv> = (0..13u64)
+        .map(|s| IntHv::from(BinaryHv::random_seeded(DIM, 100 + s).expect("dim > 0")))
+        .collect();
+    let labels: Vec<usize> = (0..13).collect();
+    let model = HdcModel::fit(&encoded, &labels, 13).expect("valid inputs");
+    let query = encoded[0].clone();
+    let opts = PredictOptions::full(DIM);
+
+    let mut group = c.benchmark_group("score_13c_4096");
+    group.bench_function("scalar", |b| {
+        b.iter(|| black_box(model.scores_scalar(black_box(&query), opts)))
+    });
+    group.bench_function("blocked", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            model.score_all(black_box(&query), opts, &mut out);
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+fn bench_quantized_scoring(c: &mut Criterion) {
+    let encoded: Vec<IntHv> = (0..13u64)
+        .map(|s| IntHv::from(BinaryHv::random_seeded(DIM, 200 + s).expect("dim > 0")))
+        .collect();
+    let labels: Vec<usize> = (0..13).collect();
+    let model = HdcModel::fit(&encoded, &labels, 13).expect("valid inputs");
+    let query = encoded[0].to_binary();
+    let query_int = IntHv::from(query.clone());
+
+    let mut group = c.benchmark_group("quantized_score_13c_4096");
+    for bw in [4u8, 8] {
+        let quantized = QuantizedModel::from_model(&model, bw).expect("valid width");
+        let packed = quantized.pack().expect("valid model");
+        group.bench_with_input(BenchmarkId::new("scalar", bw), &query_int, |b, q| {
+            b.iter(|| black_box(quantized.scores(black_box(q))))
+        });
+        group.bench_with_input(BenchmarkId::new("packed", bw), &query, |b, q| {
+            b.iter(|| black_box(packed.scores(black_box(q)).expect("dims match")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bundling,
+    bench_encode_bins,
+    bench_dot_packed,
+    bench_scoring,
+    bench_quantized_scoring
+);
+criterion_main!(benches);

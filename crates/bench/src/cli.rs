@@ -1,57 +1,183 @@
 //! Argument handling shared by the figure/table binaries.
 //!
-//! Every binary takes one optional positional argument — the RNG seed.
-//! A malformed seed prints a usage message to stderr and exits with a
-//! nonzero status instead of panicking with a backtrace.
+//! Every binary takes one optional positional argument — the RNG seed —
+//! plus the shared flags `--threads N` (worker threads for parallel
+//! encoding and retraining; defaults to the machine parallelism) and
+//! `--smoke` (where supported: a fast reduced-size run). A malformed
+//! argument prints a usage message to stderr and exits with a nonzero
+//! status instead of panicking with a backtrace.
 
 /// Parses the optional positional seed argument of the current process,
-/// defaulting to `default` when absent. On a malformed argument, prints
-/// a usage message to stderr and exits with status 2.
+/// defaulting to `default` when absent. Shared flags (`--threads`,
+/// `--smoke`) are skipped. On a malformed argument, prints a usage
+/// message to stderr and exits with status 2.
 pub fn seed_arg(default: u64) -> u64 {
-    let mut args = std::env::args();
-    let bin = args.next().unwrap_or_else(|| "generic-bench".to_owned());
-    match parse_seed(args.next(), default) {
+    let (bin, args) = current_args();
+    match parse_seed(&args, default) {
         Ok(seed) => seed,
         Err(got) => {
             eprintln!("error: seed must be an unsigned integer, got {got:?}");
-            eprintln!("usage: {bin} [seed]");
-            std::process::exit(2);
+            usage_exit(&bin);
         }
     }
 }
 
-/// The testable core of [`seed_arg`]: `Err` carries the offending
-/// argument.
-fn parse_seed(arg: Option<String>, default: u64) -> Result<u64, String> {
-    match arg {
-        None => Ok(default),
-        Some(s) => s.trim().parse().map_err(|_| s),
+/// Parses the shared `--threads N` (or `--threads=N`) flag of the current
+/// process, defaulting to the machine parallelism when absent. On a
+/// malformed value, prints a usage message to stderr and exits with
+/// status 2.
+pub fn threads_arg() -> usize {
+    let (bin, args) = current_args();
+    match parse_threads(&args) {
+        Ok(Some(n)) => n,
+        Ok(None) => default_threads(),
+        Err(got) => {
+            eprintln!("error: --threads expects a positive integer, got {got:?}");
+            usage_exit(&bin);
+        }
     }
+}
+
+/// True when the current process was invoked with `--smoke`.
+pub fn smoke_flag() -> bool {
+    let (_, args) = current_args();
+    parse_smoke(&args)
+}
+
+/// The machine parallelism (1 when unknown) — the `--threads` default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn current_args() -> (String, Vec<String>) {
+    let mut args = std::env::args();
+    let bin = args.next().unwrap_or_else(|| "generic-bench".to_owned());
+    (bin, args.collect())
+}
+
+fn usage_exit(bin: &str) -> ! {
+    eprintln!("usage: {bin} [seed] [--threads N] [--smoke]");
+    std::process::exit(2);
+}
+
+/// The testable core of [`seed_arg`]: first non-flag token is the seed;
+/// `Err` carries the offending argument.
+fn parse_seed(args: &[String], default: u64) -> Result<u64, String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--smoke" || arg.starts_with("--threads=") {
+            continue;
+        }
+        if arg == "--threads" {
+            iter.next(); // the flag's value; validated by `parse_threads`
+            continue;
+        }
+        return arg.trim().parse().map_err(|_| arg.clone());
+    }
+    Ok(default)
+}
+
+/// The testable core of [`threads_arg`]: `Ok(None)` when the flag is
+/// absent; `Err` carries the offending value.
+fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if let Some(v) = arg.strip_prefix("--threads=") {
+            v.to_owned()
+        } else if arg == "--threads" {
+            match iter.next() {
+                Some(v) => v.clone(),
+                None => return Err(String::new()),
+            }
+        } else {
+            continue;
+        };
+        return match value.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(value),
+        };
+    }
+    Ok(None)
+}
+
+/// The testable core of [`smoke_flag`].
+fn parse_smoke(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--smoke")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
     #[test]
     fn missing_argument_uses_the_default() {
-        assert_eq!(parse_seed(None, 42), Ok(42));
+        assert_eq!(parse_seed(&[], 42), Ok(42));
     }
 
     #[test]
     fn valid_seeds_parse() {
-        assert_eq!(parse_seed(Some("7".to_owned()), 42), Ok(7));
-        assert_eq!(parse_seed(Some(" 123 ".to_owned()), 42), Ok(123));
+        assert_eq!(parse_seed(&argv(&["7"]), 42), Ok(7));
+        assert_eq!(parse_seed(&argv(&[" 123 "]), 42), Ok(123));
     }
 
     #[test]
     fn malformed_seeds_are_errors_not_panics() {
         for bad in ["x", "-1", "1.5", ""] {
             assert_eq!(
-                parse_seed(Some(bad.to_owned()), 42),
+                parse_seed(&argv(&[bad]), 42),
                 Err(bad.to_owned()),
                 "{bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn seed_skips_shared_flags() {
+        assert_eq!(parse_seed(&argv(&["--smoke", "9"]), 42), Ok(9));
+        assert_eq!(parse_seed(&argv(&["--threads", "4", "9"]), 42), Ok(9));
+        assert_eq!(parse_seed(&argv(&["--threads=4", "9"]), 42), Ok(9));
+        assert_eq!(
+            parse_seed(&argv(&["--threads", "4", "--smoke"]), 42),
+            Ok(42)
+        );
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        assert_eq!(parse_threads(&[]), Ok(None));
+        assert_eq!(parse_threads(&argv(&["7", "--threads", "4"])), Ok(Some(4)));
+        assert_eq!(parse_threads(&argv(&["--threads=2", "7"])), Ok(Some(2)));
+    }
+
+    #[test]
+    fn malformed_thread_counts_are_errors() {
+        assert_eq!(
+            parse_threads(&argv(&["--threads", "0"])),
+            Err("0".to_owned())
+        );
+        assert_eq!(
+            parse_threads(&argv(&["--threads", "x"])),
+            Err("x".to_owned())
+        );
+        assert_eq!(parse_threads(&argv(&["--threads"])), Err(String::new()));
+        assert_eq!(
+            parse_threads(&argv(&["--threads=-1"])),
+            Err("-1".to_owned())
+        );
+    }
+
+    #[test]
+    fn smoke_flag_detected() {
+        assert!(!parse_smoke(&argv(&["7"])));
+        assert!(parse_smoke(&argv(&["7", "--smoke"])));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
     }
 }

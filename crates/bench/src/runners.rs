@@ -65,14 +65,15 @@ pub fn train_hdc(
         _ => build_encoder(kind, dim, &dataset.train.features, seed)
             .expect("dataset validated; encoder construction cannot fail"),
     };
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = crate::cli::threads_arg();
     let train_encoded = encode_batch_parallel(encoder.as_ref(), &dataset.train.features, threads)
         .expect("row widths validated");
     let test_encoded = encode_batch_parallel(encoder.as_ref(), &dataset.test.features, threads)
         .expect("row widths validated");
     let mut model = HdcModel::fit(&train_encoded, &dataset.train.labels, dataset.n_classes)
         .expect("labels validated");
-    let retrain_errors = model.retrain(&train_encoded, &dataset.train.labels, epochs);
+    let retrain_errors =
+        model.retrain_parallel(&train_encoded, &dataset.train.labels, epochs, threads);
     HdcRun {
         encoder,
         model,

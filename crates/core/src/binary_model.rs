@@ -84,13 +84,48 @@ impl BinaryModel {
     ///
     /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
     pub fn distances(&self, query: &BinaryHv) -> Result<Vec<usize>, HdcError> {
+        let mut out = Vec::new();
+        self.distances_into(query, &mut out)?;
+        Ok(out)
+    }
+
+    /// Hamming distance of a binarized query to every class, written into
+    /// a reusable buffer — the allocation-free inner loop of
+    /// [`predict_batch`](BinaryModel::predict_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn distances_into(&self, query: &BinaryHv, out: &mut Vec<usize>) -> Result<(), HdcError> {
         if query.dim() != self.dim() {
             return Err(HdcError::DimensionMismatch {
                 expected: self.dim(),
                 actual: query.dim(),
             });
         }
-        self.classes.iter().map(|c| query.hamming(c)).collect()
+        out.clear();
+        out.reserve(self.classes.len());
+        for c in &self.classes {
+            out.push(query.hamming(c)?);
+        }
+        Ok(())
+    }
+
+    /// Predicts every binarized query in one pass over the class memory,
+    /// reusing one distance buffer across queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on the first wrong-width
+    /// query.
+    pub fn predict_batch(&self, queries: &[BinaryHv]) -> Result<Vec<usize>, HdcError> {
+        let mut distances = Vec::with_capacity(self.classes.len());
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            self.distances_into(q, &mut distances)?;
+            out.push(min_index(&distances));
+        }
+        Ok(out)
     }
 
     /// Predicts the class of a binarized query (minimum Hamming distance;
@@ -101,12 +136,7 @@ impl BinaryModel {
     /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
     pub fn predict(&self, query: &BinaryHv) -> Result<usize, HdcError> {
         let distances = self.distances(query)?;
-        Ok(distances
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &d)| d)
-            .map(|(i, _)| i)
-            .expect("model has at least one class"))
+        Ok(min_index(&distances))
     }
 
     /// Convenience: binarizes an integer encoding by sign and predicts.
@@ -171,6 +201,17 @@ impl BinaryModel {
         }
         Ok(flipped)
     }
+}
+
+/// Index of the minimum distance (first class wins ties), shared by the
+/// single-query and batched prediction paths.
+fn min_index(distances: &[usize]) -> usize {
+    distances
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &d)| d)
+        .map(|(i, _)| i)
+        .expect("model has at least one class")
 }
 
 #[cfg(test)]
@@ -252,6 +293,19 @@ mod tests {
         assert!(model.predict(&wrong).is_err());
         let mut m = model.clone();
         assert!(m.inject_bit_flips(2.0, 1).is_err());
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let (model, encoded, _) = trained(1024);
+        let binary = BinaryModel::from_model(&model);
+        let queries: Vec<BinaryHv> = encoded.iter().map(IntHv::to_binary).collect();
+        let batch = binary.predict_batch(&queries).unwrap();
+        for (q, &p) in queries.iter().zip(&batch) {
+            assert_eq!(p, binary.predict(q).unwrap());
+        }
+        let wrong = vec![BinaryHv::zeros(64).unwrap()];
+        assert!(binary.predict_batch(&wrong).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::encoding::level_id::DEFAULT_LEVELS;
 use crate::encoding::Encoder;
-use crate::{BinaryHv, HdcError, IdMemory, IntHv, LevelMemory, Quantizer};
+use crate::{BinaryHv, BitSliceAccumulator, HdcError, IdMemory, IntHv, LevelMemory, Quantizer};
 
 /// Configuration of a [`GenericEncoder`].
 ///
@@ -213,11 +213,70 @@ impl GenericEncoder {
     /// Encodes a sample that is already quantized into level bins —
     /// the exact operation the accelerator's encoder unit performs.
     ///
+    /// The window hypervectors are bundled through a
+    /// [`BitSliceAccumulator`], so the whole sample costs
+    /// O(windows × dim/64) amortized word operations instead of
+    /// O(windows × dim) scalar adds, with results bit-identical to the
+    /// retained scalar path
+    /// ([`encode_bins_scalar`](GenericEncoder::encode_bins_scalar)).
+    ///
     /// # Errors
     ///
     /// Returns [`HdcError::FeatureCountMismatch`] on a wrong-length bin
     /// vector, or [`HdcError::InvalidParameter`] if any bin is out of range.
     pub fn encode_bins(&self, bins: &[usize]) -> Result<IntHv, HdcError> {
+        self.validate_bins(bins)?;
+        let n = self.spec.window;
+        let n_windows = bins.len() - n + 1;
+        let mut acc = BitSliceAccumulator::new(self.spec.dim)?;
+        // The window hypervector is never materialized: the XOR binding of
+        // the n levels (and the window id) is fused into the accumulator.
+        let mut srcs: Vec<&BinaryHv> = Vec::with_capacity(n + 1);
+        for i in 0..n_windows {
+            srcs.clear();
+            for j in 0..n {
+                srcs.push(&self.rotated_levels[j][bins[i + j]]);
+            }
+            if let Some(ids) = &self.ids {
+                srcs.push(ids.id(i));
+            }
+            acc.add_xor(&srcs)?;
+        }
+        Ok(acc.to_int_hv())
+    }
+
+    /// The retained scalar reference implementation of
+    /// [`encode_bins`](GenericEncoder::encode_bins): bundles each window
+    /// one dimension at a time. Kept for the kernel-equivalence property
+    /// tests and the `hotpaths` perf-regression baseline; hot paths must
+    /// use [`encode_bins`](GenericEncoder::encode_bins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] on a wrong-length bin
+    /// vector, or [`HdcError::InvalidParameter`] if any bin is out of range.
+    pub fn encode_bins_scalar(&self, bins: &[usize]) -> Result<IntHv, HdcError> {
+        self.validate_bins(bins)?;
+        let n = self.spec.window;
+        let n_windows = bins.len() - n + 1;
+        let mut acc = IntHv::zeros(self.spec.dim)?;
+        let mut window_hv = self.rotated_levels[0][bins[0]].clone();
+        for i in 0..n_windows {
+            if i > 0 {
+                window_hv.clone_from(&self.rotated_levels[0][bins[i]]);
+            }
+            for j in 1..n {
+                window_hv.xor_assign(&self.rotated_levels[j][bins[i + j]])?;
+            }
+            if let Some(ids) = &self.ids {
+                window_hv.xor_assign(ids.id(i))?;
+            }
+            acc.bundle_binary(&window_hv)?;
+        }
+        Ok(acc)
+    }
+
+    fn validate_bins(&self, bins: &[usize]) -> Result<(), HdcError> {
         if bins.len() != self.spec.n_features {
             return Err(HdcError::FeatureCountMismatch {
                 expected: self.spec.n_features,
@@ -233,21 +292,7 @@ impl GenericEncoder {
                 ),
             ));
         }
-        let n = self.spec.window;
-        let n_windows = bins.len() - n + 1;
-        let mut acc = IntHv::zeros(self.spec.dim)?;
-        let mut window_hv = self.rotated_levels[0][0].clone();
-        for i in 0..n_windows {
-            window_hv.clone_from(&self.rotated_levels[0][bins[i]]);
-            for j in 1..n {
-                window_hv.xor_assign(&self.rotated_levels[j][bins[i + j]])?;
-            }
-            if let Some(ids) = &self.ids {
-                window_hv.xor_assign(ids.id(i))?;
-            }
-            acc.bundle_binary(&window_hv)?;
-        }
-        Ok(acc)
+        Ok(())
     }
 }
 
@@ -439,6 +484,26 @@ mod tests {
         assert!(enc.encode_bins(&[0, 1, 2]).is_err());
         assert!(enc.encode_bins(&[0, 1, 2, 3, 4, 64]).is_err());
         assert!(enc.encode_bins(&[0, 1, 2, 3, 4, 5]).is_ok());
+    }
+
+    #[test]
+    fn bit_sliced_encoding_matches_scalar_reference() {
+        let train = data(10);
+        for (window, id_binding) in [(1usize, true), (2, false), (3, true), (5, false)] {
+            let spec = GenericEncoderSpec::new(1000, 10)
+                .with_window(window)
+                .with_id_binding(id_binding)
+                .with_seed(11);
+            let enc = GenericEncoder::from_data(spec, &train).unwrap();
+            for sample in train.iter().take(6) {
+                let bins = enc.quantizer().bins(sample).unwrap();
+                assert_eq!(
+                    enc.encode_bins(&bins).unwrap(),
+                    enc.encode_bins_scalar(&bins).unwrap(),
+                    "window={window} id_binding={id_binding}"
+                );
+            }
+        }
     }
 
     #[test]

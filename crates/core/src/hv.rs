@@ -263,6 +263,12 @@ impl BinaryHv {
     /// Adds the bipolar interpretation of this hypervector into an integer
     /// accumulator slice (`+1` for stored bit 0, `-1` for stored bit 1).
     ///
+    /// This is the retained *scalar reference kernel* for bundling: it walks
+    /// one dimension at a time. Hot paths bundle through
+    /// [`BitSliceAccumulator`], which produces bit-identical results 64
+    /// dimensions per word operation; the property tests pin the two
+    /// together.
+    ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] if `acc.len() != self.dim()`.
@@ -286,6 +292,12 @@ impl BinaryHv {
 
     /// Bipolar dot product with an integer vector: `Σ ±values[i]`.
     ///
+    /// This is the retained *scalar reference kernel* for binary × integer
+    /// scoring. Hot paths use [`BinaryHv::dot_packed`] against a
+    /// [`PackedInts`] sign/magnitude decomposition, which computes the same
+    /// sum with word-wide XOR + popcount; the property tests pin the two
+    /// together bit-for-bit.
+    ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] if `values.len() != self.dim()`.
@@ -306,6 +318,41 @@ impl BinaryHv {
             }
         }
         Ok(sum)
+    }
+
+    /// Word-parallel bipolar dot product with a sign/magnitude-decomposed
+    /// integer vector: `Σ ±packed[i]`, bit-identical to
+    /// [`BinaryHv::dot_int`] on the values the decomposition was built
+    /// from.
+    ///
+    /// With query sign bits `q`, value sign bits `σ`, and magnitude bit
+    /// planes `P_k`, the product sign of dimension `i` is `1 - 2·(q⊕σ)_i`,
+    /// so each plane contributes
+    /// `2^k · (popcount(P_k) − 2·popcount(P_k ∧ (q⊕σ)))` — one XOR and one
+    /// popcount per 64 dimensions per magnitude bit instead of a
+    /// multiply-accumulate per dimension (the paper's word-parallel
+    /// datapath, §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensionalities
+    /// differ.
+    pub fn dot_packed(&self, packed: &PackedInts) -> Result<i64, HdcError> {
+        if packed.dim != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: packed.dim,
+            });
+        }
+        let mut dot: i64 = 0;
+        for (k, plane) in packed.planes.iter().enumerate() {
+            let mut disagree: i64 = 0;
+            for ((&q, &s), &p) in self.words.iter().zip(&packed.signs).zip(plane) {
+                disagree += i64::from(((q ^ s) & p).count_ones());
+            }
+            dot += (packed.plane_pop[k] - 2 * disagree) << k;
+        }
+        Ok(dot)
     }
 
     /// Bipolar components as `+1/-1` integers (mostly for tests and small
@@ -333,6 +380,291 @@ impl BinaryHv {
             });
         }
         Ok(())
+    }
+}
+
+/// Word-parallel bundling accumulator: per-dimension counters held as
+/// bit planes (a carry-save "column counter" array), so adding a binary
+/// hypervector costs an amortized two word operations per 64 dimensions
+/// instead of 64 scalar adds.
+///
+/// Plane `k` holds bit `k` of every dimension's count of stored-`1` bits.
+/// Adding a hypervector ripples a carry through the planes exactly like a
+/// binary counter increment, which is amortized O(1) planes per word.
+/// [`BitSliceAccumulator::accumulate_into`] converts the counts back to
+/// bipolar sums (`count_of(+1) − count_of(−1) = n − 2·ones`), making the
+/// result bit-identical to repeated [`BinaryHv::accumulate_into`].
+///
+/// ```
+/// use generic_hdc::{BinaryHv, BitSliceAccumulator, IntHv};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let a = BinaryHv::random_seeded(256, 1)?;
+/// let b = BinaryHv::random_seeded(256, 2)?;
+/// let mut fast = BitSliceAccumulator::new(256)?;
+/// fast.add(&a)?;
+/// fast.add(&b)?;
+/// let mut scalar = IntHv::zeros(256)?;
+/// scalar.bundle_binary(&a)?;
+/// scalar.bundle_binary(&b)?;
+/// assert_eq!(fast.to_int_hv(), scalar);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitSliceAccumulator {
+    dim: usize,
+    /// `planes[k][w]`: bit `k` of the ones-count of dimensions `64w..64w+63`.
+    planes: Vec<Vec<u64>>,
+    /// Number of hypervectors added so far.
+    count: usize,
+    /// Carry scratch: holds the incoming addend while it ripples through
+    /// the planes (kept allocated across adds; not part of the value).
+    carry: Vec<u64>,
+}
+
+impl PartialEq for BitSliceAccumulator {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.count == other.count && self.planes == other.planes
+    }
+}
+
+impl Eq for BitSliceAccumulator {}
+
+impl BitSliceAccumulator {
+    /// Creates an empty accumulator of dimensionality `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidParameter`] if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self, HdcError> {
+        if dim == 0 {
+            return Err(HdcError::invalid("dim", "must be positive"));
+        }
+        Ok(BitSliceAccumulator {
+            dim,
+            planes: Vec::new(),
+            count: 0,
+            carry: Vec::new(),
+        })
+    }
+
+    /// The dimensionality of the accumulator.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of hypervectors bundled so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Resets the accumulator to empty without releasing plane storage.
+    pub fn clear(&mut self) {
+        for plane in &mut self.planes {
+            plane.iter_mut().for_each(|w| *w = 0);
+        }
+        self.count = 0;
+    }
+
+    /// Bundles one binary hypervector (counts its stored-`1` bits per
+    /// dimension, word-parallel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensionalities
+    /// differ.
+    pub fn add(&mut self, hv: &BinaryHv) -> Result<(), HdcError> {
+        if hv.dim != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: hv.dim,
+            });
+        }
+        self.carry.clear();
+        self.carry.extend_from_slice(&hv.words);
+        self.ripple();
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Bundles the XOR of `srcs` (the HDC *bind-then-bundle* step) without
+    /// materializing the bound hypervector: the XOR is computed straight
+    /// into the carry scratch and rippled from there. This is the
+    /// per-window hot path of the GENERIC encoder — one fused read pass
+    /// over the operands instead of a clone plus one read-modify-write
+    /// pass per operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] if `srcs` is empty, or
+    /// [`HdcError::DimensionMismatch`] if any operand has the wrong
+    /// dimensionality.
+    pub fn add_xor(&mut self, srcs: &[&BinaryHv]) -> Result<(), HdcError> {
+        let (first, rest) = srcs.split_first().ok_or(HdcError::EmptyInput)?;
+        if let Some(bad) = srcs.iter().find(|hv| hv.dim != self.dim) {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: bad.dim,
+            });
+        }
+        self.carry.clear();
+        self.carry.extend_from_slice(&first.words);
+        for hv in rest {
+            for (c, &w) in self.carry.iter_mut().zip(&hv.words) {
+                *c ^= w;
+            }
+        }
+        self.ripple();
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Ripples the addend in `self.carry` through the planes like a binary
+    /// counter increment, plane-major so each pass is a straight-line
+    /// word loop (no per-word branching). The carry scratch is consumed.
+    fn ripple(&mut self) {
+        for plane in &mut self.planes {
+            let mut surviving = 0u64;
+            for (p, c) in plane.iter_mut().zip(self.carry.iter_mut()) {
+                let sum = *p ^ *c;
+                *c &= *p;
+                *p = sum;
+                surviving |= *c;
+            }
+            if surviving == 0 {
+                return;
+            }
+        }
+        self.planes.push(self.carry.clone());
+    }
+
+    /// Adds the accumulated bipolar sums into an integer slice: each
+    /// dimension receives `count − 2·ones`, exactly what bundling the same
+    /// hypervectors one by one with [`BinaryHv::accumulate_into`] yields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `acc.len() != self.dim()`.
+    pub fn accumulate_into(&self, acc: &mut [i32]) -> Result<(), HdcError> {
+        if acc.len() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: acc.len(),
+            });
+        }
+        let n = self.count as i32;
+        let n_words = self.dim.div_ceil(WORD_BITS);
+        let mut ones = [0i32; WORD_BITS];
+        for wi in 0..n_words {
+            let base = wi * WORD_BITS;
+            let lanes = WORD_BITS.min(self.dim - base);
+            ones[..lanes].iter_mut().for_each(|o| *o = 0);
+            for (k, plane) in self.planes.iter().enumerate() {
+                let w = plane[wi];
+                if w == 0 {
+                    continue;
+                }
+                for (b, o) in ones[..lanes].iter_mut().enumerate() {
+                    *o += (((w >> b) & 1) as i32) << k;
+                }
+            }
+            for (slot, &o) in acc[base..base + lanes].iter_mut().zip(&ones[..lanes]) {
+                *slot += n - 2 * o;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes nothing: materializes the accumulated bundle as an
+    /// [`IntHv`].
+    pub fn to_int_hv(&self) -> IntHv {
+        let mut out = IntHv::zeros(self.dim).expect("dim validated non-zero");
+        self.accumulate_into(out.values_mut())
+            .expect("dimensions match by construction");
+        out
+    }
+}
+
+/// A sign/magnitude bit-plane decomposition of an integer vector, the
+/// word-parallel operand of [`BinaryHv::dot_packed`].
+///
+/// `signs` packs the value signs (bit set ⇔ negative); plane `k` packs bit
+/// `k` of every `|value|`. Scoring a packed binary query against a
+/// quantized class row then needs one XOR + `planes` popcounts per 64
+/// dimensions — the software shape of the accelerator's bit-serial
+/// similarity datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedInts {
+    dim: usize,
+    signs: Vec<u64>,
+    planes: Vec<Vec<u64>>,
+    /// Popcount of each magnitude plane, hoisted out of the dot kernel.
+    plane_pop: Vec<i64>,
+}
+
+impl PackedInts {
+    /// Decomposes an integer vector into sign + magnitude bit planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidParameter`] if `values` is empty or
+    /// contains `i32::MIN` (whose magnitude is not representable).
+    pub fn from_values(values: &[i32]) -> Result<Self, HdcError> {
+        if values.is_empty() {
+            return Err(HdcError::invalid("values", "must be non-empty"));
+        }
+        if values.contains(&i32::MIN) {
+            return Err(HdcError::invalid("values", "i32::MIN is not packable"));
+        }
+        let dim = values.len();
+        let n_words = dim.div_ceil(WORD_BITS);
+        let max_mag = values.iter().map(|v| v.unsigned_abs()).max().unwrap_or(0);
+        let n_planes = (32 - max_mag.leading_zeros()) as usize;
+        let mut signs = vec![0u64; n_words];
+        let mut planes = vec![vec![0u64; n_words]; n_planes];
+        for (i, &v) in values.iter().enumerate() {
+            let (wi, b) = (i / WORD_BITS, i % WORD_BITS);
+            if v < 0 {
+                signs[wi] |= 1 << b;
+            }
+            let mag = v.unsigned_abs();
+            for (k, plane) in planes.iter_mut().enumerate() {
+                if (mag >> k) & 1 == 1 {
+                    plane[wi] |= 1 << b;
+                }
+            }
+        }
+        let plane_pop = planes
+            .iter()
+            .map(|p| p.iter().map(|w| i64::from(w.count_ones())).sum())
+            .collect();
+        Ok(PackedInts {
+            dim,
+            signs,
+            planes,
+            plane_pop,
+        })
+    }
+
+    /// Decomposes a quantized (`i16`) class row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidParameter`] if `values` is empty.
+    pub fn from_i16(values: &[i16]) -> Result<Self, HdcError> {
+        let widened: Vec<i32> = values.iter().map(|&v| i32::from(v)).collect();
+        Self::from_values(&widened)
+    }
+
+    /// The dimensionality of the packed vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of magnitude bit planes (0 for an all-zero vector).
+    pub fn n_planes(&self) -> usize {
+        self.planes.len()
     }
 }
 
@@ -700,5 +1032,82 @@ mod tests {
         let a = BinaryHv::random_seeded(256, 42).unwrap();
         let b = BinaryHv::random_seeded(256, 42).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_slice_accumulator_matches_scalar_bundling() {
+        for dim in [64usize, 70, 128, 130, 192, 1000] {
+            let mut fast = BitSliceAccumulator::new(dim).unwrap();
+            let mut scalar = vec![0i32; dim];
+            let mut r = rng(dim as u64);
+            for _ in 0..37 {
+                let hv = BinaryHv::random(dim, &mut r).unwrap();
+                fast.add(&hv).unwrap();
+                hv.accumulate_into(&mut scalar).unwrap();
+            }
+            let mut folded = vec![0i32; dim];
+            fast.accumulate_into(&mut folded).unwrap();
+            assert_eq!(folded, scalar, "dim={dim}");
+            assert_eq!(fast.count(), 37);
+        }
+    }
+
+    #[test]
+    fn bit_slice_accumulator_clear_reuses_planes() {
+        let mut acc = BitSliceAccumulator::new(128).unwrap();
+        for s in 0..9 {
+            acc.add(&BinaryHv::random_seeded(128, s).unwrap()).unwrap();
+        }
+        acc.clear();
+        assert_eq!(acc.count(), 0);
+        let hv = BinaryHv::random_seeded(128, 99).unwrap();
+        acc.add(&hv).unwrap();
+        assert_eq!(acc.to_int_hv(), IntHv::from(hv));
+    }
+
+    #[test]
+    fn bit_slice_accumulator_validates() {
+        assert!(BitSliceAccumulator::new(0).is_err());
+        let mut acc = BitSliceAccumulator::new(64).unwrap();
+        let wrong = BinaryHv::zeros(128).unwrap();
+        assert!(acc.add(&wrong).is_err());
+        let mut short = vec![0i32; 32];
+        assert!(acc.accumulate_into(&mut short).is_err());
+    }
+
+    #[test]
+    fn dot_packed_matches_dot_int() {
+        let a = BinaryHv::random(300, &mut rng(21)).unwrap();
+        let vals: Vec<i32> = (0..300).map(|i| (i % 31) - 15).collect();
+        let packed = PackedInts::from_values(&vals).unwrap();
+        assert_eq!(a.dot_packed(&packed).unwrap(), a.dot_int(&vals).unwrap());
+    }
+
+    #[test]
+    fn dot_packed_handles_all_zero_and_extremes() {
+        let a = BinaryHv::random(128, &mut rng(22)).unwrap();
+        let zeros = vec![0i32; 128];
+        let packed = PackedInts::from_values(&zeros).unwrap();
+        assert_eq!(packed.n_planes(), 0);
+        assert_eq!(a.dot_packed(&packed).unwrap(), 0);
+
+        let extremes: Vec<i32> = (0..128)
+            .map(|i| if i % 2 == 0 { i32::MAX } else { -i32::MAX })
+            .collect();
+        let packed = PackedInts::from_values(&extremes).unwrap();
+        assert_eq!(
+            a.dot_packed(&packed).unwrap(),
+            a.dot_int(&extremes).unwrap()
+        );
+    }
+
+    #[test]
+    fn packed_ints_validates() {
+        assert!(PackedInts::from_values(&[]).is_err());
+        assert!(PackedInts::from_values(&[1, i32::MIN]).is_err());
+        let packed = PackedInts::from_i16(&[1, -2, 3]).unwrap();
+        assert_eq!(packed.dim(), 3);
+        let wrong = BinaryHv::zeros(64).unwrap();
+        assert!(wrong.dot_packed(&packed).is_err());
     }
 }

@@ -81,12 +81,12 @@ pub use binary_model::BinaryModel;
 pub use cluster::{ClusteringOutcome, HdcClustering, HdcClusteringSpec};
 pub use error::HdcError;
 pub use fault::{DefectMap, FaultKind, FaultModel};
-pub use hv::{BinaryHv, IntHv};
+pub use hv::{BinaryHv, BitSliceAccumulator, IntHv, PackedInts};
 pub use id::IdMemory;
 pub use level::{LevelMemory, Quantizer};
 pub use model::{HdcModel, NormMode, PredictOptions};
 pub use pipeline::HdcPipeline;
-pub use quant::QuantizedModel;
+pub use quant::{PackedQuantizedModel, QuantizedModel};
 pub use resilient::{ResilienceConfig, ResilienceStats, ResilientPipeline};
 
 /// Number of encoding dimensions the GENERIC accelerator produces per pass

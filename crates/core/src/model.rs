@@ -65,6 +65,13 @@ pub struct HdcModel {
     classes: Vec<IntHv>,
     /// Per class: squared L2 norm of each 128-dim chunk (norm2 memory).
     sub_norms2: Vec<Vec<f64>>,
+    /// Per class: running (left-to-right) prefix sums of `sub_norms2`, so
+    /// `norm2_prefix[c][k]` is the squared norm of the first `k` chunks.
+    /// Length `n_chunks + 1`; the last entry is the full squared norm.
+    norm2_prefix: Vec<Vec<f64>>,
+    /// Per class: `sqrt` of the full squared norm, shared by every
+    /// [`NormMode::Constant`] score instead of re-rooting per query.
+    full_norms: Vec<f64>,
 }
 
 impl HdcModel {
@@ -85,6 +92,8 @@ impl HdcModel {
             dim,
             classes,
             sub_norms2: vec![vec![0.0; n_chunks]; n_classes],
+            norm2_prefix: vec![vec![0.0; n_chunks + 1]; n_classes],
+            full_norms: vec![0.0; n_classes],
         })
     }
 
@@ -244,6 +253,224 @@ impl HdcModel {
         history
     }
 
+    /// One retraining epoch through the retained scalar scoring kernel
+    /// ([`scores_scalar`](HdcModel::scores_scalar)): the same
+    /// mispredict-driven updates as [`retrain_epoch`](HdcModel::retrain_epoch)
+    /// — and the same resulting model, since the blocked and scalar scores
+    /// are bit-identical — but walking every class one dimension at a
+    /// time. Kept as the perf-regression baseline of the `hotpaths`
+    /// harness; hot paths must use [`retrain_epoch`](HdcModel::retrain_epoch)
+    /// or [`retrain_epoch_parallel`](HdcModel::retrain_epoch_parallel).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on mismatched inputs, bad labels, or dimension
+    /// mismatches.
+    pub fn retrain_epoch_scalar(
+        &mut self,
+        encoded: &[IntHv],
+        labels: &[usize],
+    ) -> Result<usize, HdcError> {
+        if encoded.len() != labels.len() {
+            return Err(HdcError::invalid(
+                "labels",
+                format!(
+                    "got {} labels for {} encoded samples",
+                    labels.len(),
+                    encoded.len()
+                ),
+            ));
+        }
+        let opts = PredictOptions::full(self.dim);
+        let mut errors = 0;
+        for (hv, &label) in encoded.iter().zip(labels) {
+            self.check_label(label)?;
+            if hv.dim() != self.dim {
+                return Err(HdcError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: hv.dim(),
+                });
+            }
+            let predicted = argmax(&self.scores_scalar(hv, opts));
+            if predicted != label {
+                errors += 1;
+                self.classes[predicted].sub_assign(hv)?;
+                self.classes[label].add_assign(hv)?;
+                self.refresh_class_norms(predicted);
+                self.refresh_class_norms(label);
+            }
+        }
+        Ok(errors)
+    }
+
+    /// Runs up to `epochs` scalar-kernel retraining epochs
+    /// ([`retrain_epoch_scalar`](HdcModel::retrain_epoch_scalar)) with
+    /// early stopping, mirroring [`retrain`](HdcModel::retrain) — the
+    /// retained end-to-end scalar baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoded`/`labels` disagree with the model (lengths,
+    /// labels, or dimensions).
+    pub fn retrain_scalar(
+        &mut self,
+        encoded: &[IntHv],
+        labels: &[usize],
+        epochs: usize,
+    ) -> Vec<usize> {
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let errors = self
+                .retrain_epoch_scalar(encoded, labels)
+                .expect("inputs validated by fit; retrain called with consistent data");
+            let done = errors == 0;
+            history.push(errors);
+            if done {
+                break;
+            }
+        }
+        history
+    }
+
+    /// One retraining epoch with the prediction work fanned out over
+    /// `n_threads` scoped worker threads, **bit-identical** to
+    /// [`retrain_epoch`](HdcModel::retrain_epoch).
+    ///
+    /// Samples are processed in chunks: each chunk's score vectors are
+    /// gathered in parallel against the chunk-entry model, then the
+    /// mispredict-update sweep runs serially in sample order. An update
+    /// only moves two class vectors, so a later sample's gathered scores
+    /// stay valid except for the *dirty* classes, whose scores are
+    /// recomputed on the spot with the same kernel — the serial semantics
+    /// (every sample scored against the model after all previous updates)
+    /// are preserved exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on mismatched inputs, bad labels, or dimension
+    /// mismatches.
+    pub fn retrain_epoch_parallel(
+        &mut self,
+        encoded: &[IntHv],
+        labels: &[usize],
+        n_threads: usize,
+    ) -> Result<usize, HdcError> {
+        let n_threads = n_threads.max(1).min(encoded.len().max(1));
+        if n_threads == 1 {
+            return self.retrain_epoch(encoded, labels);
+        }
+        if encoded.len() != labels.len() {
+            return Err(HdcError::invalid(
+                "labels",
+                format!(
+                    "got {} labels for {} encoded samples",
+                    labels.len(),
+                    encoded.len()
+                ),
+            ));
+        }
+        for &label in labels {
+            self.check_label(label)?;
+        }
+        if let Some(bad) = encoded.iter().find(|hv| hv.dim() != self.dim) {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: bad.dim(),
+            });
+        }
+
+        let opts = PredictOptions::full(self.dim);
+        let k = self.classes.len();
+        // Large enough chunks to amortize thread spawn, small enough that
+        // dirty-class rescoring stays cheap in error-heavy early epochs.
+        let chunk_len = (n_threads * 32).max(64);
+        let mut errors = 0;
+        let mut dirty = vec![false; k];
+        for (chunk, chunk_labels) in encoded.chunks(chunk_len).zip(labels.chunks(chunk_len)) {
+            // Parallel gather: score vectors against the chunk-entry model.
+            let model = &*self;
+            let part_len = chunk.len().div_ceil(n_threads);
+            let mut gathered: Vec<Vec<f64>> = Vec::with_capacity(chunk.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunk
+                    .chunks(part_len)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let mut out = Vec::with_capacity(part.len());
+                            let mut scores = Vec::with_capacity(k);
+                            for hv in part {
+                                model.score_all(hv, opts, &mut scores);
+                                out.push(scores.clone());
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    gathered.extend(handle.join().expect("score workers do not panic"));
+                }
+            });
+
+            // Serial sweep in sample order, patching dirty-class scores.
+            dirty.iter_mut().for_each(|d| *d = false);
+            let mut any_dirty = false;
+            for ((hv, &label), scores) in chunk.iter().zip(chunk_labels).zip(&mut gathered) {
+                if any_dirty {
+                    for (c, scr) in scores.iter_mut().enumerate() {
+                        if dirty[c] {
+                            let dot = hv
+                                .dot_prefix(&self.classes[c], opts.dims)
+                                .expect("dims validated above");
+                            *scr = self.normalize_score(dot, c, opts);
+                        }
+                    }
+                }
+                let predicted = argmax(scores);
+                if predicted != label {
+                    errors += 1;
+                    self.classes[predicted].sub_assign(hv)?;
+                    self.classes[label].add_assign(hv)?;
+                    self.refresh_class_norms(predicted);
+                    self.refresh_class_norms(label);
+                    dirty[predicted] = true;
+                    dirty[label] = true;
+                    any_dirty = true;
+                }
+            }
+        }
+        Ok(errors)
+    }
+
+    /// Runs up to `epochs` parallel retraining epochs
+    /// ([`retrain_epoch_parallel`](HdcModel::retrain_epoch_parallel)) with
+    /// early stopping, mirroring [`retrain`](HdcModel::retrain) — same
+    /// per-epoch error counts, same final model, for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoded`/`labels` disagree with the model (lengths,
+    /// labels, or dimensions).
+    pub fn retrain_parallel(
+        &mut self,
+        encoded: &[IntHv],
+        labels: &[usize],
+        epochs: usize,
+        n_threads: usize,
+    ) -> Vec<usize> {
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let errors = self
+                .retrain_epoch_parallel(encoded, labels, n_threads)
+                .expect("inputs validated by fit; retrain called with consistent data");
+            let done = errors == 0;
+            history.push(errors);
+            if done {
+                break;
+            }
+        }
+        history
+    }
+
     /// Hypervector dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
@@ -294,6 +521,99 @@ impl HdcModel {
     /// Panics if `query.dim() != self.dim()` or `opts.dims > self.dim()` or
     /// `opts.dims == 0`.
     pub fn scores_with(&self, query: &IntHv, opts: PredictOptions) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.score_all(query, opts, &mut out);
+        out
+    }
+
+    /// Scores a query against **all** classes in one cache-blocked pass,
+    /// writing into a reusable buffer.
+    ///
+    /// The query is walked in [`SUB_NORM_CHUNK`]-dimension blocks; each
+    /// block is held hot while every class row streams through it once, so
+    /// the per-query working set stays in L1 regardless of the class count.
+    /// Dot products are exact `i64` sums and the norm lookups come from the
+    /// per-model prefix tables, so the scores are bit-identical to the
+    /// retained scalar reference
+    /// ([`scores_scalar`](HdcModel::scores_scalar)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()` or `opts.dims > self.dim()` or
+    /// `opts.dims == 0`.
+    pub fn score_all(&self, query: &IntHv, opts: PredictOptions, out: &mut Vec<f64>) {
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        assert!(
+            opts.dims > 0 && opts.dims <= self.dim,
+            "dims {} out of range (1..={})",
+            opts.dims,
+            self.dim
+        );
+        let k = self.classes.len();
+        let mut dots = vec![0i64; k];
+        let q = &query.values()[..opts.dims];
+        for start in (0..opts.dims).step_by(SUB_NORM_CHUNK) {
+            let end = (start + SUB_NORM_CHUNK).min(opts.dims);
+            let qb = &q[start..end];
+            for (dot, class) in dots.iter_mut().zip(&self.classes) {
+                let cb = &class.values()[start..end];
+                let mut s: i64 = 0;
+                for (&a, &b) in qb.iter().zip(cb) {
+                    s += i64::from(a) * i64::from(b);
+                }
+                *dot += s;
+            }
+        }
+        out.clear();
+        out.reserve(k);
+        for (c, &dot) in dots.iter().enumerate() {
+            out.push(self.normalize_score(dot, c, opts));
+        }
+    }
+
+    /// Divides a class dot product by the class norm the options select,
+    /// using the precomputed norm tables.
+    fn normalize_score(&self, dot: i64, c: usize, opts: PredictOptions) -> f64 {
+        match opts.norm {
+            NormMode::Constant => {
+                let norm = self.full_norms[c];
+                if norm == 0.0 {
+                    0.0
+                } else {
+                    dot as f64 / norm
+                }
+            }
+            NormMode::Updated => {
+                let full_chunks = opts.dims / SUB_NORM_CHUNK;
+                let mut n2 = self.norm2_prefix[c][full_chunks];
+                // Partial trailing chunk: fall back to exact values.
+                let rem_start = full_chunks * SUB_NORM_CHUNK;
+                if rem_start < opts.dims {
+                    n2 += self.classes[c].values()[rem_start..opts.dims]
+                        .iter()
+                        .map(|&v| f64::from(v) * f64::from(v))
+                        .sum::<f64>();
+                }
+                if n2 == 0.0 {
+                    0.0
+                } else {
+                    dot as f64 / n2.sqrt()
+                }
+            }
+        }
+    }
+
+    /// The retained scalar reference implementation of
+    /// [`scores_with`](HdcModel::scores_with): one class at a time,
+    /// re-summing the sub-norm chunks per query. Kept for the
+    /// kernel-equivalence property tests and the `hotpaths` baseline; hot
+    /// paths must use [`score_all`](HdcModel::score_all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()` or `opts.dims > self.dim()` or
+    /// `opts.dims == 0`.
+    pub fn scores_scalar(&self, query: &IntHv, opts: PredictOptions) -> Vec<f64> {
         assert_eq!(query.dim(), self.dim, "query dimension mismatch");
         assert!(
             opts.dims > 0 && opts.dims <= self.dim,
@@ -350,12 +670,26 @@ impl HdcModel {
     /// with the model.
     pub fn predict_with(&self, query: &IntHv, opts: PredictOptions) -> usize {
         let scores = self.scores_with(query, opts);
-        scores
+        argmax(&scores)
+    }
+
+    /// Predicts every query in one pass, reusing a single score buffer
+    /// across queries (the batched inference path the fig/table harness
+    /// uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimensionality or `opts.dims` is inconsistent
+    /// with the model.
+    pub fn predict_batch(&self, queries: &[IntHv], opts: PredictOptions) -> Vec<usize> {
+        let mut scores = Vec::with_capacity(self.classes.len());
+        queries
             .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
-            .map(|(i, _)| i)
-            .expect("model has at least one class")
+            .map(|q| {
+                self.score_all(q, opts, &mut scores);
+                argmax(&scores)
+            })
+            .collect()
     }
 
     /// Fraction of `encoded` samples predicted as their `labels`.
@@ -394,6 +728,15 @@ impl HdcModel {
         for (ci, chunk) in values.chunks(SUB_NORM_CHUNK).enumerate() {
             self.sub_norms2[label][ci] = chunk.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
         }
+        // Rebuild the prefix table with the same left-to-right fold the
+        // scalar reference uses, so cached lookups are bit-identical.
+        let mut running = 0.0f64;
+        self.norm2_prefix[label][0] = 0.0;
+        for (ci, &chunk2) in self.sub_norms2[label].iter().enumerate() {
+            running += chunk2;
+            self.norm2_prefix[label][ci + 1] = running;
+        }
+        self.full_norms[label] = if running == 0.0 { 0.0 } else { running.sqrt() };
     }
 
     fn check_label(&self, label: usize) -> Result<(), HdcError> {
@@ -405,6 +748,18 @@ impl HdcModel {
         }
         Ok(())
     }
+}
+
+/// Index of the maximum score with [`Iterator::max_by`] tie semantics
+/// (the last maximal element wins), shared by every prediction path so
+/// serial and parallel retraining agree bit-for-bit.
+fn argmax(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+        .map(|(i, _)| i)
+        .expect("model has at least one class")
 }
 
 #[cfg(test)]
@@ -564,5 +919,78 @@ mod tests {
         let model = HdcModel::new(128, 3).unwrap();
         let q = IntHv::from(BinaryHv::random_seeded(128, 9).unwrap());
         assert!(model.scores(&q).iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn blocked_scores_match_scalar_reference() {
+        // Includes a non-multiple-of-128 dimensionality so the partial
+        // trailing chunk path is exercised.
+        for dim in [512usize, 576, 1000] {
+            let (encoded, labels) = two_class_data(dim, 6);
+            let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+            for q in encoded.iter().take(4) {
+                for dims in [dim, dim / 2, 100] {
+                    for norm in [NormMode::Updated, NormMode::Constant] {
+                        let opts = PredictOptions::reduced(dims, norm);
+                        assert_eq!(
+                            model.scores_with(q, opts),
+                            model.scores_scalar(q, opts),
+                            "dim={dim} dims={dims} norm={norm:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let (encoded, labels) = two_class_data(1024, 8);
+        let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        let opts = PredictOptions::full(1024);
+        let batch = model.predict_batch(&encoded, opts);
+        for (hv, &p) in encoded.iter().zip(&batch) {
+            assert_eq!(p, model.predict(hv));
+        }
+    }
+
+    #[test]
+    fn parallel_retraining_is_bit_identical_to_serial() {
+        let (encoded, labels) = two_class_data(1024, 20);
+        for threads in [2usize, 3, 8] {
+            let mut serial = HdcModel::fit(&encoded, &labels, 2).unwrap();
+            let mut parallel = serial.clone();
+            let hist_s = serial.retrain(&encoded, &labels, 10);
+            let hist_p = parallel.retrain_parallel(&encoded, &labels, 10, threads);
+            assert_eq!(hist_s, hist_p, "threads={threads}");
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scalar_retraining_is_bit_identical_to_blocked() {
+        let (encoded, labels) = two_class_data(1000, 20); // not a multiple of 128
+        let mut blocked = HdcModel::fit(&encoded, &labels, 2).unwrap();
+        let mut scalar = blocked.clone();
+        let hist_b = blocked.retrain(&encoded, &labels, 10);
+        let hist_s = scalar.retrain_scalar(&encoded, &labels, 10);
+        assert_eq!(hist_b, hist_s);
+        assert_eq!(blocked, scalar);
+    }
+
+    #[test]
+    fn parallel_retraining_validates_inputs() {
+        let mut model = HdcModel::new(128, 2).unwrap();
+        let hv = IntHv::zeros(128).unwrap();
+        assert!(model
+            .retrain_epoch_parallel(std::slice::from_ref(&hv), &[0, 1], 4)
+            .is_err());
+        assert!(model
+            .retrain_epoch_parallel(std::slice::from_ref(&hv), &[5], 4)
+            .is_err());
+        let wrong = IntHv::zeros(64).unwrap();
+        assert!(model
+            .retrain_epoch_parallel(&[wrong.clone(), wrong], &[0, 0], 4)
+            .is_err());
     }
 }

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::fault::flip_class_bits;
-use crate::{HdcError, HdcModel, IntHv};
+use crate::{BinaryHv, HdcError, HdcModel, IntHv, PackedInts};
 
 /// A quantized HDC model: class elements stored as `bit_width`-bit signed
 /// integers (in 16-bit words, as in the accelerator).
@@ -174,6 +174,20 @@ impl QuantizedModel {
     /// Panics if `query.dim() != self.dim()` or `dims` is zero or exceeds
     /// the model dimensionality.
     pub fn cosine_scores(&self, query: &IntHv, dims: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.cosine_scores_into(query, dims, &mut out);
+        out
+    }
+
+    /// [`cosine_scores`](QuantizedModel::cosine_scores) written into a
+    /// reusable buffer — the allocation-free inner loop the resilient
+    /// pipeline issues once per (possibly redundant) class-memory read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.dim()` or `dims` is zero or exceeds
+    /// the model dimensionality.
+    pub fn cosine_scores_into(&self, query: &IntHv, dims: usize, out: &mut Vec<f64>) {
         assert_eq!(query.dim(), self.dim, "query dimension mismatch");
         assert!(
             dims > 0 && dims <= self.dim,
@@ -183,23 +197,56 @@ impl QuantizedModel {
         );
         let q = &query.values()[..dims];
         let q_norm2: f64 = q.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
-        self.classes
+        out.clear();
+        out.reserve(self.classes.len());
+        out.extend(self.classes.iter().map(|class| {
+            let mut dot: i64 = 0;
+            let mut c_norm2: f64 = 0.0;
+            for (&qv, &cv) in q.iter().zip(&class[..dims]) {
+                dot += i64::from(qv) * i64::from(cv);
+                c_norm2 += f64::from(cv) * f64::from(cv);
+            }
+            let denom2 = q_norm2 * c_norm2;
+            if denom2 == 0.0 {
+                0.0
+            } else {
+                dot as f64 / denom2.sqrt()
+            }
+        }));
+    }
+
+    /// Decomposes every class row into sign/magnitude bit planes for
+    /// word-parallel binary-query scoring
+    /// ([`PackedQuantizedModel::scores`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is degenerate (zero-dimensional
+    /// rows from hand-built parts).
+    pub fn pack(&self) -> Result<PackedQuantizedModel, HdcError> {
+        let packed = self
+            .classes
+            .iter()
+            .map(|c| PackedInts::from_i16(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Same left-to-right fold as `scores`, so rankings agree exactly.
+        let norms = self
+            .classes
             .iter()
             .map(|class| {
-                let mut dot: i64 = 0;
-                let mut c_norm2: f64 = 0.0;
-                for (&qv, &cv) in q.iter().zip(&class[..dims]) {
-                    dot += i64::from(qv) * i64::from(cv);
-                    c_norm2 += f64::from(cv) * f64::from(cv);
-                }
-                let denom2 = q_norm2 * c_norm2;
-                if denom2 == 0.0 {
-                    0.0
-                } else {
-                    dot as f64 / denom2.sqrt()
-                }
+                class
+                    .iter()
+                    .map(|&v| f64::from(v) * f64::from(v))
+                    .sum::<f64>()
+                    .sqrt()
             })
-            .collect()
+            .collect();
+        Ok(PackedQuantizedModel {
+            dim: self.dim,
+            bit_width: self.bit_width,
+            classes: packed,
+            norms,
+        })
     }
 
     /// Predicts the class of an encoded query.
@@ -264,6 +311,109 @@ impl QuantizedModel {
         let mut rng = StdRng::seed_from_u64(seed);
         let bw = u32::from(self.bit_width);
         Ok(flip_class_bits(&mut self.classes, bw, ber, &mut rng))
+    }
+}
+
+/// A [`QuantizedModel`] re-laid-out as sign/magnitude bit planes for
+/// word-parallel scoring of *binarized* queries.
+///
+/// Scoring a packed binary query against a packed class costs one
+/// XOR + AND + popcount pass per magnitude plane (≤ `bit_width − 1`
+/// planes) instead of `dim` scalar multiply-adds — the software analogue
+/// of the accelerator's masked bit-serial dot product (§4.3.4). Scores
+/// are bit-identical to [`QuantizedModel::scores`] on the same query
+/// (`IntHv::from(binary)`): the dot product is exact integer arithmetic
+/// and the class norms are folded in the same left-to-right order.
+///
+/// ```
+/// use generic_hdc::{BinaryHv, HdcModel, IntHv, QuantizedModel};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let a = BinaryHv::random_seeded(512, 1)?;
+/// let b = BinaryHv::random_seeded(512, 2)?;
+/// let model = HdcModel::fit(
+///     &[IntHv::from(a.clone()), IntHv::from(b)],
+///     &[0, 1],
+///     2,
+/// )?;
+/// let quantized = QuantizedModel::from_model(&model, 4)?;
+/// let packed = quantized.pack()?;
+/// assert_eq!(packed.predict(&a)?, quantized.predict(&IntHv::from(a)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedQuantizedModel {
+    dim: usize,
+    bit_width: u8,
+    classes: Vec<PackedInts>,
+    norms: Vec<f64>,
+}
+
+impl PackedQuantizedModel {
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Effective bit-width of the source model.
+    pub fn bit_width(&self) -> u8 {
+        self.bit_width
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Similarity scores of a packed binary query against all classes
+    /// (`H·C / ‖C‖`, the same ranking as [`QuantizedModel::scores`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn scores(&self, query: &BinaryHv) -> Result<Vec<f64>, HdcError> {
+        let mut out = Vec::new();
+        self.scores_into(query, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`scores`](PackedQuantizedModel::scores) written into a reusable
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn scores_into(&self, query: &BinaryHv, out: &mut Vec<f64>) -> Result<(), HdcError> {
+        if query.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        out.clear();
+        out.reserve(self.classes.len());
+        for (class, &norm) in self.classes.iter().zip(&self.norms) {
+            let dot = query.dot_packed(class)?;
+            out.push(if norm == 0.0 { 0.0 } else { dot as f64 / norm });
+        }
+        Ok(())
+    }
+
+    /// Predicts the class of a packed binary query (last class wins score
+    /// ties, matching [`QuantizedModel::predict`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn predict(&self, query: &BinaryHv) -> Result<usize, HdcError> {
+        let scores = self.scores(query)?;
+        Ok(scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .map(|(i, _)| i)
+            .expect("model has at least one class"))
     }
 }
 
@@ -437,6 +587,41 @@ mod tests {
         assert_eq!(sign_extend(0b1, 1), -1);
         assert_eq!(sign_extend(0b0, 1), 0);
         assert_eq!(sign_extend(0xFFFF, 16), -1);
+    }
+
+    #[test]
+    fn packed_model_matches_scalar_scores_on_binary_queries() {
+        let (model, encoded, _) = trained_model(1000); // not a multiple of 64
+        for bw in [1u8, 2, 4, 8, 16] {
+            let q = QuantizedModel::from_model(&model, bw).unwrap();
+            let packed = q.pack().unwrap();
+            assert_eq!(packed.dim(), q.dim());
+            assert_eq!(packed.bit_width(), bw);
+            assert_eq!(packed.n_classes(), q.n_classes());
+            for hv in &encoded {
+                let binary = hv.to_binary();
+                let fast = packed.scores(&binary).unwrap();
+                let slow = q.scores(&IntHv::from(binary.clone()));
+                assert_eq!(fast, slow, "bw={bw}: packed scores must be bit-identical");
+                assert_eq!(
+                    packed.predict(&binary).unwrap(),
+                    q.predict(&IntHv::from(binary)),
+                    "bw={bw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_model_rejects_wrong_width_queries() {
+        let (model, _, _) = trained_model(256);
+        let packed = QuantizedModel::from_model(&model, 4)
+            .unwrap()
+            .pack()
+            .unwrap();
+        let wrong = BinaryHv::random_seeded(128, 5).unwrap();
+        assert!(packed.scores(&wrong).is_err());
+        assert!(packed.predict(&wrong).is_err());
     }
 
     #[test]

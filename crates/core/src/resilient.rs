@@ -112,6 +112,7 @@ pub struct ResilientPipeline {
     config: ResilienceConfig,
     stats: ResilienceStats,
     reads: u64,
+    scores_buf: Vec<f64>,
 }
 
 impl ResilientPipeline {
@@ -158,6 +159,7 @@ impl ResilientPipeline {
             config,
             stats: ResilienceStats::default(),
             reads: 0,
+            scores_buf: Vec::new(),
         })
     }
 
@@ -229,13 +231,13 @@ impl ResilientPipeline {
         let dim = self.golden.dim();
         let reduced = self.config.reduced_dims;
         let first_is_full = reduced == dim;
-        let scores = self.read_scores(query, reduced);
+        self.read_scores(query, reduced);
         if first_is_full {
             self.stats.full_passes += 1;
         } else {
             self.stats.reduced_passes += 1;
         }
-        let (best, margin) = top2_margin(&scores);
+        let (best, margin) = top2_margin(&self.scores_buf);
         if self.config.margin_threshold == 0.0 || margin >= self.config.margin_threshold {
             return best;
         }
@@ -244,9 +246,9 @@ impl ResilientPipeline {
         self.stats.escalations += 1;
         let mut tally = vec![0u32; self.golden.n_classes()];
         for _ in 0..self.config.votes {
-            let scores = self.read_scores(query, dim);
+            self.read_scores(query, dim);
             self.stats.full_passes += 1;
-            let (vote, _) = top2_margin(&scores);
+            let (vote, _) = top2_margin(&self.scores_buf);
             tally[vote] += 1;
         }
         tally
@@ -303,27 +305,36 @@ impl ResilientPipeline {
         Ok(correct as f64 / features.len() as f64)
     }
 
-    /// One class-memory read: returns cosine scores over the first `dims`
-    /// dimensions of whatever the memory yields under the fault model.
-    fn read_scores(&mut self, query: &IntHv, dims: usize) -> Vec<f64> {
+    /// One class-memory read: leaves cosine scores over the first `dims`
+    /// dimensions of whatever the memory yields under the fault model in
+    /// `self.scores_buf` (one buffer reused across reads — redundant
+    /// voting reads allocate nothing).
+    fn read_scores(&mut self, query: &IntHv, dims: usize) {
         let read_index = self.reads;
         self.reads += 1;
         match self.fault {
-            None => self.stored.cosine_scores(query, dims),
+            None => self
+                .stored
+                .cosine_scores_into(query, dims, &mut self.scores_buf),
             Some(fault) => match fault.kind() {
                 // Fresh noise per read, observed on a scratch copy — the
                 // stored cells themselves are unharmed.
                 FaultKind::Transient => {
                     self.scratch.clone_from(&self.stored);
                     fault.corrupt_model(&mut self.scratch, read_index);
-                    self.scratch.cosine_scores(query, dims)
+                    self.scratch
+                        .cosine_scores_into(query, dims, &mut self.scores_buf);
                 }
                 // Defects already live in the stored state.
-                FaultKind::Persistent => self.stored.cosine_scores(query, dims),
+                FaultKind::Persistent => {
+                    self.stored
+                        .cosine_scores_into(query, dims, &mut self.scores_buf);
+                }
                 // Damage lands in the stored state and stays there.
                 FaultKind::Accumulating => {
                     fault.corrupt_model(&mut self.stored, read_index);
-                    self.stored.cosine_scores(query, dims)
+                    self.stored
+                        .cosine_scores_into(query, dims, &mut self.scores_buf);
                 }
             },
         }

@@ -2,7 +2,10 @@
 //! algebraic invariants the GENERIC encoding relies on.
 
 use generic_hdc::encoding::{Encoder, GenericEncoder, GenericEncoderSpec};
-use generic_hdc::{BinaryHv, HdcModel, IntHv, LevelMemory, QuantizedModel, Quantizer};
+use generic_hdc::{
+    BinaryHv, BitSliceAccumulator, HdcModel, IntHv, LevelMemory, NormMode, PackedInts,
+    PredictOptions, QuantizedModel, Quantizer,
+};
 use proptest::prelude::*;
 
 fn arb_dim() -> impl Strategy<Value = usize> {
@@ -187,6 +190,123 @@ proptest! {
         let quantized = QuantizedModel::from_model(&model, 16).unwrap();
         for (hv, &label) in encoded.iter().zip(&labels) {
             prop_assert_eq!(quantized.predict(hv), label);
+        }
+    }
+
+    /// Bit-sliced (carry-save) bundling is bit-identical to scalar
+    /// per-dimension accumulation for any dimensionality (including
+    /// non-multiples of 64) and any bundle size.
+    #[test]
+    fn bit_sliced_bundling_matches_scalar(
+        dim in arb_dim(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..=24),
+    ) {
+        let mut fast = BitSliceAccumulator::new(dim).unwrap();
+        let mut scalar = IntHv::zeros(dim).unwrap();
+        for &s in &seeds {
+            let hv = BinaryHv::random_seeded(dim, s).unwrap();
+            fast.add(&hv).unwrap();
+            scalar.bundle_binary(&hv).unwrap();
+        }
+        prop_assert_eq!(fast.count(), seeds.len());
+        prop_assert_eq!(fast.to_int_hv(), scalar);
+    }
+
+    /// The fused bind-then-bundle (`add_xor`) equals materializing the
+    /// XOR first — and a cleared accumulator behaves like a fresh one.
+    #[test]
+    fn fused_xor_bundling_matches_bind_then_bundle(
+        dim in arb_dim(),
+        windows in proptest::collection::vec(any::<[u64; 3]>(), 1..=12),
+    ) {
+        let mut fast = BitSliceAccumulator::new(dim).unwrap();
+        fast.add(&BinaryHv::random_seeded(dim, 999).unwrap()).unwrap();
+        fast.clear();
+        let mut scalar = IntHv::zeros(dim).unwrap();
+        for s in &windows {
+            let a = BinaryHv::random_seeded(dim, s[0]).unwrap();
+            let b = BinaryHv::random_seeded(dim, s[1]).unwrap();
+            let c = BinaryHv::random_seeded(dim, s[2]).unwrap();
+            fast.add_xor(&[&a, &b, &c]).unwrap();
+            let bound = a.xor(&b).unwrap().xor(&c).unwrap();
+            scalar.bundle_binary(&bound).unwrap();
+        }
+        prop_assert_eq!(fast.to_int_hv(), scalar);
+    }
+
+    /// The bit-sliced GENERIC encoder is bit-identical to the retained
+    /// scalar reference for every window size and id-binding mode.
+    #[test]
+    fn encoder_kernels_bit_identical(
+        dim in arb_dim(),
+        seed in any::<u64>(),
+        window in 1usize..=5,
+        id_binding in any::<bool>(),
+    ) {
+        let data: Vec<Vec<f64>> = (0..10)
+            .map(|r| (0..8).map(|c| ((r * 3 + c * 5) % 7) as f64).collect())
+            .collect();
+        let spec = GenericEncoderSpec::new(dim, 8)
+            .with_levels(8) // small dims cannot host the default 64 levels
+            .with_window(window)
+            .with_id_binding(id_binding)
+            .with_seed(seed);
+        let enc = GenericEncoder::from_data(spec, &data).unwrap();
+        for row in data.iter().take(3) {
+            let bins = enc.quantizer().bins(row).unwrap();
+            prop_assert_eq!(
+                enc.encode_bins(&bins).unwrap(),
+                enc.encode_bins_scalar(&bins).unwrap()
+            );
+        }
+    }
+
+    /// The packed sign/magnitude dot product equals the scalar reference
+    /// for every quantization width 1..=16 (values spanning the full
+    /// signed range of the width, including non-multiple-of-64 dims).
+    #[test]
+    fn packed_dot_matches_scalar(
+        dim in arb_dim(),
+        seed in any::<u64>(),
+        bw in 1u32..=16,
+    ) {
+        let query = BinaryHv::random_seeded(dim, seed).unwrap();
+        let hi = (1i64 << (bw - 1)) - 1;
+        let hi = if bw == 1 { 1 } else { hi };
+        let span = 2 * hi + 1;
+        let values: Vec<i32> = (0..dim as i64)
+            .map(|i| ((i.wrapping_mul(2_654_435_761) + seed as i64 % 1_000_003).rem_euclid(span) - hi) as i32)
+            .collect();
+        let packed = PackedInts::from_values(&values).unwrap();
+        prop_assert_eq!(packed.dim(), dim);
+        prop_assert_eq!(
+            query.dot_packed(&packed).unwrap(),
+            query.dot_int(&values).unwrap()
+        );
+    }
+
+    /// Blocked class scoring (cache-blocked, sub-norm-chunk reuse) is
+    /// bit-identical to the scalar reference in both norm modes and at
+    /// reduced dimensions.
+    #[test]
+    fn blocked_scores_match_scalar(
+        dim in arb_dim(),
+        seeds in any::<[u64; 4]>(),
+        dims_raw in 1usize..=256,
+    ) {
+        let encoded: Vec<IntHv> = seeds[..3]
+            .iter()
+            .map(|&s| IntHv::from(BinaryHv::random_seeded(dim, s).unwrap()))
+            .collect();
+        let model = HdcModel::fit(&encoded, &[0, 1, 2], 3).unwrap();
+        let query = IntHv::from(BinaryHv::random_seeded(dim, seeds[3]).unwrap());
+        let dims = dims_raw.min(dim);
+        for mode in [NormMode::Updated, NormMode::Constant] {
+            let opts = PredictOptions::reduced(dims, mode);
+            prop_assert_eq!(
+                model.scores_with(&query, opts),
+                model.scores_scalar(&query, opts)
+            );
         }
     }
 
