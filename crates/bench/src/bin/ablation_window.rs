@@ -30,7 +30,9 @@ fn accuracy(benchmark: Benchmark, window: usize, id_binding: bool, seed: u64) ->
         .expect("row widths match");
     let mut model =
         HdcModel::fit(&train, &dataset.train.labels, dataset.n_classes).expect("labels validated");
-    model.retrain(&train, &dataset.train.labels, DEFAULT_EPOCHS);
+    model
+        .retrain(&train, &dataset.train.labels, DEFAULT_EPOCHS)
+        .expect("inputs validated");
     model.accuracy(&test, &dataset.test.labels)
 }
 

@@ -223,16 +223,24 @@ fn measure_dataset(dataset: &Dataset, config: &Config, threads: usize, seed: u64
     let retrain_ops = config.epochs * train_encoded.len();
     let retrain_scalar = median_ns_per_op(config.retrain_reps, retrain_ops, || {
         let mut model = fitted.clone();
-        black_box(model.retrain_scalar(&train_encoded, &dataset.train.labels, config.epochs));
+        black_box(
+            model
+                .retrain_scalar(&train_encoded, &dataset.train.labels, config.epochs)
+                .expect("inputs validated"),
+        );
     });
     let retrain_fast = median_ns_per_op(config.retrain_reps, retrain_ops, || {
         let mut model = fitted.clone();
-        black_box(model.retrain_parallel(
-            &train_encoded,
-            &dataset.train.labels,
-            config.epochs,
-            threads,
-        ));
+        black_box(
+            model
+                .retrain_parallel(
+                    &train_encoded,
+                    &dataset.train.labels,
+                    config.epochs,
+                    threads,
+                )
+                .expect("inputs validated"),
+        );
     });
 
     // --- end-to-end: encode + fit + retrain, scalar kernels vs fast ---
@@ -244,14 +252,17 @@ fn measure_dataset(dataset: &Dataset, config: &Config, threads: usize, seed: u64
         let mut model = HdcModel::fit(&encoded, &dataset.train.labels, dataset.n_classes)
             .expect("labels validated");
         if scalar {
-            black_box(model.retrain_scalar(&encoded, &dataset.train.labels, config.epochs));
+            black_box(
+                model
+                    .retrain_scalar(&encoded, &dataset.train.labels, config.epochs)
+                    .expect("inputs validated"),
+            );
         } else {
-            black_box(model.retrain_parallel(
-                &encoded,
-                &dataset.train.labels,
-                config.epochs,
-                threads,
-            ));
+            black_box(
+                model
+                    .retrain_parallel(&encoded, &dataset.train.labels, config.epochs, threads)
+                    .expect("inputs validated"),
+            );
         }
     };
     let e2e_ops = train_bins.len() * (config.epochs + 1);

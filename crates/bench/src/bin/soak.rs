@@ -1,0 +1,444 @@
+//! Soak harness for the crash-safe online-learning runtime: replays an
+//! interleaved train/infer stream through [`OnlineRuntime`] with
+//! injected kills, a torn-write corruption, a deadline storm, and
+//! garbage records, and writes `BENCH_soak.json` with recovery-time and
+//! degradation-hit-rate numbers.
+//!
+//! Acceptance gates (enforced in both modes — they are correctness
+//! gates, not perf gates; the harness exits nonzero on any violation):
+//!
+//! 1. **kill -9 mid-stream**: recovery lands on the newest checkpoint
+//!    generation, losing at most the samples since the last checkpoint.
+//! 2. **torn write**: with the newest generation corrupted on disk,
+//!    recovery rejects it and falls back to the previous intact one.
+//! 3. **deadline storm**: ≥ 99% of requests get an answer (degraded
+//!    tiers allowed, drops counted), and the ladder's per-tier counters
+//!    account for every answer.
+//! 4. **garbage records**: every malformed learning sample is
+//!    quarantined — none learned, none panicking — and the clean ones
+//!    all land.
+//!
+//! Usage: `cargo run -p generic-bench --release --bin soak
+//! [seed] [--smoke]`
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use generic_bench::cli;
+use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
+use generic_hdc::{HdcPipeline, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_FEATURES: usize = 10;
+const N_CLASSES: usize = 3;
+
+struct Config {
+    dim: usize,
+    bootstrap_samples: usize,
+    stream_samples: usize,
+    checkpoint_every: u64,
+    storm_requests: usize,
+    garbage_records: usize,
+}
+
+impl Config {
+    fn full() -> Self {
+        Config {
+            dim: 2048,
+            bootstrap_samples: 240,
+            stream_samples: 1200,
+            checkpoint_every: 64,
+            storm_requests: 2000,
+            garbage_records: 120,
+        }
+    }
+
+    fn smoke() -> Self {
+        Config {
+            dim: 512,
+            bootstrap_samples: 90,
+            stream_samples: 240,
+            checkpoint_every: 16,
+            storm_requests: 400,
+            garbage_records: 30,
+        }
+    }
+}
+
+/// One gate: a named pass/fail with the observed evidence.
+struct Gate {
+    name: &'static str,
+    passed: bool,
+    detail: String,
+}
+
+impl Gate {
+    fn check(name: &'static str, passed: bool, detail: String) -> Self {
+        let verdict = if passed { "PASS" } else { "FAIL" };
+        println!("gate {name}: {verdict} — {detail}");
+        Gate {
+            name,
+            passed,
+            detail,
+        }
+    }
+}
+
+/// A separable 3-band sample: features in the class's band sit high,
+/// the rest low, with uniform jitter.
+fn sample(rng: &mut StdRng, class: usize) -> Vec<f64> {
+    (0..N_FEATURES)
+        .map(|j| {
+            let band = j / (N_FEATURES / N_CLASSES).max(1);
+            let base = if band == class { 8.0 } else { 1.0 };
+            base + rng.random_range(-0.5..0.5)
+        })
+        .collect()
+}
+
+fn scratch_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("ghdc-soak-{}-{seed}", std::process::id()))
+}
+
+fn open_store(dir: &Path) -> CheckpointStore {
+    CheckpointStore::open(dir, 4, RetryPolicy::default()).expect("checkpoint dir is creatable")
+}
+
+fn runtime_config(config: &Config) -> RuntimeConfig {
+    RuntimeConfig {
+        checkpoint_every: config.checkpoint_every,
+        holdout_every: 10,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn main() {
+    let seed = cli::seed_arg(42);
+    let smoke = cli::smoke_flag();
+    let config = if smoke {
+        Config::smoke()
+    } else {
+        Config::full()
+    };
+    println!(
+        "soak: dim={} stream={} ckpt-every={} storm={} seed={seed} mode={}",
+        config.dim,
+        config.stream_samples,
+        config.checkpoint_every,
+        config.storm_requests,
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dir = scratch_dir(seed);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut gates = Vec::new();
+
+    // --- bootstrap: train an initial pipeline and make it durable ---
+    let features: Vec<Vec<f64>> = (0..config.bootstrap_samples)
+        .map(|i| sample(&mut rng, i % N_CLASSES))
+        .collect();
+    let labels: Vec<usize> = (0..config.bootstrap_samples)
+        .map(|i| i % N_CLASSES)
+        .collect();
+    let spec = GenericEncoderSpec::new(config.dim, N_FEATURES).with_seed(seed);
+    let pipeline = HdcPipeline::train(spec, &features, &labels, N_CLASSES, 5)
+        .expect("separable bootstrap data");
+    let rt_config = runtime_config(&config);
+    let mut runtime =
+        OnlineRuntime::new(pipeline, open_store(&dir), rt_config).expect("valid runtime config");
+    runtime.checkpoint().expect("initial checkpoint");
+
+    // --- scenario 1: interleaved stream, then kill -9 mid-stream ---
+    // The kill point is random but at least one checkpoint interval in,
+    // so there is something to lose.
+    let kill_at = rng.random_range(config.checkpoint_every as usize + 1..config.stream_samples);
+    let mut streamed = 0usize;
+    for i in 0..config.stream_samples {
+        let class = rng.random_range(0..N_CLASSES);
+        let x = sample(&mut rng, class);
+        if i % 4 == 3 {
+            let _ = runtime.infer(&x, None);
+        } else {
+            runtime.learn(&x, class).expect("clean sample");
+            streamed += 1;
+        }
+        if streamed == kill_at {
+            break;
+        }
+    }
+    let seen_at_kill = runtime.seen();
+    let gen_at_kill = runtime.generation();
+    drop(runtime); // the kill: all in-memory state vanishes, no final checkpoint
+                   // A crash mid-write also leaves a half-written temp file behind.
+    std::fs::write(
+        dir.join("ckpt-99999999999999999999.ghdc.tmp"),
+        b"torn half-written checkpoint",
+    )
+    .expect("scratch dir writable");
+
+    let (recovered, report) = match OnlineRuntime::recover(open_store(&dir), rt_config) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("GATE FAILED: recovery after kill -9 errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let kill_recovery_ms = report.elapsed.as_secs_f64() * 1e3;
+    let lost = seen_at_kill - recovered.seen();
+    gates.push(Gate::check(
+        "kill_recovers_newest_generation",
+        recovered.generation() == gen_at_kill && report.rejected.is_empty(),
+        format!(
+            "recovered generation {} (at kill: {gen_at_kill}), {} rejected, {:.2} ms",
+            recovered.generation(),
+            report.rejected.len(),
+            kill_recovery_ms
+        ),
+    ));
+    gates.push(Gate::check(
+        "kill_loses_at_most_one_interval",
+        lost <= config.checkpoint_every,
+        format!(
+            "lost {lost} of {seen_at_kill} samples (interval {})",
+            config.checkpoint_every
+        ),
+    ));
+
+    // --- scenario 2: torn write — corrupt the newest generation ---
+    let mut runtime = recovered;
+    for _ in 0..config.checkpoint_every + 4 {
+        let class = rng.random_range(0..N_CLASSES);
+        let x = sample(&mut rng, class);
+        runtime.learn(&x, class).expect("clean sample");
+    }
+    let newest_gen = runtime.generation();
+    let prev_gen = newest_gen - 1;
+    drop(runtime);
+    let newest_path = dir.join(format!("ckpt-{newest_gen:020}.ghdc"));
+    let mut bytes = std::fs::read(&newest_path).expect("newest generation readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20; // a single flipped bit mid-payload
+    std::fs::write(&newest_path, &bytes).expect("scratch dir writable");
+
+    let (recovered, report) = match OnlineRuntime::recover(open_store(&dir), rt_config) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("GATE FAILED: recovery after torn write errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let torn_recovery_ms = report.elapsed.as_secs_f64() * 1e3;
+    gates.push(Gate::check(
+        "torn_write_falls_back_to_previous_generation",
+        recovered.generation() == prev_gen && report.rejected.iter().any(|(g, _)| *g == newest_gen),
+        format!(
+            "corrupted generation {newest_gen}, recovered {} ({} rejected, {:.2} ms)",
+            recovered.generation(),
+            report.rejected.len(),
+            torn_recovery_ms
+        ),
+    ));
+
+    // --- scenario 3: deadline storm ---
+    let mut runtime = recovered;
+    for _ in 0..20 {
+        // Warm the full tier's latency estimate so budgets bite.
+        let x = sample(&mut rng, 0);
+        let _ = runtime.infer(&x, None);
+    }
+    let full_est_ns = runtime
+        .ladder()
+        .estimate_ns(runtime.ladder().full_tier())
+        .unwrap_or(1e5);
+    let storm_base = runtime.stats().infer_requests;
+    let mut garbage_requests = 0u64;
+    for i in 0..config.storm_requests {
+        let class = rng.random_range(0..N_CLASSES);
+        let x = sample(&mut rng, class);
+        // A hostile minority of the storm: one malformed request per ~250.
+        if i % 251 == 250 {
+            garbage_requests += 1;
+            let _ = runtime.infer(&[f64::NAN; N_FEATURES], None);
+            continue;
+        }
+        // Budgets from hopelessly tight through comfortable: the ladder
+        // must degrade rather than drop.
+        let budget_ns = match i % 4 {
+            0 => full_est_ns * 0.05, // floor-tier territory
+            1 => full_est_ns * 0.5,  // mid-ladder
+            2 => full_est_ns * 1.5,  // full dim, tight
+            _ => full_est_ns * 20.0, // comfortable
+        };
+        let budget = Duration::from_nanos(budget_ns.max(1.0) as u64);
+        let _ = runtime.infer(&x, Some(budget));
+    }
+    let stats = *runtime.stats();
+    let storm_requests = stats.infer_requests - storm_base;
+    let storm_answered = storm_requests - stats.rejected - stats.shed;
+    let answer_rate = storm_answered as f64 / storm_requests as f64;
+    let tier_hits: Vec<u64> = runtime.ladder().hits().to_vec();
+    let tier_dims: Vec<usize> = runtime.ladder().tier_dims().to_vec();
+    let degradation_hit_rate = stats.degraded as f64 / stats.answered.max(1) as f64;
+    gates.push(Gate::check(
+        "storm_answers_at_least_99_percent",
+        answer_rate >= 0.99,
+        format!(
+            "{storm_answered}/{storm_requests} answered ({:.2}%), {} rejected, {} shed",
+            answer_rate * 100.0,
+            stats.rejected,
+            stats.shed
+        ),
+    ));
+    gates.push(Gate::check(
+        "storm_degrades_instead_of_dropping",
+        stats.degraded > 0 && tier_hits.iter().sum::<u64>() == stats.answered,
+        format!(
+            "{} degraded answers ({:.1}% of answers), tier hits {:?} over dims {:?}",
+            stats.degraded,
+            degradation_hit_rate * 100.0,
+            tier_hits,
+            tier_dims
+        ),
+    ));
+
+    // --- scenario 4: garbage learning records ---
+    let quarantined_base = runtime.stats().quarantined;
+    let learned_base = runtime.stats().learned + runtime.stats().held_out;
+    let mut clean = 0u64;
+    for i in 0..config.garbage_records {
+        let class = rng.random_range(0..N_CLASSES);
+        let garbage: (Vec<f64>, usize) = match i % 5 {
+            0 => (vec![f64::NAN; N_FEATURES], class),
+            1 => (vec![f64::INFINITY; N_FEATURES], class),
+            2 => (sample(&mut rng, class)[..N_FEATURES - 2].to_vec(), class),
+            3 => (vec![1e12; N_FEATURES], class),
+            _ => (sample(&mut rng, class), N_CLASSES + 7),
+        };
+        match runtime.learn(&garbage.0, garbage.1) {
+            Err(RuntimeError::Rejected(_)) => {}
+            other => {
+                eprintln!("GATE FAILED: garbage record {i} was not quarantined: {other:?}");
+                std::process::exit(1);
+            }
+        }
+        // Interleave clean samples: the stream must keep flowing.
+        let x = sample(&mut rng, class);
+        runtime.learn(&x, class).expect("clean sample");
+        clean += 1;
+    }
+    let quarantined = runtime.stats().quarantined - quarantined_base;
+    let processed = runtime.stats().learned + runtime.stats().held_out - learned_base;
+    let probe = sample(&mut rng, 1);
+    let still_serves = runtime.infer(&probe, None).is_ok();
+    gates.push(Gate::check(
+        "garbage_is_quarantined_not_learned",
+        quarantined == config.garbage_records as u64 && processed == clean && still_serves,
+        format!(
+            "{quarantined}/{} quarantined, {processed}/{clean} clean processed, serves: {still_serves}",
+            config.garbage_records
+        ),
+    ));
+
+    runtime.checkpoint().expect("final checkpoint");
+    let final_stats = *runtime.stats();
+    let final_generation = runtime.generation();
+    drop(runtime);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = render_json(
+        &config,
+        seed,
+        smoke,
+        kill_recovery_ms,
+        torn_recovery_ms,
+        lost,
+        answer_rate,
+        degradation_hit_rate,
+        &tier_dims,
+        &tier_hits,
+        garbage_requests,
+        final_generation,
+        &final_stats,
+        &gates,
+    );
+    std::fs::write("BENCH_soak.json", &json).expect("write BENCH_soak.json");
+    println!("wrote BENCH_soak.json");
+
+    if gates.iter().any(|g| !g.passed) {
+        for gate in gates.iter().filter(|g| !g.passed) {
+            eprintln!("GATE FAILED: {}: {}", gate.name, gate.detail);
+        }
+        std::process::exit(1);
+    }
+    println!("all gates passed");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    config: &Config,
+    seed: u64,
+    smoke: bool,
+    kill_recovery_ms: f64,
+    torn_recovery_ms: f64,
+    lost: u64,
+    answer_rate: f64,
+    degradation_hit_rate: f64,
+    tier_dims: &[usize],
+    tier_hits: &[u64],
+    garbage_requests: u64,
+    final_generation: u64,
+    stats: &generic_hdc::RuntimeStats,
+    gates: &[Gate],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str(&format!(
+        "  \"config\": {{\"dim\": {}, \"stream_samples\": {}, \"checkpoint_every\": {}, \"storm_requests\": {}, \"garbage_records\": {}}},\n",
+        config.dim, config.stream_samples, config.checkpoint_every, config.storm_requests, config.garbage_records
+    ));
+    s.push_str(&format!(
+        "  \"recovery\": {{\"kill_ms\": {kill_recovery_ms:.3}, \"torn_write_ms\": {torn_recovery_ms:.3}, \"samples_lost\": {lost}, \"max_loss_allowed\": {}}},\n",
+        config.checkpoint_every
+    ));
+    let dims: Vec<String> = tier_dims.iter().map(ToString::to_string).collect();
+    let hits: Vec<String> = tier_hits.iter().map(ToString::to_string).collect();
+    s.push_str(&format!(
+        "  \"storm\": {{\"answer_rate\": {answer_rate:.5}, \"degradation_hit_rate\": {degradation_hit_rate:.5}, \"garbage_requests\": {garbage_requests}, \"tier_dims\": [{}], \"tier_hits\": [{}]}},\n",
+        dims.join(", "),
+        hits.join(", ")
+    ));
+    s.push_str(&format!(
+        "  \"totals\": {{\"generation\": {final_generation}, \"learned\": {}, \"held_out\": {}, \"corrected\": {}, \"quarantined\": {}, \"answered\": {}, \"degraded\": {}, \"deadline_misses\": {}, \"rejected\": {}, \"checkpoints\": {}, \"retrains\": {}, \"rollbacks\": {}}},\n",
+        stats.learned,
+        stats.held_out,
+        stats.corrected,
+        stats.quarantined,
+        stats.answered,
+        stats.degraded,
+        stats.deadline_misses,
+        stats.rejected,
+        stats.checkpoints,
+        stats.retrains,
+        stats.rollbacks
+    ));
+    s.push_str("  \"gates\": {\n");
+    for (i, gate) in gates.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{\"passed\": {}, \"detail\": \"{}\"}}{}\n",
+            gate.name,
+            gate.passed,
+            gate.detail.replace('"', "'"),
+            if i + 1 < gates.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}

@@ -72,8 +72,9 @@ pub fn train_hdc(
         .expect("row widths validated");
     let mut model = HdcModel::fit(&train_encoded, &dataset.train.labels, dataset.n_classes)
         .expect("labels validated");
-    let retrain_errors =
-        model.retrain_parallel(&train_encoded, &dataset.train.labels, epochs, threads);
+    let retrain_errors = model
+        .retrain_parallel(&train_encoded, &dataset.train.labels, epochs, threads)
+        .expect("inputs validated");
     HdcRun {
         encoder,
         model,
@@ -158,7 +159,9 @@ fn probe_id_binding_modes(
         let enc_val = encoder.encode_batch(&val_x).expect("row widths validated");
         let mut model =
             HdcModel::fit(&enc_fit, &fit_y, dataset.n_classes).expect("labels validated");
-        model.retrain(&enc_fit, &fit_y, 5);
+        model
+            .retrain(&enc_fit, &fit_y, 5)
+            .expect("inputs validated");
         (model.accuracy(&enc_val, &val_y), encoder)
     };
 

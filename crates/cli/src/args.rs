@@ -11,14 +11,29 @@ generic — the GENERIC HDC learning engine
 USAGE:
     generic train   --data <csv> --out <model> [--dim N] [--window N]
                     [--levels N] [--epochs N] [--seed N] [--no-id-binding]
-    generic predict --model <model> --data <csv> [--labeled]
+                    [--skip-bad-rows]
+    generic predict --model <model> --data <csv> [--labeled] [--skip-bad-rows]
     generic cluster --data <csv> --k N [--dim N] [--window N] [--epochs N]
-                    [--seed N] [--labeled]
+                    [--seed N] [--labeled] [--skip-bad-rows]
     generic info    --model <model>
+    generic serve   --ckpt-dir <dir> --data <csv|-> [--model <model>]
+                    [--budget-us N] [--checkpoint-every N] [--keep N]
+                    [--skip-bad-rows]
 
 CSV format: one sample per row, numeric features separated by commas;
 for `train` (and with --labeled) the last column is an integer label.
-Lines starting with '#' and blank lines are ignored.";
+Lines starting with '#' and blank lines are ignored. With
+--skip-bad-rows, malformed rows are quarantined and counted instead of
+aborting the command.
+
+`serve` runs the crash-safe online-learning runtime over a stream
+(`--data -` reads stdin): rows with one trailing extra column are
+labeled learning samples, rows matching the model's feature count are
+inference requests answered within the `--budget-us` deadline via
+degraded dimension tiers. Progress is checkpointed atomically into
+--ckpt-dir every --checkpoint-every samples (keeping --keep
+generations); on startup the newest intact generation is recovered
+unless --model bootstraps a fresh runtime.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +56,8 @@ pub enum CliCommand {
         seed: u64,
         /// Whether per-window id binding is enabled.
         id_binding: bool,
+        /// Quarantine malformed CSV rows instead of aborting.
+        skip_bad_rows: bool,
     },
     /// Classify samples with a persisted pipeline.
     Predict {
@@ -50,6 +67,8 @@ pub enum CliCommand {
         data: PathBuf,
         /// Whether the CSV carries labels (accuracy is reported).
         labeled: bool,
+        /// Quarantine malformed CSV rows instead of aborting.
+        skip_bad_rows: bool,
     },
     /// Cluster unlabeled samples.
     Cluster {
@@ -67,11 +86,30 @@ pub enum CliCommand {
         seed: u64,
         /// Whether the CSV carries ground-truth labels (NMI is reported).
         labeled: bool,
+        /// Quarantine malformed CSV rows instead of aborting.
+        skip_bad_rows: bool,
     },
     /// Describe a persisted pipeline.
     Info {
         /// Pipeline path.
         model: PathBuf,
+    },
+    /// Run the crash-safe online-learning runtime over a sample stream.
+    Serve {
+        /// Checkpoint directory (created if missing).
+        ckpt_dir: PathBuf,
+        /// Stream CSV path, or `-` for stdin.
+        data: PathBuf,
+        /// Optional pipeline to bootstrap from instead of recovering.
+        model: Option<PathBuf>,
+        /// Per-request inference budget in microseconds (0 = none).
+        budget_us: u64,
+        /// Labeled samples between automatic checkpoints.
+        checkpoint_every: u64,
+        /// Checkpoint generations kept on disk.
+        keep: usize,
+        /// Quarantine malformed CSV rows instead of aborting.
+        skip_bad_rows: bool,
     },
     /// Print usage.
     Help,
@@ -111,9 +149,11 @@ impl Options {
                 return Err(CliError::new(format!("unexpected argument `{arg}`")));
             };
             match name {
-                "labeled" | "no-id-binding" | "help" => flags.push(name.to_string()),
+                "labeled" | "no-id-binding" | "skip-bad-rows" | "help" => {
+                    flags.push(name.to_string())
+                }
                 "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
-                | "k" => {
+                | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
@@ -180,11 +220,13 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
             epochs: opts.numeric("epochs", 20)?,
             seed: opts.numeric("seed", 42)?,
             id_binding: !opts.flag("no-id-binding"),
+            skip_bad_rows: opts.flag("skip-bad-rows"),
         }),
         "predict" => Ok(CliCommand::Predict {
             model: opts.required_path("model")?,
             data: opts.required_path("data")?,
             labeled: opts.flag("labeled"),
+            skip_bad_rows: opts.flag("skip-bad-rows"),
         }),
         "cluster" => Ok(CliCommand::Cluster {
             data: opts.required_path("data")?,
@@ -200,9 +242,19 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
             epochs: opts.numeric("epochs", 20)?,
             seed: opts.numeric("seed", 42)?,
             labeled: opts.flag("labeled"),
+            skip_bad_rows: opts.flag("skip-bad-rows"),
         }),
         "info" => Ok(CliCommand::Info {
             model: opts.required_path("model")?,
+        }),
+        "serve" => Ok(CliCommand::Serve {
+            ckpt_dir: opts.required_path("ckpt-dir")?,
+            data: opts.required_path("data")?,
+            model: opts.value("model").map(PathBuf::from),
+            budget_us: opts.numeric("budget-us", 0)?,
+            checkpoint_every: opts.numeric("checkpoint-every", 256)?,
+            keep: opts.numeric("keep", 3)?,
+            skip_bad_rows: opts.flag("skip-bad-rows"),
         }),
         other => Err(CliError::new(format!("unknown subcommand `{other}`"))),
     }
@@ -230,8 +282,63 @@ mod tests {
                 epochs: 20,
                 seed: 42,
                 id_binding: true,
+                skip_bad_rows: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        let cmd = parse_args(&argv(&["serve", "--ckpt-dir", "ck", "--data", "-"])).unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::Serve {
+                ckpt_dir: "ck".into(),
+                data: "-".into(),
+                model: None,
+                budget_us: 0,
+                checkpoint_every: 256,
+                keep: 3,
+                skip_bad_rows: false,
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "serve",
+            "--ckpt-dir",
+            "ck",
+            "--data",
+            "s.csv",
+            "--model",
+            "m.ghdc",
+            "--budget-us",
+            "500",
+            "--checkpoint-every",
+            "32",
+            "--keep",
+            "5",
+            "--skip-bad-rows",
+        ]))
+        .unwrap();
+        match cmd {
+            CliCommand::Serve {
+                model,
+                budget_us,
+                checkpoint_every,
+                keep,
+                skip_bad_rows,
+                ..
+            } => {
+                assert_eq!(model, Some("m.ghdc".into()));
+                assert_eq!(budget_us, 500);
+                assert_eq!(checkpoint_every, 32);
+                assert_eq!(keep, 5);
+                assert!(skip_bad_rows);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // --ckpt-dir and --data are mandatory.
+        assert!(parse_args(&argv(&["serve", "--data", "-"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--ckpt-dir", "ck"])).is_err());
     }
 
     #[test]

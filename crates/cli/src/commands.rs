@@ -2,11 +2,14 @@
 
 use std::error::Error;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::time::Duration;
 
 use generic_hdc::encoding::GenericEncoderSpec;
 use generic_hdc::metrics::normalized_mutual_information;
-use generic_hdc::{HdcClustering, HdcClusteringSpec, HdcPipeline};
+use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
+use generic_hdc::{HdcClustering, HdcClusteringSpec, HdcPipeline, RuntimeError};
 
 use crate::args::{CliCommand, USAGE};
 use crate::csv;
@@ -34,8 +37,11 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             epochs,
             seed,
             id_binding,
+            skip_bad_rows,
         } => {
-            let parsed = csv::read_file(&data, true)?;
+            let report = csv::read_file_opts(&data, true, skip_bad_rows)?;
+            report_skipped(&report, out)?;
+            let parsed = report.data;
             let labels = parsed.labels.expect("labeled parse returns labels");
             let n_classes = csv::n_classes(&labels);
             if n_classes < 2 {
@@ -66,9 +72,12 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             model,
             data,
             labeled,
+            skip_bad_rows,
         } => {
             let pipeline = load_pipeline(&model)?;
-            let parsed = csv::read_file(&data, labeled)?;
+            let report = csv::read_file_opts(&data, labeled, skip_bad_rows)?;
+            report_skipped(&report, out)?;
+            let parsed = report.data;
             let mut correct = 0usize;
             for (i, row) in parsed.features.iter().enumerate() {
                 let prediction = pipeline.predict(row)?;
@@ -97,8 +106,11 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             epochs,
             seed,
             labeled,
+            skip_bad_rows,
         } => {
-            let parsed = csv::read_file(&data, labeled)?;
+            let report = csv::read_file_opts(&data, labeled, skip_bad_rows)?;
+            report_skipped(&report, out)?;
+            let parsed = report.data;
             let n_features = parsed.features[0].len();
             let spec = GenericEncoderSpec::new(dim, n_features)
                 .with_window(window.min(n_features))
@@ -137,10 +149,205 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             writeln!(out, "  seed:        {}", spec.seed())?;
             Ok(())
         }
+        CliCommand::Serve {
+            ckpt_dir,
+            data,
+            model,
+            budget_us,
+            checkpoint_every,
+            keep,
+            skip_bad_rows,
+        } => serve(
+            out,
+            &ckpt_dir,
+            &data,
+            model.as_deref(),
+            budget_us,
+            checkpoint_every,
+            keep,
+            skip_bad_rows,
+        ),
     }
 }
 
-fn load_pipeline(path: &std::path::Path) -> Result<HdcPipeline, Box<dyn Error>> {
+/// The `serve` driver: stream rows through an [`OnlineRuntime`].
+///
+/// Rows matching the model's feature count are inference requests
+/// (answered within the budget via degraded tiers); rows with one extra
+/// trailing column are labeled learning samples. Rows the runtime's
+/// sanitizer refuses (NaN/Inf, out-of-range, bad label) are quarantined
+/// and counted — the stream keeps flowing. Rows that are not numeric at
+/// all abort unless `--skip-bad-rows` quarantines them too.
+#[allow(clippy::too_many_arguments)]
+fn serve<W: Write>(
+    out: &mut W,
+    ckpt_dir: &Path,
+    data: &Path,
+    model: Option<&Path>,
+    budget_us: u64,
+    checkpoint_every: u64,
+    keep: usize,
+    skip_bad_rows: bool,
+) -> CommandResult {
+    let store = CheckpointStore::open(ckpt_dir, keep, RetryPolicy::default())?;
+    let config = RuntimeConfig {
+        checkpoint_every,
+        ..RuntimeConfig::default()
+    };
+    let mut runtime = match model {
+        Some(path) => {
+            let pipeline = load_pipeline(path)?;
+            let mut rt = OnlineRuntime::new(pipeline, store, config)?;
+            rt.checkpoint()?; // make the bootstrap durable before serving
+            writeln!(
+                out,
+                "bootstrapped from {} (generation {})",
+                path.display(),
+                rt.generation()
+            )?;
+            rt
+        }
+        None => {
+            let (rt, report) = OnlineRuntime::recover(store, config)?;
+            writeln!(
+                out,
+                "recovered generation {} ({} samples learned) in {:.1} ms; \
+                 scanned {} generation(s), rejected {}",
+                rt.generation(),
+                rt.seen(),
+                report.elapsed.as_secs_f64() * 1e3,
+                report.scanned,
+                report.rejected.len()
+            )?;
+            rt
+        }
+    };
+
+    let budget = (budget_us > 0).then(|| Duration::from_micros(budget_us));
+    let n_features = runtime.pipeline().encoder().spec().n_features();
+    let text = read_stream(data)?;
+    let mut bad_rows = 0u64;
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_stream_row(line, n_features) {
+            Ok(StreamRow::Infer(features)) => match runtime.infer(&features, budget) {
+                Ok(answer) => writeln!(out, "{}", answer.label)?,
+                Err(RuntimeError::Rejected(_) | RuntimeError::DeadlineShed { .. }) => {}
+                Err(e) => return Err(e.into()),
+            },
+            Ok(StreamRow::Learn(features, label)) => match runtime.learn(&features, label) {
+                Ok(_) | Err(RuntimeError::Rejected(_)) => {}
+                Err(e) => return Err(e.into()),
+            },
+            Err(message) => {
+                if !skip_bad_rows {
+                    return Err(format!("line {}: {message}", line_no + 1).into());
+                }
+                bad_rows += 1;
+            }
+        }
+    }
+
+    runtime.checkpoint()?;
+    let stats = runtime.stats();
+    writeln!(out, "stream done: generation {}", runtime.generation())?;
+    writeln!(
+        out,
+        "  learned {} (corrected {}, held out {}), quarantined {}, bad rows {}",
+        stats.learned, stats.corrected, stats.held_out, stats.quarantined, bad_rows
+    )?;
+    writeln!(
+        out,
+        "  answered {}/{} (degraded {}, deadline misses {}, rejected {})",
+        stats.answered, stats.infer_requests, stats.degraded, stats.deadline_misses, stats.rejected
+    )?;
+    writeln!(
+        out,
+        "  checkpoints {}, retrains {}, rollbacks {}",
+        stats.checkpoints, stats.retrains, stats.rollbacks
+    )?;
+    let ladder = runtime.ladder();
+    let tiers: Vec<String> = ladder
+        .tier_dims()
+        .iter()
+        .zip(ladder.hits())
+        .map(|(dims, hits)| format!("{dims}d:{hits}"))
+        .collect();
+    writeln!(out, "  tier hits: {}", tiers.join(" "))?;
+    Ok(())
+}
+
+/// One parsed stream row for `serve`.
+enum StreamRow {
+    /// An inference request (feature-count cells).
+    Infer(Vec<f64>),
+    /// A labeled learning sample (feature-count + 1 cells).
+    Learn(Vec<f64>, usize),
+}
+
+/// Splits a stream row into features (and a trailing label when
+/// present). Non-finite values pass through on purpose — the runtime's
+/// sanitizer quarantines them, which is the behavior under test.
+fn parse_stream_row(line: &str, n_features: usize) -> Result<StreamRow, String> {
+    let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+    if cells.len() == n_features + 1 {
+        let label: usize = cells[n_features].parse().map_err(|_| {
+            format!(
+                "label `{}` is not a non-negative integer",
+                cells[n_features]
+            )
+        })?;
+        let features = parse_cells(&cells[..n_features])?;
+        Ok(StreamRow::Learn(features, label))
+    } else if cells.len() == n_features {
+        Ok(StreamRow::Infer(parse_cells(&cells)?))
+    } else {
+        Err(format!(
+            "expected {n_features} or {} columns, found {}",
+            n_features + 1,
+            cells.len()
+        ))
+    }
+}
+
+fn parse_cells(cells: &[&str]) -> Result<Vec<f64>, String> {
+    cells
+        .iter()
+        .map(|cell| {
+            cell.parse()
+                .map_err(|_| format!("`{cell}` is not a number"))
+        })
+        .collect()
+}
+
+/// Reads the stream source: a file path, or stdin for `-`.
+fn read_stream(data: &Path) -> Result<String, Box<dyn Error>> {
+    if data.as_os_str() == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text)?;
+        Ok(text)
+    } else {
+        Ok(std::fs::read_to_string(data)
+            .map_err(|e| format!("cannot read {}: {e}", data.display()))?)
+    }
+}
+
+fn report_skipped<W: Write>(report: &csv::CsvReport, out: &mut W) -> std::io::Result<()> {
+    if !report.skipped.is_empty() {
+        writeln!(
+            out,
+            "skipped {} malformed row(s); first: {}",
+            report.skipped.len(),
+            report.skipped[0]
+        )?;
+    }
+    Ok(())
+}
+
+fn load_pipeline(path: &Path) -> Result<HdcPipeline, Box<dyn Error>> {
     let file =
         File::open(path).map_err(|e| format!("cannot open model {}: {e}", path.display()))?;
     Ok(HdcPipeline::read_from(BufReader::new(file))?)

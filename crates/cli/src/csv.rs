@@ -1,4 +1,11 @@
 //! Minimal CSV reading for numeric feature matrices.
+//!
+//! Two modes: strict ([`parse`]/[`read_file`]) fails on the first
+//! malformed row with an error carrying the line and column; tolerant
+//! ([`parse_tolerant`]/[`read_file_opts`] with `skip_bad_rows`)
+//! quarantines malformed rows into the report and keeps going — the
+//! `--skip-bad-rows` serving posture, where one corrupt sensor reading
+//! must not take down the stream.
 
 use std::fmt;
 use std::path::Path;
@@ -13,101 +20,117 @@ pub struct CsvData {
     pub labels: Option<Vec<usize>>,
 }
 
-/// A CSV parsing failure with line context.
+/// A CSV parsing failure with line and column context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsvError {
     message: String,
+    line: Option<usize>,
+    column: Option<usize>,
 }
 
 impl CsvError {
     fn new(message: impl Into<String>) -> Self {
         CsvError {
             message: message.into(),
+            line: None,
+            column: None,
         }
+    }
+
+    fn at(message: impl Into<String>, line: usize, column: Option<usize>) -> Self {
+        CsvError {
+            message: message.into(),
+            line: Some(line),
+            column,
+        }
+    }
+
+    /// 1-based line number of the offending row, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// 1-based column number of the offending cell, when known.
+    pub fn column(&self) -> Option<usize> {
+        self.column
     }
 }
 
 impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.message)
+        match (self.line, self.column) {
+            (Some(l), Some(c)) => write!(f, "line {l}, column {c}: {}", self.message),
+            (Some(l), None) => write!(f, "line {l}: {}", self.message),
+            _ => f.write_str(&self.message),
+        }
     }
 }
 
 impl std::error::Error for CsvError {}
+
+/// The outcome of a tolerant parse: the clean rows plus every
+/// quarantined failure (with its line and column preserved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvReport {
+    /// Rows that parsed cleanly.
+    pub data: CsvData,
+    /// Malformed rows, in input order.
+    pub skipped: Vec<CsvError>,
+}
 
 /// Reads a CSV file; with `labeled`, the last column becomes the label.
 ///
 /// # Errors
 ///
 /// Returns an error on I/O failure, non-numeric cells, ragged rows, or an
-/// empty file.
+/// empty file; parse errors carry the line and column.
 pub fn read_file(path: &Path, labeled: bool) -> Result<CsvData, CsvError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CsvError::new(format!("cannot read {}: {e}", path.display())))?;
     parse(&text, labeled)
 }
 
-/// Parses CSV text; blank lines and `#` comments are skipped.
+/// Reads a CSV file, optionally quarantining malformed rows instead of
+/// failing on the first one (`--skip-bad-rows`).
 ///
 /// # Errors
 ///
-/// Returns an error on non-numeric cells, ragged rows, or empty input.
+/// Returns an error on I/O failure; in strict mode also on the first
+/// malformed row; in tolerant mode only when no row parses at all.
+pub fn read_file_opts(
+    path: &Path,
+    labeled: bool,
+    skip_bad_rows: bool,
+) -> Result<CsvReport, CsvError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CsvError::new(format!("cannot read {}: {e}", path.display())))?;
+    if skip_bad_rows {
+        parse_tolerant(&text, labeled)
+    } else {
+        parse(&text, labeled).map(|data| CsvReport {
+            data,
+            skipped: Vec::new(),
+        })
+    }
+}
+
+/// Parses CSV text strictly; blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns an error on non-numeric cells, ragged rows, or empty input;
+/// the error carries the 1-based line and column of the first offense.
 pub fn parse(text: &str, labeled: bool) -> Result<CsvData, CsvError> {
     let mut features = Vec::new();
     let mut labels = if labeled { Some(Vec::new()) } else { None };
     let mut width: Option<usize> = None;
 
     for (line_no, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        let Some((row, label)) = parse_row(raw, line_no + 1, labeled, &mut width)? else {
             continue;
-        }
-        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
-        if let Some(w) = width {
-            if cells.len() != w {
-                return Err(CsvError::new(format!(
-                    "line {}: expected {w} columns, found {}",
-                    line_no + 1,
-                    cells.len()
-                )));
-            }
-        } else {
-            let min = if labeled { 2 } else { 1 };
-            if cells.len() < min {
-                return Err(CsvError::new(format!(
-                    "line {}: need at least {min} columns",
-                    line_no + 1
-                )));
-            }
-            width = Some(cells.len());
-        }
-        let feature_cells = if labeled {
-            &cells[..cells.len() - 1]
-        } else {
-            &cells[..]
         };
-        let mut row = Vec::with_capacity(feature_cells.len());
-        for cell in feature_cells {
-            let v: f64 = cell.parse().map_err(|_| {
-                CsvError::new(format!("line {}: `{cell}` is not a number", line_no + 1))
-            })?;
-            if !v.is_finite() {
-                return Err(CsvError::new(format!(
-                    "line {}: non-finite value `{cell}`",
-                    line_no + 1
-                )));
-            }
-            row.push(v);
-        }
         features.push(row);
-        if let Some(labels) = &mut labels {
-            let cell = cells[cells.len() - 1];
-            let label: usize = cell.parse().map_err(|_| {
-                CsvError::new(format!(
-                    "line {}: label `{cell}` is not a non-negative integer",
-                    line_no + 1
-                ))
-            })?;
+        if let (Some(labels), Some(label)) = (&mut labels, label) {
             labels.push(label);
         }
     }
@@ -115,6 +138,118 @@ pub fn parse(text: &str, labeled: bool) -> Result<CsvData, CsvError> {
         return Err(CsvError::new("no data rows found"));
     }
     Ok(CsvData { features, labels })
+}
+
+/// Parses CSV text, quarantining malformed rows instead of failing:
+/// every bad row lands in the report's `skipped` list (with line and
+/// column) and parsing continues.
+///
+/// # Errors
+///
+/// Returns an error only when not a single row parses cleanly.
+pub fn parse_tolerant(text: &str, labeled: bool) -> Result<CsvReport, CsvError> {
+    let mut features = Vec::new();
+    let mut labels = if labeled { Some(Vec::new()) } else { None };
+    let mut width: Option<usize> = None;
+    let mut skipped = Vec::new();
+
+    for (line_no, raw) in text.lines().enumerate() {
+        match parse_row(raw, line_no + 1, labeled, &mut width) {
+            Ok(Some((row, label))) => {
+                features.push(row);
+                if let (Some(labels), Some(label)) = (&mut labels, label) {
+                    labels.push(label);
+                }
+            }
+            Ok(None) => {}
+            Err(e) => skipped.push(e),
+        }
+    }
+    if features.is_empty() {
+        return Err(CsvError::new(format!(
+            "no clean data rows found ({} malformed)",
+            skipped.len()
+        )));
+    }
+    Ok(CsvReport {
+        data: CsvData { features, labels },
+        skipped,
+    })
+}
+
+/// A parsed data row: features plus the label when the file is labeled.
+type ParsedRow = (Vec<f64>, Option<usize>);
+
+/// Parses one raw line. Returns `Ok(None)` for blank/comment lines,
+/// `Ok(Some((features, label)))` for a data row. The first valid data
+/// row fixes the column count in `width`; later rows must match it.
+fn parse_row(
+    raw: &str,
+    line_no: usize,
+    labeled: bool,
+    width: &mut Option<usize>,
+) -> Result<Option<ParsedRow>, CsvError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+    if let Some(w) = *width {
+        if cells.len() != w {
+            return Err(CsvError::at(
+                format!("expected {w} columns, found {}", cells.len()),
+                line_no,
+                None,
+            ));
+        }
+    } else {
+        let min = if labeled { 2 } else { 1 };
+        if cells.len() < min {
+            return Err(CsvError::at(
+                format!("need at least {min} columns"),
+                line_no,
+                None,
+            ));
+        }
+    }
+    let feature_cells = if labeled {
+        &cells[..cells.len() - 1]
+    } else {
+        &cells[..]
+    };
+    let mut row = Vec::with_capacity(feature_cells.len());
+    for (col, cell) in feature_cells.iter().enumerate() {
+        let v: f64 = cell.parse().map_err(|_| {
+            CsvError::at(format!("`{cell}` is not a number"), line_no, Some(col + 1))
+        })?;
+        if !v.is_finite() {
+            return Err(CsvError::at(
+                format!("non-finite value `{cell}`"),
+                line_no,
+                Some(col + 1),
+            ));
+        }
+        row.push(v);
+    }
+    let label = if labeled {
+        let col = cells.len();
+        let cell = cells[col - 1];
+        Some(cell.parse().map_err(|_| {
+            CsvError::at(
+                format!("label `{cell}` is not a non-negative integer"),
+                line_no,
+                Some(col),
+            )
+        })?)
+    } else {
+        None
+    };
+    // Only a fully clean row may fix the width: a malformed first row
+    // must not poison the width for tolerant parsing.
+    if width.is_none() {
+        *width = Some(cells.len());
+    }
+    Ok(Some((row, label)))
 }
 
 /// Number of classes implied by a label column (`max + 1`).
@@ -150,5 +285,52 @@ mod tests {
         assert!(parse("1.0,1.5\n", true).is_err()); // non-integer label
         assert!(parse("5\n", true).is_err()); // label but no features
         assert!(parse("1,inf,0\n", true).is_err()); // non-finite
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse("1,2,0\n1,abc,1\n", true).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert_eq!(err.column(), Some(2));
+        assert!(err.to_string().contains("line 2, column 2"));
+
+        let err = parse("1,2,0\n1,2,x\n", true).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert_eq!(err.column(), Some(3));
+
+        // Ragged rows know the line but not a single offending column.
+        let err = parse("1,2,0\n1,2,3,0\n", true).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert_eq!(err.column(), None);
+    }
+
+    #[test]
+    fn tolerant_parse_quarantines_and_counts() {
+        let text = "1,2,0\nnan,2,1\n3,4,1\n5,6\n7,8,oops\n9,10,1\n";
+        let report = parse_tolerant(text, true).unwrap();
+        assert_eq!(
+            report.data.features,
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![9.0, 10.0]]
+        );
+        assert_eq!(report.data.labels, Some(vec![0, 1, 1]));
+        assert_eq!(report.skipped.len(), 3);
+        assert_eq!(report.skipped[0].line(), Some(2));
+        assert_eq!(report.skipped[1].line(), Some(4));
+        assert_eq!(report.skipped[2].line(), Some(5));
+    }
+
+    #[test]
+    fn tolerant_parse_ignores_a_malformed_first_row() {
+        // The bad first row must not fix the expected width.
+        let report = parse_tolerant("bad,row,here,x\n1,2,0\n3,4,1\n", true).unwrap();
+        assert_eq!(report.data.features.len(), 2);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].line(), Some(1));
+    }
+
+    #[test]
+    fn tolerant_parse_fails_when_nothing_is_clean() {
+        let err = parse_tolerant("a,b,c\nx,y,z\n", true).unwrap_err();
+        assert!(err.to_string().contains("2 malformed"));
     }
 }

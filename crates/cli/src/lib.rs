@@ -12,12 +12,21 @@
 //! $ generic predict --model model.ghdc --data test.csv --labeled
 //! $ generic cluster --data points.csv --k 3
 //! $ generic info    --model model.ghdc
+//! $ generic serve   --ckpt-dir ckpts --data - --model model.ghdc --budget-us 500
 //! ```
 //!
 //! CSV conventions: one sample per row, comma-separated numeric features;
 //! with `--labeled` (and always for `train`) the **last column** is an
 //! integer class label. Lines starting with `#` and blank lines are
-//! ignored.
+//! ignored. With `--skip-bad-rows`, malformed rows are quarantined and
+//! counted instead of aborting.
+//!
+//! `serve` is the long-lived-service entry point: it streams interleaved
+//! learning/inference rows through the crash-safe
+//! [`runtime`](generic_hdc::runtime) (atomic checkpoints in `--ckpt-dir`,
+//! deadline-aware degraded inference under `--budget-us`, quarantine for
+//! hostile input) and recovers from the newest intact checkpoint
+//! generation on restart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

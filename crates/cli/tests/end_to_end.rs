@@ -135,6 +135,146 @@ fn cluster_reports_nmi_for_labeled_data() {
 }
 
 #[test]
+fn serve_streams_learns_and_survives_restart() {
+    let dir = temp_dir("serve");
+    let train_csv = write_dataset(&dir, "train.csv", true);
+    let model = dir.join("model.ghdc");
+    let ckpt_dir = dir.join("ckpts");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "train",
+            "--data",
+            train_csv.to_str().expect("utf-8 path"),
+            "--out",
+            model.to_str().expect("utf-8 path"),
+            "--dim",
+            "1024",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 0);
+
+    // An interleaved stream: learning rows (10 cols), inference rows
+    // (9 cols), a NaN row the runtime must quarantine, and a ragged row
+    // that --skip-bad-rows must absorb.
+    let stream = dir.join("stream.csv");
+    let mut text = String::new();
+    for i in 0..30 {
+        let class = i % 3;
+        for j in 0..9 {
+            let band = j / 3;
+            let v = if band == class { 8.0 } else { 1.0 };
+            let _ = write!(text, "{v:.1},");
+        }
+        if i % 5 == 0 {
+            text.pop();
+            text.push('\n'); // inference request
+        } else {
+            let _ = writeln!(text, "{class}"); // learning sample
+        }
+    }
+    text.push_str("nan,1,1,1,1,1,1,1,1,0\n"); // quarantined by the runtime
+    text.push_str("1,2,3\n"); // ragged: needs --skip-bad-rows
+    std::fs::write(&stream, text).expect("temp dir is writable");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "serve",
+            "--ckpt-dir",
+            ckpt_dir.to_str().expect("utf-8 path"),
+            "--data",
+            stream.to_str().expect("utf-8 path"),
+            "--model",
+            model.to_str().expect("utf-8 path"),
+            "--checkpoint-every",
+            "8",
+            "--skip-bad-rows",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "serve failed: {text}");
+    assert!(text.contains("bootstrapped from"), "{text}");
+    assert!(text.contains("quarantined 1, bad rows 1"), "{text}");
+    assert!(text.contains("stream done"), "{text}");
+
+    // Restart without --model: the runtime must recover from the newest
+    // checkpoint generation and keep serving.
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "serve",
+            "--ckpt-dir",
+            ckpt_dir.to_str().expect("utf-8 path"),
+            "--data",
+            stream.to_str().expect("utf-8 path"),
+            "--skip-bad-rows",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "recovery serve failed: {text}");
+    assert!(text.contains("recovered generation"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn skip_bad_rows_quarantines_malformed_training_rows() {
+    let dir = temp_dir("skip-bad");
+    let train_csv = write_dataset(&dir, "train.csv", true);
+    // Poison the file with malformed rows.
+    let mut text = std::fs::read_to_string(&train_csv).expect("readable");
+    text.push_str("not,a,number,at,all,x,y,z,w,0\n");
+    text.push_str("1,2\n");
+    std::fs::write(&train_csv, text).expect("writable");
+    let model = dir.join("model.ghdc");
+
+    // Strict mode fails with line context.
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "train",
+            "--data",
+            train_csv.to_str().expect("utf-8 path"),
+            "--out",
+            model.to_str().expect("utf-8 path"),
+            "--dim",
+            "512",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("line 92"), "{text}");
+
+    // Tolerant mode trains on the clean rows and reports the skips.
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "train",
+            "--data",
+            train_csv.to_str().expect("utf-8 path"),
+            "--out",
+            model.to_str().expect("utf-8 path"),
+            "--dim",
+            "512",
+            "--skip-bad-rows",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("skipped 2 malformed row(s)"), "{text}");
+    assert!(text.contains("trained on 90 samples"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_prints_help_and_fails() {
     let mut out = Vec::new();
     let code = run(&argv(&["frobnicate"]), &mut out);

@@ -17,6 +17,12 @@
 //! everything before it, so a model damaged in transit or storage fails
 //! with [`ReadModelError::ChecksumMismatch`] instead of silently loading
 //! flipped class elements. Version 1 streams (no footer) remain readable.
+//!
+//! This module is part of the panic-free serving surface: no code path
+//! reachable from a public API may `unwrap`/`expect` — every failure
+//! surfaces as a typed [`ReadModelError`] (or an `io::Error` on writes).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::io::{self, Read, Write};
 
@@ -145,7 +151,9 @@ pub(crate) fn read_envelope<R: Read>(mut reader: R) -> Result<Vec<u8>, ReadModel
                 return Err(unexpected_eof("stream shorter than a sealed header"));
             }
             let body_len = bytes.len() - 4;
-            let stored = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+            let mut footer = [0u8; 4];
+            footer.copy_from_slice(&bytes[body_len..]);
+            let stored = u32::from_le_bytes(footer);
             let computed = crc32(&bytes[..body_len]);
             if stored != computed {
                 return Err(ReadModelError::ChecksumMismatch { stored, computed });
@@ -177,8 +185,7 @@ pub(crate) fn expect_consumed(rest: &[u8]) -> Result<(), ReadModelError> {
 /// Returns any underlying I/O error.
 pub fn write_model<W: Write>(model: &HdcModel, mut writer: W) -> io::Result<()> {
     let mut buf = Vec::new();
-    write_header(&mut buf, KIND_FULL, 16, model.dim(), model.n_classes())
-        .expect("vec write cannot fail");
+    write_header(&mut buf, KIND_FULL, 16, model.dim(), model.n_classes());
     for class in model.iter() {
         for &v in class.values() {
             buf.extend_from_slice(&v.to_le_bytes());
@@ -225,8 +232,7 @@ pub fn write_quantized<W: Write>(model: &QuantizedModel, mut writer: W) -> io::R
         model.bit_width(),
         model.dim(),
         model.n_classes(),
-    )
-    .expect("vec write cannot fail");
+    );
     for c in 0..model.n_classes() {
         for &v in model.class(c) {
             buf.extend_from_slice(&v.to_le_bytes());
@@ -270,18 +276,11 @@ struct Header {
     n_classes: usize,
 }
 
-fn write_header<W: Write>(
-    writer: &mut W,
-    kind: u8,
-    bit_width: u8,
-    dim: usize,
-    n_classes: usize,
-) -> io::Result<()> {
-    writer.write_all(&MAGIC)?;
-    writer.write_all(&[VERSION, kind, bit_width, 0])?;
-    writer.write_all(&(dim as u32).to_le_bytes())?;
-    writer.write_all(&(n_classes as u32).to_le_bytes())?;
-    Ok(())
+fn write_header(buf: &mut Vec<u8>, kind: u8, bit_width: u8, dim: usize, n_classes: usize) {
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&[VERSION, kind, bit_width, 0]);
+    buf.extend_from_slice(&(dim as u32).to_le_bytes());
+    buf.extend_from_slice(&(n_classes as u32).to_le_bytes());
 }
 
 fn read_header<R: Read>(reader: &mut R, expected_kind: u8) -> Result<Header, ReadModelError> {
@@ -328,6 +327,7 @@ fn read_header<R: Read>(reader: &mut R, expected_kind: u8) -> Result<Header, Rea
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::BinaryHv;

@@ -29,6 +29,10 @@
 //! - resilient inference: confidence-gated escalation from reduced to full
 //!   dimensions, majority voting over redundant reads, and periodic class
 //!   memory scrubbing ([`ResilientPipeline`]),
+//! - a crash-safe streaming online-learning runtime: atomic
+//!   generation-numbered checkpoints, deadline-aware graceful degradation
+//!   over the sub-norm reduction tiers, and quarantine-not-panic input
+//!   handling (module [`runtime`]),
 //! - HDC clustering with copy-centroid epochs ([`HdcClustering`]),
 //! - evaluation metrics: accuracy and normalized mutual information
 //!   (module [`metrics`]).
@@ -50,7 +54,7 @@
 //!
 //! let encoded = encoder.encode_batch(&train)?;
 //! let mut model = HdcModel::fit(&encoded, &labels, 2)?;
-//! model.retrain(&encoded, &labels, 5);
+//! model.retrain(&encoded, &labels, 5)?;
 //!
 //! let query = encoder.encode(&[0.1; 8])?;
 //! assert_eq!(model.predict(&query), 0);
@@ -76,6 +80,7 @@ mod resilient;
 pub mod encoding;
 pub mod io;
 pub mod metrics;
+pub mod runtime;
 
 pub use binary_model::BinaryModel;
 pub use cluster::{ClusteringOutcome, HdcClustering, HdcClusteringSpec};
@@ -88,6 +93,10 @@ pub use model::{HdcModel, NormMode, PredictOptions};
 pub use pipeline::HdcPipeline;
 pub use quant::{PackedQuantizedModel, QuantizedModel};
 pub use resilient::{ResilienceConfig, ResilienceStats, ResilientPipeline};
+pub use runtime::{
+    CheckpointStore, DegradationLadder, OnlineRuntime, RetryPolicy, RuntimeConfig, RuntimeError,
+    RuntimeStats,
+};
 
 /// Number of encoding dimensions the GENERIC accelerator produces per pass
 /// over the stored input (the architectural constant *m* of §4.1).

@@ -1,4 +1,11 @@
 //! HDC classification model: training, retraining, and inference.
+//!
+//! This module is part of the panic-free serving surface: apart from the
+//! documented contract `assert!`s on the scoring fast paths, no code path
+//! reachable from a public API may `unwrap`/`expect` — fallible
+//! operations return typed [`HdcError`]s instead.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::{HdcError, IntHv, SUB_NORM_CHUNK};
 
@@ -230,27 +237,26 @@ impl HdcModel {
     /// Runs up to `epochs` retraining epochs, stopping early once an epoch
     /// makes no mistakes. Returns the per-epoch error counts.
     ///
-    /// Invalid inputs (already validated by [`HdcModel::fit`]) are treated
-    /// as programmer error here to keep the training loop ergonomic; use
-    /// [`HdcModel::retrain_epoch`] for explicit error handling.
+    /// # Errors
     ///
-    /// # Panics
-    ///
-    /// Panics if `encoded`/`labels` disagree with the model (lengths,
-    /// labels, or dimensions).
-    pub fn retrain(&mut self, encoded: &[IntHv], labels: &[usize], epochs: usize) -> Vec<usize> {
+    /// Returns an error if `encoded`/`labels` disagree with the model
+    /// (lengths, labels, or dimensions).
+    pub fn retrain(
+        &mut self,
+        encoded: &[IntHv],
+        labels: &[usize],
+        epochs: usize,
+    ) -> Result<Vec<usize>, HdcError> {
         let mut history = Vec::with_capacity(epochs);
         for _ in 0..epochs {
-            let errors = self
-                .retrain_epoch(encoded, labels)
-                .expect("inputs validated by fit; retrain called with consistent data");
+            let errors = self.retrain_epoch(encoded, labels)?;
             let done = errors == 0;
             history.push(errors);
             if done {
                 break;
             }
         }
-        history
+        Ok(history)
     }
 
     /// One retraining epoch through the retained scalar scoring kernel
@@ -308,28 +314,26 @@ impl HdcModel {
     /// early stopping, mirroring [`retrain`](HdcModel::retrain) — the
     /// retained end-to-end scalar baseline.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `encoded`/`labels` disagree with the model (lengths,
-    /// labels, or dimensions).
+    /// Returns an error if `encoded`/`labels` disagree with the model
+    /// (lengths, labels, or dimensions).
     pub fn retrain_scalar(
         &mut self,
         encoded: &[IntHv],
         labels: &[usize],
         epochs: usize,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, HdcError> {
         let mut history = Vec::with_capacity(epochs);
         for _ in 0..epochs {
-            let errors = self
-                .retrain_epoch_scalar(encoded, labels)
-                .expect("inputs validated by fit; retrain called with consistent data");
+            let errors = self.retrain_epoch_scalar(encoded, labels)?;
             let done = errors == 0;
             history.push(errors);
             if done {
                 break;
             }
         }
-        history
+        Ok(history)
     }
 
     /// One retraining epoch with the prediction work fanned out over
@@ -407,7 +411,12 @@ impl HdcModel {
                     })
                     .collect();
                 for handle in handles {
-                    gathered.extend(handle.join().expect("score workers do not panic"));
+                    match handle.join() {
+                        Ok(part) => gathered.extend(part),
+                        // A worker only panics if the process is already
+                        // unwinding from a bug; propagate, don't mask.
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
                 }
             });
 
@@ -418,9 +427,7 @@ impl HdcModel {
                 if any_dirty {
                     for (c, scr) in scores.iter_mut().enumerate() {
                         if dirty[c] {
-                            let dot = hv
-                                .dot_prefix(&self.classes[c], opts.dims)
-                                .expect("dims validated above");
+                            let dot = hv.dot_prefix(&self.classes[c], opts.dims)?;
                             *scr = self.normalize_score(dot, c, opts);
                         }
                     }
@@ -446,29 +453,27 @@ impl HdcModel {
     /// early stopping, mirroring [`retrain`](HdcModel::retrain) — same
     /// per-epoch error counts, same final model, for any thread count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `encoded`/`labels` disagree with the model (lengths,
-    /// labels, or dimensions).
+    /// Returns an error if `encoded`/`labels` disagree with the model
+    /// (lengths, labels, or dimensions).
     pub fn retrain_parallel(
         &mut self,
         encoded: &[IntHv],
         labels: &[usize],
         epochs: usize,
         n_threads: usize,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, HdcError> {
         let mut history = Vec::with_capacity(epochs);
         for _ in 0..epochs {
-            let errors = self
-                .retrain_epoch_parallel(encoded, labels, n_threads)
-                .expect("inputs validated by fit; retrain called with consistent data");
+            let errors = self.retrain_epoch_parallel(encoded, labels, n_threads)?;
             let done = errors == 0;
             history.push(errors);
             if done {
                 break;
             }
         }
-        history
+        Ok(history)
     }
 
     /// Hypervector dimensionality.
@@ -625,9 +630,10 @@ impl HdcModel {
             .iter()
             .enumerate()
             .map(|(c, class)| {
-                let dot = query
-                    .dot_prefix(class, opts.dims)
-                    .expect("dims validated above") as f64;
+                let dot = match query.dot_prefix(class, opts.dims) {
+                    Ok(d) => d as f64,
+                    Err(_) => unreachable!("dims validated by the asserts above"),
+                };
                 let norm2 = match opts.norm {
                     NormMode::Constant => self.sub_norms2[c].iter().sum::<f64>(),
                     NormMode::Updated => {
@@ -671,6 +677,31 @@ impl HdcModel {
     pub fn predict_with(&self, query: &IntHv, opts: PredictOptions) -> usize {
         let scores = self.scores_with(query, opts);
         argmax(&scores)
+    }
+
+    /// Non-panicking [`predict_with`](HdcModel::predict_with): the
+    /// serving-surface entry point, validating the query dimensionality
+    /// and `opts.dims` instead of asserting on them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when the query width
+    /// disagrees with the model and [`HdcError::InvalidParameter`] when
+    /// `opts.dims` is zero or exceeds the model dimensionality.
+    pub fn try_predict_with(&self, query: &IntHv, opts: PredictOptions) -> Result<usize, HdcError> {
+        if query.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        if opts.dims == 0 || opts.dims > self.dim {
+            return Err(HdcError::invalid(
+                "dims",
+                format!("{} out of range (1..={})", opts.dims, self.dim),
+            ));
+        }
+        Ok(self.predict_with(query, opts))
     }
 
     /// Predicts every query in one pass, reusing a single score buffer
@@ -752,17 +783,24 @@ impl HdcModel {
 
 /// Index of the maximum score with [`Iterator::max_by`] tie semantics
 /// (the last maximal element wins), shared by every prediction path so
-/// serial and parallel retraining agree bit-for-bit.
+/// serial and parallel retraining agree bit-for-bit. Panic-free: NaN
+/// scores are never selected (all comparisons against them are false)
+/// and an empty slice — impossible for a constructed model, which always
+/// has at least one class — maps to index 0.
 fn argmax(scores: &[f64]) -> usize {
-    scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
-        .map(|(i, _)| i)
-        .expect("model has at least one class")
+    let mut best = f64::NEG_INFINITY;
+    let mut idx = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s >= best {
+            best = s;
+            idx = i;
+        }
+    }
+    idx
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::BinaryHv;
@@ -798,7 +836,7 @@ mod tests {
     fn retrain_reduces_errors() {
         let (encoded, labels) = two_class_data(1024, 20);
         let mut model = HdcModel::fit(&encoded, &labels, 2).unwrap();
-        let history = model.retrain(&encoded, &labels, 10);
+        let history = model.retrain(&encoded, &labels, 10).unwrap();
         if history.len() > 1 {
             assert!(history.last().unwrap() <= history.first().unwrap());
         }
@@ -809,7 +847,7 @@ mod tests {
     fn retrain_stops_early_when_clean() {
         let (encoded, labels) = two_class_data(2048, 5);
         let mut model = HdcModel::fit(&encoded, &labels, 2).unwrap();
-        let history = model.retrain(&encoded, &labels, 50);
+        let history = model.retrain(&encoded, &labels, 50).unwrap();
         assert!(history.len() < 50, "should converge: {history:?}");
         assert_eq!(*history.last().unwrap(), 0);
     }
@@ -960,8 +998,10 @@ mod tests {
         for threads in [2usize, 3, 8] {
             let mut serial = HdcModel::fit(&encoded, &labels, 2).unwrap();
             let mut parallel = serial.clone();
-            let hist_s = serial.retrain(&encoded, &labels, 10);
-            let hist_p = parallel.retrain_parallel(&encoded, &labels, 10, threads);
+            let hist_s = serial.retrain(&encoded, &labels, 10).unwrap();
+            let hist_p = parallel
+                .retrain_parallel(&encoded, &labels, 10, threads)
+                .unwrap();
             assert_eq!(hist_s, hist_p, "threads={threads}");
             assert_eq!(serial, parallel, "threads={threads}");
         }
@@ -972,8 +1012,8 @@ mod tests {
         let (encoded, labels) = two_class_data(1000, 20); // not a multiple of 128
         let mut blocked = HdcModel::fit(&encoded, &labels, 2).unwrap();
         let mut scalar = blocked.clone();
-        let hist_b = blocked.retrain(&encoded, &labels, 10);
-        let hist_s = scalar.retrain_scalar(&encoded, &labels, 10);
+        let hist_b = blocked.retrain(&encoded, &labels, 10).unwrap();
+        let hist_s = scalar.retrain_scalar(&encoded, &labels, 10).unwrap();
         assert_eq!(hist_b, hist_s);
         assert_eq!(blocked, scalar);
     }

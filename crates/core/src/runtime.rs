@@ -1,0 +1,1565 @@
+//! Crash-safe streaming online-learning runtime (§1, §4.3): consume
+//! samples one at a time, answer inference requests under per-request
+//! deadlines, and fold labeled samples into the model incrementally —
+//! without ever losing more than one checkpoint interval of learning to
+//! a crash, and without ever panicking on hostile input.
+//!
+//! Three pillars:
+//!
+//! 1. **Crash-safe persistence** — [`CheckpointStore`] writes
+//!    generation-numbered checkpoints through the GHDC v2 envelope
+//!    (write to temp file → `fsync` → atomic rename → directory
+//!    `fsync`). Startup recovery scans the generations newest-first,
+//!    rejects corrupt or truncated files via the CRC32 footer, and
+//!    falls back to the newest intact one.
+//! 2. **Graceful degradation under load** — each request carries a time
+//!    budget; the [`DegradationLadder`] built on the per-128-dimension
+//!    sub-norm reduction tiers (§4.3.3) picks the widest tier whose
+//!    EWMA-estimated latency fits the budget, escalating back to full
+//!    dimensionality when slack allows. Transient checkpoint I/O
+//!    failures are retried with bounded exponential backoff
+//!    ([`RetryPolicy`]).
+//! 3. **Guarded online updates** — inputs are sanitized (NaN/Inf,
+//!    wrong width, out-of-range features, bad labels are quarantined
+//!    into a bounded dead-letter buffer, never a panic), drift triggers
+//!    bounded retraining through
+//!    [`retrain_epoch_parallel`](crate::HdcModel::retrain_epoch_parallel), and
+//!    held-out accuracy regressions roll the model back to the previous
+//!    checkpoint generation.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::io::ReadModelError;
+use crate::{HdcError, HdcPipeline, IntHv, NormMode, PredictOptions, SUB_NORM_CHUNK};
+
+/// Checkpoint files are GHDC v2 envelopes with this `kind` byte: a
+/// runtime header (generation, samples seen, held-out accuracy) wrapping
+/// a nested — itself sealed — pipeline stream.
+const CKPT_KIND: u8 = 3;
+
+/// Checkpoint file name prefix; the zero-padded generation number keeps
+/// lexical and numeric order identical.
+const CKPT_PREFIX: &str = "ckpt-";
+const CKPT_SUFFIX: &str = ".ghdc";
+const CKPT_TMP_SUFFIX: &str = ".tmp";
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why the sanitizer refused a sample.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The sample had the wrong number of features.
+    WrongWidth {
+        /// Feature count the pipeline expects.
+        expected: usize,
+        /// Feature count of the offending sample.
+        actual: usize,
+    },
+    /// A feature was NaN or infinite.
+    NonFinite {
+        /// Zero-based feature index.
+        column: usize,
+    },
+    /// A feature fell far outside the range the quantizer was fitted on.
+    OutOfRange {
+        /// Zero-based feature index.
+        column: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A label was outside `0..n_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model serves.
+        n_classes: usize,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::WrongWidth { expected, actual } => {
+                write!(
+                    f,
+                    "sample has {actual} features, pipeline expects {expected}"
+                )
+            }
+            RejectReason::NonFinite { column } => {
+                write!(f, "non-finite feature at column {column}")
+            }
+            RejectReason::OutOfRange { column, value } => {
+                write!(
+                    f,
+                    "feature {value} at column {column} outside the trained range"
+                )
+            }
+            RejectReason::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+        }
+    }
+}
+
+/// Errors surfaced by the runtime. Everything a caller can trigger is
+/// typed; nothing panics.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// Underlying checkpoint I/O failure (after retries, for writes).
+    Io(io::Error),
+    /// A model-level failure (dimension mismatch, bad label, …).
+    Model(HdcError),
+    /// A checkpoint stream failed to decode.
+    Checkpoint(ReadModelError),
+    /// Recovery found no intact checkpoint in the store.
+    NoCheckpoint,
+    /// The requested generation does not exist in the store.
+    NoSuchGeneration(u64),
+    /// The sanitizer quarantined the sample instead of processing it.
+    Rejected(RejectReason),
+    /// The request was shed: even the narrowest degradation tier is
+    /// estimated to blow the deadline (only with
+    /// [`RuntimeConfig::shed_hopeless`]).
+    DeadlineShed {
+        /// The budget the request carried.
+        budget: Duration,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Io(e) => write!(f, "checkpoint i/o failure: {e}"),
+            RuntimeError::Model(e) => write!(f, "model failure: {e}"),
+            RuntimeError::Checkpoint(e) => write!(f, "checkpoint decode failure: {e}"),
+            RuntimeError::NoCheckpoint => write!(f, "no intact checkpoint found"),
+            RuntimeError::NoSuchGeneration(g) => write!(f, "no checkpoint generation {g}"),
+            RuntimeError::Rejected(r) => write!(f, "sample quarantined: {r}"),
+            RuntimeError::DeadlineShed { budget } => {
+                write!(
+                    f,
+                    "request shed: {budget:?} budget below the degradation floor"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Io(e) => Some(e),
+            RuntimeError::Model(e) => Some(e),
+            RuntimeError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RuntimeError {
+    fn from(e: io::Error) -> Self {
+        RuntimeError::Io(e)
+    }
+}
+
+impl From<HdcError> for RuntimeError {
+    fn from(e: HdcError) -> Self {
+        RuntimeError::Model(e)
+    }
+}
+
+impl From<ReadModelError> for RuntimeError {
+    fn from(e: ReadModelError) -> Self {
+        RuntimeError::Checkpoint(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Bounded retry with exponential backoff for transient checkpoint I/O
+/// failures (a busy SD card, a momentary `EAGAIN`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1); 1 disables retrying.
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Runs `op` until it succeeds or the attempt budget is exhausted,
+    /// sleeping `base_delay * 2^i` between attempts. Returns the last
+    /// error on exhaustion.
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let attempts = self.attempts.max(1);
+        let mut delay = self.base_delay;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => last_err = Some(e),
+            }
+            if attempt + 1 < attempts && !delay.is_zero() {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("retry budget empty")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint store
+// ---------------------------------------------------------------------------
+
+/// A checkpoint loaded back from disk.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The restored pipeline.
+    pub pipeline: HdcPipeline,
+    /// Generation number (monotonically increasing per save).
+    pub generation: u64,
+    /// Labeled samples that had been folded into the model when the
+    /// checkpoint was written.
+    pub seen: u64,
+    /// Held-out accuracy recorded at checkpoint time (NaN-free; 0 when
+    /// no held-out data existed yet).
+    pub holdout_accuracy: f64,
+}
+
+/// What startup recovery found.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The newest intact checkpoint, if any survived.
+    pub checkpoint: Option<Checkpoint>,
+    /// Generations present on disk (intact or not).
+    pub scanned: usize,
+    /// Generations that failed to load, newest first, with the reason —
+    /// corrupt and truncated files land here instead of aborting
+    /// recovery.
+    pub rejected: Vec<(u64, String)>,
+    /// Wall-clock time recovery took.
+    pub elapsed: Duration,
+}
+
+/// Generation-numbered, atomically-replaced checkpoints in a directory.
+///
+/// Every write goes to `ckpt-<gen>.ghdc.tmp`, is flushed with
+/// `fsync`, then atomically renamed to `ckpt-<gen>.ghdc`, and the
+/// directory entry is flushed too — a `kill -9` at any instant leaves
+/// either the old generation set or the old set plus the complete new
+/// file, never a half-written visible checkpoint. Stray `.tmp` files
+/// are ignored (and garbage-collected on the next save).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+    retry: RetryPolicy,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory, keeping at
+    /// most `keep` generations on disk (≥ 1; older ones are pruned
+    /// after each successful save).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize, retry: RetryPolicy) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            keep: keep.max(1),
+            retry,
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Serializes `pipeline` as generation `generation` and atomically
+    /// publishes it, retrying transient failures per the store's
+    /// [`RetryPolicy`]. Returns the published path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last I/O error once the retry budget is exhausted.
+    pub fn save(
+        &self,
+        pipeline: &HdcPipeline,
+        generation: u64,
+        seen: u64,
+        holdout_accuracy: f64,
+    ) -> Result<PathBuf, RuntimeError> {
+        let bytes = encode_checkpoint(pipeline, generation, seen, holdout_accuracy)?;
+        let final_path = self.dir.join(file_name(generation));
+        let tmp_path = self
+            .dir
+            .join(format!("{}{}", file_name(generation), CKPT_TMP_SUFFIX));
+        self.retry.run(|| {
+            let mut file = std::fs::File::create(&tmp_path)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp_path, &final_path)?;
+            sync_dir(&self.dir)
+        })?;
+        self.prune();
+        Ok(final_path)
+    }
+
+    /// Scans the store newest-generation-first and loads the first
+    /// intact checkpoint; corrupt or truncated files are recorded in the
+    /// report and skipped, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the directory itself cannot be read.
+    pub fn recover(&self) -> Result<RecoveryReport, RuntimeError> {
+        let start = Instant::now();
+        let generations = self.generations()?;
+        let scanned = generations.len();
+        let mut rejected = Vec::new();
+        let mut checkpoint = None;
+        for gen in generations {
+            match self.load_generation(gen) {
+                Ok(c) => {
+                    checkpoint = Some(c);
+                    break;
+                }
+                Err(e) => rejected.push((gen, e.to_string())),
+            }
+        }
+        Ok(RecoveryReport {
+            checkpoint,
+            scanned,
+            rejected,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Loads one specific generation, validating the full envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoSuchGeneration`] when absent, a
+    /// [`RuntimeError::Checkpoint`] when the file fails validation.
+    pub fn load_generation(&self, generation: u64) -> Result<Checkpoint, RuntimeError> {
+        let path = self.dir.join(file_name(generation));
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(RuntimeError::NoSuchGeneration(generation))
+            }
+            Err(e) => return Err(RuntimeError::Io(e)),
+        };
+        let ckpt = decode_checkpoint(&bytes)?;
+        if ckpt.generation != generation {
+            return Err(RuntimeError::Checkpoint(ReadModelError::Corrupt(
+                HdcError::invalid(
+                    "generation",
+                    format!(
+                        "file named {generation} contains generation {}",
+                        ckpt.generation
+                    ),
+                ),
+            )));
+        }
+        Ok(ckpt)
+    }
+
+    /// Generation numbers currently on disk, newest first. Stray temp
+    /// files and foreign names are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory cannot be read.
+    pub fn generations(&self) -> Result<Vec<u64>, RuntimeError> {
+        let mut gens = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(gen) = parse_file_name(&entry.file_name().to_string_lossy()) {
+                gens.push(gen);
+            }
+        }
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        Ok(gens)
+    }
+
+    /// Removes generations beyond the keep limit and stray temp files.
+    /// Best-effort: removal failures are ignored (they only cost disk).
+    fn prune(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut gens = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(CKPT_PREFIX) && name.ends_with(CKPT_TMP_SUFFIX) {
+                let _ = std::fs::remove_file(entry.path());
+            } else if let Some(gen) = parse_file_name(&name) {
+                gens.push(gen);
+            }
+        }
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        for &gen in gens.iter().skip(self.keep) {
+            let _ = std::fs::remove_file(self.dir.join(file_name(gen)));
+        }
+    }
+}
+
+fn file_name(generation: u64) -> String {
+    format!("{CKPT_PREFIX}{generation:020}{CKPT_SUFFIX}")
+}
+
+fn parse_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix(CKPT_PREFIX)?
+        .strip_suffix(CKPT_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// Flushes directory metadata so a just-renamed checkpoint survives
+/// power loss. Directory handles are only flushable on Unix; elsewhere
+/// the rename alone is the best the platform offers.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+fn encode_checkpoint(
+    pipeline: &HdcPipeline,
+    generation: u64,
+    seen: u64,
+    holdout_accuracy: f64,
+) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"GHDC");
+    buf.extend_from_slice(&[2, CKPT_KIND, 0, 0]);
+    buf.extend_from_slice(&generation.to_le_bytes());
+    buf.extend_from_slice(&seen.to_le_bytes());
+    buf.extend_from_slice(&holdout_accuracy.to_le_bytes());
+    pipeline.write_to(&mut buf)?;
+    crate::io::seal(&mut buf);
+    Ok(buf)
+}
+
+fn read_u64(bytes: &[u8]) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(word)
+}
+
+fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, ReadModelError> {
+    let body = crate::io::read_envelope(bytes)?;
+    if body.len() < 32 {
+        return Err(ReadModelError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "checkpoint shorter than its header",
+        )));
+    }
+    if body[5] != CKPT_KIND {
+        return Err(ReadModelError::WrongKind {
+            found: body[5],
+            expected: CKPT_KIND,
+        });
+    }
+    let generation = read_u64(&body[8..16]);
+    let seen = read_u64(&body[16..24]);
+    let holdout_accuracy = f64::from_le_bytes({
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&body[24..32]);
+        word
+    });
+    if !holdout_accuracy.is_finite() || !(0.0..=1.0).contains(&holdout_accuracy) {
+        return Err(ReadModelError::Corrupt(HdcError::invalid(
+            "holdout_accuracy",
+            "not a probability",
+        )));
+    }
+    let pipeline = HdcPipeline::read_from(&body[32..])?;
+    Ok(Checkpoint {
+        pipeline,
+        generation,
+        seen,
+        holdout_accuracy,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder
+// ---------------------------------------------------------------------------
+
+/// Deadline-aware tier selection over the on-demand dimension-reduction
+/// axis (§4.3.3).
+///
+/// Tiers are multiples of [`SUB_NORM_CHUNK`] doubling up to the full
+/// dimensionality, so every tier's norms come straight from the
+/// accelerator's per-chunk norm2 memory. Each tier keeps an EWMA of its
+/// observed serving latency; [`choose`](DegradationLadder::choose) picks
+/// the widest tier whose estimate fits the request budget, falling back
+/// to the narrowest tier (serve degraded rather than drop). A tier with
+/// no observations yet borrows the widest observed tier's estimate
+/// scaled by the dimension ratio; with no observations at all the
+/// ladder is optimistic and serves full-dimensional.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    tiers: Vec<usize>,
+    ewma_ns: Vec<f64>,
+    observed: Vec<bool>,
+    hits: Vec<u64>,
+    alpha: f64,
+}
+
+impl DegradationLadder {
+    /// Builds the ladder for a model of dimensionality `dim`; `alpha` is
+    /// the EWMA smoothing factor in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `dim == 0` or `alpha` is outside `(0, 1]`.
+    pub fn new(dim: usize, alpha: f64) -> Result<Self, HdcError> {
+        if dim == 0 {
+            return Err(HdcError::invalid("dim", "must be positive"));
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(HdcError::invalid("alpha", "must be in (0, 1]"));
+        }
+        let mut tiers = Vec::new();
+        let mut d = SUB_NORM_CHUNK;
+        while d < dim {
+            tiers.push(d);
+            d *= 2;
+        }
+        tiers.push(dim);
+        let n = tiers.len();
+        Ok(DegradationLadder {
+            tiers,
+            ewma_ns: vec![0.0; n],
+            observed: vec![false; n],
+            hits: vec![0; n],
+            alpha,
+        })
+    }
+
+    /// Number of tiers (≥ 1; the last is full-dimensional).
+    pub fn n_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Dimensions served by tier `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier >= self.n_tiers()`.
+    pub fn dims(&self, tier: usize) -> usize {
+        self.tiers[tier]
+    }
+
+    /// The full-dimensional tier index.
+    pub fn full_tier(&self) -> usize {
+        self.tiers.len() - 1
+    }
+
+    /// Per-tier serve counters (how often each tier was chosen and
+    /// observed), widest last.
+    pub fn hits(&self) -> &[u64] {
+        &self.hits
+    }
+
+    /// All tier widths, narrowest first.
+    pub fn tier_dims(&self) -> &[usize] {
+        &self.tiers
+    }
+
+    /// Estimated latency of `tier` in nanoseconds, or `None` before any
+    /// tier has been observed.
+    pub fn estimate_ns(&self, tier: usize) -> Option<f64> {
+        if self.observed[tier] {
+            return Some(self.ewma_ns[tier]);
+        }
+        // Borrow the widest observed tier's estimate, scaled by the
+        // dimension ratio (scoring cost is linear in dims).
+        self.observed
+            .iter()
+            .rposition(|&o| o)
+            .map(|t| self.ewma_ns[t] * self.tiers[tier] as f64 / self.tiers[t] as f64)
+    }
+
+    /// The widest tier whose latency estimate fits `budget_ns`; `None`
+    /// budget means no deadline (full dimensionality). Falls back to
+    /// tier 0 when nothing fits.
+    pub fn choose(&self, budget_ns: Option<u64>) -> usize {
+        let Some(budget) = budget_ns else {
+            return self.full_tier();
+        };
+        for tier in (0..self.tiers.len()).rev() {
+            match self.estimate_ns(tier) {
+                Some(est) if est > budget as f64 => continue,
+                _ => return tier,
+            }
+        }
+        0
+    }
+
+    /// True when even the narrowest tier's estimate exceeds
+    /// `budget_ns` — the request is hopeless and may be shed.
+    pub fn hopeless(&self, budget_ns: u64) -> bool {
+        matches!(self.estimate_ns(0), Some(est) if est > budget_ns as f64)
+    }
+
+    /// Folds one observed serve (`elapsed` at `tier`) into the tier's
+    /// EWMA and bumps its counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier >= self.n_tiers()`.
+    pub fn observe(&mut self, tier: usize, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as f64;
+        if self.observed[tier] {
+            self.ewma_ns[tier] += self.alpha * (ns - self.ewma_ns[tier]);
+        } else {
+            self.ewma_ns[tier] = ns;
+            self.observed[tier] = true;
+        }
+        self.hits[tier] += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// Tunables of the online-learning runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Labeled samples between automatic checkpoints (0 = manual only).
+    pub checkpoint_every: u64,
+    /// EWMA smoothing factor of the ladder's latency estimates.
+    pub ladder_alpha: f64,
+    /// Shed requests whose budget is below even the narrowest tier's
+    /// estimate instead of serving them late. Off by default: answer
+    /// degraded and count the deadline miss.
+    pub shed_hopeless: bool,
+    /// Replay-buffer capacity (recent clean labeled samples, encoded;
+    /// the corpus drift-triggered retraining runs on).
+    pub replay_capacity: usize,
+    /// Held-out buffer capacity (clean labeled samples diverted from
+    /// learning; the accuracy yardstick for rollback decisions).
+    pub holdout_capacity: usize,
+    /// Every k-th clean labeled sample goes to the held-out buffer
+    /// instead of being learned (≥ 2; e.g. 10 = 10% held out).
+    pub holdout_every: u64,
+    /// Dead-letter buffer capacity (quarantined samples; oldest are
+    /// evicted on overflow).
+    pub dead_letter_capacity: usize,
+    /// Feature-range slack: a feature at column `j` is accepted within
+    /// `[min_j - slack·extent_j, min_j + (1 + slack)·extent_j]` where
+    /// `extent_j` is the trained span (1.0 for constant features).
+    /// `f64::INFINITY` disables range checks.
+    pub range_slack: f64,
+    /// EWMA mispredict rate that triggers drift retraining.
+    pub drift_threshold: f64,
+    /// EWMA smoothing factor of the mispredict-rate estimate.
+    pub drift_alpha: f64,
+    /// Minimum labeled samples between drift retrains.
+    pub drift_min_updates: u64,
+    /// Maximum epochs per drift retrain (bounded work per trigger).
+    pub retrain_epochs: usize,
+    /// Worker threads for drift retraining
+    /// ([`retrain_epoch_parallel`](crate::HdcModel::retrain_epoch_parallel)).
+    pub retrain_threads: usize,
+    /// Roll back to the previous checkpoint generation when held-out
+    /// accuracy drops more than this below the last checkpoint's.
+    pub rollback_threshold: f64,
+    /// Retry policy for checkpoint writes.
+    pub retry: RetryPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            checkpoint_every: 256,
+            ladder_alpha: 0.2,
+            shed_hopeless: false,
+            replay_capacity: 1024,
+            holdout_capacity: 256,
+            holdout_every: 10,
+            dead_letter_capacity: 128,
+            range_slack: 3.0,
+            drift_threshold: 0.35,
+            drift_alpha: 0.05,
+            drift_min_updates: 64,
+            retrain_epochs: 3,
+            retrain_threads: 1,
+            rollback_threshold: 0.05,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Counters of everything the runtime did, the basis for the soak
+/// harness's acceptance gates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Inference requests received (valid or not).
+    pub infer_requests: u64,
+    /// Requests answered with a prediction.
+    pub answered: u64,
+    /// Answers served below full dimensionality.
+    pub degraded: u64,
+    /// Answers that still blew their budget.
+    pub deadline_misses: u64,
+    /// Requests shed without an answer (only with `shed_hopeless`).
+    pub shed: u64,
+    /// Malformed inference requests rejected by the sanitizer.
+    pub rejected: u64,
+    /// Labeled samples folded into the model.
+    pub learned: u64,
+    /// Labeled samples diverted to the held-out buffer.
+    pub held_out: u64,
+    /// Learned samples the model had mispredicted (corrections).
+    pub corrected: u64,
+    /// Samples quarantined into the dead-letter buffer.
+    pub quarantined: u64,
+    /// Drift-triggered retrains.
+    pub retrains: u64,
+    /// Rollbacks to a previous checkpoint generation.
+    pub rollbacks: u64,
+    /// Checkpoints successfully written.
+    pub checkpoints: u64,
+    /// Checkpoint writes that failed even after retries.
+    pub checkpoint_failures: u64,
+}
+
+/// A quarantined sample in the dead-letter buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// The raw features as received.
+    pub features: Vec<f64>,
+    /// The label, for learning samples.
+    pub label: Option<usize>,
+    /// Why the sanitizer refused it.
+    pub reason: RejectReason,
+}
+
+/// One answered inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferOutcome {
+    /// The predicted class.
+    pub label: usize,
+    /// Dimensions actually scored.
+    pub dims_used: usize,
+    /// Ladder tier index that served the request.
+    pub tier: usize,
+    /// Whether the request was served below full dimensionality.
+    pub degraded: bool,
+    /// Wall-clock serving time.
+    pub elapsed: Duration,
+    /// Whether the answer landed within its budget (always true without
+    /// a budget).
+    pub deadline_met: bool,
+}
+
+/// What an automatic or manual checkpoint did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointAction {
+    /// A new generation was written.
+    Saved {
+        /// The generation just published.
+        generation: u64,
+    },
+    /// Held-out accuracy had regressed past the threshold: the model
+    /// was rolled back instead of checkpointed.
+    RolledBack {
+        /// The generation restored from disk.
+        to_generation: u64,
+    },
+    /// The write failed even after retries (recorded in
+    /// [`RuntimeStats::checkpoint_failures`]; learning continues).
+    Failed,
+}
+
+/// One processed labeled sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnOutcome {
+    /// Whether the model already predicted the label (no update needed).
+    pub was_correct: bool,
+    /// Whether the sample was diverted to the held-out buffer.
+    pub held_out: bool,
+    /// Whether this sample triggered a drift retrain.
+    pub retrained: bool,
+    /// The automatic checkpoint this sample triggered, if any.
+    pub checkpoint: Option<CheckpointAction>,
+}
+
+/// The crash-safe streaming engine: an [`HdcPipeline`] plus checkpoint
+/// store, degradation ladder, drift detector, and quarantine buffer.
+///
+/// ```no_run
+/// use generic_hdc::encoding::GenericEncoderSpec;
+/// use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
+/// use generic_hdc::HdcPipeline;
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let features: Vec<Vec<f64>> = (0..40)
+///     .map(|i| vec![if i % 2 == 0 { 1.0 } else { 9.0 }; 8])
+///     .collect();
+/// let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+/// let spec = GenericEncoderSpec::new(1024, 8).with_seed(7);
+/// let pipeline = HdcPipeline::train(spec, &features, &labels, 2, 10)?;
+///
+/// let store = CheckpointStore::open("ckpts", 3, RetryPolicy::default())?;
+/// let mut rt = OnlineRuntime::new(pipeline, store, RuntimeConfig::default())?;
+/// rt.checkpoint()?; // durable generation 1
+/// let answer = rt.infer(&[1.0; 8], Some(Duration::from_millis(2)))?;
+/// rt.learn(&[9.0; 8], 1)?;
+/// assert_eq!(answer.label, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OnlineRuntime {
+    pipeline: HdcPipeline,
+    store: CheckpointStore,
+    ladder: DegradationLadder,
+    config: RuntimeConfig,
+    stats: RuntimeStats,
+    replay: VecDeque<(IntHv, usize)>,
+    holdout: VecDeque<(IntHv, usize)>,
+    dead_letters: VecDeque<DeadLetter>,
+    err_ewma: f64,
+    since_retrain: u64,
+    generation: u64,
+    seen: u64,
+    last_ckpt_seen: u64,
+    last_ckpt_acc: f64,
+    labeled_counter: u64,
+}
+
+impl OnlineRuntime {
+    /// Wraps a freshly trained pipeline at generation 0 (nothing durable
+    /// yet — call [`checkpoint`](OnlineRuntime::checkpoint) to publish
+    /// generation 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration.
+    pub fn new(
+        pipeline: HdcPipeline,
+        store: CheckpointStore,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        let ladder = DegradationLadder::new(pipeline.model().dim(), config.ladder_alpha)?;
+        if config.holdout_every < 2 {
+            return Err(RuntimeError::Model(HdcError::invalid(
+                "holdout_every",
+                "must be at least 2 (1 would hold out every sample)",
+            )));
+        }
+        Ok(OnlineRuntime {
+            pipeline,
+            store,
+            ladder,
+            config,
+            stats: RuntimeStats::default(),
+            replay: VecDeque::new(),
+            holdout: VecDeque::new(),
+            dead_letters: VecDeque::new(),
+            err_ewma: 0.0,
+            since_retrain: 0,
+            generation: 0,
+            seen: 0,
+            last_ckpt_seen: 0,
+            last_ckpt_acc: 0.0,
+            labeled_counter: 0,
+        })
+    }
+
+    /// Recovers the newest intact checkpoint from `store` and resumes
+    /// from it. The report says which generations were scanned and
+    /// which were rejected as corrupt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoCheckpoint`] when no generation
+    /// survives validation.
+    pub fn recover(
+        store: CheckpointStore,
+        config: RuntimeConfig,
+    ) -> Result<(Self, RecoveryReport), RuntimeError> {
+        let report = store.recover()?;
+        let Some(ckpt) = report.checkpoint.clone() else {
+            return Err(RuntimeError::NoCheckpoint);
+        };
+        let mut rt = OnlineRuntime::new(ckpt.pipeline, store, config)?;
+        rt.generation = ckpt.generation;
+        rt.seen = ckpt.seen;
+        rt.last_ckpt_seen = ckpt.seen;
+        rt.last_ckpt_acc = ckpt.holdout_accuracy;
+        Ok((rt, report))
+    }
+
+    /// The pipeline being served.
+    pub fn pipeline(&self) -> &HdcPipeline {
+        &self.pipeline
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The degradation ladder (tier widths, estimates, counters).
+    pub fn ladder(&self) -> &DegradationLadder {
+        &self.ladder
+    }
+
+    /// The newest durable generation (0 before the first checkpoint).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Labeled samples folded into the current in-memory model.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Labeled samples folded in when the last checkpoint was written —
+    /// everything after this is lost to a crash.
+    pub fn last_checkpoint_seen(&self) -> u64 {
+        self.last_ckpt_seen
+    }
+
+    /// The quarantined samples currently buffered (oldest first).
+    pub fn dead_letters(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.dead_letters.iter()
+    }
+
+    /// Accuracy of the current model on the held-out buffer, or `None`
+    /// while the buffer is empty.
+    pub fn holdout_accuracy(&self) -> Option<f64> {
+        if self.holdout.is_empty() {
+            return None;
+        }
+        let model = self.pipeline.model();
+        let opts = PredictOptions::full(model.dim());
+        let mut correct = 0usize;
+        for (hv, label) in &self.holdout {
+            if model.try_predict_with(hv, opts).ok() == Some(*label) {
+                correct += 1;
+            }
+        }
+        Some(correct as f64 / self.holdout.len() as f64)
+    }
+
+    /// Serves one inference request under an optional time budget.
+    ///
+    /// The ladder picks the widest dimension tier whose latency
+    /// estimate fits the budget; the answer reports the tier, whether
+    /// it was degraded, and whether the deadline was met. Malformed
+    /// inputs are rejected (and counted), never panic.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Rejected`] for malformed input;
+    /// [`RuntimeError::DeadlineShed`] when shedding is enabled and even
+    /// the narrowest tier cannot meet the budget.
+    pub fn infer(
+        &mut self,
+        features: &[f64],
+        budget: Option<Duration>,
+    ) -> Result<InferOutcome, RuntimeError> {
+        self.stats.infer_requests += 1;
+        if let Err(reason) = self.sanitize(features, None) {
+            self.stats.rejected += 1;
+            return Err(RuntimeError::Rejected(reason));
+        }
+        let budget_ns = budget.map(|b| u64::try_from(b.as_nanos()).unwrap_or(u64::MAX));
+        if self.config.shed_hopeless {
+            if let Some(b) = budget_ns {
+                if self.ladder.hopeless(b) {
+                    self.stats.shed += 1;
+                    return Err(RuntimeError::DeadlineShed {
+                        budget: budget.unwrap_or_default(),
+                    });
+                }
+            }
+        }
+        let tier = self.ladder.choose(budget_ns);
+        let dims = self.ladder.dims(tier);
+        let opts = PredictOptions::reduced(dims, NormMode::Updated);
+        let start = Instant::now();
+        let label = self.pipeline.predict_reduced(features, opts)?;
+        let elapsed = start.elapsed();
+        self.ladder.observe(tier, elapsed);
+        let degraded = tier < self.ladder.full_tier();
+        let deadline_met = budget.is_none_or(|b| elapsed <= b);
+        self.stats.answered += 1;
+        if degraded {
+            self.stats.degraded += 1;
+        }
+        if !deadline_met {
+            self.stats.deadline_misses += 1;
+        }
+        Ok(InferOutcome {
+            label,
+            dims_used: dims,
+            tier,
+            degraded,
+            elapsed,
+            deadline_met,
+        })
+    }
+
+    /// Folds one labeled sample into the model (or the held-out
+    /// buffer), running the full guarded-update path: sanitize →
+    /// online update → drift check → bounded retrain → automatic
+    /// checkpoint/rollback.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Rejected`] when the sample is quarantined; model
+    /// errors cannot occur for sanitized input.
+    pub fn learn(&mut self, features: &[f64], label: usize) -> Result<LearnOutcome, RuntimeError> {
+        if let Err(reason) = self.sanitize(features, Some(label)) {
+            self.stats.quarantined += 1;
+            self.quarantine(features, Some(label), reason.clone());
+            return Err(RuntimeError::Rejected(reason));
+        }
+        let encoded = self.pipeline.encode(features)?;
+        self.labeled_counter += 1;
+
+        // Divert every k-th clean sample to the held-out yardstick.
+        if self
+            .labeled_counter
+            .is_multiple_of(self.config.holdout_every)
+        {
+            push_bounded(
+                &mut self.holdout,
+                (encoded, label),
+                self.config.holdout_capacity,
+            );
+            self.stats.held_out += 1;
+            return Ok(LearnOutcome {
+                was_correct: true,
+                held_out: true,
+                retrained: false,
+                checkpoint: None,
+            });
+        }
+
+        let was_correct = self.pipeline.model_mut().update(&encoded, label)?;
+        self.seen += 1;
+        self.stats.learned += 1;
+        self.since_retrain += 1;
+        if !was_correct {
+            self.stats.corrected += 1;
+        }
+        let err = if was_correct { 0.0 } else { 1.0 };
+        self.err_ewma += self.config.drift_alpha * (err - self.err_ewma);
+        push_bounded(
+            &mut self.replay,
+            (encoded, label),
+            self.config.replay_capacity,
+        );
+
+        let retrained = self.maybe_retrain()?;
+
+        let mut checkpoint = None;
+        if self.config.checkpoint_every > 0
+            && self.seen.saturating_sub(self.last_ckpt_seen) >= self.config.checkpoint_every
+        {
+            checkpoint = Some(match self.checkpoint() {
+                Ok(action) => action,
+                Err(RuntimeError::Io(_)) => CheckpointAction::Failed,
+                Err(other) => return Err(other),
+            });
+        }
+
+        Ok(LearnOutcome {
+            was_correct,
+            held_out: false,
+            retrained,
+            checkpoint,
+        })
+    }
+
+    /// Writes the next checkpoint generation — unless held-out accuracy
+    /// has regressed past the rollback threshold since the last
+    /// checkpoint, in which case the model is rolled back to the newest
+    /// durable generation instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the write (after retries)
+    /// or a rollback load fails. On write failure
+    /// [`RuntimeStats::checkpoint_failures`] is bumped and the runtime
+    /// stays serviceable.
+    pub fn checkpoint(&mut self) -> Result<CheckpointAction, RuntimeError> {
+        let acc = self.holdout_accuracy();
+        if self.generation > 0 {
+            if let Some(a) = acc {
+                if a + self.config.rollback_threshold < self.last_ckpt_acc {
+                    let to = self.rollback()?;
+                    return Ok(CheckpointAction::RolledBack { to_generation: to });
+                }
+            }
+        }
+        let acc = acc.unwrap_or(self.last_ckpt_acc);
+        let generation = self.generation + 1;
+        match self.store.save(&self.pipeline, generation, self.seen, acc) {
+            Ok(_) => {
+                self.generation = generation;
+                self.last_ckpt_seen = self.seen;
+                self.last_ckpt_acc = acc;
+                self.stats.checkpoints += 1;
+                Ok(CheckpointAction::Saved { generation })
+            }
+            Err(e) => {
+                self.stats.checkpoint_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Restores the newest intact checkpoint generation, discarding the
+    /// in-memory model state. Returns the restored generation.
+    fn rollback(&mut self) -> Result<u64, RuntimeError> {
+        let report = self.store.recover()?;
+        let Some(ckpt) = report.checkpoint else {
+            return Err(RuntimeError::NoCheckpoint);
+        };
+        self.pipeline = ckpt.pipeline;
+        self.generation = ckpt.generation;
+        self.seen = ckpt.seen;
+        self.last_ckpt_seen = ckpt.seen;
+        self.last_ckpt_acc = ckpt.holdout_accuracy;
+        self.err_ewma = 0.0;
+        self.since_retrain = 0;
+        self.stats.rollbacks += 1;
+        Ok(ckpt.generation)
+    }
+
+    /// Runs a bounded retrain over the replay buffer when the
+    /// mispredict-rate EWMA says the stream has drifted; rolls back to
+    /// the previous checkpoint generation if the retrain made held-out
+    /// accuracy regress past the threshold.
+    fn maybe_retrain(&mut self) -> Result<bool, RuntimeError> {
+        if self.err_ewma <= self.config.drift_threshold
+            || self.since_retrain < self.config.drift_min_updates
+            || self.replay.len() < 16
+        {
+            return Ok(false);
+        }
+        let before = self.holdout_accuracy();
+        let (encoded, labels): (Vec<IntHv>, Vec<usize>) = self.replay.iter().cloned().unzip();
+        let threads = self.config.retrain_threads.max(1);
+        let model = self.pipeline.model_mut();
+        for _ in 0..self.config.retrain_epochs {
+            if model.retrain_epoch_parallel(&encoded, &labels, threads)? == 0 {
+                break;
+            }
+        }
+        self.stats.retrains += 1;
+        self.since_retrain = 0;
+        // The corrective action is taken; let the estimate re-form.
+        self.err_ewma /= 2.0;
+        if self.generation > 0 {
+            if let (Some(b), Some(a)) = (before, self.holdout_accuracy()) {
+                if a + self.config.rollback_threshold < b {
+                    self.rollback()?;
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Validates one raw sample against the serving contract; never
+    /// panics.
+    fn sanitize(&self, features: &[f64], label: Option<usize>) -> Result<(), RejectReason> {
+        let expected = self.pipeline.encoder().spec().n_features();
+        if features.len() != expected {
+            return Err(RejectReason::WrongWidth {
+                expected,
+                actual: features.len(),
+            });
+        }
+        for (column, &v) in features.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(RejectReason::NonFinite { column });
+            }
+        }
+        let slack = self.config.range_slack;
+        if slack.is_finite() {
+            let quantizer = self.pipeline.encoder().quantizer();
+            let mins = quantizer.mins();
+            let spans = quantizer.spans();
+            for (column, &v) in features.iter().enumerate() {
+                let extent = if spans[column] > 0.0 {
+                    spans[column]
+                } else {
+                    1.0
+                };
+                let lo = mins[column] - slack * extent;
+                let hi = mins[column] + (1.0 + slack) * extent;
+                if v < lo || v > hi {
+                    return Err(RejectReason::OutOfRange { column, value: v });
+                }
+            }
+        }
+        if let Some(label) = label {
+            let n_classes = self.pipeline.model().n_classes();
+            if label >= n_classes {
+                return Err(RejectReason::LabelOutOfRange { label, n_classes });
+            }
+        }
+        Ok(())
+    }
+
+    /// Buffers a refused sample in the bounded dead-letter queue.
+    fn quarantine(&mut self, features: &[f64], label: Option<usize>, reason: RejectReason) {
+        push_bounded(
+            &mut self.dead_letters,
+            DeadLetter {
+                features: features.to_vec(),
+                label,
+                reason,
+            },
+            self.config.dead_letter_capacity,
+        );
+    }
+}
+
+/// Pushes into a bounded FIFO, evicting the oldest entry on overflow.
+fn push_bounded<T>(buf: &mut VecDeque<T>, item: T, capacity: usize) {
+    if capacity == 0 {
+        return;
+    }
+    while buf.len() >= capacity {
+        buf.pop_front();
+    }
+    buf.push_back(item);
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::encoding::GenericEncoderSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique scratch directory, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "ghdc-runtime-{tag}-{}-{}",
+                std::process::id(),
+                TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn toy_pipeline() -> HdcPipeline {
+        let features: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i % 2 == 0 { 1.0 } else { 9.0 }; 8])
+            .collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let spec = GenericEncoderSpec::new(512, 8).with_seed(7);
+        HdcPipeline::train(spec, &features, &labels, 2, 5).unwrap()
+    }
+
+    fn store_in(dir: &Path) -> CheckpointStore {
+        CheckpointStore::open(dir, 3, RetryPolicy::default()).unwrap()
+    }
+
+    #[test]
+    fn ladder_tiers_cover_chunk_multiples_up_to_dim() {
+        let ladder = DegradationLadder::new(1000, 0.2).unwrap();
+        assert_eq!(ladder.tier_dims(), &[128, 256, 512, 1000]);
+        let tiny = DegradationLadder::new(64, 0.2).unwrap();
+        assert_eq!(tiny.tier_dims(), &[64]);
+        assert!(DegradationLadder::new(0, 0.2).is_err());
+        assert!(DegradationLadder::new(512, 0.0).is_err());
+    }
+
+    #[test]
+    fn ladder_unobserved_is_optimistic_then_learns() {
+        let mut ladder = DegradationLadder::new(1024, 0.5).unwrap();
+        // Nothing observed: any budget gets full dimensionality.
+        assert_eq!(ladder.choose(Some(1)), ladder.full_tier());
+        // Teach it that full dim costs 8000 ns.
+        ladder.observe(ladder.full_tier(), Duration::from_nanos(8000));
+        // A 1500 ns budget now fits only the 128-dim tier (est. 1000 ns).
+        assert_eq!(ladder.choose(Some(1500)), 0);
+        // A huge budget escalates back to full dimensionality.
+        assert_eq!(ladder.choose(Some(1_000_000)), ladder.full_tier());
+        // No budget means no deadline.
+        assert_eq!(ladder.choose(None), ladder.full_tier());
+        assert!(ladder.hopeless(10));
+        assert!(!ladder.hopeless(2000));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_the_store() {
+        let dir = TempDir::new("roundtrip");
+        let store = store_in(dir.path());
+        let pipeline = toy_pipeline();
+        store.save(&pipeline, 1, 17, 0.75).unwrap();
+        let report = store.recover().unwrap();
+        let ckpt = report.checkpoint.unwrap();
+        assert_eq!(ckpt.generation, 1);
+        assert_eq!(ckpt.seen, 17);
+        assert!((ckpt.holdout_accuracy - 0.75).abs() < 1e-12);
+        for x in [[1.0; 8], [9.0; 8]] {
+            assert_eq!(
+                ckpt.pipeline.predict(&x).unwrap(),
+                pipeline.predict(&x).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_skips_corrupt_newest_generation() {
+        let dir = TempDir::new("fallback");
+        let store = store_in(dir.path());
+        let pipeline = toy_pipeline();
+        store.save(&pipeline, 1, 10, 0.5).unwrap();
+        let path2 = store.save(&pipeline, 2, 20, 0.5).unwrap();
+        // Corrupt generation 2 with a single flipped byte.
+        let mut bytes = std::fs::read(&path2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path2, &bytes).unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].0, 2);
+        assert_eq!(report.checkpoint.unwrap().generation, 1);
+    }
+
+    #[test]
+    fn recovery_ignores_stray_tmp_files() {
+        let dir = TempDir::new("tmpfiles");
+        let store = store_in(dir.path());
+        let pipeline = toy_pipeline();
+        store.save(&pipeline, 1, 5, 0.0).unwrap();
+        // A crash mid-write leaves a half-written temp file behind.
+        std::fs::write(
+            dir.path().join("ckpt-00000000000000000002.ghdc.tmp"),
+            b"half-written garbage",
+        )
+        .unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.checkpoint.unwrap().generation, 1);
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_only_the_newest_generations() {
+        let dir = TempDir::new("prune");
+        let store = store_in(dir.path());
+        let pipeline = toy_pipeline();
+        for gen in 1..=5 {
+            store.save(&pipeline, gen, gen * 10, 0.5).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn runtime_survives_a_simulated_kill() {
+        let dir = TempDir::new("kill");
+        let pipeline = toy_pipeline();
+        let config = RuntimeConfig {
+            checkpoint_every: 8,
+            holdout_every: 100,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = OnlineRuntime::new(pipeline, store_in(dir.path()), config).unwrap();
+        rt.checkpoint().unwrap();
+        for i in 0..20u64 {
+            let x = if i % 2 == 0 { [1.0; 8] } else { [9.0; 8] };
+            rt.learn(&x, (i % 2) as usize).unwrap();
+        }
+        let seen_at_kill = rt.seen();
+        let last_ckpt = rt.last_checkpoint_seen();
+        drop(rt); // the "kill": in-memory state vanishes
+
+        let (recovered, report) = OnlineRuntime::recover(store_in(dir.path()), config).unwrap();
+        assert!(report.checkpoint.is_some());
+        assert_eq!(recovered.seen(), last_ckpt);
+        // At most one checkpoint interval of samples is lost.
+        assert!(seen_at_kill - recovered.seen() <= config.checkpoint_every);
+        assert_eq!(recovered.pipeline().predict(&[1.0; 8]).unwrap(), 0);
+    }
+
+    #[test]
+    fn malformed_samples_are_quarantined_not_panicking() {
+        let dir = TempDir::new("quarantine");
+        let mut rt = OnlineRuntime::new(
+            toy_pipeline(),
+            store_in(dir.path()),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let bad: Vec<(Vec<f64>, usize)> = vec![
+            (vec![f64::NAN; 8], 0),
+            (vec![f64::INFINITY; 8], 1),
+            (vec![1.0; 3], 0),  // wrong width
+            (vec![1e9; 8], 0),  // far out of range
+            (vec![1.0; 8], 99), // label out of range
+        ];
+        for (x, y) in &bad {
+            assert!(matches!(rt.learn(x, *y), Err(RuntimeError::Rejected(_))));
+        }
+        assert_eq!(rt.stats().quarantined, bad.len() as u64);
+        assert_eq!(rt.dead_letters().count(), bad.len());
+        assert_eq!(rt.stats().learned, 0);
+        // The model still serves.
+        assert_eq!(rt.infer(&[1.0; 8], None).unwrap().label, 0);
+        // Malformed inference input is rejected and counted.
+        assert!(rt.infer(&[f64::NAN; 8], None).is_err());
+        assert_eq!(rt.stats().rejected, 1);
+    }
+
+    #[test]
+    fn degraded_tier_serves_under_tight_budget() {
+        let dir = TempDir::new("degrade");
+        let mut rt = OnlineRuntime::new(
+            toy_pipeline(),
+            store_in(dir.path()),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        // Warm the full tier's estimate.
+        for _ in 0..5 {
+            rt.infer(&[1.0; 8], None).unwrap();
+        }
+        // A 1 ns budget cannot fit the full tier; the ladder degrades
+        // but still answers.
+        let out = rt.infer(&[1.0; 8], Some(Duration::from_nanos(1))).unwrap();
+        assert!(out.degraded);
+        assert!(out.dims_used < 512);
+        assert_eq!(out.label, 0);
+        assert!(rt.stats().degraded >= 1);
+    }
+
+    #[test]
+    fn rollback_restores_the_previous_generation_on_regression() {
+        let dir = TempDir::new("rollback");
+        let pipeline = toy_pipeline();
+        let config = RuntimeConfig {
+            checkpoint_every: 0, // manual
+            holdout_every: 2,    // fill the holdout buffer fast
+            rollback_threshold: 0.05,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = OnlineRuntime::new(pipeline, store_in(dir.path()), config).unwrap();
+        // Build a held-out yardstick and a durable generation.
+        for i in 0..40u64 {
+            let x = if i % 2 == 0 { [1.0; 8] } else { [9.0; 8] };
+            let _ = rt.learn(&x, (i % 2) as usize);
+        }
+        rt.checkpoint().unwrap();
+        assert_eq!(rt.generation(), 1);
+        let good_acc = rt.holdout_accuracy().unwrap();
+        assert!(good_acc > 0.9);
+        // Poison the model: stream label-flipped samples (adversarial
+        // drift) so held-out accuracy collapses.
+        for i in 0..60u64 {
+            let x = if i % 2 == 0 { [1.0; 8] } else { [9.0; 8] };
+            let _ = rt.learn(&x, 1 - (i % 2) as usize);
+        }
+        assert!(rt.holdout_accuracy().unwrap() < good_acc);
+        let action = rt.checkpoint().unwrap();
+        assert!(matches!(
+            action,
+            CheckpointAction::RolledBack { to_generation: 1 }
+        ));
+        assert_eq!(rt.stats().rollbacks, 1);
+        // The restored model predicts cleanly again.
+        assert_eq!(rt.pipeline().predict(&[1.0; 8]).unwrap(), 0);
+        assert_eq!(rt.pipeline().predict(&[9.0; 8]).unwrap(), 1);
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_failures() {
+        let mut failures_left = 2;
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::ZERO,
+        };
+        let result = policy.run(|| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(io::Error::other("transient"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        let exhausted: io::Result<()> = policy.run(|| Err(io::Error::other("always")));
+        assert!(exhausted.is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoint_never_loads_silently() {
+        let dir = TempDir::new("truncate");
+        let store = store_in(dir.path());
+        let pipeline = toy_pipeline();
+        let path = store.save(&pipeline, 1, 3, 0.5).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // A handful of representative cuts (the exhaustive sweep lives
+        // in tests/runtime_recovery.rs).
+        for cut in [0, 1, 7, 11, 31, clean.len() / 2, clean.len() - 1] {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            assert!(
+                store.load_generation(1).is_err(),
+                "cut at {cut} must not load"
+            );
+        }
+    }
+}

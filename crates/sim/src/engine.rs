@@ -734,7 +734,7 @@ mod tests {
         // Train the reference model with the *same* encoder settings.
         let encoded: Vec<IntHv> = xs.iter().map(|x| acc.encoder.encode(x).unwrap()).collect();
         let mut model = HdcModel::fit(&encoded, &ys, 2).unwrap();
-        model.retrain(&encoded, &ys, 5);
+        model.retrain(&encoded, &ys, 5).unwrap();
         acc.load_model(&model).unwrap();
         for (x, hv) in xs.iter().zip(&encoded) {
             assert_eq!(

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Encode and train: single-pass bundling + retraining epochs.
     let encoded = encoder.encode_batch(&train)?;
     let mut model = HdcModel::fit(&encoded, &labels, 3)?;
-    let history = model.retrain(&encoded, &labels, 10);
+    let history = model.retrain(&encoded, &labels, 10)?;
     println!("retraining errors per epoch: {history:?}");
 
     // 3. Inference on fresh samples.

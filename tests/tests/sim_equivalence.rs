@@ -45,7 +45,9 @@ fn sim_inference_matches_library_predictions() {
         .expect("valid rows");
     let mut model =
         HdcModel::fit(&encoded, &dataset.train.labels, dataset.n_classes).expect("valid labels");
-    model.retrain(&encoded, &dataset.train.labels, 5);
+    model
+        .retrain(&encoded, &dataset.train.labels, 5)
+        .expect("valid inputs");
     acc.load_model(&model).expect("shapes match");
 
     let mut agreements = 0;
@@ -79,7 +81,9 @@ fn sim_on_device_training_reaches_library_accuracy() {
         .expect("valid rows");
     let mut model =
         HdcModel::fit(&encoded, &dataset.train.labels, dataset.n_classes).expect("valid labels");
-    model.retrain(&encoded, &dataset.train.labels, 10);
+    model
+        .retrain(&encoded, &dataset.train.labels, 10)
+        .expect("valid inputs");
 
     let test_encoded = encoder
         .encode_batch(&dataset.test.features)
