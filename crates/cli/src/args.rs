@@ -19,6 +19,7 @@ USAGE:
     generic serve   --ckpt-dir <dir> --data <csv|-> [--model <model>]
                     [--budget-us N] [--checkpoint-every N] [--keep N]
                     [--skip-bad-rows]
+    generic conformance [--replay <token>] [--seed N] [--count N]
 
 CSV format: one sample per row, numeric features separated by commas;
 for `train` (and with --labeled) the last column is an integer label.
@@ -33,7 +34,13 @@ inference requests answered within the `--budget-us` deadline via
 degraded dimension tiers. Progress is checkpointed atomically into
 --ckpt-dir every --checkpoint-every samples (keeping --keep
 generations); on startup the newest intact generation is recovered
-unless --model bootstraps a fresh runtime.";
+unless --model bootstraps a fresh runtime.
+
+`conformance` runs seeded differential scenarios through every
+fast-kernel/scalar-oracle pair and reports divergences. With --replay it
+re-executes one scenario from a reproducer token (as embedded in shrunk
+fixture files); otherwise it fuzzes --count scenarios from --seed,
+shrinking any divergence to a minimal reproducer.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +118,15 @@ pub enum CliCommand {
         /// Quarantine malformed CSV rows instead of aborting.
         skip_bad_rows: bool,
     },
+    /// Run differential conformance scenarios (or replay a reproducer).
+    Conformance {
+        /// Reproducer token to replay instead of fuzzing.
+        replay: Option<String>,
+        /// Base seed for fuzzed scenarios.
+        seed: u64,
+        /// Number of fuzzed scenarios.
+        count: usize,
+    },
     /// Print usage.
     Help,
 }
@@ -153,7 +169,8 @@ impl Options {
                     flags.push(name.to_string())
                 }
                 "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
-                | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" => {
+                | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" | "replay"
+                | "count" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
@@ -246,6 +263,11 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
         }),
         "info" => Ok(CliCommand::Info {
             model: opts.required_path("model")?,
+        }),
+        "conformance" => Ok(CliCommand::Conformance {
+            replay: opts.value("replay").map(str::to_owned),
+            seed: opts.numeric("seed", 42)?,
+            count: opts.numeric("count", 25)?,
         }),
         "serve" => Ok(CliCommand::Serve {
             ckpt_dir: opts.required_path("ckpt-dir")?,
@@ -379,6 +401,37 @@ mod tests {
         assert!(parse_args(&argv(&["train", "--wat", "1"])).is_err());
         assert!(parse_args(&argv(&["train", "--data", "a", "--out", "b", "--dim", "x"])).is_err());
         assert!(parse_args(&argv(&["cluster", "--data", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn parses_conformance() {
+        assert_eq!(
+            parse_args(&argv(&["conformance"])).unwrap(),
+            CliCommand::Conformance {
+                replay: None,
+                seed: 42,
+                count: 25,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "conformance",
+                "--replay",
+                "v1:seed=1:samples=2",
+                "--seed",
+                "9",
+                "--count",
+                "3",
+            ]))
+            .unwrap(),
+            CliCommand::Conformance {
+                replay: Some("v1:seed=1:samples=2".into()),
+                seed: 9,
+                count: 3,
+            }
+        );
+        assert!(parse_args(&argv(&["conformance", "--count", "x"])).is_err());
+        assert!(parse_args(&argv(&["conformance", "--replay"])).is_err());
     }
 
     #[test]

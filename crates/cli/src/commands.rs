@@ -167,7 +167,66 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             keep,
             skip_bad_rows,
         ),
+        CliCommand::Conformance {
+            replay,
+            seed,
+            count,
+        } => conformance(out, replay.as_deref(), seed, count),
     }
+}
+
+/// The `conformance` driver: replay one reproducer token, or fuzz
+/// `count` seeded scenarios, shrinking any divergence.
+fn conformance<W: Write>(
+    out: &mut W,
+    replay: Option<&str>,
+    seed: u64,
+    count: usize,
+) -> CommandResult {
+    use generic_conformance::{run_scenario, shrink, Mutation, Scenario};
+
+    if let Some(token) = replay {
+        let scenario =
+            Scenario::from_token(token).map_err(|e| format!("bad --replay token: {e}"))?;
+        let report = run_scenario(&scenario);
+        writeln!(out, "replaying {}", scenario.token())?;
+        for (stage, checks) in &report.coverage {
+            writeln!(out, "  {stage:<18} {checks} checks")?;
+        }
+        return match report.divergence {
+            Some(divergence) => Err(format!("divergence reproduced: {divergence}").into()),
+            None => {
+                writeln!(out, "no divergence: every boundary agreed")?;
+                Ok(())
+            }
+        };
+    }
+
+    let mut diverged = 0usize;
+    let mut checks = 0u64;
+    for i in 0..count {
+        let scenario = Scenario::generate(seed.wrapping_add(i as u64));
+        let report = run_scenario(&scenario);
+        checks += report.total_checks();
+        if let Some(divergence) = report.divergence {
+            diverged += 1;
+            writeln!(out, "DIVERGENCE in {}: {divergence}", scenario.token())?;
+            let outcome = shrink(&scenario, Mutation::None, &divergence);
+            writeln!(
+                out,
+                "  minimal reproducer: --replay \"{}\"",
+                outcome.minimized.token()
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "{count} scenarios, {checks} boundary checks, {diverged} divergences"
+    )?;
+    if diverged > 0 {
+        return Err(format!("{diverged} scenarios diverged").into());
+    }
+    Ok(())
 }
 
 /// The `serve` driver: stream rows through an [`OnlineRuntime`].

@@ -1,0 +1,46 @@
+//! # generic-conformance
+//!
+//! Cross-layer differential conformance harness for the GENERIC engine.
+//!
+//! The workspace accumulated several independent implementations of the
+//! same mathematics: bit-sliced kernels next to their retained scalar
+//! references, packed quantized scoring next to unpacked scoring, the
+//! resilient/runtime layers next to direct inference, and the cycle
+//! simulator next to the software pipeline. Each pairing carries an
+//! exact equivalence contract (see [`generic_hdc::oracle`]); this crate
+//! machine-checks all of them at once by fuzzing whole pipelines:
+//!
+//! 1. [`Scenario::generate`] draws a randomized end-to-end configuration
+//!    (dataset shape × encoding parameters × bit-width × reduction tier ×
+//!    retrain schedule × checkpoint cycle) deterministically from a seed;
+//! 2. [`run_scenario`] executes it through every implementation pair,
+//!    comparing outputs at each stage boundary — bit-identical per the
+//!    registered [`oracle::Tolerance`]s;
+//! 3. on divergence, [`shrink`] reduces the scenario to a minimal
+//!    reproducer and [`write_fixture`] emits a self-contained
+//!    `#[test]`-ready source file whose embedded replay token also drives
+//!    `generic conformance --replay`.
+//!
+//! The `conformance` bench binary (in `generic-bench`) runs N seeded
+//! scenarios, writes `BENCH_conformance.json`, and gates CI on zero
+//! unexplained divergences plus a mutation self-check: a deliberately
+//! injected kernel bug ([`Mutation`]) must be caught and shrunk small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fixture;
+mod scenario;
+mod shrink;
+mod stages;
+
+pub use fixture::{fixture_source, write_fixture};
+pub use scenario::{synth_dataset, Scenario, TOKEN_VERSION};
+pub use shrink::{shrink, ShrinkOutcome};
+pub use stages::{
+    run_scenario, run_scenario_mutated, Divergence, Mutation, ScenarioReport, SCENARIO_LEVELS,
+};
+
+/// Re-exported oracle registry: stage taxonomy, tolerances, and the
+/// fast/reference kernel pairs the harness drives.
+pub use generic_hdc::oracle;

@@ -1,0 +1,178 @@
+//! Greedy scenario shrinking: reduce a diverging scenario to a minimal
+//! reproducer while the same boundary keeps disagreeing.
+
+use crate::scenario::Scenario;
+use crate::stages::{run_scenario_mutated, Divergence, Mutation};
+
+/// The result of shrinking one diverging scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkOutcome {
+    /// The scenario that first exposed the divergence.
+    pub initial: Scenario,
+    /// The smallest scenario still exposing it.
+    pub minimized: Scenario,
+    /// The divergence as observed on the minimized scenario.
+    pub divergence: Divergence,
+    /// Candidate scenarios executed during shrinking.
+    pub attempts: u64,
+    /// Candidates that kept the divergence and were adopted.
+    pub accepted: u64,
+}
+
+/// Shrinks `initial` while re-running keeps producing a divergence at the
+/// same stage and kernel as `original` (details such as sample indices
+/// may change as the scenario gets smaller).
+///
+/// The candidate moves, tried round-robin until a full pass accepts
+/// nothing: halve the sample count, drop one 128-dim tier, halve the
+/// feature count, collapse to two classes, zero the retrain epochs, skip
+/// the checkpoint cycle, shrink the window to 1. Every move preserves
+/// [`Scenario::validate`], so the minimized scenario is always replayable
+/// from its token.
+pub fn shrink(initial: &Scenario, mutation: Mutation, original: &Divergence) -> ShrinkOutcome {
+    let mut current = initial.clone();
+    let mut divergence = original.clone();
+    let mut attempts = 0u64;
+    let mut accepted = 0u64;
+
+    let moves: &[fn(&Scenario) -> Scenario] = &[
+        |s| {
+            let mut c = s.clone();
+            c.n_samples = (c.n_samples / 2).max(2);
+            c
+        },
+        |s| {
+            let mut c = s.clone();
+            c.dim = ((c.dim / 128) / 2).max(1) * 128;
+            c.reduced_dims = c.reduced_dims.min(c.dim);
+            c
+        },
+        |s| {
+            let mut c = s.clone();
+            c.reduced_dims = 128;
+            c
+        },
+        |s| {
+            let mut c = s.clone();
+            c.n_features = (c.n_features / 2).max(1);
+            c.window = c.window.min(c.n_features);
+            c
+        },
+        |s| {
+            let mut c = s.clone();
+            c.n_classes = 2;
+            c
+        },
+        |s| {
+            let mut c = s.clone();
+            c.epochs = 0;
+            c
+        },
+        |s| {
+            let mut c = s.clone();
+            c.checkpoint = false;
+            c
+        },
+        |s| {
+            let mut c = s.clone();
+            c.window = 1;
+            c
+        },
+    ];
+
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for apply in moves {
+            // Reapply each move while it keeps working (e.g. halving the
+            // sample count repeatedly), then fall through to the next.
+            loop {
+                let candidate = apply(&current);
+                if candidate == current || candidate.validate().is_err() {
+                    break;
+                }
+                attempts += 1;
+                let report = run_scenario_mutated(&candidate, mutation);
+                match report.divergence {
+                    Some(d) if d.stage == divergence.stage && d.kernel == divergence.kernel => {
+                        current = candidate;
+                        divergence = d;
+                        accepted += 1;
+                        progress = true;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    ShrinkOutcome {
+        initial: initial.clone(),
+        minimized: current,
+        divergence,
+        attempts,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::run_scenario;
+
+    /// The mutation-testing acceptance check: a deliberately injected
+    /// encoder bug must be caught at the encode boundary and shrunk to a
+    /// tiny reproducer (≤ 8 samples × ≤ 256 dims).
+    #[test]
+    fn injected_encoder_bug_is_caught_and_shrinks_small() {
+        let scenario = Scenario::generate(0xC0FFEE);
+        let report = run_scenario_mutated(&scenario, Mutation::EncodeBitFlip);
+        let divergence = report.divergence.expect("injected bug must be detected");
+        assert_eq!(divergence.stage, generic_hdc::oracle::StageKind::Encode);
+        assert_eq!(divergence.kernel, "encode_bins");
+
+        let outcome = shrink(&scenario, Mutation::EncodeBitFlip, &divergence);
+        assert!(
+            outcome.minimized.n_samples <= 8,
+            "shrunk to {} samples",
+            outcome.minimized.n_samples
+        );
+        assert!(
+            outcome.minimized.dim <= 256,
+            "shrunk to {} dims",
+            outcome.minimized.dim
+        );
+        outcome.minimized.validate().expect("minimized stays valid");
+        assert_eq!(outcome.divergence.stage, divergence.stage);
+        assert_eq!(outcome.divergence.kernel, divergence.kernel);
+        assert!(outcome.accepted <= outcome.attempts);
+
+        // The minimized scenario still reproduces, and the clean run of
+        // the same scenario is silent (the bug is in the mutation, not
+        // the kernels).
+        let replay = run_scenario_mutated(&outcome.minimized, Mutation::EncodeBitFlip);
+        assert!(replay.divergence.is_some(), "minimized scenario replays");
+        assert!(run_scenario(&outcome.minimized).divergence.is_none());
+    }
+
+    #[test]
+    fn injected_packed_score_bug_is_caught() {
+        let scenario = Scenario::generate(7);
+        let report = run_scenario_mutated(&scenario, Mutation::PackedScoreSkew);
+        let divergence = report.divergence.expect("skewed score must be detected");
+        assert_eq!(divergence.stage, generic_hdc::oracle::StageKind::QuantScore);
+        assert_eq!(divergence.kernel, "packed_scores");
+
+        let outcome = shrink(&scenario, Mutation::PackedScoreSkew, &divergence);
+        assert!(outcome.minimized.n_samples <= scenario.n_samples);
+        outcome.minimized.validate().expect("minimized stays valid");
+    }
+
+    #[test]
+    fn injected_retrain_bug_is_caught() {
+        let scenario = Scenario::generate(21);
+        let report = run_scenario_mutated(&scenario, Mutation::RetrainDrift);
+        let divergence = report.divergence.expect("retrain drift must be detected");
+        assert_eq!(divergence.stage, generic_hdc::oracle::StageKind::Retrain);
+    }
+}

@@ -1,0 +1,808 @@
+//! Differential stage executors: one scenario through every
+//! implementation pair, comparing outputs at each boundary.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::oracle::{
+    DifferentialKernel, EncodeKernel, PackedScoreKernel, RetrainKernel, ScoreKernel, StageKind,
+};
+use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
+use generic_hdc::{
+    HdcModel, HdcPipeline, IntHv, NormMode, PredictOptions, QuantizedModel, ResilienceConfig,
+    ResilientPipeline,
+};
+use generic_sim::{mitchell_divide_wide, Accelerator, AcceleratorConfig};
+
+use crate::scenario::{synth_dataset, Scenario};
+
+/// Quantization levels used by every scenario — the simulator's
+/// architectural constant, so the software and hardware encoders are
+/// programmed identically.
+pub const SCENARIO_LEVELS: usize = 64;
+
+/// A deliberately injected kernel bug, used to prove the harness catches
+/// and shrinks real divergences (the mutation-testing acceptance check).
+/// Mutations perturb the *fast* side of one boundary on the first
+/// affected sample, exactly as a silent kernel regression would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// No injected bug: every boundary must agree.
+    None,
+    /// Corrupts dimension 0 of the bit-sliced encoder's output for
+    /// sample 0.
+    EncodeBitFlip,
+    /// Skews the packed scorer's class-0 score for sample 0.
+    PackedScoreSkew,
+    /// Drifts class 0 of the fast retraining result in the first epoch.
+    RetrainDrift,
+}
+
+/// A boundary where the fast path and its oracle disagreed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// The stage whose boundary broke.
+    pub stage: StageKind,
+    /// The registry kernel (or harness step) that disagreed.
+    pub kernel: String,
+    /// A truncated human-readable description of the first difference.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.stage, self.kernel, self.detail)
+    }
+}
+
+/// Everything one scenario execution produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The executed scenario.
+    pub scenario: Scenario,
+    /// Comparisons performed per stage, in [`StageKind::ALL`] order.
+    /// Stages after a divergence report zero checks.
+    pub coverage: Vec<(StageKind, u64)>,
+    /// The first boundary disagreement, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl ScenarioReport {
+    /// Total comparisons across all stages.
+    pub fn total_checks(&self) -> u64 {
+        self.coverage.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// Runs one clean scenario through every implementation pair.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
+    run_scenario_mutated(scenario, Mutation::None)
+}
+
+/// Runs one scenario with an optional injected kernel bug.
+pub fn run_scenario_mutated(scenario: &Scenario, mutation: Mutation) -> ScenarioReport {
+    let mut coverage = Coverage::new();
+    let divergence = execute(scenario, mutation, &mut coverage).err();
+    ScenarioReport {
+        scenario: scenario.clone(),
+        coverage: coverage.finish(),
+        divergence,
+    }
+}
+
+struct Coverage {
+    counts: [u64; StageKind::ALL.len()],
+}
+
+impl Coverage {
+    fn new() -> Self {
+        Coverage {
+            counts: [0; StageKind::ALL.len()],
+        }
+    }
+
+    fn add(&mut self, stage: StageKind, n: u64) {
+        let index = StageKind::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage registered in StageKind::ALL");
+        self.counts[index] += n;
+    }
+
+    fn finish(self) -> Vec<(StageKind, u64)> {
+        StageKind::ALL.iter().copied().zip(self.counts).collect()
+    }
+}
+
+fn execute(
+    scenario: &Scenario,
+    mutation: Mutation,
+    coverage: &mut Coverage,
+) -> Result<(), Divergence> {
+    let (features, labels) = synth_dataset(scenario);
+    let spec = GenericEncoderSpec::new(scenario.dim, scenario.n_features)
+        .with_levels(SCENARIO_LEVELS)
+        .with_window(scenario.window)
+        .with_id_binding(scenario.id_binding)
+        .with_seeded_ids(true)
+        .with_seed(scenario.seed);
+    let pipeline = HdcPipeline::train(
+        spec,
+        &features,
+        &labels,
+        scenario.n_classes,
+        scenario.epochs,
+    )
+    .map_err(|e| harness_failure(StageKind::Encode, "pipeline_train", &e))?;
+
+    let encoded = stage_encode(scenario, mutation, coverage, &pipeline, &features)?;
+    stage_retrain(scenario, mutation, coverage, &encoded, &labels)?;
+    stage_score(scenario, coverage, &pipeline, &encoded)?;
+    let quantized = stage_quant_score(scenario, mutation, coverage, &pipeline, &encoded)?;
+    stage_resilient(scenario, coverage, &pipeline, &quantized, &encoded)?;
+    stage_checkpoint(scenario, coverage, &pipeline, &features)?;
+    stage_sim(scenario, coverage, &pipeline, &features)?;
+    Ok(())
+}
+
+/// Bit-sliced vs scalar encoding, plus pipeline-path parity; returns the
+/// (reference) encoded dataset for downstream stages.
+fn stage_encode(
+    _scenario: &Scenario,
+    mutation: Mutation,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+) -> Result<Vec<IntHv>, Divergence> {
+    const STAGE: StageKind = StageKind::Encode;
+    let encoder = pipeline.encoder();
+    let kernel = EncodeKernel { encoder };
+    let mut encoded = Vec::with_capacity(features.len());
+    for (i, sample) in features.iter().enumerate() {
+        let bins = encoder
+            .quantizer()
+            .bins(sample)
+            .map_err(|e| harness_failure(STAGE, "quantizer_bins", &e))?;
+        let mut fast = kernel
+            .fast(&bins)
+            .map_err(|e| harness_failure(STAGE, kernel.entry().name, &e))?;
+        if mutation == Mutation::EncodeBitFlip && i == 0 {
+            fast = perturb_hv(fast);
+        }
+        let reference = kernel
+            .reference(&bins)
+            .map_err(|e| harness_failure(STAGE, kernel.entry().name, &e))?;
+        if fast != reference {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: kernel.entry().name.to_string(),
+                detail: format!(
+                    "sample {i}: {}",
+                    first_i32_diff(fast.values(), reference.values())
+                ),
+            });
+        }
+        let via_pipeline = pipeline
+            .encode(sample)
+            .map_err(|e| harness_failure(STAGE, "pipeline_encode", &e))?;
+        if via_pipeline != reference {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: "pipeline_encode".to_string(),
+                detail: format!(
+                    "sample {i}: {}",
+                    first_i32_diff(via_pipeline.values(), reference.values())
+                ),
+            });
+        }
+        coverage.add(STAGE, 2);
+        encoded.push(reference);
+    }
+    Ok(encoded)
+}
+
+/// Blocked and parallel retraining epochs vs the scalar epoch, evolving
+/// the model between epochs so later epochs start from realistic state.
+fn stage_retrain(
+    scenario: &Scenario,
+    mutation: Mutation,
+    coverage: &mut Coverage,
+    encoded: &[IntHv],
+    labels: &[usize],
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::Retrain;
+    let mut base = HdcModel::fit(encoded, labels, scenario.n_classes)
+        .map_err(|e| harness_failure(STAGE, "fit", &e))?;
+    let batch = (encoded.to_vec(), labels.to_vec());
+    for epoch in 0..scenario.epochs.max(1) {
+        // Odd epochs exercise the multi-threaded kernel so both fast
+        // paths are covered in every scenario.
+        let threads = if epoch % 2 == 1 { 3 } else { 1 };
+        let kernel = RetrainKernel {
+            model: &base,
+            threads,
+        };
+        let mut fast = kernel
+            .fast(&batch)
+            .map_err(|e| harness_failure(STAGE, kernel.entry().name, &e))?;
+        if mutation == Mutation::RetrainDrift && epoch == 0 {
+            fast.0[0][0] += 1;
+        }
+        let reference = kernel
+            .reference(&batch)
+            .map_err(|e| harness_failure(STAGE, kernel.entry().name, &e))?;
+        if fast.1 != reference.1 {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: kernel.entry().name.to_string(),
+                detail: format!(
+                    "epoch {epoch}: fast counted {} errors, reference {}",
+                    fast.1, reference.1
+                ),
+            });
+        }
+        for (c, (fc, rc)) in fast.0.iter().zip(&reference.0).enumerate() {
+            if fc != rc {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: kernel.entry().name.to_string(),
+                    detail: format!("epoch {epoch} class {c}: {}", first_i32_diff(fc, rc)),
+                });
+            }
+        }
+        coverage.add(STAGE, 1 + scenario.n_classes as u64);
+        base.retrain_epoch_scalar(encoded, labels)
+            .map_err(|e| harness_failure(STAGE, "retrain_epoch_scalar", &e))?;
+    }
+    Ok(())
+}
+
+/// Blocked vs scalar similarity scoring at full dimension and at the
+/// scenario's reduction tier, in both norm modes.
+fn stage_score(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    encoded: &[IntHv],
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::Score;
+    let model = pipeline.model();
+    let variants = [
+        PredictOptions::full(scenario.dim),
+        PredictOptions::reduced(scenario.reduced_dims, NormMode::Updated),
+        PredictOptions::reduced(scenario.reduced_dims, NormMode::Constant),
+    ];
+    for opts in variants {
+        let kernel = ScoreKernel { model, opts };
+        for (i, query) in encoded.iter().enumerate() {
+            let fast = kernel
+                .fast(query)
+                .map_err(|e| harness_failure(STAGE, kernel.entry().name, &e))?;
+            let reference = kernel
+                .reference(query)
+                .map_err(|e| harness_failure(STAGE, kernel.entry().name, &e))?;
+            if fast != reference {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: kernel.entry().name.to_string(),
+                    detail: format!(
+                        "sample {i} ({opts:?}): {}",
+                        first_f64_diff(&fast, &reference)
+                    ),
+                });
+            }
+            coverage.add(STAGE, 1);
+        }
+    }
+    Ok(())
+}
+
+/// Packed bit-plane scoring vs unpacked quantized scoring on binarized
+/// queries, plus the `from_parts` reassembly boundary; returns the
+/// quantized model for the resilient stage.
+fn stage_quant_score(
+    scenario: &Scenario,
+    mutation: Mutation,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    encoded: &[IntHv],
+) -> Result<QuantizedModel, Divergence> {
+    const STAGE: StageKind = StageKind::QuantScore;
+    let quantized = QuantizedModel::from_model(pipeline.model(), scenario.bit_width)
+        .map_err(|e| harness_failure(STAGE, "from_model", &e))?;
+    let packed = quantized
+        .pack()
+        .map_err(|e| harness_failure(STAGE, "pack", &e))?;
+
+    // The raw-parts boundary must reassemble the identical model (this is
+    // where the historical 1-bit sign regression lived).
+    let rows: Vec<Vec<i16>> = (0..quantized.n_classes())
+        .map(|c| quantized.class(c).to_vec())
+        .collect();
+    let reassembled = QuantizedModel::from_parts(scenario.dim, scenario.bit_width, rows)
+        .map_err(|e| harness_failure(STAGE, "from_parts", &e))?;
+    if reassembled != quantized {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "from_parts".to_string(),
+            detail: "reassembled quantized model differs from the original".to_string(),
+        });
+    }
+    coverage.add(STAGE, 1);
+
+    let kernel = PackedScoreKernel {
+        quantized: &quantized,
+        packed: &packed,
+    };
+    for (i, query) in encoded.iter().enumerate() {
+        let binary = query.to_binary();
+        let mut fast = kernel
+            .fast(&binary)
+            .map_err(|e| harness_failure(STAGE, kernel.entry().name, &e))?;
+        if mutation == Mutation::PackedScoreSkew && i == 0 {
+            fast[0] += 1e-3;
+        }
+        let reference = kernel
+            .reference(&binary)
+            .map_err(|e| harness_failure(STAGE, kernel.entry().name, &e))?;
+        if fast != reference {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: kernel.entry().name.to_string(),
+                detail: format!("sample {i}: {}", first_f64_diff(&fast, &reference)),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
+    Ok(quantized)
+}
+
+/// The resilient pipeline at its unmitigated baseline vs direct
+/// quantized cosine inference at full dimension.
+fn stage_resilient(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    quantized: &QuantizedModel,
+    encoded: &[IntHv],
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::Resilient;
+    let mut resilient = ResilientPipeline::new(
+        pipeline.clone(),
+        scenario.bit_width,
+        ResilienceConfig::baseline(),
+    )
+    .map_err(|e| harness_failure(STAGE, "resilient_new", &e))?;
+    for (i, query) in encoded.iter().enumerate() {
+        let got = resilient.predict_encoded(query);
+        // The baseline contract: one fault-free full-dimension cosine
+        // pass, first maximum wins.
+        let scores = quantized.cosine_scores(query, scenario.dim);
+        let expected = argmax_first(&scores);
+        if got != expected {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: "resilient_baseline".to_string(),
+                detail: format!("sample {i}: resilient predicted {got}, cosine oracle {expected}"),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
+    Ok(())
+}
+
+/// Pipeline serialization canonicality, checkpoint-store save/load, and
+/// the online runtime's full-dimension tier vs direct prediction.
+fn stage_checkpoint(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::CheckpointRestore;
+    const KERNEL: &str = "pipeline_checkpoint";
+
+    // write ∘ read ∘ write must be byte-identical (canonical format).
+    let mut bytes = Vec::new();
+    pipeline
+        .write_to(&mut bytes)
+        .map_err(|e| harness_failure(STAGE, KERNEL, &e))?;
+    let restored =
+        HdcPipeline::read_from(&bytes[..]).map_err(|e| harness_failure(STAGE, KERNEL, &e))?;
+    let mut rewritten = Vec::new();
+    restored
+        .write_to(&mut rewritten)
+        .map_err(|e| harness_failure(STAGE, KERNEL, &e))?;
+    if rewritten != bytes {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: KERNEL.to_string(),
+            detail: format!(
+                "serialization is not canonical: {} vs {} bytes",
+                rewritten.len(),
+                bytes.len()
+            ),
+        });
+    }
+    coverage.add(STAGE, 1);
+    for (i, sample) in features.iter().enumerate() {
+        let a = pipeline
+            .predict(sample)
+            .map_err(|e| harness_failure(STAGE, KERNEL, &e))?;
+        let b = restored
+            .predict(sample)
+            .map_err(|e| harness_failure(STAGE, KERNEL, &e))?;
+        if a != b {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: KERNEL.to_string(),
+                detail: format!("sample {i}: original predicts {a}, restored {b}"),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
+
+    if !scenario.checkpoint {
+        return Ok(());
+    }
+
+    // Atomic store round-trip plus the runtime's no-budget (full
+    // dimension) inference tier.
+    let dir = unique_temp_dir(scenario.seed);
+    let result = checkpoint_store_cycle(scenario, coverage, pipeline, features, &bytes, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn checkpoint_store_cycle(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+    canonical: &[u8],
+    dir: &std::path::Path,
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::CheckpointRestore;
+    const KERNEL: &str = "checkpoint_store";
+    let io_err = |e: &dyn std::fmt::Display| Divergence {
+        stage: STAGE,
+        kernel: KERNEL.to_string(),
+        detail: format!("store error: {e}"),
+    };
+    let store = CheckpointStore::open(dir, 2, RetryPolicy::default()).map_err(|e| io_err(&e))?;
+    store
+        .save(pipeline, 1, features.len() as u64, 0.0)
+        .map_err(|e| io_err(&e))?;
+    let checkpoint = store.load_generation(1).map_err(|e| io_err(&e))?;
+    let mut reloaded = Vec::new();
+    checkpoint
+        .pipeline
+        .write_to(&mut reloaded)
+        .map_err(|e| io_err(&e))?;
+    if reloaded != canonical {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: KERNEL.to_string(),
+            detail: "checkpointed pipeline bytes differ from a direct serialization".to_string(),
+        });
+    }
+    coverage.add(STAGE, 1);
+
+    let mut runtime = OnlineRuntime::new(pipeline.clone(), store, RuntimeConfig::default())
+        .map_err(|e| io_err(&e))?;
+    if runtime.ladder().choose(None) != runtime.ladder().full_tier() {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "degradation_ladder".to_string(),
+            detail: "no-budget requests must choose the full-dimension tier".to_string(),
+        });
+    }
+    coverage.add(STAGE, 1);
+    for (i, sample) in features.iter().enumerate() {
+        let outcome = runtime.infer(sample, None).map_err(|e| io_err(&e))?;
+        let direct = pipeline
+            .predict(sample)
+            .map_err(|e| harness_failure(STAGE, KERNEL, &e))?;
+        if outcome.degraded || outcome.dims_used != scenario.dim {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: "degradation_ladder".to_string(),
+                detail: format!(
+                    "sample {i}: no-budget inference served at {} of {} dims",
+                    outcome.dims_used, scenario.dim
+                ),
+            });
+        }
+        if outcome.label != direct {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: "runtime_infer".to_string(),
+                detail: format!(
+                    "sample {i}: runtime predicted {}, direct pipeline {direct}",
+                    outcome.label
+                ),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
+    Ok(())
+}
+
+/// The cycle simulator vs independent scalar recomputation: encoder
+/// parity, hardware scores from the class rows + chunked norms, and
+/// activity counters vs the closed-form cost model.
+fn stage_sim(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+) -> Result<(), Divergence> {
+    let sim_err = |kernel: &str, e: &dyn std::fmt::Display| Divergence {
+        stage: StageKind::SimScore,
+        kernel: kernel.to_string(),
+        detail: format!("simulator error: {e}"),
+    };
+    let config = AcceleratorConfig::new(scenario.dim, scenario.n_features, scenario.n_classes)
+        .with_window(scenario.window)
+        .with_bit_width(scenario.bit_width)
+        .with_id_binding(scenario.id_binding)
+        .with_seed(scenario.seed);
+    let mut accelerator =
+        Accelerator::new(config, features).map_err(|e| sim_err("accelerator_new", &e))?;
+    accelerator
+        .load_model(pipeline.model())
+        .map_err(|e| sim_err("load_model", &e))?;
+
+    // The hardware class memory must hold exactly the quantized rows.
+    let quantized = QuantizedModel::from_model(pipeline.model(), scenario.bit_width)
+        .map_err(|e| sim_err("from_model", &e))?;
+    for c in 0..scenario.n_classes {
+        if accelerator.class_row(c) != quantized.class(c) {
+            return Err(Divergence {
+                stage: StageKind::SimScore,
+                kernel: "sim_class_memory".to_string(),
+                detail: format!("class {c}: loaded rows differ from software quantization"),
+            });
+        }
+        coverage.add(StageKind::SimScore, 1);
+    }
+
+    for (i, sample) in features.iter().enumerate() {
+        // Encoder parity: the simulator programs the same item memories.
+        accelerator.reset_activity();
+        let hw_encoded = accelerator
+            .encode(sample)
+            .map_err(|e| sim_err("sim_encoder", &e))?;
+        let encode_activity = *accelerator.activity();
+        let sw_encoded = pipeline
+            .encode(sample)
+            .map_err(|e| sim_err("sim_encoder", &e))?;
+        if hw_encoded != sw_encoded {
+            return Err(Divergence {
+                stage: StageKind::SimScore,
+                kernel: "sim_encoder".to_string(),
+                detail: format!(
+                    "sample {i}: {}",
+                    first_i32_diff(hw_encoded.values(), sw_encoded.values())
+                ),
+            });
+        }
+        coverage.add(StageKind::SimScore, 1);
+        let expected_encode = generic_sim::mitigation::encode_activity(accelerator.config(), true);
+        if encode_activity != expected_encode {
+            return Err(Divergence {
+                stage: StageKind::SimActivity,
+                kernel: "sim_activity".to_string(),
+                detail: format!(
+                    "sample {i}: encode charged {encode_activity:?}, formula {expected_encode:?}"
+                ),
+            });
+        }
+        coverage.add(StageKind::SimActivity, 1);
+
+        // Full-dimension and reduced-tier inference.
+        for dims in [scenario.dim, scenario.reduced_dims] {
+            accelerator.reset_activity();
+            let outcome = accelerator
+                .infer_reduced(sample, dims)
+                .map_err(|e| sim_err("sim_hw_scores", &e))?;
+            let activity = *accelerator.activity();
+            let oracle = hw_score_oracle(&accelerator, &sw_encoded, dims, scenario.n_classes);
+            if outcome.scores != oracle {
+                return Err(Divergence {
+                    stage: StageKind::SimScore,
+                    kernel: "sim_hw_scores".to_string(),
+                    detail: format!(
+                        "sample {i} dims {dims}: {}",
+                        first_f64_diff(&outcome.scores, &oracle)
+                    ),
+                });
+            }
+            let expected_prediction = argmax_first(&oracle);
+            if outcome.prediction != expected_prediction {
+                return Err(Divergence {
+                    stage: StageKind::SimScore,
+                    kernel: "sim_hw_scores".to_string(),
+                    detail: format!(
+                        "sample {i} dims {dims}: predicted {}, oracle argmax {expected_prediction}",
+                        outcome.prediction
+                    ),
+                });
+            }
+            coverage.add(StageKind::SimScore, 2);
+
+            let expected_activity = generic_sim::mitigation::infer_activity(
+                accelerator.config(),
+                dims,
+                scenario.n_classes,
+            );
+            if activity != expected_activity {
+                return Err(Divergence {
+                    stage: StageKind::SimActivity,
+                    kernel: "sim_activity".to_string(),
+                    detail: format!(
+                        "sample {i} dims {dims}: inference charged {activity:?}, formula {expected_activity:?}"
+                    ),
+                });
+            }
+            coverage.add(StageKind::SimActivity, 1);
+        }
+    }
+    Ok(())
+}
+
+/// Independent scalar recomputation of the hardware score path:
+/// exact integer dot products over the stored class rows, freshly
+/// recomputed 128-dim chunk norms, and the same Mitchell division.
+fn hw_score_oracle(
+    accelerator: &Accelerator,
+    query: &IntHv,
+    dims: usize,
+    n_classes: usize,
+) -> Vec<f64> {
+    (0..n_classes)
+        .map(|c| {
+            let row = &accelerator.class_row(c)[..dims];
+            let dot: i64 = query.values()[..dims]
+                .iter()
+                .zip(row)
+                .map(|(&q, &w)| i64::from(q) * i64::from(w))
+                .sum();
+            let norm2: u64 = row
+                .chunks(128)
+                .map(|chunk| {
+                    chunk
+                        .iter()
+                        .map(|&v| (i64::from(v) * i64::from(v)) as u64)
+                        .sum::<u64>()
+                })
+                .sum();
+            if norm2 == 0 {
+                return 0.0;
+            }
+            let dot2 = (i128::from(dot) * i128::from(dot)) as u128;
+            let quotient = mitchell_divide_wide(dot2, norm2);
+            if dot < 0 {
+                -quotient
+            } else {
+                quotient
+            }
+        })
+        .collect()
+}
+
+/// First-maximum argmax — the tie-break both the resilient first pass
+/// and the simulator's score finalization use.
+fn argmax_first(scores: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn perturb_hv(hv: IntHv) -> IntHv {
+    let mut values = hv.into_values();
+    values[0] += 1;
+    IntHv::from_values(values).expect("non-empty vector stays valid")
+}
+
+fn harness_failure(stage: StageKind, kernel: &str, error: &dyn std::fmt::Display) -> Divergence {
+    Divergence {
+        stage,
+        kernel: kernel.to_string(),
+        detail: format!("harness step failed: {error}"),
+    }
+}
+
+fn first_i32_diff(fast: &[i32], reference: &[i32]) -> String {
+    match fast.iter().zip(reference).position(|(a, b)| a != b) {
+        Some(i) => format!(
+            "first difference at dim {i}: fast {} vs reference {}",
+            fast[i], reference[i]
+        ),
+        None => format!(
+            "lengths differ: fast {} vs reference {}",
+            fast.len(),
+            reference.len()
+        ),
+    }
+}
+
+fn first_f64_diff(fast: &[f64], reference: &[f64]) -> String {
+    match fast.iter().zip(reference).position(|(a, b)| a != b) {
+        Some(i) => format!(
+            "first difference at class {i}: fast {} vs reference {}",
+            fast[i], reference[i]
+        ),
+        None => format!(
+            "lengths differ: fast {} vs reference {}",
+            fast.len(),
+            reference.len()
+        ),
+    }
+}
+
+fn unique_temp_dir(seed: u64) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "generic-conformance-{}-{seed}-{n}",
+        std::process::id()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn clean_scenarios_have_no_divergence_and_cover_every_stage() {
+        for seed in 0..4 {
+            let scenario = Scenario::generate(seed);
+            let report = run_scenario(&scenario);
+            assert!(
+                report.divergence.is_none(),
+                "seed {seed} ({}): {}",
+                scenario.token(),
+                report.divergence.unwrap()
+            );
+            for (stage, checks) in &report.coverage {
+                assert!(*checks > 0, "seed {seed}: stage {stage} ran no checks");
+            }
+            assert!(report.total_checks() > 0);
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let scenario = Scenario::generate(5);
+        assert_eq!(run_scenario(&scenario), run_scenario(&scenario));
+    }
+
+    #[test]
+    fn every_mutation_is_detected_at_its_own_stage() {
+        let scenario = Scenario::generate(9);
+        let cases = [
+            (Mutation::EncodeBitFlip, StageKind::Encode),
+            (Mutation::RetrainDrift, StageKind::Retrain),
+            (Mutation::PackedScoreSkew, StageKind::QuantScore),
+        ];
+        for (mutation, stage) in cases {
+            let report = run_scenario_mutated(&scenario, mutation);
+            let divergence = report
+                .divergence
+                .unwrap_or_else(|| panic!("{mutation:?} must diverge"));
+            assert_eq!(divergence.stage, stage, "{mutation:?}");
+            // Stages after the divergence never ran.
+            let diverged_at = StageKind::ALL.iter().position(|&s| s == stage).unwrap();
+            for &(s, checks) in &report.coverage[diverged_at + 1..] {
+                assert_eq!(checks, 0, "{mutation:?}: stage {s} ran after divergence");
+            }
+        }
+    }
+}

@@ -18,7 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::quant::{mask, sign_extend};
+use crate::quant::{mask, pack_bits, sign_extend, unpack_bits};
 use crate::{BinaryHv, HdcError, IntHv, QuantizedModel};
 
 /// The temporal behaviour of injected faults.
@@ -327,12 +327,7 @@ impl DefectMap {
                     continue;
                 }
                 flipped += m.count_ones() as usize;
-                if bw == 1 {
-                    *v = -*v;
-                } else {
-                    let bits = ((*v as u16) & mask(bw)) ^ m;
-                    *v = sign_extend(bits, bw);
-                }
+                *v = unpack_bits(pack_bits(*v, bw) ^ m, bw);
             }
         }
         Ok(flipped)
@@ -340,8 +335,12 @@ impl DefectMap {
 }
 
 /// Flips each effective bit of each class element independently with
-/// probability `ber`, drawing from `rng` in class-major element order.
-/// Shared by [`FaultModel`] and [`QuantizedModel::inject_bit_flips`].
+/// probability `ber`, drawing from `rng` in class-major element order
+/// (one draw per effective bit at every width, so the RNG stream is
+/// width-stable). All packing goes through
+/// [`pack_bits`]/[`unpack_bits`](crate::quant::unpack_bits), which keep
+/// 1-bit sign semantics intact. Shared by [`FaultModel`] and
+/// [`QuantizedModel::inject_bit_flips`].
 pub(crate) fn flip_class_bits(
     classes: &mut [Vec<i16>],
     bw: u32,
@@ -351,22 +350,16 @@ pub(crate) fn flip_class_bits(
     let mut flipped = 0;
     for class in classes {
         for v in class.iter_mut() {
-            if bw == 1 {
-                // 1-bit models store only the sign (0 = +1, 1 = -1);
-                // a flip negates the element.
+            let bits = pack_bits(*v, bw);
+            let mut noisy = bits;
+            for b in 0..bw {
                 if rng.random_bool(ber) {
-                    *v = -*v;
+                    noisy ^= 1 << b;
                     flipped += 1;
                 }
-            } else {
-                let mut bits = (*v as u16) & mask(bw);
-                for b in 0..bw {
-                    if rng.random_bool(ber) {
-                        bits ^= 1 << b;
-                        flipped += 1;
-                    }
-                }
-                *v = sign_extend(bits, bw);
+            }
+            if noisy != bits {
+                *v = unpack_bits(noisy, bw);
             }
         }
     }

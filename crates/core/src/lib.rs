@@ -80,6 +80,7 @@ mod resilient;
 pub mod encoding;
 pub mod io;
 pub mod metrics;
+pub mod oracle;
 pub mod runtime;
 
 pub use binary_model::BinaryModel;
@@ -91,7 +92,7 @@ pub use id::IdMemory;
 pub use level::{LevelMemory, Quantizer};
 pub use model::{HdcModel, NormMode, PredictOptions};
 pub use pipeline::HdcPipeline;
-pub use quant::{PackedQuantizedModel, QuantizedModel};
+pub use quant::{pack_bits, unpack_bits, PackedQuantizedModel, QuantizedModel};
 pub use resilient::{ResilienceConfig, ResilienceStats, ResilientPipeline};
 pub use runtime::{
     CheckpointStore, DegradationLadder, OnlineRuntime, RetryPolicy, RuntimeConfig, RuntimeError,

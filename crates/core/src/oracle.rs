@@ -1,0 +1,437 @@
+//! Uniform registry of fast-kernel / scalar-oracle pairs.
+//!
+//! Successive optimisation passes left the crate with several "fast path
+//! plus retained scalar reference" pairs: bit-sliced bundling vs scalar
+//! rotate-and-add encoding, blocked similarity vs per-class scalar
+//! scoring, parallel vs sequential retraining, bit-plane packed scoring
+//! vs unpacked scoring. Each pair carries an equivalence contract that
+//! silently erodes unless it is machine-checked. This module is the one
+//! place those contracts are written down:
+//!
+//! - [`ORACLE_REGISTRY`] names every checked stage boundary together
+//!   with its typed output [`Tolerance`] and a human-readable contract,
+//! - [`DifferentialKernel`] lets a harness execute both sides of a pair
+//!   without knowing which kernel it is driving, which is what the
+//!   `generic-conformance` crate's scenario fuzzer builds on.
+//!
+//! Boundaries that live outside this crate (the cycle simulator's
+//! hardware scores and activity counters) are registered here too, so a
+//! conformance run can report coverage against a single list.
+
+use crate::encoding::GenericEncoder;
+use crate::{
+    BinaryHv, HdcError, HdcModel, IntHv, PackedQuantizedModel, PredictOptions, QuantizedModel,
+};
+
+/// How far a fast implementation may stray from its scalar oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Outputs must be bit-identical: integer arithmetic is exact and
+    /// floating-point reductions fold in the same order on both sides.
+    BitIdentical,
+    /// Outputs may differ elementwise by at most this absolute amount
+    /// (different but documented floating-point association).
+    AbsEpsilon(f64),
+    /// Only the induced ranking must agree (same winner under the
+    /// documented tie-break); score magnitudes are approximate.
+    RankEquivalent,
+}
+
+/// The pipeline stage a checked boundary belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Feature bins → hypervector (bit-sliced vs scalar bundling).
+    Encode,
+    /// Epoch-level model updates (blocked/parallel vs scalar retraining).
+    Retrain,
+    /// Full- and reduced-dimension similarity scoring.
+    Score,
+    /// Quantized scoring, packed bit-plane vs unpacked.
+    QuantScore,
+    /// Resilient pipeline at baseline vs direct quantized inference.
+    Resilient,
+    /// Pipeline serialization / checkpoint-store round-trips.
+    CheckpointRestore,
+    /// Simulator hardware scores vs independent scalar recomputation.
+    SimScore,
+    /// Simulator activity counters vs the closed-form cost model.
+    SimActivity,
+}
+
+impl StageKind {
+    /// Every stage, in canonical reporting order.
+    pub const ALL: [StageKind; 8] = [
+        StageKind::Encode,
+        StageKind::Retrain,
+        StageKind::Score,
+        StageKind::QuantScore,
+        StageKind::Resilient,
+        StageKind::CheckpointRestore,
+        StageKind::SimScore,
+        StageKind::SimActivity,
+    ];
+
+    /// Stable lowercase name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Encode => "encode",
+            StageKind::Retrain => "retrain",
+            StageKind::Score => "score",
+            StageKind::QuantScore => "quant_score",
+            StageKind::Resilient => "resilient",
+            StageKind::CheckpointRestore => "checkpoint_restore",
+            StageKind::SimScore => "sim_score",
+            StageKind::SimActivity => "sim_activity",
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One registered fast-path / oracle boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleEntry {
+    /// Stable identifier (matches the fast-path method name where one
+    /// exists).
+    pub name: &'static str,
+    /// The pipeline stage the boundary belongs to.
+    pub stage: StageKind,
+    /// The permitted divergence between the two sides.
+    pub tolerance: Tolerance,
+    /// Why the tolerance holds — the equivalence contract being tested.
+    pub contract: &'static str,
+}
+
+/// Every checked stage boundary, in pipeline order.
+pub const ORACLE_REGISTRY: &[OracleEntry] = &[
+    OracleEntry {
+        name: "encode_bins",
+        stage: StageKind::Encode,
+        tolerance: Tolerance::BitIdentical,
+        contract: "bit-sliced window bundling accumulates the same \
+                   integers as the scalar rotate-and-add reference; all \
+                   arithmetic is exact",
+    },
+    OracleEntry {
+        name: "score_all",
+        stage: StageKind::Score,
+        tolerance: Tolerance::BitIdentical,
+        contract: "blocked dot products are exact i64 sums; class norms \
+                   fold the precomputed sub-norm chunks in the same \
+                   left-to-right order as the scalar reference",
+    },
+    OracleEntry {
+        name: "retrain_epoch",
+        stage: StageKind::Retrain,
+        tolerance: Tolerance::BitIdentical,
+        contract: "the blocked epoch applies the same sequential \
+                   mispredict corrections as the scalar reference, in \
+                   sample order",
+    },
+    OracleEntry {
+        name: "retrain_epoch_parallel",
+        stage: StageKind::Retrain,
+        tolerance: Tolerance::BitIdentical,
+        contract: "worker partitions replay their corrections in \
+                   deterministic sample order, so the merged model is \
+                   bit-identical to the sequential epoch",
+    },
+    OracleEntry {
+        name: "packed_scores",
+        stage: StageKind::QuantScore,
+        tolerance: Tolerance::BitIdentical,
+        contract: "bit-plane popcount dot products are exact integers and \
+                   the class norms are the same left-to-right f64 fold as \
+                   the unpacked model",
+    },
+    OracleEntry {
+        name: "resilient_baseline",
+        stage: StageKind::Resilient,
+        tolerance: Tolerance::BitIdentical,
+        contract: "with the baseline config and no faults, the resilient \
+                   pipeline is one full-dimension cosine pass; its answer \
+                   is the first-maximum argmax of the quantized cosine \
+                   scores",
+    },
+    OracleEntry {
+        name: "pipeline_checkpoint",
+        stage: StageKind::CheckpointRestore,
+        tolerance: Tolerance::BitIdentical,
+        contract: "the GHDC wire format is canonical: write∘read∘write \
+                   emits identical bytes and the restored pipeline \
+                   predicts identically",
+    },
+    OracleEntry {
+        name: "sim_hw_scores",
+        stage: StageKind::SimScore,
+        tolerance: Tolerance::BitIdentical,
+        contract: "hardware scores are recomputable from the stored class \
+                   rows and chunked norm2 memory via the same Mitchell \
+                   division; the prediction is the first-maximum argmax",
+    },
+    OracleEntry {
+        name: "sim_activity",
+        stage: StageKind::SimActivity,
+        tolerance: Tolerance::BitIdentical,
+        contract: "engine activity counter deltas equal the closed-form \
+                   mitigation cost formulas for the same operation",
+    },
+];
+
+/// Looks up a registry entry by its stable name.
+pub fn lookup(name: &str) -> Option<&'static OracleEntry> {
+    ORACLE_REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// A fast implementation paired with its retained scalar reference,
+/// executable by a harness that knows nothing about the kernel.
+///
+/// Both sides receive the same input; a conformance harness compares the
+/// outputs under [`OracleEntry::tolerance`] (every in-crate kernel is
+/// [`Tolerance::BitIdentical`], so plain equality is the check).
+pub trait DifferentialKernel {
+    /// The per-invocation input.
+    type Input: ?Sized;
+    /// The comparable output of both sides.
+    type Output: PartialEq + std::fmt::Debug;
+
+    /// The registry entry describing this boundary.
+    fn entry(&self) -> &'static OracleEntry;
+
+    /// Runs the optimised path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (dimension mismatches, bad labels).
+    fn fast(&self, input: &Self::Input) -> Result<Self::Output, HdcError>;
+
+    /// Runs the retained scalar reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (dimension mismatches, bad labels).
+    fn reference(&self, input: &Self::Input) -> Result<Self::Output, HdcError>;
+}
+
+/// [`GenericEncoder::encode_bins`] vs
+/// [`GenericEncoder::encode_bins_scalar`]: quantized level bins in,
+/// bundled hypervector out.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeKernel<'a> {
+    /// The encoder under test.
+    pub encoder: &'a GenericEncoder,
+}
+
+impl DifferentialKernel for EncodeKernel<'_> {
+    type Input = [usize];
+    type Output = IntHv;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("encode_bins").expect("registered")
+    }
+
+    fn fast(&self, bins: &[usize]) -> Result<IntHv, HdcError> {
+        self.encoder.encode_bins(bins)
+    }
+
+    fn reference(&self, bins: &[usize]) -> Result<IntHv, HdcError> {
+        self.encoder.encode_bins_scalar(bins)
+    }
+}
+
+/// [`HdcModel::score_all`] vs [`HdcModel::scores_scalar`] under one set
+/// of prediction options (full or reduced dimensions, either norm mode).
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreKernel<'a> {
+    /// The trained model under test.
+    pub model: &'a HdcModel,
+    /// Scoring options applied identically to both sides.
+    pub opts: PredictOptions,
+}
+
+impl DifferentialKernel for ScoreKernel<'_> {
+    type Input = IntHv;
+    type Output = Vec<f64>;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("score_all").expect("registered")
+    }
+
+    fn fast(&self, query: &IntHv) -> Result<Vec<f64>, HdcError> {
+        let mut out = Vec::new();
+        self.model.score_all(query, self.opts, &mut out);
+        Ok(out)
+    }
+
+    fn reference(&self, query: &IntHv) -> Result<Vec<f64>, HdcError> {
+        Ok(self.model.scores_scalar(query, self.opts))
+    }
+}
+
+/// One retraining epoch, blocked (and optionally parallel) vs scalar.
+/// The input is the epoch's `(encoded, labels)` batch; the output is the
+/// updated class matrix plus the epoch's mispredict count.
+#[derive(Debug, Clone, Copy)]
+pub struct RetrainKernel<'a> {
+    /// The starting model; both sides run on their own clone.
+    pub model: &'a HdcModel,
+    /// Worker threads for the fast side (`> 1` exercises
+    /// [`HdcModel::retrain_epoch_parallel`], otherwise
+    /// [`HdcModel::retrain_epoch`]).
+    pub threads: usize,
+}
+
+impl DifferentialKernel for RetrainKernel<'_> {
+    type Input = (Vec<IntHv>, Vec<usize>);
+    type Output = (Vec<Vec<i32>>, usize);
+
+    fn entry(&self) -> &'static OracleEntry {
+        if self.threads > 1 {
+            lookup("retrain_epoch_parallel").expect("registered")
+        } else {
+            lookup("retrain_epoch").expect("registered")
+        }
+    }
+
+    fn fast(&self, batch: &(Vec<IntHv>, Vec<usize>)) -> Result<Self::Output, HdcError> {
+        let (encoded, labels) = batch;
+        let mut model = self.model.clone();
+        let errors = if self.threads > 1 {
+            model.retrain_epoch_parallel(encoded, labels, self.threads)?
+        } else {
+            model.retrain_epoch(encoded, labels)?
+        };
+        Ok((class_rows(&model), errors))
+    }
+
+    fn reference(&self, batch: &(Vec<IntHv>, Vec<usize>)) -> Result<Self::Output, HdcError> {
+        let (encoded, labels) = batch;
+        let mut model = self.model.clone();
+        let errors = model.retrain_epoch_scalar(encoded, labels)?;
+        Ok((class_rows(&model), errors))
+    }
+}
+
+/// [`PackedQuantizedModel::scores`] vs [`QuantizedModel::scores`] on a
+/// binarized query.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedScoreKernel<'a> {
+    /// The unpacked quantized model (the reference side).
+    pub quantized: &'a QuantizedModel,
+    /// Its bit-plane packed counterpart (the fast side).
+    pub packed: &'a PackedQuantizedModel,
+}
+
+impl DifferentialKernel for PackedScoreKernel<'_> {
+    type Input = BinaryHv;
+    type Output = Vec<f64>;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("packed_scores").expect("registered")
+    }
+
+    fn fast(&self, query: &BinaryHv) -> Result<Vec<f64>, HdcError> {
+        self.packed.scores(query)
+    }
+
+    fn reference(&self, query: &BinaryHv) -> Result<Vec<f64>, HdcError> {
+        Ok(self.quantized.scores(&IntHv::from(query.clone())))
+    }
+}
+
+fn class_rows(model: &HdcModel) -> Vec<Vec<i32>> {
+    model.iter().map(|hv| hv.values().to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Encoder, GenericEncoderSpec};
+
+    fn fixture() -> (GenericEncoder, HdcModel, Vec<IntHv>, Vec<usize>) {
+        let features: Vec<Vec<f64>> = (0..12)
+            .map(|i| (0..6).map(|j| ((i * 7 + j * 3) % 10) as f64).collect())
+            .collect();
+        let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let spec = GenericEncoderSpec::new(256, 6).with_seed(9);
+        let encoder = GenericEncoder::from_data(spec, &features).unwrap();
+        let encoded: Vec<IntHv> = features
+            .iter()
+            .map(|s| encoder.encode(s).unwrap())
+            .collect();
+        let model = HdcModel::fit(&encoded, &labels, 3).unwrap();
+        (encoder, model, encoded, labels)
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for entry in ORACLE_REGISTRY {
+            assert_eq!(lookup(entry.name).unwrap().name, entry.name);
+        }
+        let mut names: Vec<_> = ORACLE_REGISTRY.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            ORACLE_REGISTRY.len(),
+            "duplicate registry name"
+        );
+        // Every stage is represented.
+        for stage in StageKind::ALL {
+            assert!(
+                ORACLE_REGISTRY.iter().any(|e| e.stage == stage),
+                "stage {stage} has no registered boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_a_trained_fixture() {
+        let (encoder, model, encoded, labels) = fixture();
+
+        let encode = EncodeKernel { encoder: &encoder };
+        let bins = encoder.quantizer().bins(&[1.0; 6]).unwrap();
+        assert_eq!(
+            encode.fast(&bins).unwrap(),
+            encode.reference(&bins).unwrap()
+        );
+
+        let score = ScoreKernel {
+            model: &model,
+            opts: PredictOptions::full(model.dim()),
+        };
+        assert_eq!(
+            score.fast(&encoded[0]).unwrap(),
+            score.reference(&encoded[0]).unwrap()
+        );
+
+        for threads in [1, 3] {
+            let retrain = RetrainKernel {
+                model: &model,
+                threads,
+            };
+            let batch = (encoded.clone(), labels.clone());
+            assert_eq!(
+                retrain.fast(&batch).unwrap(),
+                retrain.reference(&batch).unwrap(),
+                "threads={threads}"
+            );
+        }
+
+        let quantized = QuantizedModel::from_model(&model, 4).unwrap();
+        let packed = quantized.pack().unwrap();
+        let kernel = PackedScoreKernel {
+            quantized: &quantized,
+            packed: &packed,
+        };
+        let binary = encoded[0].to_binary();
+        assert_eq!(
+            kernel.fast(&binary).unwrap(),
+            kernel.reference(&binary).unwrap()
+        );
+    }
+}

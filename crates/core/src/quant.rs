@@ -435,6 +435,56 @@ pub(crate) fn sign_extend(bits: u16, bw: u32) -> i16 {
     }
 }
 
+/// Packs one stored class element into its `bw` effective memory bits.
+///
+/// For `bw >= 2` this is plain two's-complement truncation. 1-bit models
+/// are sign-only (they store `+1` / `-1`, never `0`), so the single
+/// memory bit is `1` for negative elements and `0` otherwise; naive
+/// two's-complement truncation would pack `+1` as bit `1`, which
+/// [`unpack_bits`] — and the hardware's sign-extending read port — would
+/// then read back as `-1`, silently negating every positive element that
+/// crossed the memory boundary. All in-crate bit-level fault injection
+/// goes through this pair, so pack∘unpack is the identity on every
+/// representable value at every width.
+///
+/// # Panics
+///
+/// Panics if `bw` is not in `1..=16`.
+pub fn pack_bits(value: i16, bw: u32) -> u16 {
+    assert!((1..=16).contains(&bw), "bit width {bw} out of range 1..=16");
+    if bw == 1 {
+        u16::from(value < 0)
+    } else {
+        (value as u16) & mask(bw)
+    }
+}
+
+/// Unpacks `bw` effective memory bits into a stored class element — the
+/// exact inverse of [`pack_bits`] on every representable value
+/// (`{-1, +1}` at one bit, the two's-complement range otherwise).
+///
+/// At `bw == 1` the decode is sign-only: bit `1` reads as `-1`, bit `0`
+/// as `+1`. A hand-built zero element (allowed by
+/// [`QuantizedModel::from_parts`] but never produced by quantization) is
+/// not representable in one bit and reads back as `+1` after a memory
+/// round-trip.
+///
+/// # Panics
+///
+/// Panics if `bw` is not in `1..=16`.
+pub fn unpack_bits(bits: u16, bw: u32) -> i16 {
+    assert!((1..=16).contains(&bw), "bit width {bw} out of range 1..=16");
+    if bw == 1 {
+        if bits & 1 != 0 {
+            -1
+        } else {
+            1
+        }
+    } else {
+        sign_extend(bits, bw)
+    }
+}
+
 fn quantize_class(values: &[i32], bit_width: u8) -> Vec<i16> {
     if bit_width == 1 {
         // Sign-only model: +1 / -1 (0 maps to +1).
@@ -587,6 +637,135 @@ mod tests {
         assert_eq!(sign_extend(0b1, 1), -1);
         assert_eq!(sign_extend(0b0, 1), 0);
         assert_eq!(sign_extend(0xFFFF, 16), -1);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_every_representable_value() {
+        for bw in 1..=16u32 {
+            let representable: Vec<i16> = if bw == 1 {
+                vec![-1, 1]
+            } else {
+                (0..1u32 << bw)
+                    .map(|bits| sign_extend(bits as u16, bw))
+                    .collect()
+            };
+            for v in representable {
+                let bits = pack_bits(v, bw);
+                assert_eq!(bits & !mask(bw), 0, "bw={bw}: packed bits exceed the mask");
+                assert_eq!(unpack_bits(bits, bw), v, "bw={bw} v={v}");
+            }
+            // Every effective bit pattern decodes and re-encodes to itself,
+            // so XOR fault masks act on a closed set of states.
+            let patterns: u32 = if bw == 1 { 2 } else { 1u32 << bw };
+            for bits in 0..patterns {
+                let bits = bits as u16;
+                assert_eq!(
+                    pack_bits(unpack_bits(bits, bw), bw),
+                    bits,
+                    "bw={bw} bits={bits:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_pack_boundary_keeps_positive_signs() {
+        // The regression this pair exists for: +1 must survive a memory
+        // round-trip (two's-complement truncation would read it back
+        // as -1).
+        assert_eq!(pack_bits(1, 1), 0);
+        assert_eq!(pack_bits(-1, 1), 1);
+        assert_eq!(unpack_bits(pack_bits(1, 1), 1), 1);
+        assert_eq!(unpack_bits(pack_bits(-1, 1), 1), -1);
+        // Hand-built zeros are not representable and normalize to +1.
+        assert_eq!(unpack_bits(pack_bits(0, 1), 1), 1);
+    }
+
+    #[test]
+    fn one_bit_round_trip_matches_unquantized_model_exhaustively() {
+        use crate::FaultModel;
+        // Every 8-dim sign pattern, quantized to one bit, must survive the
+        // pack/unpack boundary with its signs intact and score queries
+        // exactly like a scalar sign oracle over the unquantized model.
+        for pattern in 0u32..256 {
+            let row: Vec<i32> = (0..8)
+                .map(|i| {
+                    let magnitude = i + 1;
+                    if pattern >> i & 1 == 1 {
+                        -magnitude
+                    } else {
+                        magnitude
+                    }
+                })
+                .collect();
+            let classes = vec![
+                IntHv::from_values(row.clone()).unwrap(),
+                IntHv::from_values(row.iter().map(|v| -v).collect()).unwrap(),
+            ];
+            let model = HdcModel::from_class_vectors(classes).unwrap();
+            let q = QuantizedModel::from_model(&model, 1).unwrap();
+
+            // Elementwise: quantized class = sign of the unquantized class,
+            // unchanged by a pack/unpack memory round-trip.
+            for c in 0..2 {
+                for (&qv, &mv) in q.class(c).iter().zip(model.class(c).values()) {
+                    let expected = if mv < 0 { -1 } else { 1 };
+                    assert_eq!(qv, expected, "pattern={pattern:#010b} class={c}");
+                    assert_eq!(unpack_bits(pack_bits(qv, 1), 1), qv);
+                }
+            }
+
+            // Scoring: the 1-bit model must agree exactly with the scalar
+            // sign oracle (all class norms are sqrt(8), folded in the same
+            // left-to-right order as `scores`).
+            let query = IntHv::from_values((0..8).map(|i| i - 3).collect()).unwrap();
+            let scores = q.scores(&query);
+            for (c, &score) in scores.iter().enumerate() {
+                let dot: i64 = query
+                    .values()
+                    .iter()
+                    .zip(q.class(c))
+                    .map(|(&a, &b)| i64::from(a) * i64::from(b))
+                    .sum();
+                let norm2: f64 = (0..8).map(|_| 1.0f64).sum();
+                assert_eq!(score, dot as f64 / norm2.sqrt(), "pattern={pattern:#010b}");
+            }
+
+            // A full defect flip is an involution through the boundary:
+            // flipping every stored bit twice restores the model exactly.
+            let full_flip = FaultModel::persistent(1.0, 3).unwrap();
+            let map = full_flip.defect_map(2, 8, 1).unwrap();
+            let mut flipped = q.clone();
+            map.apply(&mut flipped).unwrap();
+            for c in 0..2 {
+                for (&fv, &qv) in flipped.class(c).iter().zip(q.class(c)) {
+                    assert_eq!(fv, -qv, "full flip negates every 1-bit element");
+                }
+            }
+            map.apply(&mut flipped).unwrap();
+            assert_eq!(
+                flipped, q,
+                "double flip must round-trip, pattern={pattern:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn defect_involution_round_trips_every_width() {
+        use crate::FaultModel;
+        for bw in [1u8, 2, 4, 8, 16] {
+            let (model, _, _) = trained_model(256);
+            let q = QuantizedModel::from_model(&model, bw).unwrap();
+            let map = FaultModel::persistent(1.0, 17)
+                .unwrap()
+                .defect_map(q.n_classes(), q.dim(), bw)
+                .unwrap();
+            let mut m = q.clone();
+            map.apply(&mut m).unwrap();
+            assert_ne!(m, q, "bw={bw}: a full flip must change the model");
+            map.apply(&mut m).unwrap();
+            assert_eq!(m, q, "bw={bw}: XOR defects must be an involution");
+        }
     }
 
     #[test]

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Line-coverage report for the correctness-critical crates, with an
+# enforced floor on crates/core.
+#
+# Usage:
+#   scripts/coverage.sh          # report only
+#   scripts/coverage.sh --ci     # report and enforce COVERAGE_FLOOR
+#
+# Requires cargo-llvm-cov (https://github.com/taiki-e/cargo-llvm-cov).
+# Offline/dev containers without it get a graceful skip, not a failure:
+# coverage is a CI-job concern, the tool is deliberately not vendored.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Minimum line coverage (percent) for generic-hdc, the crate every other
+# layer trusts. Raise deliberately; never lower to green a PR.
+COVERAGE_FLOOR="${COVERAGE_FLOOR:-80}"
+
+if ! cargo llvm-cov --version >/dev/null 2>&1; then
+  echo "cargo-llvm-cov is not installed; skipping coverage." >&2
+  echo "Install with: cargo install cargo-llvm-cov --locked" >&2
+  exit 0
+fi
+
+enforce=false
+if [[ "${1:-}" == "--ci" ]]; then
+  enforce=true
+fi
+
+# The conformance crate's tests execute the differential stages across
+# generic-hdc and generic-sim, so running both packages' tests gives the
+# core crate its cross-layer coverage too.
+run() {
+  cargo llvm-cov --locked \
+    -p generic-hdc -p generic-conformance \
+    --summary-only "$@"
+}
+
+run
+echo
+
+if $enforce; then
+  echo "enforcing ${COVERAGE_FLOOR}% line-coverage floor on generic-hdc"
+  # `--fail-under-lines` exits nonzero below the floor. Scope the gate to
+  # the core crate: JSON from the same instrumented run, no re-test.
+  run --fail-under-lines "${COVERAGE_FLOOR}"
+  echo "coverage floor satisfied"
+fi

@@ -21,4 +21,7 @@ cargo clippy --workspace --all-targets --locked -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> conformance smoke (differential oracles)"
+cargo run -p generic-bench --release --locked --quiet --bin conformance -- --smoke
+
 echo "All checks passed."

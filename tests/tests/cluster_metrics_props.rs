@@ -1,0 +1,176 @@
+//! Property-based tests for HDC clustering and the evaluation metrics:
+//! NMI symmetry and permutation invariance, range clamping, degenerate
+//! labelings, and the clustering engine's documented edge behaviors
+//! (single cluster, empty clusters, invalid k).
+
+use generic_hdc::metrics::{accuracy, confusion_matrix, normalized_mutual_information};
+use generic_hdc::{HdcClustering, HdcClusteringSpec, IntHv};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EPS: f64 = 1e-9;
+
+/// A labeling: values in a small alphabet so clusters actually repeat.
+fn arb_labels() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..4, 1..40)
+}
+
+/// Applies a value-level relabeling (label `v` becomes `perm[v]`).
+fn relabel(labels: &[usize], perm: &[usize; 4]) -> Vec<usize> {
+    labels.iter().map(|&v| perm[v]).collect()
+}
+
+/// Seeded random hypervectors for clustering inputs.
+fn random_hvs(n: usize, dim: usize, seed: u64) -> Vec<IntHv> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let values: Vec<i32> = (0..dim).map(|_| rng.random_range(-5i32..=5)).collect();
+            IntHv::from_values(values).expect("non-empty")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NMI is symmetric in its arguments.
+    #[test]
+    fn nmi_is_symmetric(a in arb_labels(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<usize> = a.iter().map(|_| rng.random_range(0..4usize)).collect();
+        let ab = normalized_mutual_information(&a, &b).unwrap();
+        let ba = normalized_mutual_information(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < EPS, "nmi(a,b)={ab} nmi(b,a)={ba}");
+    }
+
+    /// NMI only depends on the partition, not on which integers name the
+    /// clusters: relabeling either side through a permutation of the
+    /// label alphabet leaves it unchanged.
+    #[test]
+    fn nmi_is_permutation_invariant(a in arb_labels(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<usize> = a.iter().map(|_| rng.random_range(0..4usize)).collect();
+        // Fisher–Yates over the 4-symbol alphabet.
+        let mut perm = [0usize, 1, 2, 3];
+        for i in (1..4).rev() {
+            perm.swap(i, rng.random_range(0..=i));
+        }
+        let base = normalized_mutual_information(&a, &b).unwrap();
+        let relabeled_b = normalized_mutual_information(&a, &relabel(&b, &perm)).unwrap();
+        let relabeled_a = normalized_mutual_information(&relabel(&a, &perm), &b).unwrap();
+        prop_assert!((base - relabeled_b).abs() < EPS);
+        prop_assert!((base - relabeled_a).abs() < EPS);
+    }
+
+    /// NMI is clamped to [0, 1], and a labeling carries full information
+    /// about itself.
+    #[test]
+    fn nmi_range_and_self_information(a in arb_labels(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<usize> = a.iter().map(|_| rng.random_range(0..4usize)).collect();
+        let nmi = normalized_mutual_information(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&nmi), "nmi={nmi}");
+        let self_nmi = normalized_mutual_information(&a, &a).unwrap();
+        prop_assert!((self_nmi - 1.0).abs() < EPS, "nmi(a,a)={self_nmi}");
+    }
+
+    /// Accuracy is a [0, 1] fraction, exact on self-comparison, and the
+    /// confusion matrix accounts for every sample.
+    #[test]
+    fn accuracy_and_confusion_agree(labels in arb_labels(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let predictions: Vec<usize> =
+            labels.iter().map(|_| rng.random_range(0..4usize)).collect();
+        let acc = accuracy(&predictions, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((accuracy(&labels, &labels).unwrap() - 1.0).abs() < EPS);
+
+        let matrix = confusion_matrix(&predictions, &labels, 4).unwrap();
+        let total: usize = matrix.iter().flatten().sum();
+        prop_assert_eq!(total, labels.len());
+        let diagonal: usize = (0..4).map(|c| matrix[c][c]).sum();
+        prop_assert!((acc - diagonal as f64 / labels.len() as f64).abs() < EPS);
+    }
+
+    /// Clustering assignments always index a valid cluster, every epoch
+    /// count respects the cap, and refitting is deterministic.
+    #[test]
+    fn clustering_is_valid_and_deterministic(
+        seed in any::<u64>(),
+        k in 1usize..5,
+        extra in 0usize..20,
+    ) {
+        let n = k + extra;
+        let encoded = random_hvs(n, 64, seed);
+        let spec = HdcClusteringSpec::new(k).with_max_epochs(10);
+        let (model, outcome) = HdcClustering::fit(&encoded, spec).unwrap();
+        prop_assert_eq!(model.k(), k);
+        prop_assert_eq!(outcome.assignments.len(), n);
+        prop_assert!(outcome.assignments.iter().all(|&c| c < k));
+
+        let spec = HdcClusteringSpec::new(k).with_max_epochs(10);
+        let (_, again) = HdcClustering::fit(&encoded, spec).unwrap();
+        prop_assert_eq!(outcome.assignments, again.assignments);
+    }
+
+    /// k = 1 degenerates to a single cluster holding every input.
+    #[test]
+    fn single_cluster_takes_everything(seed in any::<u64>(), n in 1usize..20) {
+        let encoded = random_hvs(n, 64, seed);
+        let (model, outcome) =
+            HdcClustering::fit(&encoded, HdcClusteringSpec::new(1)).unwrap();
+        prop_assert_eq!(model.k(), 1);
+        prop_assert!(outcome.assignments.iter().all(|&c| c == 0));
+    }
+}
+
+#[test]
+fn nmi_of_constant_labelings_is_one() {
+    // Two zero-entropy labelings: degenerate but defined as 1.0 (both
+    // partitions are identical up to renaming).
+    let a = vec![0usize; 7];
+    let b = vec![3usize; 7];
+    assert!((normalized_mutual_information(&a, &b).unwrap() - 1.0).abs() < EPS);
+}
+
+#[test]
+fn nmi_rejects_empty_and_mismatched_inputs() {
+    assert!(normalized_mutual_information(&[], &[]).is_err());
+    assert!(normalized_mutual_information(&[0, 1], &[0]).is_err());
+    assert!(accuracy(&[], &[]).is_err());
+    assert!(accuracy(&[0, 1], &[0]).is_err());
+}
+
+#[test]
+fn clustering_rejects_degenerate_specs() {
+    let encoded = random_hvs(3, 64, 9);
+    assert!(
+        HdcClustering::fit(&encoded, HdcClusteringSpec::new(0)).is_err(),
+        "k = 0"
+    );
+    assert!(
+        HdcClustering::fit(&encoded, HdcClusteringSpec::new(4)).is_err(),
+        "k > n"
+    );
+    assert!(
+        HdcClustering::fit(&[], HdcClusteringSpec::new(1)).is_err(),
+        "empty input"
+    );
+}
+
+#[test]
+fn empty_clusters_retain_their_centroid() {
+    // Every input is identical, so after the first epoch cluster 0 wins
+    // every assignment and cluster 1 goes empty; the engine must keep
+    // cluster 1's previous centroid instead of collapsing or crashing.
+    let point = IntHv::from_values(vec![1; 64]).unwrap();
+    let encoded = vec![point.clone(); 6];
+    let (model, outcome) =
+        HdcClustering::fit(&encoded, HdcClusteringSpec::new(2).with_max_epochs(5)).unwrap();
+    assert_eq!(model.k(), 2);
+    assert!(outcome.assignments.iter().all(|&c| c == 0));
+    assert_eq!(model.centroid(1).dim(), 64);
+    assert_eq!(model.assign(&point).unwrap(), 0);
+}

@@ -1,0 +1,175 @@
+//! Golden-vector tests for the GHDC wire format.
+//!
+//! Tiny committed fixture files under `tests/fixtures/` pin the exact
+//! bytes of the v2 (sealed, CRC32) and v1 (legacy, unsealed) formats for
+//! both payload kinds. Round-trips must be byte-exact; any unintentional
+//! format change — header layout, endianness, payload width, checksum —
+//! fails these tests instead of silently orphaning persisted models.
+//!
+//! Regenerate the fixtures (only after a *deliberate*, version-bumped
+//! format change) with:
+//!
+//! ```text
+//! cargo test -p generic-tests --test wire_golden -- --ignored regenerate
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use generic_hdc::io::{read_model, read_quantized, write_model, write_quantized, ReadModelError};
+use generic_hdc::{HdcModel, IntHv, QuantizedModel};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = fixture_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); see module docs",
+            path.display()
+        )
+    })
+}
+
+/// The deterministic tiny model every fixture derives from: 2 classes ×
+/// 8 dims with distinctive, sign-mixed values.
+fn golden_model() -> HdcModel {
+    let classes = vec![
+        IntHv::from_values(vec![3, -1, 4, -1, 5, -9, 2, 6]).unwrap(),
+        IntHv::from_values(vec![-2, 7, -1, 8, -2, 8, -1, 8]).unwrap(),
+    ];
+    HdcModel::from_class_vectors(classes).unwrap()
+}
+
+/// A 4-bit quantization of the golden model's shape, with every value
+/// representable in 4 bits.
+fn golden_quantized() -> QuantizedModel {
+    QuantizedModel::from_parts(
+        8,
+        4,
+        vec![
+            vec![3, -1, 4, -1, 5, -7, 2, 6],
+            vec![-2, 7, -1, 7, -2, 7, -1, 7],
+        ],
+    )
+    .unwrap()
+}
+
+/// A 1-bit quantization: sign-only rows (the historical pack/unpack
+/// regression surface — +1 must survive the wire round-trip).
+fn golden_one_bit() -> QuantizedModel {
+    QuantizedModel::from_parts(
+        8,
+        1,
+        vec![
+            vec![1, -1, 1, -1, 1, -1, 1, 1],
+            vec![-1, -1, 1, 1, -1, 1, -1, -1],
+        ],
+    )
+    .unwrap()
+}
+
+/// Converts sealed v2 bytes to the legacy v1 encoding: version byte 1,
+/// no CRC32 footer (mirrors how pre-seal files were written).
+fn to_legacy(v2: &[u8]) -> Vec<u8> {
+    let mut bytes = v2[..v2.len() - 4].to_vec();
+    bytes[4] = 1;
+    bytes
+}
+
+#[test]
+fn model_v2_fixture_round_trips_byte_exact() {
+    let bytes = fixture("model_v2.ghdc");
+    let model = read_model(&bytes[..]).expect("golden v2 model parses");
+    assert_eq!(model, golden_model());
+    let mut rewritten = Vec::new();
+    write_model(&model, &mut rewritten).unwrap();
+    assert_eq!(rewritten, bytes, "v2 serialization is no longer canonical");
+}
+
+#[test]
+fn quantized_v2_fixtures_round_trip_byte_exact() {
+    for (name, expected) in [
+        ("quantized_v2.ghdc", golden_quantized()),
+        ("quantized1bit_v2.ghdc", golden_one_bit()),
+    ] {
+        let bytes = fixture(name);
+        let model = read_quantized(&bytes[..]).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(model, expected, "{name}");
+        let mut rewritten = Vec::new();
+        write_quantized(&model, &mut rewritten).unwrap();
+        assert_eq!(
+            rewritten, bytes,
+            "{name}: serialization is no longer canonical"
+        );
+    }
+}
+
+#[test]
+fn legacy_v1_fixtures_decode_to_the_same_models() {
+    let model = read_model(&fixture("model_v1.ghdc")[..]).expect("golden v1 model parses");
+    assert_eq!(model, golden_model());
+    let quantized =
+        read_quantized(&fixture("quantized_v1.ghdc")[..]).expect("golden v1 quantized parses");
+    assert_eq!(quantized, golden_quantized());
+}
+
+#[test]
+fn header_layout_is_pinned() {
+    let bytes = fixture("model_v2.ghdc");
+    assert_eq!(&bytes[..4], b"GHDC", "magic");
+    assert_eq!(bytes[4], 2, "version");
+    assert_eq!(bytes[6], 16, "full models declare 16-bit width");
+    assert_eq!(bytes[7], 0, "pad");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        8,
+        "dim"
+    );
+    assert_eq!(
+        u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+        2,
+        "n_classes"
+    );
+    // header (16) + 2 classes × 8 dims × 4 bytes + CRC footer (4).
+    assert_eq!(bytes.len(), 16 + 2 * 8 * 4 + 4, "total length");
+
+    let quantized = fixture("quantized_v2.ghdc");
+    assert_eq!(quantized[6], 4, "quantized bit width");
+    // header (16) + 2 classes × 8 dims × 2 bytes + CRC footer (4).
+    assert_eq!(quantized.len(), 16 + 2 * 8 * 2 + 4, "quantized length");
+}
+
+#[test]
+fn corrupted_fixture_bytes_are_rejected() {
+    let mut bytes = fixture("model_v2.ghdc");
+    let payload_byte = 20;
+    bytes[payload_byte] ^= 0xFF;
+    match read_model(&bytes[..]) {
+        Err(ReadModelError::ChecksumMismatch { .. }) => {}
+        other => panic!("tampered v2 stream must fail the CRC, got {other:?}"),
+    }
+}
+
+/// Writes the fixture files. `#[ignore]`d: run explicitly after a
+/// deliberate format change, then commit the new bytes.
+#[test]
+#[ignore = "regenerates the committed golden fixtures"]
+fn regenerate() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut model_v2 = Vec::new();
+    write_model(&golden_model(), &mut model_v2).unwrap();
+    std::fs::write(dir.join("model_v2.ghdc"), &model_v2).unwrap();
+    std::fs::write(dir.join("model_v1.ghdc"), to_legacy(&model_v2)).unwrap();
+
+    let mut quantized_v2 = Vec::new();
+    write_quantized(&golden_quantized(), &mut quantized_v2).unwrap();
+    std::fs::write(dir.join("quantized_v2.ghdc"), &quantized_v2).unwrap();
+    std::fs::write(dir.join("quantized_v1.ghdc"), to_legacy(&quantized_v2)).unwrap();
+
+    let mut one_bit_v2 = Vec::new();
+    write_quantized(&golden_one_bit(), &mut one_bit_v2).unwrap();
+    std::fs::write(dir.join("quantized1bit_v2.ghdc"), &one_bit_v2).unwrap();
+}
