@@ -1,13 +1,17 @@
 //! Criterion micro-benchmarks: the word-parallel kernels against their
 //! retained scalar references — bit-sliced bundling vs per-dimension
 //! accumulation, packed sign/magnitude scoring vs the scalar dot, and
-//! blocked vs scalar class scoring.
+//! blocked vs scalar class scoring — plus every runtime-dispatched SIMD
+//! kernel set paired against the portable fallback on the same buffers,
+//! and the batched scoring engine against per-query scoring.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use generic_hdc::encoding::GenericEncoder;
 use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::kernels;
 use generic_hdc::{
     BinaryHv, BitSliceAccumulator, HdcModel, IntHv, PackedInts, PredictOptions, QuantizedModel,
+    ScoreBatch,
 };
 use std::hint::black_box;
 
@@ -128,12 +132,120 @@ fn bench_quantized_scoring(c: &mut Criterion) {
     group.finish();
 }
 
+/// Every runtime-detected kernel set against the portable fallback on
+/// identical buffers: one group per primitive, one entry per ISA (the
+/// portable entry is the 1× baseline).
+fn bench_isa_primitives(c: &mut Criterion) {
+    let words = DIM / 64;
+    let a_bits: Vec<u64> = (0..words as u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+        .collect();
+    let b_bits: Vec<u64> = (0..words as u64)
+        .map(|i| !i.wrapping_mul(0xbf58476d1ce4e5b9))
+        .collect();
+    let mask: Vec<u64> = (0..words as u64)
+        .map(|i| i.wrapping_mul(0x94d049bb133111eb))
+        .collect();
+    let a_ints: Vec<i32> = (0..DIM as i64)
+        .map(|i| ((i * 31 + 7) % 17 - 8) as i32)
+        .collect();
+    let b_ints: Vec<i32> = (0..DIM as i64)
+        .map(|i| ((i * 13 + 5) % 17 - 8) as i32)
+        .collect();
+
+    let mut group = c.benchmark_group("isa_hamming_4096");
+    for isa in kernels::available() {
+        let set = kernels::for_isa(isa).expect("listed by available()");
+        group.bench_function(BenchmarkId::from_parameter(isa), |b| {
+            b.iter(|| black_box(set.hamming(black_box(&a_bits), black_box(&b_bits))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("isa_masked_popcount_4096");
+    for isa in kernels::available() {
+        let set = kernels::for_isa(isa).expect("listed by available()");
+        group.bench_function(BenchmarkId::from_parameter(isa), |b| {
+            b.iter(|| {
+                black_box(set.masked_popcount(
+                    black_box(&a_bits),
+                    black_box(&b_bits),
+                    black_box(&mask),
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("isa_ripple_step_4096");
+    for isa in kernels::available() {
+        let set = kernels::for_isa(isa).expect("listed by available()");
+        let mut plane = vec![0u64; words];
+        let mut carry = vec![0u64; words];
+        group.bench_function(BenchmarkId::from_parameter(isa), |b| {
+            b.iter(|| {
+                plane.copy_from_slice(&a_bits);
+                carry.copy_from_slice(&mask);
+                black_box(set.ripple_step(black_box(&mut plane), black_box(&mut carry)))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("isa_dot_i32_4096");
+    for isa in kernels::available() {
+        let set = kernels::for_isa(isa).expect("listed by available()");
+        group.bench_function(BenchmarkId::from_parameter(isa), |b| {
+            b.iter(|| black_box(set.dot_i32(black_box(&a_ints), black_box(&b_ints))))
+        });
+    }
+    group.finish();
+}
+
+/// The batched scoring engine at B = 64 against a per-query loop over
+/// the same dispatched kernels and over the scalar reference.
+fn bench_score_batch(c: &mut Criterion) {
+    let encoded: Vec<IntHv> = (0..64u64)
+        .map(|s| IntHv::from(BinaryHv::random_seeded(DIM, 300 + s).expect("dim > 0")))
+        .collect();
+    let labels: Vec<usize> = (0..64).map(|i| i % 13).collect();
+    let model = HdcModel::fit(&encoded, &labels, 13).expect("valid inputs");
+    let opts = PredictOptions::full(DIM);
+
+    let mut group = c.benchmark_group("predict_64q_13c_4096");
+    group.bench_function("scalar_per_query", |b| {
+        b.iter(|| {
+            for q in &encoded {
+                black_box(model.scores_scalar(black_box(q), opts));
+            }
+        })
+    });
+    group.bench_function("kernel_per_query", |b| {
+        b.iter(|| {
+            for q in &encoded {
+                black_box(model.predict_with(black_box(q), opts));
+            }
+        })
+    });
+    group.bench_function("score_batch", |b| {
+        let mut engine = ScoreBatch::new();
+        let mut preds = Vec::new();
+        b.iter(|| {
+            engine.predict_into(&model, black_box(&encoded), opts, &mut preds);
+            black_box(&preds);
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_bundling,
     bench_encode_bins,
     bench_dot_packed,
     bench_scoring,
-    bench_quantized_scoring
+    bench_quantized_scoring,
+    bench_isa_primitives,
+    bench_score_batch
 );
 criterion_main!(benches);

@@ -28,6 +28,10 @@ use generic_hdc::{HdcModel, IntHv, PredictOptions};
 /// the end-to-end train+retrain path over the scalar baseline.
 const GATE_ENCODE_SPEEDUP: f64 = 4.0;
 const GATE_E2E_SPEEDUP: f64 = 2.0;
+/// Retraining must never be slower than the scalar reference, on any
+/// dataset — the adaptive thread/blocking thresholds fall back to the
+/// scalar path whenever the problem is too small to amortise overhead.
+const GATE_RETRAIN_SPEEDUP: f64 = 1.0;
 
 struct Config {
     dim: usize,
@@ -147,7 +151,8 @@ fn main() {
     let e2e_speedup = reports[0].speedup_of("train_retrain_e2e");
     println!(
         "gates: encode_bins {encode_speedup:.2}x (need {GATE_ENCODE_SPEEDUP:.1}x), \
-         train+retrain e2e {e2e_speedup:.2}x (need {GATE_E2E_SPEEDUP:.1}x)"
+         train+retrain e2e {e2e_speedup:.2}x (need {GATE_E2E_SPEEDUP:.1}x), \
+         retrain >= {GATE_RETRAIN_SPEEDUP:.1}x on every dataset"
     );
     if smoke {
         println!("smoke mode: gates reported, not enforced");
@@ -163,6 +168,17 @@ fn main() {
     if e2e_speedup < GATE_E2E_SPEEDUP {
         eprintln!("GATE FAILED: e2e speedup {e2e_speedup:.2}x < {GATE_E2E_SPEEDUP:.1}x");
         failed = true;
+    }
+    for report in &reports {
+        let retrain_speedup = report.speedup_of("retrain");
+        if retrain_speedup < GATE_RETRAIN_SPEEDUP {
+            eprintln!(
+                "GATE FAILED: retrain speedup {retrain_speedup:.2}x < \
+                 {GATE_RETRAIN_SPEEDUP:.1}x on {}",
+                report.name
+            );
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);
@@ -422,7 +438,8 @@ fn render_json(
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"gates\": {{\"encode_bins_min_speedup\": {GATE_ENCODE_SPEEDUP}, \
-         \"e2e_min_speedup\": {GATE_E2E_SPEEDUP}, \"enforced\": {}}}\n",
+         \"e2e_min_speedup\": {GATE_E2E_SPEEDUP}, \
+         \"retrain_min_speedup\": {GATE_RETRAIN_SPEEDUP}, \"enforced\": {}}}\n",
         !smoke
     ));
     out.push_str("}\n");

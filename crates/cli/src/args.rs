@@ -18,7 +18,7 @@ USAGE:
     generic info    --model <model>
     generic serve   --ckpt-dir <dir> --data <csv|-> [--model <model>]
                     [--budget-us N] [--checkpoint-every N] [--keep N]
-                    [--skip-bad-rows]
+                    [--batch-max N] [--skip-bad-rows]
     generic conformance [--replay <token>] [--seed N] [--count N]
 
 CSV format: one sample per row, numeric features separated by commas;
@@ -31,7 +31,10 @@ aborting the command.
 (`--data -` reads stdin): rows with one trailing extra column are
 labeled learning samples, rows matching the model's feature count are
 inference requests answered within the `--budget-us` deadline via
-degraded dimension tiers. Progress is checkpointed atomically into
+degraded dimension tiers. With --batch-max N > 1, consecutive inference
+requests are coalesced into SIMD-scored micro-batches of up to N rows
+(flushed whenever a labeled row or end-of-stream intervenes), preserving
+per-row outputs. Progress is checkpointed atomically into
 --ckpt-dir every --checkpoint-every samples (keeping --keep
 generations); on startup the newest intact generation is recovered
 unless --model bootstraps a fresh runtime.
@@ -115,6 +118,9 @@ pub enum CliCommand {
         checkpoint_every: u64,
         /// Checkpoint generations kept on disk.
         keep: usize,
+        /// Maximum unlabeled requests coalesced into one scoring batch
+        /// (1 = per-row serving).
+        batch_max: usize,
         /// Quarantine malformed CSV rows instead of aborting.
         skip_bad_rows: bool,
     },
@@ -169,8 +175,8 @@ impl Options {
                     flags.push(name.to_string())
                 }
                 "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
-                | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" | "replay"
-                | "count" => {
+                | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" | "batch-max"
+                | "replay" | "count" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
@@ -276,6 +282,13 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
             budget_us: opts.numeric("budget-us", 0)?,
             checkpoint_every: opts.numeric("checkpoint-every", 256)?,
             keep: opts.numeric("keep", 3)?,
+            batch_max: opts.numeric("batch-max", 1).and_then(|b| {
+                if b == 0 {
+                    Err(CliError::new("--batch-max expects a positive number"))
+                } else {
+                    Ok(b)
+                }
+            })?,
             skip_bad_rows: opts.flag("skip-bad-rows"),
         }),
         other => Err(CliError::new(format!("unknown subcommand `{other}`"))),
@@ -321,6 +334,7 @@ mod tests {
                 budget_us: 0,
                 checkpoint_every: 256,
                 keep: 3,
+                batch_max: 1,
                 skip_bad_rows: false,
             }
         );
@@ -338,6 +352,8 @@ mod tests {
             "32",
             "--keep",
             "5",
+            "--batch-max",
+            "64",
             "--skip-bad-rows",
         ]))
         .unwrap();
@@ -347,6 +363,7 @@ mod tests {
                 budget_us,
                 checkpoint_every,
                 keep,
+                batch_max,
                 skip_bad_rows,
                 ..
             } => {
@@ -354,6 +371,7 @@ mod tests {
                 assert_eq!(budget_us, 500);
                 assert_eq!(checkpoint_every, 32);
                 assert_eq!(keep, 5);
+                assert_eq!(batch_max, 64);
                 assert!(skip_bad_rows);
             }
             other => panic!("wrong command: {other:?}"),
@@ -361,6 +379,17 @@ mod tests {
         // --ckpt-dir and --data are mandatory.
         assert!(parse_args(&argv(&["serve", "--data", "-"])).is_err());
         assert!(parse_args(&argv(&["serve", "--ckpt-dir", "ck"])).is_err());
+        // --batch-max must be positive.
+        assert!(parse_args(&argv(&[
+            "serve",
+            "--ckpt-dir",
+            "ck",
+            "--data",
+            "-",
+            "--batch-max",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]

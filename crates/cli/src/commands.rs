@@ -8,7 +8,9 @@ use std::time::Duration;
 
 use generic_hdc::encoding::GenericEncoderSpec;
 use generic_hdc::metrics::normalized_mutual_information;
-use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
+use generic_hdc::runtime::{
+    CheckpointStore, MicroBatcher, OnlineRuntime, RetryPolicy, RuntimeConfig,
+};
 use generic_hdc::{HdcClustering, HdcClusteringSpec, HdcPipeline, RuntimeError};
 
 use crate::args::{CliCommand, USAGE};
@@ -156,6 +158,7 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             budget_us,
             checkpoint_every,
             keep,
+            batch_max,
             skip_bad_rows,
         } => serve(
             out,
@@ -165,6 +168,7 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             budget_us,
             checkpoint_every,
             keep,
+            batch_max,
             skip_bad_rows,
         ),
         CliCommand::Conformance {
@@ -237,6 +241,11 @@ fn conformance<W: Write>(
 /// sanitizer refuses (NaN/Inf, out-of-range, bad label) are quarantined
 /// and counted — the stream keeps flowing. Rows that are not numeric at
 /// all abort unless `--skip-bad-rows` quarantines them too.
+///
+/// With `batch_max > 1`, consecutive inference requests are coalesced
+/// into one SIMD-scored batch; labeled rows and end-of-stream flush the
+/// queue first, so answers keep their per-row order and every request
+/// is scored against the model state it would have seen unbatched.
 #[allow(clippy::too_many_arguments)]
 fn serve<W: Write>(
     out: &mut W,
@@ -246,6 +255,7 @@ fn serve<W: Write>(
     budget_us: u64,
     checkpoint_every: u64,
     keep: usize,
+    batch_max: usize,
     skip_bad_rows: bool,
 ) -> CommandResult {
     let store = CheckpointStore::open(ckpt_dir, keep, RetryPolicy::default())?;
@@ -286,21 +296,27 @@ fn serve<W: Write>(
     let n_features = runtime.pipeline().encoder().spec().n_features();
     let text = read_stream(data)?;
     let mut bad_rows = 0u64;
+    let mut batcher = MicroBatcher::new(batch_max);
     for (line_no, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         match parse_stream_row(line, n_features) {
-            Ok(StreamRow::Infer(features)) => match runtime.infer(&features, budget) {
-                Ok(answer) => writeln!(out, "{}", answer.label)?,
-                Err(RuntimeError::Rejected(_) | RuntimeError::DeadlineShed { .. }) => {}
-                Err(e) => return Err(e.into()),
-            },
-            Ok(StreamRow::Learn(features, label)) => match runtime.learn(&features, label) {
-                Ok(_) | Err(RuntimeError::Rejected(_)) => {}
-                Err(e) => return Err(e.into()),
-            },
+            Ok(StreamRow::Infer(features)) => {
+                if batcher.push(features) {
+                    drain_batch(&mut batcher, &mut runtime, budget, out)?;
+                }
+            }
+            Ok(StreamRow::Learn(features, label)) => {
+                // A labeled row is an ordering barrier: answer every
+                // queued request before learning mutates the model.
+                drain_batch(&mut batcher, &mut runtime, budget, out)?;
+                match runtime.learn(&features, label) {
+                    Ok(_) | Err(RuntimeError::Rejected(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
             Err(message) => {
                 if !skip_bad_rows {
                     return Err(format!("line {}: {message}", line_no + 1).into());
@@ -309,6 +325,7 @@ fn serve<W: Write>(
             }
         }
     }
+    drain_batch(&mut batcher, &mut runtime, budget, out)?;
 
     runtime.checkpoint()?;
     let stats = runtime.stats();
@@ -336,6 +353,25 @@ fn serve<W: Write>(
         .map(|(dims, hits)| format!("{dims}d:{hits}"))
         .collect();
     writeln!(out, "  tier hits: {}", tiers.join(" "))?;
+    Ok(())
+}
+
+/// Flushes the micro-batch scheduler, printing answers in push order.
+/// Per-row soft failures (quarantined or shed requests) are silent,
+/// exactly as in unbatched serving; hard runtime errors abort.
+fn drain_batch<W: Write>(
+    batcher: &mut MicroBatcher,
+    runtime: &mut OnlineRuntime,
+    budget: Option<Duration>,
+    out: &mut W,
+) -> CommandResult {
+    for result in batcher.flush(runtime, budget) {
+        match result {
+            Ok(answer) => writeln!(out, "{}", answer.label)?,
+            Err(RuntimeError::Rejected(_) | RuntimeError::DeadlineShed { .. }) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     Ok(())
 }
 

@@ -5,13 +5,15 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::kernels;
 use generic_hdc::oracle::{
-    DifferentialKernel, EncodeKernel, PackedScoreKernel, RetrainKernel, ScoreKernel, StageKind,
+    BundleKernel, DifferentialKernel, DotI32Kernel, EncodeKernel, HammingKernel, PackedDotKernel,
+    PackedScoreKernel, RetrainKernel, ScoreBatchKernel, ScoreKernel, StageKind,
 };
 use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
 use generic_hdc::{
-    HdcModel, HdcPipeline, IntHv, NormMode, PredictOptions, QuantizedModel, ResilienceConfig,
-    ResilientPipeline,
+    BinaryHv, HdcModel, HdcPipeline, IntHv, NormMode, PackedInts, PredictOptions, QuantizedModel,
+    ResilienceConfig, ResilientPipeline,
 };
 use generic_sim::{mitchell_divide_wide, Accelerator, AcceleratorConfig};
 
@@ -199,6 +201,28 @@ fn stage_encode(
         coverage.add(STAGE, 2);
         encoded.push(reference);
     }
+
+    // Every ISA variant detected on this host must ripple-bundle the
+    // binarized dataset exactly like scalar accumulation.
+    let binarized: Vec<BinaryHv> = encoded.iter().map(IntHv::to_binary).collect();
+    for isa in kernels::available() {
+        let kernel = BundleKernel { isa };
+        let name = format!("{}[{isa}]", kernel.entry().name);
+        let fast = kernel
+            .fast(&binarized)
+            .map_err(|e| harness_failure(STAGE, &name, &e))?;
+        let reference = kernel
+            .reference(&binarized)
+            .map_err(|e| harness_failure(STAGE, &name, &e))?;
+        if fast != reference {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: name,
+                detail: first_i32_diff(fast.values(), reference.values()),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
     Ok(encoded)
 }
 
@@ -295,6 +319,66 @@ fn stage_score(
             coverage.add(STAGE, 1);
         }
     }
+
+    // Per-ISA sweeps: the SIMD Hamming and widening-dot primitives and
+    // the batched scoring engine against their scalar oracles, on every
+    // kernel set this host detects.
+    for isa in kernels::available() {
+        let hamming = HammingKernel { isa };
+        let dot = DotI32Kernel { isa };
+        for (i, pair) in encoded.windows(2).take(4).enumerate() {
+            let name = format!("{}[{isa}]", hamming.entry().name);
+            let input = (pair[0].to_binary(), pair[1].to_binary());
+            let fast = hamming
+                .fast(&input)
+                .map_err(|e| harness_failure(STAGE, &name, &e))?;
+            let reference = hamming
+                .reference(&input)
+                .map_err(|e| harness_failure(STAGE, &name, &e))?;
+            if fast != reference {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: name,
+                    detail: format!("pair {i}: fast {fast} vs reference {reference}"),
+                });
+            }
+            let name = format!("{}[{isa}]", dot.entry().name);
+            let input = (pair[0].clone(), pair[1].clone());
+            let fast = dot
+                .fast(&input)
+                .map_err(|e| harness_failure(STAGE, &name, &e))?;
+            let reference = dot
+                .reference(&input)
+                .map_err(|e| harness_failure(STAGE, &name, &e))?;
+            if fast != reference {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: name,
+                    detail: format!("pair {i}: fast {fast} vs reference {reference}"),
+                });
+            }
+            coverage.add(STAGE, 2);
+        }
+
+        for opts in variants {
+            let batch = ScoreBatchKernel { model, opts, isa };
+            let name = format!("{}[{isa}]", batch.entry().name);
+            let fast = batch
+                .fast(encoded)
+                .map_err(|e| harness_failure(STAGE, &name, &e))?;
+            let reference = batch
+                .reference(encoded)
+                .map_err(|e| harness_failure(STAGE, &name, &e))?;
+            if fast != reference {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: name,
+                    detail: format!("({opts:?}): {}", first_f64_diff(&fast, &reference)),
+                });
+            }
+            coverage.add(STAGE, 1);
+        }
+    }
     Ok(())
 }
 
@@ -354,6 +438,35 @@ fn stage_quant_score(
             });
         }
         coverage.add(STAGE, 1);
+    }
+
+    // Per-ISA sweep: the masked bit-plane dot primitive against its
+    // scalar oracle, one check per class row per detected kernel set.
+    if let Some(query) = encoded.first() {
+        let binary = query.to_binary();
+        for isa in kernels::available() {
+            let kernel = PackedDotKernel { isa };
+            let name = format!("{}[{isa}]", kernel.entry().name);
+            for c in 0..quantized.n_classes() {
+                let planes = PackedInts::from_i16(quantized.class(c))
+                    .map_err(|e| harness_failure(STAGE, &name, &e))?;
+                let input = (binary.clone(), planes);
+                let fast = kernel
+                    .fast(&input)
+                    .map_err(|e| harness_failure(STAGE, &name, &e))?;
+                let reference = kernel
+                    .reference(&input)
+                    .map_err(|e| harness_failure(STAGE, &name, &e))?;
+                if fast != reference {
+                    return Err(Divergence {
+                        stage: STAGE,
+                        kernel: name,
+                        detail: format!("class {c}: fast {fast} vs reference {reference}"),
+                    });
+                }
+                coverage.add(STAGE, 1);
+            }
+        }
     }
     Ok(quantized)
 }

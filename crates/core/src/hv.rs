@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::kernels::{self, KernelSet};
 use crate::HdcError;
 
 const WORD_BITS: usize = 64;
@@ -158,13 +159,19 @@ impl BinaryHv {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensionalities differ.
     pub fn hamming(&self, other: &BinaryHv) -> Result<usize, HdcError> {
+        self.hamming_with(other, kernels::active())
+    }
+
+    /// [`BinaryHv::hamming`] through an explicit kernel set — the hook the
+    /// differential oracles use to pin every SIMD variant against the
+    /// portable reference.
+    pub(crate) fn hamming_with(
+        &self,
+        other: &BinaryHv,
+        kernels: &KernelSet,
+    ) -> Result<usize, HdcError> {
         self.check_dim(other)?;
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(kernels.hamming(&self.words, &other.words) as usize)
     }
 
     /// Bipolar dot product with another binary hypervector:
@@ -338,6 +345,17 @@ impl BinaryHv {
     /// Returns [`HdcError::DimensionMismatch`] if the dimensionalities
     /// differ.
     pub fn dot_packed(&self, packed: &PackedInts) -> Result<i64, HdcError> {
+        self.dot_packed_with(packed, kernels::active())
+    }
+
+    /// [`BinaryHv::dot_packed`] through an explicit kernel set — the hook
+    /// the differential oracles use to pin every SIMD variant against the
+    /// portable reference.
+    pub(crate) fn dot_packed_with(
+        &self,
+        packed: &PackedInts,
+        kernels: &KernelSet,
+    ) -> Result<i64, HdcError> {
         if packed.dim != self.dim {
             return Err(HdcError::DimensionMismatch {
                 expected: self.dim,
@@ -346,10 +364,7 @@ impl BinaryHv {
         }
         let mut dot: i64 = 0;
         for (k, plane) in packed.planes.iter().enumerate() {
-            let mut disagree: i64 = 0;
-            for ((&q, &s), &p) in self.words.iter().zip(&packed.signs).zip(plane) {
-                disagree += i64::from(((q ^ s) & p).count_ones());
-            }
+            let disagree = kernels.masked_popcount(&self.words, &packed.signs, plane);
             dot += (packed.plane_pop[k] - 2 * disagree) << k;
         }
         Ok(dot)
@@ -421,6 +436,9 @@ pub struct BitSliceAccumulator {
     /// Carry scratch: holds the incoming addend while it ripples through
     /// the planes (kept allocated across adds; not part of the value).
     carry: Vec<u64>,
+    /// Kernel set the ripple dispatches through (not part of the value —
+    /// every set produces bit-identical planes).
+    kernels: &'static KernelSet,
 }
 
 impl PartialEq for BitSliceAccumulator {
@@ -438,6 +456,13 @@ impl BitSliceAccumulator {
     ///
     /// Returns [`HdcError::InvalidParameter`] if `dim == 0`.
     pub fn new(dim: usize) -> Result<Self, HdcError> {
+        Self::with_kernels(dim, kernels::active())
+    }
+
+    /// [`BitSliceAccumulator::new`] with an explicit kernel set — the hook
+    /// the differential oracles use to pin every SIMD ripple variant
+    /// against the portable reference.
+    pub(crate) fn with_kernels(dim: usize, kernels: &'static KernelSet) -> Result<Self, HdcError> {
         if dim == 0 {
             return Err(HdcError::invalid("dim", "must be positive"));
         }
@@ -446,6 +471,7 @@ impl BitSliceAccumulator {
             planes: Vec::new(),
             count: 0,
             carry: Vec::new(),
+            kernels,
         })
     }
 
@@ -524,15 +550,9 @@ impl BitSliceAccumulator {
     /// counter increment, plane-major so each pass is a straight-line
     /// word loop (no per-word branching). The carry scratch is consumed.
     fn ripple(&mut self) {
+        let kernels = self.kernels;
         for plane in &mut self.planes {
-            let mut surviving = 0u64;
-            for (p, c) in plane.iter_mut().zip(self.carry.iter_mut()) {
-                let sum = *p ^ *c;
-                *c &= *p;
-                *p = sum;
-                surviving |= *c;
-            }
-            if surviving == 0 {
+            if kernels.ripple_step(plane, &mut self.carry) == 0 {
                 return;
             }
         }

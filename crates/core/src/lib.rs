@@ -62,7 +62,7 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod binary_model;
@@ -79,6 +79,11 @@ mod resilient;
 
 pub mod encoding;
 pub mod io;
+// The SIMD dispatch layer is the one module allowed to contain `unsafe`
+// (detection-guarded `#[target_feature]` calls and unaligned vector
+// loads); everything else in the crate stays `unsafe`-free.
+#[allow(unsafe_code)]
+pub mod kernels;
 pub mod metrics;
 pub mod oracle;
 pub mod runtime;
@@ -90,13 +95,13 @@ pub use fault::{DefectMap, FaultKind, FaultModel};
 pub use hv::{BinaryHv, BitSliceAccumulator, IntHv, PackedInts};
 pub use id::IdMemory;
 pub use level::{LevelMemory, Quantizer};
-pub use model::{HdcModel, NormMode, PredictOptions};
+pub use model::{HdcModel, NormMode, PredictOptions, ScoreBatch};
 pub use pipeline::HdcPipeline;
 pub use quant::{pack_bits, unpack_bits, PackedQuantizedModel, QuantizedModel};
 pub use resilient::{ResilienceConfig, ResilienceStats, ResilientPipeline};
 pub use runtime::{
-    CheckpointStore, DegradationLadder, OnlineRuntime, RetryPolicy, RuntimeConfig, RuntimeError,
-    RuntimeStats,
+    CheckpointStore, DegradationLadder, MicroBatcher, ModelSnapshot, OnlineRuntime, RetryPolicy,
+    RuntimeConfig, RuntimeError, RuntimeStats, SnapshotCell,
 };
 
 /// Number of encoding dimensions the GENERIC accelerator produces per pass

@@ -7,7 +7,24 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use crate::kernels::{self, KernelSet};
 use crate::{HdcError, IntHv, SUB_NORM_CHUNK};
+
+/// Queries scored together per [`ScoreBatch`] tile: small enough that a
+/// tile of query chunks plus one class chunk stays L1-resident, large
+/// enough that each class chunk loaded from cache is reused eight times.
+const SCORE_TILE: usize = 8;
+
+/// Serial retraining falls back to the scalar scoring kernel when a
+/// sample's score work (`dims × classes`) is below this — too little to
+/// amortize the blocked path's chunk bookkeeping (the two paths are
+/// bit-identical, so the choice is invisible in results).
+const RETRAIN_BLOCKED_MIN_WORK: usize = 4 * SUB_NORM_CHUNK;
+
+/// Minimum samples per worker thread for the parallel retraining gather:
+/// below this, thread spawn and join overhead outweighs the scoring work,
+/// so the effective thread count is clamped down.
+const RETRAIN_MIN_SAMPLES_PER_THREAD: usize = 16;
 
 /// Which class-vector L2 norms inference uses when running with reduced
 /// dimensions (§4.3.3, Fig. 5).
@@ -192,10 +209,28 @@ impl HdcModel {
                 ),
             ));
         }
+        let opts = PredictOptions::full(self.dim);
+        let k = self.classes.len();
+        let kernels = kernels::active();
+        // One scratch pair for the whole epoch: no per-sample allocation.
+        let mut dots = vec![0i64; k];
+        let mut scores: Vec<f64> = Vec::with_capacity(k);
         let mut errors = 0;
         for (hv, &label) in encoded.iter().zip(labels) {
             self.check_label(label)?;
-            let predicted = self.predict(hv);
+            if hv.dim() != self.dim {
+                return Err(HdcError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: hv.dim(),
+                });
+            }
+            dots.iter_mut().for_each(|d| *d = 0);
+            self.accumulate_dots(hv, opts, kernels, &mut dots);
+            scores.clear();
+            for (c, &dot) in dots.iter().enumerate() {
+                scores.push(self.normalize_score(dot, c, opts));
+            }
+            let predicted = argmax(&scores);
             if predicted != label {
                 errors += 1;
                 self.classes[predicted].sub_assign(hv)?;
@@ -359,9 +394,20 @@ impl HdcModel {
         labels: &[usize],
         n_threads: usize,
     ) -> Result<usize, HdcError> {
-        let n_threads = n_threads.max(1).min(encoded.len().max(1));
+        // Adaptive thread clamp: below ~16 samples per worker the scoped
+        // spawn/join overhead exceeds the gathered scoring work.
+        let n_threads = n_threads
+            .max(1)
+            .min((encoded.len() / RETRAIN_MIN_SAMPLES_PER_THREAD).max(1));
         if n_threads == 1 {
-            return self.retrain_epoch(encoded, labels);
+            // Serial fallback: pick the scoring kernel by per-sample work.
+            // Both paths produce bit-identical models, so the adaptive
+            // choice only affects throughput, never results.
+            return if self.dim * self.classes.len() < RETRAIN_BLOCKED_MIN_WORK {
+                self.retrain_epoch_scalar(encoded, labels)
+            } else {
+                self.retrain_epoch(encoded, labels)
+            };
         }
         if encoded.len() != labels.len() {
             return Err(HdcError::invalid(
@@ -556,23 +602,34 @@ impl HdcModel {
         );
         let k = self.classes.len();
         let mut dots = vec![0i64; k];
+        self.accumulate_dots(query, opts, kernels::active(), &mut dots);
+        out.clear();
+        out.reserve(k);
+        for (c, &dot) in dots.iter().enumerate() {
+            out.push(self.normalize_score(dot, c, opts));
+        }
+    }
+
+    /// Adds every class's exact `i64` dot product with `query` (over the
+    /// leading `opts.dims` dimensions) into `dots`, walking the query in
+    /// [`SUB_NORM_CHUNK`] blocks and dispatching each block through the
+    /// given SIMD kernel set. Integer sums are associative, so every
+    /// kernel — and every chunk traversal order — produces bit-identical
+    /// dots.
+    fn accumulate_dots(
+        &self,
+        query: &IntHv,
+        opts: PredictOptions,
+        kernels: &KernelSet,
+        dots: &mut [i64],
+    ) {
         let q = &query.values()[..opts.dims];
         for start in (0..opts.dims).step_by(SUB_NORM_CHUNK) {
             let end = (start + SUB_NORM_CHUNK).min(opts.dims);
             let qb = &q[start..end];
             for (dot, class) in dots.iter_mut().zip(&self.classes) {
-                let cb = &class.values()[start..end];
-                let mut s: i64 = 0;
-                for (&a, &b) in qb.iter().zip(cb) {
-                    s += i64::from(a) * i64::from(b);
-                }
-                *dot += s;
+                *dot += kernels.dot_i32(qb, &class.values()[start..end]);
             }
-        }
-        out.clear();
-        out.reserve(k);
-        for (c, &dot) in dots.iter().enumerate() {
-            out.push(self.normalize_score(dot, c, opts));
         }
     }
 
@@ -704,23 +761,21 @@ impl HdcModel {
         Ok(self.predict_with(query, opts))
     }
 
-    /// Predicts every query in one pass, reusing a single score buffer
-    /// across queries (the batched inference path the fig/table harness
-    /// uses).
+    /// Predicts every query in one cache-blocked pass through a throwaway
+    /// [`ScoreBatch`] engine. Callers on a steady-state serving path
+    /// should hold their own [`ScoreBatch`] and use
+    /// [`ScoreBatch::predict_into`] to avoid the per-call scratch
+    /// allocation.
     ///
     /// # Panics
     ///
     /// Panics if any query dimensionality or `opts.dims` is inconsistent
     /// with the model.
     pub fn predict_batch(&self, queries: &[IntHv], opts: PredictOptions) -> Vec<usize> {
-        let mut scores = Vec::with_capacity(self.classes.len());
-        queries
-            .iter()
-            .map(|q| {
-                self.score_all(q, opts, &mut scores);
-                argmax(&scores)
-            })
-            .collect()
+        let mut batch = ScoreBatch::new();
+        let mut out = Vec::with_capacity(queries.len());
+        batch.predict_into(self, queries, opts, &mut out);
+        out
     }
 
     /// Fraction of `encoded` samples predicted as their `labels`.
@@ -797,6 +852,182 @@ fn argmax(scores: &[f64]) -> usize {
         }
     }
     idx
+}
+
+/// Batched inference engine: scores B queries × C classes in cache-blocked
+/// tiles with a reusable scratch arena.
+///
+/// Queries are processed [`SCORE_TILE`] at a time; within a tile the walk
+/// is dimension-chunk-major so each class chunk loaded from cache is
+/// reused across every query in the tile, and each chunk's dot product is
+/// dispatched through the SIMD [`kernels`] layer. Dot products are exact
+/// `i64` sums and normalization reuses the model's prefix-norm tables, so
+/// batched scores are **bit-identical** to per-query
+/// [`HdcModel::score_all`] and to the retained scalar reference
+/// [`HdcModel::scores_scalar`].
+///
+/// The engine owns its dot-accumulator scratch and the output APIs write
+/// into caller-provided buffers, so a warmed-up engine performs **zero
+/// heap allocations** on the steady-state path (pinned by the
+/// `alloc_regression` test and the `throughput` bench gate).
+///
+/// ```
+/// use generic_hdc::{BinaryHv, HdcModel, IntHv, PredictOptions, ScoreBatch};
+///
+/// # fn main() -> Result<(), generic_hdc::HdcError> {
+/// let class_a = IntHv::from(BinaryHv::random_seeded(512, 1)?);
+/// let class_b = IntHv::from(BinaryHv::random_seeded(512, 2)?);
+/// let queries = vec![class_a.clone(), class_b.clone()];
+/// let model = HdcModel::fit(&[class_a, class_b], &[0, 1], 2)?;
+///
+/// let mut engine = ScoreBatch::new();
+/// let mut labels = Vec::new();
+/// engine.predict_into(&model, &queries, PredictOptions::full(512), &mut labels);
+/// assert_eq!(labels, [0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScoreBatch {
+    /// Kernel set every chunk dot dispatches through (not part of the
+    /// value — all sets are bit-identical).
+    kernels: &'static KernelSet,
+    /// Scratch: row-major tile-query × class dot accumulators.
+    dots: Vec<i64>,
+}
+
+impl Default for ScoreBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreBatch {
+    /// Creates an engine dispatching through the fastest kernel set the
+    /// host supports (see [`kernels::active`]).
+    pub fn new() -> Self {
+        Self::with_kernels(kernels::active())
+    }
+
+    /// Creates an engine pinned to a specific kernel set (used by the
+    /// conformance harness to sweep every detected ISA).
+    pub(crate) fn with_kernels(kernels: &'static KernelSet) -> Self {
+        ScoreBatch {
+            kernels,
+            dots: Vec::new(),
+        }
+    }
+
+    /// The ISA this engine's kernels run on.
+    pub fn isa(&self) -> kernels::Isa {
+        self.kernels.isa()
+    }
+
+    /// Scores every query against every class, appending the row-major
+    /// `queries.len() × model.n_classes()` score matrix to `out`
+    /// (`out` is cleared first). Bit-identical to calling
+    /// [`HdcModel::score_all`] per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimensionality or `opts.dims` is inconsistent
+    /// with the model.
+    pub fn scores_into(
+        &mut self,
+        model: &HdcModel,
+        queries: &[IntHv],
+        opts: PredictOptions,
+        out: &mut Vec<f64>,
+    ) {
+        let k = model.classes.len();
+        out.clear();
+        out.reserve(queries.len() * k);
+        self.for_each_tile(model, queries, opts, |model, dots, _tile| {
+            for row in dots.chunks_exact(k) {
+                for (c, &dot) in row.iter().enumerate() {
+                    out.push(model.normalize_score(dot, c, opts));
+                }
+            }
+        });
+    }
+
+    /// Predicts every query, appending one label per query to `out`
+    /// (`out` is cleared first). Ties resolve exactly as
+    /// [`HdcModel::predict`]: the last maximal score wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimensionality or `opts.dims` is inconsistent
+    /// with the model.
+    pub fn predict_into(
+        &mut self,
+        model: &HdcModel,
+        queries: &[IntHv],
+        opts: PredictOptions,
+        out: &mut Vec<usize>,
+    ) {
+        let k = model.classes.len();
+        out.clear();
+        out.reserve(queries.len());
+        self.for_each_tile(model, queries, opts, |model, dots, _tile| {
+            for row in dots.chunks_exact(k) {
+                // Inline argmax over normalized scores with the shared
+                // last-max-wins tie rule, without materializing the row.
+                let mut best = f64::NEG_INFINITY;
+                let mut idx = 0;
+                for (c, &dot) in row.iter().enumerate() {
+                    let s = model.normalize_score(dot, c, opts);
+                    if s >= best {
+                        best = s;
+                        idx = c;
+                    }
+                }
+                out.push(idx);
+            }
+        });
+    }
+
+    /// Validates inputs, then gathers each [`SCORE_TILE`]-query tile's dot
+    /// products into the scratch arena and hands the row-major
+    /// `tile.len() × n_classes` slice to `emit`.
+    fn for_each_tile(
+        &mut self,
+        model: &HdcModel,
+        queries: &[IntHv],
+        opts: PredictOptions,
+        mut emit: impl FnMut(&HdcModel, &[i64], &[IntHv]),
+    ) {
+        assert!(
+            opts.dims > 0 && opts.dims <= model.dim,
+            "dims {} out of range (1..={})",
+            opts.dims,
+            model.dim
+        );
+        for query in queries {
+            assert_eq!(query.dim(), model.dim, "query dimension mismatch");
+        }
+        let k = model.classes.len();
+        if self.dots.len() < SCORE_TILE * k {
+            self.dots.resize(SCORE_TILE * k, 0);
+        }
+        for tile in queries.chunks(SCORE_TILE) {
+            let dots = &mut self.dots[..tile.len() * k];
+            dots.iter_mut().for_each(|d| *d = 0);
+            // Chunk-major over the tile: one class chunk is reused by
+            // every query in the tile before the walk moves on.
+            for start in (0..opts.dims).step_by(SUB_NORM_CHUNK) {
+                let end = (start + SUB_NORM_CHUNK).min(opts.dims);
+                for (c, class) in model.classes.iter().enumerate() {
+                    let cb = &class.values()[start..end];
+                    for (qi, query) in tile.iter().enumerate() {
+                        let qb = &query.values()[start..end];
+                        dots[qi * k + c] += self.kernels.dot_i32(qb, cb);
+                    }
+                }
+            }
+            emit(model, dots, tile);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -989,6 +1220,64 @@ mod tests {
         let batch = model.predict_batch(&encoded, opts);
         for (hv, &p) in encoded.iter().zip(&batch) {
             assert_eq!(p, model.predict(hv));
+        }
+    }
+
+    #[test]
+    fn score_batch_matches_scalar_reference_on_every_kernel_set() {
+        // Batch sizes straddle the tile width; dims include a partial
+        // trailing chunk; both norm modes covered; and the sweep runs on
+        // every kernel set the host supports, not just the active one.
+        for dim in [512usize, 1000] {
+            let (encoded, labels) = two_class_data(dim, 9); // 18 queries
+            let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+            for isa in crate::kernels::available() {
+                let set = crate::kernels::for_isa(isa).unwrap();
+                let mut engine = ScoreBatch::with_kernels(set);
+                assert_eq!(engine.isa(), isa);
+                for n in [0usize, 1, 7, 8, 9, 18] {
+                    let queries = &encoded[..n];
+                    for dims in [dim, dim / 2, 100] {
+                        for norm in [NormMode::Updated, NormMode::Constant] {
+                            let opts = PredictOptions::reduced(dims, norm);
+                            let mut batched = Vec::new();
+                            engine.scores_into(&model, queries, opts, &mut batched);
+                            let expect: Vec<f64> = queries
+                                .iter()
+                                .flat_map(|q| model.scores_scalar(q, opts))
+                                .collect();
+                            assert_eq!(
+                                batched, expect,
+                                "isa={isa} dim={dim} n={n} dims={dims} norm={norm:?}"
+                            );
+                            let mut preds = Vec::new();
+                            engine.predict_into(&model, queries, opts, &mut preds);
+                            let expect_preds: Vec<usize> = queries
+                                .iter()
+                                .map(|q| model.predict_with(q, opts))
+                                .collect();
+                            assert_eq!(preds, expect_preds, "isa={isa} dim={dim} n={n}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_batch_ties_resolve_like_argmax() {
+        // A zero model scores 0.0 for every class: the shared
+        // last-max-wins rule must pick the last class everywhere.
+        let model = HdcModel::new(256, 3).unwrap();
+        let queries: Vec<IntHv> = (0..5)
+            .map(|s| IntHv::from(BinaryHv::random_seeded(256, 77 + s).unwrap()))
+            .collect();
+        let mut engine = ScoreBatch::new();
+        let mut preds = Vec::new();
+        engine.predict_into(&model, &queries, PredictOptions::full(256), &mut preds);
+        assert!(preds.iter().all(|&p| p == 2), "{preds:?}");
+        for q in &queries {
+            assert_eq!(model.predict(q), 2);
         }
     }
 

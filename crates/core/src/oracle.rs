@@ -19,8 +19,10 @@
 //! conformance run can report coverage against a single list.
 
 use crate::encoding::GenericEncoder;
+use crate::kernels::{self, Isa};
 use crate::{
-    BinaryHv, HdcError, HdcModel, IntHv, PackedQuantizedModel, PredictOptions, QuantizedModel,
+    BinaryHv, BitSliceAccumulator, HdcError, HdcModel, IntHv, PackedInts, PackedQuantizedModel,
+    PredictOptions, QuantizedModel, ScoreBatch,
 };
 
 /// How far a fast implementation may stray from its scalar oracle.
@@ -147,6 +149,51 @@ pub const ORACLE_REGISTRY: &[OracleEntry] = &[
         contract: "bit-plane popcount dot products are exact integers and \
                    the class norms are the same left-to-right f64 fold as \
                    the unpacked model",
+    },
+    OracleEntry {
+        name: "hamming_simd",
+        stage: StageKind::Score,
+        tolerance: Tolerance::BitIdentical,
+        contract: "XOR+popcount Hamming distance is a sum of per-word \
+                   popcounts; integer addition is associative, so every \
+                   SIMD lane arrangement totals the same count as the \
+                   portable word loop",
+    },
+    OracleEntry {
+        name: "dot_packed_simd",
+        stage: StageKind::QuantScore,
+        tolerance: Tolerance::BitIdentical,
+        contract: "the masked bit-plane popcount reduction is an exact \
+                   integer sum per plane; SIMD lanes only reassociate the \
+                   addition, so the packed dot product matches the \
+                   portable loop bit for bit",
+    },
+    OracleEntry {
+        name: "bundle_ripple_simd",
+        stage: StageKind::Encode,
+        tolerance: Tolerance::BitIdentical,
+        contract: "the ripple-carry plane update is pure word-wise XOR/AND \
+                   with no cross-word dependency, so vectorizing the word \
+                   loop leaves every bit plane — and the decoded integer \
+                   accumulator — identical to scalar bundling",
+    },
+    OracleEntry {
+        name: "dot_i32_simd",
+        stage: StageKind::Score,
+        tolerance: Tolerance::BitIdentical,
+        contract: "the i32×i32 dot product widens every product to i64 \
+                   before summing; the sum cannot overflow and integer \
+                   addition is associative, so SIMD lane order is \
+                   irrelevant",
+    },
+    OracleEntry {
+        name: "score_batch",
+        stage: StageKind::Score,
+        tolerance: Tolerance::BitIdentical,
+        contract: "batched tiles accumulate the same exact i64 chunk dots \
+                   as per-query scoring and normalize through the same \
+                   prefix-norm tables, so the B×C score matrix equals the \
+                   per-query scalar reference row for row",
     },
     OracleEntry {
         name: "resilient_baseline",
@@ -343,6 +390,169 @@ impl DifferentialKernel for PackedScoreKernel<'_> {
     }
 }
 
+/// Resolves the kernel set for `isa`, erroring when the host CPU does not
+/// support it (conformance harnesses should sweep
+/// [`kernels::available`], which never yields an unsupported ISA).
+fn kernel_set(isa: Isa) -> Result<&'static kernels::KernelSet, HdcError> {
+    kernels::for_isa(isa)
+        .ok_or_else(|| HdcError::invalid("isa", format!("{isa} not supported on this host")))
+}
+
+/// SIMD vs portable XOR+popcount Hamming distance on one pair of binary
+/// hypervectors.
+#[derive(Debug, Clone, Copy)]
+pub struct HammingKernel {
+    /// The ISA variant under test (the fast side).
+    pub isa: Isa,
+}
+
+impl DifferentialKernel for HammingKernel {
+    type Input = (BinaryHv, BinaryHv);
+    type Output = usize;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("hamming_simd").expect("registered")
+    }
+
+    fn fast(&self, input: &(BinaryHv, BinaryHv)) -> Result<usize, HdcError> {
+        input.0.hamming_with(&input.1, kernel_set(self.isa)?)
+    }
+
+    fn reference(&self, input: &(BinaryHv, BinaryHv)) -> Result<usize, HdcError> {
+        input.0.hamming_with(&input.1, kernel_set(Isa::Portable)?)
+    }
+}
+
+/// SIMD vs portable masked bit-plane dot product
+/// ([`BinaryHv::dot_packed`]) of a binarized query against one packed
+/// quantized class row.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedDotKernel {
+    /// The ISA variant under test (the fast side).
+    pub isa: Isa,
+}
+
+impl DifferentialKernel for PackedDotKernel {
+    type Input = (BinaryHv, PackedInts);
+    type Output = i64;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("dot_packed_simd").expect("registered")
+    }
+
+    fn fast(&self, input: &(BinaryHv, PackedInts)) -> Result<i64, HdcError> {
+        input.0.dot_packed_with(&input.1, kernel_set(self.isa)?)
+    }
+
+    fn reference(&self, input: &(BinaryHv, PackedInts)) -> Result<i64, HdcError> {
+        input
+            .0
+            .dot_packed_with(&input.1, kernel_set(Isa::Portable)?)
+    }
+}
+
+/// SIMD-rippled bit-sliced bundling vs the scalar rotate-free
+/// [`IntHv::bundle_binary`] accumulation of the same hypervector batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BundleKernel {
+    /// The ISA variant under test (the fast side).
+    pub isa: Isa,
+}
+
+impl DifferentialKernel for BundleKernel {
+    type Input = [BinaryHv];
+    type Output = IntHv;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("bundle_ripple_simd").expect("registered")
+    }
+
+    fn fast(&self, hvs: &[BinaryHv]) -> Result<IntHv, HdcError> {
+        let dim = hvs.first().map_or(1, BinaryHv::dim);
+        let mut acc = BitSliceAccumulator::with_kernels(dim, kernel_set(self.isa)?)?;
+        for hv in hvs {
+            acc.add(hv)?;
+        }
+        Ok(acc.to_int_hv())
+    }
+
+    fn reference(&self, hvs: &[BinaryHv]) -> Result<IntHv, HdcError> {
+        let dim = hvs.first().map_or(1, BinaryHv::dim);
+        let mut acc = IntHv::zeros(dim)?;
+        for hv in hvs {
+            acc.bundle_binary(hv)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// SIMD vs scalar exact widening `i32×i32 → i64` dot product — the inner
+/// reduction of every similarity score.
+#[derive(Debug, Clone, Copy)]
+pub struct DotI32Kernel {
+    /// The ISA variant under test (the fast side).
+    pub isa: Isa,
+}
+
+impl DifferentialKernel for DotI32Kernel {
+    type Input = (IntHv, IntHv);
+    type Output = i64;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("dot_i32_simd").expect("registered")
+    }
+
+    fn fast(&self, input: &(IntHv, IntHv)) -> Result<i64, HdcError> {
+        if input.0.dim() != input.1.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: input.0.dim(),
+                actual: input.1.dim(),
+            });
+        }
+        Ok(kernel_set(self.isa)?.dot_i32(input.0.values(), input.1.values()))
+    }
+
+    fn reference(&self, input: &(IntHv, IntHv)) -> Result<i64, HdcError> {
+        input.0.dot(&input.1)
+    }
+}
+
+/// [`ScoreBatch`] batched scoring (pinned to one ISA) vs per-query
+/// [`HdcModel::scores_scalar`]: the input is the query batch, the output
+/// is the flattened row-major B×C score matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreBatchKernel<'a> {
+    /// The trained model under test.
+    pub model: &'a HdcModel,
+    /// Scoring options applied identically to both sides.
+    pub opts: PredictOptions,
+    /// The ISA variant the batched side dispatches through.
+    pub isa: Isa,
+}
+
+impl DifferentialKernel for ScoreBatchKernel<'_> {
+    type Input = [IntHv];
+    type Output = Vec<f64>;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("score_batch").expect("registered")
+    }
+
+    fn fast(&self, queries: &[IntHv]) -> Result<Vec<f64>, HdcError> {
+        let mut engine = ScoreBatch::with_kernels(kernel_set(self.isa)?);
+        let mut out = Vec::new();
+        engine.scores_into(self.model, queries, self.opts, &mut out);
+        Ok(out)
+    }
+
+    fn reference(&self, queries: &[IntHv]) -> Result<Vec<f64>, HdcError> {
+        Ok(queries
+            .iter()
+            .flat_map(|q| self.model.scores_scalar(q, self.opts))
+            .collect())
+    }
+}
+
 fn class_rows(model: &HdcModel) -> Vec<Vec<i32>> {
     model.iter().map(|hv| hv.values().to_vec()).collect()
 }
@@ -433,5 +643,76 @@ mod tests {
             kernel.fast(&binary).unwrap(),
             kernel.reference(&binary).unwrap()
         );
+    }
+
+    #[test]
+    fn simd_kernels_agree_with_their_scalar_oracles_on_every_isa() {
+        let (_, model, encoded, _) = fixture();
+        let a = encoded[0].to_binary();
+        let b = encoded[1].to_binary();
+        let packed = PackedInts::from_values(encoded[2].values()).unwrap();
+        let hvs: Vec<BinaryHv> = encoded.iter().map(IntHv::to_binary).collect();
+        let pair = (encoded[0].clone(), encoded[1].clone());
+        let opts = PredictOptions::full(model.dim());
+
+        for isa in kernels::available() {
+            let hamming = HammingKernel { isa };
+            let input = (a.clone(), b.clone());
+            assert_eq!(
+                hamming.fast(&input).unwrap(),
+                hamming.reference(&input).unwrap(),
+                "hamming isa={isa}"
+            );
+
+            let dot_packed = PackedDotKernel { isa };
+            let input = (a.clone(), packed.clone());
+            assert_eq!(
+                dot_packed.fast(&input).unwrap(),
+                dot_packed.reference(&input).unwrap(),
+                "dot_packed isa={isa}"
+            );
+
+            let bundle = BundleKernel { isa };
+            assert_eq!(
+                bundle.fast(&hvs).unwrap(),
+                bundle.reference(&hvs).unwrap(),
+                "bundle isa={isa}"
+            );
+
+            let dot = DotI32Kernel { isa };
+            assert_eq!(
+                dot.fast(&pair).unwrap(),
+                dot.reference(&pair).unwrap(),
+                "dot_i32 isa={isa}"
+            );
+
+            let batch = ScoreBatchKernel {
+                model: &model,
+                opts,
+                isa,
+            };
+            assert_eq!(
+                batch.fast(&encoded).unwrap(),
+                batch.reference(&encoded).unwrap(),
+                "score_batch isa={isa}"
+            );
+        }
+    }
+
+    #[test]
+    fn isa_kernels_reject_unsupported_hosts_gracefully() {
+        // An ISA for the other architecture can never be detected here,
+        // so the kernel must error instead of executing the wrong code.
+        #[cfg(target_arch = "x86_64")]
+        let foreign = Isa::Neon;
+        #[cfg(not(target_arch = "x86_64"))]
+        let foreign = Isa::Avx2;
+        if kernels::for_isa(foreign).is_some() {
+            return; // host genuinely supports it; nothing to reject
+        }
+        let hamming = HammingKernel { isa: foreign };
+        let a = BinaryHv::random_seeded(128, 1).unwrap();
+        let b = BinaryHv::random_seeded(128, 2).unwrap();
+        assert!(hamming.fast(&(a, b)).is_err());
     }
 }

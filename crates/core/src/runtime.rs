@@ -33,10 +33,11 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::io::ReadModelError;
-use crate::{HdcError, HdcPipeline, IntHv, NormMode, PredictOptions, SUB_NORM_CHUNK};
+use crate::{HdcError, HdcPipeline, IntHv, NormMode, PredictOptions, ScoreBatch, SUB_NORM_CHUNK};
 
 /// Checkpoint files are GHDC v2 envelopes with this `kind` byte: a
 /// runtime header (generation, samples seen, held-out accuracy) wrapping
@@ -654,6 +655,75 @@ impl DegradationLadder {
 }
 
 // ---------------------------------------------------------------------------
+// RCU model snapshots
+// ---------------------------------------------------------------------------
+
+/// An immutable, versioned copy of the serving pipeline, published by the
+/// learning writer and shared with concurrent scoring readers.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    pipeline: HdcPipeline,
+    version: u64,
+}
+
+impl ModelSnapshot {
+    /// The frozen pipeline (encoder + model) of this snapshot.
+    pub fn pipeline(&self) -> &HdcPipeline {
+        &self.pipeline
+    }
+
+    /// Monotonic publication counter (0 = the initial snapshot).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// RCU-style snapshot cell: readers [`load`](SnapshotCell::load) an
+/// `Arc` to the current [`ModelSnapshot`] and score against it for as
+/// long as they like; the writer [`publish`](SnapshotCell::publish)es a
+/// fresh snapshot by swapping the `Arc`. Neither side ever waits on the
+/// other beyond the nanoseconds of the pointer swap — online updates
+/// never block in-flight scoring, and scoring never delays learning.
+///
+/// The cell is deliberately not a mutex around the model: readers hold
+/// no lock while scoring (they own an `Arc` clone), so a snapshot a
+/// reader is mid-scoring survives unchanged even as newer versions are
+/// published; its memory is reclaimed when the last reader drops it.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    inner: RwLock<Arc<ModelSnapshot>>,
+}
+
+impl SnapshotCell {
+    fn new(snapshot: ModelSnapshot) -> Self {
+        SnapshotCell {
+            inner: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current snapshot. The read lock is held only for the `Arc`
+    /// clone — scoring happens entirely outside it.
+    pub fn load(&self) -> Arc<ModelSnapshot> {
+        // A poisoned lock only means a panicking thread died mid-swap;
+        // the Arc inside is always a complete snapshot, so serving
+        // continues (the runtime never panics while holding the lock).
+        match self.inner.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Atomically replaces the current snapshot.
+    fn publish(&self, snapshot: ModelSnapshot) {
+        let next = Arc::new(snapshot);
+        match self.inner.write() {
+            Ok(mut guard) => *guard = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Runtime
 // ---------------------------------------------------------------------------
 
@@ -863,6 +933,16 @@ pub struct OnlineRuntime {
     last_ckpt_seen: u64,
     last_ckpt_acc: f64,
     labeled_counter: u64,
+    /// RCU cell concurrent readers score against; the writer republishes
+    /// at every durability boundary (checkpoint, retrain, rollback).
+    snapshots: Arc<SnapshotCell>,
+    snapshot_version: u64,
+    /// Reusable batched-scoring engine and scratch for
+    /// [`infer_batch`](OnlineRuntime::infer_batch) — no steady-state
+    /// allocation in the scoring loop.
+    batch_engine: ScoreBatch,
+    batch_encoded: Vec<IntHv>,
+    batch_preds: Vec<usize>,
 }
 
 impl OnlineRuntime {
@@ -885,6 +965,10 @@ impl OnlineRuntime {
                 "must be at least 2 (1 would hold out every sample)",
             )));
         }
+        let snapshots = Arc::new(SnapshotCell::new(ModelSnapshot {
+            pipeline: pipeline.clone(),
+            version: 0,
+        }));
         Ok(OnlineRuntime {
             pipeline,
             store,
@@ -901,6 +985,11 @@ impl OnlineRuntime {
             last_ckpt_seen: 0,
             last_ckpt_acc: 0.0,
             labeled_counter: 0,
+            snapshots,
+            snapshot_version: 0,
+            batch_engine: ScoreBatch::new(),
+            batch_encoded: Vec::new(),
+            batch_preds: Vec::new(),
         })
     }
 
@@ -941,6 +1030,31 @@ impl OnlineRuntime {
     /// The degradation ladder (tier widths, estimates, counters).
     pub fn ladder(&self) -> &DegradationLadder {
         &self.ladder
+    }
+
+    /// A handle to the RCU snapshot cell. Hand clones of this to reader
+    /// threads: each [`SnapshotCell::load`] yields an immutable pipeline
+    /// they can score indefinitely while this runtime keeps learning —
+    /// updates never block in-flight scoring.
+    ///
+    /// Snapshots are republished at every durability boundary
+    /// ([`checkpoint`](OnlineRuntime::checkpoint), drift retrains, and
+    /// rollbacks) and on explicit
+    /// [`publish_snapshot`](OnlineRuntime::publish_snapshot) calls;
+    /// between boundaries readers serve the last published version.
+    pub fn snapshots(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.snapshots)
+    }
+
+    /// Publishes the current in-memory pipeline as a new snapshot
+    /// version and returns that version.
+    pub fn publish_snapshot(&mut self) -> u64 {
+        self.snapshot_version += 1;
+        self.snapshots.publish(ModelSnapshot {
+            pipeline: self.pipeline.clone(),
+            version: self.snapshot_version,
+        });
+        self.snapshot_version
     }
 
     /// The newest durable generation (0 before the first checkpoint).
@@ -1038,6 +1152,103 @@ impl OnlineRuntime {
             elapsed,
             deadline_met,
         })
+    }
+
+    /// Serves a micro-batch of inference requests under one shared time
+    /// budget, scoring every clean row in a single cache-blocked
+    /// [`ScoreBatch`] pass.
+    ///
+    /// One ladder tier is chosen for the whole batch (the budget is
+    /// per-request, and batching only lowers per-request cost), so every
+    /// answered row reports the same tier. Results are per-row:
+    /// malformed rows are rejected exactly as [`infer`](OnlineRuntime::infer)
+    /// rejects them without failing their neighbours. Per-row `elapsed`
+    /// is the batch wall-clock divided by the rows scored — the quantity
+    /// the deadline and the ladder's EWMA are calibrated against.
+    /// Predictions are bit-identical to serving each row through
+    /// [`infer`](OnlineRuntime::infer) at the same tier.
+    pub fn infer_batch(
+        &mut self,
+        batch: &[Vec<f64>],
+        budget: Option<Duration>,
+    ) -> Vec<Result<InferOutcome, RuntimeError>> {
+        let mut out: Vec<Result<InferOutcome, RuntimeError>> = Vec::with_capacity(batch.len());
+        if batch.is_empty() {
+            return out;
+        }
+        self.stats.infer_requests += batch.len() as u64;
+        let budget_ns = budget.map(|b| u64::try_from(b.as_nanos()).unwrap_or(u64::MAX));
+        let shed_all =
+            self.config.shed_hopeless && budget_ns.is_some_and(|b| self.ladder.hopeless(b));
+        let tier = self.ladder.choose(budget_ns);
+        let dims = self.ladder.dims(tier);
+        let opts = PredictOptions::reduced(dims, NormMode::Updated);
+
+        // Pass 1: sanitize and encode. `out` gets a placeholder error
+        // per row; clean rows are queued in encounter order.
+        let start = Instant::now();
+        self.batch_encoded.clear();
+        for features in batch {
+            if let Err(reason) = self.sanitize(features, None) {
+                self.stats.rejected += 1;
+                out.push(Err(RuntimeError::Rejected(reason)));
+                continue;
+            }
+            if shed_all {
+                self.stats.shed += 1;
+                out.push(Err(RuntimeError::DeadlineShed {
+                    budget: budget.unwrap_or_default(),
+                }));
+                continue;
+            }
+            match self.pipeline.encode(features) {
+                Ok(hv) => {
+                    // Marker replaced by the real outcome in pass 2.
+                    out.push(Err(RuntimeError::NoCheckpoint));
+                    self.batch_encoded.push(hv);
+                }
+                Err(e) => out.push(Err(RuntimeError::Model(e))),
+            }
+        }
+        if self.batch_encoded.is_empty() {
+            return out;
+        }
+
+        // Pass 2: one blocked scoring sweep over every clean row.
+        self.batch_engine.predict_into(
+            self.pipeline.model(),
+            &self.batch_encoded,
+            opts,
+            &mut self.batch_preds,
+        );
+        let scored = self.batch_preds.len() as u32;
+        let elapsed = start.elapsed() / scored.max(1);
+        self.ladder.observe(tier, elapsed);
+        let degraded = tier < self.ladder.full_tier();
+        let deadline_met = budget.is_none_or(|b| elapsed <= b);
+        let mut preds = self.batch_preds.iter();
+        for slot in out.iter_mut() {
+            if !matches!(slot, Err(RuntimeError::NoCheckpoint)) {
+                continue;
+            }
+            let Some(&label) = preds.next() else { break };
+            self.stats.answered += 1;
+            if degraded {
+                self.stats.degraded += 1;
+            }
+            if !deadline_met {
+                self.stats.deadline_misses += 1;
+            }
+            *slot = Ok(InferOutcome {
+                label,
+                dims_used: dims,
+                tier,
+                degraded,
+                elapsed,
+                deadline_met,
+            });
+        }
+        out
     }
 
     /// Folds one labeled sample into the model (or the held-out
@@ -1142,6 +1353,7 @@ impl OnlineRuntime {
                 self.last_ckpt_seen = self.seen;
                 self.last_ckpt_acc = acc;
                 self.stats.checkpoints += 1;
+                self.publish_snapshot();
                 Ok(CheckpointAction::Saved { generation })
             }
             Err(e) => {
@@ -1166,6 +1378,7 @@ impl OnlineRuntime {
         self.err_ewma = 0.0;
         self.since_retrain = 0;
         self.stats.rollbacks += 1;
+        self.publish_snapshot();
         Ok(ckpt.generation)
     }
 
@@ -1197,9 +1410,11 @@ impl OnlineRuntime {
             if let (Some(b), Some(a)) = (before, self.holdout_accuracy()) {
                 if a + self.config.rollback_threshold < b {
                     self.rollback()?;
+                    return Ok(true); // rollback already republished
                 }
             }
         }
+        self.publish_snapshot();
         Ok(true)
     }
 
@@ -1256,6 +1471,75 @@ impl OnlineRuntime {
             },
             self.config.dead_letter_capacity,
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-batch scheduler
+// ---------------------------------------------------------------------------
+
+/// Coalesces queued serve requests into micro-batches for
+/// [`OnlineRuntime::infer_batch`].
+///
+/// The serve loop [`push`](MicroBatcher::push)es inference rows as they
+/// arrive and [`flush`](MicroBatcher::flush)es when `push` reports the
+/// batch is full, when stream order demands it (a learning row must
+/// observe every prediction before it — flush first), or at end of
+/// stream. With `batch_max == 1` (the default in the CLI) every row
+/// flushes immediately and serving is byte-for-byte what per-row
+/// [`OnlineRuntime::infer`] produced.
+#[derive(Debug, Clone, Default)]
+pub struct MicroBatcher {
+    queue: Vec<Vec<f64>>,
+    batch_max: usize,
+}
+
+impl MicroBatcher {
+    /// Creates a scheduler that coalesces up to `batch_max` requests
+    /// (clamped to ≥ 1) per flush.
+    pub fn new(batch_max: usize) -> Self {
+        MicroBatcher {
+            queue: Vec::new(),
+            batch_max: batch_max.max(1),
+        }
+    }
+
+    /// The configured coalescing limit.
+    pub fn batch_max(&self) -> usize {
+        self.batch_max.max(1)
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Queues one inference request; returns `true` when the batch has
+    /// reached `batch_max` and should be flushed now.
+    pub fn push(&mut self, features: Vec<f64>) -> bool {
+        self.queue.push(features);
+        self.queue.len() >= self.batch_max()
+    }
+
+    /// Serves everything queued through one
+    /// [`OnlineRuntime::infer_batch`] call (empty queue → no work, empty
+    /// result) and clears the queue. Results are in push order.
+    pub fn flush(
+        &mut self,
+        runtime: &mut OnlineRuntime,
+        budget: Option<Duration>,
+    ) -> Vec<Result<InferOutcome, RuntimeError>> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        let results = runtime.infer_batch(&self.queue, budget);
+        self.queue.clear();
+        results
     }
 }
 
@@ -1523,6 +1807,136 @@ mod tests {
         // The restored model predicts cleanly again.
         assert_eq!(rt.pipeline().predict(&[1.0; 8]).unwrap(), 0);
         assert_eq!(rt.pipeline().predict(&[9.0; 8]).unwrap(), 1);
+    }
+
+    #[test]
+    fn batched_inference_matches_per_row_serving() {
+        let dir = TempDir::new("batch");
+        let mut per_row = OnlineRuntime::new(
+            toy_pipeline(),
+            store_in(dir.path()),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let mut batched = OnlineRuntime::new(
+            toy_pipeline(),
+            store_in(dir.path()),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<f64>> = (0..13)
+            .map(|i| vec![if i % 2 == 0 { 1.0 } else { 9.0 }; 8])
+            .collect();
+        // No budget → both serve the full tier; labels must agree.
+        let expect: Vec<usize> = rows
+            .iter()
+            .map(|r| per_row.infer(r, None).unwrap().label)
+            .collect();
+        let results = batched.infer_batch(&rows, None);
+        assert_eq!(results.len(), rows.len());
+        for (r, &want) in results.iter().zip(&expect) {
+            let out = r.as_ref().unwrap();
+            assert_eq!(out.label, want);
+            assert_eq!(out.tier, batched.ladder().full_tier());
+            assert!(!out.degraded);
+        }
+        assert_eq!(batched.stats().answered, rows.len() as u64);
+        assert_eq!(batched.stats().infer_requests, rows.len() as u64);
+    }
+
+    #[test]
+    fn batched_inference_rejects_bad_rows_without_failing_neighbours() {
+        let dir = TempDir::new("batch-reject");
+        let mut rt = OnlineRuntime::new(
+            toy_pipeline(),
+            store_in(dir.path()),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let rows = vec![
+            vec![1.0; 8],
+            vec![f64::NAN; 8], // rejected
+            vec![9.0; 8],
+            vec![1.0; 3], // wrong width
+        ];
+        let results = rt.infer_batch(&rows, None);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].as_ref().unwrap().label, 0);
+        assert!(matches!(results[1], Err(RuntimeError::Rejected(_))));
+        assert_eq!(results[2].as_ref().unwrap().label, 1);
+        assert!(matches!(results[3], Err(RuntimeError::Rejected(_))));
+        assert_eq!(rt.stats().answered, 2);
+        assert_eq!(rt.stats().rejected, 2);
+    }
+
+    #[test]
+    fn micro_batcher_coalesces_and_flushes_in_order() {
+        let dir = TempDir::new("microbatch");
+        let mut rt = OnlineRuntime::new(
+            toy_pipeline(),
+            store_in(dir.path()),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let mut batcher = MicroBatcher::new(3);
+        assert!(batcher.is_empty());
+        assert!(!batcher.push(vec![1.0; 8]));
+        assert!(!batcher.push(vec![9.0; 8]));
+        assert!(batcher.push(vec![1.0; 8])); // full at 3
+        let results = batcher.flush(&mut rt, None);
+        assert!(batcher.is_empty());
+        let labels: Vec<usize> = results.iter().map(|r| r.as_ref().unwrap().label).collect();
+        assert_eq!(labels, [0, 1, 0]);
+        // Flushing an empty queue is a no-op, not a runtime call.
+        let before = rt.stats().infer_requests;
+        assert!(batcher.flush(&mut rt, None).is_empty());
+        assert_eq!(rt.stats().infer_requests, before);
+        // batch_max is clamped to at least 1.
+        let mut degenerate = MicroBatcher::new(0);
+        assert!(degenerate.push(vec![1.0; 8]));
+    }
+
+    #[test]
+    fn snapshot_readers_score_while_the_writer_learns() {
+        let dir = TempDir::new("rcu");
+        let config = RuntimeConfig {
+            checkpoint_every: 8,
+            holdout_every: 100,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = OnlineRuntime::new(toy_pipeline(), store_in(dir.path()), config).unwrap();
+        let cell = rt.snapshots();
+        assert_eq!(cell.load().version(), 0);
+
+        // A reader thread scores continuously from whatever snapshot is
+        // current while the writer learns and checkpoints.
+        let reader_cell = rt.snapshots();
+        let reader = std::thread::spawn(move || {
+            let mut served = 0u32;
+            let mut newest = 0u64;
+            for _ in 0..200 {
+                let snap = reader_cell.load();
+                let label = snap.pipeline().predict(&[1.0; 8]).unwrap();
+                assert_eq!(label, 0);
+                newest = newest.max(snap.version());
+                served += 1;
+            }
+            (served, newest)
+        });
+        for i in 0..32u64 {
+            let x = if i % 2 == 0 { [1.0; 8] } else { [9.0; 8] };
+            rt.learn(&x, (i % 2) as usize).unwrap();
+        }
+        let (served, _) = reader.join().unwrap();
+        assert_eq!(served, 200);
+
+        // Automatic checkpoints republished along the way; a held
+        // snapshot keeps serving even after newer versions supersede it.
+        let held = cell.load();
+        let v = rt.publish_snapshot();
+        assert!(v > held.version());
+        assert_eq!(cell.load().version(), v);
+        assert_eq!(held.pipeline().predict(&[9.0; 8]).unwrap(), 1);
     }
 
     #[test]

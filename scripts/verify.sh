@@ -24,4 +24,7 @@ cargo fmt --all --check
 echo "==> conformance smoke (differential oracles)"
 cargo run -p generic-bench --release --locked --quiet --bin conformance -- --smoke
 
+echo "==> throughput smoke (SIMD dispatch, batched scoring)"
+cargo run -p generic-bench --release --locked --quiet --bin throughput -- --smoke
+
 echo "All checks passed."
