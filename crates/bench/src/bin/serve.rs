@@ -1,0 +1,296 @@
+//! Load generator for the supervised sharded serving runtime: drives a
+//! closed-loop client fleet against [`Server`] at 1 shard and at N
+//! shards, and writes `BENCH_serve.json` with QPS and latency
+//! percentiles per configuration.
+//!
+//! Acceptance gate (enforced in full mode on machines with ≥ 4 cores;
+//! always recorded): multi-shard QPS ≥ 2× single-shard QPS.
+//!
+//! Usage: `cargo run -p generic-bench --release --bin serve
+//! [seed] [--smoke]`
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use generic_bench::cli;
+use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
+use generic_hdc::{HdcPipeline, ServeConfig, Server, ServerHandle, SubmitError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_FEATURES: usize = 10;
+const N_CLASSES: usize = 3;
+
+struct Config {
+    dim: usize,
+    bootstrap_samples: usize,
+    requests: usize,
+    clients: usize,
+}
+
+impl Config {
+    fn full() -> Self {
+        Config {
+            dim: 2048,
+            bootstrap_samples: 240,
+            requests: 24_000,
+            clients: 8,
+        }
+    }
+
+    fn smoke() -> Self {
+        Config {
+            dim: 512,
+            bootstrap_samples: 90,
+            requests: 3_000,
+            clients: 4,
+        }
+    }
+}
+
+/// One measured server configuration.
+struct Run {
+    shards: usize,
+    answered: u64,
+    wall: Duration,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn sample(rng: &mut StdRng, class: usize) -> Vec<f64> {
+    (0..N_FEATURES)
+        .map(|j| {
+            let band = j / (N_FEATURES / N_CLASSES).max(1);
+            let base = if band == class { 8.0 } else { 1.0 };
+            base + rng.random_range(-0.5..0.5)
+        })
+        .collect()
+}
+
+fn scratch_dir(seed: u64, shards: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ghdc-serve-bench-{}-{seed}-{shards}",
+        std::process::id()
+    ))
+}
+
+fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[index].as_secs_f64() * 1e6
+}
+
+/// One closed-loop measurement: `clients` threads each submit and wait,
+/// one request at a time, until the shared budget is spent.
+fn measure(pipeline: &HdcPipeline, config: &Config, shards: usize, seed: u64) -> Run {
+    let dir = scratch_dir(seed, shards);
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        CheckpointStore::open(&dir, 2, RetryPolicy::default()).expect("scratch dir is creatable");
+    let rt_config = RuntimeConfig {
+        checkpoint_every: 0,
+        ..RuntimeConfig::default()
+    };
+    let runtime =
+        OnlineRuntime::new(pipeline.clone(), store, rt_config).expect("valid runtime config");
+    let serve_config = ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(runtime, serve_config).expect("server starts");
+    let handle = server.handle();
+
+    // Warm-up: fill every shard's ladder estimate before the clock runs.
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..64 {
+        let class = rng.random_range(0..N_CLASSES);
+        if let Ok(ticket) = handle.submit(sample(&mut rng, class), None) {
+            let _ = ticket.wait();
+        }
+    }
+
+    let remaining = AtomicU64::new(config.requests as u64);
+    let start = Instant::now();
+    let latencies: Vec<Vec<Duration>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                let handle: ServerHandle = handle.clone();
+                let remaining = &remaining;
+                scope.spawn(move || client_loop(&handle, remaining, seed ^ (client as u64 + 1)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread completes"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let report = server.drain().expect("drain joins the fleet");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut all: Vec<Duration> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let answered = all.len() as u64;
+    assert_eq!(
+        report.workers.answered,
+        answered + 64, // the warm-up requests
+        "every admitted request must be answered"
+    );
+    Run {
+        shards,
+        answered,
+        wall,
+        qps: answered as f64 / wall.as_secs_f64(),
+        p50_us: percentile_us(&all, 0.50),
+        p99_us: percentile_us(&all, 0.99),
+    }
+}
+
+fn client_loop(handle: &ServerHandle, remaining: &AtomicU64, seed: u64) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latencies = Vec::new();
+    loop {
+        if remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_err()
+        {
+            return latencies;
+        }
+        let class = rng.random_range(0..N_CLASSES);
+        let features = sample(&mut rng, class);
+        loop {
+            match handle.submit(features.clone(), None) {
+                Ok(ticket) => {
+                    let answer = ticket.wait().expect("unbudgeted request is answered");
+                    latencies.push(answer.elapsed);
+                    break;
+                }
+                Err(SubmitError::QueueFull) => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) => panic!("clean request refused: {e}"),
+            }
+        }
+    }
+}
+
+fn main() {
+    let seed = cli::seed_arg(42);
+    let smoke = cli::smoke_flag();
+    let config = if smoke {
+        Config::smoke()
+    } else {
+        Config::full()
+    };
+    let cores = cli::default_threads();
+    let multi_shards = cores.clamp(2, 4);
+    println!(
+        "serve bench: dim={} requests={} clients={} cores={cores} shards=[1, {multi_shards}] \
+         seed={seed} mode={}",
+        config.dim,
+        config.requests,
+        config.clients,
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features: Vec<Vec<f64>> = (0..config.bootstrap_samples)
+        .map(|i| sample(&mut rng, i % N_CLASSES))
+        .collect();
+    let labels: Vec<usize> = (0..config.bootstrap_samples)
+        .map(|i| i % N_CLASSES)
+        .collect();
+    let spec = GenericEncoderSpec::new(config.dim, N_FEATURES).with_seed(seed);
+    let pipeline = HdcPipeline::train(spec, &features, &labels, N_CLASSES, 5)
+        .expect("separable bootstrap data");
+
+    let runs: Vec<Run> = [1, multi_shards]
+        .iter()
+        .map(|&shards| {
+            let run = measure(&pipeline, &config, shards, seed);
+            println!(
+                "  {} shard(s): {:.0} QPS ({} answered in {:.2} s), p50 {:.1} µs, p99 {:.1} µs",
+                run.shards,
+                run.qps,
+                run.answered,
+                run.wall.as_secs_f64(),
+                run.p50_us,
+                run.p99_us
+            );
+            run
+        })
+        .collect();
+
+    let speedup = runs[1].qps / runs[0].qps;
+    // The 2× scaling gate is a perf gate: enforce it only on full runs
+    // with enough cores to host 4 shards + clients; always record it.
+    let enforced = !smoke && cores >= 4;
+    let passed = speedup >= 2.0;
+    println!(
+        "multi-shard speedup: {speedup:.2}× ({} shards vs 1) — gate {}{}",
+        multi_shards,
+        if passed { "PASS" } else { "FAIL" },
+        if enforced { "" } else { " (not enforced)" }
+    );
+
+    let json = render_json(
+        &config, seed, smoke, cores, &runs, speedup, enforced, passed,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    if enforced && !passed {
+        eprintln!("GATE FAILED: multi-shard QPS must be >= 2x single-shard");
+        std::process::exit(1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    config: &Config,
+    seed: u64,
+    smoke: bool,
+    cores: usize,
+    runs: &[Run],
+    speedup: f64,
+    enforced: bool,
+    passed: bool,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str(&format!(
+        "  \"config\": {{\"dim\": {}, \"requests\": {}, \"clients\": {}}},\n",
+        config.dim, config.requests, config.clients
+    ));
+    s.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"shards\": {}, \"qps\": {:.1}, \"answered\": {}, \"wall_s\": {:.4}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{}\n",
+            run.shards,
+            run.qps,
+            run.answered,
+            run.wall.as_secs_f64(),
+            run.p50_us,
+            run.p99_us,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"gates\": {{\n    \"multi_shard_2x\": {{\"passed\": {passed}, \"enforced\": {enforced}, \
+         \"speedup\": {speedup:.3}}}\n  }}\n"
+    ));
+    s.push_str("}\n");
+    s
+}

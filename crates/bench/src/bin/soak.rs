@@ -17,17 +17,25 @@
 //! 4. **garbage records**: every malformed learning sample is
 //!    quarantined — none learned, none panicking — and the clean ones
 //!    all land.
+//! 5. **chaos soak on the sharded server**: a seeded fault plan — kill
+//!    a shard mid-batch, stall the writer, inject checkpoint write
+//!    failures, and an overload deadline storm — while gating on
+//!    availability (≥ 99.9% of admitted requests answered within
+//!    deadline), zero divergence from the scalar oracle on answered
+//!    requests, and bounded shard-kill recovery time.
 //!
 //! Usage: `cargo run -p generic-bench --release --bin soak
 //! [seed] [--smoke]`
 
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use generic_bench::cli;
-use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::encoding::{Encoder, GenericEncoderSpec};
 use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
-use generic_hdc::{HdcPipeline, RuntimeError};
+use generic_hdc::{
+    HdcPipeline, NormMode, PredictOptions, RuntimeError, ServeConfig, Server, SubmitError,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,6 +49,8 @@ struct Config {
     checkpoint_every: u64,
     storm_requests: usize,
     garbage_records: usize,
+    chaos_requests: usize,
+    chaos_learns: usize,
 }
 
 impl Config {
@@ -52,6 +62,8 @@ impl Config {
             checkpoint_every: 64,
             storm_requests: 2000,
             garbage_records: 120,
+            chaos_requests: 2000,
+            chaos_learns: 160,
         }
     }
 
@@ -63,8 +75,29 @@ impl Config {
             checkpoint_every: 16,
             storm_requests: 400,
             garbage_records: 30,
+            chaos_requests: 400,
+            chaos_learns: 48,
         }
     }
+}
+
+/// Everything scenario 5 (sharded chaos soak) measured, for the JSON
+/// report.
+struct ChaosSummary {
+    shards: usize,
+    admitted: u64,
+    answered: u64,
+    availability: f64,
+    shard_recovery_ms: f64,
+    storm_shed: u64,
+    backpressure_waits: u64,
+    divergences: u64,
+    panics: u64,
+    restarts: u64,
+    requeued: u64,
+    writer_stalls: u64,
+    checkpoint_retries: u64,
+    storm_budget_ms: f64,
 }
 
 /// One gate: a named pass/fail with the observed evidence.
@@ -224,7 +257,12 @@ fn main() {
     bytes[mid] ^= 0x20; // a single flipped bit mid-payload
     std::fs::write(&newest_path, &bytes).expect("scratch dir writable");
 
-    let (recovered, report) = match OnlineRuntime::recover(open_store(&dir), rt_config) {
+    // Keep a clone of the store: it shares the retry/injection counters
+    // with the runtime's copy, so scenario 5 can inject checkpoint
+    // write failures into the live writer from outside.
+    let store = open_store(&dir);
+    let chaos_store = store.clone();
+    let (recovered, report) = match OnlineRuntime::recover(store, rt_config) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("GATE FAILED: recovery after torn write errored: {e}");
@@ -343,10 +381,233 @@ fn main() {
         ),
     ));
 
-    runtime.checkpoint().expect("final checkpoint");
-    let final_stats = *runtime.stats();
-    let final_generation = runtime.generation();
-    drop(runtime);
+    // --- scenario 5: chaos soak on the sharded server ---
+    // The surviving runtime becomes the writer of a 2-shard server; a
+    // seeded fault plan then kills a shard mid-batch, stalls the
+    // writer, injects checkpoint write failures, and runs an overload
+    // storm — all while every answer must stay bit-identical to the
+    // scalar oracle replayed on its pinned snapshot.
+    let serve_config = ServeConfig {
+        shards: 2,
+        batch_max: 8,
+        restart_backoff: Duration::from_millis(2),
+        restart_backoff_max: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    // The shard kill below panics on purpose; keep the report to one
+    // line instead of a full backtrace.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("(chaos) worker panic caught by supervisor: {info}");
+    }));
+    chaos_store.inject_write_failures(2); // absorbed by the 3-attempt retry budget
+    let server = Server::start(runtime, serve_config).expect("server starts");
+    let handle = server.handle();
+
+    // Answered requests kept for the oracle replay: (features, answer).
+    let mut answered = Vec::new();
+    let mut admitted = 0u64;
+    let mut backpressure_waits = 0u64;
+    let mut storm_shed = 0u64;
+
+    // Warm every shard's ladder so the admission floor has data, and
+    // record a generous per-request latency budget for the storm.
+    let mut warm_worst = Duration::ZERO;
+    for _ in 0..40 {
+        let class = rng.random_range(0..N_CLASSES);
+        let x = sample(&mut rng, class);
+        if let Ok(ticket) = handle.submit(x.clone(), None) {
+            admitted += 1;
+            if let Ok(answer) = ticket.wait() {
+                warm_worst = warm_worst.max(answer.elapsed);
+                answered.push((x, answer));
+            }
+        }
+    }
+
+    // Fault 1: kill shard 0 mid-batch; its in-flight work must be
+    // requeued and answered elsewhere, and the supervisor must restart
+    // the shard within its backoff.
+    handle.chaos_kill_shard(0);
+    let kill_start = Instant::now();
+    for _ in 0..config.chaos_requests / 4 {
+        let class = rng.random_range(0..N_CLASSES);
+        let x = sample(&mut rng, class);
+        match handle.submit(x.clone(), None) {
+            Ok(ticket) => {
+                admitted += 1;
+                if let Ok(answer) = ticket.wait() {
+                    answered.push((x, answer));
+                }
+            }
+            Err(SubmitError::QueueFull) => backpressure_waits += 1,
+            Err(e) => panic!("unbudgeted chaos request refused: {e}"),
+        }
+    }
+    let recovery_deadline = Instant::now() + Duration::from_secs(5);
+    let shard_recovery_ms = loop {
+        let stats = handle.stats();
+        if stats.shard_restarts >= 1 {
+            break kill_start.elapsed().as_secs_f64() * 1e3;
+        }
+        if Instant::now() > recovery_deadline {
+            break f64::NAN;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let after_kill = handle.stats();
+    gates.push(Gate::check(
+        "chaos_shard_kill_recovers",
+        after_kill.shard_panics >= 1
+            && after_kill.shard_restarts >= 1
+            && shard_recovery_ms.is_finite(),
+        format!(
+            "{} panic(s), {} restart(s), {} request(s) requeued, recovered in {:.2} ms",
+            after_kill.shard_panics,
+            after_kill.shard_restarts,
+            after_kill.requeued,
+            shard_recovery_ms
+        ),
+    ));
+
+    // Fault 2: stall the writer and inject learn traffic — the read
+    // path must keep answering while the writer sleeps, and the learn
+    // queue must shed (not block) once full.
+    handle.chaos_stall_writer(Duration::from_millis(150));
+    let mut learn_offered = 0u64;
+    for _ in 0..config.chaos_learns {
+        let class = rng.random_range(0..N_CLASSES);
+        let _ = handle.submit_learn(sample(&mut rng, class), class);
+        learn_offered += 1;
+        let x = sample(&mut rng, class);
+        if let Ok(ticket) = handle.submit(x.clone(), None) {
+            admitted += 1;
+            if let Ok(answer) = ticket.wait() {
+                answered.push((x, answer));
+            }
+        }
+    }
+
+    // Fault 3: overload deadline storm — a tight closed loop at the
+    // bounded queue's admission limit, every request under a generous
+    // deadline (~50× the worst warm-up latency). Backpressure may defer
+    // admission; what is admitted must be answered within deadline.
+    let storm_budget = warm_worst
+        .saturating_mul(50)
+        .max(Duration::from_millis(250));
+    let mut storm_tickets = Vec::new();
+    for _ in 0..config.chaos_requests {
+        let class = rng.random_range(0..N_CLASSES);
+        let x = sample(&mut rng, class);
+        loop {
+            match handle.submit(x.clone(), Some(storm_budget)) {
+                Ok(ticket) => {
+                    admitted += 1;
+                    storm_tickets.push((x, ticket));
+                    break;
+                }
+                Err(SubmitError::QueueFull) => {
+                    backpressure_waits += 1;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(SubmitError::DeadlineHopeless { .. }) => {
+                    storm_shed += 1;
+                    break;
+                }
+                Err(e) => panic!("storm request refused: {e}"),
+            }
+        }
+    }
+    let mut storm_answered = 0u64;
+    let mut storm_in_deadline = 0u64;
+    for (x, ticket) in storm_tickets {
+        if let Ok(answer) = ticket.wait() {
+            storm_answered += 1;
+            if answer.deadline_met {
+                storm_in_deadline += 1;
+            }
+            answered.push((x, answer));
+        }
+    }
+
+    let report = server.drain().expect("drain joins the fleet");
+    let _ = std::panic::take_hook(); // restore default panic reporting
+    let in_deadline_total = answered.len() as u64 - (storm_answered - storm_in_deadline);
+    let availability = in_deadline_total as f64 / admitted.max(1) as f64;
+    gates.push(Gate::check(
+        "chaos_availability_99_9",
+        availability >= 0.999 && report.serve.canceled == 0,
+        format!(
+            "{in_deadline_total}/{admitted} admitted answered in deadline ({:.3}%), \
+             {storm_shed} shed at admission, {backpressure_waits} backpressure waits, \
+             {} canceled",
+            availability * 100.0,
+            report.serve.canceled
+        ),
+    ));
+
+    // Zero divergence: replay every answered request through the
+    // scalar oracle on the exact snapshot that answered it.
+    let mut divergences = 0u64;
+    for (x, answer) in &answered {
+        let snapshot_pipeline = answer.snapshot.pipeline();
+        let encoded = snapshot_pipeline
+            .encoder()
+            .encode(x)
+            .expect("clean chaos sample encodes");
+        let oracle = snapshot_pipeline
+            .model()
+            .try_predict_with(
+                &encoded,
+                PredictOptions::reduced(answer.dims_used, NormMode::Updated),
+            )
+            .expect("oracle replay succeeds");
+        if oracle != answer.label {
+            divergences += 1;
+        }
+    }
+    gates.push(Gate::check(
+        "chaos_zero_oracle_divergence",
+        divergences == 0,
+        format!(
+            "{divergences}/{} answered requests diverged",
+            answered.len()
+        ),
+    ));
+
+    gates.push(Gate::check(
+        "chaos_writer_survives_stall_and_fsync_faults",
+        report.final_checkpoint_ok
+            && report.serve.writer_stalls >= 1
+            && report.writer.checkpoint_retries >= 2,
+        format!(
+            "final checkpoint ok: {}, {} stall(s), {} checkpoint retries, \
+             {}/{} learn offered applied-or-quarantined",
+            report.final_checkpoint_ok,
+            report.serve.writer_stalls,
+            report.writer.checkpoint_retries,
+            report.serve.learn_submitted - report.serve.learn_rejected,
+            learn_offered
+        ),
+    ));
+
+    let chaos = ChaosSummary {
+        shards: 2,
+        admitted,
+        answered: answered.len() as u64,
+        availability,
+        shard_recovery_ms,
+        storm_shed,
+        backpressure_waits,
+        divergences,
+        panics: report.serve.shard_panics,
+        restarts: report.serve.shard_restarts,
+        requeued: report.serve.requeued,
+        writer_stalls: report.serve.writer_stalls,
+        checkpoint_retries: report.writer.checkpoint_retries,
+        storm_budget_ms: storm_budget.as_secs_f64() * 1e3,
+    };
+    let final_stats = report.writer;
+    let final_generation = report.generation;
     let _ = std::fs::remove_dir_all(&dir);
 
     let json = render_json(
@@ -363,6 +624,7 @@ fn main() {
         garbage_requests,
         final_generation,
         &final_stats,
+        &chaos,
         &gates,
     );
     std::fs::write("BENCH_soak.json", &json).expect("write BENCH_soak.json");
@@ -392,6 +654,7 @@ fn render_json(
     garbage_requests: u64,
     final_generation: u64,
     stats: &generic_hdc::RuntimeStats,
+    chaos: &ChaosSummary,
     gates: &[Gate],
 ) -> String {
     let mut s = String::from("{\n");
@@ -401,8 +664,8 @@ fn render_json(
         if smoke { "smoke" } else { "full" }
     ));
     s.push_str(&format!(
-        "  \"config\": {{\"dim\": {}, \"stream_samples\": {}, \"checkpoint_every\": {}, \"storm_requests\": {}, \"garbage_records\": {}}},\n",
-        config.dim, config.stream_samples, config.checkpoint_every, config.storm_requests, config.garbage_records
+        "  \"config\": {{\"dim\": {}, \"stream_samples\": {}, \"checkpoint_every\": {}, \"storm_requests\": {}, \"garbage_records\": {}, \"chaos_requests\": {}, \"chaos_learns\": {}}},\n",
+        config.dim, config.stream_samples, config.checkpoint_every, config.storm_requests, config.garbage_records, config.chaos_requests, config.chaos_learns
     ));
     s.push_str(&format!(
         "  \"recovery\": {{\"kill_ms\": {kill_recovery_ms:.3}, \"torn_write_ms\": {torn_recovery_ms:.3}, \"samples_lost\": {lost}, \"max_loss_allowed\": {}}},\n",
@@ -428,6 +691,27 @@ fn render_json(
         stats.checkpoints,
         stats.retrains,
         stats.rollbacks
+    ));
+    s.push_str(&format!(
+        "  \"chaos\": {{\"shards\": {}, \"admitted\": {}, \"answered\": {}, \
+         \"availability\": {:.6}, \"shard_recovery_ms\": {:.3}, \"storm_shed\": {}, \
+         \"backpressure_waits\": {}, \"oracle_divergences\": {}, \"panics\": {}, \
+         \"restarts\": {}, \"requeued\": {}, \"writer_stalls\": {}, \
+         \"checkpoint_retries\": {}, \"storm_budget_ms\": {:.3}}},\n",
+        chaos.shards,
+        chaos.admitted,
+        chaos.answered,
+        chaos.availability,
+        chaos.shard_recovery_ms,
+        chaos.storm_shed,
+        chaos.backpressure_waits,
+        chaos.divergences,
+        chaos.panics,
+        chaos.restarts,
+        chaos.requeued,
+        chaos.writer_stalls,
+        chaos.checkpoint_retries,
+        chaos.storm_budget_ms
     ));
     s.push_str("  \"gates\": {\n");
     for (i, gate) in gates.iter().enumerate() {

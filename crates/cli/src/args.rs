@@ -18,7 +18,8 @@ USAGE:
     generic info    --model <model>
     generic serve   --ckpt-dir <dir> --data <csv|-> [--model <model>]
                     [--budget-us N] [--checkpoint-every N] [--keep N]
-                    [--batch-max N] [--skip-bad-rows]
+                    [--batch-max N] [--shards N] [--dead-letter-out <csv>]
+                    [--skip-bad-rows]
     generic conformance [--replay <token>] [--seed N] [--count N]
 
 CSV format: one sample per row, numeric features separated by commas;
@@ -37,7 +38,13 @@ requests are coalesced into SIMD-scored micro-batches of up to N rows
 per-row outputs. Progress is checkpointed atomically into
 --ckpt-dir every --checkpoint-every samples (keeping --keep
 generations); on startup the newest intact generation is recovered
-unless --model bootstraps a fresh runtime.
+unless --model bootstraps a fresh runtime. With --shards N > 0 the
+stream is served by the supervised sharded runtime instead: N
+panic-isolated worker shards score RCU model snapshots concurrently
+behind a bounded queue with backpressure and deadline-aware admission
+control, while a writer shard applies the labeled rows. On drain (end
+of stream) quarantined rows are exported as CSV to --dead-letter-out
+when given (this also works without --shards).
 
 `conformance` runs seeded differential scenarios through every
 fast-kernel/scalar-oracle pair and reports divergences. With --replay it
@@ -121,6 +128,11 @@ pub enum CliCommand {
         /// Maximum unlabeled requests coalesced into one scoring batch
         /// (1 = per-row serving).
         batch_max: usize,
+        /// Worker shards for the supervised sharded runtime (0 = the
+        /// single-threaded streaming runtime).
+        shards: usize,
+        /// Export the quarantine buffer as CSV here on drain.
+        dead_letter_out: Option<PathBuf>,
         /// Quarantine malformed CSV rows instead of aborting.
         skip_bad_rows: bool,
     },
@@ -176,7 +188,7 @@ impl Options {
                 }
                 "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
                 | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" | "batch-max"
-                | "replay" | "count" => {
+                | "shards" | "dead-letter-out" | "replay" | "count" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
@@ -289,6 +301,8 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
                     Ok(b)
                 }
             })?,
+            shards: opts.numeric("shards", 0)?,
+            dead_letter_out: opts.value("dead-letter-out").map(PathBuf::from),
             skip_bad_rows: opts.flag("skip-bad-rows"),
         }),
         other => Err(CliError::new(format!("unknown subcommand `{other}`"))),
@@ -335,6 +349,8 @@ mod tests {
                 checkpoint_every: 256,
                 keep: 3,
                 batch_max: 1,
+                shards: 0,
+                dead_letter_out: None,
                 skip_bad_rows: false,
             }
         );
@@ -354,6 +370,10 @@ mod tests {
             "5",
             "--batch-max",
             "64",
+            "--shards",
+            "4",
+            "--dead-letter-out",
+            "quarantine.csv",
             "--skip-bad-rows",
         ]))
         .unwrap();
@@ -364,6 +384,8 @@ mod tests {
                 checkpoint_every,
                 keep,
                 batch_max,
+                shards,
+                dead_letter_out,
                 skip_bad_rows,
                 ..
             } => {
@@ -372,6 +394,8 @@ mod tests {
                 assert_eq!(checkpoint_every, 32);
                 assert_eq!(keep, 5);
                 assert_eq!(batch_max, 64);
+                assert_eq!(shards, 4);
+                assert_eq!(dead_letter_out, Some("quarantine.csv".into()));
                 assert!(skip_bad_rows);
             }
             other => panic!("wrong command: {other:?}"),

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use generic_hdc::encoding::GenericEncoderSpec;
@@ -11,7 +11,10 @@ use generic_hdc::metrics::normalized_mutual_information;
 use generic_hdc::runtime::{
     CheckpointStore, MicroBatcher, OnlineRuntime, RetryPolicy, RuntimeConfig,
 };
-use generic_hdc::{HdcClustering, HdcClusteringSpec, HdcPipeline, RuntimeError};
+use generic_hdc::{
+    HdcClustering, HdcClusteringSpec, HdcPipeline, RuntimeError, ServeConfig, ServeError, Server,
+    SubmitError, Ticket,
+};
 
 use crate::args::{CliCommand, USAGE};
 use crate::csv;
@@ -160,16 +163,22 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             keep,
             batch_max,
             skip_bad_rows,
+            shards,
+            dead_letter_out,
         } => serve(
             out,
-            &ckpt_dir,
-            &data,
-            model.as_deref(),
-            budget_us,
-            checkpoint_every,
-            keep,
-            batch_max,
-            skip_bad_rows,
+            &ServeArgs {
+                ckpt_dir,
+                data,
+                model,
+                budget_us,
+                checkpoint_every,
+                keep,
+                batch_max,
+                skip_bad_rows,
+                shards,
+                dead_letter_out,
+            },
         ),
         CliCommand::Conformance {
             replay,
@@ -233,6 +242,20 @@ fn conformance<W: Write>(
     Ok(())
 }
 
+/// Everything the `serve` subcommand parsed from the command line.
+struct ServeArgs {
+    ckpt_dir: PathBuf,
+    data: PathBuf,
+    model: Option<PathBuf>,
+    budget_us: u64,
+    checkpoint_every: u64,
+    keep: usize,
+    batch_max: usize,
+    skip_bad_rows: bool,
+    shards: usize,
+    dead_letter_out: Option<PathBuf>,
+}
+
 /// The `serve` driver: stream rows through an [`OnlineRuntime`].
 ///
 /// Rows matching the model's feature count are inference requests
@@ -246,24 +269,18 @@ fn conformance<W: Write>(
 /// into one SIMD-scored batch; labeled rows and end-of-stream flush the
 /// queue first, so answers keep their per-row order and every request
 /// is scored against the model state it would have seen unbatched.
-#[allow(clippy::too_many_arguments)]
-fn serve<W: Write>(
-    out: &mut W,
-    ckpt_dir: &Path,
-    data: &Path,
-    model: Option<&Path>,
-    budget_us: u64,
-    checkpoint_every: u64,
-    keep: usize,
-    batch_max: usize,
-    skip_bad_rows: bool,
-) -> CommandResult {
-    let store = CheckpointStore::open(ckpt_dir, keep, RetryPolicy::default())?;
+///
+/// With `--shards N > 0` the stream is served by the supervised sharded
+/// runtime instead: N panic-isolated worker shards score concurrently
+/// against RCU snapshots while a dedicated writer applies the labeled
+/// rows; answers are printed in submission order once the stream ends.
+fn serve<W: Write>(out: &mut W, args: &ServeArgs) -> CommandResult {
+    let store = CheckpointStore::open(&args.ckpt_dir, args.keep, RetryPolicy::default())?;
     let config = RuntimeConfig {
-        checkpoint_every,
+        checkpoint_every: args.checkpoint_every,
         ..RuntimeConfig::default()
     };
-    let mut runtime = match model {
+    let runtime = match args.model.as_deref() {
         Some(path) => {
             let pipeline = load_pipeline(path)?;
             let mut rt = OnlineRuntime::new(pipeline, store, config)?;
@@ -291,12 +308,25 @@ fn serve<W: Write>(
             rt
         }
     };
+    if args.shards > 0 {
+        serve_sharded(out, runtime, args)
+    } else {
+        serve_stream(out, runtime, args)
+    }
+}
 
-    let budget = (budget_us > 0).then(|| Duration::from_micros(budget_us));
+/// Single-threaded streaming serve: one runtime answers and learns in
+/// row order, micro-batching consecutive inference requests.
+fn serve_stream<W: Write>(
+    out: &mut W,
+    mut runtime: OnlineRuntime,
+    args: &ServeArgs,
+) -> CommandResult {
+    let budget = (args.budget_us > 0).then(|| Duration::from_micros(args.budget_us));
     let n_features = runtime.pipeline().encoder().spec().n_features();
-    let text = read_stream(data)?;
+    let text = read_stream(&args.data)?;
     let mut bad_rows = 0u64;
-    let mut batcher = MicroBatcher::new(batch_max);
+    let mut batcher = MicroBatcher::new(args.batch_max);
     for (line_no, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -318,7 +348,7 @@ fn serve<W: Write>(
                 }
             }
             Err(message) => {
-                if !skip_bad_rows {
+                if !args.skip_bad_rows {
                     return Err(format!("line {}: {message}", line_no + 1).into());
                 }
                 bad_rows += 1;
@@ -328,6 +358,10 @@ fn serve<W: Write>(
     drain_batch(&mut batcher, &mut runtime, budget, out)?;
 
     runtime.checkpoint()?;
+    if let Some(path) = &args.dead_letter_out {
+        let letters: Vec<_> = runtime.dead_letters().cloned().collect();
+        export_dead_letters(out, path, &letters)?;
+    }
     let stats = runtime.stats();
     writeln!(out, "stream done: generation {}", runtime.generation())?;
     writeln!(
@@ -353,6 +387,177 @@ fn serve<W: Write>(
         .map(|(dims, hits)| format!("{dims}d:{hits}"))
         .collect();
     writeln!(out, "  tier hits: {}", tiers.join(" "))?;
+    Ok(())
+}
+
+/// Sharded serve: submit the whole stream through the supervised
+/// [`Server`], honoring backpressure (a full work queue blocks the
+/// submitter, it never drops), then wait for every ticket in submission
+/// order so answers print deterministically, and drain.
+///
+/// Unlike the single-threaded path, labeled rows are *not* strict
+/// ordering barriers here: the writer applies them concurrently and
+/// readers pick up the new model at the next published snapshot.
+fn serve_sharded<W: Write>(out: &mut W, runtime: OnlineRuntime, args: &ServeArgs) -> CommandResult {
+    let budget = (args.budget_us > 0).then(|| Duration::from_micros(args.budget_us));
+    let n_features = runtime.pipeline().encoder().spec().n_features();
+    let config = ServeConfig {
+        shards: args.shards,
+        batch_max: args.batch_max.max(1),
+        ..ServeConfig::default()
+    };
+    let text = read_stream(&args.data)?;
+    let server = Server::start(runtime, config)?;
+    let handle = server.handle();
+
+    let mut bad_rows = 0u64;
+    let mut shed = 0u64;
+    let mut quarantined_submit = 0u64;
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_stream_row(line, n_features) {
+            Ok(StreamRow::Infer(features)) => {
+                loop {
+                    match handle.submit(features.clone(), budget) {
+                        Ok(ticket) => {
+                            tickets.push(ticket);
+                            break;
+                        }
+                        Err(SubmitError::QueueFull) => {
+                            // Backpressure: the stream source waits
+                            // rather than dropping the request.
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(SubmitError::DeadlineHopeless { .. }) => {
+                            shed += 1;
+                            break;
+                        }
+                        Err(SubmitError::Rejected(_)) => {
+                            quarantined_submit += 1;
+                            break;
+                        }
+                        Err(e @ (SubmitError::Unavailable | SubmitError::ShuttingDown)) => {
+                            return Err(format!("line {}: {e}", line_no + 1).into());
+                        }
+                    }
+                }
+            }
+            Ok(StreamRow::Learn(features, label)) => loop {
+                match handle.submit_learn(features.clone(), label) {
+                    Ok(()) => break,
+                    Err(SubmitError::QueueFull) => {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(SubmitError::Rejected(_)) => {
+                        quarantined_submit += 1;
+                        break;
+                    }
+                    Err(e) => return Err(format!("line {}: {e}", line_no + 1).into()),
+                }
+            },
+            Err(message) => {
+                if !args.skip_bad_rows {
+                    return Err(format!("line {}: {message}", line_no + 1).into());
+                }
+                bad_rows += 1;
+            }
+        }
+    }
+
+    // Redeem tickets in submission order so output is deterministic.
+    let mut canceled = 0u64;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(answer) => writeln!(out, "{}", answer.label)?,
+            Err(ServeError::Rejected(_)) => {}
+            Err(ServeError::Canceled) => canceled += 1,
+        }
+    }
+
+    let report = server.drain()?;
+    if let Some(path) = &args.dead_letter_out {
+        export_dead_letters(out, path, &report.dead_letters)?;
+    }
+    write_drain_report(out, &report, bad_rows, shed, quarantined_submit, canceled)?;
+    Ok(())
+}
+
+/// Prints the post-drain accounting for the sharded path in the same
+/// style as the single-threaded stream summary.
+fn write_drain_report<W: Write>(
+    out: &mut W,
+    report: &generic_hdc::DrainReport,
+    bad_rows: u64,
+    shed: u64,
+    quarantined_submit: u64,
+    canceled: u64,
+) -> CommandResult {
+    let serve = &report.serve;
+    let writer = &report.writer;
+    let workers = &report.workers;
+    writeln!(
+        out,
+        "drained: generation {} (final checkpoint {})",
+        report.generation,
+        if report.final_checkpoint_ok {
+            "ok"
+        } else {
+            "FAILED"
+        }
+    )?;
+    writeln!(
+        out,
+        "  admitted {}/{} (queue-full {}, deadline-shed {}, malformed {}, bad rows {})",
+        serve.admitted,
+        serve.submitted,
+        serve.rejected_queue_full,
+        serve.rejected_deadline + shed,
+        serve.rejected_malformed + quarantined_submit,
+        bad_rows
+    )?;
+    writeln!(
+        out,
+        "  answered {} (degraded {}, deadline misses {}, canceled {})",
+        workers.answered, workers.degraded, workers.deadline_misses, canceled
+    )?;
+    writeln!(
+        out,
+        "  learned {} (corrected {}, held out {}), quarantined {}, checkpoints {} (retries {})",
+        writer.learned,
+        writer.corrected,
+        writer.held_out,
+        writer.quarantined,
+        writer.checkpoints,
+        writer.checkpoint_retries
+    )?;
+    writeln!(
+        out,
+        "  supervision: panics {}, restarts {}, requeued {}, circuit opens {}, writer stalls {}",
+        serve.shard_panics,
+        serve.shard_restarts,
+        serve.requeued,
+        serve.circuit_opens,
+        serve.writer_stalls
+    )?;
+    Ok(())
+}
+
+/// Writes the quarantine buffer as a dead-letter CSV (round-trippable
+/// via `read_dead_letters_csv`).
+fn export_dead_letters<W: Write>(
+    out: &mut W,
+    path: &Path,
+    letters: &[generic_hdc::runtime::DeadLetter],
+) -> CommandResult {
+    let file = File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    let mut writer = BufWriter::new(file);
+    let n = generic_hdc::runtime::write_dead_letters_csv(&mut writer, letters)?;
+    writer.flush()?;
+    writeln!(out, "exported {n} dead letter(s) to {}", path.display())?;
     Ok(())
 }
 

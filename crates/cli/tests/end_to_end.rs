@@ -223,6 +223,93 @@ fn serve_streams_learns_and_survives_restart() {
 }
 
 #[test]
+fn sharded_serve_answers_and_exports_dead_letters() {
+    let dir = temp_dir("serve-sharded");
+    let train_csv = write_dataset(&dir, "train.csv", true);
+    let model = dir.join("model.ghdc");
+    let ckpt_dir = dir.join("ckpts");
+    let dead_letters = dir.join("quarantine.csv");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "train",
+            "--data",
+            train_csv.to_str().expect("utf-8 path"),
+            "--out",
+            model.to_str().expect("utf-8 path"),
+            "--dim",
+            "1024",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 0);
+
+    // Interleaved stream with one quarantined row (NaN label row) and
+    // one ragged row absorbed by --skip-bad-rows.
+    let stream = dir.join("stream.csv");
+    let mut text = String::new();
+    let mut inferences = 0usize;
+    for i in 0..40 {
+        let class = i % 3;
+        for j in 0..9 {
+            let band = j / 3;
+            let v = if band == class { 8.0 } else { 1.0 };
+            let _ = write!(text, "{v:.1},");
+        }
+        if i % 4 == 0 {
+            text.pop();
+            text.push('\n');
+            inferences += 1;
+        } else {
+            let _ = writeln!(text, "{class}");
+        }
+    }
+    text.push_str("nan,1,1,1,1,1,1,1,1,0\n"); // writer quarantines this
+    text.push_str("1,2,3\n"); // ragged
+    std::fs::write(&stream, text).expect("temp dir is writable");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "serve",
+            "--ckpt-dir",
+            ckpt_dir.to_str().expect("utf-8 path"),
+            "--data",
+            stream.to_str().expect("utf-8 path"),
+            "--model",
+            model.to_str().expect("utf-8 path"),
+            "--shards",
+            "2",
+            "--dead-letter-out",
+            dead_letters.to_str().expect("utf-8 path"),
+            "--skip-bad-rows",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "sharded serve failed: {text}");
+    assert!(text.contains("drained: generation"), "{text}");
+    assert!(text.contains("final checkpoint ok"), "{text}");
+    assert!(text.contains("supervision: panics 0"), "{text}");
+
+    // Every inference row printed one predicted label, in order.
+    let answers: Vec<&str> = text
+        .lines()
+        .filter(|l| l.len() == 1 && l.chars().all(|c| c.is_ascii_digit()))
+        .collect();
+    assert_eq!(answers.len(), inferences, "{text}");
+
+    // The dead-letter export exists and round-trips losslessly.
+    let csv = std::fs::read_to_string(&dead_letters).expect("export written");
+    let letters = generic_hdc::runtime::read_dead_letters_csv(&csv).expect("valid CSV");
+    assert_eq!(letters.len(), 1, "{csv}");
+    assert!(letters[0].features[0].is_nan());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn skip_bad_rows_quarantines_malformed_training_rows() {
     let dir = temp_dir("skip-bad");
     let train_csv = write_dataset(&dir, "train.csv", true);

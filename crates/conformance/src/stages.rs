@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::encoding::{Encoder, GenericEncoderSpec};
 use generic_hdc::kernels;
 use generic_hdc::oracle::{
     BundleKernel, DifferentialKernel, DotI32Kernel, EncodeKernel, HammingKernel, PackedDotKernel,
@@ -13,7 +13,7 @@ use generic_hdc::oracle::{
 use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
 use generic_hdc::{
     BinaryHv, HdcModel, HdcPipeline, IntHv, NormMode, PackedInts, PredictOptions, QuantizedModel,
-    ResilienceConfig, ResilientPipeline,
+    ResilienceConfig, ResilientPipeline, ServeConfig, Server,
 };
 use generic_sim::{mitchell_divide_wide, Accelerator, AcceleratorConfig};
 
@@ -145,6 +145,7 @@ fn execute(
     stage_resilient(scenario, coverage, &pipeline, &quantized, &encoded)?;
     stage_checkpoint(scenario, coverage, &pipeline, &features)?;
     stage_sim(scenario, coverage, &pipeline, &features)?;
+    stage_concurrent_serve(scenario, coverage, &pipeline, &features, &labels)?;
     Ok(())
 }
 
@@ -857,6 +858,121 @@ fn first_f64_diff(fast: &[f64], reference: &[f64]) -> String {
             reference.len()
         ),
     }
+}
+
+/// The sharded concurrent server vs the scalar oracle: every answer
+/// carries the immutable snapshot it was scored against, so replaying
+/// the request through the scalar predictor on that snapshot at the
+/// answered dimensionality must reproduce the label bit-for-bit — even
+/// while the writer shard folds labeled samples in concurrently.
+fn stage_concurrent_serve(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+    labels: &[usize],
+) -> Result<(), Divergence> {
+    let dir = unique_temp_dir(scenario.seed ^ 0x5E_57_E0);
+    let result = concurrent_serve_cycle(coverage, pipeline, features, labels, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn concurrent_serve_cycle(
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+    labels: &[usize],
+    dir: &std::path::Path,
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::ConcurrentServe;
+    const KERNEL: &str = "serve_answer";
+    let err = |e: &dyn std::fmt::Display| harness_failure(STAGE, KERNEL, &e);
+
+    let store = CheckpointStore::open(dir, 2, RetryPolicy::default()).map_err(|e| err(&e))?;
+    let config = RuntimeConfig {
+        checkpoint_every: 0,
+        ..RuntimeConfig::default()
+    };
+    let runtime = OnlineRuntime::new(pipeline.clone(), store, config).map_err(|e| err(&e))?;
+    let serve_config = ServeConfig {
+        shards: 2,
+        batch_max: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(runtime, serve_config).map_err(|e| err(&e))?;
+    let handle = server.handle();
+
+    // Interleave learn submissions with inference so answers race a
+    // live writer: snapshots pin whatever model state each batch saw.
+    let mut tickets = Vec::new();
+    for (i, sample) in features.iter().enumerate() {
+        if i % 3 == 0 {
+            // Fire-and-forget: writer backpressure may drop some under
+            // load, which is fine — the oracle replays the *pinned*
+            // snapshot, not a predicted model state.
+            let _ = handle.submit_learn(sample.clone(), labels[i]);
+        }
+        match handle.submit(sample.clone(), None) {
+            Ok(ticket) => tickets.push((i, ticket)),
+            Err(e) => {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!("sample {i}: clean unbudgeted row refused admission: {e}"),
+                })
+            }
+        }
+    }
+
+    for (i, ticket) in tickets {
+        let answer = match ticket.wait() {
+            Ok(answer) => answer,
+            Err(e) => {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!("sample {i}: admitted request not answered: {e}"),
+                })
+            }
+        };
+        let snapshot_pipeline = answer.snapshot.pipeline();
+        let encoded = snapshot_pipeline
+            .encoder()
+            .encode(&features[i])
+            .map_err(|e| err(&e))?;
+        let opts = PredictOptions::reduced(answer.dims_used, NormMode::Updated);
+        let oracle = snapshot_pipeline
+            .model()
+            .try_predict_with(&encoded, opts)
+            .map_err(|e| err(&e))?;
+        if oracle != answer.label {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: KERNEL.to_string(),
+                detail: format!(
+                    "sample {i}: shard {} answered {} but the scalar oracle on the \
+                     pinned snapshot ({} dims) predicts {oracle}",
+                    answer.shard, answer.label, answer.dims_used
+                ),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
+
+    let report = server.drain().map_err(|e| err(&e))?;
+    if report.serve.admitted != report.workers.answered + report.serve.canceled {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "serve_accounting".to_string(),
+            detail: format!(
+                "admitted {} != answered {} + canceled {}",
+                report.serve.admitted, report.workers.answered, report.serve.canceled
+            ),
+        });
+    }
+    coverage.add(STAGE, 1);
+    Ok(())
 }
 
 fn unique_temp_dir(seed: u64) -> PathBuf {

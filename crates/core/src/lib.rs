@@ -33,6 +33,10 @@
 //!   generation-numbered checkpoints, deadline-aware graceful degradation
 //!   over the sub-norm reduction tiers, and quarantine-not-panic input
 //!   handling (module [`runtime`]),
+//! - a supervised sharded serving runtime: panic-isolated worker shards
+//!   scoring RCU snapshots behind bounded queues with backpressure,
+//!   deadline-aware admission control, restart backoff with a circuit
+//!   breaker, and graceful drain (module [`serve`]),
 //! - HDC clustering with copy-centroid epochs ([`HdcClustering`]),
 //! - evaluation metrics: accuracy and normalized mutual information
 //!   (module [`metrics`]).
@@ -87,6 +91,7 @@ pub mod kernels;
 pub mod metrics;
 pub mod oracle;
 pub mod runtime;
+pub mod serve;
 
 pub use binary_model::BinaryModel;
 pub use cluster::{ClusteringOutcome, HdcClustering, HdcClusteringSpec};
@@ -102,6 +107,10 @@ pub use resilient::{ResilienceConfig, ResilienceStats, ResilientPipeline};
 pub use runtime::{
     CheckpointStore, DegradationLadder, MicroBatcher, ModelSnapshot, OnlineRuntime, RetryPolicy,
     RuntimeConfig, RuntimeError, RuntimeStats, SnapshotCell,
+};
+pub use serve::{
+    DrainReport, ServeAnswer, ServeConfig, ServeError, ServeStats, Server, ServerHandle,
+    SubmitError, Ticket,
 };
 
 /// Number of encoding dimensions the GENERIC accelerator produces per pass

@@ -58,11 +58,14 @@ pub enum StageKind {
     SimScore,
     /// Simulator activity counters vs the closed-form cost model.
     SimActivity,
+    /// Sharded concurrent serving vs the scalar oracle replayed on the
+    /// answer's pinned snapshot.
+    ConcurrentServe,
 }
 
 impl StageKind {
     /// Every stage, in canonical reporting order.
-    pub const ALL: [StageKind; 8] = [
+    pub const ALL: [StageKind; 9] = [
         StageKind::Encode,
         StageKind::Retrain,
         StageKind::Score,
@@ -71,6 +74,7 @@ impl StageKind {
         StageKind::CheckpointRestore,
         StageKind::SimScore,
         StageKind::SimActivity,
+        StageKind::ConcurrentServe,
     ];
 
     /// Stable lowercase name used in reports and JSON.
@@ -84,6 +88,7 @@ impl StageKind {
             StageKind::CheckpointRestore => "checkpoint_restore",
             StageKind::SimScore => "sim_score",
             StageKind::SimActivity => "sim_activity",
+            StageKind::ConcurrentServe => "concurrent_serve",
         }
     }
 }
@@ -226,6 +231,17 @@ pub const ORACLE_REGISTRY: &[OracleEntry] = &[
         tolerance: Tolerance::BitIdentical,
         contract: "engine activity counter deltas equal the closed-form \
                    mitigation cost formulas for the same operation",
+    },
+    OracleEntry {
+        name: "serve_answer",
+        stage: StageKind::ConcurrentServe,
+        tolerance: Tolerance::BitIdentical,
+        contract: "every answer from the sharded server carries the \
+                   immutable snapshot it was scored against and the \
+                   dimensions used; replaying the request through the \
+                   scalar predictor on that snapshot at those dimensions \
+                   reproduces the label exactly, regardless of shard \
+                   count, batching, or concurrent writer updates",
     },
 ];
 

@@ -189,14 +189,23 @@ impl From<ReadModelError> for RuntimeError {
 // Retry policy
 // ---------------------------------------------------------------------------
 
-/// Bounded retry with exponential backoff for transient checkpoint I/O
-/// failures (a busy SD card, a momentary `EAGAIN`, …).
+/// Bounded retry with capped, jittered exponential backoff for transient
+/// checkpoint I/O failures (a busy SD card, a momentary `EAGAIN`, …).
+///
+/// The nominal delay before retry `i` is `base_delay * 2^i`, capped at
+/// `max_delay`; with `jitter` enabled each sleep is scaled into
+/// `[50%, 100%]` of nominal so a fleet of writers retrying the same
+/// shared medium does not retry in lockstep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts (≥ 1); 1 disables retrying.
     pub attempts: u32,
     /// Delay before the first retry; doubles per subsequent retry.
     pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Randomize each sleep into `[50%, 100%]` of its nominal value.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -204,29 +213,63 @@ impl Default for RetryPolicy {
         RetryPolicy {
             attempts: 3,
             base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter: true,
         }
     }
 }
 
+/// Process-wide jitter state: a splitmix64 walk, advanced per sleep.
+/// Determinism across *runs* is irrelevant here (sleeps are wall-clock);
+/// what matters is that concurrent writers decorrelate.
+static JITTER_STATE: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0x243F_6A88_85A3_08D3);
+
+fn jitter_fraction() -> f64 {
+    use std::sync::atomic::Ordering;
+    let mut x = JITTER_STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    // Uniform in [0.5, 1.0).
+    0.5 + (x >> 11) as f64 / (1u64 << 53) as f64 / 2.0
+}
+
 impl RetryPolicy {
     /// Runs `op` until it succeeds or the attempt budget is exhausted,
-    /// sleeping `base_delay * 2^i` between attempts. Returns the last
-    /// error on exhaustion.
-    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    /// sleeping the capped, jittered backoff between attempts. Returns
+    /// the last error on exhaustion.
+    pub fn run<T>(&self, op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        self.run_counted(op).0
+    }
+
+    /// Like [`run`](RetryPolicy::run), but also reports how many retries
+    /// (attempts beyond the first) were consumed — the quantity
+    /// [`RuntimeStats::checkpoint_retries`] accumulates.
+    pub fn run_counted<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> (io::Result<T>, u32) {
         let attempts = self.attempts.max(1);
         let mut delay = self.base_delay;
         let mut last_err = None;
         for attempt in 0..attempts {
             match op() {
-                Ok(v) => return Ok(v),
+                Ok(v) => return (Ok(v), attempt),
                 Err(e) => last_err = Some(e),
             }
             if attempt + 1 < attempts && !delay.is_zero() {
-                std::thread::sleep(delay);
+                let capped = delay.min(self.max_delay.max(self.base_delay));
+                let sleep = if self.jitter {
+                    capped.mul_f64(jitter_fraction())
+                } else {
+                    capped
+                };
+                std::thread::sleep(sleep);
                 delay = delay.saturating_mul(2);
             }
         }
-        Err(last_err.unwrap_or_else(|| io::Error::other("retry budget empty")))
+        (
+            Err(last_err.unwrap_or_else(|| io::Error::other("retry budget empty"))),
+            attempts - 1,
+        )
     }
 }
 
@@ -277,6 +320,12 @@ pub struct CheckpointStore {
     dir: PathBuf,
     keep: usize,
     retry: RetryPolicy,
+    /// Write retries consumed since the last [`take_retries`]
+    /// (shared across clones so the runtime can drain it into stats).
+    retries: Arc<std::sync::atomic::AtomicU64>,
+    /// Chaos/test hook: how many upcoming write *attempts* fail with an
+    /// injected I/O error before reaching the filesystem.
+    injected_failures: Arc<std::sync::atomic::AtomicU32>,
 }
 
 impl CheckpointStore {
@@ -294,12 +343,48 @@ impl CheckpointStore {
             dir,
             keep: keep.max(1),
             retry,
+            retries: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            injected_failures: Arc::new(std::sync::atomic::AtomicU32::new(0)),
         })
     }
 
     /// The directory backing this store.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Drains the write-retry counter: returns how many retries the
+    /// store's [`RetryPolicy`] consumed since the last call. The counter
+    /// is shared across clones of this store.
+    pub fn take_retries(&self) -> u64 {
+        self.retries.swap(0, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Chaos/test hook: makes the next `n` write *attempts* fail with an
+    /// injected transient I/O error before touching the filesystem —
+    /// exercising the retry + degraded-serving paths exactly as a flaky
+    /// medium would. Cumulative with any previously injected budget.
+    pub fn inject_write_failures(&self, n: u32) {
+        self.injected_failures
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Consumes one injected failure if armed.
+    fn injected_failure(&self) -> Option<io::Error> {
+        use std::sync::atomic::Ordering;
+        let mut left = self.injected_failures.load(Ordering::Relaxed);
+        while left > 0 {
+            match self.injected_failures.compare_exchange_weak(
+                left,
+                left - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(io::Error::other("injected checkpoint write failure")),
+                Err(now) => left = now,
+            }
+        }
+        None
     }
 
     /// Serializes `pipeline` as generation `generation` and atomically
@@ -321,14 +406,20 @@ impl CheckpointStore {
         let tmp_path = self
             .dir
             .join(format!("{}{}", file_name(generation), CKPT_TMP_SUFFIX));
-        self.retry.run(|| {
+        let (result, retries) = self.retry.run_counted(|| {
+            if let Some(e) = self.injected_failure() {
+                return Err(e);
+            }
             let mut file = std::fs::File::create(&tmp_path)?;
             file.write_all(&bytes)?;
             file.sync_all()?;
             drop(file);
             std::fs::rename(&tmp_path, &final_path)?;
             sync_dir(&self.dir)
-        })?;
+        });
+        self.retries
+            .fetch_add(u64::from(retries), std::sync::atomic::Ordering::Relaxed);
+        result?;
         self.prune();
         Ok(final_path)
     }
@@ -827,6 +918,50 @@ pub struct RuntimeStats {
     pub checkpoints: u64,
     /// Checkpoint writes that failed even after retries.
     pub checkpoint_failures: u64,
+    /// Checkpoint write retries consumed by the store's [`RetryPolicy`]
+    /// (transient failures that were absorbed, not surfaced).
+    pub checkpoint_retries: u64,
+}
+
+impl RuntimeStats {
+    /// Folds another counter set into this one, field by field — the
+    /// aggregation the sharded serving runtime uses to sum per-shard
+    /// stats on drain. Every counter is a plain sum, so merging is
+    /// associative and commutative regardless of shard interleaving.
+    pub fn merge(&mut self, other: &RuntimeStats) {
+        let RuntimeStats {
+            infer_requests,
+            answered,
+            degraded,
+            deadline_misses,
+            shed,
+            rejected,
+            learned,
+            held_out,
+            corrected,
+            quarantined,
+            retrains,
+            rollbacks,
+            checkpoints,
+            checkpoint_failures,
+            checkpoint_retries,
+        } = other;
+        self.infer_requests += infer_requests;
+        self.answered += answered;
+        self.degraded += degraded;
+        self.deadline_misses += deadline_misses;
+        self.shed += shed;
+        self.rejected += rejected;
+        self.learned += learned;
+        self.held_out += held_out;
+        self.corrected += corrected;
+        self.quarantined += quarantined;
+        self.retrains += retrains;
+        self.rollbacks += rollbacks;
+        self.checkpoints += checkpoints;
+        self.checkpoint_failures += checkpoint_failures;
+        self.checkpoint_retries += checkpoint_retries;
+    }
 }
 
 /// A quarantined sample in the dead-letter buffer.
@@ -838,6 +973,157 @@ pub struct DeadLetter {
     pub label: Option<usize>,
     /// Why the sanitizer refused it.
     pub reason: RejectReason,
+}
+
+impl RejectReason {
+    /// Compact machine-readable code (`kind:param[:param]`), the first
+    /// CSV cell of a dead-letter export row.
+    pub fn code(&self) -> String {
+        match self {
+            RejectReason::WrongWidth { expected, actual } => {
+                format!("wrong_width:{expected}:{actual}")
+            }
+            RejectReason::NonFinite { column } => format!("non_finite:{column}"),
+            RejectReason::OutOfRange { column, value } => format!("out_of_range:{column}:{value}"),
+            RejectReason::LabelOutOfRange { label, n_classes } => {
+                format!("label_out_of_range:{label}:{n_classes}")
+            }
+        }
+    }
+
+    /// Parses a code produced by [`code`](RejectReason::code).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed code.
+    pub fn from_code(code: &str) -> Result<Self, String> {
+        let mut parts = code.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let mut int = |name: &str| -> Result<usize, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("reason `{code}` is missing its {name} field"))?
+                .parse()
+                .map_err(|_| format!("reason `{code}` has a non-integer {name} field"))
+        };
+        match kind {
+            "wrong_width" => Ok(RejectReason::WrongWidth {
+                expected: int("expected")?,
+                actual: int("actual")?,
+            }),
+            "non_finite" => Ok(RejectReason::NonFinite {
+                column: int("column")?,
+            }),
+            "out_of_range" => {
+                let column = int("column")?;
+                let value = parts
+                    .next()
+                    .ok_or_else(|| format!("reason `{code}` is missing its value field"))?
+                    .parse()
+                    .map_err(|_| format!("reason `{code}` has a non-numeric value field"))?;
+                Ok(RejectReason::OutOfRange { column, value })
+            }
+            "label_out_of_range" => Ok(RejectReason::LabelOutOfRange {
+                label: int("label")?,
+                n_classes: int("n_classes")?,
+            }),
+            other => Err(format!("unknown reject-reason kind `{other}`")),
+        }
+    }
+}
+
+impl DeadLetter {
+    /// One CSV row: `reason,label,f0,f1,…` (empty label cell for
+    /// inference rows). Feature cells use Rust's shortest round-trip
+    /// `f64` formatting, so [`parse_csv_row`](DeadLetter::parse_csv_row)
+    /// restores them losslessly (non-finite values canonicalize to
+    /// `NaN`/`inf`/`-inf`).
+    pub fn to_csv_row(&self) -> String {
+        let mut row = self.reason.code();
+        row.push(',');
+        if let Some(label) = self.label {
+            row.push_str(&label.to_string());
+        }
+        for v in &self.features {
+            row.push(',');
+            row.push_str(&v.to_string());
+        }
+        row
+    }
+
+    /// Parses a row produced by [`to_csv_row`](DeadLetter::to_csv_row).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed cell.
+    pub fn parse_csv_row(row: &str) -> Result<Self, String> {
+        let mut cells = row.split(',');
+        let reason = RejectReason::from_code(cells.next().unwrap_or_default())?;
+        let label_cell = cells
+            .next()
+            .ok_or_else(|| "row is missing its label cell".to_string())?;
+        let label = if label_cell.is_empty() {
+            None
+        } else {
+            Some(
+                label_cell
+                    .parse()
+                    .map_err(|_| format!("label `{label_cell}` is not a non-negative integer"))?,
+            )
+        };
+        let features = cells
+            .map(|cell| {
+                cell.parse()
+                    .map_err(|_| format!("feature `{cell}` is not a number"))
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        Ok(DeadLetter {
+            features,
+            label,
+            reason,
+        })
+    }
+}
+
+/// Header comment line of a dead-letter CSV export.
+pub const DEAD_LETTER_CSV_HEADER: &str = "# dead-letters v1: reason,label,features...";
+
+/// Writes the dead-letter buffer as CSV (header comment + one row per
+/// letter, oldest first); returns the number of rows written.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_dead_letters_csv<'a, W: Write>(
+    mut out: W,
+    letters: impl IntoIterator<Item = &'a DeadLetter>,
+) -> io::Result<usize> {
+    writeln!(out, "{DEAD_LETTER_CSV_HEADER}")?;
+    let mut n = 0;
+    for letter in letters {
+        writeln!(out, "{}", letter.to_csv_row())?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Parses a dead-letter CSV export (comment lines and blank lines are
+/// ignored) back into letters, oldest first.
+///
+/// # Errors
+///
+/// Returns `line number (1-based) + description` for the first malformed
+/// row.
+pub fn read_dead_letters_csv(text: &str) -> Result<Vec<DeadLetter>, String> {
+    let mut letters = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        letters.push(DeadLetter::parse_csv_row(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(letters)
 }
 
 /// One answered inference request.
@@ -1347,7 +1633,9 @@ impl OnlineRuntime {
         }
         let acc = acc.unwrap_or(self.last_ckpt_acc);
         let generation = self.generation + 1;
-        match self.store.save(&self.pipeline, generation, self.seen, acc) {
+        let saved = self.store.save(&self.pipeline, generation, self.seen, acc);
+        self.stats.checkpoint_retries += self.store.take_retries();
+        match saved {
             Ok(_) => {
                 self.generation = generation;
                 self.last_ckpt_seen = self.seen;
@@ -1945,6 +2233,8 @@ mod tests {
         let policy = RetryPolicy {
             attempts: 3,
             base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: false,
         };
         let result = policy.run(|| {
             if failures_left > 0 {
@@ -1957,6 +2247,117 @@ mod tests {
         assert_eq!(result.unwrap(), 7);
         let exhausted: io::Result<()> = policy.run(|| Err(io::Error::other("always")));
         assert!(exhausted.is_err());
+    }
+
+    #[test]
+    fn retry_counts_and_injected_failures_are_observable() {
+        let mut failures_left = 2;
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: false,
+        };
+        let (result, retries) = policy.run_counted(|| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(io::Error::other("transient"))
+            } else {
+                Ok(11)
+            }
+        });
+        assert_eq!(result.unwrap(), 11);
+        assert_eq!(retries, 2);
+        let (exhausted, retries): (io::Result<()>, u32) =
+            policy.run_counted(|| Err(io::Error::other("always")));
+        assert!(exhausted.is_err());
+        assert_eq!(retries, 4);
+    }
+
+    #[test]
+    fn checkpoint_store_retries_injected_write_failures() {
+        let dir = TempDir::new("inject");
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: false,
+        };
+        let store = CheckpointStore::open(dir.path(), 2, policy).unwrap();
+        let pipeline = toy_pipeline();
+
+        // Two injected failures fit inside the 3-attempt budget: the save
+        // succeeds and the retries are visible through `take_retries`.
+        store.inject_write_failures(2);
+        store.save(&pipeline, 1, 10, 0.5).unwrap();
+        assert_eq!(store.take_retries(), 2);
+        assert_eq!(store.take_retries(), 0);
+
+        // Three injected failures exhaust the budget: the save fails but the
+        // consumed retries are still counted.
+        store.inject_write_failures(3);
+        assert!(store.save(&pipeline, 2, 20, 0.5).is_err());
+        assert_eq!(store.take_retries(), 2);
+        // The failed generation must not be loadable.
+        assert_eq!(store.generations().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn dead_letters_round_trip_through_csv() {
+        let letters = vec![
+            DeadLetter {
+                features: vec![0.1, f64::NAN, -0.0, 3.5e-9],
+                label: None,
+                reason: RejectReason::NonFinite { column: 1 },
+            },
+            DeadLetter {
+                features: vec![1.0, 2.0],
+                label: Some(3),
+                reason: RejectReason::WrongWidth {
+                    expected: 4,
+                    actual: 2,
+                },
+            },
+            DeadLetter {
+                features: vec![0.25, 1.0e12, std::f64::consts::PI],
+                label: Some(0),
+                reason: RejectReason::OutOfRange {
+                    column: 1,
+                    value: 1.0e12,
+                },
+            },
+            DeadLetter {
+                features: vec![],
+                label: Some(99),
+                reason: RejectReason::LabelOutOfRange {
+                    label: 99,
+                    n_classes: 3,
+                },
+            },
+        ];
+        let mut buf = Vec::new();
+        let written = write_dead_letters_csv(&mut buf, &letters).unwrap();
+        assert_eq!(written, letters.len());
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = read_dead_letters_csv(&text).unwrap();
+        assert_eq!(parsed.len(), letters.len());
+        for (orig, round) in letters.iter().zip(&parsed) {
+            assert_eq!(orig.label, round.label);
+            assert_eq!(orig.reason, round.reason);
+            assert_eq!(orig.features.len(), round.features.len());
+            for (a, b) in orig.features.iter().zip(&round.features) {
+                // Bit-exact for every value except NaN payloads, which
+                // canonicalize; -0.0 must survive with its sign.
+                if a.is_nan() {
+                    assert!(b.is_nan());
+                } else {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        assert!(read_dead_letters_csv("bogus_kind:1,,1.0").is_err());
+        assert!(read_dead_letters_csv("non_finite:0,x,1.0").is_err());
+        assert!(read_dead_letters_csv("non_finite:0,,abc").is_err());
     }
 
     #[test]

@@ -1,0 +1,1301 @@
+//! Supervised sharded serving runtime: N panic-isolated worker shards
+//! scoring RCU [`ModelSnapshot`]s through the zero-allocation
+//! [`ScoreBatch`] engine, one writer shard applying online updates, and
+//! a supervisor that restarts crashed shards with exponential backoff
+//! behind a restart-budget circuit breaker.
+//!
+//! ```text
+//!                      ┌────────────────────────────────────────────┐
+//!   submit() ───────►  │  bounded work queue (backpressure +        │
+//!   (admission         │  deadline-aware shedding at admission)     │
+//!    control)          └───────┬──────────┬──────────┬──────────────┘
+//!                              │          │          │   MPMC pop
+//!                        ┌─────▼───┐ ┌────▼────┐ ┌───▼─────┐
+//!                        │ worker 0│ │ worker 1│ │ worker N│  catch_unwind
+//!                        │ ladder +│ │         │ │         │  + in-flight
+//!                        │ScoreBatch│ │        │ │         │  recovery
+//!                        └─────┬───┘ └────┬────┘ └───┬─────┘
+//!                              │ SnapshotCell::load  │
+//!                      ┌───────▼──────────▼──────────▼──────┐
+//!                      │   RCU ModelSnapshot (versioned)    │◄── publish
+//!                      └────────────────────────────────────┘      │
+//!   submit_learn() ──► bounded learn queue ──► writer shard ── OnlineRuntime
+//!                      (MPSC, backpressure)    (checkpoints, retrains,
+//!                                               rollbacks, dead letters)
+//!                              supervisor: restart w/ backoff,
+//!                              circuit breaker, requeue in-flight
+//! ```
+//!
+//! **Failure containment.** Each worker runs inside
+//! [`catch_unwind`](std::panic::catch_unwind); a panicking shard's
+//! in-flight batch is requeued at the *front* of the work queue by the
+//! supervisor (so crashed-over requests keep their place), and the
+//! shard is restarted after an exponential backoff. A shard that
+//! exhausts its restart budget trips a per-shard circuit breaker and
+//! stays down; when every worker is down, admission fails fast with
+//! [`SubmitError::Unavailable`] instead of queueing unboundedly.
+//!
+//! **Overload protection.** The work queue is bounded: a full queue
+//! rejects at submission ([`SubmitError::QueueFull`]) rather than
+//! buffering without limit. Deadline-aware admission consults the
+//! narrowest ladder tier's live latency estimate — a request whose
+//! budget cannot be met even degraded, accounting for the queue ahead
+//! of it, is shed with [`SubmitError::DeadlineHopeless`]. Requests that
+//! *are* admitted degrade through the sub-norm reduction tiers first
+//! (the [`DegradationLadder`] picks the widest tier fitting the
+//! remaining budget) before any answer is late.
+//!
+//! **Durability.** The writer shard owns the [`OnlineRuntime`]:
+//! checkpoint writes retry with capped jittered backoff
+//! ([`RetryPolicy`](crate::runtime::RetryPolicy)), and when a write
+//! fails even after retries the fleet keeps serving from the last good
+//! published snapshot (degraded-mode serving). [`Server::drain`]
+//! flushes remaining work, writes a final checkpoint, and exports the
+//! quarantine buffer.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::runtime::{
+    DeadLetter, DegradationLadder, ModelSnapshot, OnlineRuntime, RejectReason, RuntimeError,
+    RuntimeStats, SnapshotCell,
+};
+use crate::{NormMode, PredictOptions, ScoreBatch};
+
+/// How long a parked worker or the supervisor sleeps between checks for
+/// shutdown/chaos flags when no work arrives.
+const IDLE_TICK: Duration = Duration::from_millis(5);
+
+/// Recovers a poisoned mutex: every structure guarded here is updated
+/// atomically from the guard's perspective (no multi-step invariants),
+/// so the value inside a poisoned lock is always usable.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded queue
+// ---------------------------------------------------------------------------
+
+/// Result of a blocking pop on a [`BoundedQueue`].
+enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The wait timed out with the queue still open.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+/// Why a push was refused.
+enum PushRefused<T> {
+    /// The queue is at capacity (backpressure).
+    Full(T),
+    /// The queue is closed to new work.
+    Closed(T),
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue (mutex + condvar) with explicit backpressure:
+/// pushes never block — a full queue refuses the item so admission
+/// control can reject with a reason instead of buffering unboundedly.
+/// Closing wakes all waiters; pops keep draining remaining items after
+/// close and only report [`Pop::Closed`] once empty.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).items.len()
+    }
+
+    /// Appends unless full or closed; never blocks.
+    fn try_push(&self, item: T) -> Result<(), PushRefused<T>> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if inner.closed {
+            return Err(PushRefused::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushRefused::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Requeues a crashed-over item at the *front*, ignoring capacity
+    /// and the closed flag: recovered in-flight work must never be
+    /// dropped by the very mechanism meant to save it.
+    fn push_front_forced(&self, item: T) {
+        lock_unpoisoned(&self.inner).items.push_front(item);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocks up to `timeout` for one item.
+    fn pop(&self, timeout: Duration) -> Pop<T> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let (guard, result) = match self.not_empty.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(poisoned) => {
+                    let (g, r) = poisoned.into_inner();
+                    (g, r)
+                }
+            };
+            inner = guard;
+            if result.timed_out() {
+                return match inner.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if inner.closed => Pop::Closed,
+                    None => Pop::TimedOut,
+                };
+            }
+        }
+    }
+
+    /// Dequeues without blocking.
+    fn try_pop(&self) -> Option<T> {
+        lock_unpoisoned(&self.inner).items.pop_front()
+    }
+
+    /// Closes the queue to new pushes and wakes every waiter.
+    fn close(&self) {
+        lock_unpoisoned(&self.inner).closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Removes and returns everything queued (used by drain to cancel
+    /// work no shard will ever pop).
+    fn drain_all(&self) -> Vec<T> {
+        lock_unpoisoned(&self.inner).items.drain(..).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public request/answer types
+// ---------------------------------------------------------------------------
+
+/// Tunables of the sharded serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Worker shards scoring concurrently (≥ 1).
+    pub shards: usize,
+    /// Bounded work-queue capacity; a full queue rejects at admission.
+    pub queue_depth: usize,
+    /// Bounded learn-queue capacity feeding the writer shard.
+    pub learn_queue_depth: usize,
+    /// Largest micro-batch a worker coalesces per scoring pass.
+    pub batch_max: usize,
+    /// Restarts each shard may consume before its circuit breaker
+    /// opens and it stays down.
+    pub restart_budget: u32,
+    /// Base restart backoff; doubles per consecutive restart of the
+    /// same shard.
+    pub restart_backoff: Duration,
+    /// Cap on the exponential restart backoff.
+    pub restart_backoff_max: Duration,
+    /// EWMA smoothing factor for each worker's latency ladder.
+    pub ladder_alpha: f64,
+    /// Writer publishes a fresh snapshot every this many applied
+    /// samples, in addition to the durability boundaries the
+    /// [`OnlineRuntime`] already publishes at (0 = boundaries only).
+    pub publish_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            queue_depth: 1024,
+            learn_queue_depth: 256,
+            batch_max: 16,
+            restart_budget: 8,
+            restart_backoff: Duration::from_millis(5),
+            restart_backoff_max: Duration::from_millis(200),
+            ladder_alpha: 0.2,
+            publish_every: 64,
+        }
+    }
+}
+
+/// Why admission control refused a request synchronously.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The bounded work queue is at capacity (backpressure).
+    QueueFull,
+    /// Even the narrowest degradation tier cannot meet the request's
+    /// budget given the queue ahead of it; shed instead of answering
+    /// hopelessly late.
+    DeadlineHopeless {
+        /// The budget that could not be met.
+        budget: Duration,
+    },
+    /// The request failed sanitization.
+    Rejected(RejectReason),
+    /// Every worker shard is circuit-broken; nothing could answer.
+    Unavailable,
+    /// The server is draining and admits no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "work queue full (backpressure)"),
+            SubmitError::DeadlineHopeless { budget } => {
+                write!(f, "budget {budget:?} unmeetable even at the narrowest tier")
+            }
+            SubmitError::Rejected(reason) => write!(f, "rejected: {reason}"),
+            SubmitError::Unavailable => write!(f, "no live worker shards"),
+            SubmitError::ShuttingDown => write!(f, "server is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an *admitted* request still came back without an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A worker rejected the row while scoring it.
+    Rejected(RejectReason),
+    /// The server drained (or every shard died) before the request was
+    /// scored.
+    Canceled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected(reason) => write!(f, "rejected: {reason}"),
+            ServeError::Canceled => write!(f, "canceled before scoring"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One answered request.
+#[derive(Debug, Clone)]
+pub struct ServeAnswer {
+    /// Predicted class.
+    pub label: usize,
+    /// Dimensions actually scored.
+    pub dims_used: usize,
+    /// Ladder tier that served the batch.
+    pub tier: usize,
+    /// Served below full dimensionality.
+    pub degraded: bool,
+    /// Time from submission to answer (queueing + scoring).
+    pub elapsed: Duration,
+    /// Whether the answer landed within the request's budget (always
+    /// true without one).
+    pub deadline_met: bool,
+    /// Worker shard that scored the request.
+    pub shard: usize,
+    /// The exact immutable snapshot scored against — lets an auditor
+    /// replay the request through the scalar oracle and demand
+    /// bit-identity.
+    pub snapshot: Arc<ModelSnapshot>,
+}
+
+/// A pending answer; redeem with [`wait`](Ticket::wait).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServeAnswer, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request is answered, rejected, or canceled.
+    pub fn wait(self) -> Result<ServeAnswer, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Canceled),
+        }
+    }
+
+    /// Like [`wait`](Ticket::wait) but gives up after `timeout`
+    /// (returning [`ServeError::Canceled`]).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServeAnswer, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Canceled),
+        }
+    }
+}
+
+struct Request {
+    features: Vec<f64>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::SyncSender<Result<ServeAnswer, ServeError>>,
+}
+
+struct LearnRequest {
+    features: Vec<f64>,
+    label: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Atomic supervision/admission counters, readable live.
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_malformed: AtomicU64,
+    rejected_unavailable: AtomicU64,
+    rejected_shutting_down: AtomicU64,
+    canceled: AtomicU64,
+    requeued: AtomicU64,
+    shard_panics: AtomicU64,
+    shard_restarts: AtomicU64,
+    circuit_opens: AtomicU64,
+    learn_submitted: AtomicU64,
+    learn_rejected: AtomicU64,
+    writer_stalls: AtomicU64,
+}
+
+/// A point-in-time copy of the serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests offered to [`ServerHandle::submit`].
+    pub submitted: u64,
+    /// Requests admitted into the work queue.
+    pub admitted: u64,
+    /// Rejected: bounded queue at capacity (backpressure).
+    pub rejected_queue_full: u64,
+    /// Shed: budget unmeetable even fully degraded.
+    pub rejected_deadline: u64,
+    /// Rejected synchronously by the sanitizer.
+    pub rejected_malformed: u64,
+    /// Rejected: all worker shards circuit-broken.
+    pub rejected_unavailable: u64,
+    /// Rejected: server draining.
+    pub rejected_shutting_down: u64,
+    /// Admitted requests canceled by drain/shard death before scoring.
+    pub canceled: u64,
+    /// In-flight requests recovered from panicking shards and requeued.
+    pub requeued: u64,
+    /// Worker panics caught by the supervisor.
+    pub shard_panics: u64,
+    /// Worker restarts performed.
+    pub shard_restarts: u64,
+    /// Shards whose restart budget was exhausted (circuit opened).
+    pub circuit_opens: u64,
+    /// Labeled samples offered to [`ServerHandle::submit_learn`].
+    pub learn_submitted: u64,
+    /// Labeled samples refused by learn-queue backpressure.
+    pub learn_rejected: u64,
+    /// Chaos writer stalls honoured.
+    pub writer_stalls: u64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_malformed: self.rejected_malformed.load(Ordering::Relaxed),
+            rejected_unavailable: self.rejected_unavailable.load(Ordering::Relaxed),
+            rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
+            canceled: self.canceled.load(Ordering::Relaxed),
+            requeued: self.requeued.load(Ordering::Relaxed),
+            shard_panics: self.shard_panics.load(Ordering::Relaxed),
+            shard_restarts: self.shard_restarts.load(Ordering::Relaxed),
+            circuit_opens: self.circuit_opens.load(Ordering::Relaxed),
+            learn_submitted: self.learn_submitted.load(Ordering::Relaxed),
+            learn_rejected: self.learn_rejected.load(Ordering::Relaxed),
+            writer_stalls: self.writer_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    work: BoundedQueue<Request>,
+    learn: BoundedQueue<LearnRequest>,
+    snapshots: Arc<SnapshotCell>,
+    /// The writer's runtime; uncontended in steady state (only the
+    /// writer thread locks it per message) and reclaimed by drain for
+    /// the final checkpoint even if the writer panicked.
+    runtime: Mutex<Option<OnlineRuntime>>,
+    counters: Counters,
+    /// Worker-side [`RuntimeStats`] deltas, merged per batch — the
+    /// shard-aggregatable counters of the whole reader fleet.
+    worker_stats: Mutex<RuntimeStats>,
+    /// Live EWMA estimate (ns/row) of the narrowest ladder tier,
+    /// published by workers for deadline-aware admission (0 = unknown).
+    floor_ns: AtomicU64,
+    /// Worker shards not permanently circuit-broken.
+    live_shards: AtomicUsize,
+    /// Set once drain begins: admission refuses new work.
+    draining: AtomicBool,
+    /// Expected feature width, for synchronous sanitization.
+    n_features: usize,
+    config: ServeConfig,
+    /// One in-flight slot per shard: the batch a worker is currently
+    /// holding, recovered by the supervisor if the worker panics.
+    in_flight: Vec<Mutex<Vec<Request>>>,
+    /// Chaos: arm to make shard *i* panic mid-batch (after it has taken
+    /// its in-flight batch, before scoring).
+    kill_flags: Vec<AtomicBool>,
+    /// Chaos: nanoseconds the writer sleeps before its next apply.
+    stall_ns: AtomicU64,
+}
+
+enum Event {
+    Panicked(usize),
+    Exited,
+}
+
+// ---------------------------------------------------------------------------
+// Worker shard
+// ---------------------------------------------------------------------------
+
+fn worker_shard(shard: usize, shared: &Shared) {
+    let snapshot0 = shared.snapshots.load();
+    let dim = snapshot0.pipeline().model().dim();
+    drop(snapshot0);
+    let Ok(mut ladder) = DegradationLadder::new(dim, shared.config.ladder_alpha) else {
+        // Impossible for a trained model (dim ≥ 1, alpha validated at
+        // start); exiting cleanly beats poisoning the fleet.
+        return;
+    };
+    let mut engine = ScoreBatch::new();
+    let mut encoded = Vec::new();
+    let mut preds = Vec::new();
+    let mut locals = RuntimeStats::default();
+
+    loop {
+        // Coalesce a micro-batch: block for the first request, then
+        // drain greedily up to batch_max.
+        let first = match shared.work.pop(IDLE_TICK) {
+            Pop::Item(request) => request,
+            Pop::TimedOut => continue,
+            Pop::Closed => break,
+        };
+        let mut batch = vec![first];
+        while batch.len() < shared.config.batch_max {
+            match shared.work.try_pop() {
+                Some(request) => batch.push(request),
+                None => break,
+            }
+        }
+
+        // Park the batch in the crash-recovery slot *before* any
+        // fallible work: a panic from here on loses nothing.
+        *lock_unpoisoned(&shared.in_flight[shard]) = batch;
+        if shared.kill_flags[shard].swap(false, Ordering::Relaxed) {
+            panic!("chaos: shard {shard} killed mid-batch");
+        }
+
+        // One tier for the whole batch, chosen from the tightest
+        // remaining budget (degrade before missing deadlines).
+        let now = Instant::now();
+        let tightest_ns: Option<u64> = {
+            let slot = lock_unpoisoned(&shared.in_flight[shard]);
+            slot.iter()
+                .filter_map(|r| {
+                    r.deadline.map(|d| {
+                        u64::try_from(d.saturating_duration_since(now).as_nanos())
+                            .unwrap_or(u64::MAX)
+                    })
+                })
+                .min()
+        };
+        let tier = ladder.choose(tightest_ns);
+        let dims = ladder.dims(tier);
+        let degraded = tier < ladder.full_tier();
+        let opts = PredictOptions::reduced(dims, NormMode::Updated);
+
+        // Sanitize + encode against one pinned snapshot.
+        let snapshot = shared.snapshots.load();
+        let started = Instant::now();
+        encoded.clear();
+        let mut verdicts: Vec<Option<ServeError>> = Vec::new();
+        {
+            let slot = lock_unpoisoned(&shared.in_flight[shard]);
+            for request in slot.iter() {
+                locals.infer_requests += 1;
+                match sanitize(&request.features, shared.n_features) {
+                    Some(reason) => {
+                        locals.rejected += 1;
+                        verdicts.push(Some(ServeError::Rejected(reason)));
+                    }
+                    None => match snapshot.pipeline().encode(&request.features) {
+                        Ok(hv) => {
+                            verdicts.push(None);
+                            encoded.push(hv);
+                        }
+                        // Unreachable for sanitized input; answer with a
+                        // cancellation rather than a made-up reason.
+                        Err(_) => {
+                            locals.rejected += 1;
+                            verdicts.push(Some(ServeError::Canceled));
+                        }
+                    },
+                }
+            }
+        }
+        if !encoded.is_empty() {
+            engine.predict_into(snapshot.pipeline().model(), &encoded, opts, &mut preds);
+        } else {
+            preds.clear();
+        }
+        let scored = preds.len() as u32;
+        let per_row = started.elapsed() / scored.max(1);
+        if scored > 0 {
+            ladder.observe(tier, per_row);
+            if let Some(floor) = ladder.estimate_ns(0) {
+                shared
+                    .floor_ns
+                    .store(floor.max(0.0) as u64, Ordering::Relaxed);
+            }
+        }
+
+        // Scoring is done: take the batch out of the recovery slot and
+        // answer. (A panic after this point would drop the remaining
+        // reply senders, surfacing as Canceled — never a double answer.)
+        let batch = std::mem::take(&mut *lock_unpoisoned(&shared.in_flight[shard]));
+        let mut next_pred = preds.iter();
+        for (request, verdict) in batch.into_iter().zip(verdicts) {
+            match verdict {
+                Some(error) => {
+                    let _ = request.reply.try_send(Err(error));
+                }
+                None => {
+                    let Some(&label) = next_pred.next() else {
+                        let _ = request.reply.try_send(Err(ServeError::Canceled));
+                        continue;
+                    };
+                    let answered_at = Instant::now();
+                    let deadline_met = request.deadline.is_none_or(|d| answered_at <= d);
+                    locals.answered += 1;
+                    if degraded {
+                        locals.degraded += 1;
+                    }
+                    if !deadline_met {
+                        locals.deadline_misses += 1;
+                    }
+                    let _ = request.reply.try_send(Ok(ServeAnswer {
+                        label,
+                        dims_used: dims,
+                        tier,
+                        degraded,
+                        elapsed: answered_at.duration_since(request.submitted),
+                        deadline_met,
+                        shard,
+                        snapshot: Arc::clone(&snapshot),
+                    }));
+                }
+            }
+        }
+
+        // Publish this batch's stats delta while it is still small —
+        // a later crash loses at most one batch of counters.
+        lock_unpoisoned(&shared.worker_stats).merge(&locals);
+        locals = RuntimeStats::default();
+    }
+    lock_unpoisoned(&shared.worker_stats).merge(&locals);
+}
+
+/// Width/finiteness gate matching the runtime sanitizer's first two
+/// checks (range checks stay writer-side where the trained spans live).
+fn sanitize(features: &[f64], n_features: usize) -> Option<RejectReason> {
+    if features.len() != n_features {
+        return Some(RejectReason::WrongWidth {
+            expected: n_features,
+            actual: features.len(),
+        });
+    }
+    features
+        .iter()
+        .position(|v| !v.is_finite())
+        .map(|column| RejectReason::NonFinite { column })
+}
+
+// ---------------------------------------------------------------------------
+// Writer shard
+// ---------------------------------------------------------------------------
+
+fn writer_shard(shared: &Shared) {
+    let mut since_publish = 0u64;
+    loop {
+        let request = match shared.learn.pop(IDLE_TICK) {
+            Pop::Item(request) => request,
+            Pop::TimedOut => continue,
+            Pop::Closed => break,
+        };
+        let stall = shared.stall_ns.swap(0, Ordering::Relaxed);
+        if stall > 0 {
+            shared
+                .counters
+                .writer_stalls
+                .fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_nanos(stall));
+        }
+        let mut guard = lock_unpoisoned(&shared.runtime);
+        let Some(runtime) = guard.as_mut() else {
+            break;
+        };
+        // Quarantine and checkpoint failures are both absorbed by the
+        // runtime (counted, never fatal); a panic from a genuine bug is
+        // contained so one poisoned sample cannot kill the writer.
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            runtime.learn(&request.features, request.label).is_ok()
+        }))
+        .unwrap_or(false);
+        if applied {
+            since_publish += 1;
+            if shared.config.publish_every > 0 && since_publish >= shared.config.publish_every {
+                runtime.publish_snapshot();
+                since_publish = 0;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+struct ShardSeat {
+    restarts_used: u32,
+    restart_due: Option<Instant>,
+    open: bool,
+}
+
+fn spawn_worker(
+    shard: usize,
+    shared: &Arc<Shared>,
+    events: &mpsc::Sender<Event>,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let events = events.clone();
+    std::thread::Builder::new()
+        .name(format!("generic-serve-worker-{shard}"))
+        .spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| worker_shard(shard, &shared)));
+            let _ = events.send(match outcome {
+                Ok(()) => Event::Exited,
+                Err(_) => Event::Panicked(shard),
+            });
+        })
+}
+
+fn supervisor(shared: Arc<Shared>, events: mpsc::Receiver<Event>, sender: mpsc::Sender<Event>) {
+    let n = shared.config.shards;
+    let mut seats: Vec<ShardSeat> = (0..n)
+        .map(|_| ShardSeat {
+            restarts_used: 0,
+            restart_due: None,
+            open: false,
+        })
+        .collect();
+    let mut running = n;
+
+    loop {
+        // Done when nothing is running and nothing is scheduled to be.
+        if running == 0 && seats.iter().all(|s| s.restart_due.is_none()) {
+            break;
+        }
+
+        // Fire due restarts.
+        let now = Instant::now();
+        for (shard, seat) in seats.iter_mut().enumerate() {
+            if seat.restart_due.is_some_and(|at| at <= now) {
+                seat.restart_due = None;
+                match spawn_worker(shard, &shared, &sender) {
+                    Ok(_) => {
+                        running += 1;
+                        shared
+                            .counters
+                            .shard_restarts
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => open_circuit(&shared, seat),
+                }
+            }
+        }
+
+        let wait = seats
+            .iter()
+            .filter_map(|s| s.restart_due)
+            .map(|at| at.saturating_duration_since(now))
+            .min()
+            .unwrap_or(IDLE_TICK)
+            .max(Duration::from_millis(1));
+        let event = match events.recv_timeout(wait) {
+            Ok(event) => event,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        match event {
+            Event::Exited => {
+                running -= 1;
+            }
+            Event::Panicked(shard) => {
+                running -= 1;
+                shared.counters.shard_panics.fetch_add(1, Ordering::Relaxed);
+
+                // Recover the in-flight batch: requeue at the front so
+                // crashed-over requests keep their place in line.
+                let stranded = std::mem::take(&mut *lock_unpoisoned(&shared.in_flight[shard]));
+                shared
+                    .counters
+                    .requeued
+                    .fetch_add(stranded.len() as u64, Ordering::Relaxed);
+                for request in stranded.into_iter().rev() {
+                    shared.work.push_front_forced(request);
+                }
+
+                let seat = &mut seats[shard];
+                if seat.restarts_used >= shared.config.restart_budget {
+                    open_circuit(&shared, seat);
+                } else {
+                    seat.restarts_used += 1;
+                    let exp = seat.restarts_used.saturating_sub(1).min(16);
+                    let backoff = shared
+                        .config
+                        .restart_backoff
+                        .saturating_mul(1u32 << exp)
+                        .min(shared.config.restart_backoff_max);
+                    seat.restart_due = Some(Instant::now() + backoff);
+                }
+            }
+        }
+    }
+
+    // No shard will ever pop again; cancel whatever is still queued so
+    // clients unblock (their reply senders drop → Canceled).
+    if shared.live_shards.load(Ordering::Relaxed) == 0 {
+        let orphaned = shared.work.drain_all();
+        shared
+            .counters
+            .canceled
+            .fetch_add(orphaned.len() as u64, Ordering::Relaxed);
+    }
+}
+
+fn open_circuit(shared: &Shared, seat: &mut ShardSeat) {
+    if !seat.open {
+        seat.open = true;
+        shared
+            .counters
+            .circuit_opens
+            .fetch_add(1, Ordering::Relaxed);
+        let left = shared.live_shards.fetch_sub(1, Ordering::Relaxed) - 1;
+        if left == 0 {
+            // Total outage: fail queued work fast instead of letting
+            // clients wait on a fleet that cannot answer.
+            shared.work.close();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// The running sharded server. Submit through [`handle`](Server::handle)
+/// clones; shut down with [`drain`](Server::drain).
+pub struct Server {
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+/// A cloneable submission handle.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+/// Everything the server accounted for, returned by [`Server::drain`].
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Admission/supervision counters.
+    pub serve: ServeStats,
+    /// Aggregated worker-shard counters (merged-on-drain
+    /// [`RuntimeStats`]; inference-side fields only).
+    pub workers: RuntimeStats,
+    /// The writer runtime's counters (learning, checkpoints, retries).
+    pub writer: RuntimeStats,
+    /// Newest durable checkpoint generation.
+    pub generation: u64,
+    /// Labeled samples folded into the final model.
+    pub seen: u64,
+    /// The quarantine buffer at drain, oldest first — export with
+    /// [`write_dead_letters_csv`](crate::runtime::write_dead_letters_csv).
+    pub dead_letters: Vec<DeadLetter>,
+    /// Whether the final checkpoint landed durably.
+    pub final_checkpoint_ok: bool,
+}
+
+impl Server {
+    /// Starts the fleet: `config.shards` workers, one writer owning
+    /// `runtime`, and the supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration or if a thread
+    /// cannot be spawned.
+    pub fn start(runtime: OnlineRuntime, config: ServeConfig) -> Result<Server, RuntimeError> {
+        if config.shards == 0 {
+            return Err(RuntimeError::Model(crate::HdcError::invalid(
+                "shards",
+                "need at least one worker shard",
+            )));
+        }
+        if config.batch_max == 0 {
+            return Err(RuntimeError::Model(crate::HdcError::invalid(
+                "batch_max",
+                "micro-batches need room for at least one row",
+            )));
+        }
+        let snapshots = runtime.snapshots();
+        let n_features = runtime.pipeline().encoder().spec().n_features();
+        let shared = Arc::new(Shared {
+            work: BoundedQueue::new(config.queue_depth),
+            learn: BoundedQueue::new(config.learn_queue_depth),
+            snapshots,
+            runtime: Mutex::new(Some(runtime)),
+            counters: Counters::default(),
+            worker_stats: Mutex::new(RuntimeStats::default()),
+            floor_ns: AtomicU64::new(0),
+            live_shards: AtomicUsize::new(config.shards),
+            draining: AtomicBool::new(false),
+            n_features,
+            config,
+            in_flight: (0..config.shards).map(|_| Mutex::new(Vec::new())).collect(),
+            kill_flags: (0..config.shards).map(|_| AtomicBool::new(false)).collect(),
+            stall_ns: AtomicU64::new(0),
+        });
+
+        let (event_tx, event_rx) = mpsc::channel();
+        for shard in 0..config.shards {
+            spawn_worker(shard, &shared, &event_tx).map_err(RuntimeError::Io)?;
+        }
+        let supervisor_handle = {
+            let shared = Arc::clone(&shared);
+            let sender = event_tx.clone();
+            std::thread::Builder::new()
+                .name("generic-serve-supervisor".into())
+                .spawn(move || supervisor(shared, event_rx, sender))
+                .map_err(RuntimeError::Io)?
+        };
+        let writer_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("generic-serve-writer".into())
+                .spawn(move || writer_shard(&shared))
+                .map_err(RuntimeError::Io)?
+        };
+        Ok(Server {
+            shared,
+            supervisor: Some(supervisor_handle),
+            writer: Some(writer_handle),
+        })
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, let workers flush their
+    /// micro-batches and the queue, write a final checkpoint, and
+    /// export the quarantine buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when a supervision thread cannot be
+    /// joined; checkpoint failure is reported in the drain report, not
+    /// as an error.
+    pub fn drain(mut self) -> Result<DrainReport, RuntimeError> {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.work.close();
+        if let Some(handle) = self.supervisor.take() {
+            handle
+                .join()
+                .map_err(|_| RuntimeError::Io(std::io::Error::other("supervisor panicked")))?;
+        }
+        self.shared.learn.close();
+        if let Some(handle) = self.writer.take() {
+            handle
+                .join()
+                .map_err(|_| RuntimeError::Io(std::io::Error::other("writer panicked")))?;
+        }
+
+        // Anything still queued has no consumer left; cancel it.
+        let orphaned = self.shared.work.drain_all();
+        self.shared
+            .counters
+            .canceled
+            .fetch_add(orphaned.len() as u64, Ordering::Relaxed);
+        drop(orphaned);
+
+        let mut runtime = lock_unpoisoned(&self.shared.runtime).take();
+        let (writer_stats, generation, seen, dead_letters, final_checkpoint_ok) =
+            match runtime.as_mut() {
+                Some(rt) => {
+                    let ok = rt.checkpoint().is_ok();
+                    (
+                        *rt.stats(),
+                        rt.generation(),
+                        rt.seen(),
+                        rt.dead_letters().cloned().collect(),
+                        ok,
+                    )
+                }
+                None => (RuntimeStats::default(), 0, 0, Vec::new(), false),
+            };
+        Ok(DrainReport {
+            serve: self.shared.counters.snapshot(),
+            workers: *lock_unpoisoned(&self.shared.worker_stats),
+            writer: writer_stats,
+            generation,
+            seen,
+            dead_letters,
+            final_checkpoint_ok,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// Offers one inference request under an optional latency budget.
+    /// Admission control answers synchronously: malformed input,
+    /// backpressure, hopeless deadlines, outage, and drain are all
+    /// rejected here with a reason; an admitted request yields a
+    /// [`Ticket`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit(
+        &self,
+        features: Vec<f64>,
+        budget: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let shared = &self.shared;
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if shared.draining.load(Ordering::Relaxed) {
+            shared
+                .counters
+                .rejected_shutting_down
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShuttingDown);
+        }
+        let live = shared.live_shards.load(Ordering::Relaxed);
+        if live == 0 {
+            shared
+                .counters
+                .rejected_unavailable
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Unavailable);
+        }
+        if let Some(reason) = sanitize(&features, shared.n_features) {
+            shared
+                .counters
+                .rejected_malformed
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Rejected(reason));
+        }
+
+        // Deadline-aware shedding: even the narrowest tier, behind the
+        // queue already ahead of us, must fit the budget.
+        if let Some(budget) = budget {
+            let floor = shared.floor_ns.load(Ordering::Relaxed);
+            if floor > 0 {
+                let budget_ns = u64::try_from(budget.as_nanos()).unwrap_or(u64::MAX);
+                let depth = shared.work.len() as u64;
+                let expected = floor.saturating_mul(1 + depth / live as u64);
+                if expected > budget_ns {
+                    shared
+                        .counters
+                        .rejected_deadline
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::DeadlineHopeless { budget });
+                }
+            }
+        }
+
+        let submitted = Instant::now();
+        let (reply, rx) = mpsc::sync_channel(1);
+        let request = Request {
+            features,
+            submitted,
+            deadline: budget.map(|b| submitted + b),
+            reply,
+        };
+        match shared.work.try_push(request) {
+            Ok(()) => {
+                shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { rx })
+            }
+            Err(PushRefused::Full(_)) => {
+                shared
+                    .counters
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushRefused::Closed(_)) => {
+                shared
+                    .counters
+                    .rejected_shutting_down
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Offers one labeled sample to the writer shard (fire-and-forget;
+    /// quarantine decisions surface in the drain report).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under writer backpressure,
+    /// [`SubmitError::ShuttingDown`] once draining.
+    pub fn submit_learn(&self, features: Vec<f64>, label: usize) -> Result<(), SubmitError> {
+        let shared = &self.shared;
+        shared
+            .counters
+            .learn_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        if shared.draining.load(Ordering::Relaxed) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        match shared.learn.try_push(LearnRequest { features, label }) {
+            Ok(()) => Ok(()),
+            Err(PushRefused::Full(_)) => {
+                shared
+                    .counters
+                    .learn_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushRefused::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Live admission/supervision counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Worker shards not circuit-broken.
+    pub fn live_shards(&self) -> usize {
+        self.shared.live_shards.load(Ordering::Relaxed)
+    }
+
+    /// Current work-queue depth (for tests and load generators).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.work.len()
+    }
+
+    /// The RCU snapshot cell workers serve from.
+    pub fn snapshots(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.shared.snapshots)
+    }
+
+    /// Chaos hook: the next batch shard `i` picks up panics mid-batch
+    /// (after the in-flight slot is filled, before scoring) — the
+    /// worst-case kill the supervisor must recover from.
+    pub fn chaos_kill_shard(&self, shard: usize) {
+        if let Some(flag) = self.shared.kill_flags.get(shard) {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Chaos hook: the writer sleeps `stall` before applying its next
+    /// sample, backing the learn queue up against its bound.
+    pub fn chaos_stall_writer(&self, stall: Duration) {
+        self.shared.stall_ns.store(
+            u64::try_from(stall.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_backpressure_and_fifo() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        q.try_push(1).map_err(|_| ()).unwrap();
+        q.try_push(2).map_err(|_| ()).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushRefused::Full(3))));
+        assert_eq!(q.len(), 2);
+        q.push_front_forced(0);
+        assert!(matches!(q.pop(Duration::ZERO), Pop::Item(0)));
+        assert!(matches!(q.pop(Duration::ZERO), Pop::Item(1)));
+        q.close();
+        assert!(matches!(q.try_push(9), Err(PushRefused::Closed(9))));
+        // Remaining items still drain after close…
+        assert!(matches!(q.pop(Duration::ZERO), Pop::Item(2)));
+        // …then the queue reports closed.
+        assert!(matches!(q.pop(Duration::ZERO), Pop::Closed));
+    }
+
+    #[test]
+    fn pop_times_out_on_an_open_empty_queue() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::TimedOut));
+    }
+
+    use proptest::prelude::*;
+    use proptest::Arbitrary;
+
+    /// One admission-model operation.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u32),
+        PushFrontForced(u32),
+        Pop,
+        Close,
+    }
+
+    /// Push-heavy mix with occasional forced requeues and a rare close.
+    struct ArbOp;
+
+    impl Strategy for ArbOp {
+        type Value = Op;
+
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Op {
+            match u32::arbitrary(rng) % 9 {
+                0..=3 => Op::Push(u32::arbitrary(rng)),
+                4 => Op::PushFrontForced(u32::arbitrary(rng)),
+                5..=7 => Op::Pop,
+                _ => Op::Close,
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The bounded queue agrees with a straightforward VecDeque
+        /// model under any interleaving of admission, forced requeue,
+        /// pops, and close: FIFO order is preserved, capacity refuses
+        /// admission exactly when the model is full, forced requeues
+        /// always land at the front, and close drains before reporting.
+        #[test]
+        fn queue_matches_fifo_model(
+            capacity in 1usize..8,
+            ops in proptest::collection::vec(ArbOp, 1..64),
+        ) {
+            let queue: BoundedQueue<u32> = BoundedQueue::new(capacity);
+            let mut model: VecDeque<u32> = VecDeque::new();
+            let mut closed = false;
+            for op in ops {
+                match op {
+                    Op::Push(v) => match queue.try_push(v) {
+                        Ok(()) => {
+                            prop_assert!(!closed, "push succeeded after close");
+                            prop_assert!(model.len() < capacity, "push succeeded while full");
+                            model.push_back(v);
+                        }
+                        Err(PushRefused::Full(got)) => {
+                            prop_assert_eq!(got, v);
+                            prop_assert!(!closed, "full-refusal after close");
+                            // Forced requeues may overfill past capacity.
+                            prop_assert!(model.len() >= capacity);
+                        }
+                        Err(PushRefused::Closed(got)) => {
+                            prop_assert_eq!(got, v);
+                            prop_assert!(closed, "closed-refusal while open");
+                        }
+                    },
+                    Op::PushFrontForced(v) => {
+                        queue.push_front_forced(v);
+                        model.push_front(v);
+                    }
+                    Op::Pop => match queue.pop(Duration::ZERO) {
+                        Pop::Item(got) => prop_assert_eq!(Some(got), model.pop_front()),
+                        Pop::TimedOut => {
+                            prop_assert!(model.is_empty());
+                            prop_assert!(!closed);
+                        }
+                        Pop::Closed => {
+                            prop_assert!(model.is_empty());
+                            prop_assert!(closed);
+                        }
+                    },
+                    Op::Close => {
+                        queue.close();
+                        closed = true;
+                    }
+                }
+                prop_assert_eq!(queue.len(), model.len());
+            }
+            // Whatever remains drains in exact FIFO order.
+            while let Some(expected) = model.pop_front() {
+                match queue.pop(Duration::ZERO) {
+                    Pop::Item(got) => prop_assert_eq!(got, expected),
+                    other => prop_assert!(
+                        false,
+                        "queue ended early: expected {}, got {}",
+                        expected,
+                        match other {
+                            Pop::TimedOut => "timeout",
+                            Pop::Closed => "closed",
+                            Pop::Item(_) => unreachable!(),
+                        }
+                    ),
+                }
+            }
+        }
+    }
+}

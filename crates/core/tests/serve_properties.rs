@@ -1,0 +1,185 @@
+//! Property tests for the serving data path: `MicroBatcher` flush
+//! invariants (flush at `batch_max`, at a labeled-row barrier, at end
+//! of stream) and bit-identity of batched serving with the unbatched
+//! per-row path.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use generic_hdc::encoding::GenericEncoderSpec;
+use generic_hdc::runtime::{
+    CheckpointStore, MicroBatcher, OnlineRuntime, RetryPolicy, RuntimeConfig,
+};
+use generic_hdc::HdcPipeline;
+use proptest::prelude::*;
+use proptest::Arbitrary;
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "ghdc-serveprop-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("temp dir is creatable");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const N_FEATURES: usize = 5;
+
+/// A deterministic clean feature row derived from one seed.
+fn row(seed: u64) -> Vec<f64> {
+    (0..N_FEATURES)
+        .map(|j| ((seed.wrapping_mul(31).wrapping_add(j as u64 * 7)) % 13) as f64 / 2.0)
+        .collect()
+}
+
+fn runtime_in(dir: &Path, seed: u64) -> OnlineRuntime {
+    let features: Vec<Vec<f64>> = (0..30).map(|i| row(i as u64)).collect();
+    let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+    let spec = GenericEncoderSpec::new(256, N_FEATURES).with_seed(seed);
+    let pipeline = HdcPipeline::train(spec, &features, &labels, 3, 3).expect("valid inputs");
+    let store = CheckpointStore::open(dir, 2, RetryPolicy::default()).expect("dir is creatable");
+    let config = RuntimeConfig {
+        checkpoint_every: 0,
+        ..RuntimeConfig::default()
+    };
+    OnlineRuntime::new(pipeline, store, config).expect("valid config")
+}
+
+/// One element of a generated serve stream.
+#[derive(Debug, Clone)]
+enum StreamRow {
+    Infer(u64),
+    /// A labeled row: a barrier — every queued inference must flush
+    /// before it is learned.
+    Learn(u64, usize),
+}
+
+struct ArbStreamRow;
+
+impl Strategy for ArbStreamRow {
+    type Value = StreamRow;
+
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> StreamRow {
+        let seed = u64::arbitrary(rng) % 1000;
+        if u32::arbitrary(rng) % 4 == 0 {
+            StreamRow::Learn(seed, (seed % 3) as usize)
+        } else {
+            StreamRow::Infer(seed)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Driving a stream through the `MicroBatcher` exactly as the serve
+    /// loop does — flush when `push` says the batch is full, flush
+    /// before every labeled row, flush at end of stream — upholds:
+    /// 1. the batcher never holds more than `batch_max` rows;
+    /// 2. `push` reports full exactly at `batch_max`;
+    /// 3. every inference row is answered exactly once, in order;
+    /// 4. each answered label is bit-identical to the unbatched
+    ///    per-row `infer` of the same model state (labeled rows are
+    ///    applied at identical points in both universes).
+    #[test]
+    fn micro_batcher_flush_invariants(
+        seed in 0u64..1_000,
+        batch_max in 1usize..9,
+        stream in proptest::collection::vec(ArbStreamRow, 1..40),
+    ) {
+        let dir_a = TempDir::new("batched");
+        let dir_b = TempDir::new("unbatched");
+        // Two identically trained universes, one batched, one not.
+        let mut batched = runtime_in(dir_a.path(), seed);
+        let mut unbatched = runtime_in(dir_b.path(), seed);
+
+        let mut batcher = MicroBatcher::new(batch_max);
+        prop_assert_eq!(batcher.batch_max(), batch_max);
+
+        let mut batched_labels: Vec<usize> = Vec::new();
+        let mut unbatched_labels: Vec<usize> = Vec::new();
+        let drain = |batcher: &mut MicroBatcher,
+                         batched: &mut OnlineRuntime,
+                         out: &mut Vec<usize>|
+         -> Result<(), proptest::TestCaseError> {
+            let n = batcher.len();
+            let results = batcher.flush(batched, None);
+            prop_assert_eq!(results.len(), n, "one result per queued row");
+            prop_assert!(batcher.is_empty(), "flush clears the queue");
+            for result in results {
+                let outcome = match result {
+                    Ok(outcome) => outcome,
+                    Err(e) => return Err(proptest::TestCaseError::Fail(
+                        format!("clean row rejected: {e}"),
+                    )),
+                };
+                out.push(outcome.label);
+            }
+            Ok(())
+        };
+
+        for item in &stream {
+            match item {
+                StreamRow::Infer(s) => {
+                    let full = batcher.push(row(*s));
+                    prop_assert!(batcher.len() <= batch_max, "never exceeds batch_max");
+                    prop_assert_eq!(full, batcher.len() == batch_max,
+                        "`push` reports full exactly at batch_max");
+                    if full {
+                        drain(&mut batcher, &mut batched, &mut batched_labels)?;
+                    }
+                    // The unbatched universe answers immediately.
+                    let outcome = unbatched.infer(&row(*s), None).map_err(|e| {
+                        proptest::TestCaseError::Fail(format!("unbatched rejected: {e}"))
+                    })?;
+                    unbatched_labels.push(outcome.label);
+                }
+                StreamRow::Learn(s, label) => {
+                    // Barrier: queued inferences must not observe the
+                    // updated model.
+                    drain(&mut batcher, &mut batched, &mut batched_labels)?;
+                    let _ = batched.learn(&row(*s), *label);
+                    let _ = unbatched.learn(&row(*s), *label);
+                }
+            }
+        }
+        // End of stream: flush the tail.
+        drain(&mut batcher, &mut batched, &mut batched_labels)?;
+        prop_assert!(batcher.is_empty());
+
+        prop_assert_eq!(
+            batched_labels,
+            unbatched_labels,
+            "batched serving must be bit-identical to per-row serving"
+        );
+    }
+
+    /// An empty flush is a no-op: no results, no stats movement.
+    #[test]
+    fn empty_flush_is_a_no_op(seed in 0u64..100) {
+        let dir = TempDir::new("noop");
+        let mut runtime = runtime_in(dir.path(), seed);
+        let mut batcher = MicroBatcher::new(4);
+        let before = *runtime.stats();
+        let results = batcher.flush(&mut runtime, None);
+        prop_assert!(results.is_empty());
+        prop_assert_eq!(*runtime.stats(), before);
+    }
+}

@@ -27,4 +27,10 @@ cargo run -p generic-bench --release --locked --quiet --bin conformance -- --smo
 echo "==> throughput smoke (SIMD dispatch, batched scoring)"
 cargo run -p generic-bench --release --locked --quiet --bin throughput -- --smoke
 
+echo "==> soak smoke (crash recovery, deadline storm, sharded chaos)"
+cargo run -p generic-bench --release --locked --quiet --bin soak -- --smoke
+
+echo "==> sharded serve bench smoke (QPS, latency percentiles)"
+cargo run -p generic-bench --release --locked --quiet --bin serve -- --smoke
+
 echo "All checks passed."
