@@ -58,6 +58,8 @@ struct Run {
     qps: f64,
     p50_us: f64,
     p99_us: f64,
+    p999_us: f64,
+    max_us: f64,
 }
 
 fn sample(rng: &mut StdRng, class: usize) -> Vec<f64> {
@@ -148,6 +150,8 @@ fn measure(pipeline: &HdcPipeline, config: &Config, shards: usize, seed: u64) ->
         qps: answered as f64 / wall.as_secs_f64(),
         p50_us: percentile_us(&all, 0.50),
         p99_us: percentile_us(&all, 0.99),
+        p999_us: percentile_us(&all, 0.999),
+        max_us: percentile_us(&all, 1.0),
     }
 }
 
@@ -214,13 +218,16 @@ fn main() {
         .map(|&shards| {
             let run = measure(&pipeline, &config, shards, seed);
             println!(
-                "  {} shard(s): {:.0} QPS ({} answered in {:.2} s), p50 {:.1} µs, p99 {:.1} µs",
+                "  {} shard(s): {:.0} QPS ({} answered in {:.2} s), p50 {:.1} µs, \
+                 p99 {:.1} µs, p999 {:.1} µs, max {:.1} µs",
                 run.shards,
                 run.qps,
                 run.answered,
                 run.wall.as_secs_f64(),
                 run.p50_us,
-                run.p99_us
+                run.p99_us,
+                run.p999_us,
+                run.max_us
             );
             run
         })
@@ -276,13 +283,15 @@ fn render_json(
     for (i, run) in runs.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"shards\": {}, \"qps\": {:.1}, \"answered\": {}, \"wall_s\": {:.4}, \
-             \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{}\n",
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \"max_us\": {:.2}}}{}\n",
             run.shards,
             run.qps,
             run.answered,
             run.wall.as_secs_f64(),
             run.p50_us,
             run.p99_us,
+            run.p999_us,
+            run.max_us,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }

@@ -19,7 +19,7 @@ USAGE:
     generic serve   --ckpt-dir <dir> --data <csv|-> [--model <model>]
                     [--budget-us N] [--checkpoint-every N] [--keep N]
                     [--batch-max N] [--shards N] [--dead-letter-out <csv>]
-                    [--skip-bad-rows]
+                    [--skip-bad-rows] [--registry <dir>] [--tenant-header]
     generic conformance [--replay <token>] [--seed N] [--count N]
 
 CSV format: one sample per row, numeric features separated by commas;
@@ -44,7 +44,12 @@ panic-isolated worker shards score RCU model snapshots concurrently
 behind a bounded queue with backpressure and deadline-aware admission
 control, while a writer shard applies the labeled rows. On drain (end
 of stream) quarantined rows are exported as CSV to --dead-letter-out
-when given (this also works without --shards).
+when given (this also works without --shards). With --registry <dir>
+(requires --shards) the server additionally mmap-serves per-tenant
+GHDC v3 models from <dir>/<tenant>.ghdc, zero-copy and LRU-cached;
+with --tenant-header each inference row's leading cell is a tenant id
+routing that row to its tenant's mapped model (learning rows keep
+feeding the shared writer, tenant column stripped).
 
 `conformance` runs seeded differential scenarios through every
 fast-kernel/scalar-oracle pair and reports divergences. With --replay it
@@ -135,6 +140,12 @@ pub enum CliCommand {
         dead_letter_out: Option<PathBuf>,
         /// Quarantine malformed CSV rows instead of aborting.
         skip_bad_rows: bool,
+        /// Multi-tenant model registry directory (mmap-served GHDC v3
+        /// models, one per tenant).
+        registry: Option<PathBuf>,
+        /// Leading CSV column carries a tenant id routing each row to
+        /// its model in `--registry`.
+        tenant_header: bool,
     },
     /// Run differential conformance scenarios (or replay a reproducer).
     Conformance {
@@ -183,12 +194,12 @@ impl Options {
                 return Err(CliError::new(format!("unexpected argument `{arg}`")));
             };
             match name {
-                "labeled" | "no-id-binding" | "skip-bad-rows" | "help" => {
+                "labeled" | "no-id-binding" | "skip-bad-rows" | "tenant-header" | "help" => {
                     flags.push(name.to_string())
                 }
                 "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
                 | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" | "batch-max"
-                | "shards" | "dead-letter-out" | "replay" | "count" => {
+                | "shards" | "dead-letter-out" | "replay" | "count" | "registry" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
@@ -304,6 +315,8 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
             shards: opts.numeric("shards", 0)?,
             dead_letter_out: opts.value("dead-letter-out").map(PathBuf::from),
             skip_bad_rows: opts.flag("skip-bad-rows"),
+            registry: opts.value("registry").map(PathBuf::from),
+            tenant_header: opts.flag("tenant-header"),
         }),
         other => Err(CliError::new(format!("unknown subcommand `{other}`"))),
     }
@@ -352,6 +365,8 @@ mod tests {
                 shards: 0,
                 dead_letter_out: None,
                 skip_bad_rows: false,
+                registry: None,
+                tenant_header: false,
             }
         );
         let cmd = parse_args(&argv(&[
@@ -375,6 +390,9 @@ mod tests {
             "--dead-letter-out",
             "quarantine.csv",
             "--skip-bad-rows",
+            "--registry",
+            "tenants/",
+            "--tenant-header",
         ]))
         .unwrap();
         match cmd {
@@ -387,6 +405,8 @@ mod tests {
                 shards,
                 dead_letter_out,
                 skip_bad_rows,
+                registry,
+                tenant_header,
                 ..
             } => {
                 assert_eq!(model, Some("m.ghdc".into()));
@@ -397,6 +417,8 @@ mod tests {
                 assert_eq!(shards, 4);
                 assert_eq!(dead_letter_out, Some("quarantine.csv".into()));
                 assert!(skip_bad_rows);
+                assert_eq!(registry, Some("tenants/".into()));
+                assert!(tenant_header);
             }
             other => panic!("wrong command: {other:?}"),
         }

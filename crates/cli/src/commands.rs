@@ -12,8 +12,8 @@ use generic_hdc::runtime::{
     CheckpointStore, MicroBatcher, OnlineRuntime, RetryPolicy, RuntimeConfig,
 };
 use generic_hdc::{
-    HdcClustering, HdcClusteringSpec, HdcPipeline, RuntimeError, ServeConfig, ServeError, Server,
-    SubmitError, Ticket,
+    HdcClustering, HdcClusteringSpec, HdcPipeline, ModelRegistry, RegistryConfig, RuntimeError,
+    ServeConfig, ServeError, Server, SubmitError, Ticket,
 };
 
 use crate::args::{CliCommand, USAGE};
@@ -165,6 +165,8 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             skip_bad_rows,
             shards,
             dead_letter_out,
+            registry,
+            tenant_header,
         } => serve(
             out,
             &ServeArgs {
@@ -178,6 +180,8 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
                 skip_bad_rows,
                 shards,
                 dead_letter_out,
+                registry,
+                tenant_header,
             },
         ),
         CliCommand::Conformance {
@@ -254,6 +258,8 @@ struct ServeArgs {
     skip_bad_rows: bool,
     shards: usize,
     dead_letter_out: Option<PathBuf>,
+    registry: Option<PathBuf>,
+    tenant_header: bool,
 }
 
 /// The `serve` driver: stream rows through an [`OnlineRuntime`].
@@ -275,6 +281,12 @@ struct ServeArgs {
 /// against RCU snapshots while a dedicated writer applies the labeled
 /// rows; answers are printed in submission order once the stream ends.
 fn serve<W: Write>(out: &mut W, args: &ServeArgs) -> CommandResult {
+    if args.registry.is_some() && args.shards == 0 {
+        return Err("--registry requires the sharded runtime (--shards N > 0)".into());
+    }
+    if args.tenant_header && args.registry.is_none() {
+        return Err("--tenant-header requires --registry".into());
+    }
     let store = CheckpointStore::open(&args.ckpt_dir, args.keep, RetryPolicy::default())?;
     let config = RuntimeConfig {
         checkpoint_every: args.checkpoint_every,
@@ -407,22 +419,58 @@ fn serve_sharded<W: Write>(out: &mut W, runtime: OnlineRuntime, args: &ServeArgs
         ..ServeConfig::default()
     };
     let text = read_stream(&args.data)?;
-    let server = Server::start(runtime, config)?;
+    let registry = match &args.registry {
+        Some(dir) => {
+            let dim = runtime.pipeline().model().dim();
+            let registry = std::sync::Arc::new(ModelRegistry::open(
+                dir,
+                RegistryConfig {
+                    dim,
+                    ..RegistryConfig::default()
+                },
+            )?);
+            writeln!(
+                out,
+                "registry {} ({} tenant(s) on disk)",
+                dir.display(),
+                registry.tenants()?.len()
+            )?;
+            Some(registry)
+        }
+        None => None,
+    };
+    let server = Server::start_with_registry(runtime, config, registry.clone())?;
     let handle = server.handle();
 
     let mut bad_rows = 0u64;
     let mut shed = 0u64;
     let mut quarantined_submit = 0u64;
     let mut tickets: Vec<Ticket> = Vec::new();
+    let mut tenant_refused = 0u64;
     for (line_no, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match parse_stream_row(line, n_features) {
+        // With --tenant-header the leading cell names the tenant whose
+        // mapped model serves this row; the remaining cells are the
+        // ordinary stream row.
+        let (tenant, row) = if args.tenant_header {
+            match line.split_once(',') {
+                Some((t, rest)) => (Some(t.trim()), rest),
+                None => (Some(line), ""),
+            }
+        } else {
+            (None, line)
+        };
+        match parse_stream_row(row, n_features) {
             Ok(StreamRow::Infer(features)) => {
                 loop {
-                    match handle.submit(features.clone(), budget) {
+                    let submitted = match tenant {
+                        Some(t) => handle.submit_tenant(t, features.clone(), budget),
+                        None => handle.submit(features.clone(), budget),
+                    };
+                    match submitted {
                         Ok(ticket) => {
                             tickets.push(ticket);
                             break;
@@ -438,6 +486,12 @@ fn serve_sharded<W: Write>(out: &mut W, runtime: OnlineRuntime, args: &ServeArgs
                         }
                         Err(SubmitError::Rejected(_)) => {
                             quarantined_submit += 1;
+                            break;
+                        }
+                        Err(SubmitError::TenantUnavailable { .. }) => {
+                            // An unknown or quarantined tenant sheds its
+                            // own rows; the stream keeps flowing.
+                            tenant_refused += 1;
                             break;
                         }
                         Err(e @ (SubmitError::Unavailable | SubmitError::ShuttingDown)) => {
@@ -483,6 +537,21 @@ fn serve_sharded<W: Write>(out: &mut W, runtime: OnlineRuntime, args: &ServeArgs
         export_dead_letters(out, path, &report.dead_letters)?;
     }
     write_drain_report(out, &report, bad_rows, shed, quarantined_submit, canceled)?;
+    if let Some(registry) = &registry {
+        let stats = registry.stats();
+        writeln!(
+            out,
+            "  registry: hits {}, cold loads {}, evictions {}, swaps {}, \
+             quarantined {}, refused rows {}, resident {} B",
+            stats.hits,
+            stats.cold_loads,
+            stats.evictions,
+            stats.swaps,
+            stats.quarantines,
+            tenant_refused,
+            registry.resident_bytes()
+        )?;
+    }
     Ok(())
 }
 

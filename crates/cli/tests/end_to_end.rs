@@ -391,3 +391,119 @@ fn missing_files_are_reported_not_panicked() {
     let text = String::from_utf8(out).expect("utf-8 output");
     assert!(text.contains("error:"), "{text}");
 }
+
+#[test]
+fn sharded_serve_routes_tenant_rows_through_the_registry() {
+    use generic_hdc::{HdcPipeline, ModelRegistry, QuantizedModel, RegistryConfig};
+
+    let dir = temp_dir("serve-tenant");
+    let train_csv = write_dataset(&dir, "train.csv", true);
+    let model = dir.join("model.ghdc");
+    let ckpt_dir = dir.join("ckpts");
+    let registry_dir = dir.join("tenants");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "train",
+            "--data",
+            train_csv.to_str().expect("utf-8 path"),
+            "--out",
+            model.to_str().expect("utf-8 path"),
+            "--dim",
+            "1024",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 0);
+
+    // Publish the trained class memory for one tenant (the registry
+    // shares the serving encoder, so dims line up by construction).
+    let pipeline = {
+        let file = std::fs::File::open(&model).expect("model written");
+        HdcPipeline::read_from(std::io::BufReader::new(file)).expect("model parses")
+    };
+    let registry = ModelRegistry::open(
+        &registry_dir,
+        RegistryConfig {
+            dim: 1024,
+            ..RegistryConfig::default()
+        },
+    )
+    .expect("registry opens");
+    let quantized = QuantizedModel::from_model(pipeline.model(), 8).expect("valid width");
+    registry.publish("acme", &quantized).expect("publish");
+    drop(registry);
+
+    // Tenant-prefixed inference rows; one row names an unknown tenant
+    // (shed, counted) and plain rows would be rejected by --tenant-header
+    // parsing so all rows carry a tenant cell.
+    let stream = dir.join("stream.csv");
+    let mut text = String::new();
+    let mut served = 0usize;
+    for i in 0..12 {
+        let tenant = if i == 5 { "ghost" } else { "acme" };
+        let class = i % 3;
+        let _ = write!(text, "{tenant},");
+        for j in 0..9 {
+            let band = j / 3;
+            let v = if band == class { 8.0 } else { 1.0 };
+            let _ = write!(text, "{v:.1},");
+        }
+        text.pop();
+        text.push('\n');
+        if tenant == "acme" {
+            served += 1;
+        }
+    }
+    std::fs::write(&stream, text).expect("temp dir is writable");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "serve",
+            "--ckpt-dir",
+            ckpt_dir.to_str().expect("utf-8 path"),
+            "--data",
+            stream.to_str().expect("utf-8 path"),
+            "--model",
+            model.to_str().expect("utf-8 path"),
+            "--shards",
+            "2",
+            "--registry",
+            registry_dir.to_str().expect("utf-8 path"),
+            "--tenant-header",
+        ]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "tenant serve failed: {text}");
+    assert!(text.contains("registry "), "{text}");
+    assert!(text.contains("1 tenant(s) on disk"), "{text}");
+    assert!(text.contains("refused rows 1"), "{text}");
+
+    let answers: Vec<&str> = text
+        .lines()
+        .filter(|l| l.len() == 1 && l.chars().all(|c| c.is_ascii_digit()))
+        .collect();
+    assert_eq!(answers.len(), served, "{text}");
+
+    // Registry without shards (or tenant-header without registry) is a
+    // configuration error, not a silent fallback.
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&[
+            "serve",
+            "--ckpt-dir",
+            ckpt_dir.to_str().expect("utf-8 path"),
+            "--data",
+            stream.to_str().expect("utf-8 path"),
+            "--registry",
+            registry_dir.to_str().expect("utf-8 path"),
+        ]),
+        &mut out,
+    );
+    assert_ne!(code, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

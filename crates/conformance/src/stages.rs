@@ -5,11 +5,13 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use generic_hdc::encoding::{Encoder, GenericEncoderSpec};
+use generic_hdc::io::read_packed;
 use generic_hdc::kernels;
 use generic_hdc::oracle::{
     BundleKernel, DifferentialKernel, DotI32Kernel, EncodeKernel, HammingKernel, PackedDotKernel,
     PackedScoreKernel, RetrainKernel, ScoreBatchKernel, ScoreKernel, StageKind,
 };
+use generic_hdc::registry::{ModelRegistry, RegistryConfig};
 use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
 use generic_hdc::{
     BinaryHv, HdcModel, HdcPipeline, IntHv, NormMode, PackedInts, PredictOptions, QuantizedModel,
@@ -146,6 +148,7 @@ fn execute(
     stage_checkpoint(scenario, coverage, &pipeline, &features)?;
     stage_sim(scenario, coverage, &pipeline, &features)?;
     stage_concurrent_serve(scenario, coverage, &pipeline, &features, &labels)?;
+    stage_registry(scenario, coverage, &pipeline, &encoded)?;
     Ok(())
 }
 
@@ -972,6 +975,166 @@ fn concurrent_serve_cycle(
         });
     }
     coverage.add(STAGE, 1);
+    Ok(())
+}
+
+/// The zero-copy mapped registry vs the heap-deserialized scalar
+/// oracle: a tenant is published, cold-loaded, hot-swapped, evicted,
+/// and reloaded; at every step the mapped view's scores must be
+/// bit-identical — on every dispatched ISA — to deserializing the same
+/// on-disk bytes onto the heap and scoring there.
+fn stage_registry(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    encoded: &[IntHv],
+) -> Result<(), Divergence> {
+    let dir = unique_temp_dir(scenario.seed ^ 0x4E_61_57);
+    let result = registry_cycle(scenario, coverage, pipeline, encoded, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Scores every query through the tenant's mapped view on every
+/// detected ISA and compares bit-for-bit against the heap oracle
+/// (`read_packed` of the same file, packed, scored).
+fn check_registry_tenant(
+    coverage: &mut Coverage,
+    registry: &ModelRegistry,
+    queries: &[BinaryHv],
+    step: &str,
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::Registry;
+    const KERNEL: &str = "registry_view";
+    let err = |e: &dyn std::fmt::Display| harness_failure(STAGE, KERNEL, &e);
+
+    let handle = registry.get("conformance").map_err(|e| err(&e))?;
+    let path = registry.tenant_path("conformance").map_err(|e| err(&e))?;
+    let bytes = std::fs::read(&path).map_err(|e| err(&e))?;
+    let heap = read_packed(bytes.as_slice())
+        .map_err(|e| err(&e))?
+        .pack()
+        .map_err(|e| err(&e))?;
+    let view = handle.view();
+    let mut mapped = Vec::new();
+    for (i, query) in queries.iter().enumerate() {
+        let reference = heap.scores(query).map_err(|e| err(&e))?;
+        for isa in kernels::available() {
+            let kernel_set = kernels::for_isa(isa).ok_or_else(|| {
+                harness_failure(STAGE, KERNEL, &format!("{isa} not dispatchable"))
+            })?;
+            view.scores_into_with(query, kernel_set, &mut mapped)
+                .map_err(|e| err(&e))?;
+            if mapped != reference {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: format!("{KERNEL}[{isa}]"),
+                    detail: format!(
+                        "{step}, sample {i}: {}",
+                        first_f64_diff(&mapped, &reference)
+                    ),
+                });
+            }
+            coverage.add(STAGE, 1);
+        }
+    }
+    Ok(())
+}
+
+fn registry_cycle(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    encoded: &[IntHv],
+    dir: &std::path::Path,
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::Registry;
+    const KERNEL: &str = "registry_view";
+    let err = |e: &dyn std::fmt::Display| harness_failure(STAGE, KERNEL, &e);
+
+    let registry = ModelRegistry::open(
+        dir,
+        RegistryConfig {
+            dim: scenario.dim,
+            ..RegistryConfig::default()
+        },
+    )
+    .map_err(|e| err(&e))?;
+    let first =
+        QuantizedModel::from_model(pipeline.model(), scenario.bit_width).map_err(|e| err(&e))?;
+    // The hot-swap replacement: the same model at a different width, so
+    // a stale mapping is guaranteed to score differently.
+    let swapped_width = if scenario.bit_width == 1 { 4 } else { 1 };
+    let second =
+        QuantizedModel::from_model(pipeline.model(), swapped_width).map_err(|e| err(&e))?;
+    let queries: Vec<BinaryHv> = encoded.iter().take(6).map(IntHv::to_binary).collect();
+
+    // Cold load: publish, then score through the freshly mapped view.
+    registry
+        .publish("conformance", &first)
+        .map_err(|e| err(&e))?;
+    check_registry_tenant(coverage, &registry, &queries, "cold load")?;
+
+    // Hot swap: a pinned reader must keep scoring the *old* bytes while
+    // new gets see the replacement.
+    let pinned = registry.get("conformance").map_err(|e| err(&e))?;
+    let old_oracle = first.pack().map_err(|e| err(&e))?;
+    registry
+        .publish("conformance", &second)
+        .map_err(|e| err(&e))?;
+    check_registry_tenant(coverage, &registry, &queries, "hot swap")?;
+    for (i, query) in queries.iter().enumerate() {
+        let stale = pinned.view().scores(query).map_err(|e| err(&e))?;
+        let reference = old_oracle.scores(query).map_err(|e| err(&e))?;
+        if stale != reference {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: "registry_rcu_pin".to_string(),
+                detail: format!(
+                    "sample {i}: a handle pinned across a hot-swap drifted: {}",
+                    first_f64_diff(&stale, &reference)
+                ),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
+    drop(pinned);
+
+    // Evict, then reload through the cold path again.
+    if !registry.evict("conformance") {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "registry_evict".to_string(),
+            detail: "evicting a resident tenant reported nothing evicted".to_string(),
+        });
+    }
+    check_registry_tenant(coverage, &registry, &queries, "reload after evict")?;
+
+    // Accounting: the cycle performed two cold loads (initial publish
+    // counts as a swap, post-evict get reloads) and stayed in budget.
+    let stats = registry.stats();
+    if stats.swaps != 2 || stats.cold_loads == 0 || stats.evictions != 1 {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "registry_accounting".to_string(),
+            detail: format!(
+                "expected 2 swaps, ≥1 cold load, 1 eviction; counted {} / {} / {}",
+                stats.swaps, stats.cold_loads, stats.evictions
+            ),
+        });
+    }
+    if registry.resident_bytes() > registry.config().byte_budget {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "registry_accounting".to_string(),
+            detail: format!(
+                "resident {} B exceeds the {} B budget",
+                registry.resident_bytes(),
+                registry.config().byte_budget
+            ),
+        });
+    }
+    coverage.add(STAGE, 2);
     Ok(())
 }
 

@@ -11,12 +11,22 @@
 //! ```
 //!
 //! `kind` 0 = full-precision [`HdcModel`] (i32 elements),
-//! `kind` 1 = [`QuantizedModel`] (i16 elements).
+//! `kind` 1 = [`QuantizedModel`] (i16 elements),
+//! `kind` 2 = packed sign/magnitude bit planes (version 3 only).
 //!
-//! Version 2 (current) seals the stream with a CRC32 (IEEE) footer over
+//! Version 2 seals the stream with a CRC32 (IEEE) footer over
 //! everything before it, so a model damaged in transit or storage fails
 //! with [`ReadModelError::ChecksumMismatch`] instead of silently loading
 //! flipped class elements. Version 1 streams (no footer) remain readable.
+//!
+//! Version 3 (current for packed models) is a *mappable* layout: every
+//! section sits at a fixed, header-computable offset and every bit plane
+//! begins on a 64-byte boundary, so a file mapped straight off disk can
+//! be scored zero-copy through
+//! [`PackedModelView`](crate::PackedModelView) with no deserialization.
+//! See [`PackedLayout`] for the exact section arithmetic. The CRC32
+//! footer is retained; v1/v2 streams stay readable through their
+//! original entry points.
 //!
 //! This module is part of the panic-free serving surface: no code path
 //! reachable from a public API may `unwrap`/`expect` — every failure
@@ -31,8 +41,17 @@ use crate::{HdcError, HdcModel, IntHv, QuantizedModel};
 const MAGIC: [u8; 4] = *b"GHDC";
 const VERSION: u8 = 2;
 const LEGACY_VERSION: u8 = 1;
+pub(crate) const PACKED_VERSION: u8 = 3;
 const KIND_FULL: u8 = 0;
 const KIND_QUANTIZED: u8 = 1;
+pub(crate) const KIND_PACKED: u8 = 2;
+
+/// Alignment (bytes) of every v3 section and bit plane. 64 bytes covers
+/// a cache line and the widest vector the kernels dispatch (AVX-512).
+pub const PACKED_ALIGN: usize = 64;
+
+/// Size of the fixed v3 header (one aligned block).
+pub const PACKED_HEADER_LEN: usize = 64;
 
 /// Errors produced while reading a serialized model.
 #[derive(Debug)]
@@ -61,6 +80,24 @@ pub enum ReadModelError {
     },
     /// The decoded header or payload is inconsistent.
     Corrupt(HdcError),
+    /// A v3 stream's byte length disagrees with the exact length its
+    /// header computes — the file was truncated or grew. Checked before
+    /// the checksum so a short mapping is reported as what it is.
+    Truncated {
+        /// Byte length the header-computed layout requires.
+        expected: u64,
+        /// Byte length actually available.
+        actual: u64,
+    },
+    /// A buffer offered for zero-copy reinterpretation is not aligned
+    /// to [`PACKED_ALIGN`]; constructing a view over it would misalign
+    /// every plane slice.
+    Misaligned {
+        /// Required base alignment in bytes.
+        required: usize,
+        /// `ptr % required` of the offered buffer.
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for ReadModelError {
@@ -79,6 +116,14 @@ impl std::fmt::Display for ReadModelError {
                 "model checksum mismatch: stored {stored:08x}, computed {computed:08x}"
             ),
             ReadModelError::Corrupt(e) => write!(f, "corrupt model payload: {e}"),
+            ReadModelError::Truncated { expected, actual } => write!(
+                f,
+                "stream length {actual} disagrees with the header-computed {expected} bytes"
+            ),
+            ReadModelError::Misaligned { required, offset } => write!(
+                f,
+                "buffer base is {offset} bytes past a {required}-byte boundary"
+            ),
         }
     }
 }
@@ -106,17 +151,55 @@ impl From<HdcError> for ReadModelError {
 }
 
 /// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — hand-rolled so
-/// the wire format needs no external dependency.
+/// the wire format needs no external dependency. Slicing-by-8: the
+/// per-byte bit loop made checksum validation the dominant cost of a
+/// cold model load; the const-built tables keep values identical while
+/// processing eight input bytes per step.
 pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    const T: [[u32; 256]; 8] = build_crc_tables();
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = T[7][(lo & 0xFF) as usize]
+            ^ T[6][((lo >> 8) & 0xFF) as usize]
+            ^ T[5][((lo >> 16) & 0xFF) as usize]
+            ^ T[4][(lo >> 24) as usize]
+            ^ T[3][(hi & 0xFF) as usize]
+            ^ T[2][((hi >> 8) & 0xFF) as usize]
+            ^ T[1][((hi >> 16) & 0xFF) as usize]
+            ^ T[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ T[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
+}
+
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
+            k += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
 }
 
 /// Appends the CRC32 footer sealing everything currently in `buf`.
@@ -266,6 +349,371 @@ pub fn read_quantized<R: Read>(reader: R) -> Result<QuantizedModel, ReadModelErr
     Ok(QuantizedModel::from_parts(
         header.dim,
         header.bit_width,
+        classes,
+    )?)
+}
+
+// ---------------------------------------------------------------------------
+// GHDC v3: the mappable packed layout
+// ---------------------------------------------------------------------------
+
+const fn align_up(n: usize, align: usize) -> usize {
+    n.div_ceil(align) * align
+}
+
+/// The header-computable geometry of a GHDC v3 stream.
+///
+/// A v3 stream is a [`QuantizedModel`] already decomposed into the
+/// sign/magnitude bit planes of [`PackedInts`](crate::PackedInts), laid
+/// out so a memory-mapped file can be scored in place:
+///
+/// ```text
+/// offset 0                        64-byte header:
+///   [0..4)   magic "GHDC"
+///   [4]      version = 3
+///   [5]      kind = 2 (packed)
+///   [6]      bit_width
+///   [7]      0
+///   [8..12)  dim        (u32 LE)
+///   [12..16) n_classes  (u32 LE)
+///   [16..20) n_planes   (u32 LE, uniform across classes)
+///   [20..64) reserved, zero
+/// norms_offset                    n_classes × f64 LE  (‖C‖, pack() fold)
+/// plane_pop_offset                n_classes × n_planes × i64 LE
+/// planes_offset                   per class: signs plane, then plane 0
+///                                 … plane n_planes−1; every plane is
+///                                 ceil(dim/64) u64 LE words padded to a
+///                                 64-byte stride
+/// total_len − 4                   u32 CRC32 over everything before it
+/// ```
+///
+/// Every section offset is a multiple of [`PACKED_ALIGN`], so on a
+/// 64-byte-aligned base (an `mmap` is page-aligned) every plane
+/// reinterprets as an aligned `&[u64]` with no copy. `n_planes` is the
+/// *maximum* plane count over all classes: classes with a smaller
+/// magnitude range carry explicit all-zero planes, which contribute
+/// exactly zero to the masked-popcount dot product, keeping mapped
+/// scores bit-identical to
+/// [`PackedQuantizedModel`](crate::PackedQuantizedModel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedLayout {
+    dim: usize,
+    n_classes: usize,
+    n_planes: usize,
+    bit_width: u8,
+    n_words: usize,
+    plane_stride: usize,
+    norms_offset: usize,
+    plane_pop_offset: usize,
+    planes_offset: usize,
+    total_len: usize,
+}
+
+impl PackedLayout {
+    /// Computes the layout from model geometry (the writer's side).
+    fn from_geometry(
+        dim: usize,
+        n_classes: usize,
+        n_planes: usize,
+        bit_width: u8,
+    ) -> Result<Self, ReadModelError> {
+        if dim == 0 || n_classes == 0 {
+            return Err(ReadModelError::Corrupt(HdcError::invalid(
+                "header",
+                "zero dimension or class count",
+            )));
+        }
+        if dim > 1 << 24 || n_classes > 1 << 16 {
+            return Err(ReadModelError::Corrupt(HdcError::invalid(
+                "header",
+                "implausible dimension or class count",
+            )));
+        }
+        if bit_width == 0 || bit_width > 16 || n_planes > usize::from(bit_width) {
+            return Err(ReadModelError::Corrupt(HdcError::invalid(
+                "header",
+                "plane count inconsistent with bit width",
+            )));
+        }
+        let n_words = dim.div_ceil(64);
+        let plane_stride = align_up(n_words * 8, PACKED_ALIGN);
+        let norms_offset = PACKED_HEADER_LEN;
+        let plane_pop_offset = norms_offset + align_up(n_classes * 8, PACKED_ALIGN);
+        let planes_offset = plane_pop_offset + align_up(n_classes * n_planes * 8, PACKED_ALIGN);
+        // Bounded by the plausibility checks above: ≤ 2^16 classes of
+        // ≤ 17 planes of ≤ 2^18-word strides stays far below usize::MAX.
+        let total_len = planes_offset + n_classes * (1 + n_planes) * plane_stride + 4;
+        Ok(PackedLayout {
+            dim,
+            n_classes,
+            n_planes,
+            bit_width,
+            n_words,
+            plane_stride,
+            norms_offset,
+            plane_pop_offset,
+            planes_offset,
+            total_len,
+        })
+    }
+
+    /// Parses and validates a v3 header against the buffer's length.
+    /// Structural only — [`PackedLayout::validate`] adds the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual envelope errors plus
+    /// [`ReadModelError::Truncated`] when the byte length disagrees with
+    /// the header arithmetic.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ReadModelError> {
+        if bytes.len() < 8 {
+            if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+                return Err(ReadModelError::BadMagic);
+            }
+            return Err(unexpected_eof("stream shorter than a model header"));
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(ReadModelError::BadMagic);
+        }
+        if bytes[4] != PACKED_VERSION {
+            return Err(ReadModelError::UnsupportedVersion(bytes[4]));
+        }
+        if bytes[5] != KIND_PACKED {
+            return Err(ReadModelError::WrongKind {
+                found: bytes[5],
+                expected: KIND_PACKED,
+            });
+        }
+        if bytes.len() < PACKED_HEADER_LEN {
+            return Err(ReadModelError::Truncated {
+                expected: PACKED_HEADER_LEN as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        let dim = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+        let n_classes = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+        let n_planes = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]) as usize;
+        let layout = Self::from_geometry(dim, n_classes, n_planes, bytes[6])?;
+        if bytes.len() != layout.total_len {
+            return Err(ReadModelError::Truncated {
+                expected: layout.total_len as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        Ok(layout)
+    }
+
+    /// Parses the header *and* verifies the CRC32 footer — the full
+    /// integrity gate a file must pass before a view may be built over
+    /// it or a tenant may serve from it.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PackedLayout::parse`] returns, plus
+    /// [`ReadModelError::ChecksumMismatch`].
+    pub fn validate(bytes: &[u8]) -> Result<Self, ReadModelError> {
+        let layout = Self::parse(bytes)?;
+        let body = layout.total_len - 4;
+        let mut footer = [0u8; 4];
+        footer.copy_from_slice(&bytes[body..]);
+        let stored = u32::from_le_bytes(footer);
+        let computed = crc32(&bytes[..body]);
+        if stored != computed {
+            return Err(ReadModelError::ChecksumMismatch { stored, computed });
+        }
+        Ok(layout)
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Magnitude bit planes per class (uniform; 0 for an all-zero
+    /// model).
+    pub fn n_planes(&self) -> usize {
+        self.n_planes
+    }
+
+    /// Effective bit-width of the source model.
+    pub fn bit_width(&self) -> u8 {
+        self.bit_width
+    }
+
+    /// `u64` words per plane (`ceil(dim / 64)`).
+    pub fn n_words(&self) -> usize {
+        self.n_words
+    }
+
+    /// Bytes between consecutive planes (`n_words × 8` rounded up to
+    /// [`PACKED_ALIGN`]).
+    pub fn plane_stride(&self) -> usize {
+        self.plane_stride
+    }
+
+    /// Byte offset of the norms section.
+    pub fn norms_offset(&self) -> usize {
+        self.norms_offset
+    }
+
+    /// Byte offset of the plane-popcount section.
+    pub fn plane_pop_offset(&self) -> usize {
+        self.plane_pop_offset
+    }
+
+    /// Byte offset of the first class's signs plane.
+    pub fn planes_offset(&self) -> usize {
+        self.planes_offset
+    }
+
+    /// Byte offset of class `c`'s signs plane.
+    pub fn class_offset(&self, c: usize) -> usize {
+        self.planes_offset + c * (1 + self.n_planes) * self.plane_stride
+    }
+
+    /// Exact stream length in bytes, CRC footer included.
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// ‖C‖ of class `c`, read straight out of the stream bytes.
+    pub(crate) fn norm(&self, bytes: &[u8], c: usize) -> f64 {
+        let off = self.norms_offset + c * 8;
+        f64::from_le_bytes(read_8(bytes, off))
+    }
+
+    /// Hoisted popcount of class `c`'s magnitude plane `k`.
+    pub(crate) fn plane_pop(&self, bytes: &[u8], c: usize, k: usize) -> i64 {
+        let off = self.plane_pop_offset + (c * self.n_planes + k) * 8;
+        i64::from_le_bytes(read_8(bytes, off))
+    }
+}
+
+fn read_8(bytes: &[u8], off: usize) -> [u8; 8] {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[off..off + 8]);
+    word
+}
+
+/// Serializes a quantized model as a GHDC v3 packed stream — the
+/// sign/magnitude bit-plane decomposition of
+/// [`QuantizedModel::pack`](crate::QuantizedModel::pack) at rest, ready
+/// for zero-copy mapped scoring.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_packed<W: Write>(model: &QuantizedModel, mut writer: W) -> io::Result<()> {
+    let buf = packed_bytes(model).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    writer.write_all(&buf)
+}
+
+/// Builds the complete v3 byte image of `model`.
+pub(crate) fn packed_bytes(model: &QuantizedModel) -> Result<Vec<u8>, ReadModelError> {
+    let dim = model.dim();
+    let n_classes = model.n_classes();
+    let max_mag: u16 = (0..n_classes)
+        .flat_map(|c| model.class(c).iter())
+        .map(|&v| v.unsigned_abs())
+        .max()
+        .unwrap_or(0);
+    let n_planes = (16 - max_mag.leading_zeros()) as usize;
+    let layout = PackedLayout::from_geometry(dim, n_classes, n_planes, model.bit_width())?;
+
+    let mut buf = vec![0u8; layout.total_len];
+    buf[..4].copy_from_slice(&MAGIC);
+    buf[4] = PACKED_VERSION;
+    buf[5] = KIND_PACKED;
+    buf[6] = model.bit_width();
+    buf[8..12].copy_from_slice(&(dim as u32).to_le_bytes());
+    buf[12..16].copy_from_slice(&(n_classes as u32).to_le_bytes());
+    buf[16..20].copy_from_slice(&(n_planes as u32).to_le_bytes());
+
+    for c in 0..n_classes {
+        let values = model.class(c);
+        // Same left-to-right fold as `QuantizedModel::pack`, so mapped
+        // scores divide by bit-identical norms.
+        let norm = values
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+        let norm_off = layout.norms_offset + c * 8;
+        buf[norm_off..norm_off + 8].copy_from_slice(&norm.to_le_bytes());
+
+        let class_off = layout.class_offset(c);
+        for (i, &v) in values.iter().enumerate() {
+            let (byte, bit) = (i / 8, 1u8 << (i % 8));
+            if v < 0 {
+                buf[class_off + byte] |= bit;
+            }
+            let mag = v.unsigned_abs();
+            for k in 0..n_planes {
+                if (mag >> k) & 1 == 1 {
+                    buf[class_off + (1 + k) * layout.plane_stride + byte] |= bit;
+                }
+            }
+        }
+        for k in 0..n_planes {
+            let plane_off = class_off + (1 + k) * layout.plane_stride;
+            let pop: i64 = buf[plane_off..plane_off + layout.n_words * 8]
+                .iter()
+                .map(|b| i64::from(b.count_ones()))
+                .sum();
+            let pop_off = layout.plane_pop_offset + (c * n_planes + k) * 8;
+            buf[pop_off..pop_off + 8].copy_from_slice(&pop.to_le_bytes());
+        }
+    }
+
+    let body = layout.total_len - 4;
+    let crc = crc32(&buf[..body]);
+    buf[body..].copy_from_slice(&crc.to_le_bytes());
+    Ok(buf)
+}
+
+/// Reads a v3 packed stream back into a heap [`QuantizedModel`] — the
+/// scalar-side inverse of [`write_packed`], and the deserialization
+/// oracle the conformance registry stage replays mapped scores against.
+///
+/// # Errors
+///
+/// Returns [`ReadModelError`] on I/O failure, a malformed stream, a
+/// length/alignment lie, or a checksum mismatch.
+pub fn read_packed<R: Read>(mut reader: R) -> Result<QuantizedModel, ReadModelError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    let layout = PackedLayout::validate(&bytes)?;
+    let mut classes = Vec::with_capacity(layout.n_classes);
+    for c in 0..layout.n_classes {
+        let class_off = layout.class_offset(c);
+        let mut values = Vec::with_capacity(layout.dim);
+        for i in 0..layout.dim {
+            let (byte, bit) = (i / 8, i % 8);
+            let mut mag: i32 = 0;
+            for k in 0..layout.n_planes {
+                let plane_off = class_off + (1 + k) * layout.plane_stride;
+                mag |= i32::from((bytes[plane_off + byte] >> bit) & 1) << k;
+            }
+            let negative = (bytes[class_off + byte] >> bit) & 1 == 1;
+            let v = if negative { -mag } else { mag };
+            let clamped = i16::try_from(v).map_err(|_| {
+                ReadModelError::Corrupt(HdcError::invalid(
+                    "payload",
+                    "plane magnitude exceeds the i16 element range",
+                ))
+            })?;
+            values.push(clamped);
+        }
+        classes.push(values);
+    }
+    Ok(QuantizedModel::from_parts(
+        layout.dim,
+        layout.bit_width,
         classes,
     )?)
 }
@@ -458,5 +906,75 @@ mod tests {
         buf[4] = 99; // version byte
         let err = read_model(buf.as_slice()).expect_err("bad version");
         assert!(matches!(err, ReadModelError::UnsupportedVersion(99)));
+    }
+
+    fn packed_stream(bw: u8) -> (QuantizedModel, Vec<u8>) {
+        let q = QuantizedModel::from_model(&sample_model(), bw).expect("valid width");
+        let mut buf = Vec::new();
+        write_packed(&q, &mut buf).expect("vec write cannot fail");
+        (q, buf)
+    }
+
+    #[test]
+    fn packed_v3_round_trips_every_bit_width() {
+        for bw in [1u8, 2, 4, 8, 16] {
+            let (q, buf) = packed_stream(bw);
+            let restored = read_packed(buf.as_slice()).expect("well-formed stream");
+            assert_eq!(q, restored, "bw = {bw}");
+        }
+    }
+
+    #[test]
+    fn packed_v3_sections_are_64_byte_aligned() {
+        let (_, buf) = packed_stream(8);
+        let layout = PackedLayout::validate(&buf).expect("sealed stream");
+        assert_eq!(layout.norms_offset() % PACKED_ALIGN, 0);
+        assert_eq!(layout.plane_pop_offset() % PACKED_ALIGN, 0);
+        assert_eq!(layout.planes_offset() % PACKED_ALIGN, 0);
+        assert_eq!(layout.plane_stride() % PACKED_ALIGN, 0);
+        for c in 0..layout.n_classes() {
+            assert_eq!(layout.class_offset(c) % PACKED_ALIGN, 0, "class {c}");
+        }
+        assert_eq!(layout.total_len(), buf.len());
+    }
+
+    #[test]
+    fn packed_v3_length_mismatch_is_a_typed_truncation() {
+        let (_, buf) = packed_stream(4);
+        // One byte short: header-computed length disagrees.
+        let err = PackedLayout::parse(&buf[..buf.len() - 1]).expect_err("short stream");
+        assert!(matches!(err, ReadModelError::Truncated { .. }), "{err}");
+        // One byte long is just as wrong — a mapped file must be exact.
+        let mut long = buf.clone();
+        long.push(0);
+        let err = PackedLayout::parse(&long).expect_err("oversized stream");
+        assert!(matches!(err, ReadModelError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn packed_v3_any_single_flipped_byte_is_rejected() {
+        let (_, buf) = packed_stream(2);
+        // Exhaustive over the stream: every byte is covered by either a
+        // header check or the CRC footer.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                PackedLayout::validate(&bad).is_err(),
+                "flipped byte {i} must not validate"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_v3_header_is_pinned() {
+        let (q, buf) = packed_stream(8);
+        assert_eq!(&buf[..4], &MAGIC);
+        assert_eq!(buf[4], PACKED_VERSION);
+        assert_eq!(buf[5], KIND_PACKED);
+        assert_eq!(buf[6], q.bit_width());
+        assert_eq!(&buf[8..12], &(q.dim() as u32).to_le_bytes());
+        assert_eq!(&buf[12..16], &(q.n_classes() as u32).to_le_bytes());
+        assert!(buf[20..64].iter().all(|&b| b == 0), "reserved must be zero");
     }
 }

@@ -83,13 +83,18 @@ mod resilient;
 
 pub mod encoding;
 pub mod io;
-// The SIMD dispatch layer is the one module allowed to contain `unsafe`
-// (detection-guarded `#[target_feature]` calls and unaligned vector
-// loads); everything else in the crate stays `unsafe`-free.
+// The SIMD dispatch layer is one of the two modules allowed to contain
+// `unsafe` (detection-guarded `#[target_feature]` calls and unaligned
+// vector loads); everything else in the crate stays `unsafe`-free.
 #[allow(unsafe_code)]
 pub mod kernels;
+// The other `unsafe` module: raw-syscall `mmap` ownership and the one
+// checked byte→word reinterpretation backing zero-copy model views.
+#[allow(unsafe_code)]
+pub mod mapped;
 pub mod metrics;
 pub mod oracle;
+pub mod registry;
 pub mod runtime;
 pub mod serve;
 
@@ -100,9 +105,11 @@ pub use fault::{DefectMap, FaultKind, FaultModel};
 pub use hv::{BinaryHv, BitSliceAccumulator, IntHv, PackedInts};
 pub use id::IdMemory;
 pub use level::{LevelMemory, Quantizer};
+pub use mapped::Mapping;
 pub use model::{HdcModel, NormMode, PredictOptions, ScoreBatch};
 pub use pipeline::HdcPipeline;
-pub use quant::{pack_bits, unpack_bits, PackedQuantizedModel, QuantizedModel};
+pub use quant::{pack_bits, unpack_bits, PackedModelView, PackedQuantizedModel, QuantizedModel};
+pub use registry::{ModelRegistry, RegistryConfig, RegistryError, RegistryStats, TenantHandle};
 pub use resilient::{ResilienceConfig, ResilienceStats, ResilientPipeline};
 pub use runtime::{
     CheckpointStore, DegradationLadder, MicroBatcher, ModelSnapshot, OnlineRuntime, RetryPolicy,

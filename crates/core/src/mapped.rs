@@ -1,0 +1,413 @@
+//! Read-only memory mappings for zero-copy model serving.
+//!
+//! The multi-tenant registry serves GHDC v3 files straight out of the
+//! OS page cache: a [`Mapping`] is the owned byte region a
+//! [`PackedModelView`](crate::PackedModelView) borrows from. On Linux
+//! (x86-64 and AArch64) the region is a real `mmap(PROT_READ,
+//! MAP_PRIVATE)` obtained via raw syscalls — the workspace vendors no
+//! libc — so mapping a model costs page-table setup, not a copy of the
+//! payload. Elsewhere (and whenever the syscall fails) the file is read
+//! into a 64-byte-aligned heap buffer instead, preserving the alignment
+//! contract of [`PACKED_ALIGN`](crate::io::PACKED_ALIGN) so the view
+//! layer never needs to know which backing it got.
+//!
+//! Safety discipline: all `unsafe` in this crate lives here and in
+//! `kernels`. The mapped bytes are plain `u8`/`u64` data (every bit
+//! pattern valid); slices are only reinterpreted after an explicit
+//! alignment + length check. A file-backed mapping can fault if the
+//! file is truncated underneath it by another process — the registry
+//! forecloses that by only ever *replacing* model files via atomic
+//! rename (the old inode, and thus the old mapping, stays intact until
+//! the last reader drops).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! Raw `mmap`/`munmap` syscalls: PROT_READ, MAP_PRIVATE, offset 0.
+
+    use std::arch::asm;
+
+    pub const PROT_READ: usize = 1;
+    pub const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn mmap(len: usize, fd: i32) -> isize {
+        let ret: usize;
+        // SAFETY: Linux x86-64 syscall ABI — nr in rax (mmap = 9), args
+        // in rdi/rsi/rdx/r10/r8/r9, result in rax; rcx/r11 clobbered.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") 9usize => ret,
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd as usize,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret as isize
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn munmap(addr: *const u8, len: usize) -> isize {
+        let ret: usize;
+        // SAFETY: munmap = syscall 11 under the same ABI.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") 11usize => ret,
+                in("rdi") addr as usize,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret as isize
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn mmap(len: usize, fd: i32) -> isize {
+        let ret: usize;
+        // SAFETY: Linux AArch64 syscall ABI — nr in x8 (mmap = 222),
+        // args in x0..x5, result in x0.
+        unsafe {
+            asm!(
+                "svc 0",
+                inlateout("x0") 0usize => ret,
+                in("x1") len,
+                in("x2") PROT_READ,
+                in("x3") MAP_PRIVATE,
+                in("x4") fd as usize,
+                in("x5") 0usize,
+                in("x8") 222usize,
+                options(nostack),
+            );
+        }
+        ret as isize
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn munmap(addr: *const u8, len: usize) -> isize {
+        let ret: usize;
+        // SAFETY: munmap = syscall 215 under the same ABI.
+        unsafe {
+            asm!(
+                "svc 0",
+                inlateout("x0") addr as usize => ret,
+                in("x1") len,
+                in("x8") 215usize,
+                options(nostack),
+            );
+        }
+        ret as isize
+    }
+}
+
+/// A heap buffer aligned to [`crate::io::PACKED_ALIGN`] — the fallback
+/// backing when `mmap` is unavailable, and the aligned staging area for
+/// in-memory streams.
+struct AlignedBuf {
+    ptr: *mut u8,
+    len: usize,
+    cap: usize,
+}
+
+impl AlignedBuf {
+    const ALIGN: usize = crate::io::PACKED_ALIGN;
+
+    fn from_slice(bytes: &[u8]) -> io::Result<Self> {
+        if bytes.is_empty() {
+            return Ok(AlignedBuf {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+                cap: 0,
+            });
+        }
+        let cap = bytes.len();
+        let layout = std::alloc::Layout::from_size_align(cap, Self::ALIGN)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        // SAFETY: layout has non-zero size (empty handled above) and a
+        // valid power-of-two alignment.
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        if ptr.is_null() {
+            return Err(io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                "aligned model buffer allocation failed",
+            ));
+        }
+        // SAFETY: `ptr` spans `cap` freshly allocated bytes; `bytes`
+        // cannot overlap a fresh allocation.
+        unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), ptr, cap) };
+        Ok(AlignedBuf { ptr, len: cap, cap })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is valid for `len` initialized bytes for the
+        // lifetime of `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.cap != 0 {
+            if let Ok(layout) = std::alloc::Layout::from_size_align(self.cap, Self::ALIGN) {
+                // SAFETY: allocated in `from_slice` with this exact
+                // layout.
+                unsafe { std::alloc::dealloc(self.ptr, layout) };
+            }
+        }
+    }
+}
+
+// SAFETY: the buffer is uniquely owned, never aliased mutably after
+// construction, and `u8` is Send + Sync.
+unsafe impl Send for AlignedBuf {}
+// SAFETY: see above — shared access is read-only.
+unsafe impl Sync for AlignedBuf {}
+
+enum Backing {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mmap {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap(AlignedBuf),
+}
+
+/// An owned, immutable, 64-byte-aligned byte region holding one model
+/// file: an OS memory mapping where supported, an aligned heap copy
+/// otherwise. Dereferences to `&[u8]`.
+pub struct Mapping {
+    backing: Backing,
+}
+
+// SAFETY: the region is immutable for the life of the Mapping (mapped
+// PROT_READ/MAP_PRIVATE, or a uniquely owned heap buffer).
+unsafe impl Send for Mapping {}
+// SAFETY: see above — all access is read-only.
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `path` read-only. Uses `mmap` on Linux x86-64/AArch64 (the
+    /// model bytes are served from the page cache, never copied);
+    /// elsewhere, or if the syscall fails, falls back to reading the
+    /// file into an aligned buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (`NotFound`, permissions, …).
+    pub fn map_file(path: &Path) -> io::Result<Mapping> {
+        let file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file exceeds usize"))?;
+        Self::map_open_file(&file, len)
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn map_open_file(file: &File, len: usize) -> io::Result<Mapping> {
+        use std::os::fd::AsRawFd;
+        if len == 0 {
+            return Ok(Mapping {
+                backing: Backing::Heap(AlignedBuf::from_slice(&[])?),
+            });
+        }
+        // SAFETY: fd is open for the duration of the call; the kernel
+        // validates every argument and returns -errno on failure.
+        let ret = unsafe { sys::mmap(len, file.as_raw_fd()) };
+        if (-4095..0).contains(&ret) {
+            // mmap refused (exotic filesystem, resource limits): fall
+            // back to a plain read so serving still works.
+            return Self::read_fallback(file);
+        }
+        Ok(Mapping {
+            backing: Backing::Mmap {
+                ptr: ret as *const u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    fn map_open_file(file: &File, _len: usize) -> io::Result<Mapping> {
+        Self::read_fallback(file)
+    }
+
+    fn read_fallback(mut file: &File) -> io::Result<Mapping> {
+        use std::io::Read;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Copies `bytes` into an aligned heap backing — for streams that
+    /// never touched a file (tests, replication buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the allocation fails.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Mapping> {
+        Ok(Mapping {
+            backing: Backing::Heap(AlignedBuf::from_slice(bytes)?),
+        })
+    }
+
+    /// Whether this region is a real OS memory mapping (as opposed to
+    /// the aligned heap fallback).
+    pub fn is_mmap(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mmap { .. } => true,
+            Backing::Heap(_) => false,
+        }
+    }
+}
+
+impl Deref for Mapping {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mmap { ptr, len } => {
+                // SAFETY: the kernel mapped `len` readable bytes at
+                // `ptr`; the mapping lives until Drop.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Heap(buf) => buf.as_slice(),
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Backing::Mmap { ptr, len } = self.backing {
+            // SAFETY: exactly the region mmap returned; errors at unmap
+            // are unrecoverable and ignored like libc's munmap users do.
+            unsafe { sys::munmap(ptr, len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("len", &self.len())
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+/// Reinterprets `bytes` as a `u64` slice when its base pointer is
+/// 8-byte aligned and its length is a whole number of words. The only
+/// byte→word cast in the crate; every caller routes through this check.
+pub(crate) fn as_u64_slice(bytes: &[u8]) -> Option<&[u64]> {
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u64>())
+        || !bytes.len().is_multiple_of(8)
+    {
+        return None;
+    }
+    // SAFETY: alignment and length verified above; every bit pattern is
+    // a valid u64; the lifetime is inherited from `bytes`.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_round_trips_file_contents() {
+        let dir = std::env::temp_dir().join(format!("ghdc-mapped-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        let payload: Vec<u8> = (0..65_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let mapping = Mapping::map_file(&path).unwrap();
+        assert_eq!(&*mapping, payload.as_slice());
+        assert_eq!(mapping.as_ptr() as usize % crate::io::PACKED_ALIGN, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn linux_mappings_are_real_mmaps() {
+        let dir = std::env::temp_dir().join(format!("ghdc-mapped-mm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let mapping = Mapping::map_file(&path).unwrap();
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert!(mapping.is_mmap());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let dir = std::env::temp_dir().join(format!("ghdc-mapped-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let mapping = Mapping::map_file(&path).unwrap();
+        assert!(mapping.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_bytes_is_aligned_and_identical() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 13) as u8).collect();
+        let mapping = Mapping::from_bytes(&payload).unwrap();
+        assert_eq!(&*mapping, payload.as_slice());
+        assert_eq!(mapping.as_ptr() as usize % crate::io::PACKED_ALIGN, 0);
+        assert!(!mapping.is_mmap());
+    }
+
+    #[test]
+    fn u64_reinterpretation_requires_alignment() {
+        let mapping = Mapping::from_bytes(&[0u8; 64]).unwrap();
+        assert_eq!(as_u64_slice(&mapping).unwrap().len(), 8);
+        assert!(as_u64_slice(&mapping[1..9]).is_none(), "misaligned base");
+        assert!(as_u64_slice(&mapping[..60]).is_none(), "ragged length");
+    }
+}

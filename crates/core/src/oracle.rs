@@ -61,11 +61,14 @@ pub enum StageKind {
     /// Sharded concurrent serving vs the scalar oracle replayed on the
     /// answer's pinned snapshot.
     ConcurrentServe,
+    /// Multi-tenant mapped-model registry (cold-load, hot-swap, evict)
+    /// vs heap-deserialized scalar scoring.
+    Registry,
 }
 
 impl StageKind {
     /// Every stage, in canonical reporting order.
-    pub const ALL: [StageKind; 9] = [
+    pub const ALL: [StageKind; 10] = [
         StageKind::Encode,
         StageKind::Retrain,
         StageKind::Score,
@@ -75,6 +78,7 @@ impl StageKind {
         StageKind::SimScore,
         StageKind::SimActivity,
         StageKind::ConcurrentServe,
+        StageKind::Registry,
     ];
 
     /// Stable lowercase name used in reports and JSON.
@@ -89,6 +93,7 @@ impl StageKind {
             StageKind::SimScore => "sim_score",
             StageKind::SimActivity => "sim_activity",
             StageKind::ConcurrentServe => "concurrent_serve",
+            StageKind::Registry => "registry",
         }
     }
 }
@@ -242,6 +247,16 @@ pub const ORACLE_REGISTRY: &[OracleEntry] = &[
                    scalar predictor on that snapshot at those dimensions \
                    reproduces the label exactly, regardless of shard \
                    count, batching, or concurrent writer updates",
+    },
+    OracleEntry {
+        name: "registry_view",
+        stage: StageKind::Registry,
+        tolerance: Tolerance::BitIdentical,
+        contract: "a zero-copy view over a mapped GHDC v3 tenant file \
+                   computes the exact i64 bit-plane dots the heap path \
+                   computes after deserializing the same bytes, on every \
+                   dispatched ISA — across cold loads, atomic hot-swaps, \
+                   and evict/reload cycles",
     },
 ];
 

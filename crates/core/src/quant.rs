@@ -10,7 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::fault::flip_class_bits;
-use crate::{BinaryHv, HdcError, HdcModel, IntHv, PackedInts};
+use crate::io::{PackedLayout, ReadModelError, PACKED_ALIGN};
+use crate::kernels::{self, KernelSet};
+use crate::{mapped, BinaryHv, HdcError, HdcModel, IntHv, PackedInts};
 
 /// A quantized HDC model: class elements stored as `bit_width`-bit signed
 /// integers (in 16-bit words, as in the accelerator).
@@ -414,6 +416,221 @@ impl PackedQuantizedModel {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
             .map(|(i, _)| i)
             .expect("model has at least one class"))
+    }
+}
+
+/// A borrowed, zero-copy view of a GHDC v3 packed stream: the mapped
+/// bytes of a model file reinterpreted as a servable model.
+///
+/// The view carries no per-class `Vec`s — every plane is a sub-slice of
+/// the mapped region, scored in place through the same dispatched
+/// [`KernelSet`] the heap path uses, so scores are **bit-identical** to
+/// [`PackedQuantizedModel::scores`] on the same query (identical dot
+/// arithmetic: v3 pads every class to a uniform plane count with
+/// explicit all-zero planes, whose masked popcount and hoisted popcount
+/// are both zero).
+///
+/// Construction performs the full typed-error gauntlet *before* any
+/// reinterpretation: magic/version/kind, header plausibility, exact
+/// length, base alignment, then the CRC32 footer. No view exists over
+/// bytes that failed any check.
+///
+/// ```
+/// use generic_hdc::io::write_packed;
+/// use generic_hdc::{BinaryHv, HdcModel, IntHv, PackedModelView, QuantizedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = BinaryHv::random_seeded(512, 1)?;
+/// let b = BinaryHv::random_seeded(512, 2)?;
+/// let model = HdcModel::fit(&[IntHv::from(a.clone()), IntHv::from(b)], &[0, 1], 2)?;
+/// let quantized = QuantizedModel::from_model(&model, 4)?;
+///
+/// let mut bytes = Vec::new();
+/// write_packed(&quantized, &mut bytes)?;
+/// let mapping = generic_hdc::mapped::Mapping::from_bytes(&bytes)?;
+/// let view = PackedModelView::new(&mapping)?;
+/// assert_eq!(view.predict(&a)?, quantized.pack()?.predict(&a)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PackedModelView<'a> {
+    bytes: &'a [u8],
+    /// One aligned `u64` reinterpretation of the whole planes region;
+    /// individual planes are sub-slices at word offsets.
+    words: &'a [u64],
+    layout: PackedLayout,
+}
+
+impl<'a> PackedModelView<'a> {
+    /// Validates `bytes` (structure, length, alignment, CRC) and builds
+    /// the view. This is the cold-load entry point; reuse the parsed
+    /// [`PackedLayout`] via [`PackedModelView::with_layout`] to rebuild
+    /// views over already-validated bytes without re-hashing.
+    ///
+    /// # Errors
+    ///
+    /// Every [`ReadModelError`] the validation gauntlet produces; in
+    /// particular [`ReadModelError::Misaligned`] when the buffer base is
+    /// not [`PACKED_ALIGN`]-aligned (map the file, or stage it through
+    /// [`mapped::Mapping::from_bytes`]).
+    pub fn new(bytes: &'a [u8]) -> Result<Self, ReadModelError> {
+        let layout = PackedLayout::validate(bytes)?;
+        Self::over_validated(bytes, layout)
+    }
+
+    /// Rebuilds a view over bytes already validated by
+    /// [`PackedLayout::validate`], re-checking only the cheap structural
+    /// invariants (length and alignment) — not the checksum. The
+    /// registry uses this on its per-request hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadModelError::Truncated`] or [`ReadModelError::Misaligned`]
+    /// if `bytes` is not the buffer `layout` was validated against.
+    pub fn with_layout(bytes: &'a [u8], layout: PackedLayout) -> Result<Self, ReadModelError> {
+        if bytes.len() != layout.total_len() {
+            return Err(ReadModelError::Truncated {
+                expected: layout.total_len() as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        Self::over_validated(bytes, layout)
+    }
+
+    fn over_validated(bytes: &'a [u8], layout: PackedLayout) -> Result<Self, ReadModelError> {
+        let offset = bytes.as_ptr() as usize % PACKED_ALIGN;
+        if offset != 0 {
+            return Err(ReadModelError::Misaligned {
+                required: PACKED_ALIGN,
+                offset,
+            });
+        }
+        let planes_region = &bytes[layout.planes_offset()..layout.total_len() - 4];
+        let words = mapped::as_u64_slice(planes_region).ok_or(ReadModelError::Misaligned {
+            required: PACKED_ALIGN,
+            offset: planes_region.as_ptr() as usize % PACKED_ALIGN,
+        })?;
+        Ok(PackedModelView {
+            bytes,
+            words,
+            layout,
+        })
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.layout.dim()
+    }
+
+    /// Effective bit-width of the source model.
+    pub fn bit_width(&self) -> u8 {
+        self.layout.bit_width()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.layout.n_classes()
+    }
+
+    /// The layout this view was constructed over.
+    pub fn layout(&self) -> PackedLayout {
+        self.layout
+    }
+
+    /// Class `c`'s plane `p` (0 = signs, `1 + k` = magnitude plane `k`)
+    /// as an aligned word slice of the mapped region.
+    fn plane(&self, c: usize, p: usize) -> &'a [u64] {
+        let stride_words = self.layout.plane_stride() / 8;
+        let base = (c * (1 + self.layout.n_planes()) + p) * stride_words;
+        &self.words[base..base + self.layout.n_words()]
+    }
+
+    /// Similarity scores of a packed binary query against all classes —
+    /// same contract (and bits) as [`PackedQuantizedModel::scores`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn scores(&self, query: &BinaryHv) -> Result<Vec<f64>, HdcError> {
+        let mut out = Vec::new();
+        self.scores_into(query, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`scores`](PackedModelView::scores) written into a reusable
+    /// buffer; allocation-free once `out` has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn scores_into(&self, query: &BinaryHv, out: &mut Vec<f64>) -> Result<(), HdcError> {
+        self.scores_into_with(query, kernels::active(), out)
+    }
+
+    /// [`scores_into`](PackedModelView::scores_into) through an explicit
+    /// kernel set — the hook the differential harness uses to pin every
+    /// dispatched ISA against the heap oracle bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn scores_into_with(
+        &self,
+        query: &BinaryHv,
+        kernels: &KernelSet,
+        out: &mut Vec<f64>,
+    ) -> Result<(), HdcError> {
+        if query.dim() != self.layout.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.layout.dim(),
+                actual: query.dim(),
+            });
+        }
+        out.clear();
+        out.reserve(self.layout.n_classes());
+        let q = query.words();
+        for c in 0..self.layout.n_classes() {
+            let signs = self.plane(c, 0);
+            // The same per-plane fold as `BinaryHv::dot_packed_with`,
+            // over mapped slices instead of heap `Vec`s.
+            let mut dot: i64 = 0;
+            for k in 0..self.layout.n_planes() {
+                let disagree = kernels.masked_popcount(q, signs, self.plane(c, 1 + k));
+                dot += (self.layout.plane_pop(self.bytes, c, k) - 2 * disagree) << k;
+            }
+            let norm = self.layout.norm(self.bytes, c);
+            out.push(if norm == 0.0 { 0.0 } else { dot as f64 / norm });
+        }
+        Ok(())
+    }
+
+    /// Predicts the class of a packed binary query (last class wins
+    /// score ties, matching [`PackedQuantizedModel::predict`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
+    pub fn predict(&self, query: &BinaryHv) -> Result<usize, HdcError> {
+        let scores = self.scores(query)?;
+        Ok(scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .map(|(i, _)| i)
+            .expect("model has at least one class"))
+    }
+
+    /// Reconstructs the heap [`QuantizedModel`] this stream encodes —
+    /// the scalar oracle mapped scoring is differentially replayed
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadModelError::Corrupt`] if the planes encode values
+    /// outside the element range.
+    pub fn to_quantized(&self) -> Result<QuantizedModel, ReadModelError> {
+        crate::io::read_packed(self.bytes)
     }
 }
 

@@ -1,0 +1,767 @@
+//! Multi-tenant model registry: mmap-on-demand serving of GHDC v3
+//! class memories.
+//!
+//! At fleet scale the binding constraint is not single-model speed but
+//! footprint: thousands of per-tenant models, each fully deserialized,
+//! multiply cold-load latency and resident set linearly. The paper's
+//! seed-based id regeneration (§4.2, ~1024× id-memory compression)
+//! means tenants can share one item/id memory — only the *class*
+//! memories differ per tenant. This module serves those class memories
+//! straight out of the OS page cache:
+//!
+//! - [`ModelRegistry::get`] maps `DIR/<tenant>.ghdc` on demand and
+//!   validates it (header, exact length, alignment, CRC32) before any
+//!   view exists; failures **quarantine** the tenant with a typed
+//!   reason instead of crashing the fleet.
+//! - Resident mappings live in an LRU under a configurable byte
+//!   budget; eviction drops the registry's reference, and the mapping
+//!   itself is retired only when the last in-flight reader drops its
+//!   [`TenantHandle`] (RCU by refcount).
+//! - [`ModelRegistry::publish`] hot-swaps a tenant through the same
+//!   atomic path checkpoints use — write `*.tmp`, fsync, rename, fsync
+//!   the directory — then republishes the resident entry; readers
+//!   pinned to the old mapping keep scoring the old inode untouched.
+//! - One seeded [`IdMemory`] is shared across every tenant
+//!   ([`ModelRegistry::shared_ids`]), so per-tenant state is exactly
+//!   one mapped file.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::io::{write_packed, PackedLayout, ReadModelError};
+use crate::mapped::Mapping;
+use crate::quant::{PackedModelView, QuantizedModel};
+use crate::runtime::sync_dir;
+use crate::{HdcError, IdMemory};
+
+/// File extension of tenant model files inside a registry directory.
+pub const TENANT_EXT: &str = "ghdc";
+
+const TMP_SUFFIX: &str = ".tmp";
+
+/// Tunables of a [`ModelRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Byte budget for resident mappings; the LRU evicts down to this
+    /// after every load. A single model larger than the budget is
+    /// refused outright ([`RegistryError::BudgetTooSmall`]).
+    pub byte_budget: usize,
+    /// Hypervector dimensionality every tenant must match (the shared
+    /// encoder's output width). Mismatching files are quarantined.
+    pub dim: usize,
+    /// Id vectors in the shared seeded item memory.
+    pub id_count: usize,
+    /// Seed of the shared item memory (paper §4.2: ids are regenerated
+    /// from the seed, so this one number replaces a per-tenant table).
+    pub id_seed: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            byte_budget: 64 << 20,
+            dim: 2048,
+            id_count: 64,
+            id_seed: 0x1D5E_ED00,
+        }
+    }
+}
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RegistryError {
+    /// The tenant id contains characters outside `[A-Za-z0-9_-]` (or is
+    /// empty / too long) — refused before it can touch a path.
+    InvalidTenant(String),
+    /// No model file exists for the tenant.
+    NotFound(String),
+    /// The tenant's file failed CRC/alignment/layout validation and is
+    /// quarantined until a valid model is published for it.
+    Quarantined {
+        /// The quarantined tenant.
+        tenant: String,
+        /// Human-readable validation failure that caused the quarantine.
+        reason: String,
+    },
+    /// The model's mapped size alone exceeds the LRU byte budget.
+    BudgetTooSmall {
+        /// Bytes the mapping needs.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A model offered for publication doesn't match the registry's
+    /// dimensionality.
+    DimMismatch {
+        /// The registry's (shared encoder's) dimensionality.
+        expected: usize,
+        /// The offered model's dimensionality.
+        actual: usize,
+    },
+    /// Underlying I/O failure (not a validation failure).
+    Io(io::Error),
+    /// The registry itself could not be constructed.
+    Config(HdcError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::InvalidTenant(t) => write!(f, "invalid tenant id `{t}`"),
+            RegistryError::NotFound(t) => write!(f, "no model file for tenant `{t}`"),
+            RegistryError::Quarantined { tenant, reason } => {
+                write!(f, "tenant `{tenant}` is quarantined: {reason}")
+            }
+            RegistryError::BudgetTooSmall { needed, budget } => write!(
+                f,
+                "model needs {needed} resident bytes but the budget is {budget}"
+            ),
+            RegistryError::DimMismatch { expected, actual } => write!(
+                f,
+                "model dimensionality {actual} does not match the registry's {expected}"
+            ),
+            RegistryError::Io(e) => write!(f, "registry i/o failure: {e}"),
+            RegistryError::Config(e) => write!(f, "registry configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// Point-in-time registry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Cache hits: [`ModelRegistry::get`] served a resident mapping.
+    pub hits: u64,
+    /// Cold loads: a file was mapped and validated.
+    pub cold_loads: u64,
+    /// Mappings evicted by the LRU to stay under the byte budget.
+    pub evictions: u64,
+    /// Successful hot-swaps through [`ModelRegistry::publish`].
+    pub swaps: u64,
+    /// Validation failures that quarantined a tenant.
+    pub quarantines: u64,
+}
+
+/// One validated, mapped tenant model. Owned by `Arc`: the registry
+/// holds one reference while resident, every in-flight request holds
+/// another — the mapping unmaps when the last one drops.
+#[derive(Debug)]
+struct TenantEntry {
+    bytes: Mapping,
+    layout: PackedLayout,
+}
+
+impl TenantEntry {
+    fn view(&self) -> PackedModelView<'_> {
+        // The cheap invariants cannot fail: `layout` was validated
+        // against these exact bytes at load, and the mapping base is
+        // 64-byte aligned by construction. Degrade to the full check
+        // (which reports the typed error) rather than unwrap.
+        #[allow(clippy::redundant_closure_for_method_calls)]
+        match PackedModelView::with_layout(&self.bytes, self.layout) {
+            Ok(view) => view,
+            Err(_) => unreachable!("entry bytes were validated at load"),
+        }
+    }
+}
+
+/// A clonable, thread-safe reference to one tenant's mapped model,
+/// pinned against eviction and hot-swap for as long as it lives.
+#[derive(Debug, Clone)]
+pub struct TenantHandle {
+    tenant: Arc<str>,
+    entry: Arc<TenantEntry>,
+}
+
+impl TenantHandle {
+    /// The tenant this handle serves.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The zero-copy scoring view over the pinned mapping.
+    pub fn view(&self) -> PackedModelView<'_> {
+        self.entry.view()
+    }
+
+    /// Resident bytes this mapping accounts for.
+    pub fn len_bytes(&self) -> usize {
+        self.entry.bytes.len()
+    }
+
+    /// Whether the pinned region is a real OS memory mapping.
+    pub fn is_mmap(&self) -> bool {
+        self.entry.bytes.is_mmap()
+    }
+}
+
+#[derive(Debug)]
+struct Resident {
+    entry: Arc<TenantEntry>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    resident: HashMap<Arc<str>, Resident>,
+    quarantined: HashMap<String, String>,
+    resident_bytes: usize,
+    tick: u64,
+    stats: RegistryStats,
+}
+
+/// The multi-tenant registry. See the [module docs](self) for the
+/// serving model.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+    config: RegistryConfig,
+    ids: IdMemory,
+    state: Mutex<State>,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if missing) a registry over `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] if the directory cannot be created,
+    /// [`RegistryError::Config`] if the shared id memory parameters are
+    /// degenerate.
+    pub fn open(dir: impl Into<PathBuf>, config: RegistryConfig) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let ids = IdMemory::seeded(config.dim, config.id_count, config.id_seed)
+            .map_err(RegistryError::Config)?;
+        Ok(ModelRegistry {
+            dir,
+            config,
+            ids,
+            state: Mutex::new(State::default()),
+        })
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration the registry was opened with.
+    pub fn config(&self) -> RegistryConfig {
+        self.config
+    }
+
+    /// The one seeded item memory every tenant shares (§4.2).
+    pub fn shared_ids(&self) -> &IdMemory {
+        &self.ids
+    }
+
+    /// The path a tenant's model file lives at.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidTenant`] for unsafe names.
+    pub fn tenant_path(&self, tenant: &str) -> Result<PathBuf, RegistryError> {
+        validate_tenant(tenant)?;
+        Ok(self.dir.join(format!("{tenant}.{TENANT_EXT}")))
+    }
+
+    /// Resolves a tenant to a pinned mapped model: resident hit, or
+    /// cold map-and-validate. Touches the LRU and evicts down to the
+    /// byte budget after a cold load.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] when no file exists,
+    /// [`RegistryError::Quarantined`] when validation failed (now or
+    /// previously), [`RegistryError::BudgetTooSmall`] when the file can
+    /// never fit.
+    pub fn get(&self, tenant: &str) -> Result<TenantHandle, RegistryError> {
+        let path = self.tenant_path(tenant)?;
+        let mut state = lock(&self.state);
+        if let Some(reason) = state.quarantined.get(tenant) {
+            return Err(RegistryError::Quarantined {
+                tenant: tenant.to_owned(),
+                reason: reason.clone(),
+            });
+        }
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some((name, resident)) = state.resident.get_key_value(tenant) {
+            let handle = TenantHandle {
+                tenant: Arc::clone(name),
+                entry: Arc::clone(&resident.entry),
+            };
+            let name = Arc::clone(name);
+            if let Some(resident) = state.resident.get_mut(&name) {
+                resident.last_used = tick;
+            }
+            state.stats.hits += 1;
+            return Ok(handle);
+        }
+        // Cold load. Mapping + validation happen under the lock: the
+        // simple discipline (one loader per file, LRU arithmetic in one
+        // place) is worth more than concurrent cold loads, which the
+        // page cache already makes cheap on re-map.
+        let entry = match self.load(&path) {
+            Ok(entry) => entry,
+            Err(LoadError::Missing) => return Err(RegistryError::NotFound(tenant.to_owned())),
+            Err(LoadError::Io(e)) => return Err(RegistryError::Io(e)),
+            Err(LoadError::Invalid(reason)) => {
+                state.stats.quarantines += 1;
+                state.quarantined.insert(tenant.to_owned(), reason.clone());
+                return Err(RegistryError::Quarantined {
+                    tenant: tenant.to_owned(),
+                    reason,
+                });
+            }
+        };
+        let needed = entry.bytes.len();
+        if needed > self.config.byte_budget {
+            return Err(RegistryError::BudgetTooSmall {
+                needed,
+                budget: self.config.byte_budget,
+            });
+        }
+        state.stats.cold_loads += 1;
+        let name: Arc<str> = Arc::from(tenant);
+        let entry = Arc::new(entry);
+        let handle = TenantHandle {
+            tenant: Arc::clone(&name),
+            entry: Arc::clone(&entry),
+        };
+        state.resident_bytes += needed;
+        state.resident.insert(
+            name,
+            Resident {
+                entry,
+                last_used: tick,
+            },
+        );
+        Self::evict_to_budget(&mut state, self.config.byte_budget, Some(tenant));
+        Ok(handle)
+    }
+
+    /// Atomically publishes (or replaces) a tenant's model: v3 bytes to
+    /// `*.tmp`, fsync, rename over the live file, fsync the directory,
+    /// then republish the resident entry and lift any quarantine.
+    /// Readers holding the previous [`TenantHandle`] keep serving the
+    /// old mapping until they drop it.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DimMismatch`] before any byte is written;
+    /// otherwise I/O and (unlikely — we just wrote it) validation
+    /// failures.
+    pub fn publish(&self, tenant: &str, model: &QuantizedModel) -> Result<(), RegistryError> {
+        let path = self.tenant_path(tenant)?;
+        if model.dim() != self.config.dim {
+            return Err(RegistryError::DimMismatch {
+                expected: self.config.dim,
+                actual: model.dim(),
+            });
+        }
+        let tmp = self.dir.join(format!("{tenant}.{TENANT_EXT}{TMP_SUFFIX}"));
+        {
+            let mut file = File::create(&tmp)?;
+            write_packed(model, &mut file)?;
+            file.flush()?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        sync_dir(&self.dir)?;
+
+        // Map the file we just made durable and swap it in (RCU: the
+        // old Arc is dropped here; in-flight readers retire it).
+        let entry = match self.load(&path) {
+            Ok(entry) => Arc::new(entry),
+            Err(LoadError::Missing) => return Err(RegistryError::NotFound(tenant.to_owned())),
+            Err(LoadError::Io(e)) => return Err(RegistryError::Io(e)),
+            Err(LoadError::Invalid(reason)) => {
+                let mut state = lock(&self.state);
+                state.stats.quarantines += 1;
+                state.quarantined.insert(tenant.to_owned(), reason.clone());
+                return Err(RegistryError::Quarantined {
+                    tenant: tenant.to_owned(),
+                    reason,
+                });
+            }
+        };
+        let needed = entry.bytes.len();
+        if needed > self.config.byte_budget {
+            return Err(RegistryError::BudgetTooSmall {
+                needed,
+                budget: self.config.byte_budget,
+            });
+        }
+        let mut state = lock(&self.state);
+        state.quarantined.remove(tenant);
+        state.tick += 1;
+        let tick = state.tick;
+        state.stats.swaps += 1;
+        if let Some(old) = state.resident.remove(tenant) {
+            state.resident_bytes -= old.entry.bytes.len();
+        }
+        state.resident_bytes += needed;
+        state.resident.insert(
+            Arc::from(tenant),
+            Resident {
+                entry,
+                last_used: tick,
+            },
+        );
+        Self::evict_to_budget(&mut state, self.config.byte_budget, Some(tenant));
+        Ok(())
+    }
+
+    /// Drops a tenant's resident mapping (it remains on disk and
+    /// reloadable). Returns whether it was resident. In-flight handles
+    /// keep the mapping alive until dropped.
+    pub fn evict(&self, tenant: &str) -> bool {
+        let mut state = lock(&self.state);
+        match state.resident.remove(tenant) {
+            Some(old) => {
+                state.resident_bytes -= old.entry.bytes.len();
+                state.stats.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears a tenant's quarantine so the next [`ModelRegistry::get`]
+    /// retries the file (e.g. after it was repaired out of band).
+    /// Returns whether the tenant was quarantined.
+    pub fn clear_quarantine(&self, tenant: &str) -> bool {
+        lock(&self.state).quarantined.remove(tenant).is_some()
+    }
+
+    /// Currently quarantined tenants with their validation failures.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        let state = lock(&self.state);
+        let mut list: Vec<(String, String)> = state
+            .quarantined
+            .iter()
+            .map(|(t, r)| (t.clone(), r.clone()))
+            .collect();
+        list.sort();
+        list
+    }
+
+    /// Bytes of model data currently resident (mapped and registry-
+    /// referenced; in-flight handles to evicted mappings are excluded,
+    /// matching what the LRU controls).
+    pub fn resident_bytes(&self) -> usize {
+        lock(&self.state).resident_bytes
+    }
+
+    /// Number of resident tenants.
+    pub fn resident_count(&self) -> usize {
+        lock(&self.state).resident.len()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> RegistryStats {
+        lock(&self.state).stats
+    }
+
+    /// Tenants with a model file on disk, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying directory-walk error.
+    pub fn tenants(&self) -> Result<Vec<String>, RegistryError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(TENANT_EXT) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    if validate_tenant(stem).is_ok() {
+                        out.push(stem.to_owned());
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn load(&self, path: &Path) -> Result<TenantEntry, LoadError> {
+        let bytes = match Mapping::map_file(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(LoadError::Missing),
+            Err(e) => return Err(LoadError::Io(e)),
+        };
+        let layout = PackedLayout::validate(&bytes).map_err(|e| invalid(&e))?;
+        if layout.dim() != self.config.dim {
+            return Err(LoadError::Invalid(format!(
+                "model dimensionality {} does not match the registry's {}",
+                layout.dim(),
+                self.config.dim
+            )));
+        }
+        // Prove the view is constructible (alignment) before the entry
+        // is ever handed out.
+        PackedModelView::with_layout(&bytes, layout).map_err(|e| invalid(&e))?;
+        Ok(TenantEntry { bytes, layout })
+    }
+
+    /// Evicts least-recently-used residents until the budget holds,
+    /// never evicting `keep` (the entry just loaded for the caller).
+    fn evict_to_budget(state: &mut State, budget: usize, keep: Option<&str>) {
+        while state.resident_bytes > budget {
+            let victim = state
+                .resident
+                .iter()
+                .filter(|(name, _)| Some(name.as_ref() as &str) != keep)
+                .min_by_key(|(_, r)| r.last_used)
+                .map(|(name, _)| Arc::clone(name));
+            let Some(victim) = victim else {
+                break;
+            };
+            if let Some(old) = state.resident.remove(&victim) {
+                state.resident_bytes -= old.entry.bytes.len();
+                state.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+enum LoadError {
+    Missing,
+    Io(io::Error),
+    Invalid(String),
+}
+
+fn invalid(e: &ReadModelError) -> LoadError {
+    LoadError::Invalid(e.to_string())
+}
+
+fn validate_tenant(tenant: &str) -> Result<(), RegistryError> {
+    let ok = !tenant.is_empty()
+        && tenant.len() <= 64
+        && tenant
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(RegistryError::InvalidTenant(tenant.to_owned()))
+    }
+}
+
+fn lock(state: &Mutex<State>) -> MutexGuard<'_, State> {
+    match state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::{BinaryHv, HdcModel, IntHv, QuantizedModel};
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ghdc-registry-{tag}-{}", std::process::id()))
+    }
+
+    fn sample_model(dim: usize, seed: u64) -> QuantizedModel {
+        let encoded: Vec<IntHv> = (0..4)
+            .map(|c| IntHv::from(BinaryHv::random_seeded(dim, seed * 101 + c).unwrap()))
+            .collect();
+        let model = HdcModel::fit(&encoded, &[0, 1, 2, 3], 4).unwrap();
+        QuantizedModel::from_model(&model, 8).unwrap()
+    }
+
+    fn config(dim: usize, budget: usize) -> RegistryConfig {
+        RegistryConfig {
+            byte_budget: budget,
+            dim,
+            ..RegistryConfig::default()
+        }
+    }
+
+    #[test]
+    fn publish_get_score_round_trip() {
+        let dir = scratch("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+        let model = sample_model(512, 7);
+        registry.publish("acme", &model).unwrap();
+
+        let handle = registry.get("acme").unwrap();
+        let query = BinaryHv::random_seeded(512, 99).unwrap();
+        let mapped = handle.view().scores(&query).unwrap();
+        let heap = model.pack().unwrap().scores(&query).unwrap();
+        assert_eq!(
+            mapped.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            heap.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "mapped scores must be bit-identical to the heap path"
+        );
+        assert_eq!(registry.stats().hits + registry.stats().cold_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let dir = scratch("lru");
+        let _ = std::fs::remove_dir_all(&dir);
+        let model = sample_model(512, 3);
+        let mut bytes = Vec::new();
+        write_packed(&model, &mut bytes).unwrap();
+        // Budget fits exactly two resident models.
+        let registry = ModelRegistry::open(&dir, config(512, bytes.len() * 2)).unwrap();
+        for tenant in ["t0", "t1", "t2", "t3"] {
+            registry.publish(tenant, &model).unwrap();
+            assert!(registry.resident_bytes() <= bytes.len() * 2);
+        }
+        registry.evict("t3");
+        registry.evict("t2");
+        for tenant in ["t0", "t1", "t2", "t3"] {
+            let _ = registry.get(tenant).unwrap();
+            assert!(
+                registry.resident_bytes() <= bytes.len() * 2,
+                "budget must hold after every load"
+            );
+            assert!(registry.resident_count() <= 2);
+        }
+        assert!(registry.stats().evictions > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evicted_mapping_survives_until_last_reader_drops() {
+        let dir = scratch("rcu");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+        let model = sample_model(512, 5);
+        registry.publish("acme", &model).unwrap();
+        let pinned = registry.get("acme").unwrap();
+        assert!(registry.evict("acme"));
+
+        // Hot-swap a different model while the old reader is pinned.
+        let replacement = sample_model(512, 6);
+        registry.publish("acme", &replacement).unwrap();
+        let fresh = registry.get("acme").unwrap();
+
+        let query = BinaryHv::random_seeded(512, 17).unwrap();
+        let old_scores = pinned.view().scores(&query).unwrap();
+        let new_scores = fresh.view().scores(&query).unwrap();
+        let old_oracle = model.pack().unwrap().scores(&query).unwrap();
+        let new_oracle = replacement.pack().unwrap().scores(&query).unwrap();
+        assert_eq!(old_scores, old_oracle, "pinned reader sees the old model");
+        assert_eq!(new_scores, new_oracle, "fresh reader sees the swap");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_quarantined_with_typed_reasons() {
+        let dir = scratch("quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+        let model = sample_model(512, 11);
+        registry.publish("acme", &model).unwrap();
+
+        // Flip one payload byte on disk.
+        let path = registry.tenant_path("acme").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        registry.evict("acme");
+
+        let err = registry.get("acme").unwrap_err();
+        assert!(matches!(err, RegistryError::Quarantined { .. }), "{err}");
+        // Sticky until cleared or republished.
+        let err = registry.get("acme").unwrap_err();
+        assert!(matches!(err, RegistryError::Quarantined { .. }));
+        assert_eq!(registry.quarantined().len(), 1);
+
+        // Publishing a good model lifts the quarantine.
+        registry.publish("acme", &model).unwrap();
+        assert!(registry.get("acme").is_ok());
+        assert!(registry.quarantined().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_dim_and_missing_and_bad_names_are_typed() {
+        let dir = scratch("typed");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+        assert!(matches!(
+            registry.get("nobody").unwrap_err(),
+            RegistryError::NotFound(_)
+        ));
+        assert!(matches!(
+            registry.get("../escape").unwrap_err(),
+            RegistryError::InvalidTenant(_)
+        ));
+        assert!(matches!(
+            registry.publish("acme", &sample_model(256, 1)).unwrap_err(),
+            RegistryError::DimMismatch {
+                expected: 512,
+                actual: 256
+            }
+        ));
+        // A file written with the wrong dim quarantines on load.
+        let other = sample_model(256, 2);
+        let path = registry.tenant_path("alien").unwrap();
+        let mut file = File::create(&path).unwrap();
+        write_packed(&other, &mut file).unwrap();
+        drop(file);
+        assert!(matches!(
+            registry.get("alien").unwrap_err(),
+            RegistryError::Quarantined { .. }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_ids_are_seed_stable_across_registries() {
+        let dir_a = scratch("ids-a");
+        let dir_b = scratch("ids-b");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+        let a = ModelRegistry::open(&dir_a, config(512, 1 << 20)).unwrap();
+        let b = ModelRegistry::open(&dir_b, config(512, 1 << 20)).unwrap();
+        assert_eq!(a.shared_ids().id(3), b.shared_ids().id(3));
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn tenants_lists_disk_state() {
+        let dir = scratch("list");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+        let model = sample_model(512, 21);
+        registry.publish("beta", &model).unwrap();
+        registry.publish("alpha", &model).unwrap();
+        assert_eq!(registry.tenants().unwrap(), vec!["alpha", "beta"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

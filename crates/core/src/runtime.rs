@@ -537,8 +537,9 @@ fn parse_file_name(name: &str) -> Option<u64> {
 
 /// Flushes directory metadata so a just-renamed checkpoint survives
 /// power loss. Directory handles are only flushable on Unix; elsewhere
-/// the rename alone is the best the platform offers.
-fn sync_dir(dir: &Path) -> io::Result<()> {
+/// the rename alone is the best the platform offers. (Shared with the
+/// registry's tenant hot-swap, which uses the same atomic-rename path.)
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
     #[cfg(unix)]
     std::fs::File::open(dir)?.sync_all()?;
     #[cfg(not(unix))]

@@ -64,6 +64,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::kernels;
+use crate::registry::{ModelRegistry, TenantHandle};
 use crate::runtime::{
     DeadLetter, DegradationLadder, ModelSnapshot, OnlineRuntime, RejectReason, RuntimeError,
     RuntimeStats, SnapshotCell,
@@ -272,6 +274,15 @@ pub enum SubmitError {
     Unavailable,
     /// The server is draining and admits no new work.
     ShuttingDown,
+    /// A tenant-routed request could not be pinned to a mapped model:
+    /// no registry is configured, the tenant is unknown/quarantined, or
+    /// its model failed validation. Carries the registry's reason.
+    TenantUnavailable {
+        /// The tenant that could not be served.
+        tenant: String,
+        /// Why the registry refused it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -284,6 +295,9 @@ impl fmt::Display for SubmitError {
             SubmitError::Rejected(reason) => write!(f, "rejected: {reason}"),
             SubmitError::Unavailable => write!(f, "no live worker shards"),
             SubmitError::ShuttingDown => write!(f, "server is draining"),
+            SubmitError::TenantUnavailable { tenant, reason } => {
+                write!(f, "tenant `{tenant}` unavailable: {reason}")
+            }
         }
     }
 }
@@ -333,6 +347,11 @@ pub struct ServeAnswer {
     /// replay the request through the scalar oracle and demand
     /// bit-identity.
     pub snapshot: Arc<ModelSnapshot>,
+    /// For tenant-routed requests: the exact mapped model scored
+    /// against, pinned for the same replay-and-audit purpose (the
+    /// mapping cannot be retired while this answer is held). `None`
+    /// for requests served by the writer-owned snapshot above.
+    pub tenant: Option<TenantHandle>,
 }
 
 /// A pending answer; redeem with [`wait`](Ticket::wait).
@@ -364,6 +383,10 @@ struct Request {
     features: Vec<f64>,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// Pinned at admission: tenant-routed requests score against this
+    /// mapped model (the exact version resolved when the request was
+    /// admitted) instead of the writer's snapshot.
+    tenant: Option<TenantHandle>,
     reply: mpsc::SyncSender<Result<ServeAnswer, ServeError>>,
 }
 
@@ -478,6 +501,9 @@ struct Shared {
     draining: AtomicBool,
     /// Expected feature width, for synchronous sanitization.
     n_features: usize,
+    /// Multi-tenant model registry for tenant-routed requests
+    /// ([`ServerHandle::submit_tenant`]); `None` = single-tenant server.
+    registry: Option<Arc<ModelRegistry>>,
     config: ServeConfig,
     /// One in-flight slot per shard: the batch a worker is currently
     /// holding, recovered by the supervisor if the worker panics.
@@ -492,6 +518,23 @@ struct Shared {
 enum Event {
     Panicked(usize),
     Exited,
+}
+
+/// Per-request routing decision a worker records while encoding, then
+/// consumes while answering.
+enum Verdict {
+    /// Answer with this error.
+    Reject(ServeError),
+    /// Scored by the batched shared-snapshot engine; take the next
+    /// prediction from `preds`.
+    Shared,
+    /// Scored inline against the request's pinned mapped model.
+    Tenant {
+        /// Predicted class.
+        label: usize,
+        /// Dimensions scored (the mapped model's full width).
+        dims: usize,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -511,6 +554,10 @@ fn worker_shard(shard: usize, shared: &Shared) {
     let mut encoded = Vec::new();
     let mut preds = Vec::new();
     let mut locals = RuntimeStats::default();
+    // Tenant-routed scoring: the dispatched kernel set and a reused
+    // score buffer (zero steady-state allocation in the mapped path).
+    let tenant_kernels = kernels::active();
+    let mut tenant_scores: Vec<f64> = Vec::new();
 
     loop {
         // Coalesce a micro-batch: block for the first request, then
@@ -554,32 +601,69 @@ fn worker_shard(shard: usize, shared: &Shared) {
         let degraded = tier < ladder.full_tier();
         let opts = PredictOptions::reduced(dims, NormMode::Updated);
 
-        // Sanitize + encode against one pinned snapshot.
+        // Sanitize + encode against one pinned snapshot. Tenant-routed
+        // requests score inline against their admission-pinned mapped
+        // model (full dimensionality — the packed planes carry no
+        // sub-norm tiers); shared-model requests batch through the
+        // ladder-driven ScoreBatch engine below.
         let snapshot = shared.snapshots.load();
         let started = Instant::now();
         encoded.clear();
-        let mut verdicts: Vec<Option<ServeError>> = Vec::new();
+        let mut verdicts: Vec<Verdict> = Vec::new();
         {
             let slot = lock_unpoisoned(&shared.in_flight[shard]);
             for request in slot.iter() {
                 locals.infer_requests += 1;
-                match sanitize(&request.features, shared.n_features) {
-                    Some(reason) => {
+                if let Some(reason) = sanitize(&request.features, shared.n_features) {
+                    locals.rejected += 1;
+                    verdicts.push(Verdict::Reject(ServeError::Rejected(reason)));
+                    continue;
+                }
+                let hv = match snapshot.pipeline().encode(&request.features) {
+                    Ok(hv) => hv,
+                    // Unreachable for sanitized input; answer with a
+                    // cancellation rather than a made-up reason.
+                    Err(_) => {
                         locals.rejected += 1;
-                        verdicts.push(Some(ServeError::Rejected(reason)));
+                        verdicts.push(Verdict::Reject(ServeError::Canceled));
+                        continue;
                     }
-                    None => match snapshot.pipeline().encode(&request.features) {
-                        Ok(hv) => {
-                            verdicts.push(None);
-                            encoded.push(hv);
+                };
+                match &request.tenant {
+                    None => {
+                        verdicts.push(Verdict::Shared);
+                        encoded.push(hv);
+                    }
+                    Some(handle) => {
+                        let query = hv.to_binary();
+                        let view = handle.view();
+                        match view.scores_into_with(&query, tenant_kernels, &mut tenant_scores) {
+                            Ok(()) => {
+                                // Last-wins argmax, matching the scalar
+                                // oracle's and PackedModelView::predict's
+                                // tie-breaking.
+                                let mut label = 0usize;
+                                let mut best = f64::NEG_INFINITY;
+                                for (c, &s) in tenant_scores.iter().enumerate() {
+                                    if s >= best {
+                                        best = s;
+                                        label = c;
+                                    }
+                                }
+                                verdicts.push(Verdict::Tenant {
+                                    label,
+                                    dims: view.dim(),
+                                });
+                            }
+                            // Unreachable: the registry validates the
+                            // model's dimensionality against the shared
+                            // encoder at load.
+                            Err(_) => {
+                                locals.rejected += 1;
+                                verdicts.push(Verdict::Reject(ServeError::Canceled));
+                            }
                         }
-                        // Unreachable for sanitized input; answer with a
-                        // cancellation rather than a made-up reason.
-                        Err(_) => {
-                            locals.rejected += 1;
-                            verdicts.push(Some(ServeError::Canceled));
-                        }
-                    },
+                    }
                 }
             }
         }
@@ -606,10 +690,10 @@ fn worker_shard(shard: usize, shared: &Shared) {
         let mut next_pred = preds.iter();
         for (request, verdict) in batch.into_iter().zip(verdicts) {
             match verdict {
-                Some(error) => {
+                Verdict::Reject(error) => {
                     let _ = request.reply.try_send(Err(error));
                 }
-                None => {
+                Verdict::Shared => {
                     let Some(&label) = next_pred.next() else {
                         let _ = request.reply.try_send(Err(ServeError::Canceled));
                         continue;
@@ -632,6 +716,27 @@ fn worker_shard(shard: usize, shared: &Shared) {
                         deadline_met,
                         shard,
                         snapshot: Arc::clone(&snapshot),
+                        tenant: None,
+                    }));
+                }
+                Verdict::Tenant { label, dims } => {
+                    let answered_at = Instant::now();
+                    let deadline_met = request.deadline.is_none_or(|d| answered_at <= d);
+                    locals.answered += 1;
+                    if !deadline_met {
+                        locals.deadline_misses += 1;
+                    }
+                    let tenant = request.tenant.clone();
+                    let _ = request.reply.try_send(Ok(ServeAnswer {
+                        label,
+                        dims_used: dims,
+                        tier: ladder.full_tier(),
+                        degraded: false,
+                        elapsed: answered_at.duration_since(request.submitted),
+                        deadline_met,
+                        shard,
+                        snapshot: Arc::clone(&snapshot),
+                        tenant,
                     }));
                 }
             }
@@ -887,6 +992,35 @@ impl Server {
     /// Returns an error for an invalid configuration or if a thread
     /// cannot be spawned.
     pub fn start(runtime: OnlineRuntime, config: ServeConfig) -> Result<Server, RuntimeError> {
+        Server::start_with_registry(runtime, config, None)
+    }
+
+    /// Like [`Server::start`], with an optional multi-tenant
+    /// [`ModelRegistry`]: tenant-routed requests
+    /// ([`ServerHandle::submit_tenant`]) are pinned to their tenant's
+    /// mapped model at admission and scored zero-copy by the worker
+    /// shards. The registry's dimensionality must match the runtime's
+    /// encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration, a registry whose
+    /// dimensionality disagrees with the runtime's, or if a thread
+    /// cannot be spawned.
+    pub fn start_with_registry(
+        runtime: OnlineRuntime,
+        config: ServeConfig,
+        registry: Option<Arc<ModelRegistry>>,
+    ) -> Result<Server, RuntimeError> {
+        if let Some(registry) = &registry {
+            let dim = runtime.pipeline().model().dim();
+            if registry.config().dim != dim {
+                return Err(RuntimeError::Model(crate::HdcError::invalid(
+                    "registry",
+                    "registry dimensionality must match the serving encoder",
+                )));
+            }
+        }
         if config.shards == 0 {
             return Err(RuntimeError::Model(crate::HdcError::invalid(
                 "shards",
@@ -912,6 +1046,7 @@ impl Server {
             live_shards: AtomicUsize::new(config.shards),
             draining: AtomicBool::new(false),
             n_features,
+            registry,
             config,
             in_flight: (0..config.shards).map(|_| Mutex::new(Vec::new())).collect(),
             kill_flags: (0..config.shards).map(|_| AtomicBool::new(false)).collect(),
@@ -1025,6 +1160,67 @@ impl ServerHandle {
         features: Vec<f64>,
         budget: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
+        self.admit(features, budget, None)
+    }
+
+    /// Offers one inference request routed to `tenant`'s model in the
+    /// server's [`ModelRegistry`]. The tenant's mapped model is
+    /// resolved (cold-loading if necessary) and pinned *at admission*,
+    /// so a hot-swap between admission and scoring cannot tear the
+    /// request across versions.
+    ///
+    /// # Errors
+    ///
+    /// All of [`submit`](ServerHandle::submit)'s errors, plus
+    /// [`SubmitError::TenantUnavailable`] when no registry is
+    /// configured or the registry refuses the tenant (unknown,
+    /// quarantined, over budget).
+    pub fn submit_tenant(
+        &self,
+        tenant: &str,
+        features: Vec<f64>,
+        budget: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let Some(registry) = &self.shared.registry else {
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .counters
+                .rejected_malformed
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::TenantUnavailable {
+                tenant: tenant.to_owned(),
+                reason: "server started without a model registry".to_owned(),
+            });
+        };
+        let handle = match registry.get(tenant) {
+            Ok(handle) => handle,
+            Err(e) => {
+                self.shared
+                    .counters
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .counters
+                    .rejected_malformed
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::TenantUnavailable {
+                    tenant: tenant.to_owned(),
+                    reason: e.to_string(),
+                });
+            }
+        };
+        self.admit(features, budget, Some(handle))
+    }
+
+    fn admit(
+        &self,
+        features: Vec<f64>,
+        budget: Option<Duration>,
+        tenant: Option<TenantHandle>,
+    ) -> Result<Ticket, SubmitError> {
         let shared = &self.shared;
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
         if shared.draining.load(Ordering::Relaxed) {
@@ -1074,6 +1270,7 @@ impl ServerHandle {
             features,
             submitted,
             deadline: budget.map(|b| submitted + b),
+            tenant,
             reply,
         };
         match shared.work.try_push(request) {

@@ -10,7 +10,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use generic_hdc::{HdcModel, IntHv, NormMode, PredictOptions, ScoreBatch};
+use generic_hdc::io::write_packed;
+use generic_hdc::{
+    HdcModel, IntHv, Mapping, NormMode, PackedModelView, PredictOptions, QuantizedModel, ScoreBatch,
+};
 
 /// Forwards to the system allocator while counting every allocation
 /// event (fresh allocations and reallocations; frees are not counted
@@ -105,4 +108,48 @@ fn batched_scoring_steady_state_allocates_nothing() {
     );
     assert_eq!(scores.len(), n_queries * n_classes);
     assert_eq!(preds.len(), n_queries);
+}
+
+#[test]
+fn mapped_view_scoring_steady_state_allocates_nothing() {
+    let dim = 1_024;
+    let n_classes = 6;
+    let mut state = 0x5eed_feed_u64;
+
+    let encoded: Vec<IntHv> = (0..n_classes * 8)
+        .map(|_| random_hv(dim, &mut state))
+        .collect();
+    let labels: Vec<usize> = (0..encoded.len()).map(|i| i % n_classes).collect();
+    let model = HdcModel::fit(&encoded, &labels, n_classes).expect("fit");
+    let quantized = QuantizedModel::from_model(&model, 8).expect("quantize");
+    let mut bytes = Vec::new();
+    write_packed(&quantized, &mut bytes).expect("vec write cannot fail");
+    let mapping = Mapping::from_bytes(&bytes).expect("aligned copy allocates");
+    let view = PackedModelView::new(&mapping).expect("sealed v3 image");
+
+    let queries: Vec<_> = (0..37)
+        .map(|_| random_hv(dim, &mut state).to_binary())
+        .collect();
+    let mut scores = Vec::new();
+
+    // Warm-up pass: sizes the caller-owned score buffer. The view itself
+    // owns nothing — scoring walks the mapped words in place.
+    for query in &queries {
+        view.scores_into(query, &mut scores).expect("dim matches");
+    }
+
+    let before = ALLOCATION_EVENTS.load(Ordering::SeqCst);
+    for _ in 0..16 {
+        for query in &queries {
+            view.scores_into(query, &mut scores).expect("dim matches");
+        }
+    }
+    let after = ALLOCATION_EVENTS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state mapped-view scoring must not touch the heap"
+    );
+    assert_eq!(scores.len(), n_classes);
 }

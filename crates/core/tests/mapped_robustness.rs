@@ -1,0 +1,131 @@
+//! Robustness of the GHDC v3 mapped path: truncated, oversized,
+//! misaligned, and bit-flipped byte images must be rejected with typed
+//! errors **before any view is constructed** — there is no input that
+//! reaches the byte→word reinterpretation without passing the full
+//! validation gauntlet (magic/version/kind, header plausibility, exact
+//! length, base alignment, CRC32 footer). Mirrors `io_robustness` for
+//! the zero-copy surface.
+
+use generic_hdc::io::{write_packed, PackedLayout, ReadModelError, PACKED_ALIGN};
+use generic_hdc::{BinaryHv, HdcModel, IntHv, Mapping, PackedModelView, QuantizedModel};
+use proptest::prelude::*;
+
+fn sample_packed(bit_width: u8) -> Vec<u8> {
+    let encoded: Vec<IntHv> = (0..3u64)
+        .map(|s| IntHv::from(BinaryHv::random_seeded(256, s).expect("dim > 0")))
+        .collect();
+    let model = HdcModel::fit(&encoded, &[0, 1, 2], 3).expect("valid inputs");
+    let quantized = QuantizedModel::from_model(&model, bit_width).expect("valid width");
+    let mut buf = Vec::new();
+    write_packed(&quantized, &mut buf).expect("vec write cannot fail");
+    buf
+}
+
+/// Validation runs on the raw slice; a failure must happen before
+/// `PackedModelView` exists. This helper asserts both layers agree.
+fn rejects(bytes: &[u8]) -> ReadModelError {
+    let layout_err = PackedLayout::validate(bytes).expect_err("layout must reject");
+    let view_err = PackedModelView::new(bytes).expect_err("view must reject");
+    assert_eq!(
+        std::mem::discriminant(&layout_err),
+        std::mem::discriminant(&view_err),
+        "layout and view must reject identically: {layout_err} vs {view_err}"
+    );
+    layout_err
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes never panic the v3 parser, the validator, or the
+    /// view constructor.
+    #[test]
+    fn arbitrary_bytes_do_not_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = PackedLayout::parse(&bytes);
+        let _ = PackedLayout::validate(&bytes);
+        let _ = PackedModelView::new(&bytes);
+        let _ = generic_hdc::io::read_packed(bytes.as_slice());
+    }
+
+    /// Truncating a sealed v3 image anywhere is a typed error — never a
+    /// view over a short mapping (the UB path a mapped file shrinking
+    /// out from under a reader would take).
+    #[test]
+    fn truncation_is_rejected_before_view_construction(
+        bw_index in 0usize..5,
+        cut_seed in any::<u64>(),
+    ) {
+        let buf = sample_packed([1u8, 2, 4, 8, 16][bw_index]);
+        let cut = (cut_seed % buf.len() as u64) as usize;
+        let err = rejects(&buf[..cut]);
+        prop_assert!(
+            matches!(
+                err,
+                ReadModelError::Truncated { .. } | ReadModelError::Io(_)
+            ),
+            "cut {}: {}", cut, err
+        );
+    }
+
+    /// Growing the image is just as fatal: a mapped model's length must
+    /// equal the header-computed layout exactly.
+    #[test]
+    fn oversized_images_are_rejected(extra in 1usize..64) {
+        let mut buf = sample_packed(4);
+        let grown = buf.len() + extra;
+        buf.resize(grown, 0);
+        let err = rejects(&buf);
+        prop_assert!(
+            matches!(err, ReadModelError::Truncated { .. }),
+            "extra {}: {}", extra, err
+        );
+    }
+
+    /// Any flipped bit past the magic/version/kind prefix fails the
+    /// CRC (or a header check) — no silent corruption reaches scoring.
+    #[test]
+    fn flipped_bit_is_rejected(pos_seed in any::<u64>(), bit in 0u32..8) {
+        let mut buf = sample_packed(8);
+        let pos = (pos_seed % buf.len() as u64) as usize;
+        buf[pos] ^= 1 << bit;
+        let _ = rejects(&buf);
+    }
+
+    /// A misaligned base address is a typed error even for otherwise
+    /// perfect bytes: the view refuses to reinterpret unaligned memory.
+    #[test]
+    fn misaligned_buffers_are_rejected(offset in 1usize..PACKED_ALIGN) {
+        let buf = sample_packed(2);
+        // Build a copy whose base is deliberately `offset` bytes past a
+        // 64-byte boundary.
+        let mut backing = vec![0u8; buf.len() + PACKED_ALIGN * 2];
+        let base = backing.as_ptr() as usize;
+        let shift = (PACKED_ALIGN - base % PACKED_ALIGN) % PACKED_ALIGN + offset;
+        backing[shift..shift + buf.len()].copy_from_slice(&buf);
+        let slice = &backing[shift..shift + buf.len()];
+        prop_assume!(!(slice.as_ptr() as usize).is_multiple_of(PACKED_ALIGN));
+        // The layout (pure arithmetic) accepts; the view (which would
+        // reinterpret) must refuse with the typed alignment error.
+        prop_assert!(PackedLayout::validate(slice).is_ok());
+        let err = PackedModelView::new(slice).expect_err("misaligned base must be refused");
+        prop_assert!(
+            matches!(err, ReadModelError::Misaligned { required: 64, .. }),
+            "offset {}: {}", offset, err
+        );
+    }
+}
+
+#[test]
+fn untouched_images_validate_and_serve() {
+    // Guards against the fuzz helpers drifting out of sync with the
+    // format: the untouched image must construct a working view.
+    for bw in [1u8, 2, 4, 8, 16] {
+        let buf = sample_packed(bw);
+        let mapping = Mapping::from_bytes(&buf).expect("aligned copy allocates");
+        let view = PackedModelView::new(&mapping).expect("sealed image serves");
+        let query = BinaryHv::random_seeded(256, 9).expect("dim > 0");
+        let scores = view.scores(&query).expect("dim matches");
+        assert_eq!(scores.len(), 3, "bw {bw}");
+        assert!(scores.iter().all(|s| s.is_finite()), "bw {bw}");
+    }
+}

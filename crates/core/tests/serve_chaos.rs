@@ -473,3 +473,116 @@ fn drain_refuses_new_work() {
     ));
     let _ = ServeError::Canceled; // referenced: the cancel contract above
 }
+
+/// Tenant-routed requests score their own mapped models, bit-identically
+/// to the heap-packed oracle, while shared-snapshot traffic interleaves
+/// on the same shards; unknown tenants are refused at admission with a
+/// typed reason.
+#[test]
+fn tenant_requests_score_their_mapped_models() {
+    use generic_hdc::{ModelRegistry, QuantizedModel, RegistryConfig};
+    use std::sync::Arc;
+
+    let dir = TempDir::new("tenant");
+    let reg_dir = TempDir::new("tenant-reg");
+    let registry = Arc::new(
+        ModelRegistry::open(
+            reg_dir.path(),
+            RegistryConfig {
+                byte_budget: 1 << 20,
+                dim: 256,
+                ..RegistryConfig::default()
+            },
+        )
+        .expect("registry opens"),
+    );
+    // Two tenants with distinct class memories (different training seeds)
+    // behind the one shared encoder the server owns.
+    let model_a = QuantizedModel::from_model(sample_pipeline(11).model(), 8).expect("valid width");
+    let model_b = QuantizedModel::from_model(sample_pipeline(23).model(), 8).expect("valid width");
+    registry.publish("acme", &model_a).expect("publish acme");
+    registry
+        .publish("globex", &model_b)
+        .expect("publish globex");
+
+    let server = Server::start_with_registry(
+        runtime_in(dir.path()),
+        quick_config(2),
+        Some(Arc::clone(&registry)),
+    )
+    .expect("server starts");
+    let handle = server.handle();
+
+    assert!(matches!(
+        handle.submit_tenant("nobody", sample_features(0), None),
+        Err(SubmitError::TenantUnavailable { .. })
+    ));
+    assert!(matches!(
+        handle.submit_tenant("../escape", sample_features(0), None),
+        Err(SubmitError::TenantUnavailable { .. })
+    ));
+
+    let tickets: Vec<_> = (0..60)
+        .map(|i| {
+            let tenant = if i % 3 == 0 { "acme" } else { "globex" };
+            let ticket = if i % 3 == 2 {
+                handle.submit(sample_features(i), None)
+            } else {
+                handle.submit_tenant(tenant, sample_features(i), None)
+            };
+            (i, ticket.expect("no overload without deadlines"))
+        })
+        .collect();
+    for (i, ticket) in tickets {
+        let answer = ticket.wait().expect("admitted requests are answered");
+        if i % 3 == 2 {
+            assert!(answer.tenant.is_none(), "request {i} is shared-model");
+            continue;
+        }
+        let (name, oracle_model) = if i % 3 == 0 {
+            ("acme", &model_a)
+        } else {
+            ("globex", &model_b)
+        };
+        let pinned = answer
+            .tenant
+            .as_ref()
+            .expect("tenant answers carry the pin");
+        assert_eq!(pinned.tenant(), name, "request {i} routed wrong");
+        assert!(!answer.degraded, "mapped scoring is full-width");
+        // Replay through the heap oracle: encode with the server's own
+        // snapshot, score the packed model, demand the same label.
+        let query = answer
+            .snapshot
+            .pipeline()
+            .encode(&sample_features(i))
+            .expect("clean row")
+            .to_binary();
+        let scores = oracle_model
+            .pack()
+            .expect("packs")
+            .scores(&query)
+            .expect("scores");
+        let mut oracle = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for (c, &s) in scores.iter().enumerate() {
+            if s >= best {
+                best = s;
+                oracle = c;
+            }
+        }
+        assert_eq!(answer.label, oracle, "request {i} diverged from oracle");
+        // And the mapped view the worker actually used agrees too.
+        let mapped = pinned.view().scores(&query).expect("mapped scores");
+        assert_eq!(
+            mapped.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "request {i}: mapped scores must be bit-identical"
+        );
+    }
+
+    let stats = registry.stats();
+    assert_eq!(stats.swaps, 2, "both publishes hot-swapped");
+    assert!(stats.hits > 0, "published tenants serve from residency");
+    server.drain().expect("drain succeeds");
+}

@@ -33,4 +33,11 @@ cargo run -p generic-bench --release --locked --quiet --bin soak -- --smoke
 echo "==> sharded serve bench smoke (QPS, latency percentiles)"
 cargo run -p generic-bench --release --locked --quiet --bin serve -- --smoke
 
+echo "==> registry bench smoke (mapped multi-tenant churn)"
+cargo run -p generic-bench --release --locked --quiet --bin registry -- --smoke
+
+echo "==> registry bench smoke (portable kernels forced)"
+GENERIC_FORCE_PORTABLE=1 \
+  cargo run -p generic-bench --release --locked --quiet --bin registry -- --smoke
+
 echo "All checks passed."

@@ -15,8 +15,11 @@
 
 use std::path::{Path, PathBuf};
 
-use generic_hdc::io::{read_model, read_quantized, write_model, write_quantized, ReadModelError};
-use generic_hdc::{HdcModel, IntHv, QuantizedModel};
+use generic_hdc::io::{
+    read_model, read_packed, read_quantized, write_model, write_packed, write_quantized,
+    PackedLayout, ReadModelError, PACKED_ALIGN,
+};
+use generic_hdc::{HdcModel, IntHv, Mapping, PackedModelView, QuantizedModel};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
@@ -142,6 +145,113 @@ fn header_layout_is_pinned() {
 }
 
 #[test]
+fn packed_v3_fixture_round_trips_byte_exact() {
+    for (name, expected) in [
+        ("packed_v3.ghdc", golden_quantized()),
+        ("packed1bit_v3.ghdc", golden_one_bit()),
+    ] {
+        let bytes = fixture(name);
+        let model = read_packed(&bytes[..]).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(model, expected, "{name}");
+        let mut rewritten = Vec::new();
+        write_packed(&model, &mut rewritten).unwrap();
+        assert_eq!(
+            rewritten, bytes,
+            "{name}: v3 serialization is no longer canonical"
+        );
+    }
+}
+
+#[test]
+fn packed_v3_header_layout_is_pinned() {
+    let bytes = fixture("packed_v3.ghdc");
+    assert_eq!(&bytes[..4], b"GHDC", "magic");
+    assert_eq!(bytes[4], 3, "version");
+    assert_eq!(bytes[5], 2, "kind (packed)");
+    assert_eq!(bytes[6], 4, "bit width");
+    assert_eq!(bytes[7], 0, "pad");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        8,
+        "dim"
+    );
+    assert_eq!(
+        u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+        2,
+        "n_classes"
+    );
+    // max |v| = 7 → 3 magnitude planes.
+    assert_eq!(
+        u32::from_le_bytes(bytes[16..20].try_into().unwrap()),
+        3,
+        "n_planes"
+    );
+    assert!(
+        bytes[20..64].iter().all(|&b| b == 0),
+        "reserved header tail must be zero"
+    );
+
+    // The section map is header-computable and 64-byte aligned. With
+    // dim 8 every plane occupies one padded 64-byte stride.
+    let layout = PackedLayout::validate(&bytes).expect("sealed v3 stream");
+    assert_eq!(layout.norms_offset(), 64, "norms follow the header");
+    assert_eq!(layout.plane_pop_offset(), 128, "2×f64 norms pad to 64");
+    assert_eq!(layout.planes_offset(), 192, "2×3 i64 pops pad to 64");
+    assert_eq!(layout.plane_stride(), PACKED_ALIGN, "8 dims pad to 64 B");
+    // 2 classes × (1 sign + 3 magnitude) planes × 64 B + CRC footer.
+    assert_eq!(layout.total_len(), 192 + 2 * 4 * 64 + 4, "total length");
+    assert_eq!(bytes.len(), layout.total_len());
+
+    // Alignment padding between planes is zero (canonical bytes).
+    let n_words = 8usize.div_ceil(64);
+    for c in 0..2 {
+        for p in 0..4 {
+            let start = layout.class_offset(c) + p * layout.plane_stride();
+            let pad = &bytes[start + n_words * 8..start + layout.plane_stride()];
+            assert!(pad.iter().all(|&b| b == 0), "class {c} plane {p} padding");
+        }
+    }
+}
+
+#[test]
+fn packed_v3_fixture_serves_through_the_mapped_view() {
+    let bytes = fixture("packed_v3.ghdc");
+    let mapping = Mapping::from_bytes(&bytes).expect("aligned copy allocates");
+    let view = PackedModelView::new(&mapping).expect("fixture is servable");
+    let packed = golden_quantized().pack().expect("packs");
+    let query = generic_hdc::BinaryHv::random_seeded(8, 7).expect("dim > 0");
+    let mapped = view.scores(&query).expect("mapped scores");
+    let heap = packed.scores(&query).expect("heap scores");
+    assert_eq!(
+        mapped.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        heap.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        "fixture scores must be bit-identical to the heap path"
+    );
+}
+
+#[test]
+fn tampered_v3_fixture_fails_the_checksum() {
+    let bytes = fixture("packed_v3.ghdc");
+    // Flip one bit in a plane word (past every header check): only the
+    // CRC footer can catch it, and it must.
+    let mut tampered = bytes.clone();
+    let layout = PackedLayout::validate(&bytes).expect("sealed v3 stream");
+    tampered[layout.planes_offset()] ^= 0x01;
+    match PackedLayout::validate(&tampered) {
+        Err(ReadModelError::ChecksumMismatch { .. }) => {}
+        other => panic!("tampered v3 stream must fail the CRC, got {other:?}"),
+    }
+    // And a tampered CRC footer itself is equally fatal.
+    let mut tampered = bytes;
+    let last = tampered.len() - 1;
+    tampered[last] ^= 0x01;
+    assert!(matches!(
+        PackedLayout::validate(&tampered),
+        Err(ReadModelError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
 fn corrupted_fixture_bytes_are_rejected() {
     let mut bytes = fixture("model_v2.ghdc");
     let payload_byte = 20;
@@ -172,4 +282,11 @@ fn regenerate() {
     let mut one_bit_v2 = Vec::new();
     write_quantized(&golden_one_bit(), &mut one_bit_v2).unwrap();
     std::fs::write(dir.join("quantized1bit_v2.ghdc"), &one_bit_v2).unwrap();
+
+    let mut packed_v3 = Vec::new();
+    write_packed(&golden_quantized(), &mut packed_v3).unwrap();
+    std::fs::write(dir.join("packed_v3.ghdc"), &packed_v3).unwrap();
+    let mut one_bit_v3 = Vec::new();
+    write_packed(&golden_one_bit(), &mut one_bit_v3).unwrap();
+    std::fs::write(dir.join("packed1bit_v3.ghdc"), &one_bit_v3).unwrap();
 }
