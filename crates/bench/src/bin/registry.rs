@@ -315,8 +315,17 @@ fn main() {
 fn stats_json(stats: &generic_hdc::RegistryStats) -> String {
     format!(
         "{{\"hits\": {}, \"cold_loads\": {}, \"evictions\": {}, \"swaps\": {}, \
-         \"quarantines\": {}}}",
-        stats.hits, stats.cold_loads, stats.evictions, stats.swaps, stats.quarantines
+         \"quarantines\": {}, \"publish_retries\": {}, \"rollbacks\": {}, \
+         \"recoveries\": {}, \"tmp_sweeps\": {}}}",
+        stats.hits,
+        stats.cold_loads,
+        stats.evictions,
+        stats.swaps,
+        stats.quarantines,
+        stats.publish_retries,
+        stats.rollbacks,
+        stats.recoveries,
+        stats.tmp_sweeps
     )
 }
 

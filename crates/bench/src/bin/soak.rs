@@ -23,6 +23,15 @@
 //!    availability (≥ 99.9% of admitted requests answered within
 //!    deadline), zero divergence from the scalar oracle on answered
 //!    requests, and bounded shard-kill recovery time.
+//! 6. **generational tenant ledger under crash faults**: a publish
+//!    storm across three tenants with injected transient I/O faults
+//!    (absorbed by the retry policy), simulated kill -9 at seeded
+//!    create/write/sync/rename boundaries, torn manifests, and a
+//!    concurrent reader registry — gating on zero lost last-good
+//!    generations (every recovery serves a CRC-valid previously
+//!    published model), bounded recovery time, auto-rollback serving
+//!    the prior generation on a corrupt live image, and reader
+//!    coherence with the writer's final state.
 //!
 //! Usage: `cargo run -p generic-bench --release --bin soak
 //! [seed] [--smoke]`
@@ -30,11 +39,16 @@
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use generic_bench::cli;
 use generic_hdc::encoding::{Encoder, GenericEncoderSpec};
+use generic_hdc::ledger::{FsOp, LedgerFs};
 use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
 use generic_hdc::{
-    HdcPipeline, NormMode, PredictOptions, RuntimeError, ServeConfig, Server, SubmitError,
+    BinaryHv, HdcModel, HdcPipeline, IntHv, ModelRegistry, NormMode, PredictOptions,
+    QuantizedModel, RegistryConfig, RuntimeError, ServeConfig, Server, SubmitError,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +65,7 @@ struct Config {
     garbage_records: usize,
     chaos_requests: usize,
     chaos_learns: usize,
+    ledger_rounds: usize,
 }
 
 impl Config {
@@ -64,6 +79,7 @@ impl Config {
             garbage_records: 120,
             chaos_requests: 2000,
             chaos_learns: 160,
+            ledger_rounds: 20,
         }
     }
 
@@ -77,6 +93,7 @@ impl Config {
             garbage_records: 30,
             chaos_requests: 400,
             chaos_learns: 48,
+            ledger_rounds: 8,
         }
     }
 }
@@ -98,6 +115,24 @@ struct ChaosSummary {
     writer_stalls: u64,
     checkpoint_retries: u64,
     storm_budget_ms: f64,
+}
+
+/// Everything scenario 6 (generational ledger crash soak) measured.
+struct LedgerSummary {
+    tenants: usize,
+    rounds: usize,
+    publishes: u64,
+    crashes: u64,
+    torn_manifests: u64,
+    max_recovery_ms: f64,
+    publish_retries: u64,
+    rollbacks: u64,
+    recoveries: u64,
+    tmp_sweeps: u64,
+    reader_samples: u64,
+    reader_errors: u64,
+    lost: u64,
+    mismatches: u64,
 }
 
 /// One gate: a named pass/fail with the observed evidence.
@@ -133,6 +168,36 @@ fn sample(rng: &mut StdRng, class: usize) -> Vec<f64> {
 
 fn scratch_dir(seed: u64) -> PathBuf {
     std::env::temp_dir().join(format!("ghdc-soak-{}-{seed}", std::process::id()))
+}
+
+const LEDGER_DIM: usize = 256;
+const LEDGER_TENANTS: [&str; 3] = ["acme", "globex", "initech"];
+
+/// A small, distinct per-seed tenant model for the ledger scenario.
+fn ledger_model(seed: u64) -> QuantizedModel {
+    let encoded: Vec<IntHv> = (0..4u64)
+        .map(|c| {
+            IntHv::from(
+                BinaryHv::random_seeded(LEDGER_DIM, seed.wrapping_mul(101).wrapping_add(c))
+                    .expect("dim > 0"),
+            )
+        })
+        .collect();
+    let model = HdcModel::fit(&encoded, &[0, 1, 2, 3], 4).expect("valid inputs");
+    QuantizedModel::from_model(&model, 8).expect("valid width")
+}
+
+/// Bit pattern of a model's heap-oracle scores on the fixed query —
+/// the identity every served answer is checked against.
+fn oracle_bits(model: &QuantizedModel, query: &BinaryHv) -> Vec<u64> {
+    model
+        .pack()
+        .expect("sample model packs")
+        .scores(query)
+        .expect("dim matches")
+        .iter()
+        .map(|s| s.to_bits())
+        .collect()
 }
 
 fn open_store(dir: &Path) -> CheckpointStore {
@@ -610,6 +675,396 @@ fn main() {
     let final_generation = report.generation;
     let _ = std::fs::remove_dir_all(&dir);
 
+    // --- scenario 6: generational tenant ledger under crash faults ---
+    // A publish storm across three tenants through the crash-injectable
+    // fs layer: transient faults must be absorbed by the retry policy,
+    // kill -9 at any create/write/sync/rename/sync-dir boundary (image
+    // or manifest phase) must never lose the last committed generation,
+    // torn manifests must be rebuilt from CRC-valid images, and a
+    // concurrent reader registry must stay coherent throughout.
+    let ledger_dir = scratch_dir(seed).with_extension("ledger");
+    let _ = std::fs::remove_dir_all(&ledger_dir);
+    let ledger_config = RegistryConfig {
+        byte_budget: 1 << 20,
+        dim: LEDGER_DIM,
+        keep_generations: 3,
+        watch_every: 1,
+        retry: RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            jitter: false,
+        },
+        ..RegistryConfig::default()
+    };
+    let query = BinaryHv::random_seeded(LEDGER_DIM, seed ^ 0xA5).expect("dim > 0");
+
+    let mut fs = LedgerFs::new();
+    let mut registry = ModelRegistry::open_with_fs(&ledger_dir, ledger_config, fs.clone())
+        .expect("ledger scratch dir is creatable");
+    assert!(registry.is_writer(), "first opener takes the writer lock");
+
+    // Per-tenant oracle history: `committed` are manifest-committed
+    // publishes in order; `acceptable` adds crash-in-flight images (a
+    // crash after the image rename but before the manifest sync may
+    // legitimately surface them after recovery).
+    let mut committed: Vec<Vec<Vec<u64>>> = vec![Vec::new(); LEDGER_TENANTS.len()];
+    let mut acceptable: Vec<Vec<Vec<u64>>> = vec![Vec::new(); LEDGER_TENANTS.len()];
+    let mut publishes = 0u64;
+    for (i, tenant) in LEDGER_TENANTS.iter().enumerate() {
+        let model = ledger_model(seed.wrapping_mul(977).wrapping_add(i as u64));
+        let bits = oracle_bits(&model, &query);
+        registry
+            .publish(tenant, &model)
+            .expect("clean baseline publish");
+        publishes += 1;
+        committed[i].push(bits.clone());
+        acceptable[i].push(bits);
+    }
+
+    // The concurrent reader: a second registry over the same directory
+    // (a second process in spirit — the flock excludes it from writing)
+    // sampling tenants throughout the storm.
+    let stop = Arc::new(AtomicBool::new(false));
+    type TenantSample = (usize, Vec<u64>);
+    let samples: Arc<Mutex<Vec<TenantSample>>> = Arc::new(Mutex::new(Vec::new()));
+    let reader_errors = Arc::new(AtomicU64::new(0));
+    let reader_thread = {
+        let stop = Arc::clone(&stop);
+        let samples = Arc::clone(&samples);
+        let reader_errors = Arc::clone(&reader_errors);
+        let dir = ledger_dir.clone();
+        let query = query.clone();
+        std::thread::spawn(move || {
+            let reader = ModelRegistry::open(&dir, ledger_config).expect("reader registry opens");
+            let was_writer = reader.is_writer();
+            let mut n = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let t = n % LEDGER_TENANTS.len();
+                n += 1;
+                match reader.get(LEDGER_TENANTS[t]) {
+                    Ok(handle) => {
+                        let bits: Vec<u64> = handle
+                            .view()
+                            .scores(&query)
+                            .expect("dim matches")
+                            .iter()
+                            .map(|s| s.to_bits())
+                            .collect();
+                        samples.lock().expect("sampler mutex").push((t, bits));
+                    }
+                    Err(_) => {
+                        reader_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            (was_writer, reader)
+        })
+    };
+
+    let mut crashes = 0u64;
+    let mut torn_manifests = 0u64;
+    let mut lost = 0u64;
+    let mut mismatches = 0u64;
+    let mut max_recovery = Duration::ZERO;
+    let mut agg_retries = 0u64;
+    let mut agg_rollbacks = 0u64;
+    let mut agg_recoveries = 0u64;
+    let mut agg_sweeps = 0u64;
+    let mut planted_tmp = false;
+    let all_ops = [
+        FsOp::Create,
+        FsOp::Write,
+        FsOp::Sync,
+        FsOp::Rename,
+        FsOp::SyncDir,
+    ];
+
+    for round in 0..config.ledger_rounds {
+        for (i, tenant) in LEDGER_TENANTS.iter().enumerate() {
+            let model_seed = seed
+                .wrapping_mul(977)
+                .wrapping_add(((round + 1) * LEDGER_TENANTS.len() + i) as u64);
+            let model = ledger_model(model_seed);
+            let bits = oracle_bits(&model, &query);
+            match rng.random_range(0..6u32) {
+                0 | 1 => {
+                    // Transient faults within the retry budget: the
+                    // publish must succeed anyway.
+                    let op = all_ops[rng.random_range(0..all_ops.len())];
+                    fs.fail_next(op, rng.random_range(1..=2));
+                    match registry.publish(tenant, &model) {
+                        Ok(_) => {
+                            publishes += 1;
+                            committed[i].push(bits.clone());
+                            acceptable[i].push(bits);
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "GATE FAILED: transient fault at {op} not absorbed \
+                                 by retry: {e}"
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                2 => {
+                    // kill -9 at a seeded boundary: phase 1 = staging
+                    // the image, phase 2 = committing the manifest.
+                    let op = all_ops[rng.random_range(0..all_ops.len())];
+                    let phase = rng.random_range(1..=2u32);
+                    fs.crash_at(op, phase);
+                    match registry.publish(tenant, &model) {
+                        Ok(_) => {
+                            // The crash can only fire inside the publish;
+                            // Ok means the arm mis-counted — treat as a
+                            // committed publish and keep going.
+                            publishes += 1;
+                            committed[i].push(bits.clone());
+                            acceptable[i].push(bits);
+                        }
+                        Err(_) => {
+                            crashes += 1;
+                            // The in-flight image may have been adopted
+                            // if the crash hit after its rename.
+                            acceptable[i].push(bits);
+                            let s = registry.stats();
+                            agg_retries += s.publish_retries;
+                            agg_rollbacks += s.rollbacks;
+                            agg_recoveries += s.recoveries;
+                            agg_sweeps += s.tmp_sweeps;
+                            drop(registry);
+                            // Sometimes the crash also tore the manifest.
+                            if rng.random_range(0..10u32) < 4 {
+                                let manifest = ledger_dir.join("MANIFEST");
+                                if let Ok(mut bytes) = std::fs::read(&manifest) {
+                                    if !bytes.is_empty() {
+                                        let pos = rng.random_range(0..bytes.len());
+                                        bytes[pos] ^= 0x20;
+                                        let _ = std::fs::write(&manifest, &bytes);
+                                        torn_manifests += 1;
+                                    }
+                                }
+                            }
+                            if !planted_tmp {
+                                // Debris from an unrelated crashed
+                                // process, for the sweep counter.
+                                let _ = std::fs::write(
+                                    ledger_dir.join("acme.g9999.ghdc.tmp"),
+                                    b"half-written publish",
+                                );
+                                planted_tmp = true;
+                            }
+                            // A fresh process recovers the directory.
+                            fs = LedgerFs::new();
+                            registry =
+                                ModelRegistry::open_with_fs(&ledger_dir, ledger_config, fs.clone())
+                                    .expect("recovery open succeeds");
+                            max_recovery = max_recovery.max(registry.recovery().elapsed);
+                            assert!(registry.is_writer(), "recovered process re-locks");
+                            // Every tenant must still serve a previously
+                            // published, CRC-valid model.
+                            for (j, probe) in LEDGER_TENANTS.iter().enumerate() {
+                                match registry.get(probe) {
+                                    Ok(handle) => {
+                                        let got: Vec<u64> = handle
+                                            .view()
+                                            .scores(&query)
+                                            .expect("dim matches")
+                                            .iter()
+                                            .map(|s| s.to_bits())
+                                            .collect();
+                                        if !acceptable[j].contains(&got) {
+                                            mismatches += 1;
+                                        }
+                                    }
+                                    Err(_) => lost += 1,
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => match registry.publish(tenant, &model) {
+                    Ok(_) => {
+                        publishes += 1;
+                        committed[i].push(bits.clone());
+                        acceptable[i].push(bits);
+                    }
+                    Err(e) => {
+                        eprintln!("GATE FAILED: clean ledger publish errored: {e}");
+                        std::process::exit(1);
+                    }
+                },
+            }
+        }
+    }
+
+    // Final clean publish per tenant: the storm must end with every
+    // tenant serving exactly this model.
+    let mut final_bits: Vec<Vec<u64>> = Vec::new();
+    for (i, tenant) in LEDGER_TENANTS.iter().enumerate() {
+        let model = ledger_model(seed.wrapping_mul(31_337).wrapping_add(i as u64));
+        let bits = oracle_bits(&model, &query);
+        registry
+            .publish(tenant, &model)
+            .expect("final clean publish");
+        publishes += 1;
+        committed[i].push(bits.clone());
+        acceptable[i].push(bits.clone());
+        final_bits.push(bits);
+    }
+    let mut final_exact = true;
+    for (i, tenant) in LEDGER_TENANTS.iter().enumerate() {
+        registry.evict(tenant);
+        let handle = registry.get(tenant).expect("final generation serves");
+        let got: Vec<u64> = handle
+            .view()
+            .scores(&query)
+            .expect("dim matches")
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        final_exact &= got == final_bits[i];
+    }
+    gates.push(Gate::check(
+        "ledger_zero_lost_last_good",
+        crashes >= 1 && lost == 0 && mismatches == 0 && final_exact,
+        format!(
+            "{crashes} crash(es), {torn_manifests} torn manifest(s): {lost} tenants lost, \
+             {mismatches} recoveries served an unpublished model, final state exact: \
+             {final_exact}"
+        ),
+    ));
+    gates.push(Gate::check(
+        "ledger_recovery_bounded",
+        max_recovery < Duration::from_millis(250),
+        format!(
+            "worst recovery scan {:.2} ms (budget 250 ms) across {crashes} crashes",
+            max_recovery.as_secs_f64() * 1e3
+        ),
+    ));
+
+    // Auto-rollback probe: corrupt the live image of tenant 0; its next
+    // admission must revert to an older valid generation and keep
+    // serving — no quarantine, no shed traffic.
+    let probe_tenant = LEDGER_TENANTS[0];
+    let live_path = registry
+        .tenant_path(probe_tenant)
+        .expect("probe tenant resolves");
+    let mut bytes = std::fs::read(&live_path).expect("live image readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&live_path, &bytes).expect("scratch dir writable");
+    registry.evict(probe_tenant);
+    let rolled_bits = match registry.get(probe_tenant) {
+        Ok(handle) => Some(
+            handle
+                .view()
+                .scores(&query)
+                .expect("dim matches")
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<u64>>(),
+        ),
+        Err(_) => None,
+    };
+    let rollback_ok = match &rolled_bits {
+        Some(got) => {
+            *got != final_bits[0]
+                && acceptable[0].contains(got)
+                && registry.quarantined().is_empty()
+        }
+        None => false,
+    };
+    gates.push(Gate::check(
+        "ledger_auto_rollback_serves_prior",
+        rollback_ok && registry.stats().rollbacks >= 1,
+        format!(
+            "corrupt live image -> served prior generation: {rollback_ok}, \
+             writer rollbacks {}",
+            registry.stats().rollbacks
+        ),
+    ));
+
+    // Reader coherence: after the writer's rollback commit, the
+    // reader's next admission must serve the same reverted generation.
+    stop.store(true, Ordering::Relaxed);
+    let (reader_was_writer, reader) = reader_thread.join().expect("reader thread joins");
+    let mut reader_final_ok = true;
+    for (i, tenant) in LEDGER_TENANTS.iter().enumerate() {
+        let want = if i == 0 {
+            rolled_bits.clone().unwrap_or_default()
+        } else {
+            final_bits[i].clone()
+        };
+        match reader.get(tenant) {
+            Ok(handle) => {
+                let got: Vec<u64> = handle
+                    .view()
+                    .scores(&query)
+                    .expect("dim matches")
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect();
+                reader_final_ok &= got == want;
+            }
+            Err(_) => reader_final_ok = false,
+        }
+    }
+    let reader_samples = {
+        let samples = samples.lock().expect("sampler mutex");
+        let mut valid = true;
+        for (t, bits) in samples.iter() {
+            valid &= acceptable[*t].contains(bits);
+        }
+        (samples.len() as u64, valid)
+    };
+    let reader_errs = reader_errors.load(Ordering::Relaxed);
+    gates.push(Gate::check(
+        "ledger_reader_coherence",
+        !reader_was_writer && reader_errs == 0 && reader_samples.1 && reader_final_ok,
+        format!(
+            "reader role ok: {}, {} samples all published models: {}, {} errors, \
+             final+rollback state coherent: {reader_final_ok}",
+            !reader_was_writer, reader_samples.0, reader_samples.1, reader_errs
+        ),
+    ));
+
+    let s = registry.stats();
+    agg_retries += s.publish_retries;
+    agg_rollbacks += s.rollbacks;
+    agg_recoveries += s.recoveries;
+    agg_sweeps += s.tmp_sweeps;
+    gates.push(Gate::check(
+        "ledger_counters_account_for_faults",
+        agg_retries >= 1 && agg_rollbacks >= 1 && agg_recoveries >= 1 && agg_sweeps >= 1,
+        format!(
+            "publish_retries {agg_retries}, rollbacks {agg_rollbacks}, \
+             recoveries {agg_recoveries}, tmp_sweeps {agg_sweeps}"
+        ),
+    ));
+
+    let ledger_summary = LedgerSummary {
+        tenants: LEDGER_TENANTS.len(),
+        rounds: config.ledger_rounds,
+        publishes,
+        crashes,
+        torn_manifests,
+        max_recovery_ms: max_recovery.as_secs_f64() * 1e3,
+        publish_retries: agg_retries,
+        rollbacks: agg_rollbacks,
+        recoveries: agg_recoveries,
+        tmp_sweeps: agg_sweeps,
+        reader_samples: reader_samples.0,
+        reader_errors: reader_errs,
+        lost,
+        mismatches,
+    };
+    drop(reader);
+    drop(registry);
+    let _ = std::fs::remove_dir_all(&ledger_dir);
+
     let json = render_json(
         &config,
         seed,
@@ -625,6 +1080,7 @@ fn main() {
         final_generation,
         &final_stats,
         &chaos,
+        &ledger_summary,
         &gates,
     );
     std::fs::write("BENCH_soak.json", &json).expect("write BENCH_soak.json");
@@ -655,6 +1111,7 @@ fn render_json(
     final_generation: u64,
     stats: &generic_hdc::RuntimeStats,
     chaos: &ChaosSummary,
+    ledger: &LedgerSummary,
     gates: &[Gate],
 ) -> String {
     let mut s = String::from("{\n");
@@ -712,6 +1169,27 @@ fn render_json(
         chaos.writer_stalls,
         chaos.checkpoint_retries,
         chaos.storm_budget_ms
+    ));
+    s.push_str(&format!(
+        "  \"ledger\": {{\"tenants\": {}, \"rounds\": {}, \"publishes\": {}, \
+         \"crashes\": {}, \"torn_manifests\": {}, \"max_recovery_ms\": {:.3}, \
+         \"publish_retries\": {}, \"rollbacks\": {}, \"recoveries\": {}, \
+         \"tmp_sweeps\": {}, \"reader_samples\": {}, \"reader_errors\": {}, \
+         \"lost\": {}, \"mismatches\": {}}},\n",
+        ledger.tenants,
+        ledger.rounds,
+        ledger.publishes,
+        ledger.crashes,
+        ledger.torn_manifests,
+        ledger.max_recovery_ms,
+        ledger.publish_retries,
+        ledger.rollbacks,
+        ledger.recoveries,
+        ledger.tmp_sweeps,
+        ledger.reader_samples,
+        ledger.reader_errors,
+        ledger.lost,
+        ledger.mismatches
     ));
     s.push_str("  \"gates\": {\n");
     for (i, gate) in gates.iter().enumerate() {

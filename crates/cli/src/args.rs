@@ -21,6 +21,10 @@ USAGE:
                     [--batch-max N] [--shards N] [--dead-letter-out <csv>]
                     [--skip-bad-rows] [--registry <dir>] [--tenant-header]
     generic conformance [--replay <token>] [--seed N] [--count N]
+    generic registry history  --dir <dir> --tenant <name>
+    generic registry rollback --dir <dir> --tenant <name> [--to N]
+    generic registry gc       --dir <dir>
+    generic registry fsck     --dir <dir>
 
 CSV format: one sample per row, numeric features separated by commas;
 for `train` (and with --labeled) the last column is an integer label.
@@ -55,7 +59,17 @@ feeding the shared writer, tenant column stripped).
 fast-kernel/scalar-oracle pair and reports divergences. With --replay it
 re-executes one scenario from a reproducer token (as embedded in shrunk
 fixture files); otherwise it fuzzes --count scenarios from --seed,
-shrinking any divergence to a minimal reproducer.";
+shrinking any divergence to a minimal reproducer.
+
+`registry` administers the generational tenant ledger of a model
+registry directory. `history` lists a tenant's retained generations
+with sizes and the live marker; `rollback` re-points the tenant's live
+generation to --to (or, without --to, the newest retained generation
+below live) after re-validating the target image; `gc` removes staging
+files and unreferenced images (requires the writer lock); `fsck`
+validates every retained image and lists orphans, failing when a live
+generation is missing or corrupt. Opening the directory runs the same
+crash-recovery scan the serving registry performs.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,8 +170,32 @@ pub enum CliCommand {
         /// Number of fuzzed scenarios.
         count: usize,
     },
+    /// Administer a registry directory's generational tenant ledger.
+    Registry {
+        /// The ledger operation to perform.
+        action: RegistryAction,
+        /// Registry directory.
+        dir: PathBuf,
+        /// Tenant name (required by history and rollback).
+        tenant: Option<String>,
+        /// Explicit rollback target generation.
+        to: Option<u64>,
+    },
     /// Print usage.
     Help,
+}
+
+/// The `registry` subcommand's action verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryAction {
+    /// List a tenant's retained generations.
+    History,
+    /// Re-point a tenant's live generation at an older one.
+    Rollback,
+    /// Remove staging files and unreferenced images.
+    Gc,
+    /// Validate every retained image and list orphans.
+    Fsck,
 }
 
 /// An argument-parsing failure.
@@ -199,7 +237,8 @@ impl Options {
                 }
                 "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
                 | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" | "batch-max"
-                | "shards" | "dead-letter-out" | "replay" | "count" | "registry" => {
+                | "shards" | "dead-letter-out" | "replay" | "count" | "registry" | "dir"
+                | "tenant" | "to" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
@@ -251,6 +290,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
     };
     if subcommand == "--help" || subcommand == "help" {
         return Ok(CliCommand::Help);
+    }
+    if subcommand == "registry" {
+        return parse_registry(rest);
     }
     let opts = Options::parse(rest)?;
     if opts.flag("help") {
@@ -320,6 +362,54 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
         }),
         other => Err(CliError::new(format!("unknown subcommand `{other}`"))),
     }
+}
+
+/// Parses `registry <action> [options]`.
+fn parse_registry(rest: &[String]) -> Result<CliCommand, CliError> {
+    let Some((verb, rest)) = rest.split_first() else {
+        return Err(CliError::new(
+            "registry requires an action: history, rollback, gc, or fsck",
+        ));
+    };
+    if verb == "--help" {
+        return Ok(CliCommand::Help);
+    }
+    let action = match verb.as_str() {
+        "history" => RegistryAction::History,
+        "rollback" => RegistryAction::Rollback,
+        "gc" => RegistryAction::Gc,
+        "fsck" => RegistryAction::Fsck,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown registry action `{other}` (expected history, rollback, gc, or fsck)"
+            )))
+        }
+    };
+    let opts = Options::parse(rest)?;
+    if opts.flag("help") {
+        return Ok(CliCommand::Help);
+    }
+    let dir = opts.required_path("dir")?;
+    let tenant = opts.value("tenant").map(str::to_owned);
+    if matches!(action, RegistryAction::History | RegistryAction::Rollback) && tenant.is_none() {
+        return Err(CliError::new(format!("registry {verb} requires --tenant")));
+    }
+    let to = match opts.value("to") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::new(format!("--to expects a number, got `{v}`")))?,
+        ),
+    };
+    if to.is_some() && action != RegistryAction::Rollback {
+        return Err(CliError::new("--to only applies to registry rollback"));
+    }
+    Ok(CliCommand::Registry {
+        action,
+        dir,
+        tenant,
+        to,
+    })
 }
 
 #[cfg(test)]
@@ -507,6 +597,58 @@ mod tests {
         );
         assert!(parse_args(&argv(&["conformance", "--count", "x"])).is_err());
         assert!(parse_args(&argv(&["conformance", "--replay"])).is_err());
+    }
+
+    #[test]
+    fn parses_registry_actions() {
+        assert_eq!(
+            parse_args(&argv(&[
+                "registry", "history", "--dir", "d", "--tenant", "acme"
+            ]))
+            .unwrap(),
+            CliCommand::Registry {
+                action: RegistryAction::History,
+                dir: "d".into(),
+                tenant: Some("acme".into()),
+                to: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "registry", "rollback", "--dir", "d", "--tenant", "acme", "--to", "3",
+            ]))
+            .unwrap(),
+            CliCommand::Registry {
+                action: RegistryAction::Rollback,
+                dir: "d".into(),
+                tenant: Some("acme".into()),
+                to: Some(3),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["registry", "fsck", "--dir", "d"])).unwrap(),
+            CliCommand::Registry {
+                action: RegistryAction::Fsck,
+                dir: "d".into(),
+                tenant: None,
+                to: None,
+            }
+        );
+        // Missing action, unknown action, missing --dir, missing
+        // --tenant where required, --to outside rollback.
+        assert!(parse_args(&argv(&["registry"])).is_err());
+        assert!(parse_args(&argv(&["registry", "prune", "--dir", "d"])).is_err());
+        assert!(parse_args(&argv(&["registry", "gc"])).is_err());
+        assert!(parse_args(&argv(&["registry", "history", "--dir", "d"])).is_err());
+        assert!(parse_args(&argv(&["registry", "gc", "--dir", "d", "--to", "1"])).is_err());
+        assert!(parse_args(&argv(&[
+            "registry", "rollback", "--dir", "d", "--tenant", "t", "--to", "x",
+        ]))
+        .is_err());
+        assert_eq!(
+            parse_args(&argv(&["registry", "--help"])).unwrap(),
+            CliCommand::Help
+        );
     }
 
     #[test]

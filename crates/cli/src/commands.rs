@@ -12,11 +12,11 @@ use generic_hdc::runtime::{
     CheckpointStore, MicroBatcher, OnlineRuntime, RetryPolicy, RuntimeConfig,
 };
 use generic_hdc::{
-    HdcClustering, HdcClusteringSpec, HdcPipeline, ModelRegistry, RegistryConfig, RuntimeError,
-    ServeConfig, ServeError, Server, SubmitError, Ticket,
+    HdcClustering, HdcClusteringSpec, HdcPipeline, Ledger, ModelRegistry, RegistryConfig,
+    RuntimeError, ServeConfig, ServeError, Server, SubmitError, Ticket,
 };
 
-use crate::args::{CliCommand, USAGE};
+use crate::args::{CliCommand, RegistryAction, USAGE};
 use crate::csv;
 
 type CommandResult = Result<(), Box<dyn Error>>;
@@ -189,6 +189,111 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             seed,
             count,
         } => conformance(out, replay.as_deref(), seed, count),
+        CliCommand::Registry {
+            action,
+            dir,
+            tenant,
+            to,
+        } => registry_admin(out, action, &dir, tenant.as_deref(), to),
+    }
+}
+
+/// The `registry` admin driver: history, rollback, gc, and fsck over a
+/// ledger directory, reusing the serving registry's recovery scan.
+fn registry_admin<W: Write>(
+    out: &mut W,
+    action: RegistryAction,
+    dir: &Path,
+    tenant: Option<&str>,
+    to: Option<u64>,
+) -> CommandResult {
+    let (mut ledger, recovery) =
+        Ledger::open(dir).map_err(|e| format!("cannot open registry {}: {e}", dir.display()))?;
+    if recovery.repaired {
+        writeln!(
+            out,
+            "recovery: manifest rebuilt from on-disk generations ({})",
+            recovery.repair_reason.as_deref().unwrap_or("unknown cause")
+        )?;
+    }
+    if recovery.swept_tmp > 0 {
+        writeln!(
+            out,
+            "recovery: swept {} orphaned staging file(s)",
+            recovery.swept_tmp
+        )?;
+    }
+    match action {
+        RegistryAction::History => {
+            let tenant = tenant.expect("parser enforces --tenant");
+            let records = ledger.history(tenant);
+            if records.is_empty() {
+                return Err(format!("tenant `{tenant}` has no retained generations").into());
+            }
+            writeln!(out, "tenant {tenant}: {} generation(s)", records.len())?;
+            for record in records {
+                let size = match record.bytes {
+                    Some(bytes) => format!("{bytes} B"),
+                    None => "missing".to_string(),
+                };
+                writeln!(
+                    out,
+                    "  g{:<4} {:>10}{}",
+                    record.generation,
+                    size,
+                    if record.live { "  (live)" } else { "" }
+                )?;
+            }
+            Ok(())
+        }
+        RegistryAction::Rollback => {
+            let tenant = tenant.expect("parser enforces --tenant");
+            if !ledger.try_acquire_writer()? {
+                return Err("another process holds the registry writer lock".into());
+            }
+            let target = ledger.rollback_target(tenant, to).ok_or_else(|| match to {
+                Some(gen) => format!("tenant `{tenant}` does not retain generation {gen}"),
+                None => format!("tenant `{tenant}` has no generation older than live"),
+            })?;
+            Ledger::validate_image(&ledger.gen_path(tenant, target))
+                .map_err(|reason| format!("generation {target} fails validation: {reason}"))?;
+            ledger.commit_live(tenant, target)?;
+            writeln!(out, "tenant {tenant}: live generation is now g{target}")?;
+            Ok(())
+        }
+        RegistryAction::Gc => {
+            let removed = ledger.gc()?;
+            writeln!(out, "gc: removed {removed} unreferenced file(s)")?;
+            Ok(())
+        }
+        RegistryAction::Fsck => {
+            let report = ledger.fsck()?;
+            for finding in &report.findings {
+                let status = match &finding.status {
+                    Ok(()) => "ok".to_string(),
+                    Err(reason) => format!("BAD: {reason}"),
+                };
+                writeln!(
+                    out,
+                    "tenant {} g{}{}: {status}",
+                    finding.tenant,
+                    finding.generation,
+                    if finding.live { " (live)" } else { "" }
+                )?;
+            }
+            for orphan in &report.orphans {
+                writeln!(out, "orphan: {}", orphan.display())?;
+            }
+            if report.findings.is_empty() && report.orphans.is_empty() {
+                writeln!(out, "fsck: empty ledger, nothing to check")?;
+            }
+            if report.healthy() {
+                writeln!(out, "fsck: healthy")?;
+                Ok(())
+            } else {
+                Err("fsck: a live generation is missing or corrupt".into())
+            }
+        }
     }
 }
 
@@ -550,6 +655,11 @@ fn serve_sharded<W: Write>(out: &mut W, runtime: OnlineRuntime, args: &ServeArgs
             stats.quarantines,
             tenant_refused,
             registry.resident_bytes()
+        )?;
+        writeln!(
+            out,
+            "  ledger: publish retries {}, rollbacks {}, recoveries {}, tmp sweeps {}",
+            stats.publish_retries, stats.rollbacks, stats.recoveries, stats.tmp_sweeps
         )?;
     }
     Ok(())

@@ -507,3 +507,112 @@ fn sharded_serve_routes_tenant_rows_through_the_registry() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn registry_admin_round_trip_pins_golden_output() {
+    use generic_hdc::{BinaryHv, HdcModel, IntHv, ModelRegistry, QuantizedModel, RegistryConfig};
+
+    let dir = temp_dir("registry-admin");
+    let reg_dir = dir.join("tenants");
+    std::fs::remove_dir_all(&reg_dir).ok();
+
+    // Publish two generations of the same-shaped model so both images
+    // have identical, deterministic sizes.
+    let model = |seed: u64| {
+        let encoded: Vec<IntHv> = (0..3)
+            .map(|c| IntHv::from(BinaryHv::random_seeded(256, seed * 31 + c).unwrap()))
+            .collect();
+        let trained = HdcModel::fit(&encoded, &[0, 1, 2], 3).unwrap();
+        QuantizedModel::from_model(&trained, 8).unwrap()
+    };
+    let first = model(1);
+    let registry = ModelRegistry::open(
+        &reg_dir,
+        RegistryConfig {
+            dim: 256,
+            ..RegistryConfig::default()
+        },
+    )
+    .expect("registry dir is creatable");
+    registry.publish("acme", &first).unwrap();
+    registry.publish("acme", &model(2)).unwrap();
+    drop(registry);
+
+    let mut bytes = Vec::new();
+    generic_hdc::io::write_packed(&first, &mut bytes).unwrap();
+    let size = format!("{} B", bytes.len());
+    let reg = reg_dir.to_str().expect("utf-8 path");
+
+    // Golden: `registry history` output is pinned byte-for-byte.
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&["registry", "history", "--dir", reg, "--tenant", "acme"]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    let expected = format!(
+        "tenant acme: 2 generation(s)\n  g{:<4} {:>10}\n  g{:<4} {:>10}  (live)\n",
+        1, size, 2, size
+    );
+    assert_eq!(text, expected);
+
+    // Rollback to the previous generation, then history shows g1 live.
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&["registry", "rollback", "--dir", reg, "--tenant", "acme"]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    assert_eq!(text, "tenant acme: live generation is now g1\n");
+
+    let mut out = Vec::new();
+    let code = run(
+        &argv(&["registry", "history", "--dir", reg, "--tenant", "acme"]),
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    let expected = format!(
+        "tenant acme: 2 generation(s)\n  g{:<4} {:>10}  (live)\n  g{:<4} {:>10}\n",
+        1, size, 2, size
+    );
+    assert_eq!(text, expected);
+
+    // Fsck reports both generations healthy.
+    let mut out = Vec::new();
+    let code = run(&argv(&["registry", "fsck", "--dir", reg]), &mut out);
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    assert_eq!(
+        text,
+        "tenant acme g1 (live): ok\ntenant acme g2: ok\nfsck: healthy\n"
+    );
+
+    // A planted staging orphan is swept by the open-time recovery scan,
+    // leaving gc itself nothing to remove — both counts are reported.
+    std::fs::write(reg_dir.join("acme.g9.ghdc.tmp"), b"torn").unwrap();
+    let mut out = Vec::new();
+    let code = run(&argv(&["registry", "gc", "--dir", reg]), &mut out);
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_eq!(code, 0, "{text}");
+    assert_eq!(
+        text,
+        "recovery: swept 1 orphaned staging file(s)\ngc: removed 0 unreferenced file(s)\n"
+    );
+
+    // Corrupting the live image makes fsck fail loudly.
+    let live = reg_dir.join("acme.g1.ghdc");
+    let mut image = std::fs::read(&live).unwrap();
+    let mid = image.len() / 2;
+    image[mid] ^= 0x40;
+    std::fs::write(&live, image).unwrap();
+    let mut out = Vec::new();
+    let code = run(&argv(&["registry", "fsck", "--dir", reg]), &mut out);
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_ne!(code, 0, "{text}");
+    assert!(text.contains("tenant acme g1 (live): BAD"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use generic_hdc::encoding::{Encoder, GenericEncoderSpec};
 use generic_hdc::io::read_packed;
 use generic_hdc::kernels;
+use generic_hdc::ledger::{FsOp, LedgerFs, MANIFEST_NAME};
 use generic_hdc::oracle::{
     BundleKernel, DifferentialKernel, DotI32Kernel, EncodeKernel, HammingKernel, PackedDotKernel,
     PackedScoreKernel, RetrainKernel, ScoreBatchKernel, ScoreKernel, StageKind,
@@ -14,8 +15,8 @@ use generic_hdc::oracle::{
 use generic_hdc::registry::{ModelRegistry, RegistryConfig};
 use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
 use generic_hdc::{
-    BinaryHv, HdcModel, HdcPipeline, IntHv, NormMode, PackedInts, PredictOptions, QuantizedModel,
-    ResilienceConfig, ResilientPipeline, ServeConfig, Server,
+    BinaryHv, HdcModel, HdcPipeline, IntHv, NormMode, PackedInts, PackedQuantizedModel,
+    PredictOptions, QuantizedModel, ResilienceConfig, ResilientPipeline, ServeConfig, Server,
 };
 use generic_sim::{mitchell_divide_wide, Accelerator, AcceleratorConfig};
 
@@ -1052,14 +1053,11 @@ fn registry_cycle(
     const KERNEL: &str = "registry_view";
     let err = |e: &dyn std::fmt::Display| harness_failure(STAGE, KERNEL, &e);
 
-    let registry = ModelRegistry::open(
-        dir,
-        RegistryConfig {
-            dim: scenario.dim,
-            ..RegistryConfig::default()
-        },
-    )
-    .map_err(|e| err(&e))?;
+    let config = RegistryConfig {
+        dim: scenario.dim,
+        ..RegistryConfig::default()
+    };
+    let registry = ModelRegistry::open(dir, config).map_err(|e| err(&e))?;
     let first =
         QuantizedModel::from_model(pipeline.model(), scenario.bit_width).map_err(|e| err(&e))?;
     // The hot-swap replacement: the same model at a different width, so
@@ -1135,6 +1133,142 @@ fn registry_cycle(
         });
     }
     coverage.add(STAGE, 2);
+
+    // --- Generational ledger replay: publish → crash → recover →
+    // rollback → torn manifest, the mapped view checked bit-for-bit
+    // against the heap oracle of whichever generation must be live
+    // after each transition.
+    let first_oracle = old_oracle;
+    let second_oracle = second.pack().map_err(|e| err(&e))?;
+    drop(registry);
+
+    // A publish killed before its image rename must leave the
+    // committed generation untouched and its staging file behind.
+    let fs = LedgerFs::new();
+    let crashing = ModelRegistry::open_with_fs(dir, config, fs.clone()).map_err(|e| err(&e))?;
+    fs.crash_at(FsOp::Rename, 1);
+    if crashing.publish("conformance", &first).is_ok() {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "registry_ledger".to_string(),
+            detail: "a publish with a crash armed at the image rename succeeded".to_string(),
+        });
+    }
+    drop(crashing);
+
+    let registry = ModelRegistry::open(dir, config).map_err(|e| err(&e))?;
+    if registry.recovery().swept_tmp == 0 {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "registry_ledger".to_string(),
+            detail: "recovery after a crashed publish swept no staging files".to_string(),
+        });
+    }
+    check_live_generation(
+        coverage,
+        &registry,
+        &second_oracle,
+        &queries,
+        "recovered after crashed publish",
+    )?;
+    check_registry_tenant(
+        coverage,
+        &registry,
+        &queries,
+        "recovered after crashed publish",
+    )?;
+
+    // Explicit rollback: the previous generation becomes live again and
+    // scores exactly as its heap oracle.
+    let target = registry
+        .rollback("conformance", None)
+        .map_err(|e| err(&e))?;
+    check_live_generation(
+        coverage,
+        &registry,
+        &first_oracle,
+        &queries,
+        "after rollback",
+    )?;
+    check_registry_tenant(coverage, &registry, &queries, "after rollback")?;
+    let records = registry.history("conformance").map_err(|e| err(&e))?;
+    let live: Vec<u64> = records
+        .iter()
+        .filter(|r| r.live)
+        .map(|r| r.generation)
+        .collect();
+    let retained: Vec<u64> = records.iter().map(|r| r.generation).collect();
+    if live != [target] || retained != [1, 2] {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "registry_ledger".to_string(),
+            detail: format!(
+                "after rollback to {target}, history shows live {live:?} retained {retained:?} \
+                 (expected live [{target}], retained [1, 2])"
+            ),
+        });
+    }
+    coverage.add(STAGE, 1);
+    drop(registry);
+
+    // Torn manifest: flip one byte, reopen, and the rebuild must elect
+    // the newest CRC-valid image — never the corrupt text's claim.
+    let manifest = dir.join(MANIFEST_NAME);
+    let mut bytes = std::fs::read(&manifest).map_err(|e| err(&e))?;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&manifest, bytes).map_err(|e| err(&e))?;
+    let registry = ModelRegistry::open(dir, config).map_err(|e| err(&e))?;
+    if !registry.recovery().repaired {
+        return Err(Divergence {
+            stage: STAGE,
+            kernel: "registry_ledger".to_string(),
+            detail: "a torn manifest was not repaired at open".to_string(),
+        });
+    }
+    check_live_generation(
+        coverage,
+        &registry,
+        &second_oracle,
+        &queries,
+        "rebuilt from torn manifest",
+    )?;
+    check_registry_tenant(coverage, &registry, &queries, "rebuilt from torn manifest")?;
+    coverage.add(STAGE, 1);
+    Ok(())
+}
+
+/// Scores every query through the live mapped view and compares
+/// bit-for-bit against the heap oracle of the generation that the
+/// ledger replay expects to be serving after `step`.
+fn check_live_generation(
+    coverage: &mut Coverage,
+    registry: &ModelRegistry,
+    oracle: &PackedQuantizedModel,
+    queries: &[BinaryHv],
+    step: &str,
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::Registry;
+    const KERNEL: &str = "registry_ledger";
+    let err = |e: &dyn std::fmt::Display| harness_failure(STAGE, KERNEL, &e);
+    let handle = registry.get("conformance").map_err(|e| err(&e))?;
+    let view = handle.view();
+    for (i, query) in queries.iter().enumerate() {
+        let reference = oracle.scores(query).map_err(|e| err(&e))?;
+        let mapped = view.scores(query).map_err(|e| err(&e))?;
+        if mapped != reference {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: KERNEL.to_string(),
+                detail: format!(
+                    "{step}, sample {i}: the live view diverges from the expected \
+                     generation's oracle: {}",
+                    first_f64_diff(&mapped, &reference)
+                ),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
     Ok(())
 }
 

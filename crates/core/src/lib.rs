@@ -90,6 +90,7 @@ pub mod io;
 pub mod kernels;
 // The other `unsafe` module: raw-syscall `mmap` ownership and the one
 // checked byte→word reinterpretation backing zero-copy model views.
+pub mod ledger;
 #[allow(unsafe_code)]
 pub mod mapped;
 pub mod metrics;
@@ -104,6 +105,7 @@ pub use error::HdcError;
 pub use fault::{DefectMap, FaultKind, FaultModel};
 pub use hv::{BinaryHv, BitSliceAccumulator, IntHv, PackedInts};
 pub use id::IdMemory;
+pub use ledger::{FsOp, Ledger, LedgerFs, Manifest, ManifestError, RecoveryOutcome};
 pub use level::{LevelMemory, Quantizer};
 pub use mapped::Mapping;
 pub use model::{HdcModel, NormMode, PredictOptions, ScoreBatch};

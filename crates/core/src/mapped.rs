@@ -116,6 +116,80 @@ mod sys {
         }
         ret as isize
     }
+
+    pub const LOCK_EX: usize = 2;
+    pub const LOCK_NB: usize = 4;
+    pub const EWOULDBLOCK: isize = -11;
+
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn flock(fd: i32, operation: usize) -> isize {
+        let ret: usize;
+        // SAFETY: flock = syscall 73 under the x86-64 ABI; two args.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") 73usize => ret,
+                in("rdi") fd as usize,
+                in("rsi") operation,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret as isize
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn flock(fd: i32, operation: usize) -> isize {
+        let ret: usize;
+        // SAFETY: flock = syscall 32 under the AArch64 ABI; two args.
+        unsafe {
+            asm!(
+                "svc 0",
+                inlateout("x0") fd as usize => ret,
+                in("x1") operation,
+                in("x8") 32usize,
+                options(nostack),
+            );
+        }
+        ret as isize
+    }
+}
+
+/// Tries to take an exclusive, non-blocking advisory `flock` on `file`.
+/// `Ok(false)` means another open file description (another process, or
+/// another `File` in this one) already holds it. The lock lives exactly
+/// as long as the file description: process death — including `kill
+/// -9` — releases it, which is what makes it safe as the registry's
+/// single-writer guard. On platforms without the raw syscall the lock
+/// degrades to a no-op grant (single-process semantics, same as PR 7).
+pub(crate) fn try_lock_exclusive(file: &File) -> io::Result<bool> {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        use std::os::fd::AsRawFd;
+        // SAFETY: flock takes an owned fd and an operation bitmask; the
+        // fd is valid for the lifetime of `file`, and no memory is
+        // passed to the kernel.
+        let ret = unsafe { sys::flock(file.as_raw_fd(), sys::LOCK_EX | sys::LOCK_NB) };
+        if ret == 0 {
+            Ok(true)
+        } else if ret == sys::EWOULDBLOCK {
+            Ok(false)
+        } else {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        }
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    {
+        let _ = file;
+        Ok(true)
+    }
 }
 
 /// A heap buffer aligned to [`crate::io::PACKED_ALIGN`] — the fallback

@@ -1,5 +1,5 @@
 //! Multi-tenant model registry: mmap-on-demand serving of GHDC v3
-//! class memories.
+//! class memories with a crash-recoverable generation ledger.
 //!
 //! At fleet scale the binding constraint is not single-model speed but
 //! footprint: thousands of per-tenant models, each fully deserialized,
@@ -9,18 +9,34 @@
 //! memories differ per tenant. This module serves those class memories
 //! straight out of the OS page cache:
 //!
-//! - [`ModelRegistry::get`] maps `DIR/<tenant>.ghdc` on demand and
+//! - [`ModelRegistry::get`] maps the tenant's **live generation**
+//!   (`DIR/<tenant>.g<N>.ghdc`, resolved through the
+//!   [`Ledger`](crate::ledger::Ledger) manifest) on demand and
 //!   validates it (header, exact length, alignment, CRC32) before any
-//!   view exists; failures **quarantine** the tenant with a typed
-//!   reason instead of crashing the fleet.
+//!   view exists. A failing live image **auto-rolls back**: the newest
+//!   retained generation that passes validation is committed live and
+//!   served, so a bad image degrades to the previous model instead of
+//!   shedding the tenant's traffic. Only when *no* retained generation
+//!   validates is the tenant quarantined.
 //! - Resident mappings live in an LRU under a configurable byte
 //!   budget; eviction drops the registry's reference, and the mapping
 //!   itself is retired only when the last in-flight reader drops its
 //!   [`TenantHandle`] (RCU by refcount).
-//! - [`ModelRegistry::publish`] hot-swaps a tenant through the same
+//! - [`ModelRegistry::publish`] stages a new generation through the
 //!   atomic path checkpoints use — write `*.tmp`, fsync, rename, fsync
-//!   the directory — then republishes the resident entry; readers
-//!   pinned to the old mapping keep scoring the old inode untouched.
+//!   the directory, retrying transient faults per the configured
+//!   [`RetryPolicy`] — validates it, and only then commits the
+//!   manifest. A crash at any boundary leaves the previous generation
+//!   live; [`ModelRegistry::open`]'s recovery scan sweeps the staging
+//!   debris. The last `keep_generations` images are retained for
+//!   [`ModelRegistry::rollback`].
+//! - Cross-process coherence: the first registry over a directory takes
+//!   an advisory `flock` and becomes the writer; further registries
+//!   (other processes, or other instances in this one) open as readers
+//!   whose [`ModelRegistry::get`] cheaply re-stats the manifest every
+//!   `watch_every` admissions and refreshes changed tenants — so a
+//!   serving process picks up another process's publishes and
+//!   rollbacks at admission time without restarting.
 //! - One seeded [`IdMemory`] is shared across every tenant
 //!   ([`ModelRegistry::shared_ids`]), so per-tenant state is exactly
 //!   one mapped file.
@@ -28,21 +44,22 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::io::{write_packed, PackedLayout, ReadModelError};
+use crate::ledger::{
+    valid_tenant_name, FsckReport, GenerationRecord, Ledger, LedgerFs, RecoveryOutcome,
+};
 use crate::mapped::Mapping;
 use crate::quant::{PackedModelView, QuantizedModel};
-use crate::runtime::sync_dir;
+use crate::runtime::RetryPolicy;
 use crate::{HdcError, IdMemory};
 
 /// File extension of tenant model files inside a registry directory.
 pub const TENANT_EXT: &str = "ghdc";
-
-const TMP_SUFFIX: &str = ".tmp";
 
 /// Tunables of a [`ModelRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +76,15 @@ pub struct RegistryConfig {
     /// Seed of the shared item memory (paper §4.2: ids are regenerated
     /// from the seed, so this one number replaces a per-tenant table).
     pub id_seed: u64,
+    /// Generations retained per tenant for rollback (≥ 1; older images
+    /// are garbage-collected at commit).
+    pub keep_generations: usize,
+    /// A reader registry re-stats the manifest every `watch_every`-th
+    /// admission to pick up cross-process publishes (1 = every call).
+    pub watch_every: u64,
+    /// Backoff policy for transient publish/manifest I/O faults (the
+    /// same shape `CheckpointStore::save` uses).
+    pub retry: RetryPolicy,
 }
 
 impl Default for RegistryConfig {
@@ -68,6 +94,9 @@ impl Default for RegistryConfig {
             dim: 2048,
             id_count: 64,
             id_seed: 0x1D5E_ED00,
+            keep_generations: 4,
+            watch_every: 64,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -81,8 +110,9 @@ pub enum RegistryError {
     InvalidTenant(String),
     /// No model file exists for the tenant.
     NotFound(String),
-    /// The tenant's file failed CRC/alignment/layout validation and is
-    /// quarantined until a valid model is published for it.
+    /// No retained generation of the tenant's file passes
+    /// CRC/alignment/layout validation; the tenant is quarantined until
+    /// a valid model is published for it.
     Quarantined {
         /// The quarantined tenant.
         tenant: String,
@@ -103,6 +133,25 @@ pub enum RegistryError {
         expected: usize,
         /// The offered model's dimensionality.
         actual: usize,
+    },
+    /// A freshly staged publish image failed validation and was
+    /// discarded; the tenant keeps serving its previous generation.
+    PublishRejected {
+        /// The tenant whose publish was rejected.
+        tenant: String,
+        /// Why the staged image failed validation.
+        reason: String,
+    },
+    /// A mutation (publish, rollback, gc) was attempted without the
+    /// advisory writer lock — another process owns the directory.
+    NotWriter,
+    /// A rollback targeted a generation the ledger does not retain.
+    NoSuchGeneration {
+        /// The tenant.
+        tenant: String,
+        /// The requested generation (`None` = no older generation
+        /// exists to roll back to).
+        generation: Option<u64>,
     },
     /// Underlying I/O failure (not a validation failure).
     Io(io::Error),
@@ -126,6 +175,20 @@ impl std::fmt::Display for RegistryError {
                 f,
                 "model dimensionality {actual} does not match the registry's {expected}"
             ),
+            RegistryError::PublishRejected { tenant, reason } => write!(
+                f,
+                "publish for tenant `{tenant}` rejected (previous generation stays live): {reason}"
+            ),
+            RegistryError::NotWriter => {
+                write!(f, "another process holds the registry writer lock")
+            }
+            RegistryError::NoSuchGeneration { tenant, generation } => match generation {
+                Some(g) => write!(f, "tenant `{tenant}` retains no generation {g}"),
+                None => write!(
+                    f,
+                    "tenant `{tenant}` has no older generation to roll back to"
+                ),
+            },
             RegistryError::Io(e) => write!(f, "registry i/o failure: {e}"),
             RegistryError::Config(e) => write!(f, "registry configuration: {e}"),
         }
@@ -159,8 +222,22 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Successful hot-swaps through [`ModelRegistry::publish`].
     pub swaps: u64,
-    /// Validation failures that quarantined a tenant.
+    /// Validation failures that quarantined a tenant (no retained
+    /// generation validated).
     pub quarantines: u64,
+    /// Transient publish/manifest I/O faults absorbed by the
+    /// [`RetryPolicy`].
+    pub publish_retries: u64,
+    /// Generations reverted — explicit [`ModelRegistry::rollback`]s,
+    /// auto-rollbacks on a corrupt live image, and rejected publishes
+    /// that kept the previous generation live.
+    pub rollbacks: u64,
+    /// Recovery scans at open that had to repair state (torn/missing
+    /// manifest rebuilt, orphaned images adopted, or staging files
+    /// swept).
+    pub recoveries: u64,
+    /// Orphaned `*.tmp` staging files swept by recovery scans.
+    pub tmp_sweeps: u64,
 }
 
 /// One validated, mapped tenant model. Owned by `Arc`: the registry
@@ -233,16 +310,26 @@ struct State {
 
 /// The multi-tenant registry. See the [module docs](self) for the
 /// serving model.
+///
+/// Lock discipline: the ledger mutex is acquired before the state
+/// mutex, never the reverse; the resident-hit fast path takes only the
+/// state mutex.
 #[derive(Debug)]
 pub struct ModelRegistry {
     dir: PathBuf,
     config: RegistryConfig,
     ids: IdMemory,
+    ledger: Mutex<Ledger>,
     state: Mutex<State>,
+    recovery: RecoveryOutcome,
+    watch_tick: AtomicU64,
 }
 
 impl ModelRegistry {
-    /// Opens (creating if missing) a registry over `dir`.
+    /// Opens (creating if missing) a registry over `dir`, running the
+    /// ledger recovery scan (sweep staging orphans, repair a
+    /// torn/missing manifest from the on-disk generations, adopt
+    /// uncommitted images).
     ///
     /// # Errors
     ///
@@ -250,15 +337,40 @@ impl ModelRegistry {
     /// [`RegistryError::Config`] if the shared id memory parameters are
     /// degenerate.
     pub fn open(dir: impl Into<PathBuf>, config: RegistryConfig) -> Result<Self, RegistryError> {
+        Self::open_with_fs(dir, config, LedgerFs::new())
+    }
+
+    /// [`ModelRegistry::open`] with an injectable filesystem layer —
+    /// the crash-fault hook soak and conformance campaigns use to fail
+    /// or kill the process at exact publish boundaries.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::open`].
+    pub fn open_with_fs(
+        dir: impl Into<PathBuf>,
+        config: RegistryConfig,
+        fs: LedgerFs,
+    ) -> Result<Self, RegistryError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let ids = IdMemory::seeded(config.dim, config.id_count, config.id_seed)
             .map_err(RegistryError::Config)?;
+        let (ledger, recovery) =
+            Ledger::open_with(&dir, config.keep_generations.max(1), config.retry, fs)?;
+        let mut state = State::default();
+        state.stats.tmp_sweeps = recovery.swept_tmp as u64;
+        if recovery.repaired || recovery.adopted > 0 || recovery.swept_tmp > 0 {
+            state.stats.recoveries = 1;
+        }
         Ok(ModelRegistry {
             dir,
             config,
             ids,
-            state: Mutex::new(State::default()),
+            ledger: Mutex::new(ledger),
+            state: Mutex::new(state),
+            recovery,
+            watch_tick: AtomicU64::new(0),
         })
     }
 
@@ -277,66 +389,120 @@ impl ModelRegistry {
         &self.ids
     }
 
-    /// The path a tenant's model file lives at.
+    /// What the recovery scan at open found and did.
+    pub fn recovery(&self) -> &RecoveryOutcome {
+        &self.recovery
+    }
+
+    /// Whether this registry holds the advisory single-writer lock on
+    /// the directory (the first opener does; later openers — typically
+    /// other processes — serve as coherent readers).
+    pub fn is_writer(&self) -> bool {
+        lock_ledger(&self.ledger).is_writer()
+    }
+
+    /// The ledger's commit epoch (bumps on every publish/rollback).
+    pub fn epoch(&self) -> u64 {
+        lock_ledger(&self.ledger).epoch()
+    }
+
+    /// A shared-state clone of the injectable filesystem layer, for
+    /// arming faults mid-run.
+    pub fn ledger_fs(&self) -> LedgerFs {
+        lock_ledger(&self.ledger).fs()
+    }
+
+    /// The path a tenant's **live** model image lives at (the legacy
+    /// flat `<tenant>.ghdc` when the ledger has no entry yet).
     ///
     /// # Errors
     ///
     /// [`RegistryError::InvalidTenant`] for unsafe names.
     pub fn tenant_path(&self, tenant: &str) -> Result<PathBuf, RegistryError> {
         validate_tenant(tenant)?;
-        Ok(self.dir.join(format!("{tenant}.{TENANT_EXT}")))
+        let ledger = lock_ledger(&self.ledger);
+        Ok(match ledger.live_path(tenant) {
+            Some((_, path)) => path,
+            None => ledger.gen_path(tenant, crate::ledger::LEGACY_GENERATION),
+        })
     }
 
     /// Resolves a tenant to a pinned mapped model: resident hit, or
-    /// cold map-and-validate. Touches the LRU and evicts down to the
-    /// byte budget after a cold load.
+    /// cold map-and-validate of the live generation with auto-rollback
+    /// to the newest valid retained generation when the live image
+    /// fails validation. Touches the LRU and evicts down to the byte
+    /// budget after a cold load. Every `watch_every`-th call re-stats
+    /// the manifest so cross-process publishes are picked up at
+    /// admission time.
     ///
     /// # Errors
     ///
     /// [`RegistryError::NotFound`] when no file exists,
-    /// [`RegistryError::Quarantined`] when validation failed (now or
-    /// previously), [`RegistryError::BudgetTooSmall`] when the file can
-    /// never fit.
+    /// [`RegistryError::Quarantined`] when no retained generation
+    /// validates (now or previously), [`RegistryError::BudgetTooSmall`]
+    /// when the file can never fit.
     pub fn get(&self, tenant: &str) -> Result<TenantHandle, RegistryError> {
-        let path = self.tenant_path(tenant)?;
-        let mut state = lock(&self.state);
-        if let Some(reason) = state.quarantined.get(tenant) {
-            return Err(RegistryError::Quarantined {
-                tenant: tenant.to_owned(),
-                reason: reason.clone(),
-            });
+        validate_tenant(tenant)?;
+        let tick = self.watch_tick.fetch_add(1, Ordering::Relaxed);
+        if tick.is_multiple_of(self.config.watch_every.max(1)) {
+            let _ = self.refresh();
         }
-        state.tick += 1;
-        let tick = state.tick;
-        if let Some((name, resident)) = state.resident.get_key_value(tenant) {
-            let handle = TenantHandle {
-                tenant: Arc::clone(name),
-                entry: Arc::clone(&resident.entry),
-            };
-            let name = Arc::clone(name);
-            if let Some(resident) = state.resident.get_mut(&name) {
-                resident.last_used = tick;
+        {
+            let mut state = lock_state(&self.state);
+            if let Some(reason) = state.quarantined.get(tenant) {
+                return Err(RegistryError::Quarantined {
+                    tenant: tenant.to_owned(),
+                    reason: reason.clone(),
+                });
             }
-            state.stats.hits += 1;
-            return Ok(handle);
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some((name, resident)) = state.resident.get_key_value(tenant) {
+                let handle = TenantHandle {
+                    tenant: Arc::clone(name),
+                    entry: Arc::clone(&resident.entry),
+                };
+                let name = Arc::clone(name);
+                if let Some(resident) = state.resident.get_mut(&name) {
+                    resident.last_used = tick;
+                }
+                state.stats.hits += 1;
+                return Ok(handle);
+            }
         }
-        // Cold load. Mapping + validation happen under the lock: the
-        // simple discipline (one loader per file, LRU arithmetic in one
-        // place) is worth more than concurrent cold loads, which the
-        // page cache already makes cheap on re-map.
-        let entry = match self.load(&path) {
-            Ok(entry) => entry,
+        // Cold load under the ledger lock: resolve the live generation,
+        // map + validate it, auto-roll back on failure. The ledger lock
+        // also serializes concurrent cold loads of one tenant, keeping
+        // the LRU arithmetic in one place.
+        let mut ledger = lock_ledger(&self.ledger);
+        if ledger.manifest().tenant(tenant).is_none() {
+            // Lazy adoption of a legacy flat image dropped into the
+            // directory after open.
+            ledger.adopt_flat(tenant)?;
+        }
+        let Some((live, path)) = ledger.live_path(tenant) else {
+            return Err(RegistryError::NotFound(tenant.to_owned()));
+        };
+        let (entry, _gen) = match self.load(&path) {
+            Ok(entry) => (entry, live),
             Err(LoadError::Missing) => return Err(RegistryError::NotFound(tenant.to_owned())),
             Err(LoadError::Io(e)) => return Err(RegistryError::Io(e)),
             Err(LoadError::Invalid(reason)) => {
-                state.stats.quarantines += 1;
-                state.quarantined.insert(tenant.to_owned(), reason.clone());
-                return Err(RegistryError::Quarantined {
-                    tenant: tenant.to_owned(),
-                    reason,
-                });
+                match self.auto_rollback(&mut ledger, tenant, live) {
+                    Some((entry, gen)) => (entry, gen),
+                    None => {
+                        let mut state = lock_state(&self.state);
+                        state.stats.quarantines += 1;
+                        state.quarantined.insert(tenant.to_owned(), reason.clone());
+                        return Err(RegistryError::Quarantined {
+                            tenant: tenant.to_owned(),
+                            reason,
+                        });
+                    }
+                }
             }
         };
+        drop(ledger);
         let needed = entry.bytes.len();
         if needed > self.config.byte_budget {
             return Err(RegistryError::BudgetTooSmall {
@@ -344,7 +510,19 @@ impl ModelRegistry {
                 budget: self.config.byte_budget,
             });
         }
+        let mut state = lock_state(&self.state);
+        // Another thread may have raced the load; prefer its entry.
+        if let Some((name, resident)) = state.resident.get_key_value(tenant) {
+            let handle = TenantHandle {
+                tenant: Arc::clone(name),
+                entry: Arc::clone(&resident.entry),
+            };
+            state.stats.hits += 1;
+            return Ok(handle);
+        }
         state.stats.cold_loads += 1;
+        state.tick += 1;
+        let tick = state.tick;
         let name: Arc<str> = Arc::from(tenant);
         let entry = Arc::new(entry);
         let handle = TenantHandle {
@@ -363,51 +541,94 @@ impl ModelRegistry {
         Ok(handle)
     }
 
-    /// Atomically publishes (or replaces) a tenant's model: v3 bytes to
-    /// `*.tmp`, fsync, rename over the live file, fsync the directory,
-    /// then republish the resident entry and lift any quarantine.
-    /// Readers holding the previous [`TenantHandle`] keep serving the
-    /// old mapping until they drop it.
+    /// Walks the retained generations below `live`, newest first, and
+    /// commits the first one that fully validates. Returns the loaded
+    /// entry and its generation, or `None` when nothing validates.
+    fn auto_rollback(
+        &self,
+        ledger: &mut Ledger,
+        tenant: &str,
+        live: u64,
+    ) -> Option<(TenantEntry, u64)> {
+        for gen in ledger.retained_below(tenant, live).into_iter().rev() {
+            let path = ledger.gen_path(tenant, gen);
+            if let Ok(entry) = self.load(&path) {
+                // Commit the reverted live generation; a failed commit
+                // (reader role, injected fault) still serves the valid
+                // entry — the in-memory manifest reverts and the next
+                // miss retries the commit.
+                let _ = ledger.commit_live(tenant, gen);
+                let mut state = lock_state(&self.state);
+                state.stats.rollbacks += 1;
+                state.quarantined.remove(tenant);
+                return Some((entry, gen));
+            }
+        }
+        None
+    }
+
+    /// Stages, validates, and commits a new generation for the tenant:
+    /// v3 bytes to `*.tmp`, fsync, atomic rename to
+    /// `<tenant>.g<N>.ghdc` (transient I/O faults retried per the
+    /// configured [`RetryPolicy`]), full validation of the staged
+    /// image, then the CRC'd manifest commit — which is the publish's
+    /// commit point: a crash anywhere earlier leaves the previous
+    /// generation live. On success the resident entry is republished
+    /// and any quarantine lifted; readers holding the previous
+    /// [`TenantHandle`] keep serving the old mapping until they drop
+    /// it. Returns the committed generation number.
     ///
     /// # Errors
     ///
     /// [`RegistryError::DimMismatch`] before any byte is written;
-    /// otherwise I/O and (unlikely — we just wrote it) validation
-    /// failures.
-    pub fn publish(&self, tenant: &str, model: &QuantizedModel) -> Result<(), RegistryError> {
-        let path = self.tenant_path(tenant)?;
+    /// [`RegistryError::NotWriter`] when another process owns the
+    /// directory; [`RegistryError::PublishRejected`] when the staged
+    /// image fails validation (the tenant keeps its previous
+    /// generation); otherwise I/O failures once retries are exhausted.
+    pub fn publish(&self, tenant: &str, model: &QuantizedModel) -> Result<u64, RegistryError> {
+        validate_tenant(tenant)?;
         if model.dim() != self.config.dim {
             return Err(RegistryError::DimMismatch {
                 expected: self.config.dim,
                 actual: model.dim(),
             });
         }
-        let tmp = self.dir.join(format!("{tenant}.{TENANT_EXT}{TMP_SUFFIX}"));
-        {
-            let mut file = File::create(&tmp)?;
-            write_packed(model, &mut file)?;
-            file.flush()?;
-            file.sync_all()?;
-        }
-        std::fs::rename(&tmp, &path)?;
-        sync_dir(&self.dir)?;
+        let mut bytes = Vec::new();
+        write_packed(model, &mut bytes)?;
 
-        // Map the file we just made durable and swap it in (RCU: the
-        // old Arc is dropped here; in-flight readers retire it).
+        let mut ledger = lock_ledger(&self.ledger);
+        if !ledger.try_acquire_writer()? {
+            return Err(RegistryError::NotWriter);
+        }
+        // Fold in commits another process made while we were idle, so
+        // the new generation numbers past them.
+        let _ = ledger.refresh_if_changed();
+        let (gen, path, retries) = ledger.publish_image(tenant, &bytes)?;
+        if retries > 0 {
+            lock_state(&self.state).stats.publish_retries += u64::from(retries);
+        }
+        // Validate the staged image *before* the manifest moves: a bad
+        // image is discarded and the previous generation stays live.
         let entry = match self.load(&path) {
             Ok(entry) => Arc::new(entry),
-            Err(LoadError::Missing) => return Err(RegistryError::NotFound(tenant.to_owned())),
-            Err(LoadError::Io(e)) => return Err(RegistryError::Io(e)),
-            Err(LoadError::Invalid(reason)) => {
-                let mut state = lock(&self.state);
-                state.stats.quarantines += 1;
-                state.quarantined.insert(tenant.to_owned(), reason.clone());
-                return Err(RegistryError::Quarantined {
+            Err(e) => {
+                let _ = std::fs::remove_file(&path);
+                let reason = match e {
+                    LoadError::Invalid(reason) => reason,
+                    LoadError::Missing => "staged image vanished".to_owned(),
+                    LoadError::Io(e) => e.to_string(),
+                };
+                let mut state = lock_state(&self.state);
+                state.stats.rollbacks += 1;
+                return Err(RegistryError::PublishRejected {
                     tenant: tenant.to_owned(),
                     reason,
                 });
             }
         };
+        let commit_retries = ledger.commit_live(tenant, gen)?;
+        drop(ledger);
+
         let needed = entry.bytes.len();
         if needed > self.config.byte_budget {
             return Err(RegistryError::BudgetTooSmall {
@@ -415,7 +636,8 @@ impl ModelRegistry {
                 budget: self.config.byte_budget,
             });
         }
-        let mut state = lock(&self.state);
+        let mut state = lock_state(&self.state);
+        state.stats.publish_retries += u64::from(commit_retries);
         state.quarantined.remove(tenant);
         state.tick += 1;
         let tick = state.tick;
@@ -432,14 +654,137 @@ impl ModelRegistry {
             },
         );
         Self::evict_to_budget(&mut state, self.config.byte_budget, Some(tenant));
-        Ok(())
+        Ok(gen)
+    }
+
+    /// Reverts a tenant to a retained generation: the newest one below
+    /// live when `to` is `None`, else exactly generation `to`. The
+    /// target must pass full validation; with `to = None` the walk
+    /// skips corrupt candidates. Commits the manifest, drops the
+    /// resident entry (in-flight handles keep the old mapping), and
+    /// lifts any quarantine. Returns the now-live generation.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotWriter`] without the writer lock;
+    /// [`RegistryError::NoSuchGeneration`] when the target isn't
+    /// retained (or nothing older exists); [`RegistryError::Quarantined`]
+    /// when an explicit target fails validation.
+    pub fn rollback(&self, tenant: &str, to: Option<u64>) -> Result<u64, RegistryError> {
+        validate_tenant(tenant)?;
+        let mut ledger = lock_ledger(&self.ledger);
+        if !ledger.try_acquire_writer()? {
+            return Err(RegistryError::NotWriter);
+        }
+        let _ = ledger.refresh_if_changed();
+        if ledger.manifest().tenant(tenant).is_none() {
+            return Err(RegistryError::NotFound(tenant.to_owned()));
+        }
+        let target = match to {
+            Some(_) => ledger.rollback_target(tenant, to),
+            None => {
+                // Walk older generations newest-first until one
+                // validates.
+                let Some((live, _)) = ledger.live_path(tenant) else {
+                    return Err(RegistryError::NotFound(tenant.to_owned()));
+                };
+                ledger
+                    .retained_below(tenant, live)
+                    .into_iter()
+                    .rev()
+                    .find(|&g| Ledger::validate_image(&ledger.gen_path(tenant, g)).is_ok())
+            }
+        };
+        let Some(target) = target else {
+            return Err(RegistryError::NoSuchGeneration {
+                tenant: tenant.to_owned(),
+                generation: to,
+            });
+        };
+        if let Err(reason) = Ledger::validate_image(&ledger.gen_path(tenant, target)) {
+            return Err(RegistryError::Quarantined {
+                tenant: tenant.to_owned(),
+                reason,
+            });
+        }
+        ledger.commit_live(tenant, target)?;
+        drop(ledger);
+        let mut state = lock_state(&self.state);
+        state.stats.rollbacks += 1;
+        state.quarantined.remove(tenant);
+        if let Some(old) = state.resident.remove(tenant) {
+            state.resident_bytes -= old.entry.bytes.len();
+        }
+        Ok(target)
+    }
+
+    /// Re-stats the manifest and, when another process changed it,
+    /// refreshes the in-memory view: tenants whose live generation
+    /// moved are dropped from residency (their next admission maps the
+    /// new generation — RCU handle refresh) and un-quarantined.
+    /// Returns the refreshed tenants.
+    ///
+    /// # Errors
+    ///
+    /// None today (watch failures read as "no change"); the signature
+    /// leaves room for stricter modes.
+    pub fn refresh(&self) -> Result<Vec<String>, RegistryError> {
+        let mut ledger = lock_ledger(&self.ledger);
+        let changed = ledger.refresh_if_changed()?;
+        if changed.is_empty() {
+            return Ok(changed);
+        }
+        drop(ledger);
+        let mut state = lock_state(&self.state);
+        for tenant in &changed {
+            if let Some(old) = state.resident.remove(tenant.as_str()) {
+                state.resident_bytes -= old.entry.bytes.len();
+            }
+            state.quarantined.remove(tenant);
+        }
+        Ok(changed)
+    }
+
+    /// Per-generation history of a tenant (ascending), from the ledger
+    /// manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidTenant`] for unsafe names.
+    pub fn history(&self, tenant: &str) -> Result<Vec<GenerationRecord>, RegistryError> {
+        validate_tenant(tenant)?;
+        Ok(lock_ledger(&self.ledger).history(tenant))
+    }
+
+    /// Validates every retained generation of every tenant and lists
+    /// unreferenced files. Read-only.
+    ///
+    /// # Errors
+    ///
+    /// Directory-walk failures.
+    pub fn fsck(&self) -> Result<FsckReport, RegistryError> {
+        Ok(lock_ledger(&self.ledger).fsck()?)
+    }
+
+    /// Removes staging orphans and unreferenced images (writer only).
+    /// Returns how many files were removed.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotWriter`] without the writer lock.
+    pub fn gc(&self) -> Result<usize, RegistryError> {
+        let mut ledger = lock_ledger(&self.ledger);
+        if !ledger.try_acquire_writer()? {
+            return Err(RegistryError::NotWriter);
+        }
+        Ok(ledger.gc()?)
     }
 
     /// Drops a tenant's resident mapping (it remains on disk and
     /// reloadable). Returns whether it was resident. In-flight handles
     /// keep the mapping alive until dropped.
     pub fn evict(&self, tenant: &str) -> bool {
-        let mut state = lock(&self.state);
+        let mut state = lock_state(&self.state);
         match state.resident.remove(tenant) {
             Some(old) => {
                 state.resident_bytes -= old.entry.bytes.len();
@@ -454,12 +799,12 @@ impl ModelRegistry {
     /// retries the file (e.g. after it was repaired out of band).
     /// Returns whether the tenant was quarantined.
     pub fn clear_quarantine(&self, tenant: &str) -> bool {
-        lock(&self.state).quarantined.remove(tenant).is_some()
+        lock_state(&self.state).quarantined.remove(tenant).is_some()
     }
 
     /// Currently quarantined tenants with their validation failures.
     pub fn quarantined(&self) -> Vec<(String, String)> {
-        let state = lock(&self.state);
+        let state = lock_state(&self.state);
         let mut list: Vec<(String, String)> = state
             .quarantined
             .iter()
@@ -473,34 +818,43 @@ impl ModelRegistry {
     /// referenced; in-flight handles to evicted mappings are excluded,
     /// matching what the LRU controls).
     pub fn resident_bytes(&self) -> usize {
-        lock(&self.state).resident_bytes
+        lock_state(&self.state).resident_bytes
     }
 
     /// Number of resident tenants.
     pub fn resident_count(&self) -> usize {
-        lock(&self.state).resident.len()
+        lock_state(&self.state).resident.len()
     }
 
     /// Point-in-time counters.
     pub fn stats(&self) -> RegistryStats {
-        lock(&self.state).stats
+        lock_state(&self.state).stats
     }
 
-    /// Tenants with a model file on disk, sorted.
+    /// Tenants known to the registry: the union of ledger entries and
+    /// legacy flat images on disk, sorted.
     ///
     /// # Errors
     ///
     /// Returns the underlying directory-walk error.
     pub fn tenants(&self) -> Result<Vec<String>, RegistryError> {
-        let mut out = Vec::new();
+        let ledger = lock_ledger(&self.ledger);
+        let mut out = ledger.tenants();
         for entry in std::fs::read_dir(&self.dir)? {
             let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) == Some(TENANT_EXT) {
-                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
-                    if validate_tenant(stem).is_ok() {
-                        out.push(stem.to_owned());
-                    }
-                }
+            if path.extension().and_then(|e| e.to_str()) != Some(TENANT_EXT) {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            // `<tenant>.g<N>` or legacy flat `<tenant>`.
+            let tenant = match stem.rsplit_once(".g") {
+                Some((t, g)) if g.parse::<u64>().is_ok() => t,
+                _ => stem,
+            };
+            if valid_tenant_name(tenant) && !out.iter().any(|t| t == tenant) {
+                out.push(tenant.to_owned());
             }
         }
         out.sort();
@@ -559,20 +913,22 @@ fn invalid(e: &ReadModelError) -> LoadError {
 }
 
 fn validate_tenant(tenant: &str) -> Result<(), RegistryError> {
-    let ok = !tenant.is_empty()
-        && tenant.len() <= 64
-        && tenant
-            .bytes()
-            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
-    if ok {
+    if valid_tenant_name(tenant) {
         Ok(())
     } else {
         Err(RegistryError::InvalidTenant(tenant.to_owned()))
     }
 }
 
-fn lock(state: &Mutex<State>) -> MutexGuard<'_, State> {
+fn lock_state(state: &Mutex<State>) -> MutexGuard<'_, State> {
     match state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn lock_ledger(ledger: &Mutex<Ledger>) -> MutexGuard<'_, Ledger> {
+    match ledger.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     }
@@ -582,7 +938,9 @@ fn lock(state: &Mutex<State>) -> MutexGuard<'_, State> {
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::ledger::FsOp;
     use crate::{BinaryHv, HdcModel, IntHv, QuantizedModel};
+    use std::fs::File;
 
     fn scratch(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("ghdc-registry-{tag}-{}", std::process::id()))
@@ -678,6 +1036,42 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_live_generation_auto_rolls_back_to_last_good() {
+        let dir = scratch("autorollback");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+        let good = sample_model(512, 31);
+        let bad_source = sample_model(512, 32);
+        let g1 = registry.publish("acme", &good).unwrap();
+        let g2 = registry.publish("acme", &bad_source).unwrap();
+        assert_eq!((g1, g2), (1, 2));
+
+        // Corrupt the live (second) generation on disk.
+        let path = registry.tenant_path("acme").unwrap();
+        assert!(path.to_string_lossy().contains(".g2."), "{path:?}");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        registry.evict("acme");
+
+        // Admission auto-rolls back to generation 1 instead of
+        // quarantining.
+        let handle = registry.get("acme").unwrap();
+        let query = BinaryHv::random_seeded(512, 77).unwrap();
+        let served = handle.view().scores(&query).unwrap();
+        let oracle = good.pack().unwrap().scores(&query).unwrap();
+        assert_eq!(served, oracle, "prior generation serves bit-identically");
+        assert_eq!(registry.stats().rollbacks, 1);
+        assert!(registry.quarantined().is_empty());
+        assert_eq!(
+            registry.history("acme").unwrap().last().map(|r| r.live),
+            Some(false)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_files_are_quarantined_with_typed_reasons() {
         let dir = scratch("quarantine");
         let _ = std::fs::remove_dir_all(&dir);
@@ -685,7 +1079,8 @@ mod tests {
         let model = sample_model(512, 11);
         registry.publish("acme", &model).unwrap();
 
-        // Flip one payload byte on disk.
+        // Flip one payload byte on disk. With only one generation there
+        // is nothing to roll back to, so quarantine must engage.
         let path = registry.tenant_path("acme").unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
@@ -704,6 +1099,113 @@ mod tests {
         registry.publish("acme", &model).unwrap();
         assert!(registry.get("acme").is_ok());
         assert!(registry.quarantined().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_rollback_restores_an_older_generation() {
+        let dir = scratch("rollback");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+        let first = sample_model(512, 41);
+        let second = sample_model(512, 42);
+        registry.publish("acme", &first).unwrap();
+        registry.publish("acme", &second).unwrap();
+
+        let back = registry.rollback("acme", None).unwrap();
+        assert_eq!(back, 1);
+        let handle = registry.get("acme").unwrap();
+        let query = BinaryHv::random_seeded(512, 55).unwrap();
+        assert_eq!(
+            handle.view().scores(&query).unwrap(),
+            first.pack().unwrap().scores(&query).unwrap(),
+            "rollback serves the first model"
+        );
+        assert!(matches!(
+            registry.rollback("acme", Some(99)).unwrap_err(),
+            RegistryError::NoSuchGeneration { .. }
+        ));
+        // Roll forward again to the retained generation 2.
+        assert_eq!(registry.rollback("acme", Some(2)).unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_publish_recovers_to_last_good_and_sweeps_tmp() {
+        let dir = scratch("crashpub");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = LedgerFs::new();
+        let registry = ModelRegistry::open_with_fs(&dir, config(512, 1 << 20), fs.clone()).unwrap();
+        let model = sample_model(512, 61);
+        registry.publish("acme", &model).unwrap();
+
+        // Kill the "process" mid-write of the next publish.
+        fs.crash_at(FsOp::Write, 1);
+        let err = registry
+            .publish("acme", &sample_model(512, 62))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Io(_)), "{err}");
+        drop(registry);
+
+        // A fresh process recovers: previous generation still live,
+        // staging debris swept.
+        let recovered = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+        let handle = recovered.get("acme").unwrap();
+        let query = BinaryHv::random_seeded(512, 66).unwrap();
+        assert_eq!(
+            handle.view().scores(&query).unwrap(),
+            model.pack().unwrap().scores(&query).unwrap(),
+            "last-good generation survives the crash"
+        );
+        assert!(!dir.join("acme.g2.ghdc.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reader_registry_watches_cross_process_publishes() {
+        let dir = scratch("coherence");
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = ModelRegistry::open(
+            &dir,
+            RegistryConfig {
+                watch_every: 1,
+                ..config(512, 1 << 20)
+            },
+        )
+        .unwrap();
+        assert!(writer.is_writer());
+        let first = sample_model(512, 81);
+        writer.publish("acme", &first).unwrap();
+
+        // A second registry over the same dir models a second process:
+        // the flock excludes it from writing, the watch keeps it
+        // coherent.
+        let reader = ModelRegistry::open(
+            &dir,
+            RegistryConfig {
+                watch_every: 1,
+                ..config(512, 1 << 20)
+            },
+        )
+        .unwrap();
+        assert!(!reader.is_writer());
+        assert!(matches!(
+            reader.publish("acme", &first).unwrap_err(),
+            RegistryError::NotWriter
+        ));
+        let query = BinaryHv::random_seeded(512, 88).unwrap();
+        let seen = reader.get("acme").unwrap().view().scores(&query).unwrap();
+        assert_eq!(seen, first.pack().unwrap().scores(&query).unwrap());
+
+        let second = sample_model(512, 82);
+        writer.publish("acme", &second).unwrap();
+        // The reader's next admission picks up the new generation.
+        let seen = reader.get("acme").unwrap().view().scores(&query).unwrap();
+        assert_eq!(
+            seen,
+            second.pack().unwrap().scores(&query).unwrap(),
+            "reader refreshes to the cross-process publish"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

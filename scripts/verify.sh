@@ -27,8 +27,12 @@ cargo run -p generic-bench --release --locked --quiet --bin conformance -- --smo
 echo "==> throughput smoke (SIMD dispatch, batched scoring)"
 cargo run -p generic-bench --release --locked --quiet --bin throughput -- --smoke
 
-echo "==> soak smoke (crash recovery, deadline storm, sharded chaos)"
+echo "==> soak smoke (crash recovery, deadline storm, sharded chaos, registry crash storm)"
 cargo run -p generic-bench --release --locked --quiet --bin soak -- --smoke
+
+echo "==> registry crash-recovery smoke (generational ledger, portable kernels forced)"
+GENERIC_FORCE_PORTABLE=1 \
+  cargo run -p generic-bench --release --locked --quiet --bin soak -- --smoke
 
 echo "==> sharded serve bench smoke (QPS, latency percentiles)"
 cargo run -p generic-bench --release --locked --quiet --bin serve -- --smoke
