@@ -20,6 +20,7 @@ USAGE:
                     [--budget-us N] [--checkpoint-every N] [--keep N]
                     [--batch-max N] [--shards N] [--dead-letter-out <csv>]
                     [--skip-bad-rows] [--registry <dir>] [--tenant-header]
+                    [--listen <addr>]
     generic conformance [--replay <token>] [--seed N] [--count N]
     generic registry history  --dir <dir> --tenant <name>
     generic registry rollback --dir <dir> --tenant <name> [--to N]
@@ -53,7 +54,12 @@ when given (this also works without --shards). With --registry <dir>
 GHDC v3 models from <dir>/<tenant>.ghdc, zero-copy and LRU-cached;
 with --tenant-header each inference row's leading cell is a tenant id
 routing that row to its tenant's mapped model (learning rows keep
-feeding the shared writer, tenant column stripped).
+feeding the shared writer, tenant column stripped). With
+--listen <addr> (requires --shards) the sharded server additionally
+accepts framed TCP connections on <addr> (length-prefixed binary
+frames with a CRC32 trailer; port 0 picks an ephemeral port, printed
+on stdout as `listening on <addr>`); the CSV stream still drives the
+writer, and the server drains when the stream ends.
 
 `conformance` runs seeded differential scenarios through every
 fast-kernel/scalar-oracle pair and reports divergences. With --replay it
@@ -160,6 +166,9 @@ pub enum CliCommand {
         /// Leading CSV column carries a tenant id routing each row to
         /// its model in `--registry`.
         tenant_header: bool,
+        /// Accept framed TCP connections on this address (requires
+        /// `--shards`; port 0 = ephemeral).
+        listen: Option<String>,
     },
     /// Run differential conformance scenarios (or replay a reproducer).
     Conformance {
@@ -238,7 +247,7 @@ impl Options {
                 "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
                 | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" | "batch-max"
                 | "shards" | "dead-letter-out" | "replay" | "count" | "registry" | "dir"
-                | "tenant" | "to" => {
+                | "tenant" | "to" | "listen" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
@@ -359,6 +368,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
             skip_bad_rows: opts.flag("skip-bad-rows"),
             registry: opts.value("registry").map(PathBuf::from),
             tenant_header: opts.flag("tenant-header"),
+            listen: opts.value("listen").map(str::to_owned),
         }),
         other => Err(CliError::new(format!("unknown subcommand `{other}`"))),
     }
@@ -457,6 +467,7 @@ mod tests {
                 skip_bad_rows: false,
                 registry: None,
                 tenant_header: false,
+                listen: None,
             }
         );
         let cmd = parse_args(&argv(&[
@@ -483,6 +494,8 @@ mod tests {
             "--registry",
             "tenants/",
             "--tenant-header",
+            "--listen",
+            "127.0.0.1:0",
         ]))
         .unwrap();
         match cmd {
@@ -497,6 +510,7 @@ mod tests {
                 skip_bad_rows,
                 registry,
                 tenant_header,
+                listen,
                 ..
             } => {
                 assert_eq!(model, Some("m.ghdc".into()));
@@ -509,6 +523,7 @@ mod tests {
                 assert!(skip_bad_rows);
                 assert_eq!(registry, Some("tenants/".into()));
                 assert!(tenant_header);
+                assert_eq!(listen, Some("127.0.0.1:0".to_owned()));
             }
             other => panic!("wrong command: {other:?}"),
         }

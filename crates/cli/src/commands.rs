@@ -12,8 +12,8 @@ use generic_hdc::runtime::{
     CheckpointStore, MicroBatcher, OnlineRuntime, RetryPolicy, RuntimeConfig,
 };
 use generic_hdc::{
-    HdcClustering, HdcClusteringSpec, HdcPipeline, Ledger, ModelRegistry, RegistryConfig,
-    RuntimeError, ServeConfig, ServeError, Server, SubmitError, Ticket,
+    HdcClustering, HdcClusteringSpec, HdcPipeline, Ledger, ModelRegistry, NetConfig, NetFrontend,
+    RegistryConfig, RuntimeError, ServeConfig, ServeError, Server, SubmitError, Ticket,
 };
 
 use crate::args::{CliCommand, RegistryAction, USAGE};
@@ -167,6 +167,7 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             dead_letter_out,
             registry,
             tenant_header,
+            listen,
         } => serve(
             out,
             &ServeArgs {
@@ -182,6 +183,7 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
                 dead_letter_out,
                 registry,
                 tenant_header,
+                listen,
             },
         ),
         CliCommand::Conformance {
@@ -365,6 +367,7 @@ struct ServeArgs {
     dead_letter_out: Option<PathBuf>,
     registry: Option<PathBuf>,
     tenant_header: bool,
+    listen: Option<String>,
 }
 
 /// The `serve` driver: stream rows through an [`OnlineRuntime`].
@@ -391,6 +394,9 @@ fn serve<W: Write>(out: &mut W, args: &ServeArgs) -> CommandResult {
     }
     if args.tenant_header && args.registry.is_none() {
         return Err("--tenant-header requires --registry".into());
+    }
+    if args.listen.is_some() && args.shards == 0 {
+        return Err("--listen requires the sharded runtime (--shards N > 0)".into());
     }
     let store = CheckpointStore::open(&args.ckpt_dir, args.keep, RetryPolicy::default())?;
     let config = RuntimeConfig {
@@ -523,7 +529,6 @@ fn serve_sharded<W: Write>(out: &mut W, runtime: OnlineRuntime, args: &ServeArgs
         batch_max: args.batch_max.max(1),
         ..ServeConfig::default()
     };
-    let text = read_stream(&args.data)?;
     let registry = match &args.registry {
         Some(dir) => {
             let dim = runtime.pipeline().model().dim();
@@ -546,6 +551,20 @@ fn serve_sharded<W: Write>(out: &mut W, runtime: OnlineRuntime, args: &ServeArgs
     };
     let server = Server::start_with_registry(runtime, config, registry.clone())?;
     let handle = server.handle();
+
+    // The TCP front-end comes up *before* the CSV stream is consumed, so
+    // with `--data -` the process serves sockets while it waits for rows
+    // on stdin; closing stdin ends the session and drains everything.
+    let frontend = match &args.listen {
+        Some(addr) => {
+            let frontend = NetFrontend::bind(addr, handle.clone(), NetConfig::default())?;
+            writeln!(out, "listening on {}", frontend.local_addr())?;
+            out.flush()?;
+            Some(frontend)
+        }
+        None => None,
+    };
+    let text = read_stream(&args.data)?;
 
     let mut bad_rows = 0u64;
     let mut shed = 0u64;
@@ -637,6 +656,24 @@ fn serve_sharded<W: Write>(out: &mut W, runtime: OnlineRuntime, args: &ServeArgs
         }
     }
 
+    // Close the socket front-end (clients get a final GOODBYE frame)
+    // before the drain tears down the shard queues beneath it.
+    if let Some(frontend) = frontend {
+        let net = frontend.shutdown();
+        writeln!(
+            out,
+            "  net: {} connection(s), {} frame(s) in, answered {}, refused {}, malformed {}",
+            net.connections, net.frames_received, net.answered, net.refused, net.malformed
+        )?;
+        if net.latency.count > 0 {
+            writeln!(
+                out,
+                "  net latency: p50 {} us, p99 {} us, p999 {} us, max {} us",
+                net.latency.p50_us, net.latency.p99_us, net.latency.p999_us, net.latency.max_us
+            )?;
+        }
+    }
+
     let report = server.drain()?;
     if let Some(path) = &args.dead_letter_out {
         export_dead_letters(out, path, &report.dead_letters)?;
@@ -715,10 +752,12 @@ fn write_drain_report<W: Write>(
     )?;
     writeln!(
         out,
-        "  supervision: panics {}, restarts {}, requeued {}, circuit opens {}, writer stalls {}",
+        "  supervision: panics {}, restarts {}, requeued {}, steals {}, circuit opens {}, \
+         writer stalls {}",
         serve.shard_panics,
         serve.shard_restarts,
         serve.requeued,
+        workers.steals,
         serve.circuit_opens,
         serve.writer_stalls
     )?;

@@ -1,0 +1,230 @@
+//! End-to-end socket test: spawn the real `generic` binary with
+//! `serve --listen`, speak the framed TCP protocol against it, and
+//! verify the drain summary accounts for the network traffic.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use generic_cli::run;
+use generic_hdc::net::{read_frame, write_frame};
+use generic_hdc::{Frame, NetStatus};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("generic-net-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+/// Writes a small separable 3-class CSV and returns its path.
+fn write_dataset(dir: &std::path::Path) -> PathBuf {
+    let mut text = String::new();
+    for i in 0..90 {
+        let class = i % 3;
+        for j in 0..9 {
+            let band = j / 3;
+            let v = if band == class { 8.0 } else { 1.0 } + ((i * 3 + j) % 4) as f64 * 0.15;
+            let _ = write!(text, "{v:.3},");
+        }
+        let _ = writeln!(text, "{class}");
+    }
+    let path = dir.join("train.csv");
+    std::fs::write(&path, text).expect("temp dir is writable");
+    path
+}
+
+/// Features squarely inside the given class's band.
+fn class_features(class: usize) -> Vec<f64> {
+    (0..9)
+        .map(|j| if j / 3 == class { 8.0 } else { 1.0 })
+        .collect()
+}
+
+#[test]
+fn serve_listen_answers_frames_and_says_goodbye() {
+    let dir = temp_dir("frames");
+    let train_csv = write_dataset(&dir);
+    let model = dir.join("model.ghdc");
+    let ckpt_dir = dir.join("ckpts");
+
+    // Train in-process (same code path as the binary, much faster than
+    // shelling out twice).
+    let mut out = Vec::new();
+    let code = run(
+        &[
+            "train".into(),
+            "--data".into(),
+            train_csv.to_str().expect("utf-8 path").into(),
+            "--out".into(),
+            model.to_str().expect("utf-8 path").into(),
+            "--dim".into(),
+            "1024".into(),
+        ],
+        &mut out,
+    );
+    assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+
+    // Spawn the real binary: stdin is the control stream (`--data -`),
+    // so the TCP front-end stays up until we close it.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_generic"))
+        .args([
+            "serve",
+            "--ckpt-dir",
+            ckpt_dir.to_str().expect("utf-8 path"),
+            "--data",
+            "-",
+            "--model",
+            model.to_str().expect("utf-8 path"),
+            "--shards",
+            "2",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+
+    let stdin = child.stdin.take().expect("stdin is piped");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout is piped"));
+
+    // The bound address (port 0 resolved) is announced before the CSV
+    // stream is consumed.
+    let addr = loop {
+        let mut line = String::new();
+        let n = stdout.read_line(&mut line).expect("stdout is readable");
+        assert_ne!(n, 0, "binary exited before announcing its address");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_owned();
+        }
+    };
+
+    let mut conn = TcpStream::connect(&addr).expect("front-end accepts");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout is settable");
+
+    // Ping → Accepted with the same request id.
+    write_frame(&mut conn, &Frame::Ping { request_id: 7 }).expect("ping writes");
+    match read_frame(&mut conn).expect("response arrives") {
+        Some(Frame::Accepted { request_id }) => assert_eq!(request_id, 7),
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+
+    // Infer → Answer carrying the predicted label for a clean class-1
+    // point, with latency accounted end-to-end by the server.
+    write_frame(
+        &mut conn,
+        &Frame::Infer {
+            request_id: 8,
+            deadline_us: 0,
+            tenant: None,
+            features: class_features(1),
+        },
+    )
+    .expect("infer writes");
+    match read_frame(&mut conn).expect("response arrives") {
+        Some(Frame::Answer {
+            request_id, label, ..
+        }) => {
+            assert_eq!(request_id, 8);
+            assert_eq!(label, 1);
+        }
+        other => panic!("expected Answer, got {other:?}"),
+    }
+
+    // Learn → Accepted (fire-and-forget write path).
+    write_frame(
+        &mut conn,
+        &Frame::Learn {
+            request_id: 9,
+            label: 2,
+            features: class_features(2),
+        },
+    )
+    .expect("learn writes");
+    match read_frame(&mut conn).expect("response arrives") {
+        Some(Frame::Accepted { request_id }) => assert_eq!(request_id, 9),
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+
+    // A response-direction opcode is protocol abuse: the server refuses
+    // it as malformed and drops this connection.
+    let mut abusive = TcpStream::connect(&addr).expect("front-end accepts");
+    abusive
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout is settable");
+    write_frame(&mut abusive, &Frame::Goodbye).expect("frame writes");
+    match read_frame(&mut abusive).expect("refusal arrives") {
+        Some(Frame::Refusal { status, .. }) => assert_eq!(status, NetStatus::Malformed),
+        other => panic!("expected Refusal, got {other:?}"),
+    }
+    // After the refusal the server hangs up.
+    let mut rest = Vec::new();
+    let eof = abusive.read_to_end(&mut rest);
+    assert!(
+        eof.is_ok() && rest.is_empty(),
+        "connection should be dropped"
+    );
+
+    // Closing stdin ends the control stream: the front-end shuts down,
+    // sending a final GOODBYE frame before the socket closes.
+    drop(stdin);
+    match read_frame(&mut conn).expect("goodbye arrives") {
+        Some(Frame::Goodbye) => {}
+        other => panic!("expected Goodbye, got {other:?}"),
+    }
+    assert!(
+        matches!(read_frame(&mut conn), Ok(None)),
+        "clean EOF after GOODBYE"
+    );
+
+    let status = child.wait().expect("binary exits");
+    let mut text = String::new();
+    stdout.read_to_string(&mut text).expect("stdout drains");
+    let mut err = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr is piped")
+        .read_to_string(&mut err)
+        .expect("stderr drains");
+    assert!(status.success(), "exit {status:?}\nstdout:\n{text}\n{err}");
+    assert!(text.contains("net: 2 connection(s)"), "{text}");
+    assert!(
+        text.contains("answered 1, refused 1, malformed 1"),
+        "{text}"
+    );
+    assert!(text.contains("net latency: p50"), "{text}");
+    assert!(text.contains("drained: generation"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn listen_without_shards_is_a_configuration_error() {
+    let dir = temp_dir("listen-no-shards");
+    let mut out = Vec::new();
+    let code = run(
+        &[
+            "serve".into(),
+            "--ckpt-dir".into(),
+            dir.join("ckpts").to_str().expect("utf-8 path").into(),
+            "--data".into(),
+            "/dev/null".into(),
+            "--listen".into(),
+            "127.0.0.1:0".into(),
+        ],
+        &mut out,
+    );
+    let text = String::from_utf8(out).expect("utf-8 output");
+    assert_ne!(code, 0);
+    assert!(
+        text.contains("--listen requires the sharded runtime"),
+        "{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,6 +8,7 @@ use generic_hdc::encoding::{Encoder, GenericEncoderSpec};
 use generic_hdc::io::read_packed;
 use generic_hdc::kernels;
 use generic_hdc::ledger::{FsOp, LedgerFs, MANIFEST_NAME};
+use generic_hdc::net::{read_frame, Frame, NetConfig, NetFrontend, NetStatus};
 use generic_hdc::oracle::{
     BundleKernel, DifferentialKernel, DotI32Kernel, EncodeKernel, HammingKernel, PackedDotKernel,
     PackedScoreKernel, RetrainKernel, ScoreBatchKernel, ScoreKernel, StageKind,
@@ -150,6 +151,7 @@ fn execute(
     stage_sim(scenario, coverage, &pipeline, &features)?;
     stage_concurrent_serve(scenario, coverage, &pipeline, &features, &labels)?;
     stage_registry(scenario, coverage, &pipeline, &encoded)?;
+    stage_network(scenario, coverage, &pipeline, &features)?;
     Ok(())
 }
 
@@ -977,6 +979,384 @@ fn concurrent_serve_cycle(
     }
     coverage.add(STAGE, 1);
     Ok(())
+}
+
+/// The framed TCP front-end vs the in-process `ServerHandle` oracle:
+/// seeded requests are replayed through a loopback [`NetFrontend`] and
+/// every answered frame must carry exactly the label the in-process
+/// path produces, with the scalar predictor on the pinned snapshot
+/// agreeing bit-for-bit at the answered dimensionality. Tenant-routed
+/// frames are checked against the published model's heap oracle, a
+/// deliberately tight deadline must come back as either a valid answer
+/// or a [`NetStatus::Shed`] refusal, a malformed frame must drop only
+/// its own connection, and graceful shutdown must end the surviving
+/// connection with a [`Frame::Goodbye`] status frame.
+fn stage_network(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+) -> Result<(), Divergence> {
+    let dir = unique_temp_dir(scenario.seed ^ 0x4E_E7_50);
+    let result = network_cycle(scenario, coverage, pipeline, features, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn network_cycle(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+    dir: &std::path::Path,
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::Network;
+    const KERNEL: &str = "net_answer";
+    let err = |e: &dyn std::fmt::Display| harness_failure(STAGE, KERNEL, &e);
+
+    // Shared-model server plus one published tenant, no learn traffic:
+    // the snapshot pinned before any request stays the scoring model
+    // for the whole stage, so every oracle replay is deterministic.
+    let registry_dir = dir.join("registry");
+    let ckpt_dir = dir.join("ckpt");
+    std::fs::create_dir_all(&registry_dir).map_err(|e| err(&e))?;
+    std::fs::create_dir_all(&ckpt_dir).map_err(|e| err(&e))?;
+    let registry_config = RegistryConfig {
+        dim: scenario.dim,
+        ..RegistryConfig::default()
+    };
+    let registry = ModelRegistry::open(&registry_dir, registry_config).map_err(|e| err(&e))?;
+    let tenant_model =
+        QuantizedModel::from_model(pipeline.model(), scenario.bit_width).map_err(|e| err(&e))?;
+    registry
+        .publish("conformance", &tenant_model)
+        .map_err(|e| err(&e))?;
+    let tenant_oracle = tenant_model.pack().map_err(|e| err(&e))?;
+
+    let store = CheckpointStore::open(&ckpt_dir, 2, RetryPolicy::default()).map_err(|e| err(&e))?;
+    let config = RuntimeConfig {
+        checkpoint_every: 0,
+        ..RuntimeConfig::default()
+    };
+    let runtime = OnlineRuntime::new(pipeline.clone(), store, config).map_err(|e| err(&e))?;
+    let serve_config = ServeConfig {
+        shards: 2,
+        batch_max: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::start_with_registry(runtime, serve_config, Some(registry.into()))
+        .map_err(|e| err(&e))?;
+    let handle = server.handle();
+    let snapshot = handle.snapshots().load();
+
+    let frontend = NetFrontend::bind("127.0.0.1:0", handle.clone(), NetConfig::default())
+        .map_err(|e| err(&e))?;
+    let addr = frontend.local_addr();
+    let stage_result = (|| -> Result<(), Divergence> {
+        let mut conn = std::net::TcpStream::connect(addr).map_err(|e| err(&e))?;
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(20)))
+            .map_err(|e| err(&e))?;
+
+        // Pipeline shared and tenant-routed requests on one connection;
+        // responses arrive in request order.
+        let shared_n = features.len().min(8);
+        let tenant_n = features.len().min(4);
+        for (i, sample) in features.iter().take(shared_n).enumerate() {
+            let frame = Frame::Infer {
+                request_id: i as u64,
+                deadline_us: 0,
+                tenant: None,
+                features: sample.clone(),
+            };
+            std::io::Write::write_all(&mut conn, &frame.encode()).map_err(|e| err(&e))?;
+        }
+        for (i, sample) in features.iter().take(tenant_n).enumerate() {
+            let frame = Frame::Infer {
+                request_id: 100 + i as u64,
+                deadline_us: 0,
+                tenant: Some("conformance".to_owned()),
+                features: sample.clone(),
+            };
+            std::io::Write::write_all(&mut conn, &frame.encode()).map_err(|e| err(&e))?;
+        }
+
+        // Shared answers: the frame's label must match both the scalar
+        // oracle replayed on the pinned snapshot at the answered
+        // dimensionality AND the in-process ServerHandle for the same
+        // request (same static snapshot, so both are deterministic).
+        for (i, sample) in features.iter().take(shared_n).enumerate() {
+            let frame = read_frame(&mut conn)
+                .map_err(|e| err(&e))?
+                .ok_or_else(|| harness_failure(STAGE, KERNEL, &"connection closed mid-stream"))?;
+            let Frame::Answer {
+                request_id,
+                label,
+                dims_used,
+                ..
+            } = frame
+            else {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!("sample {i}: expected an Answer frame, got {frame:?}"),
+                });
+            };
+            if request_id != i as u64 {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!(
+                        "responses out of order: expected request {i}, got {request_id}"
+                    ),
+                });
+            }
+            let encoded = snapshot
+                .pipeline()
+                .encoder()
+                .encode(sample)
+                .map_err(|e| err(&e))?;
+            let opts = PredictOptions::reduced(dims_used as usize, NormMode::Updated);
+            let oracle = snapshot
+                .pipeline()
+                .model()
+                .try_predict_with(&encoded, opts)
+                .map_err(|e| err(&e))?;
+            if oracle != label as usize {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!(
+                        "sample {i}: the socket answered {label} but the scalar oracle on \
+                         the pinned snapshot ({dims_used} dims) predicts {oracle}"
+                    ),
+                });
+            }
+            let in_process = handle
+                .submit(sample.clone(), None)
+                .map_err(|e| err(&e))?
+                .wait()
+                .map_err(|e| err(&e))?;
+            if in_process.label != label as usize {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!(
+                        "sample {i}: the socket answered {label} but the in-process \
+                         ServerHandle answers {}",
+                        in_process.label
+                    ),
+                });
+            }
+            coverage.add(STAGE, 2);
+        }
+
+        // Tenant-routed answers against the published model's heap
+        // oracle (last-wins argmax, the documented tie-break).
+        for (i, sample) in features.iter().take(tenant_n).enumerate() {
+            let frame = read_frame(&mut conn)
+                .map_err(|e| err(&e))?
+                .ok_or_else(|| harness_failure(STAGE, KERNEL, &"connection closed mid-stream"))?;
+            let Frame::Answer {
+                request_id, label, ..
+            } = frame
+            else {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!("tenant sample {i}: expected an Answer frame, got {frame:?}"),
+                });
+            };
+            if request_id != 100 + i as u64 {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!(
+                        "tenant responses out of order: expected request {}, got {request_id}",
+                        100 + i
+                    ),
+                });
+            }
+            let query = snapshot
+                .pipeline()
+                .encoder()
+                .encode(sample)
+                .map_err(|e| err(&e))?
+                .to_binary();
+            let scores = tenant_oracle.scores(&query).map_err(|e| err(&e))?;
+            let mut oracle = 0usize;
+            let mut best = f64::NEG_INFINITY;
+            for (c, &s) in scores.iter().enumerate() {
+                if s >= best {
+                    best = s;
+                    oracle = c;
+                }
+            }
+            if oracle != label as usize {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!(
+                        "tenant sample {i}: the socket answered {label} but the published \
+                         model's heap oracle predicts {oracle}"
+                    ),
+                });
+            }
+            coverage.add(STAGE, 1);
+        }
+
+        // A deliberately hopeless 1µs deadline: the front-end must
+        // answer with either a genuine (oracle-checked) answer or a
+        // Shed refusal — exactly one check either way, so the report
+        // stays deterministic even though the shed decision depends on
+        // the live latency estimate.
+        let frame = Frame::Infer {
+            request_id: 200,
+            deadline_us: 1,
+            tenant: None,
+            features: features[0].clone(),
+        };
+        std::io::Write::write_all(&mut conn, &frame.encode()).map_err(|e| err(&e))?;
+        let frame = read_frame(&mut conn)
+            .map_err(|e| err(&e))?
+            .ok_or_else(|| harness_failure(STAGE, KERNEL, &"connection closed mid-stream"))?;
+        match frame {
+            Frame::Answer {
+                request_id: 200,
+                label,
+                dims_used,
+                ..
+            } => {
+                let encoded = snapshot
+                    .pipeline()
+                    .encoder()
+                    .encode(&features[0])
+                    .map_err(|e| err(&e))?;
+                let opts = PredictOptions::reduced(dims_used as usize, NormMode::Updated);
+                let oracle = snapshot
+                    .pipeline()
+                    .model()
+                    .try_predict_with(&encoded, opts)
+                    .map_err(|e| err(&e))?;
+                if oracle != label as usize {
+                    return Err(Divergence {
+                        stage: STAGE,
+                        kernel: KERNEL.to_string(),
+                        detail: format!(
+                            "deadline probe: answered {label} at {dims_used} dims but the \
+                             oracle predicts {oracle}"
+                        ),
+                    });
+                }
+            }
+            Frame::Refusal {
+                request_id: 200,
+                status: NetStatus::Shed,
+                ..
+            } => {}
+            other => {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!(
+                        "deadline probe: expected an Answer or a Shed refusal, got {other:?}"
+                    ),
+                });
+            }
+        }
+        coverage.add(STAGE, 1);
+
+        // A malformed frame (CRC tampered) on a *second* connection:
+        // that connection gets a Malformed refusal and is dropped; the
+        // shards keep serving untouched.
+        let mut bad_conn = std::net::TcpStream::connect(addr).map_err(|e| err(&e))?;
+        bad_conn
+            .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+            .map_err(|e| err(&e))?;
+        let mut tampered = Frame::Ping { request_id: 300 }.encode();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xFF;
+        std::io::Write::write_all(&mut bad_conn, &tampered).map_err(|e| err(&e))?;
+        match read_frame(&mut bad_conn).map_err(|e| err(&e))? {
+            Some(Frame::Refusal {
+                status: NetStatus::Malformed,
+                ..
+            }) => {}
+            other => {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!("tampered frame: expected a Malformed refusal, got {other:?}"),
+                });
+            }
+        }
+        if !matches!(read_frame(&mut bad_conn), Ok(None) | Err(_)) {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: KERNEL.to_string(),
+                detail: "the connection survived a tampered frame".to_string(),
+            });
+        }
+        // The poisoned connection must not have poisoned the fleet.
+        let healthy = handle
+            .submit(features[0].clone(), None)
+            .map_err(|e| err(&e))?
+            .wait()
+            .map_err(|e| err(&e))?;
+        let _ = healthy;
+        coverage.add(STAGE, 2);
+
+        // Graceful shutdown: the surviving connection receives a final
+        // Goodbye status frame, then EOF.
+        let net_stats = frontend.shutdown();
+        match read_frame(&mut conn).map_err(|e| err(&e))? {
+            Some(Frame::Goodbye) => {}
+            other => {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: KERNEL.to_string(),
+                    detail: format!("shutdown: expected a Goodbye frame, got {other:?}"),
+                });
+            }
+        }
+        if !matches!(read_frame(&mut conn), Ok(None) | Err(_)) {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: KERNEL.to_string(),
+                detail: "the connection stayed open after Goodbye".to_string(),
+            });
+        }
+        coverage.add(STAGE, 1);
+
+        // Accounting: every well-formed request was answered or
+        // refused, the tampered frame was counted (and only it), and
+        // its best-effort Malformed refusal is the single extra
+        // response beyond the well-formed frames.
+        let expected_frames = (shared_n + tenant_n + 1) as u64;
+        if net_stats.connections != 2
+            || net_stats.frames_received != expected_frames
+            || net_stats.malformed != 1
+            || net_stats.answered + net_stats.refused != expected_frames + net_stats.malformed
+        {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: "net_accounting".to_string(),
+                detail: format!(
+                    "expected 2 connections, {expected_frames} frames, 1 malformed, \
+                     answered+refused == frames+malformed; counted {} / {} / {} / {}",
+                    net_stats.connections,
+                    net_stats.frames_received,
+                    net_stats.malformed,
+                    net_stats.answered + net_stats.refused
+                ),
+            });
+        }
+        coverage.add(STAGE, 1);
+        Ok(())
+    })();
+    drop(snapshot);
+    let drain = server.drain().map_err(|e| err(&e));
+    stage_result?;
+    drain.map(|_| ())
 }
 
 /// The zero-copy mapped registry vs the heap-deserialized scalar

@@ -37,6 +37,9 @@
 //!   scoring RCU snapshots behind bounded queues with backpressure,
 //!   deadline-aware admission control, restart backoff with a circuit
 //!   breaker, and graceful drain (module [`serve`]),
+//! - a dependency-free framed TCP front-end over the serving runtime:
+//!   length-prefixed, CRC32-trailed binary frames with per-request status
+//!   codes for shed/deadline/quarantine outcomes (module [`net`]),
 //! - HDC clustering with copy-centroid epochs ([`HdcClustering`]),
 //! - evaluation metrics: accuracy and normalized mutual information
 //!   (module [`metrics`]).
@@ -94,6 +97,7 @@ pub mod ledger;
 #[allow(unsafe_code)]
 pub mod mapped;
 pub mod metrics;
+pub mod net;
 pub mod oracle;
 pub mod registry;
 pub mod runtime;
@@ -109,6 +113,9 @@ pub use ledger::{FsOp, Ledger, LedgerFs, Manifest, ManifestError, RecoveryOutcom
 pub use level::{LevelMemory, Quantizer};
 pub use mapped::Mapping;
 pub use model::{HdcModel, NormMode, PredictOptions, ScoreBatch};
+pub use net::{
+    Frame, FrameError, FrameReader, LatencySummary, NetConfig, NetFrontend, NetStats, NetStatus,
+};
 pub use pipeline::HdcPipeline;
 pub use quant::{pack_bits, unpack_bits, PackedModelView, PackedQuantizedModel, QuantizedModel};
 pub use registry::{ModelRegistry, RegistryConfig, RegistryError, RegistryStats, TenantHandle};

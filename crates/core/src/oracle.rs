@@ -64,11 +64,14 @@ pub enum StageKind {
     /// Multi-tenant mapped-model registry (cold-load, hot-swap, evict)
     /// vs heap-deserialized scalar scoring.
     Registry,
+    /// Framed-TCP front-end vs the in-process serving oracle: answers
+    /// transported over a real socket replay bit-identically.
+    Network,
 }
 
 impl StageKind {
     /// Every stage, in canonical reporting order.
-    pub const ALL: [StageKind; 10] = [
+    pub const ALL: [StageKind; 11] = [
         StageKind::Encode,
         StageKind::Retrain,
         StageKind::Score,
@@ -79,6 +82,7 @@ impl StageKind {
         StageKind::SimActivity,
         StageKind::ConcurrentServe,
         StageKind::Registry,
+        StageKind::Network,
     ];
 
     /// Stable lowercase name used in reports and JSON.
@@ -94,6 +98,7 @@ impl StageKind {
             StageKind::SimActivity => "sim_activity",
             StageKind::ConcurrentServe => "concurrent_serve",
             StageKind::Registry => "registry",
+            StageKind::Network => "network",
         }
     }
 }
@@ -257,6 +262,19 @@ pub const ORACLE_REGISTRY: &[OracleEntry] = &[
                    computes after deserializing the same bytes, on every \
                    dispatched ISA — across cold loads, atomic hot-swaps, \
                    and evict/reload cycles",
+    },
+    OracleEntry {
+        name: "net_answer",
+        stage: StageKind::Network,
+        tolerance: Tolerance::BitIdentical,
+        contract: "an answer decoded from the framed TCP front-end \
+                   carries the label, dimensions, and status the \
+                   in-process ServerHandle oracle produces for the same \
+                   request; replaying the features through the scalar \
+                   predictor on a pinned snapshot at the answered \
+                   dimensions reproduces the label exactly, for shared \
+                   and tenant-routed requests alike — the socket, frame \
+                   codec, and CRC trailer add transport, never drift",
     },
 ];
 

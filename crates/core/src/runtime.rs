@@ -922,6 +922,9 @@ pub struct RuntimeStats {
     /// Checkpoint write retries consumed by the store's [`RetryPolicy`]
     /// (transient failures that were absorbed, not surfaced).
     pub checkpoint_retries: u64,
+    /// Requests a serving worker stole from a sibling shard's queue
+    /// (work-stealing; always 0 outside the sharded server).
+    pub steals: u64,
 }
 
 impl RuntimeStats {
@@ -946,6 +949,7 @@ impl RuntimeStats {
             checkpoints,
             checkpoint_failures,
             checkpoint_retries,
+            steals,
         } = other;
         self.infer_requests += infer_requests;
         self.answered += answered;
@@ -962,6 +966,7 @@ impl RuntimeStats {
         self.checkpoints += checkpoints;
         self.checkpoint_failures += checkpoint_failures;
         self.checkpoint_retries += checkpoint_retries;
+        self.steals += steals;
     }
 }
 

@@ -6,11 +6,11 @@
 //!
 //! ```text
 //!                      ┌────────────────────────────────────────────┐
-//!   submit() ───────►  │  bounded work queue (backpressure +        │
-//!   (admission         │  deadline-aware shedding at admission)     │
-//!    control)          └───────┬──────────┬──────────┬──────────────┘
-//!                              │          │          │   MPMC pop
-//!                        ┌─────▼───┐ ┌────▼────┐ ┌───▼─────┐
+//!   submit() ───────►  │  per-shard bounded queues (backpressure +  │
+//!   (admission:        │  deadline-aware shedding at admission)     │
+//!    shortest queue)   └───────┬──────────┬──────────┬──────────────┘
+//!                              │          │◄──steal──│  own pop,
+//!                        ┌─────▼───┐ ┌────▼────┐ ┌───▼─────┐ steal when idle
 //!                        │ worker 0│ │ worker 1│ │ worker N│  catch_unwind
 //!                        │ ladder +│ │         │ │         │  + in-flight
 //!                        │ScoreBatch│ │        │ │         │  recovery
@@ -35,9 +35,17 @@
 //! stays down; when every worker is down, admission fails fast with
 //! [`SubmitError::Unavailable`] instead of queueing unboundedly.
 //!
-//! **Overload protection.** The work queue is bounded: a full queue
-//! rejects at submission ([`SubmitError::QueueFull`]) rather than
-//! buffering without limit. Deadline-aware admission consults the
+//! **Work distribution.** Each worker owns a bounded queue; admission
+//! routes every request to the currently-shortest queue (round-robin on
+//! ties) and a worker whose own queue runs dry *steals* from its
+//! siblings, so one slow shard — or one unlucky burst — cannot strand
+//! queued work behind it. Steals are counted in
+//! [`RuntimeStats::steals`].
+//!
+//! **Overload protection.** The work queues are bounded: when every
+//! queue is full the request is rejected at submission
+//! ([`SubmitError::QueueFull`]) rather than buffered without limit.
+//! Deadline-aware admission consults the
 //! narrowest ladder tier's live latency estimate — a request whose
 //! budget cannot be met even degraded, accounting for the queue ahead
 //! of it, is shed with [`SubmitError::DeadlineHopeless`]. Requests that
@@ -140,6 +148,13 @@ impl<T> BoundedQueue<T> {
         lock_unpoisoned(&self.inner).items.len()
     }
 
+    /// Closed to new work *and* fully drained — nothing will ever come
+    /// out of this queue again (modulo forced requeues).
+    fn closed_and_empty(&self) -> bool {
+        let inner = lock_unpoisoned(&self.inner);
+        inner.closed && inner.items.is_empty()
+    }
+
     /// Appends unless full or closed; never blocks.
     fn try_push(&self, item: T) -> Result<(), PushRefused<T>> {
         let mut inner = lock_unpoisoned(&self.inner);
@@ -210,6 +225,123 @@ impl<T> BoundedQueue<T> {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded work queues with stealing
+// ---------------------------------------------------------------------------
+
+/// Per-shard bounded queues: admission routes to the shortest queue
+/// (round-robin tie-break), each worker pops its own queue, and an idle
+/// worker steals from its siblings. Total capacity is split evenly, so
+/// backpressure semantics match the old single MPMC queue.
+struct ShardedQueue<T> {
+    queues: Vec<BoundedQueue<T>>,
+    /// Round-robin cursor breaking admission ties between equally-short
+    /// queues so single-length bursts still spread across shards.
+    next: AtomicUsize,
+}
+
+impl<T> ShardedQueue<T> {
+    fn new(shards: usize, total_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = total_capacity.div_ceil(shards).max(1);
+        ShardedQueue {
+            queues: (0..shards).map(|_| BoundedQueue::new(per_shard)).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total queued across every shard.
+    fn len(&self) -> usize {
+        self.queues.iter().map(BoundedQueue::len).sum()
+    }
+
+    /// Routes one request to the shortest queue (ties broken by a
+    /// rotating cursor); falls through to the remaining queues if the
+    /// chosen one refuses. `Full` is only reported once *every* queue
+    /// is full; a single closed queue among open ones behaves as full.
+    fn admit(&self, item: T) -> Result<(), PushRefused<T>> {
+        let n = self.queues.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        let mut target = start;
+        let mut shortest = usize::MAX;
+        for offset in 0..n {
+            let idx = (start + offset) % n;
+            let len = self.queues[idx].len();
+            if len < shortest {
+                shortest = len;
+                target = idx;
+            }
+        }
+        let mut item = item;
+        let mut any_open = false;
+        for offset in 0..n {
+            let idx = (target + offset) % n;
+            match self.queues[idx].try_push(item) {
+                Ok(()) => return Ok(()),
+                Err(PushRefused::Full(returned)) => {
+                    any_open = true;
+                    item = returned;
+                }
+                Err(PushRefused::Closed(returned)) => item = returned,
+            }
+        }
+        if any_open {
+            Err(PushRefused::Full(item))
+        } else {
+            Err(PushRefused::Closed(item))
+        }
+    }
+
+    /// Forces a recovered in-flight item back to the front of `shard`'s
+    /// own queue (capacity- and close-exempt, like the underlying
+    /// queue's forced push — siblings can still steal it).
+    fn push_front_forced(&self, shard: usize, item: T) {
+        self.queues[shard % self.queues.len()].push_front_forced(item);
+    }
+
+    /// Blocking pop from the worker's own queue.
+    fn pop_own(&self, shard: usize, timeout: Duration) -> Pop<T> {
+        self.queues[shard % self.queues.len()].pop(timeout)
+    }
+
+    /// Non-blocking pop from the worker's own queue.
+    fn try_pop_own(&self, shard: usize) -> Option<T> {
+        self.queues[shard % self.queues.len()].try_pop()
+    }
+
+    /// Steals one queued request from the first non-empty sibling,
+    /// scanning from the thief's right-hand neighbour.
+    fn steal(&self, thief: usize) -> Option<T> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            if let Some(item) = self.queues[(thief + offset) % n].try_pop() {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Every queue closed and drained: the fleet can exit.
+    fn all_closed_and_empty(&self) -> bool {
+        self.queues.iter().all(BoundedQueue::closed_and_empty)
+    }
+
+    /// Closes every queue to new pushes and wakes all waiters.
+    fn close_all(&self) {
+        for queue in &self.queues {
+            queue.close();
+        }
+    }
+
+    /// Removes and returns everything still queued anywhere.
+    fn drain_all(&self) -> Vec<T> {
+        self.queues
+            .iter()
+            .flat_map(BoundedQueue::drain_all)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Public request/answer types
 // ---------------------------------------------------------------------------
 
@@ -218,7 +350,8 @@ impl<T> BoundedQueue<T> {
 pub struct ServeConfig {
     /// Worker shards scoring concurrently (≥ 1).
     pub shards: usize,
-    /// Bounded work-queue capacity; a full queue rejects at admission.
+    /// Total bounded work-queue capacity, split evenly across the
+    /// per-shard queues; when every queue is full, admission rejects.
     pub queue_depth: usize,
     /// Bounded learn-queue capacity feeding the writer shard.
     pub learn_queue_depth: usize,
@@ -481,7 +614,7 @@ impl Counters {
 // ---------------------------------------------------------------------------
 
 struct Shared {
-    work: BoundedQueue<Request>,
+    work: ShardedQueue<Request>,
     learn: BoundedQueue<LearnRequest>,
     snapshots: Arc<SnapshotCell>,
     /// The writer's runtime; uncontended in steady state (only the
@@ -513,6 +646,9 @@ struct Shared {
     kill_flags: Vec<AtomicBool>,
     /// Chaos: nanoseconds the writer sleeps before its next apply.
     stall_ns: AtomicU64,
+    /// Chaos: nanoseconds worker *i* sleeps before its next pop —
+    /// leaves its queue backed up so siblings demonstrably steal.
+    shard_stall_ns: Vec<AtomicU64>,
 }
 
 enum Event {
@@ -560,20 +696,53 @@ fn worker_shard(shard: usize, shared: &Shared) {
     let mut tenant_scores: Vec<f64> = Vec::new();
 
     loop {
-        // Coalesce a micro-batch: block for the first request, then
-        // drain greedily up to batch_max.
-        let first = match shared.work.pop(IDLE_TICK) {
+        // Chaos: an armed stall sleeps *before* popping, leaving this
+        // shard's queue backed up so siblings demonstrably steal it.
+        let stall = shared.shard_stall_ns[shard].swap(0, Ordering::Relaxed);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_nanos(stall));
+        }
+        // Coalesce a micro-batch: block on the own queue for the first
+        // request (stealing from siblings when it runs dry), then drain
+        // greedily up to batch_max — own queue first, then steals.
+        let mut stolen = 0u64;
+        let first = match shared.work.pop_own(shard, IDLE_TICK) {
             Pop::Item(request) => request,
-            Pop::TimedOut => continue,
-            Pop::Closed => break,
+            Pop::TimedOut => match shared.work.steal(shard) {
+                Some(request) => {
+                    stolen += 1;
+                    request
+                }
+                None => continue,
+            },
+            Pop::Closed => match shared.work.steal(shard) {
+                Some(request) => {
+                    stolen += 1;
+                    request
+                }
+                None if shared.work.all_closed_and_empty() => break,
+                // A sibling's queue re-filled (forced requeue) or holds
+                // items a racing steal just missed; try again shortly.
+                None => {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+            },
         };
         let mut batch = vec![first];
         while batch.len() < shared.config.batch_max {
-            match shared.work.try_pop() {
+            match shared.work.try_pop_own(shard) {
                 Some(request) => batch.push(request),
-                None => break,
+                None => match shared.work.steal(shard) {
+                    Some(request) => {
+                        stolen += 1;
+                        batch.push(request);
+                    }
+                    None => break,
+                },
             }
         }
+        locals.steals += stolen;
 
         // Park the batch in the crash-recovery slot *before* any
         // fallible work: a panic from here on loses nothing.
@@ -897,7 +1066,7 @@ fn supervisor(shared: Arc<Shared>, events: mpsc::Receiver<Event>, sender: mpsc::
                     .requeued
                     .fetch_add(stranded.len() as u64, Ordering::Relaxed);
                 for request in stranded.into_iter().rev() {
-                    shared.work.push_front_forced(request);
+                    shared.work.push_front_forced(shard, request);
                 }
 
                 let seat = &mut seats[shard];
@@ -939,7 +1108,7 @@ fn open_circuit(shared: &Shared, seat: &mut ShardSeat) {
         if left == 0 {
             // Total outage: fail queued work fast instead of letting
             // clients wait on a fleet that cannot answer.
-            shared.work.close();
+            shared.work.close_all();
         }
     }
 }
@@ -1036,7 +1205,7 @@ impl Server {
         let snapshots = runtime.snapshots();
         let n_features = runtime.pipeline().encoder().spec().n_features();
         let shared = Arc::new(Shared {
-            work: BoundedQueue::new(config.queue_depth),
+            work: ShardedQueue::new(config.shards, config.queue_depth),
             learn: BoundedQueue::new(config.learn_queue_depth),
             snapshots,
             runtime: Mutex::new(Some(runtime)),
@@ -1051,6 +1220,7 @@ impl Server {
             in_flight: (0..config.shards).map(|_| Mutex::new(Vec::new())).collect(),
             kill_flags: (0..config.shards).map(|_| AtomicBool::new(false)).collect(),
             stall_ns: AtomicU64::new(0),
+            shard_stall_ns: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
         });
 
         let (event_tx, event_rx) = mpsc::channel();
@@ -1097,7 +1267,7 @@ impl Server {
     /// as an error.
     pub fn drain(mut self) -> Result<DrainReport, RuntimeError> {
         self.shared.draining.store(true, Ordering::Relaxed);
-        self.shared.work.close();
+        self.shared.work.close_all();
         if let Some(handle) = self.supervisor.take() {
             handle
                 .join()
@@ -1273,7 +1443,7 @@ impl ServerHandle {
             tenant,
             reply,
         };
-        match shared.work.try_push(request) {
+        match shared.work.admit(request) {
             Ok(()) => {
                 shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
                 Ok(Ticket { rx })
@@ -1334,7 +1504,8 @@ impl ServerHandle {
         self.shared.live_shards.load(Ordering::Relaxed)
     }
 
-    /// Current work-queue depth (for tests and load generators).
+    /// Current total work-queue depth across every shard (for tests
+    /// and load generators).
     pub fn queue_depth(&self) -> usize {
         self.shared.work.len()
     }
@@ -1350,6 +1521,18 @@ impl ServerHandle {
     pub fn chaos_kill_shard(&self, shard: usize) {
         if let Some(flag) = self.shared.kill_flags.get(shard) {
             flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Chaos hook: worker `shard` sleeps `stall` before its next pop,
+    /// leaving its own queue backed up — the deterministic way to make
+    /// siblings steal (observable as [`RuntimeStats::steals`]).
+    pub fn chaos_stall_shard(&self, shard: usize, stall: Duration) {
+        if let Some(slot) = self.shared.shard_stall_ns.get(shard) {
+            slot.store(
+                u64::try_from(stall.as_nanos()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
         }
     }
 

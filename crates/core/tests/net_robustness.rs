@@ -1,0 +1,262 @@
+//! Robustness of the framed TCP codec: arbitrary, truncated,
+//! bit-flipped, and oversized byte images must be rejected with typed
+//! [`FrameError`]s — the decoder never panics and never reads past the
+//! supplied bytes — while every canonical frame round-trips through
+//! encode→decode byte-exactly. Mirrors `mapped_robustness` /
+//! `ledger_robustness` for the wire surface.
+
+use generic_hdc::net::{FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use generic_hdc::{Frame, FrameError, NetStatus};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Every refusal-capable status (a refusal must not claim success).
+const REFUSAL_STATUSES: [NetStatus; 7] = [
+    NetStatus::QueueFull,
+    NetStatus::Shed,
+    NetStatus::Malformed,
+    NetStatus::Unavailable,
+    NetStatus::ShuttingDown,
+    NetStatus::TenantUnavailable,
+    NetStatus::Canceled,
+];
+
+/// Draws an arbitrary canonical frame, covering every opcode.
+///
+/// Feature vectors stay finite (NaN payloads round-trip bit-exactly
+/// but defeat `PartialEq`); tenants are `None` or non-empty, matching
+/// the canonical encoding where `None` and `""` share a wire image.
+struct AnyFrame;
+
+fn sample_features(rng: &mut StdRng) -> Vec<f64> {
+    let n = rng.random_range(0usize..24);
+    (0..n)
+        .map(|_| rng.random_range(-1.0e12f64..1.0e12))
+        .collect()
+}
+
+fn sample_tenant(rng: &mut StdRng) -> Option<String> {
+    if rng.random_range(0u32..2) == 0 {
+        return None;
+    }
+    let n = rng.random_range(1usize..=16);
+    let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    Some(
+        (0..n)
+            .map(|_| alphabet[rng.random_range(0..alphabet.len())] as char)
+            .collect(),
+    )
+}
+
+impl Strategy for AnyFrame {
+    type Value = Frame;
+
+    fn sample(&self, rng: &mut StdRng) -> Frame {
+        match rng.random_range(0u32..7) {
+            0 => Frame::Infer {
+                request_id: rng.random(),
+                deadline_us: rng.random(),
+                tenant: sample_tenant(rng),
+                features: sample_features(rng),
+            },
+            1 => Frame::Learn {
+                request_id: rng.random(),
+                label: rng.random(),
+                features: sample_features(rng),
+            },
+            2 => Frame::Ping {
+                request_id: rng.random(),
+            },
+            3 => Frame::Answer {
+                request_id: rng.random(),
+                elapsed_us: rng.random(),
+                label: rng.random(),
+                dims_used: rng.random(),
+                tier: rng.random(),
+                shard: rng.random(),
+                degraded: rng.random_range(0u32..2) == 1,
+            },
+            4 => Frame::Accepted {
+                request_id: rng.random(),
+            },
+            5 => {
+                let n = rng.random_range(0usize..48);
+                Frame::Refusal {
+                    request_id: rng.random(),
+                    status: REFUSAL_STATUSES[rng.random_range(0..REFUSAL_STATUSES.len())],
+                    detail: (0..n)
+                        .map(|_| (rng.random_range(0x20u8..0x7F)) as char)
+                        .collect(),
+                }
+            }
+            _ => Frame::Goodbye,
+        }
+    }
+}
+
+/// Draws a vector of canonical frames for stream-reassembly tests.
+struct FrameStream;
+
+impl Strategy for FrameStream {
+    type Value = Vec<Frame>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<Frame> {
+        let n = rng.random_range(1usize..6);
+        (0..n).map(|_| AnyFrame.sample(rng)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes never panic the decoder or the incremental
+    /// reader — every outcome is `Ok` or a typed error.
+    #[test]
+    fn arbitrary_bytes_do_not_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Frame::decode(&bytes);
+        let mut reader = FrameReader::new();
+        reader.extend(&bytes);
+        // Drain until the reader neither yields nor errors further.
+        for _ in 0..16 {
+            match reader.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Encode→decode is the identity, and re-encoding the decoded frame
+    /// reproduces the exact wire bytes (one canonical image per value).
+    #[test]
+    fn round_trip_is_byte_exact(frame in AnyFrame) {
+        let bytes = frame.encode();
+        prop_assert!(bytes.len() <= 4 + MAX_FRAME_LEN);
+        let decoded = Frame::decode(&bytes).expect("canonical frame decodes");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Cutting a frame anywhere yields `Truncated` (or `Undersized`
+    /// when the mangled length prefix itself is implausible) — never a
+    /// partial decode, never an over-read.
+    #[test]
+    fn truncation_is_a_typed_error(frame in AnyFrame, cut_seed in any::<u64>()) {
+        let bytes = frame.encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let err = Frame::decode(&bytes[..cut]).expect_err("short frame must be refused");
+        prop_assert!(
+            matches!(err, FrameError::Truncated { .. } | FrameError::Undersized { .. }),
+            "cut {}: {}", cut, err
+        );
+    }
+
+    /// Any single flipped bit is fatal: the CRC trailer (or a stricter
+    /// header check that fires first) refuses the frame. No flip is
+    /// silently absorbed.
+    #[test]
+    fn flipped_bit_is_rejected(frame in AnyFrame, pos_seed in any::<u64>(), bit in 0u32..8) {
+        let mut bytes = frame.encode();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            Frame::decode(&bytes).is_err(),
+            "flip at {} bit {} was absorbed", pos, bit
+        );
+    }
+
+    /// A declared length beyond the cap is refused up front — before
+    /// any allocation sized by attacker-controlled bytes.
+    #[test]
+    fn oversized_declared_length_is_refused(extra in 1u32..1024) {
+        let mut bytes = Frame::Ping { request_id: 1 }.encode();
+        let len = (MAX_FRAME_LEN as u32).saturating_add(extra);
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let err = Frame::decode(&bytes).expect_err("oversized length must be refused");
+        prop_assert!(matches!(err, FrameError::Oversized { .. }), "{err}");
+    }
+
+    /// Every version byte other than ours is refused with the typed
+    /// version error (checked before the CRC, so old peers get a clear
+    /// signal instead of a checksum complaint).
+    #[test]
+    fn wrong_version_is_refused(frame in AnyFrame, version in any::<u8>()) {
+        prop_assume!(version != PROTOCOL_VERSION);
+        let mut bytes = frame.encode();
+        bytes[8] = version; // body[4]: the version byte
+        let err = Frame::decode(&bytes).expect_err("foreign version must be refused");
+        prop_assert!(
+            matches!(err, FrameError::UnsupportedVersion { got } if got == version),
+            "{err}"
+        );
+    }
+
+    /// The incremental reader reassembles a stream of frames from
+    /// arbitrary chunk boundaries, byte-for-byte.
+    #[test]
+    fn frame_reader_reassembles_any_chunking(
+        frames in FrameStream,
+        chunk_seed in any::<u64>(),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0usize;
+        let mut seed = chunk_seed;
+        while offset < stream.len() {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let take = 1 + (seed % 37) as usize;
+            let end = (offset + take).min(stream.len());
+            reader.extend(&stream[offset..end]);
+            offset = end;
+            while let Some(f) = reader.next_frame().expect("canonical stream decodes") {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+}
+
+/// Guards the fuzz helpers against drifting out of sync with the
+/// format: a canonical frame of every opcode decodes standalone.
+#[test]
+fn canonical_frames_decode_standalone() {
+    let samples = [
+        Frame::Infer {
+            request_id: 1,
+            deadline_us: 250,
+            tenant: Some("acme".to_owned()),
+            features: vec![1.0, -2.5],
+        },
+        Frame::Learn {
+            request_id: 2,
+            label: 3,
+            features: vec![0.0],
+        },
+        Frame::Ping { request_id: 3 },
+        Frame::Answer {
+            request_id: 1,
+            elapsed_us: 412,
+            label: 2,
+            dims_used: 2048,
+            tier: 4,
+            shard: 1,
+            degraded: true,
+        },
+        Frame::Accepted { request_id: 2 },
+        Frame::Refusal {
+            request_id: 4,
+            status: NetStatus::Shed,
+            detail: "deadline hopeless".to_owned(),
+        },
+        Frame::Goodbye,
+    ];
+    for frame in samples {
+        let bytes = frame.encode();
+        assert_eq!(Frame::decode(&bytes).expect("decodes"), frame);
+    }
+}

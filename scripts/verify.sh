@@ -34,8 +34,12 @@ echo "==> registry crash-recovery smoke (generational ledger, portable kernels f
 GENERIC_FORCE_PORTABLE=1 \
   cargo run -p generic-bench --release --locked --quiet --bin soak -- --smoke
 
-echo "==> sharded serve bench smoke (QPS, latency percentiles)"
+echo "==> sharded serve bench smoke (QPS, latency percentiles, loopback netload)"
 cargo run -p generic-bench --release --locked --quiet --bin serve -- --smoke
+
+echo "==> sharded serve bench smoke (portable kernels forced)"
+GENERIC_FORCE_PORTABLE=1 \
+  cargo run -p generic-bench --release --locked --quiet --bin serve -- --smoke
 
 echo "==> registry bench smoke (mapped multi-tenant churn)"
 cargo run -p generic-bench --release --locked --quiet --bin registry -- --smoke

@@ -1,0 +1,226 @@
+//! Golden-vector tests for the framed TCP wire protocol.
+//!
+//! Tiny committed fixture files under `tests/fixtures/` pin the exact
+//! bytes of every request opcode and every response status. Round-trips
+//! must be byte-exact; any unintentional protocol change — header
+//! layout, endianness, payload width, CRC trailer — fails these tests
+//! instead of silently breaking deployed peers.
+//!
+//! Regenerate the fixtures (only after a *deliberate*, version-bumped
+//! protocol change) with:
+//!
+//! ```text
+//! cargo test -p generic-tests --test net_golden -- --ignored regenerate
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use generic_hdc::net::PROTOCOL_VERSION;
+use generic_hdc::{Frame, FrameError, NetStatus};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = fixture_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); see module docs",
+            path.display()
+        )
+    })
+}
+
+/// Every pinned frame: one per request opcode (tenant and tenant-free
+/// Infer both) and one per response status, all with distinctive,
+/// deterministic field values.
+fn golden_frames() -> Vec<(&'static str, Frame)> {
+    let refusal = |status: NetStatus, detail: &str| Frame::Refusal {
+        request_id: 0xFEED_F00D,
+        status,
+        detail: detail.to_owned(),
+    };
+    vec![
+        (
+            "net_infer.bin",
+            Frame::Infer {
+                request_id: 0x0123_4567_89AB_CDEF,
+                deadline_us: 1500,
+                tenant: None,
+                features: vec![1.0, -2.5, 0.0, 3.25],
+            },
+        ),
+        (
+            "net_infer_tenant.bin",
+            Frame::Infer {
+                request_id: 7,
+                deadline_us: 0,
+                tenant: Some("acme".to_owned()),
+                features: vec![0.5],
+            },
+        ),
+        (
+            "net_learn.bin",
+            Frame::Learn {
+                request_id: 8,
+                label: 2,
+                features: vec![4.0, 5.0],
+            },
+        ),
+        ("net_ping.bin", Frame::Ping { request_id: 9 }),
+        (
+            "net_answer.bin",
+            Frame::Answer {
+                request_id: 0x0123_4567_89AB_CDEF,
+                elapsed_us: 412,
+                label: 1,
+                dims_used: 2048,
+                tier: 4,
+                shard: 1,
+                degraded: true,
+            },
+        ),
+        ("net_accepted.bin", Frame::Accepted { request_id: 8 }),
+        ("net_goodbye.bin", Frame::Goodbye),
+        (
+            "net_refusal_queue_full.bin",
+            refusal(NetStatus::QueueFull, "work queue is full"),
+        ),
+        (
+            "net_refusal_shed.bin",
+            refusal(NetStatus::Shed, "deadline hopeless"),
+        ),
+        (
+            "net_refusal_malformed.bin",
+            refusal(NetStatus::Malformed, "checksum mismatch"),
+        ),
+        (
+            "net_refusal_unavailable.bin",
+            refusal(NetStatus::Unavailable, "no live shard"),
+        ),
+        (
+            "net_refusal_shutting_down.bin",
+            refusal(NetStatus::ShuttingDown, "draining"),
+        ),
+        (
+            "net_refusal_tenant_unavailable.bin",
+            refusal(NetStatus::TenantUnavailable, "tenant quarantined"),
+        ),
+        (
+            "net_refusal_canceled.bin",
+            refusal(NetStatus::Canceled, "server stopped"),
+        ),
+    ]
+}
+
+#[test]
+fn fixtures_round_trip_byte_exact() {
+    for (name, expected) in golden_frames() {
+        let bytes = fixture(name);
+        let frame = Frame::decode(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(frame, expected, "{name}");
+        assert_eq!(
+            frame.encode(),
+            bytes,
+            "{name}: encoding is no longer canonical"
+        );
+    }
+}
+
+/// The header layout is pinned positionally: length prefix, magic,
+/// version, opcode, status, reserved byte, request id, time slot, and
+/// tenant length all live at fixed little-endian offsets.
+#[test]
+fn header_layout_is_pinned() {
+    let bytes = fixture("net_infer_tenant.bin");
+    let body_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    assert_eq!(4 + body_len, bytes.len(), "length prefix covers the body");
+    assert_eq!(&bytes[4..8], b"GNET", "magic");
+    assert_eq!(bytes[8], PROTOCOL_VERSION, "version");
+    assert_eq!(bytes[9], 0x01, "opcode (Infer)");
+    assert_eq!(bytes[10], 0, "status (Ok on requests)");
+    assert_eq!(bytes[11], 0, "reserved");
+    assert_eq!(
+        u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+        7,
+        "request id"
+    );
+    assert_eq!(
+        u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+        0,
+        "deadline slot"
+    );
+    assert_eq!(
+        u16::from_le_bytes(bytes[28..30].try_into().unwrap()),
+        4,
+        "tenant length"
+    );
+    assert_eq!(&bytes[30..34], b"acme", "tenant id");
+    // 1 feature: u32 count + f64 value, then the 4-byte CRC trailer.
+    assert_eq!(
+        u32::from_le_bytes(bytes[34..38].try_into().unwrap()),
+        1,
+        "feature count"
+    );
+    assert_eq!(
+        f64::from_le_bytes(bytes[38..46].try_into().unwrap()),
+        0.5,
+        "feature value"
+    );
+    assert_eq!(bytes.len(), 46 + 4, "CRC trailer ends the frame");
+
+    // Every response status byte is pinned to its wire value.
+    for (name, want) in [
+        ("net_answer.bin", 0u8),
+        ("net_accepted.bin", 8),
+        ("net_goodbye.bin", 5),
+        ("net_refusal_queue_full.bin", 1),
+        ("net_refusal_shed.bin", 2),
+        ("net_refusal_malformed.bin", 3),
+        ("net_refusal_unavailable.bin", 4),
+        ("net_refusal_shutting_down.bin", 5),
+        ("net_refusal_tenant_unavailable.bin", 6),
+        ("net_refusal_canceled.bin", 7),
+    ] {
+        let bytes = fixture(name);
+        assert_eq!(bytes[10], want, "{name}: status byte");
+    }
+}
+
+/// Tampering with any fixture's CRC trailer (or a payload byte the
+/// trailer covers) is fatal: the decoder refuses with the typed
+/// checksum error, never a silently-corrupt frame.
+#[test]
+fn tampered_fixtures_fail_the_checksum() {
+    for (name, _) in golden_frames() {
+        let bytes = fixture(name);
+        // Flip a payload byte past every pre-CRC header check.
+        let mut tampered = bytes.clone();
+        tampered[12] ^= 0x01; // low request-id byte
+        match Frame::decode(&tampered) {
+            Err(FrameError::ChecksumMismatch { .. }) => {}
+            other => panic!("{name}: tampered payload must fail the CRC, got {other:?}"),
+        }
+        // And a tampered trailer itself is equally fatal.
+        let mut tampered = bytes;
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        match Frame::decode(&tampered) {
+            Err(FrameError::ChecksumMismatch { .. }) => {}
+            other => panic!("{name}: tampered trailer must fail the CRC, got {other:?}"),
+        }
+    }
+}
+
+/// Writes the fixture files. `#[ignore]`d: run explicitly after a
+/// deliberate protocol change, then commit the new bytes.
+#[test]
+#[ignore = "regenerates the committed golden fixtures"]
+fn regenerate() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, frame) in golden_frames() {
+        std::fs::write(dir.join(name), frame.encode()).unwrap();
+    }
+}
