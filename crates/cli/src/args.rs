@@ -21,6 +21,9 @@ USAGE:
                     [--batch-max N] [--shards N] [--dead-letter-out <csv>]
                     [--skip-bad-rows] [--registry <dir>] [--tenant-header]
                     [--listen <addr>]
+    generic compress --model <pipeline> --data <csv> --target-accuracy A
+                    [--max-bytes B] [--out <image>] [--holdout-every N]
+                    [--epochs N] [--skip-bad-rows]
     generic conformance [--replay <token>] [--seed N] [--count N]
     generic registry history  --dir <dir> --tenant <name>
     generic registry rollback --dir <dir> --tenant <name> [--to N]
@@ -60,6 +63,17 @@ accepts framed TCP connections on <addr> (length-prefixed binary
 frames with a CRC32 trailer; port 0 picks an ephemeral port, printed
 on stdout as `listening on <addr>`); the CSV stream still drives the
 writer, and the server drains when the stream ends.
+
+`compress` shrinks a trained pipeline's model post-training: it scores
+every dimension's class-margin saliency, sweeps pruned supports ×
+quantization bit widths (recovering accuracy after each prune on the
+training split), and picks the smallest GHDC v3 image whose held-out
+accuracy reaches --target-accuracy (a fraction, e.g. 0.9) and fits
+--max-bytes when given. Every --holdout-every'th CSV row forms the
+held-out split; --epochs bounds the retrain-after-prune recovery. The
+Pareto frontier is printed; with --out the chosen image is written,
+ready to publish into a `serve --registry` directory (pruned images
+carry their support mask and serve full-width queries unchanged).
 
 `conformance` runs seeded differential scenarios through every
 fast-kernel/scalar-oracle pair and reports divergences. With --replay it
@@ -170,6 +184,27 @@ pub enum CliCommand {
         /// `--shards`; port 0 = ephemeral).
         listen: Option<String>,
     },
+    /// Compress a trained pipeline's model: saliency-guided pruning ×
+    /// quantization with an accuracy/size Pareto search.
+    Compress {
+        /// Trained pipeline path.
+        model: PathBuf,
+        /// Labeled CSV the search trains and validates on.
+        data: PathBuf,
+        /// Minimum held-out accuracy the chosen model must reach
+        /// (fraction in (0, 1]).
+        target_accuracy: f64,
+        /// Optional hard ceiling on the chosen image's byte size.
+        max_bytes: Option<usize>,
+        /// Write the chosen GHDC v3 image here.
+        out: Option<PathBuf>,
+        /// Every Nth row forms the held-out split.
+        holdout_every: usize,
+        /// Retrain-after-prune recovery epochs per support.
+        epochs: usize,
+        /// Quarantine malformed CSV rows instead of aborting.
+        skip_bad_rows: bool,
+    },
     /// Run differential conformance scenarios (or replay a reproducer).
     Conformance {
         /// Reproducer token to replay instead of fuzzing.
@@ -247,7 +282,8 @@ impl Options {
                 "data" | "out" | "model" | "dim" | "window" | "levels" | "epochs" | "seed"
                 | "k" | "ckpt-dir" | "budget-us" | "checkpoint-every" | "keep" | "batch-max"
                 | "shards" | "dead-letter-out" | "replay" | "count" | "registry" | "dir"
-                | "tenant" | "to" | "listen" => {
+                | "tenant" | "to" | "listen" | "target-accuracy" | "max-bytes"
+                | "holdout-every" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
@@ -344,6 +380,40 @@ pub fn parse_args(argv: &[String]) -> Result<CliCommand, CliError> {
         "info" => Ok(CliCommand::Info {
             model: opts.required_path("model")?,
         }),
+        "compress" => {
+            let target_accuracy: f64 = opts
+                .value("target-accuracy")
+                .ok_or_else(|| CliError::new("missing required option --target-accuracy"))?
+                .parse()
+                .map_err(|_| CliError::new("--target-accuracy expects a number"))?;
+            if !(target_accuracy > 0.0 && target_accuracy <= 1.0) {
+                return Err(CliError::new(
+                    "--target-accuracy expects a fraction in (0, 1]",
+                ));
+            }
+            let max_bytes = match opts.value("max-bytes") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| {
+                    CliError::new(format!("--max-bytes expects a number, got `{v}`"))
+                })?),
+            };
+            Ok(CliCommand::Compress {
+                model: opts.required_path("model")?,
+                data: opts.required_path("data")?,
+                target_accuracy,
+                max_bytes,
+                out: opts.value("out").map(PathBuf::from),
+                holdout_every: opts.numeric("holdout-every", 4).and_then(|n| {
+                    if n < 2 {
+                        Err(CliError::new("--holdout-every expects a number >= 2"))
+                    } else {
+                        Ok(n)
+                    }
+                })?,
+                epochs: opts.numeric("epochs", 5)?,
+                skip_bad_rows: opts.flag("skip-bad-rows"),
+            })
+        }
         "conformance" => Ok(CliCommand::Conformance {
             replay: opts.value("replay").map(str::to_owned),
             seed: opts.numeric("seed", 42)?,
@@ -428,6 +498,104 @@ mod tests {
 
     fn argv(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_compress() {
+        let cmd = parse_args(&argv(&[
+            "compress",
+            "--model",
+            "m.ghdc",
+            "--data",
+            "d.csv",
+            "--target-accuracy",
+            "0.9",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::Compress {
+                model: PathBuf::from("m.ghdc"),
+                data: PathBuf::from("d.csv"),
+                target_accuracy: 0.9,
+                max_bytes: None,
+                out: None,
+                holdout_every: 4,
+                epochs: 5,
+                skip_bad_rows: false,
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "compress",
+            "--model",
+            "m.ghdc",
+            "--data",
+            "d.csv",
+            "--target-accuracy",
+            "0.85",
+            "--max-bytes",
+            "65536",
+            "--out",
+            "c.ghdc",
+            "--holdout-every",
+            "3",
+            "--epochs",
+            "2",
+            "--skip-bad-rows",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::Compress {
+                model: PathBuf::from("m.ghdc"),
+                data: PathBuf::from("d.csv"),
+                target_accuracy: 0.85,
+                max_bytes: Some(65536),
+                out: Some(PathBuf::from("c.ghdc")),
+                holdout_every: 3,
+                epochs: 2,
+                skip_bad_rows: true,
+            }
+        );
+    }
+
+    #[test]
+    fn compress_rejects_bad_options() {
+        // Missing or out-of-range --target-accuracy.
+        assert!(parse_args(&argv(&["compress", "--model", "m", "--data", "d"])).is_err());
+        assert!(parse_args(&argv(&[
+            "compress",
+            "--model",
+            "m",
+            "--data",
+            "d",
+            "--target-accuracy",
+            "1.5"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&[
+            "compress",
+            "--model",
+            "m",
+            "--data",
+            "d",
+            "--target-accuracy",
+            "0"
+        ]))
+        .is_err());
+        // A degenerate holdout split would leave nothing to train on.
+        assert!(parse_args(&argv(&[
+            "compress",
+            "--model",
+            "m",
+            "--data",
+            "d",
+            "--target-accuracy",
+            "0.9",
+            "--holdout-every",
+            "1"
+        ]))
+        .is_err());
     }
 
     #[test]

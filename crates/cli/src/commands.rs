@@ -186,6 +186,26 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
                 listen,
             },
         ),
+        CliCommand::Compress {
+            model,
+            data,
+            target_accuracy,
+            max_bytes,
+            out: image_out,
+            holdout_every,
+            epochs,
+            skip_bad_rows,
+        } => compress(
+            out,
+            &model,
+            &data,
+            target_accuracy,
+            max_bytes,
+            image_out.as_deref(),
+            holdout_every,
+            epochs,
+            skip_bad_rows,
+        ),
         CliCommand::Conformance {
             replay,
             seed,
@@ -198,6 +218,116 @@ pub fn execute<W: Write>(command: CliCommand, out: &mut W) -> CommandResult {
             to,
         } => registry_admin(out, action, &dir, tenant.as_deref(), to),
     }
+}
+
+/// The `compress` driver: encode the labeled CSV, split train/holdout,
+/// run the accuracy/size Pareto search, report the frontier, and write
+/// the chosen image when requested.
+#[allow(clippy::too_many_arguments)]
+fn compress<W: Write>(
+    out: &mut W,
+    model_path: &Path,
+    data: &Path,
+    target_accuracy: f64,
+    max_bytes: Option<usize>,
+    image_out: Option<&Path>,
+    holdout_every: usize,
+    epochs: usize,
+    skip_bad_rows: bool,
+) -> CommandResult {
+    use generic_hdc::encoding::Encoder;
+
+    let pipeline = load_pipeline(model_path)?;
+    let report = csv::read_file_opts(data, true, skip_bad_rows)?;
+    report_skipped(&report, out)?;
+    let parsed = report.data;
+    let labels = parsed.labels.expect("labeled parse returns labels");
+    let encoded = pipeline.encoder().encode_batch(&parsed.features)?;
+
+    // Deterministic split: every Nth row validates, the rest train.
+    let mut train = Vec::new();
+    let mut train_labels = Vec::new();
+    let mut holdout = Vec::new();
+    let mut holdout_labels = Vec::new();
+    for (i, (hv, &label)) in encoded.into_iter().zip(&labels).enumerate() {
+        if i % holdout_every == 0 {
+            holdout.push(hv);
+            holdout_labels.push(label);
+        } else {
+            train.push(hv);
+            train_labels.push(label);
+        }
+    }
+    if train.is_empty() || holdout.is_empty() {
+        return Err("too few samples to split into train and holdout".into());
+    }
+
+    let opts = generic_hdc::CompressOptions {
+        max_bytes,
+        recover_epochs: epochs,
+        n_threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        ..generic_hdc::CompressOptions::new(target_accuracy)
+    };
+    let outcome = generic_hdc::pareto_search(
+        pipeline.model(),
+        &train,
+        &train_labels,
+        &holdout,
+        &holdout_labels,
+        &opts,
+    )?;
+
+    let baseline = {
+        let full = generic_hdc::QuantizedModel::from_model(pipeline.model(), 8)?;
+        let mut bytes = Vec::new();
+        generic_hdc::io::write_packed(&full, &mut bytes)?;
+        bytes.len()
+    };
+    writeln!(
+        out,
+        "searched {} candidates over {} samples ({} train / {} holdout)",
+        outcome.points.len(),
+        labels.len(),
+        train_labels.len(),
+        holdout_labels.len()
+    )?;
+    writeln!(out, "pareto frontier (size-ascending, non-dominated):")?;
+    for p in &outcome.frontier {
+        writeln!(
+            out,
+            "  {:>6} dims x {:>2} bit = {:>9} B  {:>6.2}% holdout accuracy",
+            p.keep_dims,
+            p.bit_width,
+            p.bytes,
+            100.0 * p.accuracy
+        )?;
+    }
+    let chosen = &outcome.chosen_point;
+    writeln!(
+        out,
+        "chosen: {} of {} dims x {} bit = {} B ({:.1}x smaller than the {} B full 8-bit \
+         image), {:.2}% holdout accuracy",
+        chosen.keep_dims,
+        pipeline.model().dim(),
+        chosen.bit_width,
+        chosen.bytes,
+        baseline as f64 / chosen.bytes as f64,
+        baseline,
+        100.0 * chosen.accuracy
+    )?;
+    if !outcome.meets_target {
+        writeln!(
+            out,
+            "warning: no candidate met the {:.2}% target{}; emitted the most accurate one",
+            100.0 * target_accuracy,
+            max_bytes.map_or(String::new(), |b| format!(" within {b} B")),
+        )?;
+    }
+    if let Some(path) = image_out {
+        std::fs::write(path, outcome.chosen.image_bytes()?)?;
+        writeln!(out, "compressed image written to {}", path.display())?;
+    }
+    Ok(())
 }
 
 /// The `registry` admin driver: history, rollback, gc, and fsck over a

@@ -11,7 +11,8 @@ use generic_hdc::ledger::{FsOp, LedgerFs, MANIFEST_NAME};
 use generic_hdc::net::{read_frame, Frame, NetConfig, NetFrontend, NetStatus};
 use generic_hdc::oracle::{
     BundleKernel, DifferentialKernel, DotI32Kernel, EncodeKernel, HammingKernel, PackedDotKernel,
-    PackedScoreKernel, RetrainKernel, ScoreBatchKernel, ScoreKernel, StageKind,
+    PackedScoreKernel, PruneKernel, PrunedScoreKernel, RetrainKernel, SaliencyKernel,
+    ScoreBatchKernel, ScoreKernel, StageKind,
 };
 use generic_hdc::registry::{ModelRegistry, RegistryConfig};
 use generic_hdc::runtime::{CheckpointStore, OnlineRuntime, RetryPolicy, RuntimeConfig};
@@ -152,6 +153,7 @@ fn execute(
     stage_concurrent_serve(scenario, coverage, &pipeline, &features, &labels)?;
     stage_registry(scenario, coverage, &pipeline, &encoded)?;
     stage_network(scenario, coverage, &pipeline, &features)?;
+    stage_compress(scenario, coverage, &pipeline, &features, &encoded, &labels)?;
     Ok(())
 }
 
@@ -1650,6 +1652,214 @@ fn check_live_generation(
         coverage.add(STAGE, 1);
     }
     Ok(())
+}
+
+/// Compress → publish → serve replay on a pruned tenant: saliency and
+/// prune checked differentially per ISA, then the pruned image is
+/// published through a real registry, scored through the mapped view on
+/// every ISA, and served through the sharded server with tenant
+/// routing — every answer replayed against the scalar pruned oracle
+/// (query compacted by the support, scored through the heap quantized
+/// model, last-wins argmax).
+fn stage_compress(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+    encoded: &[IntHv],
+    labels: &[usize],
+) -> Result<(), Divergence> {
+    let dir = unique_temp_dir(scenario.seed ^ 0xC0_4B_12);
+    let result = compress_cycle(
+        scenario, coverage, pipeline, features, encoded, labels, &dir,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+#[allow(clippy::too_many_lines)]
+fn compress_cycle(
+    scenario: &Scenario,
+    coverage: &mut Coverage,
+    pipeline: &HdcPipeline,
+    features: &[Vec<f64>],
+    encoded: &[IntHv],
+    labels: &[usize],
+    dir: &std::path::Path,
+) -> Result<(), Divergence> {
+    const STAGE: StageKind = StageKind::Compress;
+    let err =
+        |kernel: &str, e: &dyn std::fmt::Display| harness_failure(STAGE, kernel, &e.to_string());
+
+    let model = pipeline.model();
+    let batch = (encoded.to_vec(), labels.to_vec());
+
+    // Saliency: every dispatched ISA vs the per-query scalar reference.
+    for isa in kernels::available() {
+        let kernel = SaliencyKernel { model, isa };
+        let name = format!("{}[{isa}]", kernel.entry().name);
+        let fast = kernel.fast(&batch).map_err(|e| err(&name, &e))?;
+        let reference = kernel.reference(&batch).map_err(|e| err(&name, &e))?;
+        if fast != reference {
+            let (d, (f, r)) = fast
+                .scores()
+                .iter()
+                .zip(reference.scores())
+                .enumerate()
+                .map(|(d, (&f, &r))| (d, (f, r)))
+                .find(|&(_, (f, r))| f != r)
+                .unwrap_or((0, (0, 0)));
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: name,
+                detail: format!("dim {d}: fast {f} vs reference {r}"),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
+
+    // Prune: sort-based selection vs the independent max-scan oracle,
+    // at an aggressive support and the identity support.
+    let sal = generic_hdc::saliency(model, encoded, labels).map_err(|e| err("saliency", &e))?;
+    let keep = (scenario.dim / 4).max(1);
+    for keep in [keep, scenario.dim] {
+        let kernel = PruneKernel { model, keep };
+        let name = kernel.entry().name;
+        let fast = kernel.fast(&sal).map_err(|e| err(name, &e))?;
+        let reference = kernel.reference(&sal).map_err(|e| err(name, &e))?;
+        if fast != reference {
+            return Err(Divergence {
+                stage: STAGE,
+                kernel: name.to_string(),
+                detail: format!("keep {keep}: support or class matrix diverged"),
+            });
+        }
+        coverage.add(STAGE, 1);
+    }
+
+    // Compress: prune to a quarter of the dimensions, recover, quantize
+    // at the scenario's width.
+    let mut pruned = generic_hdc::prune(model, &sal, keep).map_err(|e| err("prune", &e))?;
+    pruned
+        .recover(encoded, labels, 2, 2)
+        .map_err(|e| err("recover", &e))?;
+    let compressed = generic_hdc::CompressedModel::from_pruned(&pruned, scenario.bit_width)
+        .map_err(|e| err("compress", &e))?;
+
+    // Publish the pruned tenant through a real registry.
+    let registry_dir = dir.join("registry");
+    std::fs::create_dir_all(&registry_dir).map_err(|e| err("publish", &e))?;
+    let registry = ModelRegistry::open(
+        &registry_dir,
+        RegistryConfig {
+            dim: scenario.dim,
+            ..RegistryConfig::default()
+        },
+    )
+    .map_err(|e| err("publish", &e))?;
+    registry
+        .publish_compressed("pruned", &compressed)
+        .map_err(|e| err("publish", &e))?;
+
+    // The published bytes, scored through the mapped view on every ISA,
+    // must match the scalar pruned oracle bit for bit.
+    let path = registry
+        .tenant_path("pruned")
+        .map_err(|e| err("publish", &e))?;
+    let image = std::fs::read(&path).map_err(|e| err("publish", &e))?;
+    let queries: Vec<BinaryHv> = encoded.iter().take(6).map(IntHv::to_binary).collect();
+    for isa in kernels::available() {
+        let kernel = PrunedScoreKernel {
+            image: image.clone(),
+            compressed: compressed.clone(),
+            isa,
+        };
+        let name = format!("{}[{isa}]", kernel.entry().name);
+        for (i, query) in queries.iter().enumerate() {
+            let fast = kernel.fast(query).map_err(|e| err(&name, &e))?;
+            let reference = kernel.reference(query).map_err(|e| err(&name, &e))?;
+            if fast != reference {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: name,
+                    detail: format!("sample {i}: {}", first_f64_diff(&fast, &reference)),
+                });
+            }
+            coverage.add(STAGE, 1);
+        }
+    }
+
+    // Serve: tenant-routed answers from the sharded server must replay
+    // exactly on the scalar pruned oracle.
+    let ckpt_dir = dir.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir).map_err(|e| err("serve", &e))?;
+    let store = CheckpointStore::open(&ckpt_dir, 2, RetryPolicy::default())
+        .map_err(|e| err("serve", &e))?;
+    let runtime = OnlineRuntime::new(
+        pipeline.clone(),
+        store,
+        RuntimeConfig {
+            checkpoint_every: 0,
+            ..RuntimeConfig::default()
+        },
+    )
+    .map_err(|e| err("serve", &e))?;
+    let server = Server::start_with_registry(
+        runtime,
+        ServeConfig {
+            shards: 2,
+            batch_max: 4,
+            ..ServeConfig::default()
+        },
+        Some(registry.into()),
+    )
+    .map_err(|e| err("serve", &e))?;
+    let handle = server.handle();
+    let snapshot = handle.snapshots().load();
+    let serve_result = (|| -> Result<(), Divergence> {
+        for (i, sample) in features.iter().take(6).enumerate() {
+            let answer = handle
+                .submit_tenant("pruned", sample.clone(), None)
+                .map_err(|e| err("serve", &e))?
+                .wait()
+                .map_err(|e| err("serve", &e))?;
+            let query = snapshot
+                .pipeline()
+                .encoder()
+                .encode(sample)
+                .map_err(|e| err("serve", &e))?
+                .to_binary();
+            let bits: Vec<bool> = compressed.support().iter().map(|&d| query.bit(d)).collect();
+            let compact = BinaryHv::from_bits(&bits).map_err(|e| err("serve", &e))?;
+            let scores = compressed.quantized().scores(&IntHv::from(compact));
+            let mut oracle = 0usize;
+            let mut best = f64::NEG_INFINITY;
+            for (c, &s) in scores.iter().enumerate() {
+                if s >= best {
+                    best = s;
+                    oracle = c;
+                }
+            }
+            if answer.label != oracle {
+                return Err(Divergence {
+                    stage: STAGE,
+                    kernel: "pruned_serve".to_string(),
+                    detail: format!(
+                        "sample {i}: the server answered {} but the scalar pruned oracle \
+                         predicts {oracle}",
+                        answer.label
+                    ),
+                });
+            }
+            coverage.add(STAGE, 1);
+        }
+        Ok(())
+    })();
+    let drain = server.drain();
+    serve_result?;
+    drain
+        .map(|_| ())
+        .map_err(|e| harness_failure(STAGE, "pruned_serve", &e))
 }
 
 fn unique_temp_dir(seed: u64) -> PathBuf {

@@ -98,6 +98,15 @@ pub enum ReadModelError {
         /// `ptr % required` of the offered buffer.
         offset: usize,
     },
+    /// A pruned v3 stream's support mask disagrees with its header: the
+    /// mask must hold exactly `dim` set bits, all below `parent_dim`.
+    /// Checked before any view is constructed over the stream.
+    SupportMismatch {
+        /// Set-bit count the header's pruned `dim` requires.
+        expected: usize,
+        /// Set-bit count actually stored in the mask section.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for ReadModelError {
@@ -123,6 +132,10 @@ impl std::fmt::Display for ReadModelError {
             ReadModelError::Misaligned { required, offset } => write!(
                 f,
                 "buffer base is {offset} bytes past a {required}-byte boundary"
+            ),
+            ReadModelError::SupportMismatch { expected, actual } => write!(
+                f,
+                "support mask carries {actual} set bits where the header requires {expected}"
             ),
         }
     }
@@ -377,15 +390,27 @@ const fn align_up(n: usize, align: usize) -> usize {
 ///   [8..12)  dim        (u32 LE)
 ///   [12..16) n_classes  (u32 LE)
 ///   [16..20) n_planes   (u32 LE, uniform across classes)
-///   [20..64) reserved, zero
+///   [20..24) parent_dim (u32 LE, 0 = full support)
+///   [24..64) reserved, zero
 /// norms_offset                    n_classes × f64 LE  (‖C‖, pack() fold)
 /// plane_pop_offset                n_classes × n_planes × i64 LE
 /// planes_offset                   per class: signs plane, then plane 0
 ///                                 … plane n_planes−1; every plane is
 ///                                 ceil(dim/64) u64 LE words padded to a
 ///                                 64-byte stride
+/// support_offset                  pruned streams only: ceil(parent_dim/64)
+///                                 u64 LE words padded to a 64-byte stride;
+///                                 bit `i` set ⇔ parent dimension `i` is in
+///                                 the pruned support (exactly `dim` bits)
 /// total_len − 4                   u32 CRC32 over everything before it
 /// ```
+///
+/// A *pruned* stream (`parent_dim > 0`) stores a model whose `dim`
+/// class elements live on a subset of a larger `parent_dim`-dimensional
+/// space; the trailing support mask names that subset so parent-space
+/// queries can be compacted at score time. Full-support streams write
+/// `parent_dim = 0` and no mask section, which keeps every pre-pruning
+/// v3 image byte-identical.
 ///
 /// Every section offset is a multiple of [`PACKED_ALIGN`], so on a
 /// 64-byte-aligned base (an `mmap` is page-aligned) every plane
@@ -406,6 +431,15 @@ pub struct PackedLayout {
     norms_offset: usize,
     plane_pop_offset: usize,
     planes_offset: usize,
+    /// Byte offset of the support-mask section (end of the planes
+    /// region; the mask itself exists only when `parent_dim > 0`).
+    support_offset: usize,
+    /// Aligned byte length of the support-mask section (0 when
+    /// full-support).
+    support_len: usize,
+    /// Parent-space dimensionality of a pruned stream; 0 = full
+    /// support.
+    parent_dim: usize,
     total_len: usize,
 }
 
@@ -416,6 +450,7 @@ impl PackedLayout {
         n_classes: usize,
         n_planes: usize,
         bit_width: u8,
+        parent_dim: usize,
     ) -> Result<Self, ReadModelError> {
         if dim == 0 || n_classes == 0 {
             return Err(ReadModelError::Corrupt(HdcError::invalid(
@@ -435,6 +470,12 @@ impl PackedLayout {
                 "plane count inconsistent with bit width",
             )));
         }
+        if parent_dim != 0 && (parent_dim < dim || parent_dim > 1 << 24) {
+            return Err(ReadModelError::Corrupt(HdcError::invalid(
+                "header",
+                "parent dimension inconsistent with the pruned dimension",
+            )));
+        }
         let n_words = dim.div_ceil(64);
         let plane_stride = align_up(n_words * 8, PACKED_ALIGN);
         let norms_offset = PACKED_HEADER_LEN;
@@ -442,7 +483,13 @@ impl PackedLayout {
         let planes_offset = plane_pop_offset + align_up(n_classes * n_planes * 8, PACKED_ALIGN);
         // Bounded by the plausibility checks above: ≤ 2^16 classes of
         // ≤ 17 planes of ≤ 2^18-word strides stays far below usize::MAX.
-        let total_len = planes_offset + n_classes * (1 + n_planes) * plane_stride + 4;
+        let support_offset = planes_offset + n_classes * (1 + n_planes) * plane_stride;
+        let support_len = if parent_dim == 0 {
+            0
+        } else {
+            align_up(parent_dim.div_ceil(64) * 8, PACKED_ALIGN)
+        };
+        let total_len = support_offset + support_len + 4;
         Ok(PackedLayout {
             dim,
             n_classes,
@@ -453,6 +500,9 @@ impl PackedLayout {
             norms_offset,
             plane_pop_offset,
             planes_offset,
+            support_offset,
+            support_len,
+            parent_dim,
             total_len,
         })
     }
@@ -493,7 +543,8 @@ impl PackedLayout {
         let dim = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
         let n_classes = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
         let n_planes = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]) as usize;
-        let layout = Self::from_geometry(dim, n_classes, n_planes, bytes[6])?;
+        let parent_dim = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]) as usize;
+        let layout = Self::from_geometry(dim, n_classes, n_planes, bytes[6], parent_dim)?;
         if bytes.len() != layout.total_len {
             return Err(ReadModelError::Truncated {
                 expected: layout.total_len as u64,
@@ -521,7 +572,59 @@ impl PackedLayout {
         if stored != computed {
             return Err(ReadModelError::ChecksumMismatch { stored, computed });
         }
+        layout.check_support(bytes)?;
         Ok(layout)
+    }
+
+    /// Verifies a pruned stream's support mask against its header: the
+    /// mask must carry exactly `dim` set bits, none at or beyond
+    /// `parent_dim`, and the alignment padding after the mask words must
+    /// be zero. A no-op for full-support streams. Runs inside
+    /// [`PackedLayout::validate`] and again when a view is constructed
+    /// over pre-validated bytes, so no scoring path ever sees a mask
+    /// whose population disagrees with the stored model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadModelError::SupportMismatch`] on a population-count
+    /// disagreement and [`ReadModelError::Corrupt`] for set padding bits.
+    pub(crate) fn check_support(&self, bytes: &[u8]) -> Result<(), ReadModelError> {
+        if self.parent_dim == 0 {
+            return Ok(());
+        }
+        let words = self.parent_dim.div_ceil(64);
+        let mut pop = 0usize;
+        for w in 0..words {
+            let word = u64::from_le_bytes(read_8(bytes, self.support_offset + w * 8));
+            pop += word.count_ones() as usize;
+        }
+        // Bits past `parent_dim` in the last mask word, and every byte of
+        // the alignment padding, must be zero: they are outside the
+        // parent space and would corrupt query compaction.
+        let rem = self.parent_dim % 64;
+        if rem != 0 {
+            let last = u64::from_le_bytes(read_8(bytes, self.support_offset + (words - 1) * 8));
+            if last >> rem != 0 {
+                return Err(ReadModelError::Corrupt(HdcError::invalid(
+                    "support",
+                    "support mask sets bits beyond the parent dimensionality",
+                )));
+            }
+        }
+        let pad = &bytes[self.support_offset + words * 8..self.support_offset + self.support_len];
+        if pad.iter().any(|&b| b != 0) {
+            return Err(ReadModelError::Corrupt(HdcError::invalid(
+                "support",
+                "support mask padding must be zero",
+            )));
+        }
+        if pop != self.dim {
+            return Err(ReadModelError::SupportMismatch {
+                expected: self.dim,
+                actual: pop,
+            });
+        }
+        Ok(())
     }
 
     /// Hypervector dimensionality.
@@ -576,6 +679,53 @@ impl PackedLayout {
         self.planes_offset + c * (1 + self.n_planes) * self.plane_stride
     }
 
+    /// Byte offset of the support-mask section (meaningful only when
+    /// [`PackedLayout::is_pruned`]; otherwise the end of the planes
+    /// region).
+    pub fn support_offset(&self) -> usize {
+        self.support_offset
+    }
+
+    /// Whether the stream stores a pruned model with a support mask.
+    pub fn is_pruned(&self) -> bool {
+        self.parent_dim != 0
+    }
+
+    /// Parent-space dimensionality of a pruned stream (`dim` for a
+    /// full-support stream). This is the dimensionality queries arrive
+    /// at — the dimension the registry and the serving encoders agree
+    /// on.
+    pub fn parent_dim(&self) -> usize {
+        if self.parent_dim == 0 {
+            self.dim
+        } else {
+            self.parent_dim
+        }
+    }
+
+    /// `u64` words in the support mask (`ceil(parent_dim / 64)`; 0 for a
+    /// full-support stream, which stores no mask).
+    pub fn support_words(&self) -> usize {
+        if self.parent_dim == 0 {
+            0
+        } else {
+            self.parent_dim.div_ceil(64)
+        }
+    }
+
+    /// Copies the support-mask words out of a pruned stream (`None` for
+    /// a full-support stream).
+    pub fn support_mask(&self, bytes: &[u8]) -> Option<Vec<u64>> {
+        if self.parent_dim == 0 {
+            return None;
+        }
+        Some(
+            (0..self.support_words())
+                .map(|w| u64::from_le_bytes(read_8(bytes, self.support_offset + w * 8)))
+                .collect(),
+        )
+    }
+
     /// Exact stream length in bytes, CRC footer included.
     pub fn total_len(&self) -> usize {
         self.total_len
@@ -613,8 +763,40 @@ pub fn write_packed<W: Write>(model: &QuantizedModel, mut writer: W) -> io::Resu
     writer.write_all(&buf)
 }
 
+/// Serializes a pruned quantized model as a GHDC v3 packed stream with a
+/// trailing support mask: `model` holds the compacted (support-sized)
+/// class elements, `parent_dim` the original dimensionality, and
+/// `support` the parent-space membership mask (`ceil(parent_dim/64)`
+/// little-endian words with exactly `model.dim()` set bits).
+///
+/// # Errors
+///
+/// Returns an `InvalidInput` error when the mask disagrees with the
+/// model geometry, plus any underlying I/O error.
+pub fn write_packed_pruned<W: Write>(
+    model: &QuantizedModel,
+    parent_dim: usize,
+    support: &[u64],
+    mut writer: W,
+) -> io::Result<()> {
+    let buf = packed_bytes_pruned(model, parent_dim, support)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    writer.write_all(&buf)
+}
+
 /// Builds the complete v3 byte image of `model`.
 pub(crate) fn packed_bytes(model: &QuantizedModel) -> Result<Vec<u8>, ReadModelError> {
+    packed_bytes_pruned(model, 0, &[])
+}
+
+/// Builds the complete v3 byte image of a pruned `model`
+/// (`parent_dim == 0` writes the full-support layout, byte-identical to
+/// [`packed_bytes`]).
+pub(crate) fn packed_bytes_pruned(
+    model: &QuantizedModel,
+    parent_dim: usize,
+    support: &[u64],
+) -> Result<Vec<u8>, ReadModelError> {
     let dim = model.dim();
     let n_classes = model.n_classes();
     let max_mag: u16 = (0..n_classes)
@@ -623,7 +805,20 @@ pub(crate) fn packed_bytes(model: &QuantizedModel) -> Result<Vec<u8>, ReadModelE
         .max()
         .unwrap_or(0);
     let n_planes = (16 - max_mag.leading_zeros()) as usize;
-    let layout = PackedLayout::from_geometry(dim, n_classes, n_planes, model.bit_width())?;
+    let layout =
+        PackedLayout::from_geometry(dim, n_classes, n_planes, model.bit_width(), parent_dim)?;
+    if parent_dim == 0 && !support.is_empty() {
+        return Err(ReadModelError::Corrupt(HdcError::invalid(
+            "support",
+            "full-support streams must not carry a mask",
+        )));
+    }
+    if parent_dim != 0 && support.len() != layout.support_words() {
+        return Err(ReadModelError::Corrupt(HdcError::invalid(
+            "support",
+            "support mask word count disagrees with the parent dimension",
+        )));
+    }
 
     let mut buf = vec![0u8; layout.total_len];
     buf[..4].copy_from_slice(&MAGIC);
@@ -633,6 +828,11 @@ pub(crate) fn packed_bytes(model: &QuantizedModel) -> Result<Vec<u8>, ReadModelE
     buf[8..12].copy_from_slice(&(dim as u32).to_le_bytes());
     buf[12..16].copy_from_slice(&(n_classes as u32).to_le_bytes());
     buf[16..20].copy_from_slice(&(n_planes as u32).to_le_bytes());
+    buf[20..24].copy_from_slice(&(parent_dim as u32).to_le_bytes());
+    for (w, &word) in support.iter().enumerate() {
+        let off = layout.support_offset + w * 8;
+        buf[off..off + 8].copy_from_slice(&word.to_le_bytes());
+    }
 
     for c in 0..n_classes {
         let values = model.class(c);
@@ -670,6 +870,9 @@ pub(crate) fn packed_bytes(model: &QuantizedModel) -> Result<Vec<u8>, ReadModelE
         }
     }
 
+    // Never seal an image whose mask disagrees with its geometry: the
+    // same gate every reader applies, applied at write time.
+    layout.check_support(&buf)?;
     let body = layout.total_len - 4;
     let crc = crc32(&buf[..body]);
     buf[body..].copy_from_slice(&crc.to_le_bytes());
@@ -976,5 +1179,178 @@ mod tests {
         assert_eq!(&buf[8..12], &(q.dim() as u32).to_le_bytes());
         assert_eq!(&buf[12..16], &(q.n_classes() as u32).to_le_bytes());
         assert!(buf[20..64].iter().all(|&b| b == 0), "reserved must be zero");
+    }
+
+    /// A deterministic pruned stream: a 200-dim parent space keeping
+    /// every third dimension (67 kept — deliberately not a multiple of
+    /// 64 so the mask has a partial last word).
+    fn pruned_stream(bw: u8) -> (QuantizedModel, usize, Vec<u64>, Vec<u8>) {
+        let parent_dim = 200usize;
+        let keep: Vec<usize> = (0..parent_dim).filter(|i| i % 3 == 0).collect();
+        let dim = keep.len();
+        let q_max = if bw == 1 { 1 } else { (1i32 << (bw - 1)) - 1 };
+        let classes: Vec<Vec<i16>> = (0..3i32)
+            .map(|c| {
+                (0..dim as i32)
+                    .map(|i| {
+                        let v = ((i * 7 + c * 5) % (2 * q_max + 1)) - q_max;
+                        if bw == 1 {
+                            if v < 0 {
+                                -1
+                            } else {
+                                1
+                            }
+                        } else {
+                            v as i16
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let q = QuantizedModel::from_parts(dim, bw, classes).expect("values fit bw");
+        let mut mask = vec![0u64; parent_dim.div_ceil(64)];
+        for &i in &keep {
+            mask[i / 64] |= 1 << (i % 64);
+        }
+        let mut buf = Vec::new();
+        write_packed_pruned(&q, parent_dim, &mask, &mut buf).expect("vec write cannot fail");
+        (q, parent_dim, mask, buf)
+    }
+
+    /// Recomputes the CRC footer after deliberate in-place edits, so the
+    /// tests below exercise the *semantic* support checks rather than
+    /// the checksum.
+    fn reseal(buf: &mut [u8]) {
+        let body = buf.len() - 4;
+        let crc = crc32(&buf[..body]);
+        buf[body..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    #[test]
+    fn pruned_v3_round_trips_every_bit_width() {
+        for bw in [1u8, 2, 4, 8, 16] {
+            let (q, parent_dim, mask, buf) = pruned_stream(bw);
+            let layout = PackedLayout::validate(&buf).expect("sealed pruned stream");
+            assert!(layout.is_pruned());
+            assert_eq!(layout.dim(), q.dim(), "bw = {bw}");
+            assert_eq!(layout.parent_dim(), parent_dim);
+            assert_eq!(layout.support_mask(&buf).as_deref(), Some(&mask[..]));
+            let restored = read_packed(buf.as_slice()).expect("well-formed stream");
+            assert_eq!(q, restored, "bw = {bw}");
+        }
+    }
+
+    #[test]
+    fn pruned_v3_sections_are_64_byte_aligned() {
+        let (_, _, _, buf) = pruned_stream(4);
+        let layout = PackedLayout::validate(&buf).expect("sealed stream");
+        assert_eq!(layout.support_offset() % PACKED_ALIGN, 0);
+        assert_eq!(layout.total_len(), buf.len());
+        assert!(layout.support_offset() > layout.class_offset(layout.n_classes() - 1));
+    }
+
+    #[test]
+    fn full_support_streams_carry_no_mask_and_stay_byte_identical() {
+        let (q, buf) = packed_stream(8);
+        let layout = PackedLayout::validate(&buf).expect("sealed stream");
+        assert!(!layout.is_pruned());
+        assert_eq!(layout.parent_dim(), q.dim());
+        assert_eq!(layout.support_words(), 0);
+        assert!(layout.support_mask(&buf).is_none());
+        let via_pruned = packed_bytes_pruned(&q, 0, &[]).expect("full support");
+        assert_eq!(
+            via_pruned, buf,
+            "full-support writer must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn pruned_v3_writer_rejects_inconsistent_masks() {
+        let (q, parent_dim, mask, _) = pruned_stream(4);
+        // One support bit short of the model's dimension.
+        let mut short = mask.clone();
+        short[0] &= !1u64;
+        let mut out = Vec::new();
+        assert!(write_packed_pruned(&q, parent_dim, &short, &mut out).is_err());
+        // Wrong word count for the parent space.
+        let mut out = Vec::new();
+        assert!(write_packed_pruned(&q, parent_dim, &mask[..1], &mut out).is_err());
+        // Parent smaller than the pruned dimension.
+        let mut out = Vec::new();
+        assert!(write_packed_pruned(&q, q.dim() - 1, &[u64::MAX], &mut out).is_err());
+        // Full-support images must not smuggle a mask.
+        let mut out = Vec::new();
+        assert!(write_packed_pruned(&q, 0, &mask, &mut out).is_err());
+    }
+
+    #[test]
+    fn pruned_v3_population_mismatch_is_typed() {
+        // Clear one support bit and reseal: the CRC passes, so only the
+        // semantic population check can refuse the stream — before any
+        // view is constructed over it.
+        let (_, _, _, mut buf) = pruned_stream(2);
+        let layout = PackedLayout::parse(&buf).expect("structural parse");
+        buf[layout.support_offset()] &= !1u8;
+        reseal(&mut buf);
+        match PackedLayout::validate(&buf) {
+            Err(ReadModelError::SupportMismatch { expected, actual }) => {
+                assert_eq!(expected, layout.dim());
+                assert_eq!(actual, layout.dim() - 1);
+            }
+            other => panic!("expected SupportMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruned_v3_mask_bits_beyond_parent_are_rejected() {
+        let (_, parent_dim, _, mut buf) = pruned_stream(2);
+        let layout = PackedLayout::parse(&buf).expect("structural parse");
+        // Set a bit at parent_dim (position 200 = word 3, bit 8) and
+        // clear an in-range bit so the population still matches.
+        let word_off = layout.support_offset() + (parent_dim / 64) * 8;
+        buf[word_off + (parent_dim % 64) / 8] |= 1 << (parent_dim % 8);
+        buf[layout.support_offset()] &= !1u8;
+        reseal(&mut buf);
+        assert!(matches!(
+            PackedLayout::validate(&buf),
+            Err(ReadModelError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pruned_v3_parent_smaller_than_dim_is_rejected() {
+        let (_, _, _, mut buf) = pruned_stream(2);
+        // Rewrite parent_dim to 1 (< dim): structurally impossible.
+        buf[20..24].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            PackedLayout::parse(&buf),
+            Err(ReadModelError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pruned_v3_truncation_is_typed() {
+        let (_, _, _, buf) = pruned_stream(2);
+        let err = PackedLayout::parse(&buf[..buf.len() - 1]).expect_err("short stream");
+        assert!(matches!(err, ReadModelError::Truncated { .. }), "{err}");
+        // Cutting the whole mask section leaves a stream whose length
+        // matches *no* header arithmetic: still a typed truncation.
+        let layout = PackedLayout::parse(&buf).expect("structural parse");
+        let err =
+            PackedLayout::parse(&buf[..layout.support_offset()]).expect_err("maskless stream");
+        assert!(matches!(err, ReadModelError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn pruned_v3_any_single_flipped_byte_is_rejected() {
+        let (_, _, _, buf) = pruned_stream(2);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                PackedLayout::validate(&bad).is_err(),
+                "flipped byte {i} must not validate"
+            );
+        }
     }
 }

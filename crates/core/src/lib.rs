@@ -40,6 +40,10 @@
 //! - a dependency-free framed TCP front-end over the serving runtime:
 //!   length-prefixed, CRC32-trailed binary frames with per-request status
 //!   codes for shed/deadline/quarantine outcomes (module [`net`]),
+//! - post-training compression: saliency-guided dimension pruning with
+//!   retrain-after-prune recovery, composed with quantization, and an
+//!   automatic accuracy/size Pareto search emitting the smallest model
+//!   meeting a target accuracy (module [`compress`]),
 //! - HDC clustering with copy-centroid epochs ([`HdcClustering`]),
 //! - evaluation metrics: accuracy and normalized mutual information
 //!   (module [`metrics`]).
@@ -84,6 +88,7 @@ mod pipeline;
 mod quant;
 mod resilient;
 
+pub mod compress;
 pub mod encoding;
 pub mod io;
 // The SIMD dispatch layer is one of the two modules allowed to contain
@@ -105,6 +110,10 @@ pub mod serve;
 
 pub use binary_model::BinaryModel;
 pub use cluster::{ClusteringOutcome, HdcClustering, HdcClusteringSpec};
+pub use compress::{
+    pareto_search, prune, saliency, saliency_scalar, CompressOptions, CompressedModel,
+    CompressionOutcome, ParetoPoint, PrunedModel, SaliencyMap,
+};
 pub use error::HdcError;
 pub use fault::{DefectMap, FaultKind, FaultModel};
 pub use hv::{BinaryHv, BitSliceAccumulator, IntHv, PackedInts};

@@ -1265,6 +1265,39 @@ mod tests {
     }
 
     #[test]
+    fn awkward_dims_match_scalar_reference_on_every_kernel_set() {
+        // Pruned supports are arbitrary-length, so the blocked scorers
+        // must stay exact when the dimensionality is not a multiple of
+        // the 128-dim sub-norm chunk — including a lone trailing
+        // dimension and a chunk-straddling 129. The tail chunk must not
+        // read padding as signal.
+        for dim in [1usize, 127, 129, 4095] {
+            let (encoded, labels) = two_class_data(dim, 5);
+            let model = HdcModel::fit(&encoded, &labels, 2).unwrap();
+            for norm in [NormMode::Updated, NormMode::Constant] {
+                let opts = PredictOptions::reduced(dim, norm);
+                for q in encoded.iter().take(4) {
+                    let expect = model.scores_scalar(q, opts);
+                    let mut blocked = Vec::new();
+                    model.score_all(q, opts, &mut blocked);
+                    assert_eq!(blocked, expect, "score_all dim={dim} norm={norm:?}");
+                }
+                for isa in crate::kernels::available() {
+                    let set = crate::kernels::for_isa(isa).unwrap();
+                    let mut engine = ScoreBatch::with_kernels(set);
+                    let mut batched = Vec::new();
+                    engine.scores_into(&model, &encoded, opts, &mut batched);
+                    let expect: Vec<f64> = encoded
+                        .iter()
+                        .flat_map(|q| model.scores_scalar(q, opts))
+                        .collect();
+                    assert_eq!(batched, expect, "isa={isa} dim={dim} norm={norm:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn score_batch_ties_resolve_like_argmax() {
         // A zero model scores 0.0 for every class: the shared
         // last-max-wins rule must pick the last class everywhere.

@@ -67,11 +67,14 @@ pub enum StageKind {
     /// Framed-TCP front-end vs the in-process serving oracle: answers
     /// transported over a real socket replay bit-identically.
     Network,
+    /// Post-training compression: saliency, pruning, and pruned-support
+    /// scoring vs their scalar references.
+    Compress,
 }
 
 impl StageKind {
     /// Every stage, in canonical reporting order.
-    pub const ALL: [StageKind; 11] = [
+    pub const ALL: [StageKind; 12] = [
         StageKind::Encode,
         StageKind::Retrain,
         StageKind::Score,
@@ -83,6 +86,7 @@ impl StageKind {
         StageKind::ConcurrentServe,
         StageKind::Registry,
         StageKind::Network,
+        StageKind::Compress,
     ];
 
     /// Stable lowercase name used in reports and JSON.
@@ -99,6 +103,7 @@ impl StageKind {
             StageKind::ConcurrentServe => "concurrent_serve",
             StageKind::Registry => "registry",
             StageKind::Network => "network",
+            StageKind::Compress => "compress",
         }
     }
 }
@@ -275,6 +280,37 @@ pub const ORACLE_REGISTRY: &[OracleEntry] = &[
                    dimensions reproduces the label exactly, for shared \
                    and tenant-routed requests alike — the socket, frame \
                    codec, and CRC trailer add transport, never drift",
+    },
+    OracleEntry {
+        name: "saliency",
+        stage: StageKind::Compress,
+        tolerance: Tolerance::BitIdentical,
+        contract: "per-dimension class-margin saliency accumulates exact \
+                   i64 products; the rival class on each side comes from \
+                   scores proven bit-identical by the score-stage \
+                   contracts, so every dispatched ISA totals the same \
+                   saliency as the per-query scalar reference",
+    },
+    OracleEntry {
+        name: "prune",
+        stage: StageKind::Compress,
+        tolerance: Tolerance::BitIdentical,
+        contract: "support selection is a deterministic total order \
+                   (descending saliency, ties toward the lower index) and \
+                   class compaction is an exact integer gather, so the \
+                   pruned model matches an independent scalar selection \
+                   exactly",
+    },
+    OracleEntry {
+        name: "pruned_score",
+        stage: StageKind::Compress,
+        tolerance: Tolerance::BitIdentical,
+        contract: "the mapped pruned view gathers parent-space query bits \
+                   through the support mask and then runs the exact \
+                   bit-plane popcount dots; compacting the query first and \
+                   scoring through the heap quantized model visits the \
+                   same bits in the same order, so scores match bit for \
+                   bit on every dispatched ISA",
     },
 ];
 
@@ -602,6 +638,136 @@ impl DifferentialKernel for ScoreBatchKernel<'_> {
     }
 }
 
+/// Saliency scoring dispatched through one ISA vs the per-query scalar
+/// reference ([`crate::saliency_scalar`]). The input is the labeled
+/// sample batch; the output is the full per-dimension saliency map.
+#[derive(Debug, Clone, Copy)]
+pub struct SaliencyKernel<'a> {
+    /// The trained model under test.
+    pub model: &'a HdcModel,
+    /// The ISA variant the fast side dispatches through.
+    pub isa: Isa,
+}
+
+impl DifferentialKernel for SaliencyKernel<'_> {
+    type Input = (Vec<IntHv>, Vec<usize>);
+    type Output = crate::SaliencyMap;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("saliency").expect("registered")
+    }
+
+    fn fast(&self, input: &(Vec<IntHv>, Vec<usize>)) -> Result<Self::Output, HdcError> {
+        crate::compress::saliency_with(self.model, &input.0, &input.1, kernel_set(self.isa)?)
+    }
+
+    fn reference(&self, input: &(Vec<IntHv>, Vec<usize>)) -> Result<Self::Output, HdcError> {
+        crate::saliency_scalar(self.model, &input.0, &input.1)
+    }
+}
+
+/// [`crate::prune`] vs an independent scalar support selection: the
+/// reference picks the support by repeated max-scan (no sort) and
+/// gathers class rows one element at a time. The input is a saliency
+/// map; the output is the ascending support plus the compacted class
+/// matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneKernel<'a> {
+    /// The trained model under test.
+    pub model: &'a HdcModel,
+    /// Dimensions to keep.
+    pub keep: usize,
+}
+
+impl DifferentialKernel for PruneKernel<'_> {
+    type Input = crate::SaliencyMap;
+    type Output = (Vec<usize>, Vec<Vec<i32>>);
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("prune").expect("registered")
+    }
+
+    fn fast(&self, sal: &crate::SaliencyMap) -> Result<Self::Output, HdcError> {
+        let pruned = crate::prune(self.model, sal, self.keep)?;
+        Ok((pruned.support().to_vec(), class_rows(pruned.model())))
+    }
+
+    fn reference(&self, sal: &crate::SaliencyMap) -> Result<Self::Output, HdcError> {
+        if sal.dim() != self.model.dim() || self.keep == 0 || self.keep > self.model.dim() {
+            return Err(HdcError::invalid("keep", "degenerate prune input"));
+        }
+        // Selection by repeated max-scan: highest score wins, ties go to
+        // the lower index — the same total order as the fast side, found
+        // without sorting.
+        let scores = sal.scores();
+        let mut taken = vec![false; scores.len()];
+        for _ in 0..self.keep {
+            let mut best: Option<usize> = None;
+            for (d, &s) in scores.iter().enumerate() {
+                if !taken[d] && best.is_none_or(|b| s > scores[b]) {
+                    best = Some(d);
+                }
+            }
+            taken[best.expect("keep <= dim")] = true;
+        }
+        let support: Vec<usize> = (0..scores.len()).filter(|&d| taken[d]).collect();
+        let classes = self
+            .model
+            .iter()
+            .map(|class| support.iter().map(|&d| class.values()[d]).collect())
+            .collect();
+        Ok((support, classes))
+    }
+}
+
+/// Pruned-support scoring through the mapped [`crate::PackedModelView`]
+/// on one ISA vs the scalar pruned oracle (query compacted first, then
+/// scored through the heap [`QuantizedModel`]). The input is a
+/// parent-width binarized query; the output is the per-class score
+/// vector.
+#[derive(Debug, Clone)]
+pub struct PrunedScoreKernel {
+    /// The serialized GHDC v3 image of the compressed model (the fast
+    /// side maps and scores it zero-copy).
+    pub image: Vec<u8>,
+    /// The compressed model (support + heap quantized reference side).
+    pub compressed: crate::CompressedModel,
+    /// The ISA variant the fast side dispatches through.
+    pub isa: Isa,
+}
+
+impl DifferentialKernel for PrunedScoreKernel {
+    type Input = BinaryHv;
+    type Output = Vec<f64>;
+
+    fn entry(&self) -> &'static OracleEntry {
+        lookup("pruned_score").expect("registered")
+    }
+
+    fn fast(&self, query: &BinaryHv) -> Result<Vec<f64>, HdcError> {
+        // Views demand the mapping's 64-byte base alignment; copy the
+        // image into an anonymous mapping exactly as the registry does.
+        let mapping = crate::Mapping::from_bytes(&self.image)
+            .map_err(|e| HdcError::invalid("image", e.to_string()))?;
+        let view = crate::PackedModelView::new(&mapping)
+            .map_err(|e| HdcError::invalid("image", e.to_string()))?;
+        let mut out = Vec::new();
+        view.scores_into_with(query, kernel_set(self.isa)?, &mut out)?;
+        Ok(out)
+    }
+
+    fn reference(&self, query: &BinaryHv) -> Result<Vec<f64>, HdcError> {
+        let bits: Vec<bool> = self
+            .compressed
+            .support()
+            .iter()
+            .map(|&d| query.bit(d))
+            .collect();
+        let compact = BinaryHv::from_bits(&bits)?;
+        Ok(self.compressed.quantized().scores(&IntHv::from(compact)))
+    }
+}
+
 fn class_rows(model: &HdcModel) -> Vec<Vec<i32>> {
     model.iter().map(|hv| hv.values().to_vec()).collect()
 }
@@ -745,6 +911,53 @@ mod tests {
                 batch.reference(&encoded).unwrap(),
                 "score_batch isa={isa}"
             );
+        }
+    }
+
+    #[test]
+    fn compress_kernels_agree_with_their_scalar_oracles_on_every_isa() {
+        let (_, model, encoded, labels) = fixture();
+        let batch = (encoded.clone(), labels.clone());
+
+        for isa in kernels::available() {
+            let kernel = SaliencyKernel { model: &model, isa };
+            assert_eq!(
+                kernel.fast(&batch).unwrap(),
+                kernel.reference(&batch).unwrap(),
+                "saliency isa={isa}"
+            );
+        }
+
+        let sal = crate::saliency(&model, &encoded, &labels).unwrap();
+        for keep in [1, 50, 128, model.dim()] {
+            let kernel = PruneKernel {
+                model: &model,
+                keep,
+            };
+            assert_eq!(
+                kernel.fast(&sal).unwrap(),
+                kernel.reference(&sal).unwrap(),
+                "prune keep={keep}"
+            );
+        }
+
+        let pruned = crate::prune(&model, &sal, 100).unwrap();
+        let compressed = crate::CompressedModel::from_pruned(&pruned, 4).unwrap();
+        let image = compressed.image_bytes().unwrap();
+        for isa in kernels::available() {
+            let kernel = PrunedScoreKernel {
+                image: image.clone(),
+                compressed: compressed.clone(),
+                isa,
+            };
+            for q in encoded.iter().take(4) {
+                let query = q.to_binary();
+                assert_eq!(
+                    kernel.fast(&query).unwrap(),
+                    kernel.reference(&query).unwrap(),
+                    "pruned_score isa={isa}"
+                );
+            }
         }
     }
 

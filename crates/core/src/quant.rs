@@ -459,6 +459,9 @@ pub struct PackedModelView<'a> {
     /// One aligned `u64` reinterpretation of the whole planes region;
     /// individual planes are sub-slices at word offsets.
     words: &'a [u64],
+    /// Aligned reinterpretation of the support-mask words (empty for a
+    /// full-support stream).
+    support: &'a [u64],
     layout: PackedLayout,
 }
 
@@ -506,14 +509,26 @@ impl<'a> PackedModelView<'a> {
                 offset,
             });
         }
-        let planes_region = &bytes[layout.planes_offset()..layout.total_len() - 4];
+        // A pruned view must never exist over a mask whose population
+        // disagrees with the stored model — re-checked here so the
+        // `with_layout` fast path keeps the same guarantee as the full
+        // validation gauntlet.
+        layout.check_support(bytes)?;
+        let planes_region = &bytes[layout.planes_offset()..layout.support_offset()];
         let words = mapped::as_u64_slice(planes_region).ok_or(ReadModelError::Misaligned {
             required: PACKED_ALIGN,
             offset: planes_region.as_ptr() as usize % PACKED_ALIGN,
         })?;
+        let mask_region =
+            &bytes[layout.support_offset()..layout.support_offset() + layout.support_words() * 8];
+        let support = mapped::as_u64_slice(mask_region).ok_or(ReadModelError::Misaligned {
+            required: PACKED_ALIGN,
+            offset: mask_region.as_ptr() as usize % PACKED_ALIGN,
+        })?;
         Ok(PackedModelView {
             bytes,
             words,
+            support,
             layout,
         })
     }
@@ -531,6 +546,28 @@ impl<'a> PackedModelView<'a> {
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.layout.n_classes()
+    }
+
+    /// Whether the stream stores a pruned model with a support mask.
+    pub fn is_pruned(&self) -> bool {
+        self.layout.is_pruned()
+    }
+
+    /// Parent-space dimensionality queries may arrive at
+    /// ([`PackedModelView::dim`] for a full-support stream).
+    pub fn parent_dim(&self) -> usize {
+        self.layout.parent_dim()
+    }
+
+    /// The support-mask words of a pruned stream (`None` when
+    /// full-support): bit `i` set ⇔ parent dimension `i` survives
+    /// pruning.
+    pub fn support(&self) -> Option<&'a [u64]> {
+        if self.layout.is_pruned() {
+            Some(self.support)
+        } else {
+            None
+        }
     }
 
     /// The layout this view was constructed over.
@@ -572,6 +609,13 @@ impl<'a> PackedModelView<'a> {
     /// kernel set — the hook the differential harness uses to pin every
     /// dispatched ISA against the heap oracle bit-for-bit.
     ///
+    /// On a pruned view, queries may arrive at either dimensionality:
+    /// support-sized queries score directly, parent-sized queries are
+    /// first compacted through the support mask (a bit gather that keeps
+    /// padding bits zero), then scored through the same kernel fold —
+    /// bit-identical to compacting the query by hand and scoring the
+    /// support-sized model.
+    ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] on a wrong-width query.
@@ -581,15 +625,22 @@ impl<'a> PackedModelView<'a> {
         kernels: &KernelSet,
         out: &mut Vec<f64>,
     ) -> Result<(), HdcError> {
-        if query.dim() != self.layout.dim() {
+        let compacted: Vec<u64>;
+        let q: &[u64] = if query.dim() == self.layout.dim() {
+            query.words()
+        } else if self.layout.is_pruned() && query.dim() == self.layout.parent_dim() {
+            let mut gathered = vec![0u64; self.layout.dim().div_ceil(64)];
+            compact_query_words(query.words(), self.support, &mut gathered);
+            compacted = gathered;
+            &compacted
+        } else {
             return Err(HdcError::DimensionMismatch {
-                expected: self.layout.dim(),
+                expected: self.layout.parent_dim(),
                 actual: query.dim(),
             });
-        }
+        };
         out.clear();
         out.reserve(self.layout.n_classes());
-        let q = query.words();
         for c in 0..self.layout.n_classes() {
             let signs = self.plane(c, 0);
             // The same per-plane fold as `BinaryHv::dot_packed_with`,
@@ -631,6 +682,28 @@ impl<'a> PackedModelView<'a> {
     /// outside the element range.
     pub fn to_quantized(&self) -> Result<QuantizedModel, ReadModelError> {
         crate::io::read_packed(self.bytes)
+    }
+}
+
+/// Gathers the support-masked bits of `src` (parent-space words) into a
+/// densely packed prefix of `out` (support-space words): output bit `j`
+/// is input bit `i` where `i` is the `j`-th set bit of `support`. `out`
+/// must arrive zeroed and sized for the compacted dimensionality; bits
+/// past the last support position are never written, so the packed-
+/// padding invariant of [`BinaryHv`] is preserved and no kernel ever
+/// reads a padding bit as signal.
+pub(crate) fn compact_query_words(src: &[u64], support: &[u64], out: &mut [u64]) {
+    let mut pos = 0usize;
+    for (&s, &m) in src.iter().zip(support) {
+        let mut m = m;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            if (s >> b) & 1 == 1 {
+                out[pos / 64] |= 1 << (pos % 64);
+            }
+            pos += 1;
+            m &= m - 1;
+        }
     }
 }
 
@@ -1028,5 +1101,96 @@ mod tests {
         let mut q = QuantizedModel::from_model(&model, 4).unwrap();
         assert!(q.inject_bit_flips(1.5, 1).is_err());
         assert!(q.inject_bit_flips(-0.1, 1).is_err());
+    }
+
+    /// A deterministic pruned fixture: keep all but every 7th dimension
+    /// of a 300-dim parent space (neither dim is word-aligned).
+    fn pruned_fixture(
+        bw: u8,
+    ) -> (
+        usize,
+        Vec<usize>,
+        Vec<u64>,
+        QuantizedModel,
+        Vec<IntHv>,
+        Vec<u8>,
+    ) {
+        let parent_dim = 300usize;
+        let keep: Vec<usize> = (0..parent_dim).filter(|i| i % 7 != 3).collect();
+        let dim = keep.len();
+        let mut mask_words = vec![0u64; parent_dim.div_ceil(64)];
+        for &i in &keep {
+            mask_words[i / 64] |= 1 << (i % 64);
+        }
+        let (model, encoded, _) = trained_model(parent_dim);
+        let q_full = QuantizedModel::from_model(&model, bw).unwrap();
+        let classes: Vec<Vec<i16>> = (0..q_full.n_classes())
+            .map(|c| keep.iter().map(|&i| q_full.class(c)[i]).collect())
+            .collect();
+        let pruned = QuantizedModel::from_parts(dim, bw, classes).unwrap();
+        let bytes = crate::io::packed_bytes_pruned(&pruned, parent_dim, &mask_words).unwrap();
+        (parent_dim, keep, mask_words, pruned, encoded, bytes)
+    }
+
+    #[test]
+    fn pruned_view_scores_match_hand_compacted_oracle_on_every_kernel_set() {
+        for bw in [1u8, 2, 4, 8, 16] {
+            let (parent_dim, keep, _, pruned, encoded, bytes) = pruned_fixture(bw);
+            let mapping = crate::Mapping::from_bytes(&bytes).unwrap();
+            let view = PackedModelView::new(&mapping).unwrap();
+            assert!(view.is_pruned());
+            assert_eq!(view.parent_dim(), parent_dim);
+            assert_eq!(view.dim(), keep.len());
+            assert_eq!(view.support().unwrap().len(), parent_dim.div_ceil(64));
+            for hv in encoded.iter().take(4) {
+                let parent_query = hv.to_binary();
+                // Scalar pruned oracle: compact the query by hand, score
+                // the compacted heap model.
+                let bits: Vec<bool> = keep.iter().map(|&i| parent_query.bit(i)).collect();
+                let compacted = BinaryHv::from_bits(&bits).unwrap();
+                let oracle = pruned.scores(&IntHv::from(compacted.clone()));
+                for isa in crate::kernels::available() {
+                    let ks = crate::kernels::for_isa(isa).unwrap();
+                    let mut fast = Vec::new();
+                    view.scores_into_with(&parent_query, ks, &mut fast).unwrap();
+                    assert_eq!(fast, oracle, "bw={bw}: parent-dim query");
+                    let mut direct = Vec::new();
+                    view.scores_into_with(&compacted, ks, &mut direct).unwrap();
+                    assert_eq!(direct, oracle, "bw={bw}: support-dim query");
+                }
+            }
+            // Any other query width is a typed mismatch naming the
+            // logical (parent) dimensionality.
+            let wrong = BinaryHv::random_seeded(parent_dim + 1, 9).unwrap();
+            let mut out = Vec::new();
+            match view.scores_into_with(&wrong, crate::kernels::active(), &mut out) {
+                Err(HdcError::DimensionMismatch { expected, .. }) => {
+                    assert_eq!(expected, parent_dim)
+                }
+                other => panic!("expected a dimension mismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_support_mask_is_rejected_before_view_construction() {
+        let (_, _, _, _, _, mut bytes) = pruned_fixture(4);
+        let layout = PackedLayout::validate(&bytes).unwrap();
+        // Clear one support bit and reseal the CRC: only the semantic
+        // support check stands between these bytes and a view.
+        bytes[layout.support_offset()] &= !1u8;
+        let body = bytes.len() - 4;
+        let crc = crate::io::crc32(&bytes[..body]);
+        bytes[body..].copy_from_slice(&crc.to_le_bytes());
+        let mapping = crate::Mapping::from_bytes(&bytes).unwrap();
+        assert!(matches!(
+            PackedModelView::new(&mapping),
+            Err(ReadModelError::SupportMismatch { .. })
+        ));
+        // The pre-validated-layout fast path must uphold the same gate.
+        assert!(matches!(
+            PackedModelView::with_layout(&mapping, layout),
+            Err(ReadModelError::SupportMismatch { .. })
+        ));
     }
 }

@@ -595,7 +595,43 @@ impl ModelRegistry {
         }
         let mut bytes = Vec::new();
         write_packed(model, &mut bytes)?;
+        self.publish_bytes(tenant, bytes)
+    }
 
+    /// [`publish`](ModelRegistry::publish) for a compressed (pruned +
+    /// quantized) model. The tenant is keyed by the *parent*
+    /// dimensionality — the width queries arrive at — so a pruned
+    /// tenant serves through the same registry as its full-support
+    /// peers, it just costs a fraction of the byte budget.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DimMismatch`] when the parent dimensionality
+    /// does not match the registry's; otherwise as
+    /// [`publish`](ModelRegistry::publish).
+    pub fn publish_compressed(
+        &self,
+        tenant: &str,
+        model: &crate::CompressedModel,
+    ) -> Result<u64, RegistryError> {
+        validate_tenant(tenant)?;
+        if model.parent_dim() != self.config.dim {
+            return Err(RegistryError::DimMismatch {
+                expected: self.config.dim,
+                actual: model.parent_dim(),
+            });
+        }
+        let bytes = model
+            .image_bytes()
+            .map_err(|e| RegistryError::PublishRejected {
+                tenant: tenant.to_owned(),
+                reason: e.to_string(),
+            })?;
+        self.publish_bytes(tenant, bytes)
+    }
+
+    /// Shared staging/validation/commit tail of both publish paths.
+    fn publish_bytes(&self, tenant: &str, bytes: Vec<u8>) -> Result<u64, RegistryError> {
         let mut ledger = lock_ledger(&self.ledger);
         if !ledger.try_acquire_writer()? {
             return Err(RegistryError::NotWriter);
@@ -868,10 +904,12 @@ impl ModelRegistry {
             Err(e) => return Err(LoadError::Io(e)),
         };
         let layout = PackedLayout::validate(&bytes).map_err(|e| invalid(&e))?;
-        if layout.dim() != self.config.dim {
+        // Pruned images are keyed by the dimensionality queries arrive
+        // at (the parent space), not the compacted support size.
+        if layout.parent_dim() != self.config.dim {
             return Err(LoadError::Invalid(format!(
                 "model dimensionality {} does not match the registry's {}",
-                layout.dim(),
+                layout.parent_dim(),
                 self.config.dim
             )));
         }
@@ -980,6 +1018,73 @@ mod tests {
             "mapped scores must be bit-identical to the heap path"
         );
         assert_eq!(registry.stats().hits + registry.stats().cold_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruned_tenant_publishes_loads_and_scores_like_the_scalar_oracle() {
+        let dir = scratch("pruned");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir, config(512, 1 << 20)).unwrap();
+
+        // Train, prune to a quarter of the dimensions, quantize.
+        let encoded: Vec<IntHv> = (0..8)
+            .map(|i| IntHv::from(BinaryHv::random_seeded(512, 900 + i).unwrap()))
+            .collect();
+        let labels: Vec<usize> = (0..8).map(|i| i as usize % 4).collect();
+        let model = HdcModel::fit(&encoded, &labels, 4).unwrap();
+        let sal = crate::saliency(&model, &encoded, &labels).unwrap();
+        let mut pruned = crate::prune(&model, &sal, 128).unwrap();
+        pruned.recover(&encoded, &labels, 2, 1).unwrap();
+        let compressed = crate::CompressedModel::from_pruned(&pruned, 8).unwrap();
+
+        registry.publish_compressed("edge", &compressed).unwrap();
+        let handle = registry.get("edge").unwrap();
+        assert!(handle.view().is_pruned());
+        assert_eq!(handle.view().parent_dim(), 512);
+        assert_eq!(handle.view().dim(), 128);
+
+        // Parent-width queries served through the registry must match
+        // the scalar pruned oracle (hand-compacted heap model).
+        let query = BinaryHv::random_seeded(512, 31).unwrap();
+        let mapped = handle.view().scores(&query).unwrap();
+        let compact = BinaryHv::from_bits(
+            &compressed
+                .support()
+                .iter()
+                .map(|&d| query.bit(d))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let oracle = compressed.quantized().scores(&IntHv::from(compact));
+        assert_eq!(
+            mapped.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            oracle.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "registry-served pruned scores must be bit-identical to the oracle"
+        );
+
+        // A full-support publish to the same registry still works: the
+        // dim key is the parent space for both.
+        registry.publish("full", &sample_model(512, 8)).unwrap();
+        assert!(!registry.get("full").unwrap().view().is_pruned());
+
+        // A compressed model from the wrong parent space is rejected
+        // before any byte is written.
+        let small: Vec<IntHv> = (0..4)
+            .map(|i| IntHv::from(BinaryHv::random_seeded(256, 40 + i).unwrap()))
+            .collect();
+        let small_labels = vec![0, 1, 0, 1];
+        let small_model = HdcModel::fit(&small, &small_labels, 2).unwrap();
+        let small_sal = crate::saliency(&small_model, &small, &small_labels).unwrap();
+        let small_pruned = crate::prune(&small_model, &small_sal, 64).unwrap();
+        let wrong = crate::CompressedModel::from_pruned(&small_pruned, 8).unwrap();
+        assert!(matches!(
+            registry.publish_compressed("edge", &wrong),
+            Err(RegistryError::DimMismatch {
+                expected: 512,
+                actual: 256
+            })
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

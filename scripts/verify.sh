@@ -41,6 +41,13 @@ echo "==> sharded serve bench smoke (portable kernels forced)"
 GENERIC_FORCE_PORTABLE=1 \
   cargo run -p generic-bench --release --locked --quiet --bin serve -- --smoke
 
+echo "==> compression bench smoke (Pareto search, pruned bit-identity, tenant capacity)"
+cargo run -p generic-bench --release --locked --quiet --bin compress -- --smoke
+
+echo "==> compression bench smoke (portable kernels forced)"
+GENERIC_FORCE_PORTABLE=1 \
+  cargo run -p generic-bench --release --locked --quiet --bin compress -- --smoke
+
 echo "==> registry bench smoke (mapped multi-tenant churn)"
 cargo run -p generic-bench --release --locked --quiet --bin registry -- --smoke
 

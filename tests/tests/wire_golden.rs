@@ -16,10 +16,10 @@
 use std::path::{Path, PathBuf};
 
 use generic_hdc::io::{
-    read_model, read_packed, read_quantized, write_model, write_packed, write_quantized,
-    PackedLayout, ReadModelError, PACKED_ALIGN,
+    read_model, read_packed, read_quantized, write_model, write_packed, write_packed_pruned,
+    write_quantized, PackedLayout, ReadModelError, PACKED_ALIGN,
 };
-use generic_hdc::{HdcModel, IntHv, Mapping, PackedModelView, QuantizedModel};
+use generic_hdc::{BinaryHv, HdcModel, IntHv, Mapping, PackedModelView, QuantizedModel};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
@@ -251,6 +251,167 @@ fn tampered_v3_fixture_fails_the_checksum() {
     ));
 }
 
+/// Support set of the golden pruned fixture: 8 of 16 parent dims kept,
+/// chosen to exercise both halves of the mask word and uneven gaps.
+const GOLDEN_SUPPORT: [usize; 8] = [0, 2, 3, 5, 8, 11, 13, 15];
+const GOLDEN_PARENT_DIM: usize = 16;
+
+/// The support mask word the fixture stores: bits of [`GOLDEN_SUPPORT`].
+fn golden_support_mask() -> Vec<u64> {
+    let mut mask = vec![0u64; GOLDEN_PARENT_DIM.div_ceil(64)];
+    for d in GOLDEN_SUPPORT {
+        mask[d / 64] |= 1 << (d % 64);
+    }
+    mask
+}
+
+#[test]
+fn packed_pruned_v3_fixture_round_trips_byte_exact() {
+    let bytes = fixture("packed_pruned_v3.ghdc");
+    let mapping = Mapping::from_bytes(&bytes).expect("aligned copy allocates");
+    let view = PackedModelView::new(&mapping).expect("sealed pruned stream");
+    assert!(view.is_pruned());
+    assert_eq!(view.parent_dim(), GOLDEN_PARENT_DIM);
+    assert_eq!(view.dim(), 8);
+    assert_eq!(view.support().expect("mask present"), golden_support_mask());
+    assert_eq!(view.to_quantized().expect("decodes"), golden_quantized());
+
+    let mut rewritten = Vec::new();
+    write_packed_pruned(
+        &golden_quantized(),
+        GOLDEN_PARENT_DIM,
+        &golden_support_mask(),
+        &mut rewritten,
+    )
+    .unwrap();
+    assert_eq!(
+        rewritten, bytes,
+        "pruned v3 serialization is no longer canonical"
+    );
+}
+
+#[test]
+fn packed_pruned_v3_header_and_mask_layout_are_pinned() {
+    let bytes = fixture("packed_pruned_v3.ghdc");
+    assert_eq!(&bytes[..4], b"GHDC", "magic");
+    assert_eq!(bytes[4], 3, "version");
+    assert_eq!(bytes[5], 2, "kind (packed)");
+    assert_eq!(bytes[6], 4, "bit width");
+    assert_eq!(bytes[7], 0, "pad");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        8,
+        "compacted dim"
+    );
+    assert_eq!(
+        u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+        2,
+        "n_classes"
+    );
+    assert_eq!(
+        u32::from_le_bytes(bytes[16..20].try_into().unwrap()),
+        3,
+        "n_planes"
+    );
+    // The support extension claims header bytes [20..24): parent_dim,
+    // u32 LE, 0 = full support. Everything after stays reserved-zero.
+    assert_eq!(
+        u32::from_le_bytes(bytes[20..24].try_into().unwrap()),
+        GOLDEN_PARENT_DIM as u32,
+        "parent_dim"
+    );
+    assert!(
+        bytes[24..64].iter().all(|&b| b == 0),
+        "reserved header tail must be zero"
+    );
+
+    // The mask section sits after the planes, one 64-byte-aligned run
+    // of u64 LE words with exactly `dim` set bits.
+    let layout = PackedLayout::validate(&bytes).expect("sealed pruned stream");
+    assert!(layout.is_pruned());
+    assert_eq!(
+        layout.support_offset(),
+        192 + 2 * 4 * 64,
+        "mask after planes"
+    );
+    assert_eq!(layout.support_words(), 1, "16 parent dims fit one word");
+    assert_eq!(layout.support_mask(&bytes), Some(golden_support_mask()));
+    assert_eq!(
+        u64::from_le_bytes(
+            bytes[layout.support_offset()..layout.support_offset() + 8]
+                .try_into()
+                .unwrap()
+        ),
+        0xA92D,
+        "mask word bytes"
+    );
+    assert!(
+        bytes[layout.support_offset() + 8..layout.total_len() - 4]
+            .iter()
+            .all(|&b| b == 0),
+        "mask section padding must be zero"
+    );
+    // planes end + 64 B aligned mask section + CRC footer.
+    assert_eq!(
+        layout.total_len(),
+        192 + 2 * 4 * 64 + 64 + 4,
+        "total length"
+    );
+    assert_eq!(bytes.len(), layout.total_len());
+
+    // A full-support image of the same model must carry no mask — and
+    // stay byte-identical to the pre-extension v3 encoding.
+    let full = fixture("packed_v3.ghdc");
+    let full_layout = PackedLayout::validate(&full).expect("sealed v3 stream");
+    assert!(!full_layout.is_pruned());
+    assert_eq!(
+        u32::from_le_bytes(full[20..24].try_into().unwrap()),
+        0,
+        "full support encodes parent_dim 0"
+    );
+}
+
+#[test]
+fn packed_pruned_v3_fixture_serves_full_width_queries() {
+    let bytes = fixture("packed_pruned_v3.ghdc");
+    let mapping = Mapping::from_bytes(&bytes).expect("aligned copy allocates");
+    let view = PackedModelView::new(&mapping).expect("fixture is servable");
+    // Queries arrive at parent width; the view compacts them through
+    // the support. The scalar oracle compacts by hand and scores the
+    // heap model.
+    let query = BinaryHv::random_seeded(GOLDEN_PARENT_DIM, 7).expect("dim > 0");
+    let bits: Vec<bool> = GOLDEN_SUPPORT.iter().map(|&d| query.bit(d)).collect();
+    let compact = BinaryHv::from_bits(&bits).expect("dim > 0");
+    let oracle = golden_quantized().scores(&IntHv::from(compact));
+    let mapped = view.scores(&query).expect("mapped scores");
+    assert_eq!(
+        mapped.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        oracle.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        "pruned fixture scores must be bit-identical to the compacted oracle"
+    );
+}
+
+#[test]
+fn tampered_pruned_v3_fixture_fails_the_checksum() {
+    let bytes = fixture("packed_pruned_v3.ghdc");
+    let layout = PackedLayout::validate(&bytes).expect("sealed pruned stream");
+    // Flip one support-mask bit: the CRC gate must catch it before the
+    // popcount cross-check even runs.
+    let mut tampered = bytes.clone();
+    tampered[layout.support_offset()] ^= 0x02;
+    match PackedLayout::validate(&tampered) {
+        Err(ReadModelError::ChecksumMismatch { .. }) => {}
+        other => panic!("tampered mask must fail the CRC, got {other:?}"),
+    }
+    // And a truncated mask section is reported as exactly that.
+    let mut truncated = bytes;
+    truncated.truncate(layout.support_offset() + 8);
+    assert!(matches!(
+        PackedLayout::validate(&truncated),
+        Err(ReadModelError::Truncated { .. })
+    ));
+}
+
 #[test]
 fn corrupted_fixture_bytes_are_rejected() {
     let mut bytes = fixture("model_v2.ghdc");
@@ -289,4 +450,14 @@ fn regenerate() {
     let mut one_bit_v3 = Vec::new();
     write_packed(&golden_one_bit(), &mut one_bit_v3).unwrap();
     std::fs::write(dir.join("packed1bit_v3.ghdc"), &one_bit_v3).unwrap();
+
+    let mut pruned_v3 = Vec::new();
+    write_packed_pruned(
+        &golden_quantized(),
+        GOLDEN_PARENT_DIM,
+        &golden_support_mask(),
+        &mut pruned_v3,
+    )
+    .unwrap();
+    std::fs::write(dir.join("packed_pruned_v3.ghdc"), &pruned_v3).unwrap();
 }
